@@ -1,0 +1,57 @@
+"""FIG1 — Figure 1: the World Wide Web architecture.
+
+Browsers on multiple (simulated) client machines reach one web server,
+which reaches the DBMS through the gateway.  The bench measures one
+complete user request across the whole stack — browser encode → HTTP →
+router → CGI → macro engine → SQL → page parse — and writes a trace of
+the layers traversed as the artifact.
+"""
+
+from repro.http.headers import Headers
+from repro.http.message import HttpRequest
+from repro.http.urls import Url
+
+
+def test_fig1_full_stack_request(benchmark, urlquery_site, urlquery,
+                                 artifact):
+    transport = urlquery_site.transport
+    url = Url.parse(
+        "http://www.example.com/cgi-bin/db2www/urlquery.d2w/report"
+        "?SEARCH=ib&USE_URL=yes&USE_TITLE=yes&DBFIELDS=title")
+
+    def one_request():
+        request = HttpRequest(target=url.request_target,
+                              headers=Headers())
+        return transport.fetch(url, request)
+
+    response = benchmark(one_request)
+
+    assert response.status == 200
+    trace = (
+        "Figure 1 — one request across the architecture\n"
+        "  Web client (browser)      encodes the URL + variables\n"
+        f"  -> HTTP request           GET {url.request_target}\n"
+        "  -> Web server (router)     matches /cgi-bin/, builds CGI env\n"
+        "  -> DB2WWW (CGI program)    loads macro urlquery.d2w,"
+        " report mode\n"
+        "  -> DBMS gateway            executes the substituted SELECT\n"
+        f"  <- HTML page               {len(response.body)} bytes,"
+        f" status {response.status}\n")
+    artifact("fig1_architecture_trace.txt", trace)
+
+
+def test_fig1_many_clients_one_server(benchmark, urlquery_site):
+    """Figure 1 shows many workstations: N independent browser sessions
+    issuing interleaved requests against one server."""
+    sessions = [urlquery_site.new_browser() for _ in range(8)]
+
+    def all_clients():
+        pages = []
+        for i, browser in enumerate(sessions):
+            pages.append(browser.get(
+                f"/cgi-bin/db2www/urlquery.d2w/report?SEARCH=ib"
+                f"&USE_TITLE=yes&DBFIELDS=title&client={i}"))
+        return pages
+
+    pages = benchmark(all_clients)
+    assert all(page.status == 200 for page in pages)

@@ -1,0 +1,58 @@
+"""FIG3 — Figure 3: the form as seen by the user, and the variable
+bindings the Web client sends.
+
+Times the client-side pipeline (parse page → build form model → apply
+the user's clicks → encode the submission) and regenerates both halves
+of the figure: the rendered page and the exact bindings listing.
+"""
+
+from repro.cgi.query_string import decode_pairs, encode_pairs
+from repro.html.forms import extract_forms
+from repro.html.parser import parse_html
+from repro.html.render import render_text
+
+
+def _user_selections(form):
+    """Figure 3's user: empty search box, URL+Title checked, Title and
+    Description picked for the report, Show SQL left on No."""
+    form.set("SEARCH", "")
+    form["DBFIELDS"].select("$(hidden_b)")
+    return form
+
+
+def test_fig3_client_side_pipeline(benchmark, urlquery, artifact):
+    page_html = urlquery.engine.execute_input(
+        urlquery.library.load(urlquery.macro_name)).html
+
+    def client_pipeline() -> str:
+        document = parse_html(page_html)
+        form = _user_selections(extract_forms(document)[0])
+        return encode_pairs(form.submission_pairs(click="Submit Query"))
+
+    query_string = benchmark(client_pipeline)
+
+    pairs = decode_pairs(query_string)
+    listing = "\n".join(f'{name} = "{value}"' for name, value in pairs)
+    artifact("fig3_client_bindings.txt", listing + "\n")
+    # The figure's bindings: SEARCH empty, both checked search flags,
+    # two DBFIELDS values, SHOWSQL null; USE_DESC absent entirely.
+    assert ("SEARCH", "") in pairs
+    assert ("USE_URL", "yes") in pairs
+    assert ("USE_TITLE", "yes") in pairs
+    assert [v for n, v in pairs if n == "DBFIELDS"] == \
+        ["$(hidden_a)", "$(hidden_b)"]
+    assert ("SHOWSQL", "") in pairs
+    assert all(n != "USE_DESC" for n, _ in pairs)
+
+
+def test_fig3_render_page_as_browser(benchmark, urlquery, artifact):
+    page_html = urlquery.engine.execute_input(
+        urlquery.library.load(urlquery.macro_name)).html
+    document = parse_html(page_html)
+
+    text = benchmark(render_text, document)
+
+    artifact("fig3_rendered_form.txt", text)
+    assert "[x] URL" in text
+    assert "[ ] Description" in text
+    assert "< Submit Query >" in text

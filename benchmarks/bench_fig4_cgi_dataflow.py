@@ -1,0 +1,83 @@
+"""FIG4 — Figure 4: the data flow using the CGI interface.
+
+The figure traces two invocations of the DB2WWW executable: a GET whose
+variables arrive in ``QUERY_STRING`` and a POST whose variables arrive
+on standard input, both with ``PATH_INFO=/{macro}/{cmd}``.  The bench
+times each dispatch path and writes the reconstructed data-flow trace.
+"""
+
+from repro.cgi.environ import CgiEnvironment
+from repro.cgi.query_string import encode_pairs
+from repro.cgi.request import CgiRequest
+
+PAIRS = [("SEARCH", "ib"), ("USE_URL", "yes"), ("USE_TITLE", "yes"),
+         ("DBFIELDS", "title")]
+
+
+def _get_request() -> CgiRequest:
+    return CgiRequest(CgiEnvironment(
+        request_method="GET",
+        script_name="/cgi-bin/db2www",
+        path_info="/urlquery.d2w/report",
+        query_string=encode_pairs(PAIRS)))
+
+
+def _post_request() -> CgiRequest:
+    body = encode_pairs(PAIRS).encode()
+    return CgiRequest(CgiEnvironment(
+        request_method="POST",
+        script_name="/cgi-bin/db2www",
+        path_info="/urlquery.d2w/report",
+        content_type="application/x-www-form-urlencoded",
+        content_length=len(body)), stdin=body)
+
+
+def test_fig4_get_with_query_string(benchmark, urlquery_site, artifact):
+    request = _get_request()
+
+    response = benchmark(urlquery_site.gateway.dispatch, "db2www",
+                         request)
+
+    assert response.status == 200
+    env = request.environ.to_dict()
+    trace = (
+        "Scenario 1: GET (variables via QUERY_STRING)\n"
+        f"  URL          = http://server/cgi-bin/db2www"
+        f"{env['PATH_INFO']}?{env['QUERY_STRING']}\n"
+        f"  PATH_INFO    = {env['PATH_INFO']}\n"
+        f"  QUERY_STRING = {env['QUERY_STRING']}\n"
+        f"  -> {len(response.body)} bytes of HTML back to the client\n")
+    artifact("fig4_dataflow_get.txt", trace)
+    assert env["PATH_INFO"] == "/urlquery.d2w/report"
+    assert "SEARCH=ib" in env["QUERY_STRING"]
+
+
+def test_fig4_post_with_stdin(benchmark, urlquery_site, artifact):
+    request = _post_request()
+
+    response = benchmark(urlquery_site.gateway.dispatch, "db2www",
+                         request)
+
+    assert response.status == 200
+    env = request.environ.to_dict()
+    trace = (
+        "Scenario 2: POST (variables via standard input)\n"
+        f"  PATH_INFO      = {env['PATH_INFO']}\n"
+        f"  CONTENT_LENGTH = {env['CONTENT_LENGTH']}\n"
+        f"  stdin          = {request.stdin.decode()}\n"
+        f"  -> {len(response.body)} bytes of HTML back to the client\n")
+    artifact("fig4_dataflow_post.txt", trace)
+    assert env["REQUEST_METHOD"] == "POST"
+
+
+def test_fig4_get_and_post_equivalent(benchmark, urlquery_site):
+    """Both arrows of Figure 4 deliver the same variables: same page."""
+    def both():
+        get_page = urlquery_site.gateway.dispatch(
+            "db2www", _get_request())
+        post_page = urlquery_site.gateway.dispatch(
+            "db2www", _post_request())
+        return get_page, post_page
+
+    get_page, post_page = benchmark(both)
+    assert get_page.body == post_page.body

@@ -1,0 +1,73 @@
+"""FIG5 — Figure 5: the application development system overview.
+
+Figure 5 shows macros authored with existing HTML editors and SQL query
+tools and stored at the web server.  The authoring-side operations are
+parse (validate what the developer wrote), unparse (regenerate source
+from the tree — what a macro-aware editor would save) and the library's
+load-with-cache path the server uses per request.
+"""
+
+import pytest
+
+from repro.apps.library import LIBRARY_MACRO
+from repro.apps.orders import ENTRY_MACRO, SEARCH_MACRO
+from repro.apps.urlquery import URLQUERY_MACRO
+from repro.core.macrofile import MacroLibrary
+from repro.core.parser import parse_macro
+
+ALL_MACROS = {
+    "urlquery": URLQUERY_MACRO,
+    "ordersearch": SEARCH_MACRO,
+    "orderentry": ENTRY_MACRO,
+    "library": LIBRARY_MACRO,
+}
+
+
+@pytest.mark.parametrize("name", sorted(ALL_MACROS))
+def test_fig5_parse_each_application_macro(benchmark, name):
+    source = ALL_MACROS[name]
+    macro = benchmark(parse_macro, source)
+    assert macro.html_report is not None
+
+
+def test_fig5_parse_unparse_roundtrip(benchmark, artifact):
+    macro = parse_macro(URLQUERY_MACRO)
+
+    regenerated = benchmark(macro.unparse)
+
+    artifact("fig5_unparsed_macro.d2w", regenerated)
+    # A macro-editor save/load cycle is lossless at the semantic level.
+    again = parse_macro(regenerated)
+    assert len(again.sections) == len(macro.sections)
+    assert again.html_input.body == macro.html_input.body
+    assert again.unnamed_sql_sections()[0].command == \
+        macro.unnamed_sql_sections()[0].command
+
+
+def test_fig5_library_cached_load(benchmark, tmp_path):
+    """The server-side load path: cache hit after first parse."""
+    path = tmp_path / "urlquery.d2w"
+    path.write_text(URLQUERY_MACRO, encoding="utf-8")
+    library = MacroLibrary(tmp_path)
+    library.load("urlquery.d2w")  # warm the cache
+
+    macro = benchmark(library.load, "urlquery.d2w")
+    assert macro.html_input is not None
+
+
+def test_fig5_section431_lazy_example(benchmark):
+    """The Section 4.3.1 lazy-evaluation macro, parsed and evaluated
+    (indexed under FIG5 in DESIGN.md's experiment table)."""
+    from repro.core.engine import MacroEngine
+
+    source = (
+        '%define X = "One$(Y)$(Z)"\n'
+        '%define Y = " Two"\n'
+        "%HTML_INPUT{$(X)%}\n"
+        '%define Z = " Three"')
+    engine = MacroEngine()
+
+    def parse_and_run() -> str:
+        return engine.execute_input(parse_macro(source)).html
+
+    assert benchmark(parse_and_run) == "One Two"

@@ -1,0 +1,45 @@
+"""FIG6 — Figure 6: the DB2 WWW runtime flow control.
+
+The figure shows the two entries into the runtime: an input-mode call
+producing the form and a report-mode call running the dynamic SQL.  The
+bench times the complete user cycle — fetch form, fill, submit, read
+report — and each mode separately, writing the flow trace as artifact.
+"""
+
+
+def test_fig6_full_user_cycle(benchmark, urlquery_site, urlquery,
+                              artifact):
+    def cycle():
+        browser = urlquery_site.new_browser()
+        page = browser.get(urlquery.input_path)
+        form = page.form(0)
+        form.set("SEARCH", "ib")
+        return browser.submit(form, click="Submit Query")
+
+    report = benchmark(cycle)
+
+    assert report.title == "DB2 WWW URL Query Result"
+    artifact("fig6_runtime_flow.txt", (
+        "Figure 6 — runtime flow control\n"
+        "  1. GET  .../urlquery.d2w/input   -> DEFINE sections +"
+        " HTML input section processed\n"
+        "  2. user fills the form; client packages variables\n"
+        "  3. POST .../urlquery.d2w/report  -> DEFINE sections +"
+        " HTML report section processed,\n"
+        "     %EXEC_SQL runs dynamic SQL, report variables"
+        " instantiated per row\n"
+        f"  -> report page: {report.title!r}\n"))
+
+
+def test_fig6_input_mode_only(benchmark, urlquery):
+    macro = urlquery.library.load(urlquery.macro_name)
+    result = benchmark(urlquery.engine.execute_input, macro)
+    assert result.statements == []  # SQL sections skipped entirely
+
+
+def test_fig6_report_mode_only(benchmark, urlquery):
+    macro = urlquery.library.load(urlquery.macro_name)
+    inputs = [("SEARCH", "ib"), ("USE_TITLE", "yes"),
+              ("DBFIELDS", "title")]
+    result = benchmark(urlquery.engine.execute_report, macro, inputs)
+    assert len(result.statements) == 1

@@ -1,0 +1,53 @@
+"""FIG7 + FIG8 — the Appendix A application's two screens.
+
+Figure 7 is the application input form as displayed to the user;
+Figure 8 is the hyperlinked report.  The benches time the server-side
+page generation for each and write the text-mode renderings — the
+reproduction's version of the screenshots — as artifacts.
+"""
+
+from repro.html.render import render_markup
+
+
+def test_fig7_appendix_input_page(benchmark, urlquery, artifact):
+    macro = urlquery.library.load(urlquery.macro_name)
+
+    result = benchmark(urlquery.engine.execute_input, macro)
+
+    rendering = render_markup(result.html)
+    artifact("fig7_appendix_input.txt", rendering)
+    assert "Query URL Information" in rendering
+    assert "[x] URL" in rendering
+    assert "[x] Title" in rendering
+    assert "[ ] Description" in rendering
+    assert "( ) Yes" in rendering and "(o) No" in rendering
+    assert "< Submit Query >" in rendering
+
+
+def test_fig8_appendix_report_page(benchmark, urlquery, artifact):
+    macro = urlquery.library.load(urlquery.macro_name)
+    # The Figure 7 user's submission, post client round trip.
+    inputs = [("SEARCH", "ib"), ("USE_URL", "yes"),
+              ("USE_TITLE", "yes"),
+              ("DBFIELDS", "$(hidden_a)"), ("DBFIELDS", "$(hidden_b)")]
+
+    result = benchmark(urlquery.engine.execute_report, macro, inputs)
+
+    rendering = render_markup(result.html)
+    artifact("fig8_appendix_report.txt", rendering)
+    assert "URL Query Result" in rendering
+    assert "Select any of the following" in rendering
+    # Hyperlinked URLs, as in the figure.
+    assert result.html.count('<A HREF="http://') >= 1
+    # Conditional extra columns resolved from the hidden variables.
+    assert "description" in result.statements[0]
+
+
+def test_fig8_report_scales_with_hits(benchmark, urlquery):
+    """The no-filter query returns every row — the report's worst case
+    at this database size (150 rows)."""
+    macro = urlquery.library.load(urlquery.macro_name)
+    inputs = [("SEARCH", "zz-nothing"), ("DBFIELDS", "title")]
+
+    result = benchmark(urlquery.engine.execute_report, macro, inputs)
+    assert result.html.count("<LI> <A HREF=") == urlquery.rows

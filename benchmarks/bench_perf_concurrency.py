@@ -1,0 +1,60 @@
+"""PERF-CONC — throughput under concurrent clients (Figure 1's premise).
+
+Drives the URL-query application from 1/2/4/8 worker threads over the
+in-process gateway and records aggregate throughput.  Expected shape:
+modest gains then a plateau — the SQLite connection and the GIL
+serialise the hot path, an honest stand-in for a single-disk 1996
+server saturating.
+"""
+
+import pytest
+
+from repro.apps import urlquery as urlquery_app
+from repro.apps.site import build_site
+from repro.workloads.concurrent import run_concurrent
+from repro.workloads.generator import UrlQueryWorkload
+from repro.workloads.runner import db2www_request_builder
+
+REQUESTS_PER_RUN = 200
+
+
+@pytest.fixture(scope="module")
+def site():
+    app = urlquery_app.install(rows=150)
+    return build_site(app.engine, app.library)
+
+
+@pytest.mark.parametrize("threads", [1, 2, 4, 8])
+def test_perf_conc_thread_sweep(benchmark, site, threads):
+    def run():
+        return run_concurrent(
+            site.gateway,
+            UrlQueryWorkload(seed=17).requests(REQUESTS_PER_RUN),
+            db2www_request_builder("urlquery.d2w"),
+            threads=threads)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.ok
+    assert result.summary.count == REQUESTS_PER_RUN
+
+
+def test_perf_conc_artifact(benchmark, site, artifact):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = ["PERF-CONC — concurrent clients, in-process gateway",
+             "",
+             f"{'threads':>8}{'req_per_s':>12}{'p95_ms':>10}"]
+    for threads in (1, 2, 4, 8):
+        result = run_concurrent(
+            site.gateway,
+            UrlQueryWorkload(seed=17).requests(REQUESTS_PER_RUN),
+            db2www_request_builder("urlquery.d2w"),
+            threads=threads)
+        assert result.ok
+        lines.append(f"{threads:>8}"
+                     f"{result.summary.throughput_rps:>12.0f}"
+                     f"{result.summary.p95_ms:>10.3f}")
+    lines += ["",
+              "Shape: limited scaling — the shared connection and",
+              "interpreter serialise the hot path, as a 1996 single-",
+              "disk server's DBMS did."]
+    artifact("perf_concurrency.txt", "\n".join(lines) + "\n")

@@ -1,0 +1,129 @@
+"""PERF-E2E — end-to-end request latency across execution modes.
+
+The 1996 deployment paid a process fork + interpreter start + DBMS
+connect on *every* request (Figure 4's "start the CGI application as a
+separate process").  This experiment quantifies that against in-process
+dispatch and against real-TCP transport, on the same application and
+request.
+
+Expected shape: subprocess CGI is dominated by process start-up
+(hundreds of ms for a Python interpreter — the 1996 pain, amplified),
+TCP adds socket overhead over in-process, and the gateway work itself
+is a small slice.
+"""
+
+import pytest
+
+from repro.apps import urlquery as urlquery_app
+from repro.apps.datasets import seed_urldb
+from repro.apps.site import build_site
+from repro.cgi.environ import CgiEnvironment
+from repro.cgi.process import SubprocessCgiRunner
+from repro.cgi.request import CgiRequest
+from repro.http.client import HttpClient
+from repro.http.headers import Headers
+from repro.http.message import HttpRequest
+from repro.http.urls import Url
+from repro.sql.connection import Connection
+
+QUERY = "SEARCH=ib&USE_URL=yes&USE_TITLE=yes&DBFIELDS=title"
+
+
+def report_request() -> CgiRequest:
+    return CgiRequest(CgiEnvironment(
+        request_method="GET", script_name="/cgi-bin/db2www",
+        path_info="/urlquery.d2w/report", query_string=QUERY))
+
+
+def test_perf_e2e_in_process_dispatch(benchmark, urlquery_site):
+    response = benchmark(urlquery_site.gateway.dispatch, "db2www",
+                         report_request())
+    assert response.status == 200
+
+
+def test_perf_e2e_over_tcp(benchmark, urlquery_site):
+    server = urlquery_site.serve()
+    try:
+        url = Url.parse(
+            f"{server.base_url}/cgi-bin/db2www/urlquery.d2w/report"
+            f"?{QUERY}")
+        client = HttpClient()
+
+        def over_tcp():
+            return client.fetch(
+                url, HttpRequest(target=url.request_target,
+                                 headers=Headers()))
+
+        response = benchmark(over_tcp)
+        assert response.status == 200
+    finally:
+        server.shutdown()
+
+
+@pytest.fixture(scope="module")
+def subprocess_deployment(tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("e2e")
+    db_path = tmp_path / "urldb.sqlite"
+    conn = Connection(str(db_path))
+    seed_urldb(conn, 150)
+    conn.close()
+    macro_dir = tmp_path / "macros"
+    macro_dir.mkdir()
+    (macro_dir / "urlquery.d2w").write_text(
+        urlquery_app.URLQUERY_MACRO, encoding="utf-8")
+    return {"REPRO_MACRO_DIR": str(macro_dir),
+            "REPRO_DATABASE_URLDB": str(db_path)}
+
+
+def test_perf_e2e_process_per_request(benchmark, subprocess_deployment):
+    """The faithful 1996 mode: fork/exec a fresh gateway per request."""
+    runner = SubprocessCgiRunner(extra_env=subprocess_deployment)
+
+    response = benchmark.pedantic(
+        runner.run, args=(report_request(),), rounds=5, iterations=1)
+    assert response.status == 200
+
+
+def test_perf_e2e_artifact(benchmark, urlquery_site,
+                           subprocess_deployment, artifact):
+    """One comparison table across the three execution modes."""
+    import time
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    def timed(fn, rounds):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            fn()
+        return (time.perf_counter() - start) / rounds * 1e3
+
+    in_process = timed(
+        lambda: urlquery_site.gateway.dispatch("db2www",
+                                               report_request()), 50)
+    server = urlquery_site.serve()
+    try:
+        url = Url.parse(
+            f"{server.base_url}/cgi-bin/db2www/urlquery.d2w/report"
+            f"?{QUERY}")
+        client = HttpClient()
+        over_tcp = timed(
+            lambda: client.fetch(
+                url, HttpRequest(target=url.request_target,
+                                 headers=Headers())), 50)
+    finally:
+        server.shutdown()
+    runner = SubprocessCgiRunner(extra_env=subprocess_deployment)
+    subprocess_ms = timed(lambda: runner.run(report_request()), 3)
+
+    lines = [
+        "PERF-E2E — one report request, three execution modes",
+        "",
+        f"{'mode':<28}{'mean_ms':>10}",
+        f"{'in-process dispatch':<28}{in_process:>10.3f}",
+        f"{'HTTP over real TCP':<28}{over_tcp:>10.3f}",
+        f"{'process-per-request CGI':<28}{subprocess_ms:>10.3f}",
+        "",
+        "Shape: the 1996 process-per-request model is dominated by",
+        "process start-up; gateway work is a small slice of it.",
+    ]
+    artifact("perf_end_to_end.txt", "\n".join(lines) + "\n")
+    assert subprocess_ms > in_process

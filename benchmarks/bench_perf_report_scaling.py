@@ -1,0 +1,100 @@
+"""PERF-RPT — report generation versus result-set size.
+
+Sweeps the number of result rows through custom ``%ROW`` reports, the
+default table format, and ``RPT_MAXROWS`` cutoffs.  Expected shape:
+time linear in *fetched* rows; RPT_MAXROWS caps the printing cost but
+not the fetch/count cost (ROW_NUM still reports the true total), so a
+capped report over many rows sits between the uncapped small and large
+cases.
+"""
+
+import pytest
+
+from repro.core.engine import MacroEngine
+from repro.core.parser import parse_macro
+from repro.sql.gateway import DatabaseRegistry
+
+ROW_COUNTS = [10, 100, 1000, 5000]
+
+
+@pytest.fixture(scope="module")
+def registry():
+    reg = DatabaseRegistry()
+    db = reg.register_memory("BIG")
+    with db.connect() as conn:
+        conn.executescript(
+            "CREATE TABLE wide (n INTEGER, a TEXT, b TEXT, c TEXT);")
+        conn.begin()
+        for i in range(max(ROW_COUNTS)):
+            conn.execute(
+                "INSERT INTO wide VALUES (?, ?, ?, ?)",
+                (i, f"alpha-{i}", f"beta-{i}", f"gamma-{i}"))
+        conn.commit()
+    return reg
+
+
+def custom_macro(limit_define: str = "") -> str:
+    return f"""
+%DEFINE DATABASE = "BIG"
+{limit_define}
+%SQL{{
+SELECT n, a, b, c FROM wide WHERE n < $(max_n) ORDER BY n
+%SQL_REPORT{{
+<TABLE>
+%ROW{{<TR><TD>$(V1)</TD><TD>$(V_a)</TD><TD>$(V_b)</TD><TD>$(V_c)</TD></TR>
+%}}
+</TABLE><P>$(ROW_NUM) rows</P>
+%}}
+%}}
+%HTML_REPORT{{%EXEC_SQL%}}
+"""
+
+
+@pytest.mark.parametrize("rows", ROW_COUNTS)
+def test_perf_rpt_custom_report(benchmark, registry, rows):
+    engine = MacroEngine(registry)
+    macro = parse_macro(custom_macro())
+
+    result = benchmark(engine.execute_report, macro,
+                       [("max_n", str(rows))])
+    assert f"<P>{rows} rows</P>" in result.html
+
+
+@pytest.mark.parametrize("rows", [100, 5000])
+def test_perf_rpt_default_table(benchmark, registry, rows):
+    engine = MacroEngine(registry)
+    macro = parse_macro("""
+%DEFINE DATABASE = "BIG"
+%SQL{ SELECT n, a FROM wide WHERE n < $(max_n) %}
+%HTML_REPORT{%EXEC_SQL%}
+""")
+    result = benchmark(engine.execute_report, macro,
+                       [("max_n", str(rows))])
+    assert result.html.count("<TR>") == rows + 1  # + header row
+
+
+def test_perf_rpt_maxrows_caps_printing(benchmark, registry):
+    """5000 rows fetched, 50 printed: cheaper than printing all 5000."""
+    engine = MacroEngine(registry)
+    macro = parse_macro(custom_macro('%DEFINE RPT_MAXROWS = "50"'))
+
+    result = benchmark(engine.execute_report, macro,
+                       [("max_n", "5000")])
+    assert result.html.count("<TR>") == 50
+    assert "<P>5000 rows</P>" in result.html  # ROW_NUM = true total
+
+
+def test_perf_rpt_artifact(benchmark, registry, artifact):
+    import time
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    engine = MacroEngine(registry)
+    macro = parse_macro(custom_macro())
+    lines = ["PERF-RPT — report time vs fetched rows (coarse)",
+             "", f"{'rows':>8}{'millis':>12}"]
+    for rows in ROW_COUNTS:
+        start = time.perf_counter()
+        for _ in range(3):
+            engine.execute_report(macro, [("max_n", str(rows))])
+        millis = (time.perf_counter() - start) / 3 * 1e3
+        lines.append(f"{rows:>8}{millis:>12.2f}")
+    artifact("perf_report_scaling.txt", "\n".join(lines) + "\n")

@@ -1,0 +1,91 @@
+"""PERF-SUB — characterising the substitution engine.
+
+The cross-language substitution mechanism is the paper's core; these
+sweeps establish how its cost scales with the three dimensions a macro
+author controls: number of variables in a page, reference nesting depth,
+and list-variable length.  Expected shape: linear in all three (the
+evaluator is a single pass with memo-free lazy semantics).
+"""
+
+import pytest
+
+from repro.core.substitution import Evaluator
+from repro.core.values import ValueString
+from repro.core.variables import VariableStore
+
+
+def store_with_flat_variables(count: int) -> VariableStore:
+    store = VariableStore()
+    for i in range(count):
+        store.assign_simple(f"v{i}", ValueString.parse(f"value-{i}"))
+    return store
+
+
+@pytest.mark.parametrize("count", [10, 100, 1000])
+def test_perf_sub_variable_count(benchmark, count):
+    """Evaluating a page that references every one of N variables."""
+    store = store_with_flat_variables(count)
+    template = ValueString.parse(
+        " ".join(f"$(v{i})" for i in range(count)))
+    evaluator = Evaluator(store)
+
+    text = benchmark(evaluator.evaluate, template)
+    assert text.count("value-") == count
+
+
+@pytest.mark.parametrize("depth", [1, 8, 64, 256])
+def test_perf_sub_nesting_depth(benchmark, depth):
+    """A chain v0 -> v1 -> ... -> v_depth, dereferenced from the top."""
+    store = VariableStore()
+    for i in range(depth):
+        store.assign_simple(f"v{i}", ValueString.parse(f"$(v{i+1})."))
+    store.assign_simple(f"v{depth}", ValueString.parse("end"))
+    evaluator = Evaluator(store)
+
+    text = benchmark(evaluator.evaluate_name, "v0")
+    assert text == "end" + "." * depth
+
+
+@pytest.mark.parametrize("length", [4, 64, 512])
+def test_perf_sub_list_join(benchmark, length):
+    """A where_list-style list variable with N conditional elements."""
+    store = VariableStore()
+    store.declare_list("L", ValueString.parse(" AND "))
+    for i in range(length):
+        store.assign_simple(f"in{i}", ValueString.literal(str(i)))
+    for i in range(length):
+        store.assign_conditional(
+            "L", ValueString.parse(f"col{i} = $(in{i})"))
+    evaluator = Evaluator(store)
+
+    text = benchmark(evaluator.evaluate_name, "L")
+    assert text.count(" AND ") == length - 1
+
+
+def test_perf_sub_escape_heavy_page(benchmark):
+    """Pages full of $$ escapes (hidden-variable idiom at scale)."""
+    template = ValueString.parse(
+        "".join(f'<OPTION VALUE="$$(h{i})">' for i in range(200)))
+    evaluator = Evaluator(VariableStore())
+
+    text = benchmark(evaluator.evaluate, template)
+    assert text.count("$(h") == 200
+
+
+def test_perf_sub_artifact(benchmark, artifact):
+    """Record the scaling series (re-measured coarsely) for the report."""
+    import time
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = ["PERF-SUB — substitution scaling (coarse single-shot)",
+             "", f"{'dimension':<18}{'n':>8}{'micros':>12}"]
+    for count in (10, 100, 1000):
+        store = store_with_flat_variables(count)
+        template = ValueString.parse(
+            " ".join(f"$(v{i})" for i in range(count)))
+        evaluator = Evaluator(store)
+        start = time.perf_counter()
+        for _ in range(20):
+            evaluator.evaluate(template)
+        micros = (time.perf_counter() - start) / 20 * 1e6
+        lines.append(f"{'variables':<18}{count:>8}{micros:>12.1f}")
+    artifact("perf_substitution.txt", "\n".join(lines) + "\n")

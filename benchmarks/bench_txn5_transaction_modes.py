@@ -1,0 +1,86 @@
+"""TXN5 — Section 5's two transaction modes under failure injection.
+
+A two-statement order-entry macro whose second statement fails (the
+audit table is missing) is run under auto-commit and single-transaction
+modes.  The experiment verifies the semantic difference — first insert
+kept vs rolled back — and times multi-statement macros under both modes
+on the success path, where single mode amortises one commit across the
+macro.
+"""
+
+import pytest
+
+from repro.apps import orders as orders_app
+from repro.core.parser import parse_macro
+from repro.sql.transactions import TransactionMode
+
+BATCH_MACRO_TEXT = """
+%DEFINE DATABASE = "CELDIAL"
+%SQL{ INSERT INTO orders (custid, product_name, quantity)
+VALUES (10100, 'bikes', 1) %}
+%SQL{ INSERT INTO orders (custid, product_name, quantity)
+VALUES (10200, 'tents', 2) %}
+%SQL{ INSERT INTO orders (custid, product_name, quantity)
+VALUES (10300, 'ropes', 3) %}
+%SQL{ DELETE FROM orders WHERE custid IN (10100, 10200, 10300)
+AND order_id > 300 %}
+%HTML_REPORT{%EXEC_SQL%}
+"""
+
+
+def order_count(app) -> int:
+    conn = app.registry.connect(orders_app.DATABASE_NAME)
+    try:
+        return conn.execute("SELECT COUNT(*) FROM orders").fetchone()[0]
+    finally:
+        conn.close()
+
+
+@pytest.mark.parametrize("mode", [TransactionMode.AUTO_COMMIT,
+                                  TransactionMode.SINGLE],
+                         ids=lambda m: m.value)
+def test_txn5_multistatement_macro_throughput(benchmark, mode):
+    """Four statements per macro, success path, both modes."""
+    app = orders_app.install(transaction_mode=mode)
+    macro = parse_macro(BATCH_MACRO_TEXT)
+
+    def run_macro():
+        return app.engine.execute_report(macro)
+
+    result = benchmark(run_macro)
+    assert result.ok
+    assert len(result.statements) == 4
+
+
+def test_txn5_failure_semantics(benchmark, artifact):
+    """The behavioural half: what survives a mid-macro failure."""
+    lines = ["TXN5 — mid-macro failure: what survives?", ""]
+    outcomes = {}
+
+    def run_both_modes():
+        for mode in (TransactionMode.AUTO_COMMIT,
+                     TransactionMode.SINGLE):
+            yield mode
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for mode in run_both_modes():
+        app = orders_app.install(with_audit_table=False,
+                                 transaction_mode=mode)
+        before = order_count(app)
+        macro = app.library.load(orders_app.ENTRY_MACRO_NAME)
+        result = app.engine.execute_report(macro, [
+            ("order_cust", "10100"), ("order_prod", "bikes")])
+        after = order_count(app)
+        survived = after - before
+        outcomes[mode] = survived
+        lines.append(
+            f"{mode.value:<12} statement1=INSERT ok,"
+            f" statement2=INSERT failed -> "
+            f"{survived} row(s) kept "
+            f"({'partial effect visible' if survived else 'rolled back'})"
+        )
+        assert not result.ok
+    artifact("txn5_transaction_modes.txt", "\n".join(lines) + "\n")
+    # The paper's stated semantics:
+    assert outcomes[TransactionMode.AUTO_COMMIT] == 1
+    assert outcomes[TransactionMode.SINGLE] == 0

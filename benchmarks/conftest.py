@@ -1,0 +1,47 @@
+"""Shared fixtures and artifact collection for the benchmark harness.
+
+Every benchmark regenerates a paper artifact (a figure's page, a data
+flow trace, a comparison table) in addition to timing the code path that
+produces it.  Artifacts are written under ``benchmarks/out/`` so a run
+leaves behind the regenerated "figures" for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.apps import build_site
+from repro.apps import orders as orders_app
+from repro.apps import urlquery as urlquery_app
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact():
+    """Writer for regenerated paper artifacts."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> Path:
+        path = OUT_DIR / name
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def urlquery():
+    return urlquery_app.install(rows=150)
+
+
+@pytest.fixture(scope="session")
+def urlquery_site(urlquery):
+    return build_site(urlquery.engine, urlquery.library)
+
+
+@pytest.fixture(scope="session")
+def orders():
+    return orders_app.install()

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Section 5 practical issues: multi-byte data, per-language pages,
+authentication and a host filter.
+
+A small multilingual product catalog served three ways:
+
+1. one shared macro whose UI strings come from a message catalog,
+   selected by Accept-Language negotiation;
+2. UTF-8 (multi-byte) product names flowing client -> SQL -> report;
+3. the admin macro behind HTTP Basic authentication and a firewall-style
+   host filter.
+
+Run:  python examples/multilingual_store.py
+"""
+
+from repro.apps.site import build_site
+from repro.cgi.gateway import Db2WwwProgram
+from repro.core import MacroEngine, MacroLibrary, parse_macro
+from repro.security.auth import (
+    BasicAuthenticator,
+    HostFilter,
+    ProtectedProgram,
+    basic_credentials,
+)
+from repro.security.i18n import MessageCatalog, negotiate_language
+from repro.sql import DatabaseRegistry
+
+CATALOG_MACRO = """
+%DEFINE DATABASE = "STORE"
+%SQL{
+SELECT name, price FROM products WHERE name LIKE '%$(q)%'
+%SQL_REPORT{
+<H2>$(msg_results)</H2>
+<UL>
+%ROW{<LI>$(V_name) — $(V_price)
+%}
+</UL>
+%}
+%}
+%HTML_INPUT{<H1>$(msg_title)</H1>
+<FORM METHOD="get" ACTION="/cgi-bin/db2www/store.d2w/report">
+$(msg_prompt): <INPUT TYPE="text" NAME="q">
+<INPUT TYPE="submit" VALUE="$(msg_go)">
+</FORM>
+%}
+%HTML_REPORT{%EXEC_SQL%}
+"""
+
+ADMIN_MACRO = """
+%DEFINE DATABASE = "STORE"
+%SQL{ SELECT COUNT(*) AS n FROM products
+%SQL_REPORT{%ROW{<P>Catalog size: $(V_n) products.</P>%}%}
+%}
+%HTML_REPORT{<H1>Store admin</H1>%EXEC_SQL%}
+"""
+
+
+def build_catalog() -> MessageCatalog:
+    catalog = MessageCatalog()
+    catalog.add("en", {
+        "msg_title": "Product Catalog",
+        "msg_prompt": "Search",
+        "msg_go": "Go",
+        "msg_results": "Matching products",
+    })
+    catalog.add("fr", {
+        "msg_title": "Catalogue de produits",
+        "msg_prompt": "Recherche",
+        "msg_go": "Chercher",
+        "msg_results": "Produits correspondants",
+    })
+    catalog.add("ja", {
+        "msg_title": "製品カタログ",
+        "msg_prompt": "検索",
+        "msg_go": "実行",
+        "msg_results": "該当する製品",
+    })
+    return catalog
+
+
+def main() -> None:
+    registry = DatabaseRegistry()
+    database = registry.register_memory("STORE")
+    with database.connect() as conn:
+        conn.executescript("""
+            CREATE TABLE products (name TEXT, price TEXT);
+            INSERT INTO products VALUES
+                ('bicycle',  '$250'),
+                ('bicyclette', '230 F'),
+                ('自転車',   '¥28,000'),
+                ('helmet',   '$45');
+        """)
+    engine = MacroEngine(registry)
+    macro = parse_macro(CATALOG_MACRO)
+    messages = build_catalog()
+
+    print("=" * 68)
+    print("Language negotiation: one macro, three languages")
+    print("=" * 68)
+    for header in ("en", "fr-CA, fr;q=0.9, en;q=0.1", "ja, en;q=0.5"):
+        language = negotiate_language(header, messages.languages())
+        result = engine.execute_input(
+            macro, messages.defines_for(language))
+        title = result.html.split("<H1>")[1].split("</H1>")[0]
+        print(f"  Accept-Language: {header!r:38} -> {language}: {title}")
+    print()
+
+    print("=" * 68)
+    print("Multi-byte search term through the whole pipeline")
+    print("=" * 68)
+    result = engine.execute_report(
+        macro, messages.defines_for("ja") + [("q", "自転")])
+    for line in result.html.splitlines():
+        if "<LI>" in line or "<H2>" in line:
+            print("  " + line.strip())
+    print()
+
+    print("=" * 68)
+    print("Protected admin page: Basic auth + host filter")
+    print("=" * 68)
+    library = MacroLibrary()
+    library.add_text("store.d2w", CATALOG_MACRO)
+    library.add_text("admin.d2w", ADMIN_MACRO)
+    site = build_site(engine, library)
+    authenticator = BasicAuthenticator(realm="store-admin")
+    authenticator.add_user("admin", "s3cret")
+    host_filter = HostFilter(default_allow=False).allow("127.0.0.0/8")
+    site.gateway.install("admin", host_filter.wrap(ProtectedProgram(
+        Db2WwwProgram(engine, library), authenticator)))
+
+    browser = site.new_browser()
+    denied = browser.get("/cgi-bin/admin/admin.d2w/report")
+    print(f"  without credentials: HTTP {denied.status}")
+    from repro.http.headers import Headers
+    from repro.http.message import HttpRequest
+    from repro.http.urls import Url
+    url = Url.parse("http://www.example.com/cgi-bin/admin/"
+                    "admin.d2w/report")
+    headers = Headers()
+    headers.set("Authorization", basic_credentials("admin", "s3cret"))
+    response = site.transport.fetch(
+        url, HttpRequest(target=url.request_target, headers=headers))
+    print(f"  with credentials:    HTTP {response.status} — "
+          + response.text.split("<P>")[1].split("</P>")[0])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Dogfooding: the gateway reporting on its own traffic.
+
+Serves the URL-query application with a Common Log Format access log
+attached, generates some traffic with the simulated browser (including
+a 404), then loads the log into a relational table and reports on it —
+through the very same macro gateway.
+
+Run:  python examples/webstats_report.py
+"""
+
+from repro.apps import urlquery, webstats
+from repro.apps.site import build_site
+from repro.html.render import render_markup
+from repro.http.accesslog import AccessLog
+
+
+def generate_traffic(site, app) -> AccessLog:
+    log = AccessLog()
+    site.router.access_log = log
+    browser = site.new_browser()
+    for _ in range(3):
+        browser.get(app.input_path)
+    page = browser.get(app.input_path)
+    form = page.form(0)
+    form.set("SEARCH", "ibm")
+    browser.submit(form, click="Submit Query")
+    browser.get("/cgi-bin/db2www/nope.d2w/input")   # a 404
+    browser.get("/no-such-page.html")               # another 404
+    return log
+
+
+def main() -> None:
+    app = urlquery.install(rows=40)
+    site = build_site(app.engine, app.library)
+    log = generate_traffic(site, app)
+    print(f"captured {len(log)} requests; stats: {log.stats()}\n")
+
+    print("Raw log (Common Log Format):")
+    for entry in log.entries():
+        print("  " + entry.format())
+    print()
+
+    stats = webstats.install(log.entries())
+    macro = stats.library.load(webstats.MACRO_NAME)
+    for view in ("top_pages", "status_summary", "errors"):
+        result = stats.engine.execute_report(macro, [("view", view)])
+        print("=" * 60)
+        print(render_markup(result.html))
+
+
+if __name__ == "__main__":
+    main()

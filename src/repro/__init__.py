@@ -1,0 +1,78 @@
+"""repro — a reproduction of *Accessing Relational Databases from the
+World Wide Web* (Nguyen & Srinivasan, SIGMOD 1996).
+
+The package rebuilds the paper's DB2 WWW Connection system and everything
+it stands on: the macro language with cross-language variable substitution
+(:mod:`repro.core`), a relational gateway (:mod:`repro.sql`), the CGI
+protocol (:mod:`repro.cgi`), an HTTP server/client pair (:mod:`repro.http`),
+an HTML substrate with the 1996 form model (:mod:`repro.html`), a
+simulated browser (:mod:`repro.browser`), the Section 6 baseline gateways
+(:mod:`repro.baselines`), the paper's example applications
+(:mod:`repro.apps`) and the practical-issues layer (:mod:`repro.security`).
+
+Quickstart::
+
+    from repro.core import parse_macro, MacroEngine
+    from repro.sql import DatabaseRegistry
+
+    registry = DatabaseRegistry()
+    db = registry.register_memory("SHOP")
+    with db.connect() as conn:
+        conn.executescript(
+            "CREATE TABLE items (name TEXT); "
+            "INSERT INTO items VALUES ('bikes');")
+
+    macro = parse_macro('''
+    %DEFINE DATABASE = "SHOP"
+    %SQL{ SELECT name FROM items WHERE name LIKE \'$(q)%\' %}
+    %HTML_INPUT{<FORM><INPUT NAME="q"></FORM>%}
+    %HTML_REPORT{<H1>Items</H1> %EXEC_SQL %}
+    ''')
+    engine = MacroEngine(registry)
+    print(engine.execute_report(macro, [("q", "bik")]).html)
+"""
+
+from repro.core import (
+    EngineConfig,
+    Evaluator,
+    MacroCommand,
+    MacroEngine,
+    MacroFile,
+    MacroLibrary,
+    MacroResult,
+    ValueString,
+    VariableStore,
+    parse_macro,
+)
+from repro.errors import (
+    MacroError,
+    MacroExecutionError,
+    MacroSyntaxError,
+    ReproError,
+    SQLError,
+)
+from repro.sql import DatabaseRegistry, MemoryDatabase, TransactionMode
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DatabaseRegistry",
+    "EngineConfig",
+    "Evaluator",
+    "MacroCommand",
+    "MacroEngine",
+    "MacroError",
+    "MacroExecutionError",
+    "MacroFile",
+    "MacroLibrary",
+    "MacroResult",
+    "MacroSyntaxError",
+    "MemoryDatabase",
+    "ReproError",
+    "SQLError",
+    "TransactionMode",
+    "ValueString",
+    "VariableStore",
+    "parse_macro",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Example applications from the paper, installable in one call.
+
+* :mod:`repro.apps.urlquery` — Appendix A's URL database query
+  (Figures 2, 3, 7, 8)
+* :mod:`repro.apps.orders` — Section 3.1.3's conditional order search and
+  a multi-statement order-entry macro for the transaction experiments
+* :mod:`repro.apps.library` — named SQL sections with run-time dispatch
+* :mod:`repro.apps.datasets` — the deterministic data generators
+* :mod:`repro.apps.site` — wiring an app into the full HTTP/CGI stack
+"""
+
+from repro.apps.site import Site, build_site
+
+__all__ = ["Site", "build_site"]

@@ -1,0 +1,179 @@
+"""Synthetic datasets for the example applications and benchmarks.
+
+The paper's applications ran against IBM-internal databases (the URL
+database of Appendix A, the customer/product database of Section 3.1.3).
+These generators produce deterministic substitutes: same seed, same rows,
+so every benchmark run and test assertion is repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+_ORGS = [
+    "ibm", "acme", "globex", "initech", "umbrella", "wayne", "stark",
+    "tyrell", "cyberdyne", "hooli", "wonka", "oscorp", "dunder",
+    "prestige", "vandelay", "sirius", "massive", "pied-piper",
+]
+_TOPICS = [
+    "products", "support", "research", "downloads", "news", "databases",
+    "internet", "software", "hardware", "services", "careers", "events",
+    "developers", "partners", "education", "multimedia",
+]
+_WORDS = [
+    "world", "wide", "web", "database", "relational", "query", "report",
+    "server", "client", "gateway", "dynamic", "page", "access", "form",
+    "search", "index", "archive", "catalog", "online", "information",
+    "technology", "systems", "solutions", "enterprise", "network",
+]
+_FIRST_NAMES = [
+    "Tam", "Srini", "Ada", "Grace", "Edgar", "Jim", "Michael", "Pat",
+    "Donald", "Barbara", "Alan", "Hedy", "Radia", "Vint", "Tim", "Marc",
+]
+_LAST_NAMES = [
+    "Nguyen", "Srinivasan", "Codd", "Gray", "Hopper", "Lovelace",
+    "Stonebraker", "Selinger", "Bachman", "Kernighan", "Ritchie",
+    "Berners-Lee", "Andreessen", "Cerf", "Perlman", "Lamarr",
+]
+_PRODUCTS = [
+    "bikes", "helmets", "tents", "lanterns", "canoes", "skis", "ropes",
+    "boots", "stoves", "maps", "packs", "kayaks", "compasses", "paddles",
+    "jackets", "gloves",
+]
+
+
+def _title_case(words: list[str]) -> str:
+    return " ".join(word.capitalize() for word in words)
+
+
+def generate_urls(count: int, *,
+                  seed: int = 96) -> Iterator[tuple[str, str, str]]:
+    """Yield ``(url, title, description)`` rows for the URL database.
+
+    The Appendix A application searches these three fields with LIKE and
+    hyperlinks the url column in its report (Figure 8).
+    """
+    rng = random.Random(seed)
+    for i in range(count):
+        org = rng.choice(_ORGS)
+        topic = rng.choice(_TOPICS)
+        url = f"http://www.{org}.com/{topic}/page{i}.html"
+        title = _title_case([org, topic, rng.choice(_WORDS)])
+        description = (
+            f"{_title_case([rng.choice(_WORDS), rng.choice(_WORDS)])} "
+            f"{rng.choice(_WORDS)} about {topic} at {org}."
+        )
+        yield url, title, description
+
+
+URLDB_SCHEMA = """
+CREATE TABLE urldb (
+    url         VARCHAR(200) NOT NULL PRIMARY KEY,
+    title       VARCHAR(100) NOT NULL,
+    description VARCHAR(250)
+);
+"""
+
+
+def seed_urldb(conn, count: int = 150, *, seed: int = 96) -> int:
+    """Create and populate the URL database schema; returns rows inserted.
+
+    Inserts go through ``INSERT OR IGNORE`` because the generator can
+    repeat an (org, topic, page) URL only if asked for more rows than the
+    key space — with distinct page numbers it cannot, but the guard keeps
+    the seeding total."""
+    conn.executescript(URLDB_SCHEMA)
+    inserted = 0
+    for url, title, description in generate_urls(count, seed=seed):
+        conn.execute(
+            "INSERT OR IGNORE INTO urldb (url, title, description) "
+            "VALUES (?, ?, ?)", (url, title, description))
+        inserted += 1
+    return inserted
+
+
+ORDERS_SCHEMA = """
+CREATE TABLE customers (
+    custid   INTEGER NOT NULL PRIMARY KEY,
+    name     VARCHAR(60) NOT NULL,
+    city     VARCHAR(40) NOT NULL
+);
+CREATE TABLE products (
+    product_name VARCHAR(40) NOT NULL PRIMARY KEY,
+    price        REAL NOT NULL
+);
+CREATE TABLE orders (
+    order_id     INTEGER PRIMARY KEY,
+    custid       INTEGER NOT NULL REFERENCES customers(custid),
+    product_name VARCHAR(40) NOT NULL REFERENCES products(product_name),
+    quantity     INTEGER NOT NULL CHECK (quantity > 0)
+);
+"""
+
+
+def seed_orders(conn, *, customers: int = 40, orders: int = 300,
+                seed: int = 96) -> dict[str, int]:
+    """Create and populate the Section 3.1.3 customer/product database.
+
+    Customer ids start at 10100 so the paper's worked example
+    (``custid = 10100``) lands on a real customer.
+    """
+    rng = random.Random(seed)
+    conn.executescript(ORDERS_SCHEMA)
+    for offset in range(customers):
+        custid = 10100 + offset * 100
+        name = (f"{rng.choice(_FIRST_NAMES)} "
+                f"{rng.choice(_LAST_NAMES)}")
+        city = rng.choice(["San Jose", "Montreal", "Toronto", "Almaden",
+                           "Austin", "Boeblingen", "Hursley", "Yamato"])
+        conn.execute(
+            "INSERT INTO customers (custid, name, city) VALUES (?, ?, ?)",
+            (custid, name, city))
+    for product in _PRODUCTS:
+        conn.execute(
+            "INSERT INTO products (product_name, price) VALUES (?, ?)",
+            (product, round(rng.uniform(5, 500), 2)))
+    for order_id in range(1, orders + 1):
+        conn.execute(
+            "INSERT INTO orders (order_id, custid, product_name, quantity)"
+            " VALUES (?, ?, ?, ?)",
+            (order_id,
+             10100 + rng.randrange(customers) * 100,
+             rng.choice(_PRODUCTS),
+             rng.randint(1, 12)))
+    return {"customers": customers, "products": len(_PRODUCTS),
+            "orders": orders}
+
+
+LIBRARY_SCHEMA = """
+CREATE TABLE books (
+    book_id   INTEGER PRIMARY KEY,
+    title     VARCHAR(120) NOT NULL,
+    author    VARCHAR(80) NOT NULL,
+    year      INTEGER NOT NULL,
+    copies    INTEGER NOT NULL CHECK (copies >= 0)
+);
+CREATE TABLE loans (
+    loan_id   INTEGER PRIMARY KEY,
+    book_id   INTEGER NOT NULL REFERENCES books(book_id),
+    borrower  VARCHAR(80) NOT NULL
+);
+"""
+
+
+def seed_library(conn, *, books: int = 120, seed: int = 96) -> int:
+    """Create and populate the lending-library database (multi-query app)."""
+    rng = random.Random(seed)
+    conn.executescript(LIBRARY_SCHEMA)
+    for book_id in range(1, books + 1):
+        title = _title_case(
+            [rng.choice(_WORDS), rng.choice(_WORDS), rng.choice(_TOPICS)])
+        author = (f"{rng.choice(_FIRST_NAMES)} "
+                  f"{rng.choice(_LAST_NAMES)}")
+        conn.execute(
+            "INSERT INTO books (book_id, title, author, year, copies) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (book_id, title, author, rng.randint(1968, 1996),
+             rng.randint(0, 5)))
+    return books

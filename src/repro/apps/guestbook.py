@@ -1,0 +1,130 @@
+"""A guestbook: the archetypal 1996 read-and-update Web application.
+
+The paper's introduction defines Web/DBMS applications as form →
+extract inputs → access the DBMS ("both read and/or update access is
+possible here") → format a report.  The URL-query app covers the read
+side; this guestbook covers the update side in its simplest period
+form: a TEXTAREA form INSERTs a row, and the same report page lists
+every entry newest-first.
+
+It also demonstrates defensive macro authoring with the tools this
+library adds on top of the paper:
+
+* the engine runs with ``escape_report_values=True`` so visitor text
+  cannot inject markup into the listing (the 1996 default would);
+* ``RPT_MAXROWS`` keeps the page bounded;
+* a ``%SQL_MESSAGE`` rule turns constraint violations (empty name)
+  into a polite message with ``continue``, so the listing still shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine import EngineConfig, MacroEngine
+from repro.core.macrofile import MacroLibrary
+from repro.sql.connection import MemoryDatabase
+from repro.sql.gateway import DatabaseRegistry
+
+MACRO_NAME = "guestbook.d2w"
+DATABASE_NAME = "GUESTBOOK"
+
+SCHEMA = """
+CREATE TABLE guestbook (
+    entry_id  INTEGER PRIMARY KEY,
+    visitor   VARCHAR(60) NOT NULL CHECK (length(visitor) > 0),
+    message   VARCHAR(500) NOT NULL,
+    signed_at TEXT NOT NULL DEFAULT (datetime('now'))
+);
+"""
+
+GUESTBOOK_MACRO = """\
+%DEFINE{
+DATABASE = "GUESTBOOK"
+RPT_MAXROWS = "20"
+do_sign = ""
+%}
+
+%SQL(sign){
+INSERT INTO guestbook (visitor, message)
+VALUES ('$(visitor)', '$(message)')
+%SQL_REPORT{
+<P><I>Thanks for signing, $(visitor)!</I></P>
+%}
+%SQL_MESSAGE{
+23505 : "<P><I>Please tell us your name before signing.</I></P>" : continue
+default : "<P><I>Could not record your entry: $(SQL_MESSAGE)</I></P>" : continue
+%}
+%}
+
+%SQL(noop){
+SELECT 1 WHERE 1 = 0
+%SQL_REPORT{%}
+%}
+
+%SQL(listing){
+SELECT visitor, message, signed_at FROM guestbook
+ORDER BY entry_id DESC
+%SQL_REPORT{
+<DL>
+%ROW{<DT><B>$(V_visitor)</B> wrote on $(V_signed_at):
+<DD>$(V_message)
+%}
+</DL>
+<P>$(ROW_NUM) entr(y/ies) in the book.</P>
+%}
+%}
+
+%HTML_INPUT{<HTML><HEAD><TITLE>Guestbook</TITLE></HEAD>
+<BODY>
+<H1>Sign our guestbook</H1>
+<FORM METHOD="post" ACTION="/cgi-bin/db2www/guestbook.d2w/report">
+<INPUT TYPE="hidden" NAME="do_sign" VALUE="yes">
+Your name: <INPUT TYPE="text" NAME="visitor" SIZE=30>
+<P>Your message:<BR>
+<TEXTAREA NAME="message" ROWS=4 COLS=40></TEXTAREA>
+<P><INPUT TYPE="submit" VALUE="Sign the book">
+</FORM>
+<P><A HREF="/cgi-bin/db2www/guestbook.d2w/report">Just read it</A></P>
+</BODY></HTML>
+%}
+
+%DEFINE sign_or_skip = do_sign ? "sign" : "noop"
+
+%HTML_REPORT{<HTML><HEAD><TITLE>Guestbook</TITLE></HEAD>
+<BODY>
+<H1>Our guestbook</H1>
+%EXEC_SQL($(sign_or_skip))
+%EXEC_SQL(listing)
+<P><A HREF="/cgi-bin/db2www/guestbook.d2w/input">Sign the book</A></P>
+</BODY></HTML>
+%}
+"""
+
+
+@dataclass
+class GuestbookApp:
+    engine: MacroEngine
+    library: MacroLibrary
+    registry: DatabaseRegistry
+    database: MemoryDatabase
+
+    input_path: str = f"/cgi-bin/db2www/{MACRO_NAME}/input"
+    report_path: str = f"/cgi-bin/db2www/{MACRO_NAME}/report"
+
+
+def install(*, registry: DatabaseRegistry | None = None,
+            library: MacroLibrary | None = None) -> GuestbookApp:
+    registry = registry or DatabaseRegistry()
+    library = library or MacroLibrary()
+    database = registry.register_memory(DATABASE_NAME)
+    with database.connect() as conn:
+        conn.executescript(SCHEMA)
+        conn.execute(
+            "INSERT INTO guestbook (visitor, message) VALUES (?, ?)",
+            ("webmaster", "Welcome to our corner of the Web!"))
+    library.add_text(MACRO_NAME, GUESTBOOK_MACRO)
+    engine = MacroEngine(
+        registry, config=EngineConfig(escape_report_values=True))
+    return GuestbookApp(engine=engine, library=library,
+                        registry=registry, database=database)

@@ -1,0 +1,126 @@
+"""The lending-library application: named SQL sections and run-time
+section dispatch.
+
+Exercises the two ``%EXEC_SQL`` features the URL-query app does not:
+
+* several *named* SQL sections in one macro (``by_author``, ``by_title``,
+  ``availability``), and
+* a section name stored in a variable and dereferenced at run time —
+  "``%EXEC_SQL($(sqlcmd))`` is allowed ... This feature can be used to
+  allow the end user to select which SQL command to execute at run time"
+  (Section 3.4).  The input form's radio buttons set ``sqlcmd``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.datasets import seed_library
+from repro.core.engine import MacroEngine
+from repro.core.macrofile import MacroLibrary
+from repro.sql.connection import MemoryDatabase
+from repro.sql.gateway import DatabaseRegistry
+
+MACRO_NAME = "library.d2w"
+DATABASE_NAME = "LIBRARY"
+
+LIBRARY_MACRO = """\
+%DEFINE{
+DATABASE = "LIBRARY"
+sqlcmd = "by_title"
+term = ""
+%}
+
+%SQL(by_title){
+SELECT title, author, year, copies FROM books
+WHERE title LIKE '%$(term)%' ORDER BY title
+%SQL_REPORT{
+<H2>Books matching title '$(term)'</H2>
+<UL>
+%ROW{<LI>$(V_title) &mdash; $(V_author) ($(V_year)), $(V_copies) copies
+%}
+</UL>
+<P>$(ROW_NUM) title(s) found.</P>
+%}
+%}
+
+%SQL(by_author){
+SELECT title, author, year, copies FROM books
+WHERE author LIKE '%$(term)%' ORDER BY author, title
+%SQL_REPORT{
+<H2>Books by authors matching '$(term)'</H2>
+<UL>
+%ROW{<LI>$(V_author): $(V_title) ($(V_year))
+%}
+</UL>
+<P>$(ROW_NUM) title(s) found.</P>
+%}
+%}
+
+%SQL(availability){
+SELECT b.title, b.copies - COUNT(l.loan_id) AS available
+FROM books b LEFT JOIN loans l ON l.book_id = b.book_id
+WHERE b.title LIKE '%$(term)%'
+GROUP BY b.book_id ORDER BY b.title
+%SQL_REPORT{
+<H2>Availability for '$(term)'</H2>
+<TABLE BORDER=1>
+<TR><TH>$(N_title)</TH><TH>$(N_available)</TH></TR>
+%ROW{<TR><TD>$(V_title)</TD><TD>$(V_available)</TD></TR>
+%}
+</TABLE>
+%}
+%}
+
+%HTML_INPUT{<HTML><HEAD><TITLE>Library Search</TITLE></HEAD>
+<BODY>
+<H1>Library Catalog</H1>
+<FORM METHOD="post" ACTION="/cgi-bin/db2www/library.d2w/report">
+Search term: <INPUT TYPE="text" NAME="term" SIZE=24>
+<P>Search by:
+<INPUT TYPE="radio" NAME="sqlcmd" VALUE="by_title" CHECKED> Title
+<INPUT TYPE="radio" NAME="sqlcmd" VALUE="by_author"> Author
+<INPUT TYPE="radio" NAME="sqlcmd" VALUE="availability"> Availability
+<P>
+<INPUT TYPE="submit" VALUE="Search Catalog">
+</FORM>
+</BODY></HTML>
+%}
+
+%HTML_REPORT{<HTML><HEAD><TITLE>Library Search Result</TITLE></HEAD>
+<BODY>
+<H1>Catalog Search</H1>
+%EXEC_SQL($(sqlcmd))
+<HR>
+<P><A HREF="/cgi-bin/db2www/library.d2w/input">Search again</A></P>
+</BODY></HTML>
+%}
+"""
+
+
+@dataclass
+class LibraryApp:
+    engine: MacroEngine
+    library: MacroLibrary
+    registry: DatabaseRegistry
+    database: MemoryDatabase
+    books: int
+
+
+def install(*, books: int = 120, seed: int = 96,
+            registry: DatabaseRegistry | None = None,
+            library: MacroLibrary | None = None) -> LibraryApp:
+    """Create the books database and register the catalog macro."""
+    registry = registry or DatabaseRegistry()
+    library = library or MacroLibrary()
+    database = registry.register_memory(DATABASE_NAME)
+    with database.connect() as conn:
+        count = seed_library(conn, books=books, seed=seed)
+        conn.execute(
+            "INSERT INTO loans (book_id, borrower) "
+            "SELECT book_id, 'Branch patron' FROM books "
+            "WHERE copies > 0 AND book_id % 7 = 0")
+    library.add_text(MACRO_NAME, LIBRARY_MACRO)
+    engine = MacroEngine(registry)
+    return LibraryApp(engine=engine, library=library, registry=registry,
+                      database=database, books=count)

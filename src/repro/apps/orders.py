@@ -1,0 +1,185 @@
+"""The order-search application built around Section 3.1.3's example.
+
+The paper's list/conditional worked example assembles::
+
+    WHERE custid = $(cust_inp) AND product_name LIKE '$(prod_inp)%'
+
+from two optional form fields, dropping each missing conjunct and the
+whole WHERE clause when both are missing.  This module ships that macro
+(query) plus an order-entry macro (multi-statement update) used by the
+transaction-mode experiment TXN5: the entry macro inserts an order row
+and updates a stock count in one macro, so a failure in the second
+statement demonstrates auto-commit vs single-transaction behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.datasets import seed_orders
+from repro.core.engine import EngineConfig, MacroEngine
+from repro.core.macrofile import MacroLibrary
+from repro.sql.connection import MemoryDatabase
+from repro.sql.gateway import DatabaseRegistry
+from repro.sql.transactions import TransactionMode
+
+SEARCH_MACRO_NAME = "ordersearch.d2w"
+ENTRY_MACRO_NAME = "orderentry.d2w"
+DATABASE_NAME = "CELDIAL"
+
+SEARCH_MACRO = """\
+%DEFINE{
+DATABASE = "CELDIAL"
+%LIST " AND " where_list
+where_list = ? "o.custid = $(cust_inp)"
+where_list = ? "o.product_name LIKE '$(prod_inp)%'"
+extra_preds = ? " AND $(where_list)"
+RPT_MAXROWS = "25"
+%}
+
+%SQL{
+SELECT o.order_id, c.name, o.product_name, o.quantity
+FROM orders o, customers c
+WHERE c.custid = o.custid$(extra_preds) ORDER BY o.order_id
+%SQL_REPORT{
+<TABLE BORDER=1>
+<TR><TH>$(N1)</TH><TH>$(N2)</TH><TH>$(N3)</TH><TH>$(N4)</TH></TR>
+%ROW{<TR><TD>$(V_order_id)</TD><TD>$(V_name)</TD><TD>$(V_product_name)</TD><TD>$(V_quantity)</TD></TR>
+%}
+</TABLE>
+<P>$(ROW_NUM) order(s) matched.</P>
+%}
+%SQL_MESSAGE{
+-204 : "<P>The order database is not available right now.</P>" : exit
+default : "<P>Order search failed: $(SQL_MESSAGE)</P>" : exit
+%}
+%}
+
+%HTML_INPUT{<HTML><HEAD><TITLE>Order Search</TITLE></HEAD>
+<BODY>
+<H1>Search Customer Orders</H1>
+<FORM METHOD="post" ACTION="/cgi-bin/db2www/ordersearch.d2w/report">
+Customer id: <INPUT TYPE="text" NAME="cust_inp" SIZE=10>
+<BR>
+Product name prefix: <INPUT TYPE="text" NAME="prod_inp" SIZE=20>
+<P>
+<INPUT TYPE="submit" VALUE="Search Orders">
+</FORM>
+</BODY></HTML>
+%}
+
+%HTML_REPORT{<HTML><HEAD><TITLE>Order Search Result</TITLE></HEAD>
+<BODY>
+<H1>Matching Orders</H1>
+%EXEC_SQL
+<P><A HREF="/cgi-bin/db2www/ordersearch.d2w/input">New search</A></P>
+</BODY></HTML>
+%}
+"""
+
+#: The search macro joins two tables, so the join predicate must always
+#: be present and the user conjuncts conditionally *extend* the WHERE
+#: clause (``extra_preds``).  The paper's pure fragment — an optional
+#: WHERE over one table — is kept verbatim below for the Section 3.1.3
+#: experiment.
+
+PAPER_FRAGMENT_MACRO = """\
+%DEFINE{
+DATABASE = "CELDIAL"
+%LIST " AND " where_list
+where_list = ? "custid = $(cust_inp)"
+where_list = ? "product_name LIKE '$(prod_inp)%'"
+where_clause = ? "WHERE $(where_list)"
+%}
+%SQL{
+SELECT custid, product_name FROM orders $(where_clause)
+%}
+%HTML_INPUT{<P>$(where_clause)</P>
+%}
+%HTML_REPORT{<P>clause: [$(where_clause)]</P>
+%EXEC_SQL
+%}
+"""
+
+ENTRY_MACRO = """\
+%DEFINE{
+DATABASE = "CELDIAL"
+order_qty = "1"
+%}
+
+%SQL(add_order){
+INSERT INTO orders (custid, product_name, quantity)
+VALUES ($(order_cust), '$(order_prod)', $(order_qty))
+%SQL_REPORT{
+<P>Order recorded for customer $(order_cust).</P>
+%}
+%SQL_MESSAGE{
+default : "<P>Could not record the order: $(SQL_MESSAGE)</P>" : exit
+%}
+%}
+
+%SQL(audit){
+INSERT INTO order_audit (custid, product_name, quantity)
+VALUES ($(order_cust), '$(order_prod)', $(order_qty))
+%SQL_REPORT{
+<P>Audit trail written.</P>
+%}
+%}
+
+%HTML_INPUT{<HTML><BODY>
+<H1>Enter an Order</H1>
+<FORM METHOD="post" ACTION="/cgi-bin/db2www/orderentry.d2w/report">
+Customer id: <INPUT TYPE="text" NAME="order_cust">
+Product: <INPUT TYPE="text" NAME="order_prod">
+Quantity: <INPUT TYPE="text" NAME="order_qty" VALUE="1">
+<INPUT TYPE="submit" VALUE="Record Order">
+</FORM>
+</BODY></HTML>
+%}
+
+%HTML_REPORT{<HTML><BODY>
+<H1>Order Entry</H1>
+%EXEC_SQL(add_order)
+%EXEC_SQL(audit)
+</BODY></HTML>
+%}
+"""
+
+
+@dataclass
+class OrdersApp:
+    engine: MacroEngine
+    library: MacroLibrary
+    registry: DatabaseRegistry
+    database: MemoryDatabase
+    counts: dict[str, int]
+
+
+def install(*, seed: int = 96,
+            transaction_mode: TransactionMode = TransactionMode.AUTO_COMMIT,
+            registry: DatabaseRegistry | None = None,
+            library: MacroLibrary | None = None,
+            with_audit_table: bool = True) -> OrdersApp:
+    """Create the customer/product database and register the macros.
+
+    ``with_audit_table=False`` omits the ``order_audit`` table so that the
+    entry macro's second statement fails — the failure-injection switch
+    the TXN5 transaction-mode experiment flips.
+    """
+    registry = registry or DatabaseRegistry()
+    library = library or MacroLibrary()
+    database = registry.register_memory(DATABASE_NAME)
+    with database.connect() as conn:
+        counts = seed_orders(conn, seed=seed)
+        if with_audit_table:
+            conn.executescript(
+                "CREATE TABLE order_audit ("
+                " custid INTEGER, product_name VARCHAR(40),"
+                " quantity INTEGER);")
+    library.add_text(SEARCH_MACRO_NAME, SEARCH_MACRO)
+    library.add_text(ENTRY_MACRO_NAME, ENTRY_MACRO)
+    library.add_text("paperfragment.d2w", PAPER_FRAGMENT_MACRO)
+    engine = MacroEngine(
+        registry, config=EngineConfig(transaction_mode=transaction_mode))
+    return OrdersApp(engine=engine, library=library, registry=registry,
+                     database=database, counts=counts)

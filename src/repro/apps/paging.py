@@ -1,0 +1,143 @@
+"""Scrollable cursors over the Web — the paper's promised application.
+
+Section 4.3 closes with: "The lazy substitution mechanism and the HTML
+input variable processing features can also be used as a basis for
+implementing useful application features like hiding variables from the
+end user, **scrollable cursors**, and **relating multiple client-server
+interactions on the web as part of the same application**."
+
+This module is that application, built from nothing but the paper's own
+mechanisms:
+
+* ``START_ROW_NUM`` / ``RPT_MAXROWS`` window the report (the scrollable
+  cursor — the query re-runs, the report shows one page);
+* ``%EXEC`` variables do the page arithmetic (the paper's extension
+  point for "invocation of any program", standing in for the built-in
+  functions the shipped successor grew);
+* conditional variables hide the Next/Previous links at the ends of the
+  result set (an ``%EXEC`` command returning the null string makes the
+  strict conditional evaluate to null);
+* the links carry ``START_ROW_NUM`` back as an HTML input variable,
+  which is how consecutive requests become "part of the same
+  application" — state lives in the page, the gateway stays stateless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.datasets import seed_urldb
+from repro.core.engine import MacroEngine
+from repro.core.execvars import RegistryExecRunner
+from repro.core.macrofile import MacroLibrary
+from repro.sql.connection import MemoryDatabase
+from repro.sql.gateway import DatabaseRegistry
+
+MACRO_NAME = "browse.d2w"
+DATABASE_NAME = "URLDB"
+
+BROWSE_MACRO = """\
+%DEFINE{
+DATABASE = "URLDB"
+RPT_MAXROWS = "10"
+START_ROW_NUM = "1"
+q = ""
+next_start = %EXEC "page_next $(START_ROW_NUM) $(RPT_MAXROWS) $(ROW_NUM)"
+prev_start = %EXEC "page_prev $(START_ROW_NUM) $(RPT_MAXROWS)"
+page_base = "/cgi-bin/db2www/browse.d2w/report?q=$(q)&START_ROW_NUM="
+next_link = ? "<A HREF=\\"$(page_base)$(next_start)\\">Next page</A>"
+prev_link = ? "<A HREF=\\"$(page_base)$(prev_start)\\">Previous page</A>"
+%}
+
+%SQL{
+SELECT url, title FROM urldb WHERE title LIKE '%$(q)%' ORDER BY title
+%SQL_REPORT{
+<UL>
+%ROW{<LI>#$(ROW_NUM) <A HREF="$(V_url)">$(V_title)</A>
+%}
+</UL>
+<P>Showing from row $(START_ROW_NUM) (page size $(RPT_MAXROWS)) of
+$(ROW_NUM) total matches.</P>
+%}
+%}
+
+%HTML_INPUT{<HTML><HEAD><TITLE>Browse URLs</TITLE></HEAD>
+<BODY>
+<H1>Browse the URL database</H1>
+<FORM METHOD="get" ACTION="/cgi-bin/db2www/browse.d2w/report">
+Title contains: <INPUT TYPE="text" NAME="q">
+<INPUT TYPE="submit" VALUE="Browse">
+</FORM>
+</BODY></HTML>
+%}
+
+%HTML_REPORT{<HTML><HEAD><TITLE>Browse URLs</TITLE></HEAD>
+<BODY>
+<H1>URL listing</H1>
+%EXEC_SQL
+<P>$(prev_link) $(next_link)</P>
+<P><A HREF="/cgi-bin/db2www/browse.d2w/input">New search</A></P>
+</BODY></HTML>
+%}
+"""
+
+
+def paging_exec_runner() -> RegistryExecRunner:
+    """The arithmetic commands the browse macro's %EXEC variables call.
+
+    Each returns either a row number as text or the null string, so the
+    conditional link variables show/hide themselves.
+    """
+    runner = RegistryExecRunner()
+
+    @runner.register("page_next")
+    def page_next(args: list[str]) -> str:
+        start, size, total = (int(a) for a in args)
+        next_start = start + size
+        return str(next_start) if next_start <= total else ""
+
+    @runner.register("page_prev")
+    def page_prev(args: list[str]) -> str:
+        start, size = int(args[0]), int(args[1])
+        if start <= 1:
+            return ""
+        return str(max(start - size, 1))
+
+    return runner
+
+
+@dataclass
+class PagingApp:
+    engine: MacroEngine
+    library: MacroLibrary
+    registry: DatabaseRegistry
+    database: MemoryDatabase
+    macro_name: str = MACRO_NAME
+    rows: int = 0
+
+    @property
+    def input_path(self) -> str:
+        return f"/cgi-bin/db2www/{self.macro_name}/input"
+
+    @property
+    def report_path(self) -> str:
+        return f"/cgi-bin/db2www/{self.macro_name}/report"
+
+
+def install(*, rows: int = 45, seed: int = 96,
+            registry: DatabaseRegistry | None = None,
+            library: MacroLibrary | None = None) -> PagingApp:
+    """Create the URL database and register the paging macro."""
+    registry = registry or DatabaseRegistry()
+    library = library or MacroLibrary()
+    if DATABASE_NAME not in registry:
+        database = registry.register_memory(DATABASE_NAME)
+        with database.connect() as conn:
+            inserted = seed_urldb(conn, rows, seed=seed)
+    else:  # share an existing URLDB (composing with the urlquery app)
+        database = None  # type: ignore[assignment]
+        inserted = rows
+    library.add_text(MACRO_NAME, BROWSE_MACRO)
+    engine = MacroEngine(registry, exec_runner=paging_exec_runner())
+    return PagingApp(engine=engine, library=library, registry=registry,
+                     database=database, rows=inserted)

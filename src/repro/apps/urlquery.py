@@ -1,0 +1,171 @@
+"""The Appendix A application: the URL database query.
+
+This is the paper's complete worked example — the macro whose input mode
+is Figure 7 and whose report mode is Figure 8.  The macro text below is
+the Appendix A source with the OCR damage of the scanned paper repaired
+(the scanned listing garbles several tag names) and nothing else changed:
+the hidden-variable ``$$`` idiom, the conditional ``D2``/``D3`` report
+columns, the OR-joined ``L_INFO`` search list and the ``SHOWSQL`` radio
+buttons are all exactly as published.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.datasets import seed_urldb
+from repro.core.engine import MacroEngine
+from repro.core.macrofile import MacroLibrary
+from repro.sql.connection import MemoryDatabase
+from repro.sql.gateway import DatabaseRegistry
+
+MACRO_NAME = "urlquery.d2w"
+DATABASE_NAME = "URLDB"
+
+URLQUERY_MACRO = """\
+%DEFINE{
+DATABASE = "URLDB"
+dbtbl = "urldb"
+%LIST " OR " L_INFO
+L_INFO = USE_URL ? "$(dbtbl).url LIKE '%$(SEARCH)%'" : ""
+L_INFO = USE_TITLE ? "$(dbtbl).title LIKE '%$(SEARCH)%'" : ""
+L_INFO = USE_DESC ? "$(dbtbl).description LIKE '%$(SEARCH)%'" : ""
+WHERELIST = ? "WHERE $(L_INFO)"
+%LIST " , " DBFIELDS
+D2 = ? "<BR>$(V2)"
+D3 = ? "<BR>$(V3)"
+%}
+
+%SQL{
+SELECT url, $(DBFIELDS)
+FROM $(dbtbl) $(WHERELIST) ORDER BY title
+%SQL_REPORT{
+Select any of the following to go to the specified URL:
+<UL>
+%ROW{<LI> <A HREF="$(V1)">$(V1)</A> $(D2) $(D3)
+%}
+</UL>
+%}
+%}
+
+%HTML_INPUT{<HTML><HEAD><TITLE>DB2 WWW URL Query</TITLE></HEAD>
+<BODY>
+<IMG SRC="/icons/headldg.gif" ALT="DB2 WWW">
+<H1>Query URL Information</H1>
+<P>Enter a search string to query URLs. You do not need to specify the
+entire value for a particular field. For example use "ib" instead of
+"ibm". URLs matching the query will be listed after the query.
+<P>
+<FORM METHOD="post"
+ ACTION="/cgi-bin/db2www/urlquery.d2w/report">
+Search String: <INPUT TYPE="text" NAME="SEARCH" SIZE=20 VALUE="ib">
+<P>
+Use the above search string in which of the following:
+<P>
+<INPUT TYPE="checkbox" NAME="USE_URL" VALUE="yes" CHECKED> URL<BR>
+<INPUT TYPE="checkbox" NAME="USE_TITLE" VALUE="yes" CHECKED> Title<BR>
+<INPUT TYPE="checkbox" NAME="USE_DESC" VALUE="yes"> Description
+<P>
+Note: If you unselect all of the above checkboxes, all of the URLs in
+the database will be displayed on output.
+<P>
+Please select what additional field(s) to see in the report:<BR>
+<SELECT NAME="DBFIELDS" SIZE=2 MULTIPLE>
+<OPTION VALUE="$$(hidden_a)" SELECTED> Title
+<OPTION VALUE="$$(hidden_b)">Description
+</SELECT>
+<P>
+<HR>
+Show SQL statement on output?
+<INPUT TYPE="radio" NAME="SHOWSQL" VALUE="YES"> Yes
+<INPUT TYPE="radio" NAME="SHOWSQL" VALUE="" CHECKED> No
+<P>
+<INPUT TYPE="submit" VALUE="Submit Query">
+<INPUT TYPE="reset" VALUE="Reset Input">
+</FORM>
+<HR>
+Other pages of interest:
+<UL>
+<LI><A HREF="http://www.ibm.com/">IBM Corporation</A>
+<LI><A HREF="http://www.software.ibm.com/data/db2/">DB2 Product Family</A>
+</UL>
+</BODY></HTML>
+%}
+
+%DEFINE{
+hidden_a = "title"
+hidden_b = "description"
+%}
+
+%HTML_REPORT{<HTML><HEAD><TITLE>DB2 WWW URL Query Result</TITLE></HEAD>
+<BODY>
+<IMG SRC="/icons/headldl.gif" ALT="DB2 WWW">
+<H1>URL Query Result</H1>
+<HR>
+%EXEC_SQL
+<HR>
+Other pages of interest:
+<UL>
+<LI><A HREF="http://www.ibm.com/">IBM Corporation</A>
+<LI><A HREF="/cgi-bin/db2www/urlquery.d2w/input">New URL query</A>
+</UL>
+</BODY></HTML>
+%}
+"""
+
+
+@dataclass
+class UrlQueryApp:
+    """The installed application: engine, macro library and database."""
+
+    engine: MacroEngine
+    library: MacroLibrary
+    registry: DatabaseRegistry
+    database: MemoryDatabase
+    macro_name: str = MACRO_NAME
+    rows: int = 0
+
+    @property
+    def input_path(self) -> str:
+        return f"/cgi-bin/db2www/{self.macro_name}/input"
+
+    @property
+    def report_path(self) -> str:
+        return f"/cgi-bin/db2www/{self.macro_name}/report"
+
+
+def install(*, rows: int = 150, seed: int = 96,
+            registry: DatabaseRegistry | None = None,
+            library: MacroLibrary | None = None,
+            engine: MacroEngine | None = None) -> UrlQueryApp:
+    """Create the URL database, seed it and register the macro.
+
+    Returns a ready :class:`UrlQueryApp`; compose it with
+    :func:`repro.apps.site.build_site` to serve it over HTTP/CGI.
+    """
+    registry = registry or DatabaseRegistry()
+    library = library or MacroLibrary()
+    database = registry.register_memory(DATABASE_NAME)
+    with database.connect() as conn:
+        inserted = seed_urldb(conn, rows, seed=seed)
+    library.add_text(MACRO_NAME, URLQUERY_MACRO)
+    engine = engine or MacroEngine(registry)
+    engine.registry = registry
+    return UrlQueryApp(engine=engine, library=library, registry=registry,
+                       database=database, rows=inserted)
+
+
+#: The exact variable bindings of Figure 3 — what the Web client sends
+#: when the user of Figure 2's form leaves the search box empty, keeps
+#: URL and Title checked, selects Title and Description in the list and
+#: leaves "Show SQL" on No.  (``USE_DESC`` and ``SHOWSQL`` do not travel:
+#: an unchecked checkbox and a value-less radio submit nothing, which the
+#: paper folds into "not defined and ... null string are treated
+#: identically".)
+FIGURE3_BINDINGS: list[tuple[str, str]] = [
+    ("SEARCH", ""),
+    ("USE_URL", "yes"),
+    ("USE_TITLE", "yes"),
+    ("DBFIELDS", "title"),
+    ("DBFIELDS", "description"),
+]

@@ -1,0 +1,166 @@
+"""Web-server statistics — the webmaster's wwwstat page, via the gateway.
+
+Every 1996 site ran a log summariser (wwwstat, getstats) over its
+Common Log Format access log.  This application does it with the
+paper's own machinery — which is the point: the access log is loaded
+into a relational table and the report pages are just macros, so the
+gateway reports on itself.
+
+Exercises pieces no other example combines: a run-time-selected named
+SQL section (`%EXEC_SQL($(view))`) over *aggregating* SQL (GROUP BY,
+ORDER BY count), fed by data produced by :mod:`repro.http.accesslog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.engine import MacroEngine
+from repro.core.macrofile import MacroLibrary
+from repro.http.accesslog import LogEntry
+from repro.sql.connection import MemoryDatabase
+from repro.sql.gateway import DatabaseRegistry
+
+MACRO_NAME = "webstats.d2w"
+DATABASE_NAME = "WEBSTATS"
+
+SCHEMA = """
+CREATE TABLE access_log (
+    host    VARCHAR(64)  NOT NULL,
+    method  VARCHAR(8)   NOT NULL,
+    path    VARCHAR(200) NOT NULL,
+    status  INTEGER      NOT NULL,
+    bytes   INTEGER      NOT NULL
+);
+"""
+
+WEBSTATS_MACRO = """\
+%DEFINE{
+DATABASE = "WEBSTATS"
+view = "top_pages"
+RPT_MAXROWS = "15"
+%}
+
+%SQL(top_pages){
+SELECT path, COUNT(*) AS hits, SUM(bytes) AS bytes_sent
+FROM access_log GROUP BY path ORDER BY hits DESC, path
+%SQL_REPORT{
+<H2>Most requested pages</H2>
+<TABLE BORDER=1>
+<TR><TH>$(N_path)</TH><TH>$(N_hits)</TH><TH>$(N_bytes_sent)</TH></TR>
+%ROW{<TR><TD>$(V_path)</TD><TD>$(V_hits)</TD><TD>$(V_bytes_sent)</TD></TR>
+%}
+</TABLE>
+%}
+%}
+
+%SQL(status_summary){
+SELECT status, COUNT(*) AS hits FROM access_log
+GROUP BY status ORDER BY status
+%SQL_REPORT{
+<H2>Responses by status code</H2>
+<UL>
+%ROW{<LI>$(V_status): $(V_hits) request(s)
+%}
+</UL>
+%}
+%}
+
+%SQL(top_hosts){
+SELECT host, COUNT(*) AS hits FROM access_log
+GROUP BY host ORDER BY hits DESC, host
+%SQL_REPORT{
+<H2>Busiest client hosts</H2>
+<UL>
+%ROW{<LI>$(V_host): $(V_hits) request(s)
+%}
+</UL>
+%}
+%}
+
+%SQL(errors){
+SELECT path, status, COUNT(*) AS hits FROM access_log
+WHERE status >= 400 GROUP BY path, status ORDER BY hits DESC
+%SQL_REPORT{
+<H2>Errors</H2>
+<UL>
+%ROW{<LI>$(V_status) on $(V_path): $(V_hits) time(s)
+%}
+</UL>
+<P>$(ROW_NUM) distinct error source(s).</P>
+%}
+%}
+
+%HTML_INPUT{<HTML><HEAD><TITLE>Server statistics</TITLE></HEAD>
+<BODY>
+<H1>Server statistics</H1>
+<FORM METHOD="get" ACTION="/cgi-bin/db2www/webstats.d2w/report">
+Report:
+<SELECT NAME="view">
+<OPTION VALUE="top_pages" SELECTED> Most requested pages
+<OPTION VALUE="status_summary">Status codes
+<OPTION VALUE="top_hosts">Busiest hosts
+<OPTION VALUE="errors">Errors
+</SELECT>
+<INPUT TYPE="submit" VALUE="Show">
+</FORM>
+</BODY></HTML>
+%}
+
+%HTML_REPORT{<HTML><HEAD><TITLE>Server statistics</TITLE></HEAD>
+<BODY>
+<H1>Server statistics</H1>
+%EXEC_SQL($(view))
+<P><A HREF="/cgi-bin/db2www/webstats.d2w/input">Other reports</A></P>
+</BODY></HTML>
+%}
+"""
+
+
+def load_entries(conn, entries: Iterable[LogEntry]) -> int:
+    """Import parsed log entries into the access_log table."""
+    count = 0
+    for entry in entries:
+        conn.execute(
+            "INSERT INTO access_log (host, method, path, status, bytes)"
+            " VALUES (?, ?, ?, ?, ?)",
+            (entry.host, entry.method, entry.path, entry.status,
+             max(entry.size, 0)))
+        count += 1
+    return count
+
+
+@dataclass
+class WebStatsApp:
+    engine: MacroEngine
+    library: MacroLibrary
+    registry: DatabaseRegistry
+    database: MemoryDatabase
+    imported: int
+
+    input_path: str = f"/cgi-bin/db2www/{MACRO_NAME}/input"
+    report_path: str = f"/cgi-bin/db2www/{MACRO_NAME}/report"
+
+    def reload(self, entries: Iterable[LogEntry]) -> int:
+        """Replace the imported log with fresh entries."""
+        with self.database.connect() as conn:
+            conn.execute("DELETE FROM access_log")
+            self.imported = load_entries(conn, entries)
+        return self.imported
+
+
+def install(entries: Iterable[LogEntry] = (), *,
+            registry: DatabaseRegistry | None = None,
+            library: MacroLibrary | None = None) -> WebStatsApp:
+    registry = registry or DatabaseRegistry()
+    library = library or MacroLibrary()
+    database = registry.register_memory(DATABASE_NAME)
+    with database.connect() as conn:
+        conn.executescript(SCHEMA)
+        imported = load_entries(conn, entries)
+    library.add_text(MACRO_NAME, WEBSTATS_MACRO)
+    engine = MacroEngine(registry)
+    return WebStatsApp(engine=engine, library=library,
+                       registry=registry, database=database,
+                       imported=imported)

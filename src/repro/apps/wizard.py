@@ -1,0 +1,151 @@
+"""A multi-step order wizard: the paper's "relating multiple
+client-server interactions on the web as part of the same application".
+
+Three macros form one stateful-feeling application over the stateless
+CGI gateway:
+
+1. ``wizard_customer.d2w`` — pick a customer (a query-backed SELECT);
+2. ``wizard_product.d2w``  — pick a product; the chosen customer rides
+   along in a hidden field;
+3. ``wizard_confirm.d2w``  — review (both choices now hidden fields) and
+   INSERT the order.
+
+Every hop forward carries the accumulated state in ``TYPE="hidden"``
+INPUT fields (Section 4.3: variables "preset by hidden fields in the
+HTML forms"), so the server keeps no session — 1996's only option, and
+still a perfectly sound design.  The hidden fields are *written by a SQL
+report block*, which is the part only this paper's mechanism makes
+declarative: the options list and the hidden state are both just
+substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.datasets import seed_orders
+from repro.core.builtins import standard_exec_runner
+from repro.core.engine import MacroEngine
+from repro.core.macrofile import MacroLibrary
+from repro.sql.connection import MemoryDatabase
+from repro.sql.gateway import DatabaseRegistry
+
+DATABASE_NAME = "CELDIAL"
+
+CUSTOMER_MACRO = """\
+%DEFINE DATABASE = "CELDIAL"
+
+%SQL{
+SELECT custid, name, city FROM customers ORDER BY name
+%SQL_REPORT{
+<SELECT NAME="wiz_cust">
+%ROW{<OPTION VALUE="$(V_custid)">$(V_name) ($(V_city))
+%}
+</SELECT>
+%}
+%}
+
+%HTML_REPORT{<HTML><HEAD><TITLE>Order Wizard 1/3</TITLE></HEAD>
+<BODY>
+<H1>Step 1 of 3: choose a customer</H1>
+<FORM METHOD="post" ACTION="/cgi-bin/db2www/wizard_product.d2w/report">
+%EXEC_SQL
+<P><INPUT TYPE="submit" VALUE="Continue"></P>
+</FORM>
+</BODY></HTML>
+%}
+"""
+
+PRODUCT_MACRO = """\
+%DEFINE DATABASE = "CELDIAL"
+
+%SQL{
+SELECT product_name, price FROM products ORDER BY product_name
+%SQL_REPORT{
+<SELECT NAME="wiz_prod">
+%ROW{<OPTION VALUE="$(V_product_name)">$(V_product_name) at $(V_price)
+%}
+</SELECT>
+%}
+%}
+
+%HTML_REPORT{<HTML><HEAD><TITLE>Order Wizard 2/3</TITLE></HEAD>
+<BODY>
+<H1>Step 2 of 3: choose a product</H1>
+<FORM METHOD="post" ACTION="/cgi-bin/db2www/wizard_confirm.d2w/report">
+<INPUT TYPE="hidden" NAME="wiz_cust" VALUE="$(wiz_cust)">
+%EXEC_SQL
+Quantity: <INPUT TYPE="text" NAME="wiz_qty" VALUE="1" SIZE=4>
+<P><INPUT TYPE="submit" VALUE="Continue"></P>
+</FORM>
+</BODY></HTML>
+%}
+"""
+
+CONFIRM_MACRO = """\
+%DEFINE DATABASE = "CELDIAL"
+%DEFINE wiz_qty = "1"
+
+%SQL(customer_line){
+SELECT name, city FROM customers WHERE custid = $(wiz_cust)
+%SQL_REPORT{
+%ROW{<P>Customer: $(V_name), $(V_city) (id $(wiz_cust))</P>%}
+%}
+%}
+
+%SQL(product_line){
+SELECT product_name, CAST(price * 100 AS INTEGER) AS cents
+FROM products WHERE product_name = '$(wiz_prod)'
+%SQL_REPORT{
+%ROW{<P>Product: $(V_product_name), $(wiz_qty) unit(s).</P>%}
+%}
+%}
+
+%SQL(record){
+INSERT INTO orders (custid, product_name, quantity)
+VALUES ($(wiz_cust), '$(wiz_prod)', $(wiz_qty))
+%SQL_REPORT{
+<P><B>Order recorded.</B></P>
+%}
+%SQL_MESSAGE{
+default : "<P><B>Could not record the order:</B> $(SQL_MESSAGE)</P>"
+%}
+%}
+
+%HTML_REPORT{<HTML><HEAD><TITLE>Order Wizard 3/3</TITLE></HEAD>
+<BODY>
+<H1>Step 3 of 3: confirmation</H1>
+%EXEC_SQL(customer_line)
+%EXEC_SQL(product_line)
+%EXEC_SQL(record)
+<P><A HREF="/cgi-bin/db2www/wizard_customer.d2w/report">Enter another
+order</A></P>
+</BODY></HTML>
+%}
+"""
+
+
+@dataclass
+class WizardApp:
+    engine: MacroEngine
+    library: MacroLibrary
+    registry: DatabaseRegistry
+    database: MemoryDatabase
+
+    start_path: str = "/cgi-bin/db2www/wizard_customer.d2w/report"
+
+
+def install(*, seed: int = 96,
+            registry: DatabaseRegistry | None = None,
+            library: MacroLibrary | None = None) -> WizardApp:
+    registry = registry or DatabaseRegistry()
+    library = library or MacroLibrary()
+    database = registry.register_memory(DATABASE_NAME)
+    with database.connect() as conn:
+        seed_orders(conn, seed=seed)
+    library.add_text("wizard_customer.d2w", CUSTOMER_MACRO)
+    library.add_text("wizard_product.d2w", PRODUCT_MACRO)
+    library.add_text("wizard_confirm.d2w", CONFIRM_MACRO)
+    engine = MacroEngine(registry, exec_runner=standard_exec_runner())
+    return WizardApp(engine=engine, library=library, registry=registry,
+                     database=database)

@@ -1,0 +1,28 @@
+"""Re-implementations of the Section 6 comparators.
+
+Each module exposes ``install_urlquery(registry)`` returning a CGI program
+serving the same URL-query workload, and ``developer_loc()`` reporting the
+authoring effort, so the CMP6 benchmark can compare all five gateways on
+identical terms.
+"""
+
+from repro.baselines import gsql, plsql, rawcgi, wdb  # noqa: F401
+from repro.baselines.comparison import (
+    CAPABILITIES,
+    GatewayProfile,
+    capability_table,
+    db2www_developer_loc,
+    profiles,
+)
+
+__all__ = [
+    "CAPABILITIES",
+    "GatewayProfile",
+    "capability_table",
+    "db2www_developer_loc",
+    "gsql",
+    "plsql",
+    "profiles",
+    "rawcgi",
+    "wdb",
+]

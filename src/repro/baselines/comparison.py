@@ -1,0 +1,166 @@
+"""The Section 6 comparison, made measurable.
+
+The paper compares DB2 WWW Connection qualitatively against GSQL, WDB,
+general scripting (Perl/REXX — our raw-CGI baseline stands in: a general
+program hand-printing HTML) and Oracle PL/SQL.  This module pins that
+comparison down as:
+
+* a **capability matrix** — the requirements list of Section 1 (easy to
+  build, full HTML for forms, full SQL, custom report layout, conditional
+  SQL assembly, hidden variables / multi-interaction linking, no coding,
+  usable with visual HTML/SQL tools, DBMS-independent), scored per
+  gateway from what each implementation can actually express; and
+* a **developer-effort table** — non-blank lines the application author
+  writes for the same URL-query application on each gateway.
+
+The latency/throughput leg of the comparison lives in
+``benchmarks/bench_cmp6_gateway_comparison.py``, which mounts all five
+programs side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.urlquery import URLQUERY_MACRO
+from repro.baselines import gsql, plsql, rawcgi, wdb
+
+#: The capability axes, drawn from the paper's Sections 1 and 6.
+CAPABILITIES: list[tuple[str, str]] = [
+    ("full_html", "Full power of HTML for input/report forms"),
+    ("full_sql", "Full power of SQL including updates"),
+    ("custom_report", "Custom layout of query reports"),
+    ("conditional_sql", "Conditional/list assembly of SQL from inputs"),
+    ("hidden_variables", "Hidden variables & multi-interaction linking"),
+    ("no_coding", "Applications built without procedural coding"),
+    ("visual_tools", "Native HTML/SQL usable with visual tools"),
+    ("auto_generation", "Forms derivable automatically from the schema"),
+    ("dbms_independent", "Not tied to a single DBMS vendor"),
+]
+
+
+@dataclass(frozen=True)
+class GatewayProfile:
+    """One gateway's scored capabilities and developer effort."""
+
+    name: str
+    description: str
+    capabilities: dict[str, bool]
+    developer_loc: int
+
+    def capability_count(self) -> int:
+        return sum(1 for v in self.capabilities.values() if v)
+
+
+def db2www_developer_loc() -> int:
+    """Non-blank lines of the Appendix A macro (all the author writes)."""
+    return sum(1 for line in URLQUERY_MACRO.splitlines() if line.strip())
+
+
+def profiles() -> list[GatewayProfile]:
+    """The five gateways of the comparison, scored.
+
+    The boolean scores restate the paper's prose: GSQL "does not allow
+    full use of SQL and HTML capabilities ... no mechanism for custom
+    layout"; WDB's "FDF files contain no information about the
+    input/output form layout ... very limited query and report form
+    building capabilities"; scripting/PL-SQL "requires extensive
+    programming"; PL/SQL "is primarily limited to Oracle databases".
+    """
+    return [
+        GatewayProfile(
+            name="db2www",
+            description="DB2 WWW Connection (this paper)",
+            capabilities={
+                "full_html": True,
+                "full_sql": True,
+                "custom_report": True,
+                "conditional_sql": True,
+                "hidden_variables": True,
+                "no_coding": True,
+                "visual_tools": True,
+                "auto_generation": False,
+                "dbms_independent": True,
+            },
+            developer_loc=db2www_developer_loc(),
+        ),
+        GatewayProfile(
+            name="gsql",
+            description="GSQL-style hybrid declarative language",
+            capabilities={
+                "full_html": False,
+                "full_sql": False,
+                "custom_report": False,
+                "conditional_sql": False,
+                "hidden_variables": False,
+                "no_coding": True,
+                "visual_tools": False,
+                "auto_generation": False,
+                "dbms_independent": True,
+            },
+            developer_loc=gsql.developer_loc(),
+        ),
+        GatewayProfile(
+            name="wdb",
+            description="WDB-style FDF generator + runtime",
+            capabilities={
+                "full_html": False,
+                "full_sql": False,
+                "custom_report": False,
+                "conditional_sql": False,
+                "hidden_variables": False,
+                "no_coding": True,
+                "visual_tools": False,
+                "auto_generation": True,
+                "dbms_independent": True,
+            },
+            developer_loc=wdb.developer_loc(),
+        ),
+        GatewayProfile(
+            name="rawcgi",
+            description="Hand-coded CGI program (Perl/REXX stand-in)",
+            capabilities={
+                "full_html": True,
+                "full_sql": True,
+                "custom_report": True,
+                "conditional_sql": True,
+                "hidden_variables": True,
+                "no_coding": False,
+                "visual_tools": False,
+                "auto_generation": False,
+                "dbms_independent": True,
+            },
+            developer_loc=rawcgi.developer_loc(),
+        ),
+        GatewayProfile(
+            name="plsql",
+            description="PL/SQL-style stored-procedure HTML printing",
+            capabilities={
+                "full_html": True,
+                "full_sql": True,
+                "custom_report": True,
+                "conditional_sql": True,
+                "hidden_variables": False,
+                "no_coding": False,
+                "visual_tools": False,
+                "auto_generation": False,
+                "dbms_independent": False,
+            },
+            developer_loc=plsql.developer_loc(),
+        ),
+    ]
+
+
+def capability_table() -> str:
+    """Render the matrix as fixed-width text (the CMP6 bench prints it)."""
+    rows = profiles()
+    name_width = max(len(key) for key, _ in CAPABILITIES)
+    header = " ".join(f"{p.name:>8}" for p in rows)
+    lines = [f"{'capability':<{name_width}} {header}"]
+    for key, _label in CAPABILITIES:
+        cells = " ".join(
+            f"{'yes' if p.capabilities[key] else '-':>8}" for p in rows)
+        lines.append(f"{key:<{name_width}} {cells}")
+    loc_cells = " ".join(f"{p.developer_loc:>8}" for p in rows)
+    lines.append(f"{'developer_loc':<{name_width}} {loc_cells}")
+    return "\n".join(lines)

@@ -1,0 +1,225 @@
+"""Baseline: a GSQL-style gateway (Section 6, [GSQL]).
+
+"GSQL uses an intermediate declarative language which is a hybrid of SQL
+and HTML.  The GSQL language is simpler than pure HTML and SQL ...  This
+language, however, is quite restrictive and its method of variable
+substitution does not allow full use of SQL and HTML capabilities.
+Furthermore, there is no mechanism defined for custom layout of query
+reports."
+
+The *proc file* implemented here captures that design point: a handful of
+declarative directives, automatic form generation (no HTML authoring, no
+layout control), ``$name`` placeholder substitution into one SQL template
+(no conditionals, no list joining — missing inputs substitute as empty
+text), and a fixed tabular report.
+
+Proc-file directives (one per line; ``#`` comments)::
+
+    TITLE:  page title text
+    FIELD:  name|label|type[|value]     type: text, checkbox, select
+    OPTION: fieldname|label|value       options for a select field
+    SQL:    the query template with $name placeholders
+    SHOW:   comma-separated result columns (informational)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.cgi.request import CgiRequest, CgiResponse
+from repro.errors import ReproError, SQLError
+from repro.html import builder
+from repro.html.entities import escape_html
+from repro.sql.gateway import DatabaseRegistry
+
+_PLACEHOLDER_RE = re.compile(r"\$([A-Za-z_][A-Za-z0-9_]*)")
+
+
+class ProcFileError(ReproError):
+    """The proc file is malformed."""
+
+
+@dataclass
+class ProcField:
+    name: str
+    label: str
+    type: str = "text"
+    value: str = ""
+    options: list[tuple[str, str]] = field(default_factory=list)
+
+
+@dataclass
+class ProcFile:
+    """A parsed GSQL-style proc file."""
+
+    title: str = "GSQL Query"
+    fields: list[ProcField] = field(default_factory=list)
+    sql_template: str = ""
+    show: list[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, text: str) -> "ProcFile":
+        proc = cls()
+        by_name: dict[str, ProcField] = {}
+        for line_no, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            keyword, sep, rest = line.partition(":")
+            if not sep:
+                raise ProcFileError(
+                    f"line {line_no}: expected 'KEYWORD: ...'")
+            keyword = keyword.strip().upper()
+            rest = rest.strip()
+            if keyword == "TITLE":
+                proc.title = rest
+            elif keyword == "FIELD":
+                parts = [p.strip() for p in rest.split("|")]
+                if len(parts) < 2:
+                    raise ProcFileError(
+                        f"line {line_no}: FIELD needs name|label")
+                fld = ProcField(
+                    name=parts[0], label=parts[1],
+                    type=parts[2] if len(parts) > 2 else "text",
+                    value=parts[3] if len(parts) > 3 else "")
+                proc.fields.append(fld)
+                by_name[fld.name] = fld
+            elif keyword == "OPTION":
+                parts = [p.strip() for p in rest.split("|")]
+                if len(parts) != 3 or parts[0] not in by_name:
+                    raise ProcFileError(
+                        f"line {line_no}: OPTION needs known-field|label"
+                        "|value")
+                by_name[parts[0]].options.append((parts[1], parts[2]))
+            elif keyword == "SQL":
+                proc.sql_template = rest
+            elif keyword == "SHOW":
+                proc.show = [c.strip() for c in rest.split(",")
+                             if c.strip()]
+            else:
+                raise ProcFileError(
+                    f"line {line_no}: unknown directive {keyword!r}")
+        if not proc.sql_template:
+            raise ProcFileError("proc file defines no SQL template")
+        return proc
+
+    # -- the restrictive substitution the paper criticises ---------------
+
+    def build_sql(self, inputs: dict[str, str]) -> str:
+        """Substitute ``$name`` placeholders with (quote-escaped) values.
+
+        No conditionals: a missing input becomes the empty string, which
+        is how GSQL-style templates end up with ``LIKE '%%'`` catch-alls —
+        a behaviour the comparison benchmark points at.
+        """
+        def replace(match: re.Match[str]) -> str:
+            return inputs.get(match.group(1), "").replace("'", "''")
+        return _PLACEHOLDER_RE.sub(replace, self.sql_template)
+
+
+class GsqlProgram:
+    """CGI program serving one proc file (auto form + auto table)."""
+
+    def __init__(self, proc: ProcFile, registry: DatabaseRegistry,
+                 database: str, *, mount: str = "/cgi-bin/gsql"):
+        self.proc = proc
+        self.registry = registry
+        self.database = database
+        self.mount = mount
+
+    def run(self, request: CgiRequest) -> CgiResponse:
+        components = request.path_components()
+        command = components[0] if components else "input"
+        if command == "input":
+            html = self._render_form()
+        else:
+            html = self._render_report(dict(request.input_pairs()))
+        return CgiResponse(headers=[("Content-Type", "text/html")],
+                           body=html.encode("utf-8"))
+
+    # -- automatic form: the layout is the gateway's, not the author's ---
+
+    def _render_form(self) -> str:
+        rows: list[str] = []
+        for fld in self.proc.fields:
+            if fld.type == "text":
+                control = builder.element(
+                    "input", type_="text", name=fld.name, value=fld.value)
+            elif fld.type == "checkbox":
+                control = builder.element(
+                    "input", type_="checkbox", name=fld.name,
+                    value=fld.value or "on")
+            elif fld.type == "select":
+                options = "".join(
+                    builder.element("option", builder.text(label),
+                                    value=value)
+                    for label, value in fld.options)
+                control = builder.element("select", options,
+                                          name=fld.name)
+            else:
+                control = builder.text(f"[unsupported type {fld.type}]")
+            rows.append(builder.element(
+                "p", builder.text(fld.label + ": "), control))
+        form = builder.element(
+            "form", *rows,
+            builder.element("input", type_="submit", value="Run Query"),
+            method="post", action=f"{self.mount}/report")
+        return builder.page(self.proc.title,
+                            builder.element(
+                                "h1", builder.text(self.proc.title)),
+                            form)
+
+    # -- automatic report: fixed table, no custom layout possible --------
+
+    def _render_report(self, inputs: dict[str, str]) -> str:
+        sql = self.proc.build_sql(inputs)
+        conn = self.registry.connect(self.database)
+        try:
+            try:
+                cursor = conn.execute(sql)
+            except SQLError as exc:
+                return builder.page(
+                    self.proc.title,
+                    builder.element("h1", builder.text("Query failed")),
+                    builder.element("pre", builder.text(str(exc))))
+            columns = cursor.column_names
+            header = "".join(
+                f"<TH>{escape_html(c)}</TH>" for c in columns)
+            body_rows = []
+            for row in cursor:
+                cells = "".join(
+                    f"<TD>{escape_html('' if v is None else str(v))}</TD>"
+                    for v in row)
+                body_rows.append(f"<TR>{cells}</TR>\n")
+        finally:
+            conn.close()
+        table = (f"<TABLE BORDER=1>\n<TR>{header}</TR>\n"
+                 + "".join(body_rows) + "</TABLE>\n")
+        return builder.page(
+            self.proc.title + " - result",
+            builder.element("h1", builder.text(self.proc.title)),
+            table)
+
+
+#: The URL-query application as a GSQL-style proc file.  Note what it
+#: *cannot* express, per the paper: OR-joining only the checked fields
+#: (the template hard-codes a title search), hidden variables, custom
+#: hyperlinked report layout.
+URLQUERY_PROC = """\
+TITLE: Query URL Information (GSQL)
+FIELD: SEARCH|Search string|text|ib
+SQL: SELECT url, title, description FROM urldb \
+WHERE title LIKE '%$SEARCH%' OR url LIKE '%$SEARCH%' ORDER BY title
+SHOW: url, title, description
+"""
+
+
+def install_urlquery(registry: DatabaseRegistry,
+                     database: str = "URLDB") -> GsqlProgram:
+    return GsqlProgram(ProcFile.parse(URLQUERY_PROC), registry, database)
+
+
+def developer_loc() -> int:
+    """Lines the application developer writes: the proc file."""
+    return sum(1 for line in URLQUERY_PROC.splitlines() if line.strip())

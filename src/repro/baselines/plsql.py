@@ -1,0 +1,152 @@
+"""Baseline: a PL/SQL-style stored-procedure gateway (Section 6,
+[PL/SQL]).
+
+"In Oracle's PL/SQL, a new mechanism is provided to send the HTML output
+from the PL/SQL stored procedure back to the Web CGI's output stream ...
+However, building applications requires extensive programming (as in the
+scripting languages described above), and the PL/SQL language is primarily
+limited to Oracle databases."
+
+The shape reproduced here: application logic lives in *stored procedures*
+registered with the gateway; each procedure receives an ``htp`` writer
+(Oracle's hypertext-procedures package, our
+:class:`repro.html.builder.HtmlWriter`), the request parameters and a
+database connection, and prints the page imperatively.  The URL selects
+the procedure: ``/cgi-bin/owa/<procedure>?param=value``.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Protocol
+
+from repro.cgi.gateway import error_response
+from repro.cgi.request import CgiRequest, CgiResponse
+from repro.html.builder import HtmlWriter
+from repro.html.entities import escape_html
+from repro.sql.connection import Connection
+from repro.sql.gateway import DatabaseRegistry
+
+
+class StoredProcedure(Protocol):
+    def __call__(self, htp: HtmlWriter, params: dict[str, str],
+                 conn: Connection) -> None:  # pragma: no cover
+        ...
+
+
+class ProcedureRegistry:
+    """Named stored procedures, as the Oracle web agent kept them."""
+
+    def __init__(self) -> None:
+        self._procedures: dict[str, StoredProcedure] = {}
+
+    def register(self, name: str,
+                 proc: StoredProcedure | None = None):
+        if proc is None:
+            def decorator(f: StoredProcedure) -> StoredProcedure:
+                self._procedures[name] = f
+                return f
+            return decorator
+        self._procedures[name] = proc
+        return proc
+
+    def get(self, name: str) -> StoredProcedure | None:
+        return self._procedures.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._procedures)
+
+
+class PlsqlProgram:
+    """The web agent CGI program dispatching to stored procedures."""
+
+    def __init__(self, registry: DatabaseRegistry, database: str,
+                 procedures: ProcedureRegistry):
+        self.registry = registry
+        self.database = database
+        self.procedures = procedures
+
+    def run(self, request: CgiRequest) -> CgiResponse:
+        components = request.path_components()
+        if not components:
+            return error_response(404, "Not Found",
+                                  "no procedure named in URL")
+        procedure = self.procedures.get(components[0])
+        if procedure is None:
+            return error_response(
+                404, "Not Found",
+                f"no stored procedure {components[0]!r}")
+        params = dict(request.input_pairs())
+        htp = HtmlWriter()
+        conn = self.registry.connect(self.database)
+        try:
+            procedure(htp, params, conn)
+        finally:
+            conn.close()
+        return CgiResponse(headers=[("Content-Type", "text/html")],
+                           body=htp.getvalue().encode("utf-8"))
+
+
+# ---------------------------------------------------------------------------
+# The URL-query application as a pair of stored procedures
+# ---------------------------------------------------------------------------
+
+
+def urlquery_form(htp: HtmlWriter, params: dict[str, str],
+                  conn: Connection) -> None:
+    """Input-form procedure: every tag printed from code."""
+    htp.print("<HTML><HEAD><TITLE>URL Query (PL/SQL)</TITLE></HEAD>")
+    htp.print("<BODY><H1>Query URL Information</H1>")
+    htp.print('<FORM METHOD="post" '
+              'ACTION="/cgi-bin/owa/urlquery_report">')
+    htp.print('Search String: '
+              '<INPUT TYPE="text" NAME="SEARCH" VALUE="ib">')
+    htp.print('<P><INPUT TYPE="checkbox" NAME="USE_URL" VALUE="yes" '
+              'CHECKED> URL<BR>')
+    htp.print('<INPUT TYPE="checkbox" NAME="USE_TITLE" VALUE="yes" '
+              'CHECKED> Title<BR>')
+    htp.print('<INPUT TYPE="checkbox" NAME="USE_DESC" VALUE="yes"> '
+              'Description')
+    htp.print('<P><INPUT TYPE="submit" VALUE="Submit Query">')
+    htp.print("</FORM></BODY></HTML>")
+
+
+def urlquery_report(htp: HtmlWriter, params: dict[str, str],
+                    conn: Connection) -> None:
+    """Report procedure: SQL assembly and row printing by hand."""
+    search = params.get("SEARCH", "").replace("'", "''")
+    conditions = []
+    if params.get("USE_URL"):
+        conditions.append(f"url LIKE '%{search}%'")
+    if params.get("USE_TITLE"):
+        conditions.append(f"title LIKE '%{search}%'")
+    if params.get("USE_DESC"):
+        conditions.append(f"description LIKE '%{search}%'")
+    where = f" WHERE {' OR '.join(conditions)}" if conditions else ""
+    htp.print("<HTML><HEAD><TITLE>URL Query Result (PL/SQL)"
+              "</TITLE></HEAD>")
+    htp.print("<BODY><H1>URL Query Result</H1><HR><UL>")
+    cursor = conn.execute(
+        f"SELECT url, title FROM urldb{where} ORDER BY title")
+    for url, title in cursor:
+        htp.print(f'<LI> <A HREF="{url}">{escape_html(str(title))}</A>')
+    htp.print("</UL><HR></BODY></HTML>")
+
+
+def install_urlquery(registry: DatabaseRegistry,
+                     database: str = "URLDB") -> PlsqlProgram:
+    procedures = ProcedureRegistry()
+    procedures.register("urlquery_form", urlquery_form)
+    procedures.register("urlquery_report", urlquery_report)
+    return PlsqlProgram(registry, database, procedures)
+
+
+def developer_loc() -> int:
+    """Lines the application developer writes: both procedures."""
+    total = 0
+    for func in (urlquery_form, urlquery_report):
+        source = inspect.getsource(func)
+        total += sum(1 for line in source.splitlines()
+                     if line.strip() and not line.strip().startswith("#")
+                     and '"""' not in line)
+    return total

@@ -1,0 +1,6 @@
+"""Simulated Web client (browser) substrate — Section 2.1's user loop."""
+
+from repro.browser.client import Browser
+from repro.browser.page import Link, Page
+
+__all__ = ["Browser", "Link", "Page"]

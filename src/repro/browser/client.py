@@ -1,0 +1,125 @@
+"""The simulated Web client — the user's half of Section 2.1.
+
+"A user fires up a Web client (e.g., Mosaic, Netscape, WebExplorer) and
+uses it to access a URL ... The user on viewing the resulting form can
+start the process all over again by clicking on another hypertext link in
+the current form."  :class:`Browser` reproduces that loop over any
+:class:`~repro.http.inprocess.Transport`: fetch a URL, parse the page,
+fill the forms, submit (GET or POST per the form's METHOD), follow
+links and redirects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cgi.query_string import encode_pairs
+from repro.errors import HttpError
+from repro.html.forms import Form, SubmitControl
+from repro.html.parser import parse_html
+from repro.http.headers import Headers
+from repro.http.inprocess import Transport
+from repro.http.message import HttpRequest
+from repro.http.urls import Url, join
+
+from repro.browser.page import Link, Page
+
+#: How many consecutive redirects the browser follows before giving up.
+MAX_REDIRECTS = 5
+
+
+class Browser:
+    """Drives Web applications the way an end user did in 1996."""
+
+    def __init__(self, transport: Transport, *,
+                 base_url: str | Url = "http://localhost/"):
+        self.transport = transport
+        self.base_url = (base_url if isinstance(base_url, Url)
+                         else Url.parse(str(base_url)))
+        self.page: Optional[Page] = None
+        self.history: list[Url] = []
+
+    # -- navigation ---------------------------------------------------------
+
+    def get(self, url: str | Url) -> Page:
+        """Access a URL (step 1 of Section 2.1)."""
+        resolved = self._resolve(url)
+        request = HttpRequest(method="GET",
+                              target=resolved.request_target,
+                              headers=Headers())
+        return self._perform(resolved, request)
+
+    def follow(self, link: Link | str) -> Page:
+        """Click a hyperlink on the current page."""
+        page = self._require_page()
+        if isinstance(link, str):
+            link = page.link(link)
+        return self.get(link.resolve(page.url))
+
+    def submit(self, form: Form, *,
+               click: Optional[str | SubmitControl] = None) -> Page:
+        """Submit a (filled) form from the current page.
+
+        GET forms put the pairs in the URL query string; POST forms send
+        them form-urlencoded on the request body — the two CGI data paths
+        of Figure 4.
+        """
+        page = self._require_page()
+        pairs = form.submission_pairs(click)
+        encoded = encode_pairs(pairs)
+        action_url = join(page.url, form.action) if form.action else page.url
+        if form.method == "POST":
+            headers = Headers()
+            headers.set("Content-Type",
+                        "application/x-www-form-urlencoded")
+            request = HttpRequest(
+                method="POST", target=action_url.request_target,
+                headers=headers, body=encoded.encode("utf-8"))
+            return self._perform(action_url, request)
+        target_url = action_url.with_query(encoded)
+        request = HttpRequest(method="GET",
+                              target=target_url.request_target,
+                              headers=Headers())
+        return self._perform(target_url, request)
+
+    def back(self) -> Page:
+        """Return to the previous page (re-fetches, as HTTP/1.0 did
+        without a cache)."""
+        if len(self.history) < 2:
+            raise HttpError("no earlier page in history")
+        self.history.pop()            # current page
+        previous = self.history.pop()  # target (get() re-appends it)
+        return self.get(previous)
+
+    # -- internals ------------------------------------------------------------
+
+    def _resolve(self, url: str | Url) -> Url:
+        if isinstance(url, Url):
+            return url
+        text = str(url)
+        if "://" in text:
+            return Url.parse(text)
+        base = self.page.url if self.page is not None else self.base_url
+        return join(base, text)
+
+    def _perform(self, url: Url, request: HttpRequest) -> Page:
+        response = self.transport.fetch(url, request)
+        redirects = 0
+        while response.status in (301, 302) and redirects < MAX_REDIRECTS:
+            location = response.headers.get("Location")
+            if not location:
+                break
+            url = join(url, location)
+            request = HttpRequest(method="GET", target=url.request_target,
+                                  headers=Headers())
+            response = self.transport.fetch(url, request)
+            redirects += 1
+        document = parse_html(response.text)
+        self.page = Page.build(url, response, document)
+        self.history.append(url)
+        return self.page
+
+    def _require_page(self) -> Page:
+        if self.page is None:
+            raise HttpError("browser has no current page")
+        return self.page

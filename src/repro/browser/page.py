@@ -1,0 +1,77 @@
+"""A fetched, parsed Web page as the browser holds it."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.html.dom import Document, Element
+from repro.html.forms import Form, extract_forms
+from repro.html.render import render_text
+from repro.http.message import HttpResponse
+from repro.http.urls import Url, join
+
+
+@dataclass
+class Link:
+    """A hyperlink found on a page."""
+
+    text: str
+    href: str
+
+    def resolve(self, base: Url) -> Url:
+        return join(base, self.href)
+
+
+@dataclass
+class Page:
+    """One displayed page: DOM, forms and hyperlinks, plus provenance."""
+
+    url: Url
+    response: HttpResponse
+    document: Document
+    forms: list[Form] = field(default_factory=list)
+    links: list[Link] = field(default_factory=list)
+
+    @property
+    def status(self) -> int:
+        return self.response.status
+
+    @property
+    def title(self) -> str:
+        return self.document.title
+
+    @property
+    def html(self) -> str:
+        return self.response.text
+
+    def render(self, *, width: int = 72) -> str:
+        """The page as a text-mode browser would display it."""
+        return render_text(self.document, width=width)
+
+    # -- lookups the browser API builds on ---------------------------------
+
+    def form(self, index: int = 0) -> Form:
+        return self.forms[index]
+
+    def link(self, text_or_href: str) -> Link:
+        """Find a link by (substring of) its anchor text or exact href."""
+        for link in self.links:
+            if link.href == text_or_href:
+                return link
+        for link in self.links:
+            if text_or_href in link.text:
+                return link
+        raise LookupError(f"no link matching {text_or_href!r} on page")
+
+    @classmethod
+    def build(cls, url: Url, response: HttpResponse,
+              document: Document) -> "Page":
+        links = [
+            Link(text=" ".join(a.get_text().split()), href=a.get("href"))
+            for a in document.find_all("a") if a.get("href")
+        ]
+        return cls(url=url, response=response, document=document,
+                   forms=extract_forms(document), links=links)
+
+    def find_all(self, *tags: str) -> list[Element]:
+        return self.document.find_all(*tags)

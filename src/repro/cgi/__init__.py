@@ -1,0 +1,44 @@
+"""The common gateway interface substrate (Section 2.3, Figure 4).
+
+Public surface:
+
+* :class:`CgiEnvironment` / :func:`split_cgi_path` — CGI/1.1 meta-variables
+* :class:`CgiRequest` / :class:`CgiResponse` — program-side I/O objects
+* :class:`CgiGateway` — the server's program table and dispatcher
+* :class:`Db2WwwProgram` — the paper's DB2WWW executable, in-process
+* :class:`FunctionProgram` — mount a plain function as a CGI app
+* :class:`SubprocessCgiRunner` — faithful process-per-request execution
+* :mod:`repro.cgi.query_string` — the form-urlencoding codec
+"""
+
+from repro.cgi.environ import CgiEnvironment, split_cgi_path
+from repro.cgi.gateway import (
+    CgiGateway,
+    Db2WwwProgram,
+    FunctionProgram,
+    error_response,
+)
+from repro.cgi.process import SubprocessCgiRunner
+from repro.cgi.query_string import (
+    decode_component,
+    decode_pairs,
+    encode_component,
+    encode_pairs,
+)
+from repro.cgi.request import CgiRequest, CgiResponse
+
+__all__ = [
+    "CgiEnvironment",
+    "CgiGateway",
+    "CgiRequest",
+    "CgiResponse",
+    "Db2WwwProgram",
+    "FunctionProgram",
+    "SubprocessCgiRunner",
+    "decode_component",
+    "decode_pairs",
+    "encode_component",
+    "encode_pairs",
+    "error_response",
+    "split_cgi_path",
+]

@@ -1,0 +1,79 @@
+"""The DB2WWW executable: ``python -m repro.cgi.db2www_main``.
+
+This is the stand-alone CGI entry point a web server spawns per request
+(Figure 4's ``db2www.exe``).  It reads the CGI environment from the
+process environment, the POST body from standard input, runs the macro
+engine, and writes a CGI response (headers, blank line, page) to standard
+output.
+
+Configuration travels in environment variables the server administrator
+sets (the 1996 equivalent was the DB2WWW initialisation file):
+
+``REPRO_MACRO_DIR``
+    Directory containing ``.d2w`` macro files.  Required.
+``REPRO_DATABASE_<NAME>``
+    Filesystem path of the SQLite database to register under the macro
+    database name ``<NAME>`` (upper-cased in the variable; the macro's
+    ``DATABASE`` value is matched case-sensitively against the original
+    name, which is taken as upper-case here).
+``REPRO_TRANSACTION_MODE``
+    ``auto_commit`` (default) or ``single``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.cgi.environ import CgiEnvironment
+from repro.cgi.gateway import Db2WwwProgram, error_response
+from repro.cgi.request import CgiRequest
+from repro.core.engine import EngineConfig, MacroEngine
+from repro.core.macrofile import MacroLibrary
+from repro.sql.gateway import DatabaseRegistry
+from repro.sql.transactions import TransactionMode
+
+_DB_PREFIX = "REPRO_DATABASE_"
+
+
+def build_program(env: dict[str, str]) -> Db2WwwProgram:
+    """Construct the engine and library from server configuration."""
+    macro_dir = env.get("REPRO_MACRO_DIR")
+    if not macro_dir:
+        raise RuntimeError("REPRO_MACRO_DIR is not configured")
+    registry = DatabaseRegistry()
+    for key, value in env.items():
+        if key.startswith(_DB_PREFIX) and value:
+            registry.register_path(key[len(_DB_PREFIX):], value)
+    try:
+        mode = TransactionMode.parse(
+            env.get("REPRO_TRANSACTION_MODE", "auto_commit"))
+    except ValueError as exc:
+        raise RuntimeError(f"REPRO_TRANSACTION_MODE: {exc}") from exc
+    engine = MacroEngine(registry,
+                         config=EngineConfig(transaction_mode=mode))
+    library = MacroLibrary(macro_dir)
+    return Db2WwwProgram(engine, library)
+
+
+def main(env: dict[str, str] | None = None,
+         stdin: bytes | None = None) -> bytes:
+    """Process one CGI request; returns the raw CGI output bytes."""
+    env = dict(os.environ) if env is None else env
+    environ = CgiEnvironment.from_dict(env)
+    if stdin is None:
+        length = environ.content_length
+        stdin = sys.stdin.buffer.read(length) if length else b""
+    request = CgiRequest(environ=environ, stdin=stdin)
+    try:
+        program = build_program(env)
+    except RuntimeError as exc:
+        return error_response(500, "Configuration Error",
+                              str(exc)).serialize()
+    response = program.run(request)
+    return response.serialize()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.stdout.buffer.write(main())
+    sys.stdout.buffer.flush()

@@ -1,0 +1,148 @@
+"""The CGI dispatcher and the DB2WWW CGI program.
+
+This is the box labelled *DB2WWW* in Figures 4–6: a program the web server
+invokes through CGI, receiving ``{macro-file}`` and ``{cmd}`` in
+``PATH_INFO`` and the HTML input variables through ``QUERY_STRING`` or
+standard input, and emitting a dynamically generated HTML page.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Callable, Protocol
+
+from repro.cgi.request import CgiRequest, CgiResponse
+from repro.core.engine import MacroCommand, MacroEngine
+from repro.core.macrofile import MacroLibrary, MacroNameError
+from repro.errors import (
+    MacroError,
+    MacroExecutionError,
+    ReproError,
+    SQLError,
+    UnknownCgiProgramError,
+)
+from repro.html.entities import escape_html
+
+
+class CgiProgram(Protocol):
+    """Anything the gateway can run as a CGI application."""
+
+    def run(self, request: CgiRequest) -> CgiResponse:  # pragma: no cover
+        ...
+
+
+class CgiGateway:
+    """The web server's table of installed CGI programs.
+
+    Section 2.3: "any other executable program can be invoked in place of
+    DB2WWW" — the gateway is name-indexed and program-agnostic, which is
+    also how the baseline gateways of Section 6 get mounted for the
+    comparison benchmarks.
+    """
+
+    def __init__(self) -> None:
+        self._programs: dict[str, CgiProgram] = {}
+
+    def install(self, name: str, program: CgiProgram) -> None:
+        self._programs[name] = program
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._programs
+
+    def names(self) -> list[str]:
+        return sorted(self._programs)
+
+    def dispatch(self, name: str, request: CgiRequest) -> CgiResponse:
+        """Run the named program; errors become 5xx pages, not crashes.
+
+        A misbehaving CGI program must not take the server down — httpd
+        turned exceptions (process failures) into "500 Internal Server
+        Error" pages, and so do we, embedding the error class for the
+        application developer.
+        """
+        program = self._programs.get(name)
+        if program is None:
+            raise UnknownCgiProgramError(f"no CGI program named {name!r}")
+        try:
+            return program.run(request)
+        except ReproError as exc:
+            return error_response(500, "Internal Server Error",
+                                  f"{type(exc).__name__}: {exc}")
+        except Exception:  # noqa: BLE001 - server survival trumps purity
+            return error_response(500, "Internal Server Error",
+                                  traceback.format_exc())
+
+
+def error_response(status: int, reason: str, detail: str) -> CgiResponse:
+    body = (
+        f"<HTML><HEAD><TITLE>{status} {escape_html(reason)}</TITLE></HEAD>\n"
+        f"<BODY><H1>{status} {escape_html(reason)}</H1>\n"
+        f"<PRE>{escape_html(detail)}</PRE></BODY></HTML>\n"
+    ).encode("utf-8")
+    return CgiResponse(status=status, reason=reason,
+                       headers=[("Content-Type", "text/html")], body=body)
+
+
+class Db2WwwProgram:
+    """The DB2 WWW Connection executable (Section 4).
+
+    URL contract (the paper's invocation syntax)::
+
+        /cgi-bin/db2www/{macro-file}/{cmd}[?name=val&...]
+
+    ``{cmd}`` is ``input`` or ``report``.  The program loads the macro
+    from its :class:`MacroLibrary`, runs the engine in the requested mode
+    with the request's HTML input variables, and writes the generated
+    page.  Errors map to period-appropriate pages: unknown macro → 404,
+    bad command → 400, macro/SQL failures → 500 with the engine's message.
+    """
+
+    def __init__(self, engine: MacroEngine, library: MacroLibrary, *,
+                 charset: str = "utf-8"):
+        self.engine = engine
+        self.library = library
+        self.charset = charset
+
+    def run(self, request: CgiRequest) -> CgiResponse:
+        components = request.path_components()
+        if len(components) != 2:
+            return error_response(
+                400, "Bad Request",
+                "expected PATH_INFO of the form /{macro-file}/{cmd}")
+        macro_name, command_text = components
+        try:
+            macro = self.library.load(macro_name)
+        except MacroNameError as exc:
+            return error_response(404, "Not Found", str(exc))
+        except MacroError as exc:
+            return error_response(500, "Macro Error", str(exc))
+        try:
+            command = MacroCommand.parse(command_text)
+        except MacroExecutionError as exc:
+            return error_response(400, "Bad Request", str(exc))
+        try:
+            result = self.engine.execute(macro, command,
+                                         request.input_pairs())
+        except (MacroError, MacroExecutionError, SQLError) as exc:
+            return error_response(500, "Macro Execution Error",
+                                  f"{type(exc).__name__}: {exc}")
+        body = result.html.encode(self.charset, "replace")
+        content_type = result.content_type
+        if "charset=" not in content_type:
+            content_type = f"{content_type}; charset={self.charset}"
+        return CgiResponse(
+            headers=[("Content-Type", content_type)], body=body)
+
+
+class FunctionProgram:
+    """Adapter: mount a plain function as a CGI program.
+
+    Used by the hand-coded raw-CGI baseline (the intro's "stand-alone
+    program" approach) and by tests.
+    """
+
+    def __init__(self, func: Callable[[CgiRequest], CgiResponse]):
+        self.func = func
+
+    def run(self, request: CgiRequest) -> CgiResponse:
+        return self.func(request)

@@ -1,0 +1,57 @@
+"""Process-per-request CGI: the faithful 1996 execution mode.
+
+The CGI protocol starts "the CGI application as a separate process"
+(Section 2.3).  :class:`SubprocessCgiRunner` does exactly that — it runs
+``python -m repro.cgi.db2www_main`` (or any command line) with the CGI
+environment variables set and the POST body on standard input, and parses
+the process's standard output as the CGI response.
+
+This mode exists so the end-to-end benchmark (PERF-E2E in DESIGN.md) can
+measure what the paper's deployments actually paid per request: process
+creation, interpreter start-up and a fresh database connection.  The
+in-process dispatcher (:class:`repro.cgi.gateway.CgiGateway`) is the fast
+path everything else uses.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+from repro.cgi.request import CgiRequest, CgiResponse
+from repro.errors import CgiProtocolError
+
+
+class SubprocessCgiRunner:
+    """Runs a CGI program as a child process per request.
+
+    ``argv`` is the command line; ``extra_env`` carries application
+    configuration the web server would have set in its config file (for
+    the DB2WWW main: ``REPRO_MACRO_DIR`` and ``REPRO_DATABASE_<NAME>``
+    entries mapping macro database names to SQLite files).
+    """
+
+    def __init__(self, argv: list[str] | None = None, *,
+                 extra_env: dict[str, str] | None = None,
+                 timeout: float = 30.0):
+        self.argv = argv or [sys.executable, "-m", "repro.cgi.db2www_main"]
+        self.extra_env = dict(extra_env or {})
+        self.timeout = timeout
+
+    def run(self, request: CgiRequest) -> CgiResponse:
+        env = dict(os.environ)
+        env.update(self.extra_env)
+        env.update(request.environ.to_dict())
+        try:
+            proc = subprocess.run(
+                self.argv, input=request.stdin, env=env,
+                capture_output=True, timeout=self.timeout, check=False)
+        except subprocess.TimeoutExpired as exc:
+            raise CgiProtocolError(
+                f"CGI process exceeded {self.timeout}s") from exc
+        if proc.returncode != 0:
+            stderr = proc.stderr.decode("utf-8", "replace")
+            raise CgiProtocolError(
+                f"CGI process exited with {proc.returncode}: {stderr[:500]}")
+        return CgiResponse.parse(proc.stdout)

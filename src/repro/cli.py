@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The operational tools a 1996 webmaster (and today's tests) need:
+
+``lint``
+    Static-check macro files before deployment.
+``run``
+    Execute a macro in input or report mode against SQLite databases,
+    printing the generated HTML.
+``render``
+    Like ``run`` but displays the page as a text-mode browser would.
+``unparse``
+    Parse and regenerate a macro (format/normalise; also a syntax check).
+``stats``
+    Summarise a Common Log Format access log (the webmaster's numbers).
+``serve``
+    Start the HTTP server with DB2WWW mounted over a macro directory.
+
+Variables are passed as ``name=value`` arguments; databases as
+``--database NAME=path.sqlite`` (repeatable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.engine import EngineConfig, MacroEngine
+from repro.core.lint import lint_macro
+from repro.core.macrofile import MacroLibrary
+from repro.core.parser import parse_macro
+from repro.errors import ReproError
+from repro.html.render import render_markup
+from repro.sql.gateway import DatabaseRegistry
+from repro.sql.transactions import TransactionMode
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DB2 WWW Connection macro tools (SIGMOD'96 repro)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser("lint", help="static-check macro files")
+    lint.add_argument("files", nargs="+", type=Path)
+
+    for name, help_text in (("run", "execute a macro, print HTML"),
+                            ("render", "execute a macro, show as text")):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("file", type=Path)
+        cmd.add_argument("mode", choices=["input", "report"])
+        cmd.add_argument("inputs", nargs="*", metavar="name=value",
+                         help="HTML input variables")
+        cmd.add_argument("--database", action="append", default=[],
+                         metavar="NAME=PATH",
+                         help="register a SQLite database under NAME")
+        cmd.add_argument("--transaction-mode", default="auto_commit",
+                         choices=["auto_commit", "single"])
+
+    unparse = sub.add_parser("unparse",
+                             help="parse and regenerate macro source")
+    unparse.add_argument("file", type=Path)
+
+    stats = sub.add_parser(
+        "stats", help="summarise a Common Log Format access log")
+    stats.add_argument("logfile", type=Path)
+    stats.add_argument("--top", type=int, default=10,
+                       help="how many paths/hosts to list")
+
+    serve = sub.add_parser("serve", help="serve a macro directory")
+    serve.add_argument("--macros", type=Path, required=True,
+                       help="directory of .d2w macro files")
+    serve.add_argument("--database", action="append", default=[],
+                       metavar="NAME=PATH")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None,
+         out=None) -> int:
+    """CLI entry point; returns the process exit status."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "lint":
+            return _cmd_lint(args, out)
+        if args.command in ("run", "render"):
+            return _cmd_run(args, out, as_text=args.command == "render")
+        if args.command == "unparse":
+            return _cmd_unparse(args, out)
+        if args.command == "stats":
+            return _cmd_stats(args, out)
+        if args.command == "serve":
+            return _cmd_serve(args, out)
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        return 0  # output piped into head/less that exited; fine
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_lint(args, out) -> int:
+    worst = "info"
+    order = {"info": 0, "warning": 1, "error": 2}
+    for path in args.files:
+        macro = parse_macro(path.read_text(encoding="utf-8"),
+                            source=str(path))
+        findings = lint_macro(macro)
+        if not findings:
+            print(f"{path}: clean", file=out)
+            continue
+        for finding in findings:
+            print(finding.render(str(path)), file=out)
+            if order[finding.severity] > order[worst]:
+                worst = finding.severity
+    return 1 if worst == "error" else 0
+
+
+def _parse_bindings(pairs: list[str],
+                    what: str) -> list[tuple[str, str]]:
+    bindings = []
+    for item in pairs:
+        name, sep, value = item.partition("=")
+        if not sep or not name:
+            raise SystemExit(f"bad {what} {item!r}: expected name=value")
+        bindings.append((name, value))
+    return bindings
+
+
+def _build_engine(args) -> MacroEngine:
+    registry = DatabaseRegistry()
+    for name, path in _parse_bindings(args.database, "--database"):
+        registry.register_path(name, path)
+    config = EngineConfig(
+        transaction_mode=TransactionMode.parse(args.transaction_mode))
+    return MacroEngine(registry, config=config)
+
+
+def _cmd_run(args, out, *, as_text: bool) -> int:
+    library = MacroLibrary(args.file.parent)
+    macro = library.load(args.file.name)
+    engine = _build_engine(args)
+    inputs = _parse_bindings(args.inputs, "input variable")
+    result = engine.execute(macro, args.mode, inputs)
+    if as_text:
+        print(render_markup(result.html), file=out)
+    else:
+        print(result.html, file=out)
+    return 0 if result.ok else 1
+
+
+def _cmd_unparse(args, out) -> int:
+    macro = parse_macro(args.file.read_text(encoding="utf-8"),
+                        source=str(args.file))
+    print(macro.unparse(), file=out)
+    return 0
+
+
+def _cmd_stats(args, out) -> int:
+    from collections import Counter
+
+    from repro.http.accesslog import parse_line
+
+    entries = []
+    skipped = 0
+    for line in args.logfile.read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        entry = parse_line(line)
+        if entry is None:
+            skipped += 1
+        else:
+            entries.append(entry)
+    if not entries:
+        print("no parseable CLF lines found", file=out)
+        return 1
+    errors = sum(1 for e in entries if e.status >= 400)
+    total_bytes = sum(max(e.size, 0) for e in entries)
+    print(f"requests: {len(entries)}   errors: {errors}   "
+          f"bytes: {total_bytes}   unparseable lines: {skipped}",
+          file=out)
+    print(f"\ntop {args.top} paths:", file=out)
+    for path_name, hits in Counter(
+            e.path for e in entries).most_common(args.top):
+        print(f"  {hits:>6}  {path_name}", file=out)
+    print(f"\ntop {args.top} hosts:", file=out)
+    for host, hits in Counter(
+            e.host for e in entries).most_common(args.top):
+        print(f"  {hits:>6}  {host}", file=out)
+    print("\nstatus codes:", file=out)
+    for status, hits in sorted(Counter(
+            e.status for e in entries).items()):
+        print(f"  {status}: {hits}", file=out)
+    return 0
+
+
+def _cmd_serve(args, out) -> int:  # pragma: no cover - interactive
+    from repro.apps.site import build_site
+
+    registry = DatabaseRegistry()
+    for name, path in _parse_bindings(args.database, "--database"):
+        registry.register_path(name, path)
+    engine = MacroEngine(registry)
+    library = MacroLibrary(args.macros)
+    site = build_site(engine, library)
+    server = site.serve(host=args.host, port=args.port)
+    print(f"serving macros from {args.macros} on {server.base_url}",
+          file=out)
+    print("press Ctrl-C to stop", file=out)
+    try:
+        import signal
+        signal.pause()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0

@@ -1,0 +1,61 @@
+"""The paper's primary contribution: the macro language and its engine.
+
+Public surface:
+
+* :func:`parse_macro` — macro source → :class:`MacroFile` AST
+* :class:`MacroEngine` / :class:`EngineConfig` / :class:`MacroResult` —
+  the DB2 WWW Connection run-time (input and report modes)
+* :class:`MacroCommand` — the ``input``/``report`` URL command
+* :class:`VariableStore` + :class:`Evaluator` — the cross-language
+  variable substitution mechanism, usable standalone
+* :class:`MacroLibrary` — named macro storage for the CGI layer
+* :class:`ValueString` — the parsed text-with-references unit
+* exec runners for ``%EXEC`` variables
+"""
+
+from repro.core.ast import MacroFile
+from repro.core.lint import Finding, lint_macro
+from repro.core.engine import (
+    EngineConfig,
+    MacroCommand,
+    MacroEngine,
+    MacroResult,
+)
+from repro.core.execvars import (
+    NullExecRunner,
+    RegistryExecRunner,
+    SubprocessExecRunner,
+)
+from repro.core.macrofile import (
+    IncludeCycleError,
+    MacroLibrary,
+    MacroNameError,
+    expand_includes,
+)
+from repro.core.parser import parse_macro
+from repro.core.report import ReportGenerator
+from repro.core.substitution import Evaluator
+from repro.core.values import ValueString
+from repro.core.variables import VariableStore
+
+__all__ = [
+    "EngineConfig",
+    "Finding",
+    "IncludeCycleError",
+    "expand_includes",
+    "lint_macro",
+    "Evaluator",
+    "MacroCommand",
+    "MacroEngine",
+    "MacroFile",
+    "MacroLibrary",
+    "MacroNameError",
+    "MacroResult",
+    "NullExecRunner",
+    "RegistryExecRunner",
+    "ReportGenerator",
+    "SubprocessExecRunner",
+    "ValueString",
+    "VariableStore",
+    "parse_macro",
+]

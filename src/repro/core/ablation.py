@@ -1,0 +1,79 @@
+"""Ablation variants of the substitution engine.
+
+DESIGN.md calls out the design choices behind the paper's mechanism; the
+classes here implement the *rejected* alternatives so the ablation
+benchmarks can quantify what each choice costs and the tests can show
+what it breaks.  None of these belongs in a production configuration.
+
+``MemoizingEvaluator``
+    Caches every variable evaluation for the lifetime of the evaluator.
+    This is the "why not just cache?" question: memoisation is faster on
+    reference-heavy pages but *semantically wrong* for the paper's
+    system — the report loop redefines ``V1…``/``ROW_NUM`` per row and
+    ``%EXEC`` variables must re-run per reference, so a cached value is
+    stale the moment the row advances.  (The engine's correct answer is
+    lazy re-evaluation every time, which is what Section 4.3.1
+    specifies.)
+
+``EagerStoreEvaluator``
+    Evaluates each definition at *definition* time (the "eager" strategy
+    the paper rejects with its lazy-substitution design).  Breaks the
+    Section 4.3.1 example — a variable referencing a later definition
+    captures null forever even if evaluated after the later definition
+    appears — and breaks client-input override of defaults referenced
+    from earlier defines.
+"""
+
+from __future__ import annotations
+
+from repro.core.substitution import Evaluator
+from repro.core.values import ValueString
+from repro.core.variables import VariableStore
+
+
+class MemoizingEvaluator(Evaluator):
+    """Ablation: cache ``evaluate_name`` results (incorrect on purpose)."""
+
+    def __init__(self, store: VariableStore, *, exec_runner=None):
+        super().__init__(store, exec_runner=exec_runner)
+        self._cache: dict[str, str] = {}
+
+    def evaluate_name(self, name: str) -> str:
+        cached = self._cache.get(name)
+        if cached is not None:
+            return cached
+        value = super().evaluate_name(name)
+        self._cache[name] = value
+        return value
+
+    def cache_info(self) -> dict[str, int]:
+        return {"entries": len(self._cache)}
+
+
+class EagerStoreEvaluator(Evaluator):
+    """Ablation: evaluate definitions eagerly at snapshot time.
+
+    ``snapshot()`` walks every currently defined name, evaluates it with
+    the *correct* lazy evaluator, and freezes the results; subsequent
+    ``evaluate_name`` calls only consult the frozen table.  This models
+    a system that substitutes at definition time instead of at print
+    time.
+    """
+
+    def __init__(self, store: VariableStore, *, exec_runner=None):
+        super().__init__(store, exec_runner=exec_runner)
+        self._frozen: dict[str, str] = {}
+        self.snapshot()
+
+    def snapshot(self) -> None:
+        lazy = Evaluator(self.store, exec_runner=self.exec_runner)
+        self._frozen = {
+            name: lazy.evaluate_name(name) for name in self.store.names()
+        }
+
+    def evaluate_name(self, name: str) -> str:
+        return self._frozen.get(name, "")
+
+    def evaluate(self, value: ValueString) -> str:
+        # Frozen lookups only; escapes and literals behave normally.
+        return super().evaluate(value)

@@ -1,0 +1,105 @@
+"""A standard library of ``%EXEC`` commands.
+
+Section 3.1.4 makes ``%EXEC`` the macro language's escape hatch to "any
+program"; the shipped successor grew a set of built-in functions for the
+chores macros constantly need (arithmetic, string case, URL escaping).
+:func:`standard_exec_runner` provides that set as a safe, registry-backed
+runner — no operating-system processes involved.
+
+Commands (arguments are whitespace-separated words after substitution):
+
+=================== ====================================================
+``add a b ...``      integer sum of the arguments
+``subtract a b``     ``a - b``
+``multiply a b ...`` product
+``divide a b``       integer division (error code on divide-by-zero)
+``compare a op b``   ``1`` if the integer comparison holds, else null
+                     (op: lt le eq ne ge gt) — pairs with conditionals
+``upper/lower text`` case conversion (rest of line, words re-joined)
+``length text``      character count of the joined arguments
+``urlescape text``   form-urlencode the joined arguments
+``htmlescape text``  HTML-escape the joined arguments
+``default a b``      ``a`` if non-empty else ``b``
+=================== ====================================================
+
+Every command returns its result as the spliced output; failures (bad
+numbers, division by zero) surface as the variable's error code per the
+paper's contract, so conditional variables can react.
+"""
+
+from __future__ import annotations
+
+from repro.cgi.query_string import encode_component
+from repro.core.execvars import RegistryExecRunner
+from repro.html.entities import escape_html
+
+
+def standard_exec_runner(
+        base: RegistryExecRunner | None = None) -> RegistryExecRunner:
+    """Build (or extend) a runner with the standard command set."""
+    runner = base or RegistryExecRunner()
+
+    @runner.register("add")
+    def add(args: list[str]) -> str:
+        return str(sum(int(a) for a in args))
+
+    @runner.register("subtract")
+    def subtract(args: list[str]) -> str:
+        a, b = (int(x) for x in args)
+        return str(a - b)
+
+    @runner.register("multiply")
+    def multiply(args: list[str]) -> str:
+        product = 1
+        for a in args:
+            product *= int(a)
+        return str(product)
+
+    @runner.register("divide")
+    def divide(args: list[str]) -> str:
+        a, b = (int(x) for x in args)
+        return str(a // b)
+
+    @runner.register("compare")
+    def compare(args: list[str]) -> str:
+        a, op, b = args
+        left, right = int(a), int(b)
+        holds = {
+            "lt": left < right,
+            "le": left <= right,
+            "eq": left == right,
+            "ne": left != right,
+            "ge": left >= right,
+            "gt": left > right,
+        }.get(op)
+        if holds is None:
+            raise ValueError(f"unknown comparison {op!r}")
+        return "1" if holds else ""
+
+    @runner.register("upper")
+    def upper(args: list[str]) -> str:
+        return " ".join(args).upper()
+
+    @runner.register("lower")
+    def lower(args: list[str]) -> str:
+        return " ".join(args).lower()
+
+    @runner.register("length")
+    def length(args: list[str]) -> str:
+        return str(len(" ".join(args)))
+
+    @runner.register("urlescape")
+    def urlescape(args: list[str]) -> str:
+        return encode_component(" ".join(args))
+
+    @runner.register("htmlescape")
+    def htmlescape(args: list[str]) -> str:
+        return escape_html(" ".join(args))
+
+    @runner.register("default")
+    def default(args: list[str]) -> str:
+        if args and args[0]:
+            return args[0]
+        return args[1] if len(args) > 1 else ""
+
+    return runner

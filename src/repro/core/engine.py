@@ -1,0 +1,290 @@
+"""The DB2 WWW Connection run-time engine — Section 4 of the paper.
+
+:class:`MacroEngine` processes a parsed macro in one of the two modes of
+Figure 6:
+
+* **input mode** (``{cmd} = "input"``): "processes only the variable
+  definition sections (DEFINE sections) and HTML input section of the
+  macro ... The HTML report section and any SQL sections ... are
+  completely ignored" (Section 4.1);
+* **report mode** (``{cmd} = "report"``): like input mode "except the HTML
+  report section gets processed ... In addition ... processing execute SQL
+  statements" (Section 4.2).
+
+Processing is strictly top-to-bottom ("macros are processed from beginning
+to end"), which yields the paper's positional-visibility behaviour: a
+variable defined *after* the HTML section being emitted is still undefined
+(null) while that section prints — the Section 4.3.1 lazy-evaluation
+example, and the reason Appendix A can hide ``hidden_a``/``hidden_b`` from
+the input form.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core import ast
+from repro.core.messages import resolve_message
+from repro.core.report import ReportGenerator
+from repro.core.substitution import Evaluator
+from repro.core.variables import VariableStore
+from repro.errors import (
+    MacroExecutionError,
+    MissingSectionError,
+    SQLError,
+    UnknownSqlSectionError,
+)
+from repro.html.entities import escape_html
+from repro.sql.gateway import DatabaseRegistry, MacroSqlSession
+from repro.sql.transactions import TransactionMode
+
+
+class MacroCommand(enum.Enum):
+    """The ``{cmd}`` component of a DB2WWW URL (Section 4)."""
+
+    INPUT = "input"
+    REPORT = "report"
+
+    @classmethod
+    def parse(cls, text: str) -> "MacroCommand":
+        folded = text.strip().lower()
+        for command in cls:
+            if folded == command.value:
+                return command
+        raise MacroExecutionError(
+            f"unknown command {text!r}: expected 'input' or 'report'")
+
+
+@dataclass
+class EngineConfig:
+    """Tunable behaviour of the engine.
+
+    ``transaction_mode``
+        Section 5's auto-commit vs single-transaction grouping.
+    ``escape_report_values``
+        HTML-escape column values substituted into custom ``%ROW``
+        templates (hardening; off by default for paper fidelity).
+    ``default_database``
+        Database used when a macro defines no ``DATABASE`` variable.
+    ``show_sql_variable``
+        Name of the flag variable that, when non-null, echoes each SQL
+        statement into the report (the ``SHOWSQL`` radio button of the
+        paper's Figures 2 and 7).
+    """
+
+    transaction_mode: TransactionMode = TransactionMode.AUTO_COMMIT
+    escape_report_values: bool = False
+    default_database: Optional[str] = None
+    show_sql_variable: str = "SHOWSQL"
+
+
+@dataclass
+class MacroResult:
+    """The outcome of one macro invocation."""
+
+    html: str
+    command: MacroCommand
+    statements: list[str] = field(default_factory=list)
+    sql_errors: list[SQLError] = field(default_factory=list)
+    aborted: bool = False
+    #: Media type for the generated page.  Macros may override the
+    #: default by defining a ``CONTENT_TYPE`` variable — Section 2.1
+    #: notes servers return "special types of data other than HTML",
+    #: and a CSV or plain-text report is just a different template.
+    content_type: str = "text/html"
+
+    @property
+    def ok(self) -> bool:
+        return not self.sql_errors and not self.aborted
+
+
+class MacroEngine:
+    """Executes macros against a database registry.
+
+    One engine instance serves many requests (it is stateless between
+    invocations); each :meth:`execute` call builds a fresh
+    :class:`VariableStore` seeded with that request's client inputs, as
+    the CGI process model of Figure 4 implies.
+    """
+
+    def __init__(self, registry: Optional[DatabaseRegistry] = None, *,
+                 config: Optional[EngineConfig] = None, exec_runner=None):
+        self.registry = registry or DatabaseRegistry()
+        self.config = config or EngineConfig()
+        self.exec_runner = exec_runner
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def execute(self, macro: ast.MacroFile,
+                command: MacroCommand | str,
+                client_inputs: Sequence[tuple[str, str]] = ()) -> MacroResult:
+        """Process ``macro`` in ``command`` mode with the given inputs.
+
+        ``client_inputs`` are the HTML input variables of Section 2.2, in
+        arrival order (repeats become list variables).  Returns a
+        :class:`MacroResult` whose ``html`` is the generated page body.
+        """
+        if isinstance(command, str):
+            command = MacroCommand.parse(command)
+        run = _MacroRun(self, macro, command, client_inputs)
+        return run.execute()
+
+    def execute_input(self, macro: ast.MacroFile,
+                      client_inputs: Sequence[tuple[str, str]] = ()) -> MacroResult:
+        return self.execute(macro, MacroCommand.INPUT, client_inputs)
+
+    def execute_report(self, macro: ast.MacroFile,
+                       client_inputs: Sequence[tuple[str, str]] = ()) -> MacroResult:
+        return self.execute(macro, MacroCommand.REPORT, client_inputs)
+
+
+class _MacroRun:
+    """State for one macro invocation (kept off the engine for clarity)."""
+
+    def __init__(self, engine: MacroEngine, macro: ast.MacroFile,
+                 command: MacroCommand,
+                 client_inputs: Sequence[tuple[str, str]]):
+        self.engine = engine
+        self.macro = macro
+        self.command = command
+        self.store = VariableStore()
+        self.store.set_client_inputs(list(client_inputs))
+        self.evaluator = Evaluator(self.store,
+                                   exec_runner=engine.exec_runner)
+        self.reporter = ReportGenerator(
+            self.store, self.evaluator,
+            escape_values=engine.config.escape_report_values)
+        self.out: list[str] = []
+        self.session: Optional[MacroSqlSession] = None
+        self.result = MacroResult(html="", command=command)
+        self._emitted_target_section = False
+        # SQL sections are registered macro-wide up front: the directive
+        # semantics of Section 3.4 ("all unnamed SQL sections are executed
+        # sequentially, in the order of appearance in the macro") are not
+        # positional, unlike variable definitions.
+        self.unnamed_sql = macro.unnamed_sql_sections()
+        self.named_sql = {s.name: s for s in macro.sql_sections()
+                          if s.name is not None}
+
+    # ------------------------------------------------------------------
+
+    def execute(self) -> MacroResult:
+        try:
+            self._walk()
+        finally:
+            if self.session is not None:
+                self.session.finish(success=not self.result.aborted
+                                    and not self.session.failed)
+        if not self._emitted_target_section:
+            needed = ("%HTML_INPUT" if self.command is MacroCommand.INPUT
+                      else "%HTML_REPORT")
+            raise MissingSectionError(
+                f"macro has no {needed} section required by "
+                f"{self.command.value} mode")
+        self.result.html = "".join(self.out)
+        declared = self.evaluator.evaluate_name("CONTENT_TYPE").strip()
+        if declared:
+            self.result.content_type = declared
+        return self.result
+
+    def _walk(self) -> None:
+        for section in self.macro.sections:
+            if isinstance(section, ast.DefineSection):
+                self.store.apply_section(section)
+            elif isinstance(section, ast.HtmlInputSection):
+                if self.command is MacroCommand.INPUT:
+                    self.out.append(self.evaluator.evaluate(section.body))
+                    self._emitted_target_section = True
+            elif isinstance(section, ast.HtmlReportSection):
+                if self.command is MacroCommand.REPORT:
+                    self._emitted_target_section = True
+                    if not self._process_report(section):
+                        return  # an 'exit' action stopped processing
+            elif isinstance(section, ast.IncludeSection):
+                raise MacroExecutionError(
+                    f"unexpanded %INCLUDE \"{section.name}\": load this "
+                    "macro through a MacroLibrary so includes resolve")
+            # SQL sections were pre-registered; FreeText is ignored.
+
+    # ------------------------------------------------------------------
+    # Report mode
+    # ------------------------------------------------------------------
+
+    def _process_report(self, section: ast.HtmlReportSection) -> bool:
+        """Emit the report section; False when an error action was 'exit'."""
+        for piece in section.pieces:
+            if isinstance(piece, ast.ExecSqlDirective):
+                if not self._run_directive(piece):
+                    return False
+            else:
+                self.out.append(self.evaluator.evaluate(piece))
+        return True
+
+    def _run_directive(self, directive: ast.ExecSqlDirective) -> bool:
+        sections = self._resolve_directive(directive)
+        for sql_section in sections:
+            if not self._run_sql_section(sql_section):
+                return False
+            if self.session is not None and self.session.failed:
+                # Single-transaction mode: everything was rolled back;
+                # no further statements may run (Section 5), even when
+                # the matched %SQL_MESSAGE rule said "continue".
+                self.result.aborted = True
+                return False
+        return True
+
+    def _resolve_directive(
+            self, directive: ast.ExecSqlDirective) -> list[ast.SqlSection]:
+        if directive.name is None:
+            return list(self.unnamed_sql)
+        name = self.evaluator.evaluate(directive.name).strip()
+        section = self.named_sql.get(name)
+        if section is None:
+            raise UnknownSqlSectionError(
+                f"%EXEC_SQL({directive.name.raw}) resolved to {name!r}, "
+                "which names no SQL section in this macro")
+        return [section]
+
+    def _run_sql_section(self, section: ast.SqlSection) -> bool:
+        """Execute one SQL section; False when processing must stop."""
+        sql_text = self.evaluator.evaluate(section.command).strip()
+        self._maybe_show_sql(sql_text)
+        session = self._ensure_session()
+        try:
+            result = session.execute(sql_text)
+        except SQLError as error:
+            self.result.sql_errors.append(error)
+            message = resolve_message(section.message, error, self.store,
+                                      self.evaluator)
+            self.out.append(message.html)
+            if message.action == "exit" or session.failed:
+                self.result.aborted = True
+                return False
+            return True
+        self.result.statements.append(sql_text)
+        self.out.append(self.reporter.render(section, result))
+        return True
+
+    def _maybe_show_sql(self, sql_text: str) -> None:
+        flag = self.engine.config.show_sql_variable
+        if flag and self.evaluator.evaluate_name(flag) != "":
+            self.out.append(
+                f"<P><TT>{escape_html(sql_text)}</TT></P>\n")
+
+    def _ensure_session(self) -> MacroSqlSession:
+        if self.session is None:
+            database = self.evaluator.evaluate_name("DATABASE")
+            if not database:
+                database = self.engine.config.default_database or ""
+            if not database:
+                raise MacroExecutionError(
+                    "macro executed SQL but defines no DATABASE variable "
+                    "and the engine has no default_database")
+            connection = self.engine.registry.connect(database)
+            self.session = MacroSqlSession(
+                connection, mode=self.engine.config.transaction_mode)
+        return self.session

@@ -1,0 +1,118 @@
+"""Executable (``%EXEC``) variable runtime — Section 3.1.4.
+
+"The execute variable feature allows the invocation of any program from
+the macro file and passing to it the values of variables defined in the
+macro."  In 1996 this shelled out to the server's operating system.  Here
+the default runner dispatches to a registry of named Python callables —
+safe, deterministic and testable — and a subprocess-backed runner is
+available behind an explicit opt-in for users who really do want to invoke
+external programs from macros.
+
+A runner's contract (consumed by :class:`repro.core.substitution.Evaluator`):
+
+``run(command: str) -> tuple[str, str]``
+    Returns ``(output, error_code)``.  ``output`` is spliced into the page
+    at the reference position; ``error_code`` is stored in the variable
+    (the empty string meaning success/NULL, matching the paper: "If there
+    is no error, varname will be set to NULL").
+"""
+
+from __future__ import annotations
+
+import shlex
+import subprocess
+from typing import Callable, Iterable
+
+from repro.errors import ExecVariableError
+
+#: A registered command: receives the argument list (after the command
+#: word) and returns output text.  Raising an exception marks failure.
+CommandFunc = Callable[[list[str]], str]
+
+
+class RegistryExecRunner:
+    """Executes ``%EXEC`` commands against a registry of Python callables.
+
+    The command string is split with shell-like quoting; the first word
+    selects the callable, the remainder becomes its argument list::
+
+        runner = RegistryExecRunner()
+
+        @runner.register("today")
+        def today(args):
+            return "1996-06-04"
+
+    An unknown command word raises :class:`ExecVariableError` — a macro
+    authoring mistake, not a run-time condition to hide.
+    """
+
+    def __init__(self) -> None:
+        self._commands: dict[str, CommandFunc] = {}
+
+    def register(self, name: str, func: CommandFunc | None = None):
+        """Register a command (usable as a decorator)."""
+        if func is None:
+            def decorator(f: CommandFunc) -> CommandFunc:
+                self._commands[name] = f
+                return f
+            return decorator
+        self._commands[name] = func
+        return func
+
+    def commands(self) -> Iterable[str]:
+        return self._commands.keys()
+
+    def run(self, command: str) -> tuple[str, str]:
+        try:
+            words = shlex.split(command)
+        except ValueError as exc:
+            return "", f"badcommand: {exc}"
+        if not words:
+            return "", ""
+        name, *args = words
+        func = self._commands.get(name)
+        if func is None:
+            raise ExecVariableError(
+                f"%EXEC command {name!r} is not registered")
+        try:
+            return func(args), ""
+        except Exception as exc:  # noqa: BLE001 - error code semantics
+            # The paper stores the failure code in the variable so a
+            # conditional variable can print a message; any exception from
+            # the command is therefore data, not a crash.
+            return "", f"{type(exc).__name__}: {exc}"
+
+
+class SubprocessExecRunner:
+    """Executes ``%EXEC`` commands as real operating-system processes.
+
+    Faithful to the 1996 behaviour and therefore dangerous: only use with
+    trusted macros.  Construction requires the explicit keyword
+    ``i_understand_the_risk=True`` so the hazard is visible in code review.
+    """
+
+    def __init__(self, *, i_understand_the_risk: bool = False,
+                 timeout: float = 10.0):
+        if not i_understand_the_risk:
+            raise ExecVariableError(
+                "SubprocessExecRunner executes arbitrary commands from "
+                "macro text; pass i_understand_the_risk=True to enable")
+        self.timeout = timeout
+
+    def run(self, command: str) -> tuple[str, str]:
+        try:
+            proc = subprocess.run(
+                shlex.split(command), capture_output=True, text=True,
+                timeout=self.timeout, check=False)
+        except (OSError, subprocess.TimeoutExpired, ValueError) as exc:
+            return "", f"{type(exc).__name__}: {exc}"
+        error_code = "" if proc.returncode == 0 else str(proc.returncode)
+        return proc.stdout, error_code
+
+
+class NullExecRunner:
+    """A runner that refuses every command (hard default posture)."""
+
+    def run(self, command: str) -> tuple[str, str]:
+        raise ExecVariableError(
+            f"%EXEC is disabled for this engine (command: {command!r})")

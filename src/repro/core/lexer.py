@@ -1,0 +1,218 @@
+"""Low-level scanning machinery for the macro language.
+
+The macro language of Section 3 is line-oriented at the top (section
+keywords appear at the start of a line, prefixed with ``%``) but free-form
+inside blocks, so a classical token stream fits poorly.  Instead the parser
+drives a :class:`Cursor` — a position in the source with line tracking and
+a small vocabulary of matching operations.  All keyword matching is
+case-insensitive ("The keywords are case insensitive"), while variable
+names keep their case (Section 3).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.errors import MacroSyntaxError, UnterminatedBlockError
+
+#: Section keywords recognised at the start of a line.
+SECTION_KEYWORDS = ("DEFINE", "SQL", "HTML_INPUT", "HTML_REPORT",
+                    "INCLUDE")
+
+#: Matches the next section opener at the beginning of a line.
+SECTION_START_RE = re.compile(
+    r"^[ \t]*%(DEFINE\b|SQL\b|HTML_INPUT\b|HTML_REPORT\b|INCLUDE\b|\{)",
+    re.IGNORECASE | re.MULTILINE,
+)
+
+#: Matches a variable name at the cursor.
+NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_\-]*")
+
+#: Block terminator.
+BLOCK_END = "%}"
+
+
+class Cursor:
+    """A scanning position inside macro source text.
+
+    The cursor tracks the 1-based line number of its position, which every
+    AST node records for error reporting.
+    """
+
+    def __init__(self, text: str, *, source: Optional[str] = None):
+        self.text = text
+        self.pos = 0
+        self.source = source
+
+    # -- basic queries --------------------------------------------------
+
+    @property
+    def line(self) -> int:
+        """1-based line number at the current position."""
+        return self.text.count("\n", 0, self.pos) + 1
+
+    def line_at(self, pos: int) -> int:
+        return self.text.count("\n", 0, pos) + 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def rest(self) -> str:
+        return self.text[self.pos:]
+
+    def peek(self, n: int = 1) -> str:
+        return self.text[self.pos:self.pos + n]
+
+    # -- errors -----------------------------------------------------------
+
+    def error(self, message: str, *, line: Optional[int] = None) -> MacroSyntaxError:
+        return MacroSyntaxError(message, line=line or self.line,
+                                source=self.source)
+
+    def unterminated(self, what: str, line: int) -> UnterminatedBlockError:
+        return UnterminatedBlockError(
+            f"unterminated {what} (missing '%}}')", line=line,
+            source=self.source)
+
+    # -- consumption ------------------------------------------------------
+
+    def skip_spaces(self) -> None:
+        """Skip spaces and tabs (not newlines)."""
+        while self.pos < len(self.text) and self.text[self.pos] in " \t":
+            self.pos += 1
+
+    def skip_whitespace(self) -> None:
+        """Skip all whitespace including newlines."""
+        while self.pos < len(self.text) and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def skip_blank_lines(self) -> None:
+        self.skip_whitespace()
+
+    def match_literal(self, literal: str) -> bool:
+        """Consume ``literal`` if present at the cursor (case-sensitive)."""
+        if self.text.startswith(literal, self.pos):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def match_keyword(self, keyword: str) -> bool:
+        """Consume ``keyword`` case-insensitively if present at the cursor."""
+        end = self.pos + len(keyword)
+        if self.text[self.pos:end].upper() == keyword.upper():
+            self.pos = end
+            return True
+        return False
+
+    def match_regex(self, pattern: re.Pattern[str]) -> Optional[re.Match[str]]:
+        """Consume a regex match anchored at the cursor, if any."""
+        match = pattern.match(self.text, self.pos)
+        if match is not None:
+            self.pos = match.end()
+        return match
+
+    def read_name(self) -> str:
+        """Read a variable name at the cursor or raise."""
+        match = self.match_regex(NAME_RE)
+        if match is None:
+            raise self.error("expected a variable name")
+        return match.group(0)
+
+    def read_quoted(self) -> str:
+        """Read a double-quoted string starting at the cursor.
+
+        Backslash escapes ``\\"`` and ``\\\\`` are honoured; the paper's
+        examples never need them but real SQL text sometimes does.  The
+        string must close on the same logical scan (newlines inside quotes
+        are permitted — multi-line SQL commands in quoted defines occur in
+        shipped Net.Data macros).
+        """
+        start_line = self.line
+        if self.peek() != '"':
+            raise self.error("expected a quoted string")
+        self.pos += 1
+        out: list[str] = []
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch == "\\" and self.peek(2) in ('\\"', "\\\\"):
+                out.append(self.text[self.pos + 1])
+                self.pos += 2
+                continue
+            if ch == '"':
+                self.pos += 1
+                return "".join(out)
+            out.append(ch)
+            self.pos += 1
+        raise self.error("unterminated quoted string", line=start_line)
+
+    def read_braced(self) -> str:
+        """Read a ``{ ... %}`` multi-line value starting at the cursor.
+
+        Returns the raw text between the braces.  Per Section 3.1.1 the
+        value runs to the first ``%}``; brace values do not nest.
+        """
+        start_line = self.line
+        if self.peek() != "{":
+            raise self.error("expected '{'")
+        self.pos += 1
+        end = self.text.find(BLOCK_END, self.pos)
+        if end < 0:
+            raise self.unterminated("multi-line value", start_line)
+        body = self.text[self.pos:end]
+        self.pos = end + len(BLOCK_END)
+        return body
+
+    def read_until(self, *stops: str, required: bool = True,
+                   what: str = "block") -> tuple[str, Optional[str]]:
+        """Read text up to the nearest of several stop strings.
+
+        Stop matching is case-insensitive (stops are keywords like
+        ``%SQL_REPORT{``).  Returns ``(text, matched_stop)`` and leaves the
+        cursor *after* the stop.  ``matched_stop`` is the canonical stop
+        string passed in, or ``None`` when ``required`` is false and no stop
+        was found (cursor then rests at end of text).
+        """
+        start_line = self.line
+        lowered = self.text.lower()
+        best_index = -1
+        best_stop: Optional[str] = None
+        for stop in stops:
+            index = lowered.find(stop.lower(), self.pos)
+            if index >= 0 and (best_index < 0 or index < best_index):
+                best_index = index
+                best_stop = stop
+        if best_index < 0:
+            if required:
+                raise self.unterminated(what, start_line)
+            text = self.text[self.pos:]
+            self.pos = len(self.text)
+            return text, None
+        text = self.text[self.pos:best_index]
+        self.pos = best_index + len(best_stop or "")
+        return text, best_stop
+
+    def rest_of_line(self) -> str:
+        """Consume and return text up to (excluding) the next newline."""
+        end = self.text.find("\n", self.pos)
+        if end < 0:
+            end = len(self.text)
+        text = self.text[self.pos:end]
+        self.pos = end
+        return text
+
+    def at_line_start_of(self, literal: str) -> bool:
+        """True if, after horizontal space, the cursor line starts ``literal``."""
+        probe = self.pos
+        while probe < len(self.text) and self.text[probe] in " \t":
+            probe += 1
+        return self.text.startswith(literal, probe)
+
+
+def find_next_section(text: str, pos: int) -> Optional[re.Match[str]]:
+    """Locate the next section keyword at or after ``pos``.
+
+    Returns the regex match (group 1 is the upper/lower-cased keyword) or
+    ``None`` when no further section exists.
+    """
+    return SECTION_START_RE.search(text, pos)

@@ -1,0 +1,292 @@
+"""Static analysis of macro files — the authoring aid of Figure 5.
+
+The paper's development story has application developers writing macros
+with ordinary HTML and SQL tools and deploying them onto a live server;
+there was no compiler to catch mistakes before the first end user hit
+them.  The linter closes that gap: it walks a parsed macro and reports
+
+* references to variables that nothing can define (``E-undefined`` is
+  only a *warning*: an undefined variable is legal — it is the null
+  string — and may be a client input, but a typo looks exactly like it),
+* variables defined but never referenced (dead definitions),
+* references that occur in an HTML section *before* the defining
+  ``%DEFINE`` (the positional-visibility trap of Section 4.3.1),
+* SQL sections no ``%EXEC_SQL`` can ever run,
+* macros that execute SQL without defining ``DATABASE``,
+* statically detectable circular definitions,
+* mode coverage (missing ``%HTML_INPUT``/``%HTML_REPORT``).
+
+Findings are data (:class:`Finding`), so IDE-style tooling and the CLI
+can both consume them.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.core import ast
+from repro.core.values import ValueString
+
+#: Names the engine itself defines at run time (never "undefined").
+_SYSTEM_NAME_RE = re.compile(
+    r"^(N\d+|V\d+|[NV][._].+|NLIST|VLIST|ROW_NUM|ROWCOUNT|RPT_MAXROWS"
+    r"|START_ROW_NUM|SQL_CODE|SQL_STATE|SQL_MESSAGE|SHOWSQL|DATABASE"
+    r"|CONTENT_TYPE)$")
+
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding."""
+
+    severity: str   # "error" | "warning" | "info"
+    code: str       # short stable identifier, e.g. "undefined-variable"
+    message: str
+    line: int = 0
+
+    def render(self, source: Optional[str] = None) -> str:
+        where = f"{source or 'macro'}:{self.line}" if self.line \
+            else (source or "macro")
+        return f"{where}: {self.severity}: {self.code}: {self.message}"
+
+
+def lint_macro(macro: ast.MacroFile) -> list[Finding]:
+    """Analyse a parsed macro; returns findings ordered by line."""
+    linter = _Linter(macro)
+    linter.run()
+    return sorted(linter.findings, key=lambda f: (f.line, f.code))
+
+
+class _Linter:
+    def __init__(self, macro: ast.MacroFile):
+        self.macro = macro
+        self.findings: list[Finding] = []
+        #: name -> first definition line
+        self.defined: dict[str, int] = {}
+        #: (name, line) of every reference, in document order
+        self.references: list[tuple[str, int]] = []
+        #: names of form controls in %HTML_INPUT — the client defines
+        #: these at run time, so referencing them is not a typo
+        self.client_names: set[str] = set()
+        self.escaped_names: set[str] = set()
+        self.has_variable_exec_sql = False
+
+    def add(self, severity: str, code: str, message: str,
+            line: int = 0) -> None:
+        self.findings.append(Finding(severity, code, message, line))
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        self._collect()
+        self._check_mode_coverage()
+        self._check_sql_reachability()
+        self._check_database_variable()
+        self._check_reference_resolution()
+        self._check_unused_definitions()
+        self._check_static_cycles()
+
+    # -- collection -------------------------------------------------------
+
+    def _collect(self) -> None:
+        for section in self.macro.sections:
+            if isinstance(section, ast.DefineSection):
+                for statement in section.statements:
+                    self._collect_statement(statement)
+            elif isinstance(section, ast.SqlSection):
+                self._note_refs(section.command, section.line)
+                if section.report is not None:
+                    self._note_refs(section.report.header,
+                                    section.report.line)
+                    if section.report.row is not None:
+                        self._note_refs(section.report.row.template,
+                                        section.report.row.line)
+                    self._note_refs(section.report.footer,
+                                    section.report.line)
+                if section.message is not None:
+                    for rule in section.message.rules:
+                        self._note_refs(rule.text, rule.line)
+            elif isinstance(section, ast.HtmlInputSection):
+                self._note_refs(section.body, section.line)
+                self._collect_client_names(section)
+            elif isinstance(section, ast.HtmlReportSection):
+                for piece in section.pieces:
+                    if isinstance(piece, ast.ExecSqlDirective):
+                        if piece.name is not None and \
+                                piece.name.has_references():
+                            self.has_variable_exec_sql = True
+                            self._note_refs(piece.name, piece.line)
+                    else:
+                        self._note_refs(piece, section.line)
+            elif isinstance(section, ast.IncludeSection):
+                self.add("info", "unexpanded-include",
+                         f'%INCLUDE "{section.name}" not expanded; lint '
+                         "the library-loaded macro for whole-program "
+                         "checks", section.line)
+
+    def _collect_statement(self, statement: ast.DefineStatement) -> None:
+        self.defined.setdefault(statement.name, statement.line)
+        if isinstance(statement, ast.SimpleAssignment):
+            self._note_refs(statement.value, statement.line)
+        elif isinstance(statement, ast.ConditionalAssignment):
+            self._note_refs(statement.then_value, statement.line)
+            if statement.else_value is not None:
+                self._note_refs(statement.else_value, statement.line)
+            if statement.test_name is not None:
+                self.references.append(
+                    (statement.test_name, statement.line))
+        elif isinstance(statement, ast.ListDeclaration):
+            self._note_refs(statement.separator, statement.line)
+        elif isinstance(statement, ast.ExecDeclaration):
+            self._note_refs(statement.command, statement.line)
+
+    def _note_refs(self, value: ValueString, line: int) -> None:
+        for name in value.references():
+            self.references.append((name, line))
+        for name in value.escapes():
+            # A $$(name) escape is a deferred reference (the hidden-
+            # variable idiom): the name counts as used, but not as a
+            # same-request reference for ordering checks.
+            self.escaped_names.add(name)
+
+    def _collect_client_names(self, section: ast.HtmlInputSection) -> None:
+        """Form control names: variables the Web client will supply."""
+        from repro.html.forms import extract_forms
+        from repro.html.parser import parse_html
+        document = parse_html(section.body.raw)
+        for form in extract_forms(document):
+            self.client_names.update(form.control_names())
+
+    # -- checks ------------------------------------------------------------
+
+    def _check_mode_coverage(self) -> None:
+        if self.macro.html_input is None:
+            self.add("info", "no-input-section",
+                     "macro has no %HTML_INPUT section; input-mode "
+                     "requests will fail")
+        if self.macro.html_report is None:
+            self.add("info", "no-report-section",
+                     "macro has no %HTML_REPORT section; report-mode "
+                     "requests will fail")
+
+    def _check_sql_reachability(self) -> None:
+        report = self.macro.html_report
+        directives = (report.exec_sql_directives()
+                      if report is not None else [])
+        has_unnamed = any(d.name is None for d in directives)
+        static_names = {d.name.raw for d in directives
+                        if d.name is not None
+                        and not d.name.has_references()}
+        for section in self.macro.sql_sections():
+            if section.name is None:
+                if not has_unnamed:
+                    self.add("warning", "unreachable-sql",
+                             "unnamed SQL section but the report has no "
+                             "unnamed %EXEC_SQL", section.line)
+            elif section.name not in static_names and \
+                    not self.has_variable_exec_sql:
+                self.add("warning", "unreachable-sql",
+                         f"SQL section {section.name!r} is never "
+                         "executed by any %EXEC_SQL", section.line)
+        if directives and not self.macro.sql_sections():
+            self.add("error", "exec-sql-without-sections",
+                     "%EXEC_SQL present but the macro has no SQL "
+                     "sections",
+                     directives[0].line)
+
+    def _check_database_variable(self) -> None:
+        if self.macro.sql_sections() and "DATABASE" not in self.defined:
+            self.add("warning", "no-database-variable",
+                     "macro executes SQL but never defines DATABASE; "
+                     "the engine needs a default_database")
+
+    def _check_reference_resolution(self) -> None:
+        reported: set[str] = set()
+        for name, line in self.references:
+            if name in self.defined or name in self.client_names \
+                    or _SYSTEM_NAME_RE.match(name):
+                continue
+            if name in reported:
+                continue
+            reported.add(name)
+            self.add("warning", "undefined-variable",
+                     f"$({name}) is never defined in the macro; if it "
+                     "is not an HTML input variable it evaluates to "
+                     "the null string", line)
+        # Positional-visibility trap: used in an HTML section before
+        # its %DEFINE (Section 4.3.1 makes such a reference null).
+        for section in self.macro.sections:
+            if isinstance(section, ast.HtmlInputSection):
+                self._check_forward_refs(section.body, section.line)
+            elif isinstance(section, ast.HtmlReportSection):
+                for piece in section.pieces:
+                    if isinstance(piece, ast.ValueString):
+                        self._check_forward_refs(piece, section.line)
+
+    def _check_forward_refs(self, value: ValueString, line: int) -> None:
+        for name in value.references():
+            defined_at = self.defined.get(name)
+            if defined_at is not None and defined_at > line:
+                self.add("warning", "defined-after-use",
+                         f"$({name}) is emitted at line {line} but "
+                         f"defined at line {defined_at}; top-to-bottom "
+                         "processing makes it null here "
+                         "(Section 4.3.1)", line)
+
+    def _check_unused_definitions(self) -> None:
+        referenced = {name for name, _ in self.references}
+        referenced |= self.escaped_names
+        for name, line in self.defined.items():
+            if name in referenced or _SYSTEM_NAME_RE.match(name):
+                continue
+            self.add("info", "unused-variable",
+                     f"{name} is defined but never referenced", line)
+
+    def _check_static_cycles(self) -> None:
+        graph: dict[str, set[str]] = {}
+        for section in self.macro.sections:
+            if not isinstance(section, ast.DefineSection):
+                continue
+            for statement in section.statements:
+                if isinstance(statement, ast.SimpleAssignment):
+                    graph.setdefault(statement.name, set()).update(
+                        statement.value.references())
+        for name in graph:
+            cycle = _find_cycle(graph, name)
+            if cycle is not None:
+                self.add("error", "circular-definition",
+                         "circular variable definition: "
+                         + " -> ".join(cycle),
+                         self.defined.get(name, 0))
+                return  # one report is enough
+
+
+def _find_cycle(graph: dict[str, set[str]],
+                start: str) -> Optional[list[str]]:
+    path: list[str] = []
+    seen: set[str] = set()
+
+    def visit(node: str) -> Optional[list[str]]:
+        if node in path:
+            return path[path.index(node):] + [node]
+        if node in seen:
+            return None
+        seen.add(node)
+        path.append(node)
+        for neighbour in graph.get(node, ()):
+            found = visit(neighbour)
+            if found is not None:
+                return found
+        path.pop()
+        return None
+
+    return visit(start)
+
+
+def iter_rendered(findings: list[Finding],
+                  source: Optional[str] = None) -> Iterator[str]:
+    for finding in findings:
+        yield finding.render(source)

@@ -1,0 +1,105 @@
+"""``%SQL_MESSAGE`` handling — Section 3.2.2.
+
+"The SQL message section allows customization of error or warning messages
+to be printed as a result of a SQL command."  The paper defers rule details
+to the Developer's Guide; our concretisation (documented in DESIGN.md):
+
+* a rule is ``code : "text" [: action]``;
+* ``code`` matches the error's SQLCODE (integer, sign significant), its
+  five-character SQLSTATE, or ``default``;
+* matching order: exact SQLCODE, then SQLSTATE, then ``default``;
+* ``action`` is ``continue`` (report processing resumes after printing the
+  message) or ``exit`` (processing of the report stops; in single
+  transaction mode the whole interaction has already been rolled back).
+
+When no rule matches (or the section is absent) the engine prints the
+DBMS error in a default format, mirroring "or by printing the DBMS error
+message" (Section 4.2), and the action defaults to ``exit``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.ast import MessageRule, SqlMessageBlock
+from repro.core.substitution import Evaluator
+from repro.core.variables import VariableStore
+from repro.html.entities import escape_html
+from repro.errors import SQLError
+
+#: Default action when a SQL statement fails and no rule says otherwise.
+DEFAULT_ERROR_ACTION = "exit"
+
+#: Default action for warnings (positive SQLCODE): keep going.
+DEFAULT_WARNING_ACTION = "continue"
+
+
+@dataclass(frozen=True)
+class ResolvedMessage:
+    """What the engine should emit and do about a SQL error."""
+
+    html: str
+    action: str  # "continue" | "exit"
+    matched_rule: Optional[MessageRule] = None
+
+
+def default_error_html(error: SQLError) -> str:
+    """The built-in DBMS-error rendering."""
+    kind = "warning" if error.is_warning else "error"
+    return (
+        f'<P><B>SQL {kind} {error.sqlcode} (SQLSTATE {error.sqlstate}):'
+        f"</B> {escape_html(str(error))}</P>\n"
+    )
+
+
+def resolve_message(block: Optional[SqlMessageBlock], error: SQLError,
+                    store: VariableStore,
+                    evaluator: Evaluator) -> ResolvedMessage:
+    """Pick and render the message for a failed/warning SQL statement.
+
+    Before rendering, the error's attributes are published as system
+    variables — ``SQL_CODE``, ``SQL_STATE`` and ``SQL_MESSAGE`` — so rule
+    text can interpolate them (``"Sorry: $(SQL_MESSAGE)"``).
+    """
+    store.set_system("SQL_CODE", str(error.sqlcode))
+    store.set_system("SQL_STATE", error.sqlstate)
+    store.set_system("SQL_MESSAGE", str(error))
+    rule = _match_rule(block, error)
+    if rule is None:
+        action = (DEFAULT_WARNING_ACTION if error.is_warning
+                  else DEFAULT_ERROR_ACTION)
+        return ResolvedMessage(default_error_html(error), action)
+    html = evaluator.evaluate(rule.text)
+    return ResolvedMessage(html, rule.action, matched_rule=rule)
+
+
+_SQLSTATE_RE = re.compile(r"[0-9a-z]{5}")
+
+
+def _match_rule(block: Optional[SqlMessageBlock],
+                error: SQLError) -> Optional[MessageRule]:
+    if block is None:
+        return None
+    default_rule: Optional[MessageRule] = None
+    state_rule: Optional[MessageRule] = None
+    for rule in block.rules:
+        code = rule.code
+        if code == "default":
+            if default_rule is None:
+                default_rule = rule
+            continue
+        # A five-character unsigned token is a SQLSTATE (even when all
+        # digits, like 42601); signed or other-length numbers are
+        # SQLCODEs.  DB2 convention writes error SQLCODEs signed.
+        if _SQLSTATE_RE.fullmatch(code):
+            if code == error.sqlstate.lower() and state_rule is None:
+                state_rule = rule
+            continue
+        try:
+            if int(code) == error.sqlcode:
+                return rule  # exact SQLCODE match wins immediately
+        except ValueError:
+            continue
+    return state_rule or default_rule

@@ -1,0 +1,357 @@
+"""Recursive-descent parser for the DB2 WWW macro language of Section 3.
+
+The entry point is :func:`parse_macro`, which turns macro source text into
+a :class:`repro.core.ast.MacroFile`.  The grammar implemented here follows
+the paper's syntax boxes exactly; places where the paper leaves room for
+interpretation are flagged in the docstrings and in DESIGN.md:
+
+* Line-format SQL sections ("A SQL section can be of a line format or a
+  block format (we only discuss block formats here)") are supported: the
+  rest of the line is the SQL command.
+* ``%SQL_MESSAGE`` rule syntax is concretised as
+  ``code : "text" [: continue|exit]`` per line, where ``code`` is an
+  integer SQLCODE, a 5-character SQLSTATE or ``default``.
+* The else-branch of conditional forms (a)/(c) may be omitted; the value
+  is then the null string, matching the paper's null-on-miss semantics.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.core import ast
+from repro.core.lexer import BLOCK_END, Cursor, find_next_section
+from repro.core.values import ValueString
+from repro.errors import DuplicateSectionError, MacroSyntaxError
+
+# The section name may itself be a $(variable) reference, so the name
+# grammar admits one level of nested parentheses.
+_EXEC_SQL_RE = re.compile(
+    r"%EXEC_SQL(\((?P<name>(?:[^()\n]|\([^()\n]*\))*)\))?",
+    re.IGNORECASE)
+_MESSAGE_RULE_RE = re.compile(
+    r"^\s*(?P<code>default|[+-]?\d+|[0-9A-Za-z]{5})\s*:\s*"
+    r"\"(?P<text>(?:[^\"\\]|\\.)*)\"\s*(?::\s*(?P<action>continue|exit)\s*)?$",
+    re.IGNORECASE,
+)
+
+
+def parse_macro(text: str, *, source: Optional[str] = None) -> ast.MacroFile:
+    """Parse complete macro source into a :class:`MacroFile`.
+
+    Raises :class:`repro.errors.MacroSyntaxError` (or a subclass) on
+    malformed input.  Text outside recognised sections is preserved as
+    :class:`FreeText` and ignored by the engine, mirroring the original
+    system's tolerance of commentary between sections.
+    """
+    macro = ast.MacroFile(source=source)
+    cursor = Cursor(text, source=source)
+    while True:
+        match = find_next_section(cursor.text, cursor.pos)
+        if match is None:
+            trailing = cursor.rest()
+            if trailing.strip():
+                macro.sections.append(
+                    ast.FreeText(trailing, line=cursor.line))
+            break
+        if match.start() > cursor.pos:
+            gap = cursor.text[cursor.pos:match.start()]
+            if gap.strip():
+                macro.sections.append(ast.FreeText(gap, line=cursor.line))
+        line = cursor.line_at(match.start())
+        keyword = match.group(1).upper()
+        cursor.pos = match.end()
+        if keyword == "{":
+            body, _ = cursor.read_until(BLOCK_END,
+                                        what="comment block")
+            macro.sections.append(ast.CommentBlock(body, line=line))
+        elif keyword == "DEFINE":
+            macro.sections.append(_parse_define(cursor, line))
+        elif keyword == "SQL":
+            macro.sections.append(_parse_sql(cursor, line))
+        elif keyword == "INCLUDE":
+            macro.sections.append(_parse_include(cursor, line))
+        elif keyword == "HTML_INPUT":
+            section = _parse_html_input(cursor, line)
+            if macro.html_input is not None:
+                raise DuplicateSectionError(
+                    "macro contains more than one %HTML_INPUT section",
+                    line=line, source=source)
+            macro.sections.append(section)
+        else:  # HTML_REPORT
+            section = _parse_html_report(cursor, line)
+            if macro.html_report is not None:
+                raise DuplicateSectionError(
+                    "macro contains more than one %HTML_REPORT section",
+                    line=line, source=source)
+            macro.sections.append(section)
+    _validate(macro)
+    return macro
+
+
+# ---------------------------------------------------------------------------
+# %DEFINE
+# ---------------------------------------------------------------------------
+
+
+def _parse_define(cursor: Cursor, line: int) -> ast.DefineSection:
+    cursor.skip_spaces()
+    if cursor.match_literal("{"):
+        statements = []
+        while True:
+            cursor.skip_whitespace()
+            if cursor.at_end():
+                raise cursor.unterminated("%DEFINE block", line)
+            if cursor.match_literal(BLOCK_END):
+                break
+            statements.append(_parse_define_statement(cursor))
+        return ast.DefineSection(tuple(statements), line=line, block=True)
+    statement = _parse_define_statement(cursor)
+    return ast.DefineSection((statement,), line=line, block=False)
+
+
+def _parse_define_statement(cursor: Cursor) -> ast.DefineStatement:
+    line = cursor.line
+    if cursor.match_keyword("%LIST"):
+        cursor.skip_spaces()
+        separator = ValueString.parse(cursor.read_quoted())
+        cursor.skip_spaces()
+        name = cursor.read_name()
+        return ast.ListDeclaration(name, separator, line=line)
+    name = cursor.read_name()
+    cursor.skip_spaces()
+    if not cursor.match_literal("="):
+        raise cursor.error(f"expected '=' after variable name {name!r}")
+    cursor.skip_spaces()
+    if cursor.match_keyword("%EXEC"):
+        cursor.skip_spaces()
+        command = _read_value(cursor)
+        return ast.ExecDeclaration(name, command, line=line)
+    if cursor.match_literal("?"):
+        # Conditional forms (b)/(d): no test variable.
+        cursor.skip_spaces()
+        then_value = _read_value(cursor)
+        return ast.ConditionalAssignment(name, then_value, line=line)
+    if cursor.peek() in ('"', "{"):
+        value, multiline = _read_value_tagged(cursor)
+        return ast.SimpleAssignment(name, value, line=line,
+                                    multiline=multiline)
+    # Conditional forms (a)/(c): a test variable name precedes '?'.
+    test_name = cursor.read_name()
+    cursor.skip_spaces()
+    if not cursor.match_literal("?"):
+        raise cursor.error(
+            f"expected '?' after test variable {test_name!r} in conditional "
+            f"assignment to {name!r}")
+    cursor.skip_spaces()
+    then_value = _read_value(cursor)
+    cursor.skip_whitespace()
+    else_value = None
+    if cursor.match_literal(":"):
+        cursor.skip_whitespace()
+        else_value = _read_value(cursor)
+    return ast.ConditionalAssignment(
+        name, then_value, test_name=test_name, else_value=else_value,
+        line=line)
+
+
+def _read_value(cursor: Cursor) -> ValueString:
+    value, _multiline = _read_value_tagged(cursor)
+    return value
+
+
+def _read_value_tagged(cursor: Cursor) -> tuple[ValueString, bool]:
+    """Read a quoted one-line or braced multi-line value string."""
+    if cursor.peek() == '"':
+        return ValueString.parse(cursor.read_quoted()), False
+    if cursor.peek() == "{":
+        return ValueString.parse(cursor.read_braced()), True
+    raise cursor.error("expected a value: '\"...\"' or '{... %}'")
+
+
+# ---------------------------------------------------------------------------
+# %INCLUDE
+# ---------------------------------------------------------------------------
+
+
+def _parse_include(cursor: Cursor, line: int) -> ast.IncludeSection:
+    cursor.skip_spaces()
+    name = cursor.read_quoted()
+    if not name.strip():
+        raise cursor.error("%INCLUDE needs a macro file name")
+    return ast.IncludeSection(name.strip(), line=line)
+
+
+# ---------------------------------------------------------------------------
+# %SQL
+# ---------------------------------------------------------------------------
+
+
+def _parse_sql(cursor: Cursor, line: int) -> ast.SqlSection:
+    cursor.skip_spaces()
+    name: Optional[str] = None
+    if cursor.match_literal("("):
+        cursor.skip_spaces()
+        name = cursor.read_name()
+        cursor.skip_spaces()
+        if not cursor.match_literal(")"):
+            raise cursor.error("expected ')' after SQL section name")
+        cursor.skip_spaces()
+    if not cursor.match_literal("{"):
+        # Line format: the SQL command is the rest of the line.
+        command_text = cursor.rest_of_line().strip()
+        if not command_text:
+            raise cursor.error("empty line-format %SQL section")
+        return ast.SqlSection(ValueString.parse(command_text), name=name,
+                              line=line)
+    command_text, stop = cursor.read_until(
+        "%SQL_REPORT{", "%SQL_MESSAGE{", BLOCK_END, what="%SQL section")
+    report: Optional[ast.SqlReportBlock] = None
+    message: Optional[ast.SqlMessageBlock] = None
+    while stop != BLOCK_END:
+        if stop is not None and stop.upper().startswith("%SQL_REPORT"):
+            if report is not None:
+                raise cursor.error("duplicate %SQL_REPORT block")
+            report = _parse_sql_report(cursor)
+        else:
+            if message is not None:
+                raise cursor.error("duplicate %SQL_MESSAGE block")
+            message = _parse_sql_message(cursor)
+        _gap, stop = cursor.read_until(
+            "%SQL_REPORT{", "%SQL_MESSAGE{", BLOCK_END, what="%SQL section")
+        if _gap.strip():
+            raise cursor.error(
+                "unexpected text between blocks inside %SQL section: "
+                + _gap.strip()[:40])
+    command = ValueString.parse(command_text.strip())
+    if not command.raw:
+        raise MacroSyntaxError("empty SQL command in %SQL section",
+                               line=line, source=cursor.source)
+    return ast.SqlSection(command, name=name, report=report,
+                          message=message, line=line)
+
+
+def _parse_sql_report(cursor: Cursor) -> ast.SqlReportBlock:
+    line = cursor.line
+    header_text, stop = cursor.read_until(
+        "%ROW{", BLOCK_END, what="%SQL_REPORT block")
+    row: Optional[ast.RowBlock] = None
+    footer_text = ""
+    if stop is not None and stop.upper() == "%ROW{":
+        row_line = cursor.line
+        template_text, _ = cursor.read_until(BLOCK_END, what="%ROW block")
+        row = ast.RowBlock(ValueString.parse(template_text), line=row_line)
+        footer_text, _ = cursor.read_until(
+            BLOCK_END, what="%SQL_REPORT block")
+    return ast.SqlReportBlock(
+        header=ValueString.parse(header_text),
+        row=row,
+        footer=ValueString.parse(footer_text),
+        line=line,
+    )
+
+
+def _parse_sql_message(cursor: Cursor) -> ast.SqlMessageBlock:
+    line = cursor.line
+    body, _ = cursor.read_until(BLOCK_END, what="%SQL_MESSAGE block")
+    rules = []
+    for offset, raw_line in enumerate(body.splitlines()):
+        if not raw_line.strip():
+            continue
+        match = _MESSAGE_RULE_RE.match(raw_line)
+        if match is None:
+            raise MacroSyntaxError(
+                f"malformed %SQL_MESSAGE rule: {raw_line.strip()!r} "
+                "(expected: code : \"text\" [: continue|exit])",
+                line=line + offset, source=cursor.source)
+        action = (match.group("action") or "exit").lower()
+        text = match.group("text").replace('\\"', '"').replace("\\\\", "\\")
+        rules.append(ast.MessageRule(
+            code=match.group("code").lower(),
+            text=ValueString.parse(text),
+            action=action,
+            line=line + offset,
+        ))
+    return ast.SqlMessageBlock(tuple(rules), line=line)
+
+
+# ---------------------------------------------------------------------------
+# %HTML_INPUT / %HTML_REPORT
+# ---------------------------------------------------------------------------
+
+
+def _parse_html_input(cursor: Cursor, line: int) -> ast.HtmlInputSection:
+    cursor.skip_spaces()
+    if not cursor.match_literal("{"):
+        raise cursor.error("expected '{' after %HTML_INPUT")
+    body, _ = cursor.read_until(BLOCK_END, what="%HTML_INPUT section")
+    return ast.HtmlInputSection(ValueString.parse(body), line=line)
+
+
+def _parse_html_report(cursor: Cursor, line: int) -> ast.HtmlReportSection:
+    cursor.skip_spaces()
+    if not cursor.match_literal("{"):
+        raise cursor.error("expected '{' after %HTML_REPORT")
+    body_start_line = cursor.line
+    body, _ = cursor.read_until(BLOCK_END, what="%HTML_REPORT section")
+    pieces = _split_report_body(body, body_start_line)
+    return ast.HtmlReportSection(tuple(pieces), line=line)
+
+
+def _split_report_body(body: str, start_line: int) -> list[ast.HtmlPiece]:
+    """Split report HTML on ``%EXEC_SQL`` directives (Section 3.4)."""
+    pieces: list[ast.HtmlPiece] = []
+    pos = 0
+    for match in _EXEC_SQL_RE.finditer(body):
+        if match.start() > pos:
+            pieces.append(ValueString.parse(body[pos:match.start()]))
+        name_text = match.group("name")
+        directive_line = start_line + body.count("\n", 0, match.start())
+        if name_text is None:
+            pieces.append(ast.ExecSqlDirective(line=directive_line))
+        else:
+            pieces.append(ast.ExecSqlDirective(
+                name=ValueString.parse(name_text.strip()),
+                line=directive_line))
+        pos = match.end()
+    if pos < len(body):
+        pieces.append(ValueString.parse(body[pos:]))
+    return pieces
+
+
+# ---------------------------------------------------------------------------
+# Whole-macro validation
+# ---------------------------------------------------------------------------
+
+
+def _validate(macro: ast.MacroFile) -> None:
+    """Check cross-section constraints from Sections 3.2 and 3.4."""
+    seen_names: set[str] = set()
+    for section in macro.sql_sections():
+        if section.name is not None:
+            if section.name in seen_names:
+                raise DuplicateSectionError(
+                    f"duplicate SQL section name {section.name!r}",
+                    line=section.line, source=macro.source)
+            seen_names.add(section.name)
+    report = macro.html_report
+    if report is not None:
+        unnamed = [d for d in report.exec_sql_directives() if d.name is None]
+        if len(unnamed) > 1:
+            raise MacroSyntaxError(
+                "at most one unnamed %EXEC_SQL is allowed in the HTML "
+                "report section",
+                line=unnamed[1].line, source=macro.source)
+        has_includes = bool(macro.includes())
+        for directive in report.exec_sql_directives():
+            if directive.name is None or directive.name.has_references():
+                continue  # run-time resolution
+            if has_includes:
+                continue  # the named section may come from an include
+            name = directive.name.raw
+            if name and macro.named_sql_section(name) is None:
+                raise MacroSyntaxError(
+                    f"%EXEC_SQL({name}) refers to a SQL section that does "
+                    "not exist",
+                    line=directive.line, source=macro.source)

@@ -1,0 +1,193 @@
+"""SQL report generation — Section 3.2.1 of the paper.
+
+Once a SQL section's command has executed, its result is rendered either
+through the section's ``%SQL_REPORT`` block (custom layout) or in "a
+default table format if no SQL report section exists".
+
+The custom path instantiates the paper's implicit report variables:
+
+========== ==========================================================
+``Ni``      name of the *i*-th column (1-based)
+``N_col``   set if a column named *col* was retrieved (case-insensitive,
+            also reachable as ``N.col`` — the paper spells it both ways)
+``NLIST``   concatenation of all column names
+``ROW_NUM`` current row number while fetching; total row count after
+``Vi``      value of the *i*-th column of the current row
+``V_col``   value of the column named *col* (case-insensitive)
+``VLIST``   concatenation of all values of the current row
+========== ==========================================================
+
+``RPT_MAXROWS`` limits how many rows *print*; fetching continues so that
+``ROW_NUM`` ends at the true total ("After all rows have been fetched,
+ROW_NUM contains the total number of rows that result from the query,
+regardless of whether all rows were printed").
+
+``START_ROW_NUM`` (an extension the paper points at — Section 4.3 lists
+"scrollable cursors" among the features the lazy-substitution machinery
+enables, and the shipped successor implemented exactly this variable)
+makes the report start printing at the given 1-based row, so a macro can
+page through a result set with hidden-variable Next/Previous links.
+Together: rows ``START_ROW_NUM .. START_ROW_NUM+RPT_MAXROWS-1`` print.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.ast import SqlReportBlock, SqlSection
+from repro.core.substitution import Evaluator
+from repro.core.variables import VariableStore
+from repro.html.entities import escape_html
+from repro.sql.cursor import value_to_text
+from repro.sql.gateway import ExecutionResult
+
+#: Separator used when building ``NLIST``/``VLIST``.  The paper only says
+#: the strings are "created by concatenating" names/values; a single space
+#: keeps the output readable and matches the shipped system's default.
+LIST_CONCAT_SEPARATOR = " "
+
+
+class ReportGenerator:
+    """Renders SQL execution results into HTML report fragments."""
+
+    def __init__(self, store: VariableStore, evaluator: Evaluator, *,
+                 escape_values: bool = False):
+        self.store = store
+        self.evaluator = evaluator
+        #: When true, column values substituted into custom ``%ROW``
+        #: templates are HTML-escaped.  Off by default for fidelity — the
+        #: 1996 system substituted raw values (Figure 8 relies on a raw
+        #: value inside an HREF attribute) — but applications handling
+        #: untrusted data should enable it (see repro.security).
+        self.escape_values = escape_values
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def render(self, section: SqlSection, result: ExecutionResult) -> str:
+        """Render one executed SQL section's result."""
+        if section.report is not None:
+            return self._render_custom(section.report, result)
+        return self._render_default(result)
+
+    # ------------------------------------------------------------------
+    # Custom %SQL_REPORT rendering
+    # ------------------------------------------------------------------
+
+    def _render_custom(self, block: SqlReportBlock,
+                       result: ExecutionResult) -> str:
+        out: list[str] = []
+        self._install_column_names(result)
+        out.append(self.evaluator.evaluate(block.header))
+        window = self._print_window()
+        row_num = 0
+        if block.row is not None and result.is_query:
+            for row_values in result.iter_text_rows():
+                row_num += 1
+                self._install_row(result.columns, row_values, row_num)
+                if window.prints(row_num):
+                    out.append(self.evaluator.evaluate(block.row.template))
+        # ROW_NUM ends at the total fetched, printed or not.
+        self.store.set_system("ROW_NUM", str(row_num))
+        self.store.set_system("ROWCOUNT", str(
+            result.row_total if result.is_query else result.rowcount))
+        out.append(self.evaluator.evaluate(block.footer))
+        return "".join(out)
+
+    def _install_column_names(self, result: ExecutionResult) -> None:
+        names = result.columns
+        for i, name in enumerate(names, start=1):
+            self.store.set_system(f"N{i}", name)
+            self.store.set_system(f"N_{name}", name, case_insensitive=True)
+            self.store.set_system(f"N.{name}", name, case_insensitive=True)
+        self.store.set_system(
+            "NLIST", LIST_CONCAT_SEPARATOR.join(names))
+        self.store.set_system("ROW_NUM", "0")
+
+    def _install_row(self, columns: list[str], values: list[str],
+                     row_num: int) -> None:
+        rendered = [self._maybe_escape(v) for v in values]
+        self.store.set_system("ROW_NUM", str(row_num))
+        for i, (name, value) in enumerate(zip(columns, rendered), start=1):
+            self.store.set_system(f"V{i}", value)
+            self.store.set_system(f"V_{name}", value, case_insensitive=True)
+            self.store.set_system(f"V.{name}", value, case_insensitive=True)
+        self.store.set_system(
+            "VLIST", LIST_CONCAT_SEPARATOR.join(rendered))
+
+    def _maybe_escape(self, value: str) -> str:
+        if self.escape_values:
+            return escape_html(value)
+        return value
+
+    def _print_window(self) -> "_PrintWindow":
+        """The row window that prints: START_ROW_NUM + RPT_MAXROWS."""
+        return _PrintWindow(
+            start=self._int_setting("START_ROW_NUM", minimum=1),
+            limit=self._int_setting("RPT_MAXROWS", minimum=1))
+
+    def _int_setting(self, name: str, *, minimum: int) -> Optional[int]:
+        """An integer report setting; invalid/out-of-range means unset."""
+        raw = self.evaluator.evaluate_name(name)
+        if not raw:
+            return None
+        try:
+            value = int(raw)
+        except ValueError:
+            return None
+        if value < minimum:
+            return None
+        return value
+
+    # ------------------------------------------------------------------
+    # Default table format
+    # ------------------------------------------------------------------
+
+    def _render_default(self, result: ExecutionResult) -> str:
+        """The paper's "default table format".
+
+        Values are always HTML-escaped here: the table markup is ours, so
+        raw substitution would let data break the page structure.  For a
+        non-query statement there is no table; a short confirmation line is
+        produced instead (and ``ROWCOUNT`` is set for the report text).
+        """
+        self.store.set_system("ROWCOUNT", str(
+            result.row_total if result.is_query else result.rowcount))
+        if not result.is_query:
+            self.store.set_system("ROW_NUM", "0")
+            return (f"<P>Statement executed successfully. "
+                    f"{result.rowcount} row(s) affected.</P>\n")
+        self._install_column_names(result)
+        out = ["<TABLE BORDER=1>\n<TR>"]
+        for name in result.columns:
+            out.append(f"<TH>{escape_html(name)}</TH>")
+        out.append("</TR>\n")
+        window = self._print_window()
+        row_num = 0
+        for values in result.iter_text_rows():
+            row_num += 1
+            if not window.prints(row_num):
+                continue
+            out.append("<TR>")
+            for value in values:
+                out.append(f"<TD>{escape_html(value)}</TD>")
+            out.append("</TR>\n")
+        out.append("</TABLE>\n")
+        self.store.set_system("ROW_NUM", str(row_num))
+        return "".join(out)
+
+
+class _PrintWindow:
+    """The contiguous range of row numbers a report prints."""
+
+    __slots__ = ("first", "last")
+
+    def __init__(self, start: Optional[int], limit: Optional[int]):
+        self.first = start or 1
+        self.last = (self.first + limit - 1) if limit is not None else None
+
+    def prints(self, row_num: int) -> bool:
+        if row_num < self.first:
+            return False
+        return self.last is None or row_num <= self.last

@@ -1,0 +1,58 @@
+"""HTML substrate: entities, tokenizer, DOM-lite, forms, rendering.
+
+The client-side half of the Web described in Section 2 of the paper:
+markup parsing with period-browser leniency, the HTML 2.0 fill-in form
+model (the paper's input-variable mechanism of Section 2.2), a text-mode
+page renderer used to regenerate the screenshot figures, and a small
+generator for the baseline gateways.
+"""
+
+from repro.html.builder import HtmlWriter, attributes, element, page, text
+from repro.html.dom import Document, Element, TextNode
+from repro.html.entities import escape_html, unescape_html
+from repro.html.forms import (
+    CheckboxControl,
+    Form,
+    FormError,
+    HiddenControl,
+    Option,
+    RadioControl,
+    ResetControl,
+    SelectControl,
+    SubmitControl,
+    TextAreaControl,
+    TextControl,
+    extract_forms,
+)
+from repro.html.parser import parse_html
+from repro.html.render import render_markup, render_text
+from repro.html.tokenizer import tokenize
+
+__all__ = [
+    "CheckboxControl",
+    "Document",
+    "Element",
+    "Form",
+    "FormError",
+    "HiddenControl",
+    "HtmlWriter",
+    "Option",
+    "RadioControl",
+    "ResetControl",
+    "SelectControl",
+    "SubmitControl",
+    "TextAreaControl",
+    "TextControl",
+    "TextNode",
+    "attributes",
+    "element",
+    "escape_html",
+    "extract_forms",
+    "page",
+    "parse_html",
+    "render_markup",
+    "render_text",
+    "text",
+    "tokenize",
+    "unescape_html",
+]

@@ -1,0 +1,81 @@
+"""Programmatic HTML generation.
+
+The baseline gateways of Section 6 (WDB's auto-generated forms, GSQL's
+rendered proc files, the PL/SQL ``htp`` package) all generate markup from
+code — which is precisely the paper's argument *against* them.  This
+module gives those baselines a small, correct generator so the comparison
+is fair: escaping is automatic, attribute order is stable, void elements
+render without end tags.
+"""
+
+from __future__ import annotations
+
+from repro.html.entities import escape_attribute, escape_html
+from repro.html.parser import VOID_ELEMENTS
+
+
+def attributes(**attrs: str | bool | int | None) -> str:
+    """Render keyword arguments as an attribute string.
+
+    ``None`` skips the attribute; ``True`` renders a bare attribute
+    (``CHECKED``); ``False`` skips it.  A trailing underscore in a name is
+    stripped so reserved words work (``type_="text"``); other underscores
+    become dashes.
+    """
+    parts: list[str] = []
+    for raw_name, value in attrs.items():
+        if value is None or value is False:
+            continue
+        name = raw_name.rstrip("_").replace("_", "-").upper()
+        if value is True:
+            parts.append(name)
+        else:
+            parts.append(f'{name}="{escape_attribute(str(value))}"')
+    return (" " + " ".join(parts)) if parts else ""
+
+
+def element(tag: str, *children: str, **attrs: str | bool | int | None) -> str:
+    """Render an element with already-safe child markup.
+
+    Children are assumed to be markup (output of :func:`element` or
+    :func:`text`); use :func:`text` to bring raw data in safely.
+    """
+    name = tag.upper()
+    if tag.lower() in VOID_ELEMENTS:
+        return f"<{name}{attributes(**attrs)}>"
+    inner = "".join(children)
+    return f"<{name}{attributes(**attrs)}>{inner}</{name}>"
+
+
+def text(data: str) -> str:
+    """Escape raw data for inclusion as page text."""
+    return escape_html(data)
+
+
+def page(title: str, *body: str) -> str:
+    """A complete minimal 1996 page."""
+    return (
+        "<HTML><HEAD><TITLE>" + escape_html(title) + "</TITLE></HEAD>\n"
+        "<BODY>\n" + "".join(body) + "\n</BODY></HTML>\n"
+    )
+
+
+class HtmlWriter:
+    """An append-style writer for generators that build pages in steps.
+
+    This is the shape of Oracle's ``htp`` package (the PL/SQL baseline):
+    ``writer.print(...)`` accumulates lines into the CGI output stream.
+    """
+
+    def __init__(self) -> None:
+        self._parts: list[str] = []
+
+    def print(self, markup: str = "") -> None:  # noqa: A003 - htp.print
+        self._parts.append(markup)
+        self._parts.append("\n")
+
+    def print_text(self, data: str) -> None:
+        self.print(escape_html(data))
+
+    def getvalue(self) -> str:
+        return "".join(self._parts)

@@ -1,0 +1,126 @@
+"""A small document object model for parsed HTML.
+
+Two node kinds — :class:`Element` and :class:`TextNode` — plus the search
+and text-extraction operations the form machinery, the browser and the
+test-suite need.  Attribute names are lower-case (normalised by the
+tokenizer); lookups are therefore case-insensitive from the caller's
+point of view.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Union
+
+from repro.html.entities import unescape_html
+
+
+class TextNode:
+    """A run of character data."""
+
+    __slots__ = ("data", "parent")
+
+    def __init__(self, data: str, parent: Optional["Element"] = None):
+        self.data = data
+        self.parent = parent
+
+    @property
+    def text(self) -> str:
+        return unescape_html(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TextNode({self.data!r})"
+
+
+class Element:
+    """An HTML element with attributes and children."""
+
+    __slots__ = ("tag", "attrs", "children", "parent")
+
+    def __init__(self, tag: str,
+                 attrs: Optional[list[tuple[str, str]]] = None,
+                 parent: Optional["Element"] = None):
+        self.tag = tag.lower()
+        self.attrs: list[tuple[str, str]] = list(attrs or [])
+        self.children: list[Node] = []
+        self.parent = parent
+
+    # -- attributes ---------------------------------------------------------
+
+    def get(self, name: str, default: str = "") -> str:
+        folded = name.lower()
+        for key, value in self.attrs:
+            if key == folded:
+                return value
+        return default
+
+    def has_attr(self, name: str) -> bool:
+        folded = name.lower()
+        return any(key == folded for key, _ in self.attrs)
+
+    def set(self, name: str, value: str) -> None:
+        folded = name.lower()
+        for i, (key, _) in enumerate(self.attrs):
+            if key == folded:
+                self.attrs[i] = (key, value)
+                return
+        self.attrs.append((folded, value))
+
+    # -- tree ----------------------------------------------------------------
+
+    def append(self, node: "Node") -> None:
+        node.parent = self
+        self.children.append(node)
+
+    def iter(self) -> Iterator["Element"]:
+        """Depth-first iteration over this element and its descendants."""
+        yield self
+        for child in self.children:
+            if isinstance(child, Element):
+                yield from child.iter()
+
+    def find_all(self, *tags: str) -> list["Element"]:
+        wanted = {t.lower() for t in tags}
+        return [el for el in self.iter()
+                if el.tag in wanted and el is not self]
+
+    def find(self, *tags: str) -> Optional["Element"]:
+        found = self.find_all(*tags)
+        return found[0] if found else None
+
+    def child_elements(self) -> list["Element"]:
+        return [c for c in self.children if isinstance(c, Element)]
+
+    # -- text ----------------------------------------------------------------
+
+    def get_text(self) -> str:
+        """Concatenated character data of the subtree, entity-decoded."""
+        parts: list[str] = []
+        self._collect_text(parts)
+        return "".join(parts)
+
+    def _collect_text(self, parts: list[str]) -> None:
+        for child in self.children:
+            if isinstance(child, TextNode):
+                parts.append(child.text)
+            else:
+                child._collect_text(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Element(<{self.tag}> attrs={dict(self.attrs)!r})"
+
+
+Node = Union[Element, TextNode]
+
+
+class Document(Element):
+    """The root of a parsed page."""
+
+    def __init__(self) -> None:
+        super().__init__("#document")
+
+    @property
+    def title(self) -> str:
+        title = self.find("title")
+        if title is None:
+            return ""
+        return " ".join(title.get_text().split())

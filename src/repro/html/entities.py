@@ -1,0 +1,88 @@
+"""HTML character entities: escaping and unescaping.
+
+The substrate implements the entity set a 1996 browser understood (the
+HTML 2.0 named entities for markup-significant characters plus the Latin-1
+range) and numeric character references.  ``escape_html`` is used wherever
+the library itself generates markup around data values — the default
+report table, error messages, baseline gateways — and by applications that
+opt into value escaping (see :mod:`repro.security`).
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Minimal escaping applied to text content and attribute values.
+_ESCAPE_MAP = {
+    "&": "&amp;",
+    "<": "&lt;",
+    ">": "&gt;",
+    '"': "&quot;",
+}
+
+#: Named entities recognised when parsing (HTML 2.0 core set plus the
+#: handful of Latin-1 names that show up in period pages).
+NAMED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+    "nbsp": " ",
+    "copy": "©",
+    "reg": "®",
+    "eacute": "é",
+    "egrave": "è",
+    "agrave": "à",
+    "uuml": "ü",
+    "ouml": "ö",
+    "auml": "ä",
+    "ccedil": "ç",
+    "ntilde": "ñ",
+    "szlig": "ß",
+    "middot": "·",
+}
+
+_ENTITY_RE = re.compile(
+    r"&(?:#(?P<dec>[0-9]{1,7})|#[xX](?P<hex>[0-9A-Fa-f]{1,6})"
+    r"|(?P<named>[A-Za-z][A-Za-z0-9]{1,31}));"
+)
+
+
+def escape_html(text: str) -> str:
+    """Escape text for safe inclusion in HTML content or attributes."""
+    out = text.replace("&", "&amp;")
+    out = out.replace("<", "&lt;").replace(">", "&gt;")
+    return out.replace('"', "&quot;")
+
+
+def escape_attribute(text: str) -> str:
+    """Escape text for a double-quoted attribute value."""
+    return escape_html(text)
+
+
+def _replace_entity(match: re.Match[str]) -> str:
+    dec = match.group("dec")
+    if dec is not None:
+        code = int(dec)
+        return chr(code) if code <= 0x10FFFF else match.group(0)
+    hexa = match.group("hex")
+    if hexa is not None:
+        code = int(hexa, 16)
+        return chr(code) if code <= 0x10FFFF else match.group(0)
+    named = match.group("named")
+    replacement = NAMED_ENTITIES.get(named)
+    if replacement is None:
+        # Unknown entity: 1996 browsers displayed the raw text.
+        return match.group(0)
+    return replacement
+
+
+def unescape_html(text: str) -> str:
+    """Resolve character references the way a lenient browser does.
+
+    Unknown named entities and bare ampersands are left alone, matching
+    period browser behaviour (and making unescape total on arbitrary
+    input).
+    """
+    return _ENTITY_RE.sub(_replace_entity, text)

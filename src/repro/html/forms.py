@@ -1,0 +1,373 @@
+"""HTML fill-in forms: the client half of Section 2.2.
+
+"This HTML form has INPUT and SELECT sections which are used to define
+input variables for user input ... The Web client will then package the
+variable values as indicated by the user's screen clicks and passes these
+onto the Web server."  This module models the controls of HTML 2.0 forms
+(INPUT of types text/password/checkbox/radio/hidden/submit/reset,
+SELECT/OPTION with MULTIPLE, TEXTAREA) and implements the submission
+algorithm that produces the ordered ``name=value`` pairs of the paper's
+Figure 3.
+
+Submission rules (HTML 2.0 / period browser behaviour):
+
+* controls contribute in document order;
+* text, password, hidden and textarea controls always contribute (a name
+  is required);
+* checkboxes and radio buttons contribute only when checked; a checkbox
+  with no VALUE submits ``on``;
+* each *selected* OPTION of a SELECT contributes one pair (multi-valued
+  variables — the paper's ``DBFIELD``); in a single SELECT with no
+  SELECTED attribute the first option is selected, as Netscape and Mosaic
+  did;
+* a submit button contributes only if it is the one clicked and has a
+  name; reset buttons never contribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.html.dom import Document, Element
+
+
+class FormError(ReproError):
+    """Raised on invalid interactions with a form (unknown field etc.)."""
+
+
+@dataclass
+class Option:
+    """One ``<OPTION>`` of a SELECT."""
+
+    label: str
+    value: str
+    selected: bool = False
+
+
+@dataclass
+class Control:
+    """Base class for form controls."""
+
+    name: str
+    kind: str = field(init=False, default="")
+
+    def pairs(self, clicked: Optional["Control"]) -> list[tuple[str, str]]:
+        raise NotImplementedError  # pragma: no cover
+
+
+@dataclass
+class TextControl(Control):
+    value: str = ""
+    password: bool = False
+
+    def __post_init__(self) -> None:
+        self.kind = "password" if self.password else "text"
+
+    def pairs(self, clicked: Optional[Control]) -> list[tuple[str, str]]:
+        if not self.name:
+            return []
+        return [(self.name, self.value)]
+
+
+@dataclass
+class HiddenControl(Control):
+    value: str = ""
+
+    def __post_init__(self) -> None:
+        self.kind = "hidden"
+
+    def pairs(self, clicked: Optional[Control]) -> list[tuple[str, str]]:
+        if not self.name:
+            return []
+        return [(self.name, self.value)]
+
+
+@dataclass
+class CheckboxControl(Control):
+    value: str = "on"
+    checked: bool = False
+
+    def __post_init__(self) -> None:
+        self.kind = "checkbox"
+
+    def pairs(self, clicked: Optional[Control]) -> list[tuple[str, str]]:
+        if not self.name or not self.checked:
+            return []
+        return [(self.name, self.value)]
+
+
+@dataclass
+class RadioControl(Control):
+    value: str = "on"
+    checked: bool = False
+
+    def __post_init__(self) -> None:
+        self.kind = "radio"
+
+    def pairs(self, clicked: Optional[Control]) -> list[tuple[str, str]]:
+        if not self.name or not self.checked:
+            return []
+        return [(self.name, self.value)]
+
+
+@dataclass
+class SubmitControl(Control):
+    value: str = "Submit"
+
+    def __post_init__(self) -> None:
+        self.kind = "submit"
+
+    def pairs(self, clicked: Optional[Control]) -> list[tuple[str, str]]:
+        if clicked is not self or not self.name:
+            return []
+        return [(self.name, self.value)]
+
+
+@dataclass
+class ResetControl(Control):
+    value: str = "Reset"
+
+    def __post_init__(self) -> None:
+        self.kind = "reset"
+
+    def pairs(self, clicked: Optional[Control]) -> list[tuple[str, str]]:
+        return []
+
+
+@dataclass
+class TextAreaControl(Control):
+    value: str = ""
+
+    def __post_init__(self) -> None:
+        self.kind = "textarea"
+
+    def pairs(self, clicked: Optional[Control]) -> list[tuple[str, str]]:
+        if not self.name:
+            return []
+        return [(self.name, self.value)]
+
+
+@dataclass
+class SelectControl(Control):
+    options: list[Option] = field(default_factory=list)
+    multiple: bool = False
+
+    def __post_init__(self) -> None:
+        self.kind = "select"
+
+    def pairs(self, clicked: Optional[Control]) -> list[tuple[str, str]]:
+        if not self.name:
+            return []
+        return [(self.name, opt.value) for opt in self.options
+                if opt.selected]
+
+    # -- interaction -------------------------------------------------------
+
+    def select(self, label_or_value: str) -> None:
+        option = self._find(label_or_value)
+        if not self.multiple:
+            for opt in self.options:
+                opt.selected = False
+        option.selected = True
+
+    def deselect(self, label_or_value: str) -> None:
+        self._find(label_or_value).selected = False
+
+    def deselect_all(self) -> None:
+        for opt in self.options:
+            opt.selected = False
+
+    def selected_values(self) -> list[str]:
+        return [opt.value for opt in self.options if opt.selected]
+
+    def _find(self, label_or_value: str) -> Option:
+        for opt in self.options:
+            if label_or_value in (opt.value, opt.label):
+                return opt
+        raise FormError(
+            f"select {self.name!r} has no option {label_or_value!r}")
+
+
+class Form:
+    """One ``<FORM>`` with its controls, fillable and submittable."""
+
+    def __init__(self, *, action: str = "", method: str = "GET",
+                 controls: Optional[list[Control]] = None):
+        self.action = action
+        self.method = method.upper() or "GET"
+        self.controls: list[Control] = list(controls or [])
+
+    # -- lookup ----------------------------------------------------------
+
+    def __getitem__(self, name: str) -> Control:
+        control = self.get(name)
+        if control is None:
+            raise FormError(f"form has no control named {name!r}")
+        return control
+
+    def get(self, name: str) -> Optional[Control]:
+        for control in self.controls:
+            if control.name == name:
+                return control
+        return None
+
+    def all(self, name: str) -> list[Control]:
+        return [c for c in self.controls if c.name == name]
+
+    def control_names(self) -> list[str]:
+        seen: list[str] = []
+        for control in self.controls:
+            if control.name and control.name not in seen:
+                seen.append(control.name)
+        return seen
+
+    def submits(self) -> list[SubmitControl]:
+        return [c for c in self.controls if isinstance(c, SubmitControl)]
+
+    # -- filling ------------------------------------------------------------
+
+    def set(self, name: str, value: str) -> None:
+        """Type ``value`` into the text/hidden/textarea control ``name``."""
+        control = self[name]
+        if isinstance(control, (TextControl, HiddenControl,
+                                TextAreaControl)):
+            control.value = value
+            return
+        if isinstance(control, SelectControl):
+            control.select(value)
+            return
+        raise FormError(
+            f"cannot type into {control.kind} control {name!r}")
+
+    def check(self, name: str, value: Optional[str] = None) -> None:
+        """Check a checkbox, or pick the radio button with ``value``."""
+        candidates = self.all(name)
+        if not candidates:
+            raise FormError(f"form has no control named {name!r}")
+        for control in candidates:
+            if isinstance(control, CheckboxControl):
+                if value is None or control.value == value:
+                    control.checked = True
+                    return
+            if isinstance(control, RadioControl):
+                if value is None or control.value == value:
+                    for other in candidates:
+                        if isinstance(other, RadioControl):
+                            other.checked = False
+                    control.checked = True
+                    return
+        raise FormError(
+            f"no checkable control {name!r} with value {value!r}")
+
+    def uncheck(self, name: str, value: Optional[str] = None) -> None:
+        for control in self.all(name):
+            if isinstance(control, (CheckboxControl, RadioControl)):
+                if value is None or control.value == value:
+                    control.checked = False
+                    return
+        raise FormError(f"no checkable control {name!r}")
+
+    # -- submission ----------------------------------------------------------
+
+    def submission_pairs(
+            self, click: Optional[str | SubmitControl] = None
+    ) -> list[tuple[str, str]]:
+        """The ordered name=value pairs this form would submit.
+
+        ``click`` selects a submit button (by name or instance); ``None``
+        means the form was submitted without pressing a named button
+        (Enter in a text field, or a single nameless Submit).
+        """
+        clicked: Optional[Control] = None
+        if isinstance(click, SubmitControl):
+            clicked = click
+        elif isinstance(click, str):
+            for control in self.submits():
+                if control.name == click or control.value == click:
+                    clicked = control
+                    break
+            if clicked is None:
+                raise FormError(f"no submit button {click!r}")
+        pairs: list[tuple[str, str]] = []
+        for control in self.controls:
+            pairs.extend(control.pairs(clicked))
+        return pairs
+
+
+# ---------------------------------------------------------------------------
+# Extraction from a parsed document
+# ---------------------------------------------------------------------------
+
+
+def extract_forms(document: Document) -> list[Form]:
+    """Build :class:`Form` objects from every ``<FORM>`` in a document."""
+    forms = []
+    for element in document.find_all("form"):
+        forms.append(_build_form(element))
+    return forms
+
+
+def _build_form(form_el: Element) -> Form:
+    controls: list[Control] = []
+    for element in form_el.iter():
+        if element.tag == "input":
+            control = _build_input(element)
+            if control is not None:
+                controls.append(control)
+        elif element.tag == "select":
+            controls.append(_build_select(element))
+        elif element.tag == "textarea":
+            controls.append(TextAreaControl(
+                name=element.get("name"),
+                value=element.get_text()))
+    return Form(action=form_el.get("action"),
+                method=form_el.get("method", "GET"),
+                controls=controls)
+
+
+def _build_input(element: Element) -> Optional[Control]:
+    input_type = element.get("type", "text").lower()
+    name = element.get("name")
+    value = element.get("value")
+    if input_type in ("text", ""):
+        return TextControl(name=name, value=value)
+    if input_type == "password":
+        return TextControl(name=name, value=value, password=True)
+    if input_type == "hidden":
+        return HiddenControl(name=name, value=value)
+    # A checkbox/radio with no VALUE attribute submits "on" (HTML 2.0);
+    # an explicit VALUE="" stays empty — the paper's SHOWSQL "No" radio
+    # depends on submitting the null string.
+    check_value = value if element.has_attr("value") else "on"
+    if input_type == "checkbox":
+        return CheckboxControl(
+            name=name, value=check_value,
+            checked=element.has_attr("checked"))
+    if input_type == "radio":
+        return RadioControl(
+            name=name, value=check_value,
+            checked=element.has_attr("checked"))
+    if input_type == "submit":
+        return SubmitControl(name=name, value=value or "Submit")
+    if input_type == "reset":
+        return ResetControl(name=name, value=value or "Reset")
+    if input_type == "image":
+        return SubmitControl(name=name, value=value or "")
+    return None  # unknown input type: period browsers ignored it
+
+
+def _build_select(element: Element) -> SelectControl:
+    options: list[Option] = []
+    for option_el in element.find_all("option"):
+        label = " ".join(option_el.get_text().split())
+        value = option_el.get("value") if option_el.has_attr("value") \
+            else label
+        options.append(Option(label=label, value=value,
+                              selected=option_el.has_attr("selected")))
+    multiple = element.has_attr("multiple")
+    if options and not multiple and not any(o.selected for o in options):
+        options[0].selected = True
+    return SelectControl(name=element.get("name"), options=options,
+                         multiple=multiple)

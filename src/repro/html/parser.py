@@ -1,0 +1,103 @@
+"""Lenient HTML tree construction — the parsing half of a 1996 browser.
+
+Period HTML omitted most closing tags (``<P>``, ``<LI>``, ``<OPTION>``,
+table cells) and browsers repaired it; the paper's own markup (Figure 2,
+Appendix A) does exactly that.  The parser implements the standard repair
+rules:
+
+* *void elements* (``<INPUT>``, ``<BR>``, ...) never take children;
+* elements with *optional end tags* are auto-closed when a sibling of the
+  same kind (or another terminating tag) opens;
+* an unmatched end tag closes the nearest open element of that name, or
+  is ignored;
+* everything still open at end of input is closed.
+"""
+
+from __future__ import annotations
+
+from repro.html.dom import Document, Element, TextNode
+from repro.html.tokenizer import Comment, EndTag, StartTag, Text, tokenize
+
+#: Elements that never have content.
+VOID_ELEMENTS = frozenset({
+    "area", "base", "basefont", "br", "col", "hr", "img", "input",
+    "isindex", "link", "meta", "param",
+})
+
+#: tag -> set of start tags that implicitly close it.
+_IMPLICIT_CLOSERS: dict[str, frozenset[str]] = {
+    "p": frozenset({"p", "ul", "ol", "dl", "table", "form", "h1", "h2",
+                    "h3", "h4", "h5", "h6", "pre", "blockquote", "hr",
+                    "div"}),
+    "li": frozenset({"li"}),
+    "dt": frozenset({"dt", "dd"}),
+    "dd": frozenset({"dt", "dd"}),
+    "option": frozenset({"option", "optgroup"}),
+    "tr": frozenset({"tr"}),
+    "td": frozenset({"td", "th", "tr"}),
+    "th": frozenset({"td", "th", "tr"}),
+    "thead": frozenset({"tbody", "tfoot"}),
+    "tbody": frozenset({"tbody", "tfoot"}),
+}
+
+#: Closing these also closes any open element in the value set.
+_END_ALSO_CLOSES: dict[str, frozenset[str]] = {
+    "ul": frozenset({"li", "p"}),
+    "ol": frozenset({"li", "p"}),
+    "select": frozenset({"option"}),
+    "table": frozenset({"td", "th", "tr", "thead", "tbody", "tfoot"}),
+    "tr": frozenset({"td", "th"}),
+    "form": frozenset({"p", "li", "option"}),
+    "dl": frozenset({"dt", "dd", "p"}),
+}
+
+
+def parse_html(markup: str) -> Document:
+    """Parse markup into a :class:`Document`; never raises."""
+    document = Document()
+    stack: list[Element] = [document]
+
+    def open_element(tag: StartTag) -> None:
+        _auto_close_for(stack, tag.name)
+        element = Element(tag.name, list(tag.attrs))
+        stack[-1].append(element)
+        if tag.name not in VOID_ELEMENTS and not tag.self_closing:
+            stack.append(element)
+
+    def close_element(name: str) -> None:
+        also = _END_ALSO_CLOSES.get(name, frozenset())
+        # Find the nearest open element with this name.
+        for i in range(len(stack) - 1, 0, -1):
+            if stack[i].tag == name:
+                del stack[i:]
+                return
+            if stack[i].tag not in also and stack[i].tag not in \
+                    _IMPLICIT_CLOSERS:
+                # A mismatched end tag cannot close a structural element.
+                break
+        # Unmatched end tag: close optional-end elements it terminates.
+        while len(stack) > 1 and stack[-1].tag in also:
+            stack.pop()
+
+    for token in tokenize(markup):
+        if isinstance(token, Text):
+            if token.data:
+                stack[-1].append(TextNode(token.data))
+        elif isinstance(token, StartTag):
+            open_element(token)
+        elif isinstance(token, EndTag):
+            close_element(token.name)
+        elif isinstance(token, Comment):
+            continue
+    return document
+
+
+def _auto_close_for(stack: list[Element], incoming: str) -> None:
+    """Pop optional-end elements the incoming start tag terminates."""
+    while len(stack) > 1:
+        current = stack[-1].tag
+        closers = _IMPLICIT_CLOSERS.get(current)
+        if closers is not None and incoming in closers:
+            stack.pop()
+            continue
+        break

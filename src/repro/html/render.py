@@ -1,0 +1,215 @@
+"""Text-mode page rendering: "appropriate display operations".
+
+Section 2.1 step 4: "The Web client parses the Web page received from the
+server and performs appropriate display operations displaying the page to
+the user."  This renderer produces a terminal approximation of that
+display — headings underlined, lists bulleted, form controls drawn as
+``[x]``/``( )``/text boxes — which is how the benchmark harness
+regenerates the paper's screenshot figures (Figures 3, 7 and 8) as
+comparable artifacts.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.html.dom import Document, Element, Node, TextNode
+
+_WS_RE = re.compile(r"\s+")
+
+#: Elements rendered on their own line(s).
+_BLOCK_TAGS = frozenset({
+    "p", "div", "ul", "ol", "li", "dl", "dt", "dd", "table", "tr",
+    "form", "blockquote", "pre", "address", "center",
+    "h1", "h2", "h3", "h4", "h5", "h6",
+})
+
+_HEADING_UNDERLINE = {"h1": "=", "h2": "-", "h3": "-"}
+
+#: Content that never renders.
+_SKIP_TAGS = frozenset({"head", "script", "style", "title"})
+
+
+def render_text(document: Document, *, width: int = 72) -> str:
+    """Render a parsed page to display text."""
+    renderer = _Renderer(width)
+    renderer.walk(document)
+    return renderer.finish()
+
+
+def render_markup(markup: str, *, width: int = 72) -> str:
+    """Parse-and-render convenience used by the browser and figures."""
+    from repro.html.parser import parse_html
+    return render_text(parse_html(markup), width=width)
+
+
+class _Renderer:
+    def __init__(self, width: int):
+        self.width = width
+        self.lines: list[str] = []
+        self.current: list[str] = []
+        self.list_depth = 0
+
+    # -- line management -----------------------------------------------------
+
+    def emit(self, text: str) -> None:
+        if text:
+            self.current.append(text)
+
+    def break_line(self) -> None:
+        line = _WS_RE.sub(" ", "".join(self.current)).rstrip()
+        self.current = []
+        if line or (self.lines and self.lines[-1]):
+            self.lines.append(line)
+
+    def emit_line(self, line: str) -> None:
+        """Emit a pre-formatted line, bypassing whitespace collapsing."""
+        self.break_line()
+        self.lines.append(line.rstrip())
+
+    def blank_line(self) -> None:
+        self.break_line()
+        if self.lines and self.lines[-1]:
+            self.lines.append("")
+
+    def finish(self) -> str:
+        self.break_line()
+        while self.lines and not self.lines[-1]:
+            self.lines.pop()
+        while self.lines and not self.lines[0]:
+            self.lines.pop(0)
+        return "\n".join(self.lines) + "\n" if self.lines else ""
+
+    # -- traversal ------------------------------------------------------------
+
+    def walk(self, node: Node) -> None:
+        if isinstance(node, TextNode):
+            parent_tag = node.parent.tag if node.parent else ""
+            if parent_tag == "pre":
+                for i, line in enumerate(node.text.split("\n")):
+                    if i:
+                        self.break_line()
+                    self.emit(line)
+            else:
+                self.emit(_WS_RE.sub(" ", node.text))
+            return
+        element = node
+        tag = element.tag
+        if tag in _SKIP_TAGS:
+            return
+        if tag == "br":
+            self.break_line()
+            return
+        if tag == "hr":
+            self.blank_line()
+            self.emit("-" * min(40, self.width))
+            self.blank_line()
+            return
+        if tag == "img":
+            alt = element.get("alt")
+            if alt:
+                self.emit(f"[image: {alt}]")
+            return
+        if tag == "input":
+            self.emit(self._render_input(element))
+            return
+        if tag == "select":
+            self._render_select(element)
+            return
+        if tag == "textarea":
+            self.emit(f"[textarea {element.get('name')}]")
+            return
+        if tag in _HEADING_UNDERLINE:
+            self._render_heading(element)
+            return
+        if tag == "table":
+            self._render_table(element)
+            return
+        if tag == "li":
+            self.break_line()
+            self.emit("  " * max(self.list_depth - 1, 0) + "* ")
+            for child in element.children:
+                self.walk(child)
+            self.break_line()
+            return
+        if tag in ("ul", "ol", "dl"):
+            self.list_depth += 1
+            self.blank_line()
+            for child in element.children:
+                self.walk(child)
+            self.list_depth -= 1
+            self.blank_line()
+            return
+        is_block = tag in _BLOCK_TAGS
+        if is_block:
+            self.blank_line()
+        if tag == "a" and element.get("href"):
+            self.emit("<")
+            for child in element.children:
+                self.walk(child)
+            self.emit(f">[{element.get('href')}]")
+        else:
+            for child in element.children:
+                self.walk(child)
+        if is_block:
+            self.blank_line()
+
+    # -- element renderers -----------------------------------------------------
+
+    def _render_heading(self, element: Element) -> None:
+        self.blank_line()
+        text = " ".join(element.get_text().split())
+        self.emit(text)
+        self.break_line()
+        underline = _HEADING_UNDERLINE[element.tag]
+        self.emit(underline * max(len(text), 1))
+        self.blank_line()
+
+    def _render_input(self, element: Element) -> str:
+        input_type = element.get("type", "text").lower()
+        name = element.get("name")
+        value = element.get("value")
+        if input_type in ("text", "", "password"):
+            shown = value or "_" * 12
+            return f"[{shown}]"
+        if input_type == "checkbox":
+            mark = "x" if element.has_attr("checked") else " "
+            return f"[{mark}]"
+        if input_type == "radio":
+            mark = "o" if element.has_attr("checked") else " "
+            return f"({mark})"
+        if input_type == "submit":
+            return f"< {value or 'Submit'} >"
+        if input_type == "reset":
+            return f"< {value or 'Reset'} >"
+        if input_type == "hidden":
+            return ""
+        return f"[{input_type}:{name}]"
+
+    def _render_select(self, element: Element) -> None:
+        self.break_line()
+        for option in element.find_all("option"):
+            mark = ">" if option.has_attr("selected") else " "
+            label = " ".join(option.get_text().split())
+            self.emit(f"  {mark} {label}")
+            self.break_line()
+
+    def _render_table(self, element: Element) -> None:
+        rows: list[list[str]] = []
+        for tr in element.find_all("tr"):
+            cells = [" ".join(cell.get_text().split())
+                     for cell in tr.find_all("td", "th")]
+            rows.append(cells)
+        if not rows:
+            return
+        widths: list[int] = []
+        for row in rows:
+            for i, cell in enumerate(row):
+                if i >= len(widths):
+                    widths.append(0)
+                widths[i] = max(widths[i], len(cell))
+        self.blank_line()
+        for row in rows:
+            padded = [cell.ljust(widths[i]) for i, cell in enumerate(row)]
+            self.emit_line("| " + " | ".join(padded) + " |")
+        self.blank_line()

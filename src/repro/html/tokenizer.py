@@ -1,0 +1,152 @@
+"""HTML tokenizer: the lexical half of the Web-client substrate.
+
+Splits markup into start tags, end tags, text, comments and declarations,
+with the leniency real 1996 pages demanded: unquoted attribute values,
+missing quotes, stray ``<`` characters, attributes without values.  Tag
+and attribute names are normalised to lower case (HTML is
+case-insensitive; the paper's markup is upper-case throughout).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+_TAG_NAME_RE = re.compile(r"[A-Za-z][A-Za-z0-9]*")
+_ATTR_RE = re.compile(
+    r"\s*(?P<name>[A-Za-z_:][-A-Za-z0-9_:.]*)"
+    r"(?:\s*=\s*(?P<quoted>\"[^\"]*\"|'[^']*'|[^\s>]*))?"
+)
+
+
+@dataclass(frozen=True)
+class StartTag:
+    name: str
+    attrs: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+    self_closing: bool = False
+
+    def get(self, attr: str, default: str = "") -> str:
+        folded = attr.lower()
+        for key, value in self.attrs:
+            if key == folded:
+                return value
+        return default
+
+    def has(self, attr: str) -> bool:
+        folded = attr.lower()
+        return any(key == folded for key, _ in self.attrs)
+
+
+@dataclass(frozen=True)
+class EndTag:
+    name: str
+
+
+@dataclass(frozen=True)
+class Text:
+    data: str
+
+
+@dataclass(frozen=True)
+class Comment:
+    data: str
+
+
+Token = Union[StartTag, EndTag, Text, Comment]
+
+
+def tokenize(markup: str) -> Iterator[Token]:
+    """Tokenize HTML markup, never raising on malformed input.
+
+    A ``<`` that does not begin a recognisable tag is emitted as text,
+    matching the error recovery of period browsers.
+    """
+    pos = 0
+    n = len(markup)
+    while pos < n:
+        lt = markup.find("<", pos)
+        if lt < 0:
+            yield Text(markup[pos:])
+            return
+        if lt > pos:
+            yield Text(markup[pos:lt])
+        if markup.startswith("<!--", lt):
+            end = markup.find("-->", lt + 4)
+            if end < 0:
+                yield Comment(markup[lt + 4:])
+                return
+            yield Comment(markup[lt + 4:end])
+            pos = end + 3
+            continue
+        if markup.startswith("<!", lt):
+            end = markup.find(">", lt)
+            if end < 0:
+                yield Text(markup[lt:])
+                return
+            yield Comment(markup[lt + 2:end])
+            pos = end + 1
+            continue
+        if markup.startswith("</", lt):
+            match = _TAG_NAME_RE.match(markup, lt + 2)
+            if match is None:
+                yield Text("</")
+                pos = lt + 2
+                continue
+            end = markup.find(">", match.end())
+            if end < 0:
+                yield EndTag(match.group(0).lower())
+                return
+            yield EndTag(match.group(0).lower())
+            pos = end + 1
+            continue
+        match = _TAG_NAME_RE.match(markup, lt + 1)
+        if match is None:
+            yield Text("<")
+            pos = lt + 1
+            continue
+        name = match.group(0).lower()
+        tag_end, attrs, self_closing = _scan_attributes(markup, match.end())
+        yield StartTag(name=name, attrs=tuple(attrs),
+                       self_closing=self_closing)
+        pos = tag_end
+    return
+
+
+def _scan_attributes(markup: str,
+                     pos: int) -> tuple[int, list[tuple[str, str]], bool]:
+    """Scan attributes up to the closing ``>``.
+
+    Returns ``(position_after_gt, attrs, self_closing)``.  Attribute
+    values keep their exact text with surrounding quotes stripped;
+    valueless attributes (``CHECKED``, ``MULTIPLE``, ``SELECTED``) get the
+    empty string.
+    """
+    from repro.html.entities import unescape_html
+
+    attrs: list[tuple[str, str]] = []
+    n = len(markup)
+    while pos < n:
+        while pos < n and markup[pos] in " \t\r\n":
+            pos += 1
+        if pos >= n:
+            return n, attrs, False
+        if markup[pos] == ">":
+            return pos + 1, attrs, False
+        if markup.startswith("/>", pos):
+            return pos + 2, attrs, True
+        match = _ATTR_RE.match(markup, pos)
+        if match is None or match.end() == pos:
+            pos += 1  # skip junk character
+            continue
+        name = match.group("name").lower()
+        raw = match.group("quoted")
+        if raw is None:
+            value = ""
+        elif raw[:1] in ("'", '"') and raw[-1:] == raw[:1] and len(raw) >= 2:
+            value = unescape_html(raw[1:-1])
+        else:
+            value = unescape_html(raw)
+        attrs.append((name, value))
+        pos = match.end()
+    return n, attrs, False

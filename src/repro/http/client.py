@@ -1,0 +1,46 @@
+"""A socket HTTP client — the network half of a Web client.
+
+Implements the :class:`repro.http.inprocess.Transport` interface over real
+TCP, one connection per request (HTTP/1.0), so the simulated browser can
+talk to the socket server exactly as it talks to the in-process router.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.errors import HttpError
+from repro.http.inprocess import Transport
+from repro.http.message import HttpRequest, HttpResponse
+from repro.http.urls import Url
+
+_RECV_CHUNK = 8192
+
+
+class HttpClient(Transport):
+    """Fetches URLs over TCP sockets."""
+
+    def __init__(self, *, timeout: float = 10.0):
+        self.timeout = timeout
+
+    def fetch(self, url: Url, request: HttpRequest) -> HttpResponse:
+        request.headers.setdefault("Host", url.netloc)
+        request.headers.setdefault("User-Agent", "repro-browser/1.0")
+        try:
+            with socket.create_connection(
+                    (url.host, url.port), timeout=self.timeout) as conn:
+                conn.sendall(request.serialize())
+                conn.shutdown(socket.SHUT_WR)
+                chunks: list[bytes] = []
+                while True:
+                    chunk = conn.recv(_RECV_CHUNK)
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+        except OSError as exc:
+            raise HttpError(f"connection to {url.netloc} failed: {exc}") \
+                from exc
+        raw = b"".join(chunks)
+        if not raw:
+            raise HttpError(f"empty response from {url.netloc}")
+        return HttpResponse.parse(raw)

@@ -1,0 +1,52 @@
+"""In-process transport: the router without sockets.
+
+Figure 1's arrangement — browsers on many machines talking to a server
+over the internet — collapses, for deterministic tests and fast
+benchmarks, to a direct call into the same :class:`Router` the socket
+server uses.  The transport interface (``fetch``) is shared with
+:class:`repro.http.client.HttpClient`, so the simulated browser works
+identically over either.
+"""
+
+from __future__ import annotations
+
+from repro.http.message import HttpRequest, HttpResponse
+from repro.http.router import Router
+from repro.http.urls import Url
+
+
+class Transport:
+    """The interface the browser drives: fetch a request for a URL."""
+
+    def fetch(self, url: Url,
+              request: HttpRequest) -> HttpResponse:  # pragma: no cover
+        raise NotImplementedError
+
+
+class InProcessTransport(Transport):
+    """Dispatches requests directly into a router.
+
+    ``hosts`` maps ``host:port`` network locations onto routers, so a test
+    can stand up several "servers" (the multi-workstation world of
+    Figure 1) in one process.  A single-router constructor form covers the
+    common case.
+    """
+
+    def __init__(self, router: Router | None = None):
+        self._hosts: dict[str, Router] = {}
+        self._default = router
+        if router is not None:
+            self.add_host(router.server_name, router.server_port, router)
+
+    def add_host(self, name: str, port: int, router: Router) -> None:
+        self._hosts[f"{name.lower()}:{port}"] = router
+
+    def fetch(self, url: Url, request: HttpRequest) -> HttpResponse:
+        router = self._hosts.get(f"{url.host}:{url.port}", self._default)
+        if router is None:
+            from repro.http.router import _error
+            return _error(502, f"no route to host {url.netloc!r}")
+        # Round-trip through the wire format so in-process behaviour can
+        # not silently diverge from what sockets would carry.
+        parsed = HttpRequest.parse(request.serialize())
+        return router.handle(parsed)

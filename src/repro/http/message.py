@@ -1,0 +1,130 @@
+"""HTTP/1.0 request and response messages, with wire codecs.
+
+The Web of the paper speaks "the ubiquitous HTTP communication protocol"
+(Section 1) in its 1.0 form: one request per connection, the connection
+close delimiting the response body.  The codecs here implement exactly
+that, shared by the socket server, the socket client, and — structurally —
+the in-process transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BadRequestError
+from repro.http.headers import Headers
+from repro.http.status import reason_for
+
+SUPPORTED_METHODS = frozenset({"GET", "POST", "HEAD"})
+HTTP_VERSION = "HTTP/1.0"
+
+
+@dataclass
+class HttpRequest:
+    """One HTTP request."""
+
+    method: str = "GET"
+    target: str = "/"          # path[?query], as on the request line
+    headers: Headers = field(default_factory=Headers)
+    body: bytes = b""
+    version: str = HTTP_VERSION
+
+    @property
+    def path(self) -> str:
+        return self.target.partition("?")[0]
+
+    @property
+    def query(self) -> str:
+        return self.target.partition("?")[2]
+
+    def serialize(self) -> bytes:
+        headers = Headers(self.headers.items())
+        if self.body and "Content-Length" not in headers:
+            headers.set("Content-Length", str(len(self.body)))
+        head = (f"{self.method} {self.target} {self.version}\r\n"
+                + headers.serialize() + "\r\n")
+        return head.encode("latin-1") + self.body
+
+    @classmethod
+    def parse(cls, raw: bytes) -> "HttpRequest":
+        """Parse a full request message (head and body already read)."""
+        head, _, body = raw.partition(b"\r\n\r\n")
+        if not _:
+            head, _, body = raw.partition(b"\n\n")
+        lines = head.decode("latin-1", "replace").splitlines()
+        if not lines:
+            raise BadRequestError("empty request")
+        parts = lines[0].split()
+        if len(parts) == 2:  # HTTP/0.9 simple request
+            method, target = parts
+            version = "HTTP/0.9"
+        elif len(parts) == 3:
+            method, target, version = parts
+        else:
+            raise BadRequestError(f"malformed request line: {lines[0]!r}")
+        return cls(method=method.upper(), target=target,
+                   headers=Headers.parse_lines(lines[1:]), body=body,
+                   version=version)
+
+
+@dataclass
+class HttpResponse:
+    """One HTTP response."""
+
+    status: int = 200
+    headers: Headers = field(default_factory=Headers)
+    body: bytes = b""
+    version: str = HTTP_VERSION
+
+    @property
+    def reason(self) -> str:
+        return reason_for(self.status)
+
+    @property
+    def content_type(self) -> str:
+        return self.headers.get("Content-Type", "text/html")
+
+    @property
+    def text(self) -> str:
+        charset = "utf-8"
+        for param in self.content_type.split(";")[1:]:
+            key, _, value = param.strip().partition("=")
+            if key.lower() == "charset" and value:
+                charset = value.strip('"')
+        return self.body.decode(charset, "replace")
+
+    def serialize(self) -> bytes:
+        headers = Headers(self.headers.items())
+        headers.set("Content-Length", str(len(self.body)))
+        headers.setdefault("Content-Type", "text/html")
+        head = (f"{self.version} {self.status} {self.reason}\r\n"
+                + headers.serialize() + "\r\n")
+        return head.encode("latin-1") + self.body
+
+    @classmethod
+    def parse(cls, raw: bytes) -> "HttpResponse":
+        head, sep, body = raw.partition(b"\r\n\r\n")
+        if not sep:
+            head, sep, body = raw.partition(b"\n\n")
+        lines = head.decode("latin-1", "replace").splitlines()
+        if not lines:
+            raise BadRequestError("empty response")
+        parts = lines[0].split(None, 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            raise BadRequestError(f"malformed status line: {lines[0]!r}")
+        try:
+            status = int(parts[1])
+        except ValueError as exc:
+            raise BadRequestError(
+                f"malformed status code: {parts[1]!r}") from exc
+        return cls(status=status, headers=Headers.parse_lines(lines[1:]),
+                   body=body, version=parts[0])
+
+
+def html_response(html: str, *, status: int = 200,
+                  charset: str = "utf-8") -> HttpResponse:
+    """Build a text/html response from a page string."""
+    headers = Headers()
+    headers.set("Content-Type", f"text/html; charset={charset}")
+    return HttpResponse(status=status, headers=headers,
+                        body=html.encode(charset, "replace"))

@@ -1,0 +1,125 @@
+"""A keep-alive HTTP client: one TCP connection, many requests.
+
+The plain :class:`repro.http.client.HttpClient` is the strict HTTP/1.0
+one-connection-per-request client.  This one sends ``Connection:
+Keep-Alive`` and reuses the socket while the server agrees — reading
+responses by ``Content-Length`` instead of connection close — which is
+how Netscape 1.x cut page-load latency and what the EXT-KEEPALIVE bench
+measures.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.errors import HttpError
+from repro.http.inprocess import Transport
+from repro.http.message import HttpRequest, HttpResponse
+from repro.http.urls import Url
+
+_RECV_CHUNK = 8192
+_MAX_HEAD = 64 * 1024
+
+
+class PersistentHttpClient(Transport):
+    """Fetches URLs over reusable TCP connections (one per netloc)."""
+
+    def __init__(self, *, timeout: float = 10.0):
+        self.timeout = timeout
+        self._sockets: dict[str, socket.socket] = {}
+        self._buffers: dict[str, bytes] = {}
+
+    # -- transport interface ------------------------------------------------
+
+    def fetch(self, url: Url, request: HttpRequest) -> HttpResponse:
+        request.headers.setdefault("Host", url.netloc)
+        request.headers.set("Connection", "Keep-Alive")
+        key = f"{url.host}:{url.port}"
+        try:
+            return self._fetch_on(key, url, request)
+        except (HttpError, OSError):
+            # The server may have closed an idle connection between
+            # requests; retry once on a fresh socket.
+            self._drop(key)
+            return self._fetch_on(key, url, request)
+
+    def close(self) -> None:
+        for key in list(self._sockets):
+            self._drop(key)
+
+    def __enter__(self) -> "PersistentHttpClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- internals -----------------------------------------------------------
+
+    def _fetch_on(self, key: str, url: Url,
+                  request: HttpRequest) -> HttpResponse:
+        conn = self._sockets.get(key)
+        if conn is None:
+            conn = socket.create_connection((url.host, url.port),
+                                            timeout=self.timeout)
+            self._sockets[key] = conn
+            self._buffers[key] = b""
+        conn.sendall(request.serialize())
+        response, remaining = self._read_response(
+            conn, self._buffers.get(key, b""))
+        self._buffers[key] = remaining
+        if "keep-alive" not in \
+                response.headers.get("Connection", "").lower():
+            self._drop(key)
+        return response
+
+    def _read_response(self, conn: socket.socket,
+                       buffer: bytes) -> tuple[HttpResponse, bytes]:
+        data = buffer
+        separator = b"\r\n\r\n"
+        while separator not in data and b"\n\n" not in data:
+            if len(data) > _MAX_HEAD:
+                raise HttpError("response head exceeds limit")
+            chunk = conn.recv(_RECV_CHUNK)
+            if not chunk:
+                raise HttpError("connection closed mid-response")
+            data += chunk
+        if separator not in data:
+            separator = b"\n\n"
+        head, _, rest = data.partition(separator)
+        length = _content_length(head)
+        if length is None:
+            # No Content-Length: fall back to read-until-close (and the
+            # connection is then unusable for keep-alive).
+            while True:
+                chunk = conn.recv(_RECV_CHUNK)
+                if not chunk:
+                    break
+                rest += chunk
+            return HttpResponse.parse(head + separator + rest), b""
+        while len(rest) < length:
+            chunk = conn.recv(_RECV_CHUNK)
+            if not chunk:
+                break
+            rest += chunk
+        body, remaining = rest[:length], rest[length:]
+        return HttpResponse.parse(head + separator + body), remaining
+
+    def _drop(self, key: str) -> None:
+        conn = self._sockets.pop(key, None)
+        self._buffers.pop(key, None)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+def _content_length(head: bytes) -> int | None:
+    for line in head.split(b"\n"):
+        name, sep, value = line.decode("latin-1", "replace").partition(":")
+        if sep and name.strip().lower() == "content-length":
+            try:
+                return max(0, int(value.strip()))
+            except ValueError:
+                return None
+    return None

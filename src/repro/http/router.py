@@ -1,0 +1,181 @@
+"""The web server's request routing: static pages and ``/cgi-bin/``.
+
+"Typically, an organization makes itself accessible to the Web public by
+maintaining a home page on a web server" (Section 1) — static HTML files —
+while "dynamic creation of Web pages" goes through the CGI protocol
+(Section 2.3).  The router implements both halves and is shared by the
+socket server and the in-process transport, so every test and benchmark
+exercises the same dispatch logic regardless of transport.
+"""
+
+from __future__ import annotations
+
+import email.utils
+import mimetypes
+from pathlib import Path
+from typing import Optional
+
+from repro.cgi.environ import CgiEnvironment, split_cgi_path
+from repro.cgi.gateway import CgiGateway
+from repro.cgi.request import CgiRequest
+from repro.errors import UnknownCgiProgramError
+from repro.html.entities import escape_html
+from repro.http.headers import Headers
+from repro.http.message import (
+    SUPPORTED_METHODS,
+    HttpRequest,
+    HttpResponse,
+    html_response,
+)
+from repro.http.urls import normalize_path
+
+CGI_PREFIX = "/cgi-bin/"
+
+
+class Router:
+    """Maps HTTP requests to static files, registered pages, or CGI."""
+
+    def __init__(self, *, document_root: Optional[str | Path] = None,
+                 gateway: Optional[CgiGateway] = None,
+                 server_name: str = "localhost", server_port: int = 80,
+                 access_log=None):
+        self.document_root = (Path(document_root)
+                              if document_root is not None else None)
+        self.gateway = gateway or CgiGateway()
+        self.server_name = server_name
+        self.server_port = server_port
+        #: optional repro.http.accesslog.AccessLog; every handled
+        #: request is recorded in Common Log Format.
+        self.access_log = access_log
+        self._pages: dict[str, tuple[str, bytes]] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def add_page(self, path: str, html: str, *,
+                 content_type: str = "text/html; charset=utf-8") -> None:
+        """Register an in-memory static page (tests, home pages)."""
+        if not path.startswith("/"):
+            path = "/" + path
+        self._pages[path] = (content_type, html.encode("utf-8"))
+
+    # -- dispatch ----------------------------------------------------------
+
+    def handle(self, request: HttpRequest, *,
+               remote_addr: str = "127.0.0.1") -> HttpResponse:
+        response = self._route(request, remote_addr)
+        if self.access_log is not None:
+            self.access_log.record(request, response,
+                                   remote_addr=remote_addr)
+        return response
+
+    def _route(self, request: HttpRequest,
+               remote_addr: str) -> HttpResponse:
+        if request.method not in SUPPORTED_METHODS:
+            return _error(501, f"method {request.method} not implemented")
+        path = normalize_path(request.path)
+        if path.startswith(CGI_PREFIX):
+            response = self._handle_cgi(request, path, remote_addr)
+        elif request.method == "POST":
+            return _error(405, "POST is only supported for CGI programs")
+        else:
+            response = self._handle_static(path, request)
+        if request.method == "HEAD":
+            response.body = b""
+        return response
+
+    # -- CGI ---------------------------------------------------------------
+
+    def _handle_cgi(self, request: HttpRequest, path: str,
+                    remote_addr: str) -> HttpResponse:
+        try:
+            script_name, program, path_info = split_cgi_path(
+                path, CGI_PREFIX)
+        except ValueError as exc:
+            return _error(404, str(exc))
+        environ = CgiEnvironment(
+            request_method=request.method,
+            script_name=script_name,
+            path_info=path_info,
+            query_string=request.query,
+            content_type=request.headers.get("Content-Type"),
+            content_length=len(request.body),
+            server_name=self.server_name,
+            server_port=self.server_port,
+            remote_addr=remote_addr,
+            http_headers=dict(request.headers.items()),
+        )
+        cgi_request = CgiRequest(environ=environ, stdin=request.body)
+        try:
+            cgi_response = self.gateway.dispatch(program, cgi_request)
+        except UnknownCgiProgramError as exc:
+            return _error(404, str(exc))
+        headers = Headers(cgi_response.headers)
+        headers.setdefault("Content-Type", "text/html")
+        return HttpResponse(status=cgi_response.status, headers=headers,
+                            body=cgi_response.body)
+
+    # -- static files ------------------------------------------------------
+
+    def _handle_static(self, path: str,
+                       request: HttpRequest) -> HttpResponse:
+        page = self._pages.get(path)
+        if page is None and path.endswith("/"):
+            page = self._pages.get(path + "index.html")
+        if page is not None:
+            content_type, body = page
+            headers = Headers()
+            headers.set("Content-Type", content_type)
+            return HttpResponse(status=200, headers=headers, body=body)
+        if self.document_root is not None:
+            return self._serve_file(path, request)
+        return _error(404, f"no such page: {path}")
+
+    def _serve_file(self, path: str,
+                    request: HttpRequest) -> HttpResponse:
+        assert self.document_root is not None
+        relative = path.lstrip("/")
+        candidate = (self.document_root / relative).resolve()
+        root = self.document_root.resolve()
+        # normalize_path already collapsed "..", but symlinks could still
+        # escape; re-check containment after resolution.
+        if not str(candidate).startswith(str(root)):
+            return _error(403, "path escapes the document root")
+        if candidate.is_dir():
+            candidate = candidate / "index.html"
+        if not candidate.is_file():
+            return _error(404, f"no such page: {path}")
+        # Conditional GET (HTTP/1.0 §10.9): Last-Modified out,
+        # If-Modified-Since in, 304 when the file has not changed.
+        mtime = int(candidate.stat().st_mtime)
+        last_modified = email.utils.formatdate(mtime, usegmt=True)
+        since_header = request.headers.get("If-Modified-Since")
+        if since_header:
+            since = email.utils.parsedate_to_datetime(since_header) \
+                if _parseable_date(since_header) else None
+            if since is not None and mtime <= since.timestamp():
+                headers = Headers()
+                headers.set("Last-Modified", last_modified)
+                return HttpResponse(status=304, headers=headers)
+        content_type, _ = mimetypes.guess_type(str(candidate))
+        headers = Headers()
+        headers.set("Content-Type", content_type or "text/html")
+        headers.set("Last-Modified", last_modified)
+        return HttpResponse(status=200, headers=headers,
+                            body=candidate.read_bytes())
+
+
+def _parseable_date(text: str) -> bool:
+    try:
+        return email.utils.parsedate_to_datetime(text) is not None
+    except (TypeError, ValueError):
+        return False
+
+
+def _error(status: int, detail: str) -> HttpResponse:
+    from repro.http.status import reason_for
+    reason = reason_for(status)
+    return html_response(
+        f"<HTML><HEAD><TITLE>{status} {reason}</TITLE></HEAD>\n"
+        f"<BODY><H1>{status} {reason}</H1>"
+        f"<P>{escape_html(detail)}</P></BODY></HTML>\n",
+        status=status)

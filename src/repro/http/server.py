@@ -1,0 +1,184 @@
+"""A threaded HTTP/1.0 socket server (the "Web server" of Figure 1).
+
+One thread per connection, one request per connection, connection close
+delimits the response — the NCSA-httpd model of 1996.  ``Connection:
+Keep-Alive`` is honoured the way Netscape-era servers bolted it onto
+HTTP/1.0: when the client asks and the response carries a
+Content-Length (ours always do), the connection stays open for further
+requests, up to ``keep_alive_max`` per connection.  Routing is
+delegated to :class:`repro.http.router.Router`, so everything reachable
+in-process is also reachable over a real socket (the live-server example
+and the socket-transport integration tests rely on this).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.errors import BadRequestError
+from repro.http.message import HttpRequest, HttpResponse, html_response
+from repro.http.router import Router
+
+_MAX_HEAD = 64 * 1024
+_MAX_BODY = 8 * 1024 * 1024
+_RECV_CHUNK = 8192
+
+
+class HttpServer:
+    """Serve a router on a TCP port until :meth:`shutdown`.
+
+    Usable as a context manager::
+
+        with HttpServer(router) as server:
+            url = f"http://127.0.0.1:{server.port}/"
+    """
+
+    def __init__(self, router: Router, *, host: str = "127.0.0.1",
+                 port: int = 0, timeout: float = 10.0,
+                 keep_alive_max: int = 100):
+        self.router = router
+        self.timeout = timeout
+        #: maximum requests served on one kept-alive connection
+        self.keep_alive_max = keep_alive_max
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(32)
+        self.host, self.port = self._listener.getsockname()
+        router.server_name = self.host
+        router.server_port = self.port
+        self._shutdown = threading.Event()
+        self._thread = threading.Thread(
+            target=self._accept_loop, name="repro-httpd", daemon=True)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "HttpServer":
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self._shutdown.set()
+        try:
+            # Wake the accept loop with a throwaway connection.
+            with socket.create_connection((self.host, self.port),
+                                          timeout=1.0):
+                pass
+        except OSError:
+            pass
+        self._thread.join(timeout=5.0)
+        self._listener.close()
+
+    def __enter__(self) -> "HttpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- internals -----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._shutdown.is_set():
+            try:
+                conn, addr = self._listener.accept()
+            except OSError:
+                return
+            if self._shutdown.is_set():
+                conn.close()
+                return
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn, addr),
+                daemon=True)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket,
+                          addr: tuple[str, int]) -> None:
+        conn.settimeout(self.timeout)
+        buffer = b""
+        served = 0
+        try:
+            while served < self.keep_alive_max:
+                raw, buffer = self._read_request(conn, buffer)
+                if raw is None:
+                    return
+                keep_alive = False
+                try:
+                    request = HttpRequest.parse(raw)
+                    keep_alive = _wants_keep_alive(request)
+                    response = self.router.handle(request,
+                                                  remote_addr=addr[0])
+                except BadRequestError as exc:
+                    response = html_response(
+                        f"<H1>400 Bad Request</H1><P>{exc}</P>",
+                        status=400)
+                served += 1
+                if keep_alive and served < self.keep_alive_max:
+                    response.headers.set("Connection", "Keep-Alive")
+                else:
+                    response.headers.set("Connection", "close")
+                    keep_alive = False
+                conn.sendall(response.serialize())
+                if not keep_alive:
+                    return
+        except OSError:
+            pass
+        finally:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+
+    def _read_request(self, conn: socket.socket,
+                      buffer: bytes) -> tuple[bytes | None, bytes]:
+        """Read one full request: head to the blank line, then the body
+        according to Content-Length.
+
+        ``buffer`` carries bytes already read beyond the previous
+        request (keep-alive pipelining); returns ``(request_bytes,
+        remaining_buffer)``, with ``None`` when the peer closed or the
+        limits were exceeded.
+        """
+        data = buffer
+        separator = b"\r\n\r\n"
+        while separator not in data and b"\n\n" not in data:
+            if len(data) > _MAX_HEAD:
+                return None, b""
+            chunk = conn.recv(_RECV_CHUNK)
+            if not chunk:
+                return None, b""
+            data += chunk
+        if separator not in data:
+            separator = b"\n\n"
+        head, _, rest = data.partition(separator)
+        content_length = _content_length(head)
+        if content_length > _MAX_BODY:
+            return None, b""
+        while len(rest) < content_length:
+            chunk = conn.recv(_RECV_CHUNK)
+            if not chunk:
+                break
+            rest += chunk
+        body, remaining = rest[:content_length], rest[content_length:]
+        return head + separator + body, remaining
+
+
+def _wants_keep_alive(request: HttpRequest) -> bool:
+    tokens = request.headers.get("Connection", "").lower()
+    return "keep-alive" in tokens
+
+
+def _content_length(head: bytes) -> int:
+    for line in head.split(b"\n"):
+        name, sep, value = line.decode("latin-1", "replace").partition(":")
+        if sep and name.strip().lower() == "content-length":
+            try:
+                return max(0, int(value.strip()))
+            except ValueError:
+                return 0
+    return 0

@@ -1,0 +1,36 @@
+"""HTTP status codes and reason phrases (the HTTP/1.0 set plus the few
+later additions our gateway emits)."""
+
+from __future__ import annotations
+
+REASONS: dict[int, str] = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    301: "Moved Permanently",
+    302: "Found",
+    304: "Not Modified",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    414: "URI Too Long",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+}
+
+
+def reason_for(status: int) -> str:
+    """Reason phrase for a status code (generic class name if unknown)."""
+    if status in REASONS:
+        return REASONS[status]
+    generic = {1: "Informational", 2: "Success", 3: "Redirection",
+               4: "Client Error", 5: "Server Error"}
+    return generic.get(status // 100, "Unknown")

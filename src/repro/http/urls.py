@@ -1,0 +1,143 @@
+"""Uniform resource locators (Section 1: "a uniform resource locator
+(URL)"), parsed and built the way 1996 software did.
+
+Only ``http`` URLs matter to the reproduction; the parser understands
+``http://host[:port]/path[?query]`` absolute URLs, server-relative paths
+(``/cgi-bin/...``) and relative references, with :func:`join` implementing
+the subset of RFC 1808 relative resolution that form ACTIONs and
+hyperlinks in period pages use.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+
+from repro.errors import UrlSyntaxError
+
+_ABSOLUTE_RE = re.compile(
+    r"^(?P<scheme>[A-Za-z][A-Za-z0-9+.\-]*)://"
+    r"(?P<host>[^/:?#\s]+)"
+    r"(?::(?P<port>\d+))?"
+    r"(?P<rest>[^#\s]*)"
+    r"(?:#(?P<fragment>\S*))?$"
+)
+
+
+@dataclass(frozen=True)
+class Url:
+    """A parsed URL.  ``path`` always begins with ``/`` (or is empty for
+    opaque references); ``query`` excludes the ``?``."""
+
+    scheme: str = "http"
+    host: str = "localhost"
+    port: int = 80
+    path: str = "/"
+    query: str = ""
+    fragment: str = ""
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "Url":
+        """Parse an absolute http URL."""
+        match = _ABSOLUTE_RE.match(text.strip())
+        if match is None:
+            raise UrlSyntaxError(f"not an absolute URL: {text!r}")
+        scheme = match.group("scheme").lower()
+        port_text = match.group("port")
+        port = int(port_text) if port_text else _default_port(scheme)
+        rest = match.group("rest") or "/"
+        path, _, query = rest.partition("?")
+        return cls(scheme=scheme, host=match.group("host").lower(),
+                   port=port, path=path or "/", query=query,
+                   fragment=match.group("fragment") or "")
+
+    # -- rendering --------------------------------------------------------
+
+    @property
+    def request_target(self) -> str:
+        """The path?query string sent on the HTTP request line."""
+        target = self.path or "/"
+        if self.query:
+            target += "?" + self.query
+        return target
+
+    @property
+    def netloc(self) -> str:
+        if self.port == _default_port(self.scheme):
+            return self.host
+        return f"{self.host}:{self.port}"
+
+    def __str__(self) -> str:
+        text = f"{self.scheme}://{self.netloc}{self.path or '/'}"
+        if self.query:
+            text += "?" + self.query
+        if self.fragment:
+            text += "#" + self.fragment
+        return text
+
+    # -- manipulation -----------------------------------------------------
+
+    def with_query(self, query: str) -> "Url":
+        return replace(self, query=query)
+
+    def with_path(self, path: str) -> "Url":
+        if not path.startswith("/"):
+            path = "/" + path
+        return replace(self, path=path)
+
+
+def _default_port(scheme: str) -> int:
+    return {"http": 80, "https": 443}.get(scheme, 80)
+
+
+def join(base: Url, reference: str) -> Url:
+    """Resolve ``reference`` against ``base``.
+
+    Handles the forms a 1996 browser met in href/ACTION attributes:
+    absolute URLs, network-path (``//host/...``), absolute paths,
+    relative paths (with ``.``/``..`` normalisation) and bare query
+    (``?a=b``) or fragment references.
+    """
+    reference = reference.strip()
+    if not reference:
+        return base
+    if _ABSOLUTE_RE.match(reference):
+        return Url.parse(reference)
+    if reference.startswith("//"):
+        return Url.parse(f"{base.scheme}:{reference}")
+    if reference.startswith("#"):
+        return replace(base, fragment=reference[1:])
+    if reference.startswith("?"):
+        return replace(base, query=reference[1:], fragment="")
+    path, _, tail = reference.partition("?")
+    query, _, fragment = tail.partition("#")
+    if path.startswith("/"):
+        resolved = path
+    else:
+        directory = base.path.rsplit("/", 1)[0]
+        resolved = f"{directory}/{path}"
+    return replace(base, path=normalize_path(resolved),
+                   query=query, fragment=fragment)
+
+
+def normalize_path(path: str) -> str:
+    """Collapse ``.`` and ``..`` segments; the result stays rooted.
+
+    ``..`` never climbs above ``/`` — the classic path-traversal guard a
+    static-file server needs.
+    """
+    segments: list[str] = []
+    for segment in path.split("/"):
+        if segment in ("", "."):
+            continue
+        if segment == "..":
+            if segments:
+                segments.pop()
+            continue
+        segments.append(segment)
+    normalized = "/" + "/".join(segments)
+    if path.endswith("/") and normalized != "/":
+        normalized += "/"
+    return normalized

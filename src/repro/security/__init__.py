@@ -1,0 +1,46 @@
+"""Practical-issues substrate (Section 5): SQL safety, access control,
+internationalisation."""
+
+from repro.security.auth import (
+    BasicAuthenticator,
+    FilteredProgram,
+    HostFilter,
+    ProtectedProgram,
+    basic_credentials,
+)
+from repro.security.i18n import (
+    MessageCatalog,
+    localized_macro_name,
+    negotiate_language,
+    parse_accept_language,
+)
+from repro.security.sqlsafe import (
+    GuardedSession,
+    SqlPolicy,
+    UnsafeSqlError,
+    assert_single_statement,
+    assert_verb_allowed,
+    escape_literal,
+    quote_identifier,
+    quote_literal,
+)
+
+__all__ = [
+    "BasicAuthenticator",
+    "FilteredProgram",
+    "GuardedSession",
+    "HostFilter",
+    "MessageCatalog",
+    "ProtectedProgram",
+    "SqlPolicy",
+    "UnsafeSqlError",
+    "assert_single_statement",
+    "assert_verb_allowed",
+    "basic_credentials",
+    "escape_literal",
+    "localized_macro_name",
+    "negotiate_language",
+    "parse_accept_language",
+    "quote_identifier",
+    "quote_literal",
+]

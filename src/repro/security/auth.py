@@ -1,0 +1,155 @@
+"""Access control for the gateway — Section 5's security integrations.
+
+"While DB2WWW does not provide any new security measure, it works with
+the DB2 database, the Web server, and the firewall products to provide
+secure data access over the internet."  The three layers reproduced:
+
+* :class:`HostFilter` — the firewall: allow/deny by client address;
+* :class:`BasicAuthenticator` + :class:`ProtectedProgram` — the web
+  server's HTTP Basic authentication in front of a CGI program;
+* per-database credentials are the DBMS's own job and are modelled by
+  registering different databases under different names.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import hmac
+import ipaddress
+import secrets
+
+from repro.cgi.gateway import CgiProgram
+from repro.cgi.request import CgiRequest, CgiResponse
+
+
+class BasicAuthenticator:
+    """An htpasswd-style user store for HTTP Basic authentication.
+
+    Passwords are salted and hashed (SHA-256); 1996 servers stored crypt
+    hashes, same idea.  Verification is constant-time.
+    """
+
+    def __init__(self, realm: str = "repro"):
+        self.realm = realm
+        self._users: dict[str, tuple[bytes, bytes]] = {}
+
+    def add_user(self, username: str, password: str) -> None:
+        salt = secrets.token_bytes(16)
+        digest = self._digest(salt, password)
+        self._users[username] = (salt, digest)
+
+    @staticmethod
+    def _digest(salt: bytes, password: str) -> bytes:
+        return hashlib.sha256(salt + password.encode("utf-8")).digest()
+
+    def verify(self, username: str, password: str) -> bool:
+        record = self._users.get(username)
+        if record is None:
+            # Burn comparable time so user existence does not leak.
+            hmac.compare_digest(
+                self._digest(b"x" * 16, password), b"\x00" * 32)
+            return False
+        salt, stored = record
+        return hmac.compare_digest(self._digest(salt, password), stored)
+
+    def check_header(self, authorization: str) -> bool:
+        """Validate an ``Authorization: Basic ...`` header value."""
+        scheme, _, payload = authorization.partition(" ")
+        if scheme.lower() != "basic" or not payload:
+            return False
+        try:
+            decoded = base64.b64decode(payload.strip(),
+                                       validate=True).decode("utf-8")
+        except (ValueError, UnicodeDecodeError):
+            return False
+        username, sep, password = decoded.partition(":")
+        if not sep:
+            return False
+        return self.verify(username, password)
+
+
+def basic_credentials(username: str, password: str) -> str:
+    """Build the header value a client sends for Basic auth."""
+    token = base64.b64encode(
+        f"{username}:{password}".encode("utf-8")).decode("ascii")
+    return f"Basic {token}"
+
+
+class ProtectedProgram:
+    """Wraps a CGI program behind Basic authentication."""
+
+    def __init__(self, program: CgiProgram,
+                 authenticator: BasicAuthenticator):
+        self.program = program
+        self.authenticator = authenticator
+
+    def run(self, request: CgiRequest) -> CgiResponse:
+        header = request.environ.http_headers.get("Authorization", "")
+        if not self.authenticator.check_header(header):
+            body = (b"<HTML><BODY><H1>401 Unauthorized</H1>"
+                    b"<P>This application requires a login.</P>"
+                    b"</BODY></HTML>\n")
+            return CgiResponse(
+                status=401, reason="Unauthorized",
+                headers=[
+                    ("WWW-Authenticate",
+                     f'Basic realm="{self.authenticator.realm}"'),
+                    ("Content-Type", "text/html"),
+                ],
+                body=body)
+        return self.program.run(request)
+
+
+class HostFilter:
+    """The firewall layer: allow or deny CGI access by client address.
+
+    Rules are IP networks in CIDR form; the default posture is configured
+    at construction (``default_allow``).  Deny rules win over allow
+    rules, as packet filters of the era evaluated them.
+    """
+
+    def __init__(self, *, default_allow: bool = True):
+        self._allow: list[ipaddress.IPv4Network | ipaddress.IPv6Network] = []
+        self._deny: list[ipaddress.IPv4Network | ipaddress.IPv6Network] = []
+        self.default_allow = default_allow
+
+    def allow(self, network: str) -> "HostFilter":
+        self._allow.append(ipaddress.ip_network(network, strict=False))
+        return self
+
+    def deny(self, network: str) -> "HostFilter":
+        self._deny.append(ipaddress.ip_network(network, strict=False))
+        return self
+
+    def permits(self, address: str) -> bool:
+        try:
+            ip = ipaddress.ip_address(address)
+        except ValueError:
+            return False
+        if any(ip in net for net in self._deny):
+            return False
+        if any(ip in net for net in self._allow):
+            return True
+        return self.default_allow
+
+    def wrap(self, program: CgiProgram) -> "FilteredProgram":
+        return FilteredProgram(program, self)
+
+
+class FilteredProgram:
+    """A CGI program reachable only from permitted addresses."""
+
+    def __init__(self, program: CgiProgram, host_filter: HostFilter):
+        self.program = program
+        self.host_filter = host_filter
+
+    def run(self, request: CgiRequest) -> CgiResponse:
+        if not self.host_filter.permits(request.environ.remote_addr):
+            body = (b"<HTML><BODY><H1>403 Forbidden</H1>"
+                    b"<P>Access to this application is restricted.</P>"
+                    b"</BODY></HTML>\n")
+            return CgiResponse(status=403, reason="Forbidden",
+                               headers=[("Content-Type", "text/html")],
+                               body=body)
+        return self.program.run(request)

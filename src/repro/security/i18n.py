@@ -1,0 +1,119 @@
+"""Multi-lingual Web pages — Section 5's internationalisation support.
+
+"These issues include support for ... multi-byte character support for
+international languages ..."  The 1996 system passed DBCS data through
+untouched and let the page declare its code page.  The reproduction
+provides:
+
+* charset declaration/negotiation helpers (``Content-Type`` charset
+  parameter and ``Accept-Language`` parsing),
+* a :class:`MessageCatalog` for per-language UI strings, and
+* :func:`localized_macro_name` — the deployment pattern the DB2WWW
+  Developer's Guide recommended: one macro file per language, selected by
+  the client's language preference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Charsets a period-faithful deployment might emit.  UTF-8 is the
+#: substitution for the zoo of national code pages (see DESIGN.md).
+KNOWN_CHARSETS = ("utf-8", "iso-8859-1", "shift_jis", "euc-jp", "big5")
+
+
+def content_type_for(charset: str = "utf-8") -> str:
+    return f"text/html; charset={charset}"
+
+
+def parse_accept_language(header: str) -> list[str]:
+    """Parse an ``Accept-Language`` header into ordered language tags.
+
+    Quality values are honoured (stable sort, default q=1); malformed
+    parts are skipped.  Returns lower-cased tags, most preferred first.
+    """
+    entries: list[tuple[float, int, str]] = []
+    for index, part in enumerate(header.split(",")):
+        piece = part.strip()
+        if not piece:
+            continue
+        tag, _, params = piece.partition(";")
+        tag = tag.strip().lower()
+        if not tag:
+            continue
+        quality = 1.0
+        params = params.strip()
+        if params.startswith("q="):
+            try:
+                quality = float(params[2:])
+            except ValueError:
+                quality = 0.0
+        entries.append((-quality, index, tag))
+    entries.sort()
+    return [tag for _q, _i, tag in entries if -_q > 0]
+
+
+def negotiate_language(header: str, available: list[str],
+                       default: str = "en") -> str:
+    """Pick the best available language for an Accept-Language header.
+
+    Falls back from a region subtag to its base language (``fr-CA`` →
+    ``fr``) before falling back to the default.
+    """
+    available_lower = {lang.lower(): lang for lang in available}
+    for tag in parse_accept_language(header):
+        if tag in available_lower:
+            return available_lower[tag]
+        base = tag.split("-")[0]
+        if base in available_lower:
+            return available_lower[base]
+    return default
+
+
+def localized_macro_name(base_name: str, language: str) -> str:
+    """``urlquery.d2w`` + ``fr`` → ``urlquery.fr.d2w``.
+
+    The per-language-macro deployment pattern: the gateway picks the
+    macro variant matching the negotiated language and falls back to the
+    base name when no variant exists.
+    """
+    stem, dot, extension = base_name.rpartition(".")
+    if not dot:
+        return f"{base_name}.{language}"
+    return f"{stem}.{language}.{extension}"
+
+
+@dataclass
+class MessageCatalog:
+    """Per-language UI strings with fallback to a default language."""
+
+    default_language: str = "en"
+    _messages: dict[str, dict[str, str]] = field(default_factory=dict)
+
+    def add(self, language: str, messages: dict[str, str]) -> None:
+        self._messages.setdefault(language.lower(), {}).update(messages)
+
+    def languages(self) -> list[str]:
+        return sorted(self._messages)
+
+    def get(self, key: str, language: str | None = None) -> str:
+        """Look up ``key``; falls back to the default language, then to
+        the key itself (visible, greppable, never a crash)."""
+        for lang in (language, self.default_language):
+            if lang is None:
+                continue
+            table = self._messages.get(lang.lower())
+            if table is not None and key in table:
+                return table[key]
+        return key
+
+    def defines_for(self, language: str) -> list[tuple[str, str]]:
+        """All messages of a language as engine client-input pairs.
+
+        Injecting these as client inputs makes ``$(msg_...)`` references
+        in a single shared macro resolve per-language — the alternative
+        to per-language macro files.
+        """
+        merged = dict(self._messages.get(self.default_language, {}))
+        merged.update(self._messages.get(language.lower(), {}))
+        return sorted(merged.items())

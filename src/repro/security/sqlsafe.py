@@ -1,0 +1,127 @@
+"""SQL-safety helpers for macro authors (Section 5's security posture).
+
+The paper's system substitutes client text into SQL *by design* — that is
+the entire mechanism — and notes only that DB2WWW "works with the DB2
+database, the Web server, and the firewall products to provide secure
+data access".  A 2020s reproduction owes users more than that; this
+module provides the guard rails a careful deployment layers on top:
+
+* literal/identifier quoting (re-exported from :mod:`repro.sql.dialect`),
+* a statement-shape check that rejects piggy-backed statements, and
+* an allow-list verb policy usable as a pre-execution hook.
+
+These helpers are opt-in: the engine stays faithful to 1996 by default,
+and the test-suite demonstrates both the injection (against the faithful
+configuration) and the mitigation.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ReproError
+from repro.sql.dialect import (  # noqa: F401 - re-exported API
+    escape_literal,
+    is_plain_identifier,
+    like_pattern,
+    quote_identifier,
+    quote_literal,
+    statement_verb,
+)
+
+
+class UnsafeSqlError(ReproError):
+    """An assembled SQL statement violated the configured policy."""
+
+
+_STRING_OR_COMMENT_RE = re.compile(
+    r"'(?:[^']|'')*'"      # single-quoted string (with '' escapes)
+    r"|\"(?:[^\"])*\""      # double-quoted identifier
+    r"|--[^\n]*"            # line comment
+    r"|/\*.*?\*/",          # block comment
+    re.DOTALL,
+)
+
+
+def strip_strings_and_comments(sql: str) -> str:
+    """Replace string literals and comments with spaces.
+
+    Lets structural checks (semicolons, verbs) look at the statement's
+    skeleton without being fooled by quoted data.
+    """
+    return _STRING_OR_COMMENT_RE.sub(" ", sql)
+
+
+def assert_single_statement(sql: str) -> str:
+    """Reject SQL containing more than one statement.
+
+    A classic injection (``'; DROP TABLE urldb; --``) turns one statement
+    into several; the gateway prepared exactly one, so a semicolon in the
+    skeleton means the assembled text is not what the macro author wrote.
+    A single trailing semicolon is tolerated.
+    """
+    skeleton = strip_strings_and_comments(sql).strip().rstrip(";")
+    if ";" in skeleton:
+        raise UnsafeSqlError(
+            "assembled SQL contains multiple statements")
+    return sql
+
+
+def assert_verb_allowed(sql: str,
+                        allowed: frozenset[str] | set[str]) -> str:
+    """Reject statements whose verb is outside the allow list.
+
+    A read-only deployment passes ``{"SELECT"}``; the order-entry app
+    passes ``{"SELECT", "INSERT", "UPDATE"}``.
+    """
+    verb = statement_verb(sql)
+    if verb not in {v.upper() for v in allowed}:
+        raise UnsafeSqlError(
+            f"statement verb {verb or '(none)'!r} is not allowed here")
+    return sql
+
+
+class SqlPolicy:
+    """A composed policy: single statement + verb allow list.
+
+    Apply from application code before handing assembled SQL to the
+    connection, or wrap a :class:`repro.sql.gateway.MacroSqlSession`.
+    """
+
+    def __init__(self, *, verbs: set[str] | frozenset[str] = frozenset(
+            {"SELECT"}), single_statement: bool = True):
+        self.verbs = frozenset(v.upper() for v in verbs)
+        self.single_statement = single_statement
+
+    def check(self, sql: str) -> str:
+        if self.single_statement:
+            assert_single_statement(sql)
+        assert_verb_allowed(sql, self.verbs)
+        return sql
+
+
+class GuardedSession:
+    """Wraps a ``MacroSqlSession`` so every statement passes a policy.
+
+    Duck-typed to the session interface the engine uses (``execute``,
+    ``finish``, ``failed``, ``statement_log``), so hardened deployments
+    can substitute it transparently.
+    """
+
+    def __init__(self, session, policy: SqlPolicy):
+        self._session = session
+        self.policy = policy
+
+    def execute(self, sql: str):
+        return self._session.execute(self.policy.check(sql))
+
+    def finish(self, success: bool = True) -> None:
+        self._session.finish(success)
+
+    @property
+    def failed(self) -> bool:
+        return self._session.failed
+
+    @property
+    def statement_log(self) -> list[str]:
+        return self._session.statement_log

@@ -1,0 +1,96 @@
+"""Catalog introspection: tables and columns of a database.
+
+Used by two parts of the reproduction:
+
+* the WDB baseline (Section 6): WDB's "FDF generator extracts table and
+  field definitions from a database to build a skeleton form definition
+  file" — :func:`describe_table` is exactly that extraction;
+* the example applications, to assert their seeded schemas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SQLObjectError
+from repro.sql.connection import Connection
+
+
+@dataclass(frozen=True)
+class ColumnInfo:
+    """One column of a table, as a 1996 catalog query would describe it."""
+
+    name: str
+    type_name: str
+    not_null: bool
+    primary_key: bool
+    default: str | None = None
+
+    @property
+    def is_character(self) -> bool:
+        """True for character-ish types (searchable with LIKE)."""
+        folded = self.type_name.upper()
+        return any(tag in folded for tag in
+                   ("CHAR", "TEXT", "CLOB", "VARCHAR"))
+
+    @property
+    def is_numeric(self) -> bool:
+        folded = self.type_name.upper()
+        return any(tag in folded for tag in
+                   ("INT", "REAL", "FLOA", "DOUB", "NUM", "DEC"))
+
+
+@dataclass(frozen=True)
+class TableInfo:
+    """A table with its columns."""
+
+    name: str
+    columns: tuple[ColumnInfo, ...]
+
+    def column(self, name: str) -> ColumnInfo:
+        folded = name.lower()
+        for col in self.columns:
+            if col.name.lower() == folded:
+                return col
+        raise SQLObjectError(f"no such column: {self.name}.{name}",
+                             sqlstate="42703")
+
+    @property
+    def column_names(self) -> list[str]:
+        return [col.name for col in self.columns]
+
+
+def list_tables(conn: Connection) -> list[str]:
+    """Names of user tables, in creation order."""
+    cursor = conn.execute(
+        "SELECT name FROM sqlite_master "
+        "WHERE type = 'table' AND name NOT LIKE 'sqlite_%' "
+        "ORDER BY rowid")
+    return [row[0] for row in cursor.fetchall()]
+
+
+def describe_table(conn: Connection, table: str) -> TableInfo:
+    """Describe one table; raises :class:`SQLObjectError` if absent."""
+    if table not in list_tables(conn):
+        raise SQLObjectError(f"no such table: {table}")
+    cursor = conn.execute(f"PRAGMA table_info({table!r})")
+    columns = tuple(
+        ColumnInfo(
+            name=row[1],
+            type_name=row[2] or "TEXT",
+            not_null=bool(row[3]),
+            primary_key=bool(row[5]),
+            default=row[4],
+        )
+        for row in cursor.fetchall()
+    )
+    return TableInfo(name=table, columns=columns)
+
+
+def row_count(conn: Connection, table: str) -> int:
+    if table not in list_tables(conn):
+        raise SQLObjectError(f"no such table: {table}")
+    cursor = conn.execute(f"SELECT COUNT(*) FROM {table}")
+    row = cursor.fetchone()
+    assert row is not None
+    return int(row[0])

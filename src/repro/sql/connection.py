@@ -1,0 +1,197 @@
+"""Connections to the relational DBMS substrate.
+
+The paper's system talked to IBM DB2 through its call-level interface; our
+substitution (documented in DESIGN.md) is the standard-library ``sqlite3``
+module wrapped so that the rest of the code sees a small, DB2-flavoured
+surface:
+
+* explicit transaction control (``begin``/``commit``/``rollback``) — the
+  gateway decides transaction boundaries, never the driver;
+* errors translated to :class:`repro.errors.SQLError` subclasses carrying
+  ``sqlcode``/``sqlstate`` attributes that ``%SQL_MESSAGE`` rules match on;
+* cursor results exposed through :class:`repro.sql.cursor.Cursor`.
+"""
+
+from __future__ import annotations
+
+import re
+import sqlite3
+import threading
+from typing import Any, Iterable, Optional
+
+from repro.errors import (
+    ConnectionClosedError,
+    SQLConstraintError,
+    SQLDataError,
+    SQLError,
+    SQLObjectError,
+    SQLSyntaxError,
+)
+from repro.sql.cursor import Cursor
+
+_NO_TABLE_RE = re.compile(r"no such table: (\S+)")
+_NO_COLUMN_RE = re.compile(r"no such column: (\S+)")
+
+
+def translate_error(exc: sqlite3.Error, sql: str = "") -> SQLError:
+    """Map a sqlite3 exception onto the gateway's SQLSTATE-bearing errors."""
+    message = str(exc)
+    if isinstance(exc, sqlite3.OperationalError):
+        if _NO_TABLE_RE.search(message):
+            return SQLObjectError(message, sqlstate="42704")
+        if _NO_COLUMN_RE.search(message):
+            return SQLObjectError(message, sqlstate="42703")
+        if "syntax error" in message or "incomplete input" in message:
+            return SQLSyntaxError(message)
+        return SQLError(message, sqlcode=-902, sqlstate="58004")
+    if isinstance(exc, sqlite3.IntegrityError):
+        return SQLConstraintError(message)
+    if isinstance(exc, (sqlite3.DataError, sqlite3.InterfaceError)):
+        return SQLDataError(message)
+    if isinstance(exc, sqlite3.ProgrammingError):
+        if "closed" in message.lower():
+            return ConnectionClosedError(message)
+        return SQLSyntaxError(message)
+    return SQLError(message)
+
+
+class Connection:
+    """A connection to one database.
+
+    Thread-safe for the threaded HTTP server's sake: a lock serialises
+    statement execution, matching the one-statement-at-a-time behaviour of
+    a 1996 CLI connection handle.
+
+    ``sqlite3`` is opened with ``isolation_level=None`` so the *gateway*
+    owns transaction boundaries explicitly — required to implement both of
+    the paper's transaction modes (Section 5).
+    """
+
+    def __init__(self, database: str = ":memory:", *, uri: bool = False):
+        self.database = database
+        self._raw = sqlite3.connect(
+            database, isolation_level=None, check_same_thread=False,
+            uri=uri)
+        self._lock = threading.RLock()
+        self._closed = False
+        self._in_transaction = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._raw.close()
+                self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConnectionClosedError()
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- execution ------------------------------------------------------
+
+    def execute(self, sql: str,
+                parameters: Iterable[Any] = ()) -> Cursor:
+        """Prepare and execute one SQL statement.
+
+        Returns a :class:`Cursor`; raises :class:`SQLError` subclasses on
+        failure.  Dynamic SQL in the paper's sense: the statement text is
+        whatever substitution produced, prepared immediately before
+        execution.
+        """
+        with self._lock:
+            self._check_open()
+            if not sql.strip():
+                raise SQLSyntaxError("empty SQL statement")
+            try:
+                raw_cursor = self._raw.execute(sql, tuple(parameters))
+            except sqlite3.Error as exc:
+                raise translate_error(exc, sql) from exc
+            return Cursor(raw_cursor, sql)
+
+    def executescript(self, script: str) -> None:
+        """Run a multi-statement script (schema setup, seeding)."""
+        with self._lock:
+            self._check_open()
+            try:
+                self._raw.executescript(script)
+            except sqlite3.Error as exc:
+                raise translate_error(exc, script) from exc
+
+    # -- transactions -----------------------------------------------------
+
+    def begin(self) -> None:
+        """Open an explicit transaction (no-op if one is already open)."""
+        with self._lock:
+            self._check_open()
+            if not self._in_transaction:
+                self._raw.execute("BEGIN")
+                self._in_transaction = True
+
+    def commit(self) -> None:
+        with self._lock:
+            self._check_open()
+            if self._in_transaction:
+                self._raw.execute("COMMIT")
+                self._in_transaction = False
+
+    def rollback(self) -> None:
+        with self._lock:
+            self._check_open()
+            if self._in_transaction:
+                self._raw.execute("ROLLBACK")
+                self._in_transaction = False
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._in_transaction
+
+
+def connect(database: str = ":memory:", *, uri: bool = False) -> Connection:
+    """Open a connection (module-level convenience mirroring ``sqlite3``)."""
+    return Connection(database, uri=uri)
+
+
+class MemoryDatabase:
+    """A named shared in-memory database.
+
+    Plain ``:memory:`` gives every connection a private database, which
+    breaks the pool and the CGI process model.  This wrapper uses SQLite's
+    shared-cache URI form so all connections opened through
+    :meth:`connect` see the same data, while holding one anchor connection
+    open so the database survives between requests.
+    """
+
+    _counter = 0
+    _counter_lock = threading.Lock()
+
+    def __init__(self, name: Optional[str] = None):
+        if name is None:
+            with MemoryDatabase._counter_lock:
+                MemoryDatabase._counter += 1
+                name = f"repro_mem_{MemoryDatabase._counter}"
+        self.name = name
+        self.uri = f"file:{name}?mode=memory&cache=shared"
+        self._anchor = Connection(self.uri, uri=True)
+
+    def connect(self) -> Connection:
+        return Connection(self.uri, uri=True)
+
+    def close(self) -> None:
+        self._anchor.close()
+
+    def __enter__(self) -> "MemoryDatabase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,92 @@
+"""SQL text helpers: quoting, escaping, statement classification.
+
+DB2 WWW Connection assembled SQL *textually* from HTML input variables —
+that is the whole point of the cross-language substitution mechanism — so
+the library ships the helpers a careful 1996 application developer would
+have used (and that Section 5's security discussion gestures at): literal
+escaping for values interpolated into SQL strings, identifier quoting, and
+classification of the statement verb (needed to decide whether a result
+set is expected and which transaction behaviour applies).
+"""
+
+from __future__ import annotations
+
+import re
+
+_VERB_RE = re.compile(r"^\s*([A-Za-z]+)")
+
+#: Verbs that produce a result set the report generator must render.
+QUERY_VERBS = frozenset({"SELECT", "VALUES", "WITH", "EXPLAIN", "PRAGMA"})
+
+#: Verbs that modify data (relevant to transaction modes, Section 5).
+UPDATE_VERBS = frozenset({"INSERT", "UPDATE", "DELETE", "REPLACE", "MERGE"})
+
+#: Verbs that modify schema.
+DDL_VERBS = frozenset({"CREATE", "DROP", "ALTER"})
+
+
+def statement_verb(sql: str) -> str:
+    """Return the leading verb of a SQL statement, upper-cased.
+
+    An empty string is returned for blank input; callers treat that as a
+    syntax error at prepare time.
+    """
+    match = _VERB_RE.match(sql)
+    if match is None:
+        return ""
+    return match.group(1).upper()
+
+
+def is_query(sql: str) -> bool:
+    """True when the statement returns a result set."""
+    return statement_verb(sql) in QUERY_VERBS
+
+
+def is_update(sql: str) -> bool:
+    return statement_verb(sql) in UPDATE_VERBS
+
+
+def is_ddl(sql: str) -> bool:
+    return statement_verb(sql) in DDL_VERBS
+
+
+def escape_literal(value: str) -> str:
+    """Escape a string for inclusion inside single quotes in SQL text.
+
+    Doubles embedded single quotes (SQL-92) and strips NUL characters,
+    which no 1996 DBMS accepted in character data anyway.
+    """
+    return value.replace("\x00", "").replace("'", "''")
+
+
+def quote_literal(value: str) -> str:
+    """Return ``value`` as a complete single-quoted SQL string literal."""
+    return "'" + escape_literal(value) + "'"
+
+
+def quote_identifier(name: str) -> str:
+    """Quote an identifier (table/column name) with double quotes."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def is_plain_identifier(name: str) -> bool:
+    """True when ``name`` needs no quoting in SQL text."""
+    return _IDENTIFIER_RE.match(name) is not None
+
+
+def like_pattern(term: str, *, prefix: bool = False,
+                 suffix: bool = False) -> str:
+    """Build a ``LIKE`` pattern from a user search term.
+
+    Escapes the user's ``%`` and ``_`` wildcard characters (with ``\\``)
+    and wraps the term with wildcards: ``prefix`` puts ``%`` before the
+    term, ``suffix`` after.  The paper's URL-query application uses the
+    ``%term%``-style contains-search.
+    """
+    escaped = (term.replace("\\", "\\\\")
+                   .replace("%", "\\%")
+                   .replace("_", "\\_"))
+    return ("%" if prefix else "") + escaped + ("%" if suffix else "")

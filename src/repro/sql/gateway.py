@@ -1,0 +1,149 @@
+"""The database gateway facade the macro engine talks to.
+
+Figure 5 of the paper shows DB2WWW between the web server and "DB2
+databases on a wide variety of IBM and non-IBM platforms".  The engine
+does not care which database a macro targets; it resolves the macro's
+``DATABASE`` variable against a :class:`DatabaseRegistry` and runs
+statements through a :class:`MacroSqlSession` that enforces the chosen
+transaction mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+from repro.errors import SQLError, SQLObjectError
+from repro.sql.connection import Connection, MemoryDatabase
+from repro.sql.cursor import Cursor, value_to_text
+from repro.sql.dialect import is_query
+from repro.sql.transactions import TransactionMode, TransactionScope
+
+
+@dataclass
+class ExecutionResult:
+    """The outcome of executing one SQL statement.
+
+    For queries, ``columns`` carries the result column names and ``rows``
+    the fetched data (the report generator consumed rows one at a time in
+    1996; we fetch eagerly inside the statement's transaction bracket so a
+    later rollback cannot invalidate an open cursor mid-report).
+    """
+
+    sql: str
+    columns: list[str] = field(default_factory=list)
+    rows: list[tuple[Any, ...]] = field(default_factory=list)
+    rowcount: int = 0
+    is_query: bool = False
+
+    def iter_text_rows(self) -> Iterator[list[str]]:
+        """Rows with every value rendered to gateway text form."""
+        for row in self.rows:
+            yield [value_to_text(value) for value in row]
+
+    @property
+    def row_total(self) -> int:
+        return len(self.rows)
+
+
+class DatabaseRegistry:
+    """Named databases available to macros.
+
+    A macro names its database with ``%DEFINE DATABASE = "..."`` (as in
+    Appendix A: ``DATABASE="CELDIAL"``).  Applications register either a
+    filesystem path, a :class:`MemoryDatabase`, or a connection factory
+    under that name.
+    """
+
+    def __init__(self) -> None:
+        self._factories: dict[str, Callable[[], Connection]] = {}
+
+    def register_path(self, name: str, path: str) -> None:
+        self._factories[name] = lambda: Connection(path)
+
+    def register_memory(self, name: str,
+                        db: Optional[MemoryDatabase] = None) -> MemoryDatabase:
+        if db is None:
+            db = MemoryDatabase()
+        self._factories[name] = db.connect
+        return db
+
+    def register_factory(self, name: str,
+                         factory: Callable[[], Connection]) -> None:
+        self._factories[name] = factory
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def names(self) -> list[str]:
+        return sorted(self._factories)
+
+    def connect(self, name: str) -> Connection:
+        factory = self._factories.get(name)
+        if factory is None:
+            raise SQLObjectError(
+                f"database {name!r} is not registered with the gateway",
+                sqlstate="08001")
+        return factory()
+
+
+class MacroSqlSession:
+    """All SQL activity of one macro invocation.
+
+    Owns a connection for the duration of the request and a
+    :class:`TransactionScope` implementing Section 5's two modes.  The
+    engine calls :meth:`execute` once per ``%EXEC_SQL``-triggered SQL
+    section and :meth:`finish` when report processing ends.
+    """
+
+    def __init__(self, connection: Connection, *,
+                 mode: TransactionMode = TransactionMode.AUTO_COMMIT,
+                 owns_connection: bool = True):
+        self.connection = connection
+        self.scope = TransactionScope(connection, mode)
+        self._owns_connection = owns_connection
+        self.statement_log: list[str] = []
+
+    def execute(self, sql: str) -> ExecutionResult:
+        """Run one dynamically assembled SQL statement.
+
+        Raises :class:`SQLError` on failure *after* recording it with the
+        transaction scope (so single-mode rollback happens before the
+        engine sees the exception).
+        """
+        self.statement_log.append(sql)
+        self.scope.before_statement()
+        try:
+            cursor = self.connection.execute(sql)
+        except SQLError as exc:
+            self.scope.after_statement(exc)
+            raise
+        result = self._drain(cursor, sql)
+        self.scope.after_statement(None)
+        return result
+
+    @staticmethod
+    def _drain(cursor: Cursor, sql: str) -> ExecutionResult:
+        if cursor.has_result_set:
+            rows = cursor.fetchall()
+            return ExecutionResult(
+                sql=sql, columns=cursor.column_names, rows=rows,
+                rowcount=len(rows), is_query=True)
+        return ExecutionResult(
+            sql=sql, rowcount=max(cursor.rowcount, 0),
+            is_query=is_query(sql))
+
+    @property
+    def failed(self) -> bool:
+        return self.scope.failed
+
+    def finish(self, success: bool = True) -> None:
+        self.scope.finish(success)
+        if self._owns_connection:
+            self.connection.close()
+
+    def __enter__(self) -> "MacroSqlSession":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        self.finish(success=exc_type is None)

@@ -1,0 +1,134 @@
+"""Connection pooling for the gateway.
+
+A 1996 CGI deployment opened a database connection per request — the
+dominant cost the paper's Figure 4 data flow implies.  The library keeps
+that mode available (``PerRequestPool``) for faithful end-to-end
+benchmarks, and provides a bounded reusing pool (``ConnectionPool``) that
+the in-process dispatcher uses, so the benchmark harness can show the gap.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Optional
+
+from repro.errors import PoolExhaustedError
+from repro.sql.connection import Connection
+
+ConnectionFactory = Callable[[], Connection]
+
+
+class ConnectionPool:
+    """A bounded pool of reusable connections.
+
+    ``acquire`` blocks up to ``timeout`` seconds when all connections are
+    out, then raises :class:`PoolExhaustedError` (SQLSTATE 57030, matching
+    DB2's "resource unavailable" class).
+    """
+
+    def __init__(self, factory: ConnectionFactory, *, size: int = 4,
+                 timeout: float = 5.0):
+        if size < 1:
+            raise ValueError("pool size must be at least 1")
+        self._factory = factory
+        self._size = size
+        self._timeout = timeout
+        self._idle: queue.LifoQueue[Connection] = queue.LifoQueue()
+        self._created = 0
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- acquisition ------------------------------------------------------
+
+    def acquire(self) -> Connection:
+        with self._lock:
+            if self._closed:
+                raise PoolExhaustedError("pool is closed")
+            if self._idle.empty() and self._created < self._size:
+                self._created += 1
+                return self._factory()
+        try:
+            conn = self._idle.get(timeout=self._timeout)
+        except queue.Empty:
+            raise PoolExhaustedError(
+                f"no connection available within {self._timeout}s") from None
+        if conn.closed:  # replace a connection that died while idle
+            with self._lock:
+                self._created -= 1
+            return self.acquire()
+        return conn
+
+    def release(self, conn: Connection) -> None:
+        """Return a connection; any open transaction is rolled back."""
+        if conn.closed:
+            with self._lock:
+                self._created -= 1
+            return
+        if conn.in_transaction:
+            conn.rollback()
+        self._idle.put(conn)
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+        while True:
+            try:
+                self._idle.get_nowait().close()
+            except queue.Empty:
+                return
+
+    # -- context-managed checkout ----------------------------------------
+
+    def connection(self) -> "_PooledConnection":
+        return _PooledConnection(self)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {"created": self._created, "idle": self._idle.qsize(),
+                "size": self._size}
+
+
+class _PooledConnection:
+    """``with pool.connection() as conn:`` checkout helper."""
+
+    def __init__(self, pool: ConnectionPool):
+        self._pool = pool
+        self._conn: Optional[Connection] = None
+
+    def __enter__(self) -> Connection:
+        self._conn = self._pool.acquire()
+        return self._conn
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._conn is not None:
+            self._pool.release(self._conn)
+            self._conn = None
+
+
+class PerRequestPool:
+    """The 1996 model: a fresh connection per checkout, closed on release.
+
+    Implements the same interface as :class:`ConnectionPool` so the
+    gateway can swap strategies; exists to let the end-to-end benchmark
+    quantify connection-per-request cost.
+    """
+
+    def __init__(self, factory: ConnectionFactory):
+        self._factory = factory
+
+    def acquire(self) -> Connection:
+        return self._factory()
+
+    def release(self, conn: Connection) -> None:
+        conn.close()
+
+    def close(self) -> None:
+        return None
+
+    def connection(self) -> _PooledConnection:
+        return _PooledConnection(self)  # type: ignore[arg-type]
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {"created": -1, "idle": 0, "size": 0}

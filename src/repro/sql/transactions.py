@@ -1,0 +1,91 @@
+"""The two transaction modes of Section 5.
+
+"DB2WWW currently supports two transaction modes on a single client-server
+interaction, one mode in which every SQL statement in a macro is a separate
+transaction (auto-commit) and another mode in which all SQL statements in a
+macro are executed as a single transaction (i.e., a rollback will occur if
+any SQL statement fails)."
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import SQLError
+from repro.sql.connection import Connection
+
+
+class TransactionMode(enum.Enum):
+    """How SQL statements within one macro invocation are grouped."""
+
+    #: Every SQL statement is its own transaction.
+    AUTO_COMMIT = "auto_commit"
+
+    #: All SQL statements of the macro form a single transaction; any
+    #: failure rolls back everything executed so far.
+    SINGLE = "single"
+
+    @classmethod
+    def parse(cls, text: str) -> "TransactionMode":
+        """Parse a mode name (accepts the enum value or name, any case)."""
+        folded = text.strip().lower()
+        for mode in cls:
+            if folded in (mode.value, mode.name.lower()):
+                return mode
+        raise ValueError(f"unknown transaction mode {text!r}")
+
+
+class TransactionScope:
+    """Transaction bracket around the SQL statements of one macro run.
+
+    The engine creates one scope per report-mode invocation and funnels
+    every statement through :meth:`before_statement` /
+    :meth:`after_statement`, then calls :meth:`finish` exactly once.
+    """
+
+    def __init__(self, connection: Connection,
+                 mode: TransactionMode = TransactionMode.AUTO_COMMIT):
+        self.connection = connection
+        self.mode = mode
+        self.statements_run = 0
+        self.failed = False
+        self._finished = False
+
+    # -- statement bracket ------------------------------------------------
+
+    def before_statement(self) -> None:
+        if self.mode is TransactionMode.SINGLE:
+            self.connection.begin()
+        else:
+            self.connection.begin()  # statement-scoped transaction
+
+    def after_statement(self, error: SQLError | None) -> None:
+        self.statements_run += 1
+        if self.mode is TransactionMode.AUTO_COMMIT:
+            if error is None:
+                self.connection.commit()
+            else:
+                self.connection.rollback()
+        elif error is not None:
+            # Single mode: the first failure dooms the whole interaction.
+            self.failed = True
+            self.connection.rollback()
+
+    # -- completion ---------------------------------------------------------
+
+    def finish(self, success: bool = True) -> None:
+        """Commit or roll back the macro-wide transaction (single mode)."""
+        if self._finished:
+            return
+        self._finished = True
+        if self.mode is TransactionMode.SINGLE and self.connection.in_transaction:
+            if success and not self.failed:
+                self.connection.commit()
+            else:
+                self.connection.rollback()
+
+    def __enter__(self) -> "TransactionScope":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        self.finish(success=exc_type is None)

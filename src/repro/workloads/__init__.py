@@ -1,0 +1,37 @@
+"""Workload generation and measurement for the benchmark harness."""
+
+from repro.workloads.concurrent import (
+    ConcurrentResult,
+    run_concurrent,
+    throughput_sweep,
+)
+from repro.workloads.generator import (
+    replay_log,
+    OrderSearchWorkload,
+    UrlQueryWorkload,
+    WorkloadRequest,
+)
+from repro.workloads.metrics import LatencyRecorder, Summary, percentile
+from repro.workloads.runner import (
+    RunResult,
+    db2www_request_builder,
+    plain_request_builder,
+    run_workload,
+)
+
+__all__ = [
+    "ConcurrentResult",
+    "run_concurrent",
+    "throughput_sweep",
+    "LatencyRecorder",
+    "OrderSearchWorkload",
+    "RunResult",
+    "Summary",
+    "UrlQueryWorkload",
+    "replay_log",
+    "WorkloadRequest",
+    "db2www_request_builder",
+    "percentile",
+    "plain_request_builder",
+    "run_workload",
+]

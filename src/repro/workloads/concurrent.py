@@ -1,0 +1,109 @@
+"""Concurrent workload execution: the "tens of millions of users".
+
+Figure 1's premise is many simultaneous clients.  The threaded runner
+drives a CGI gateway from N worker threads over a shared request
+stream, measuring aggregate throughput and the per-request latency
+distribution under contention — the scaling half of the PERF story.
+
+The in-process gateway plus SQLite serialises inside the database
+connection, so the expected shape is throughput rising with a few
+threads (overlapping non-SQL work) then flattening — which is also an
+honest model of a 1996 single-disk server.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.cgi.gateway import CgiGateway
+from repro.cgi.request import CgiResponse
+from repro.workloads.generator import WorkloadRequest
+from repro.workloads.metrics import LatencyRecorder, Summary
+from repro.workloads.runner import RequestBuilder
+
+
+@dataclass
+class ConcurrentResult:
+    """Outcome of a threaded run."""
+
+    summary: Summary
+    threads: int
+    responses: int
+    failures: int
+
+    @property
+    def ok(self) -> bool:
+        return self.failures == 0
+
+
+def run_concurrent(gateway: CgiGateway,
+                   requests: Iterable[WorkloadRequest],
+                   builder: RequestBuilder, *,
+                   threads: int = 4,
+                   check: Callable[[CgiResponse], bool] | None = None
+                   ) -> ConcurrentResult:
+    """Drain the request stream from ``threads`` workers.
+
+    Requests are pre-built (the builder is not assumed thread-safe) and
+    distributed through a queue; each worker times its own dispatches
+    into a private recorder, merged afterwards.  Wall-clock throughput
+    uses the run's total elapsed time, so it reflects real parallelism,
+    not summed thread time.
+    """
+    if check is None:
+        def check(response: CgiResponse) -> bool:
+            return response.status < 400
+
+    work: queue.SimpleQueue = queue.SimpleQueue()
+    total = 0
+    for item in requests:
+        work.put(builder(item))
+        total += 1
+    for _ in range(threads):
+        work.put(None)  # poison pill per worker
+
+    recorders = [LatencyRecorder() for _ in range(threads)]
+    failures = [0] * threads
+
+    def worker(index: int) -> None:
+        recorder = recorders[index]
+        while True:
+            item = work.get()
+            if item is None:
+                return
+            program, cgi_request = item
+            with recorder.time():
+                response = gateway.dispatch(program, cgi_request)
+            if not check(response):
+                failures[index] += 1
+
+    merged = LatencyRecorder()
+    merged.start_run()
+    pool = [threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    merged.finish_run()
+    for recorder in recorders:
+        merged.samples.extend(recorder.samples)
+    return ConcurrentResult(
+        summary=merged.summary(), threads=threads,
+        responses=total, failures=sum(failures))
+
+
+def throughput_sweep(gateway: CgiGateway,
+                     make_requests: Callable[[], Iterable[WorkloadRequest]],
+                     builder: RequestBuilder, *,
+                     thread_counts: Iterable[int] = (1, 2, 4, 8)
+                     ) -> list[ConcurrentResult]:
+    """Run the same workload at several concurrency levels."""
+    results = []
+    for threads in thread_counts:
+        results.append(run_concurrent(
+            gateway, make_requests(), builder, threads=threads))
+    return results

@@ -1,0 +1,135 @@
+"""Workload generation: the synthetic "Web public" of Figure 1.
+
+Produces deterministic request streams for the benchmark harness — mixes
+of input-mode page fetches and report-mode form submissions with varying
+search terms, checkbox combinations and report-field selections, the
+request population a deployed URL-query application would see.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+#: Search terms skewed the way real query logs are: short common
+#: fragments dominate, with a tail of selective and empty searches.
+_COMMON_TERMS = ["ib", "web", "data", "net", "soft", "www"]
+_RARE_TERMS = ["multimedia", "cyberdyne", "lantern", "zzz-nothing"]
+
+
+@dataclass(frozen=True)
+class WorkloadRequest:
+    """One logical request against a gateway application."""
+
+    command: str                      # "input" | "report"
+    pairs: tuple[tuple[str, str], ...] = ()
+
+    @property
+    def is_report(self) -> bool:
+        return self.command == "report"
+
+
+@dataclass
+class UrlQueryWorkload:
+    """A seeded request mix for the Appendix A application.
+
+    ``report_fraction`` controls how many requests submit the form versus
+    fetch it (a user fetches once, often submits several refinements).
+    """
+
+    seed: int = 96
+    report_fraction: float = 0.8
+    rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.rng = random.Random(self.seed)
+
+    def requests(self, count: int) -> Iterator[WorkloadRequest]:
+        for _ in range(count):
+            yield self.next_request()
+
+    def next_request(self) -> WorkloadRequest:
+        if self.rng.random() >= self.report_fraction:
+            return WorkloadRequest(command="input")
+        return WorkloadRequest(command="report",
+                               pairs=tuple(self._report_pairs()))
+
+    def _report_pairs(self) -> list[tuple[str, str]]:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.70:
+            term = rng.choice(_COMMON_TERMS)
+        elif roll < 0.90:
+            term = rng.choice(_RARE_TERMS)
+        else:
+            term = ""  # Figure 3's empty search
+        pairs: list[tuple[str, str]] = [("SEARCH", term)]
+        checked_any = False
+        for flag in ("USE_URL", "USE_TITLE", "USE_DESC"):
+            if rng.random() < 0.55:
+                pairs.append((flag, "yes"))
+                checked_any = True
+        if not checked_any and rng.random() < 0.5:
+            pairs.append(("USE_TITLE", "yes"))
+        pairs.append(("DBFIELDS", "title"))
+        if rng.random() < 0.4:
+            pairs.append(("DBFIELDS", "description"))
+        if rng.random() < 0.1:
+            pairs.append(("SHOWSQL", "YES"))
+        return pairs
+
+
+@dataclass
+class OrderSearchWorkload:
+    """A seeded request mix for the Section 3.1.3 order-search macro."""
+
+    seed: int = 96
+    customers: int = 40
+
+    def __post_init__(self) -> None:
+        self.rng = random.Random(self.seed)
+
+    def requests(self, count: int) -> Iterator[WorkloadRequest]:
+        for _ in range(count):
+            pairs: list[tuple[str, str]] = []
+            roll = self.rng.random()
+            if roll < 0.4:   # customer only
+                pairs.append(("cust_inp", str(self._custid())))
+            elif roll < 0.7:  # product only
+                pairs.append(("prod_inp", self._product_prefix()))
+            elif roll < 0.9:  # both (the paper's worked case)
+                pairs.append(("cust_inp", str(self._custid())))
+                pairs.append(("prod_inp", self._product_prefix()))
+            # else: neither — the no-WHERE-clause case
+            yield WorkloadRequest(command="report", pairs=tuple(pairs))
+
+    def _custid(self) -> int:
+        return 10100 + self.rng.randrange(self.customers) * 100
+
+    def _product_prefix(self) -> str:
+        return self.rng.choice(
+            ["bike", "helm", "tent", "ka", "b", "ski"])
+
+
+def replay_log(entries) -> Iterator[WorkloadRequest]:
+    """Turn access-log entries back into replayable workload requests.
+
+    Only DB2WWW-style requests (``/cgi-bin/<prog>/<macro>/<cmd>``) are
+    replayed; static hits and other programs are skipped.  Query-string
+    variables are decoded back into input pairs, so a production log
+    becomes a faithful load test — the trace-replay methodology with the
+    only trace 1996 actually had.
+    """
+    from repro.cgi.query_string import decode_pairs
+
+    for entry in entries:
+        path, _, query = entry.path.partition("?")
+        parts = [p for p in path.split("/") if p]
+        if len(parts) != 4 or parts[0] != "cgi-bin":
+            continue
+        _, _program, _macro, command = parts
+        if command not in ("input", "report"):
+            continue
+        yield WorkloadRequest(command=command,
+                              pairs=tuple(decode_pairs(query)))

@@ -1,0 +1,124 @@
+"""Measurement collection for the benchmark harness.
+
+pytest-benchmark times the hot loops; the workload runner additionally
+needs request-level latency distributions and throughput for the
+comparison experiments, collected here with no dependencies beyond the
+standard library.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Summary:
+    """Latency/throughput summary of one workload run."""
+
+    count: int
+    total_seconds: float
+    mean_ms: float
+    stdev_ms: float
+    min_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.count / self.total_seconds
+
+    def row(self, label: str) -> str:
+        """One fixed-width table row for harness output."""
+        return (f"{label:<14} {self.count:>6} "
+                f"{self.mean_ms:>9.3f} {self.p50_ms:>9.3f} "
+                f"{self.p95_ms:>9.3f} {self.p99_ms:>9.3f} "
+                f"{self.throughput_rps:>10.1f}")
+
+    @staticmethod
+    def header() -> str:
+        return (f"{'gateway':<14} {'n':>6} {'mean_ms':>9} {'p50_ms':>9} "
+                f"{'p95_ms':>9} {'p99_ms':>9} {'req_per_s':>10}")
+
+
+@dataclass
+class LatencyRecorder:
+    """Accumulates per-request latencies (seconds)."""
+
+    samples: list[float] = field(default_factory=list)
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    # -- collection -----------------------------------------------------
+
+    def start_run(self) -> None:
+        self.started_at = time.perf_counter()
+
+    def finish_run(self) -> None:
+        self.finished_at = time.perf_counter()
+
+    def record(self, seconds: float) -> None:
+        self.samples.append(seconds)
+
+    def time(self):
+        """Context manager timing one request."""
+        return _Timer(self)
+
+    # -- summarisation -----------------------------------------------------
+
+    def summary(self) -> Summary:
+        if not self.samples:
+            raise ValueError("no samples recorded")
+        ordered = sorted(self.samples)
+        count = len(ordered)
+        mean = sum(ordered) / count
+        variance = (sum((s - mean) ** 2 for s in ordered) / count
+                    if count > 1 else 0.0)
+        if self.started_at is not None and self.finished_at is not None:
+            total = self.finished_at - self.started_at
+        else:
+            total = sum(ordered)
+        return Summary(
+            count=count,
+            total_seconds=total,
+            mean_ms=mean * 1e3,
+            stdev_ms=math.sqrt(variance) * 1e3,
+            min_ms=ordered[0] * 1e3,
+            p50_ms=percentile(ordered, 0.50) * 1e3,
+            p95_ms=percentile(ordered, 0.95) * 1e3,
+            p99_ms=percentile(ordered, 0.99) * 1e3,
+            max_ms=ordered[-1] * 1e3,
+        )
+
+
+def percentile(ordered: list[float], fraction: float) -> float:
+    """Linear-interpolated percentile of pre-sorted samples."""
+    if not ordered:
+        raise ValueError("no samples")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+class _Timer:
+    def __init__(self, recorder: LatencyRecorder):
+        self.recorder = recorder
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.recorder.record(time.perf_counter() - self._t0)

@@ -1,0 +1,105 @@
+"""Workload execution: drive a CGI gateway with a request stream.
+
+The runner speaks the CGI request shape directly (not HTTP) so that what
+it measures is gateway work — macro processing, SQL, page generation —
+with the transport held constant across the five gateways of the CMP6
+comparison.  An HTTP-level variant is provided for the end-to-end
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.cgi.environ import CgiEnvironment
+from repro.cgi.gateway import CgiGateway
+from repro.cgi.query_string import encode_pairs
+from repro.cgi.request import CgiRequest, CgiResponse
+from repro.workloads.generator import WorkloadRequest
+from repro.workloads.metrics import LatencyRecorder, Summary
+
+#: Builds the CGI request for one workload request, given the gateway
+#: style's URL layout.  Returns (program_name, CgiRequest).
+RequestBuilder = Callable[[WorkloadRequest], tuple[str, CgiRequest]]
+
+
+def db2www_request_builder(
+        macro_name: str,
+        program: str = "db2www") -> RequestBuilder:
+    """Request builder for DB2WWW-style ``/{macro}/{cmd}`` URLs."""
+
+    def build(item: WorkloadRequest) -> tuple[str, CgiRequest]:
+        body = encode_pairs(list(item.pairs)).encode("utf-8")
+        environ = CgiEnvironment(
+            request_method="POST" if item.is_report else "GET",
+            script_name=f"/cgi-bin/{program}",
+            path_info=f"/{macro_name}/{item.command}",
+            content_type="application/x-www-form-urlencoded",
+            content_length=len(body) if item.is_report else 0,
+        )
+        return program, CgiRequest(environ=environ,
+                                   stdin=body if item.is_report else b"")
+
+    return build
+
+
+def plain_request_builder(program: str,
+                          report_path: str = "/report",
+                          input_path: str = "/input") -> RequestBuilder:
+    """Request builder for the baseline gateways' ``/{cmd}`` URLs."""
+
+    def build(item: WorkloadRequest) -> tuple[str, CgiRequest]:
+        path = report_path if item.is_report else input_path
+        environ = CgiEnvironment(
+            request_method="GET",
+            script_name=f"/cgi-bin/{program}",
+            path_info=path,
+            query_string=encode_pairs(list(item.pairs)),
+        )
+        return program, CgiRequest(environ=environ)
+
+    return build
+
+
+@dataclass
+class RunResult:
+    """Outcome of one workload run."""
+
+    summary: Summary
+    responses: int
+    failures: int
+
+    @property
+    def ok(self) -> bool:
+        return self.failures == 0
+
+
+def run_workload(gateway: CgiGateway,
+                 requests: Iterable[WorkloadRequest],
+                 builder: RequestBuilder, *,
+                 check: Callable[[CgiResponse], bool] | None = None
+                 ) -> RunResult:
+    """Execute every request, timing each dispatch.
+
+    ``check`` validates responses (default: HTTP status < 400); failing
+    responses are counted, not raised, so a comparison run reports all
+    gateways even if one misbehaves.
+    """
+    recorder = LatencyRecorder()
+    failures = 0
+    count = 0
+    if check is None:
+        def check(response: CgiResponse) -> bool:
+            return response.status < 400
+    recorder.start_run()
+    for item in requests:
+        program, cgi_request = builder(item)
+        with recorder.time():
+            response = gateway.dispatch(program, cgi_request)
+        count += 1
+        if not check(response):
+            failures += 1
+    recorder.finish_run()
+    return RunResult(summary=recorder.summary(), responses=count,
+                     failures=failures)

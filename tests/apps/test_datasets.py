@@ -1,0 +1,67 @@
+"""Dataset generators: determinism and schema expectations."""
+
+from repro.apps.datasets import (
+    generate_urls,
+    seed_library,
+    seed_orders,
+    seed_urldb,
+)
+from repro.sql.catalog import describe_table, list_tables, row_count
+from repro.sql.connection import connect
+
+
+class TestUrlGenerator:
+    def test_deterministic_for_seed(self):
+        first = list(generate_urls(20, seed=1))
+        second = list(generate_urls(20, seed=1))
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        assert list(generate_urls(20, seed=1)) != \
+            list(generate_urls(20, seed=2))
+
+    def test_row_shape(self):
+        url, title, description = next(generate_urls(1))
+        assert url.startswith("http://www.")
+        assert title and description
+
+    def test_urls_unique(self):
+        urls = [row[0] for row in generate_urls(500)]
+        assert len(set(urls)) == len(urls)
+
+
+class TestSeeding:
+    def test_seed_urldb(self):
+        conn = connect()
+        inserted = seed_urldb(conn, 50)
+        assert inserted == 50
+        assert row_count(conn, "urldb") == 50
+        info = describe_table(conn, "urldb")
+        assert info.column_names == ["url", "title", "description"]
+        conn.close()
+
+    def test_seed_orders_counts_and_key_alignment(self):
+        conn = connect()
+        counts = seed_orders(conn, customers=10, orders=40)
+        assert counts == {"customers": 10, "products": 16,
+                          "orders": 40}
+        assert list_tables(conn) == ["customers", "products", "orders"]
+        # The paper's worked example uses custid 10100; it must exist.
+        assert conn.execute(
+            "SELECT COUNT(*) FROM customers WHERE custid = 10100"
+        ).fetchone() == (1,)
+        # Referential integrity of the generated orders.
+        dangling = conn.execute(
+            "SELECT COUNT(*) FROM orders o LEFT JOIN customers c "
+            "ON c.custid = o.custid WHERE c.custid IS NULL").fetchone()
+        assert dangling == (0,)
+        conn.close()
+
+    def test_seed_library(self):
+        conn = connect()
+        assert seed_library(conn, books=30) == 30
+        assert row_count(conn, "books") == 30
+        years = conn.execute(
+            "SELECT MIN(year), MAX(year) FROM books").fetchone()
+        assert 1968 <= years[0] <= years[1] <= 1996
+        conn.close()

@@ -1,0 +1,74 @@
+"""Every macro this repository ships must satisfy its own linter.
+
+If the linter and the applications disagree, one of them is wrong —
+either the macro has a latent authoring bug or the linter produces
+false positives on legitimate paper idioms.  Either way this test
+fails and names it.
+"""
+
+import pytest
+
+from repro.apps.guestbook import GUESTBOOK_MACRO
+from repro.apps.library import LIBRARY_MACRO
+from repro.apps.orders import ENTRY_MACRO, SEARCH_MACRO
+from repro.apps.paging import BROWSE_MACRO
+from repro.apps.urlquery import URLQUERY_MACRO
+from repro.apps.webstats import WEBSTATS_MACRO
+from repro.apps.wizard import (
+    CONFIRM_MACRO,
+    CUSTOMER_MACRO,
+    PRODUCT_MACRO,
+)
+from repro.core.lint import lint_macro
+from repro.core.parser import parse_macro
+
+ALL_MACROS = {
+    "urlquery": URLQUERY_MACRO,
+    "ordersearch": SEARCH_MACRO,
+    "orderentry": ENTRY_MACRO,
+    "library": LIBRARY_MACRO,
+    "browse": BROWSE_MACRO,
+    "guestbook": GUESTBOOK_MACRO,
+    "webstats": WEBSTATS_MACRO,
+    "wizard_customer": CUSTOMER_MACRO,
+    "wizard_product": PRODUCT_MACRO,
+    "wizard_confirm": CONFIRM_MACRO,
+}
+
+#: Findings that are deliberate in specific macros, with justification.
+ACCEPTED = {
+    # The wizard's step-1 and step-2 macros have no %HTML_INPUT: they
+    # are report-only pages whose form posts to the *next* macro.
+    ("wizard_customer", "no-input-section"),
+    ("wizard_product", "no-input-section"),
+    ("wizard_confirm", "no-input-section"),
+    # Step 2/3 receive wiz_* variables from the previous step's form,
+    # which the linter cannot see across macro files.
+    ("wizard_product", "undefined-variable"),
+    ("wizard_confirm", "undefined-variable"),
+    # The webstats report is driven by a SELECT on its own input page,
+    # but the listing/noop sections are dispatched via %EXEC_SQL($(view))
+    # — suppressed automatically; nothing expected here.
+}
+
+
+@pytest.mark.parametrize("name", sorted(ALL_MACROS))
+def test_macro_lints_clean(name):
+    findings = lint_macro(parse_macro(ALL_MACROS[name], source=name))
+    unexpected = [
+        finding for finding in findings
+        if (name, finding.code) not in ACCEPTED
+    ]
+    assert not unexpected, "\n".join(
+        finding.render(name) for finding in unexpected)
+
+
+def test_accepted_list_is_not_stale():
+    """Every ACCEPTED entry must still be produced — otherwise the
+    waiver is dead weight and should be deleted."""
+    live = set()
+    for name, text in ALL_MACROS.items():
+        for finding in lint_macro(parse_macro(text, source=name)):
+            live.add((name, finding.code))
+    stale = ACCEPTED - live
+    assert not stale, f"stale waivers: {sorted(stale)}"

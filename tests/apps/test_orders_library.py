@@ -1,0 +1,162 @@
+"""The order-search/entry and lending-library applications."""
+
+import pytest
+
+from repro.apps import library as library_app
+from repro.apps import orders as orders_app
+from repro.sql.transactions import TransactionMode
+
+
+class TestOrderSearch:
+    def _run(self, orders, bindings):
+        macro = orders.library.load(orders_app.SEARCH_MACRO_NAME)
+        return orders.engine.execute_report(macro, bindings)
+
+    def test_both_filters(self, orders):
+        result = self._run(orders, [("cust_inp", "10100"),
+                                    ("prod_inp", "bike")])
+        sql = result.statements[0]
+        assert "o.custid = 10100" in sql
+        assert "o.product_name LIKE 'bike%'" in sql
+        assert result.ok
+
+    def test_customer_only(self, orders):
+        sql = self._run(orders, [("cust_inp", "10100")]).statements[0]
+        assert "custid = 10100" in sql
+        assert "LIKE" not in sql
+
+    def test_no_filters_lists_everything(self, orders):
+        result = self._run(orders, [])
+        assert "WHERE c.custid = o.custid ORDER BY" in \
+            result.statements[0]
+        assert result.ok
+
+    def test_rpt_maxrows_caps_report(self, orders):
+        result = self._run(orders, [])
+        assert result.html.count("<TR><TD>") <= 25  # RPT_MAXROWS = 25
+
+    def test_custom_message_for_missing_table(self, orders):
+        conn = orders.registry.connect(orders_app.DATABASE_NAME)
+        conn.executescript("ALTER TABLE orders RENAME TO orders_gone;")
+        conn.close()
+        result = self._run(orders, [])
+        assert "order database is not available" in result.html
+        assert not result.ok
+
+
+class TestPaperFragment:
+    def test_four_combinations_match_section_313(self, orders):
+        macro = orders.library.load("paperfragment.d2w")
+        cases = {
+            (("cust_inp", "10100"), ("prod_inp", "bikes")):
+                "WHERE custid = 10100 AND product_name LIKE 'bikes%'",
+            (("cust_inp", "10100"),): "WHERE custid = 10100",
+            (("prod_inp", "bikes"),):
+                "WHERE product_name LIKE 'bikes%'",
+            (): "",
+        }
+        for bindings, expected in cases.items():
+            result = orders.engine.execute_report(macro, list(bindings))
+            assert f"clause: [{expected}]" in result.html
+
+
+class TestOrderEntry:
+    def _entry(self, orders, **inputs):
+        macro = orders.library.load(orders_app.ENTRY_MACRO_NAME)
+        return orders.engine.execute_report(macro, list(inputs.items()))
+
+    def _order_count(self, orders) -> int:
+        conn = orders.registry.connect(orders_app.DATABASE_NAME)
+        try:
+            return conn.execute(
+                "SELECT COUNT(*) FROM orders").fetchone()[0]
+        finally:
+            conn.close()
+
+    def test_successful_entry_writes_both_tables(self, orders):
+        before = self._order_count(orders)
+        result = self._entry(orders, order_cust="10100",
+                             order_prod="bikes", order_qty="2")
+        assert result.ok
+        assert "Order recorded" in result.html
+        assert "Audit trail written" in result.html
+        assert self._order_count(orders) == before + 1
+
+    def test_quantity_default_from_define(self, orders):
+        result = self._entry(orders, order_cust="10100",
+                             order_prod="tents")
+        assert result.ok
+        conn = orders.registry.connect(orders_app.DATABASE_NAME)
+        qty = conn.execute(
+            "SELECT quantity FROM orders ORDER BY order_id DESC "
+            "LIMIT 1").fetchone()[0]
+        conn.close()
+        assert qty == 1
+
+    def test_constraint_failure_uses_message_section(self, orders):
+        result = self._entry(orders, order_cust="10100",
+                             order_prod="bikes", order_qty="0")
+        assert "Could not record the order" in result.html
+        assert not result.ok
+
+    def test_autocommit_keeps_first_insert_on_second_failure(self):
+        orders = orders_app.install(with_audit_table=False)
+        macro = orders.library.load(orders_app.ENTRY_MACRO_NAME)
+        result = orders.engine.execute_report(macro, [
+            ("order_cust", "10100"), ("order_prod", "bikes")])
+        assert not result.ok
+        conn = orders.registry.connect(orders_app.DATABASE_NAME)
+        count = conn.execute(
+            "SELECT COUNT(*) FROM orders WHERE custid=10100 "
+            "AND product_name='bikes'").fetchone()[0]
+        conn.close()
+        assert count >= 1  # the first INSERT survived (auto-commit)
+
+    def test_single_mode_rolls_back_first_insert(self):
+        orders = orders_app.install(
+            with_audit_table=False,
+            transaction_mode=TransactionMode.SINGLE)
+        conn = orders.registry.connect(orders_app.DATABASE_NAME)
+        before = conn.execute(
+            "SELECT COUNT(*) FROM orders").fetchone()[0]
+        conn.close()
+        macro = orders.library.load(orders_app.ENTRY_MACRO_NAME)
+        result = orders.engine.execute_report(macro, [
+            ("order_cust", "10100"), ("order_prod", "bikes")])
+        assert not result.ok
+        conn = orders.registry.connect(orders_app.DATABASE_NAME)
+        after = conn.execute(
+            "SELECT COUNT(*) FROM orders").fetchone()[0]
+        conn.close()
+        assert after == before  # Section 5: rollback on any failure
+
+
+class TestLibraryApp:
+    def _search(self, books, **inputs):
+        macro = books.library.load(library_app.MACRO_NAME)
+        return books.engine.execute_report(macro, list(inputs.items()))
+
+    def test_default_command_is_by_title(self, books):
+        result = self._search(books, term="Web")
+        assert "Books matching title" in result.html
+        assert result.ok
+
+    def test_runtime_dispatch_by_author(self, books):
+        result = self._search(books, term="Codd", sqlcmd="by_author")
+        assert "Books by authors matching" in result.html
+        assert "by_author" not in result.statements[0]
+
+    def test_runtime_dispatch_availability(self, books):
+        result = self._search(books, term="", sqlcmd="availability")
+        assert "Availability" in result.html
+        assert "LEFT JOIN loans" in result.statements[0]
+
+    def test_unknown_command_rejected(self, books):
+        from repro.errors import UnknownSqlSectionError
+        with pytest.raises(UnknownSqlSectionError):
+            self._search(books, term="x", sqlcmd="drop_tables")
+
+    def test_input_form_lists_three_choices(self, books):
+        macro = books.library.load(library_app.MACRO_NAME)
+        html = books.engine.execute_input(macro).html
+        assert html.count('NAME="sqlcmd"') == 3

@@ -1,0 +1,90 @@
+"""The Appendix A application, driven directly through the engine."""
+
+import re
+
+from repro.apps.urlquery import FIGURE3_BINDINGS
+
+
+class TestInputMode:
+    def test_figure7_input_page(self, urlquery):
+        macro = urlquery.library.load(urlquery.macro_name)
+        result = urlquery.engine.execute_input(macro)
+        assert "Query URL Information" in result.html
+        assert 'NAME="SEARCH"' in result.html
+        # The hidden-variable escape: the page carries the *literal*
+        # $(hidden_a), not its value — hidden_a is defined after the
+        # input section (positional visibility) AND escaped with $$.
+        assert 'VALUE="$(hidden_a)"' in result.html
+        assert "title" not in result.html.split("SELECT")[1] \
+            .split("</SELECT>")[0].replace("> Title", "")
+
+    def test_no_sql_runs_in_input_mode(self, urlquery):
+        macro = urlquery.library.load(urlquery.macro_name)
+        result = urlquery.engine.execute_input(macro)
+        assert result.statements == []
+
+
+def result_list(html: str) -> str:
+    """The <UL> holding the query results (not the footer links)."""
+    marker = "Select any of the following"
+    assert marker in html
+    after = html.split(marker, 1)[1]
+    return after.split("</UL>", 1)[0]
+
+
+class TestReportMode:
+    def _report(self, urlquery, bindings):
+        macro = urlquery.library.load(urlquery.macro_name)
+        return urlquery.engine.execute_report(macro, bindings)
+
+    def test_figure3_bindings_produce_or_search(self, urlquery):
+        result = self._report(
+            urlquery, FIGURE3_BINDINGS + [("SHOWSQL", "YES")])
+        sql = result.statements[0]
+        assert "urldb.url LIKE '%%'" in sql
+        assert " OR " in sql
+        assert "description" not in sql.split("FROM")[1]
+        assert "ORDER BY title" in sql
+
+    def test_hidden_variable_round_trip(self, urlquery):
+        # The client echoes back the literal "$(hidden_a)"; report mode
+        # dereferences it to the real column name.
+        result = self._report(urlquery, [
+            ("SEARCH", "ib"), ("USE_TITLE", "yes"),
+            ("DBFIELDS", "$(hidden_a)"), ("DBFIELDS", "$(hidden_b)"),
+            ("SHOWSQL", "YES")])
+        sql = result.statements[0]
+        assert "SELECT url, title , description" in sql
+
+    def test_report_contains_hyperlinked_urls(self, urlquery):
+        result = self._report(urlquery, [
+            ("SEARCH", "ibm"), ("USE_URL", "yes"),
+            ("DBFIELDS", "title")])
+        links = re.findall(r'<A HREF="(http://[^"]+)">', result.html)
+        assert links, "Figure 8 shows hyperlinked result URLs"
+        assert all("ibm" in link for link in links)
+
+    def test_conditional_d2_d3_columns(self, urlquery):
+        # With only one extra field, $(V3) is undefined so D3 is null.
+        one = result_list(self._report(urlquery, [
+            ("SEARCH", "ib"), ("USE_URL", "yes"),
+            ("DBFIELDS", "title")]).html)
+        assert one.count("<BR>") == one.count("<LI>")
+        two = result_list(self._report(urlquery, [
+            ("SEARCH", "ib"), ("USE_URL", "yes"),
+            ("DBFIELDS", "title"), ("DBFIELDS", "description")]).html)
+        assert two.count("<BR>") == 2 * two.count("<LI>")
+
+    def test_unchecking_everything_lists_all_urls(self, urlquery):
+        result = self._report(urlquery, [("SEARCH", "zzz-no-match"),
+                                         ("DBFIELDS", "title")])
+        # "If you unselect all of the above checkboxes, all of the URLs
+        # in the database will be displayed on output."
+        assert result_list(result.html).count("<LI>") == urlquery.rows
+
+    def test_no_match_produces_empty_list(self, urlquery):
+        result = self._report(urlquery, [
+            ("SEARCH", "zzz-no-match"), ("USE_URL", "yes"),
+            ("DBFIELDS", "title")])
+        assert result_list(result.html).count("<LI>") == 0
+        assert "<UL>" in result.html  # header/footer still printed

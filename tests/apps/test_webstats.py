@@ -1,0 +1,96 @@
+"""Webstats: the gateway reporting on its own access log."""
+
+import pytest
+
+from repro.apps import urlquery as urlquery_app
+from repro.apps import webstats
+from repro.apps.site import build_site
+from repro.http.accesslog import AccessLog
+from repro.http.message import HttpRequest
+
+
+def synthetic_entries():
+    """A small deterministic log."""
+    log = AccessLog()
+    from repro.http.message import HttpResponse
+    specs = [
+        ("/index.html", 200, 1000, "10.0.0.1"),
+        ("/index.html", 200, 1000, "10.0.0.2"),
+        ("/index.html", 200, 1000, "10.0.0.1"),
+        ("/products.html", 200, 2500, "10.0.0.2"),
+        ("/ghost.html", 404, 200, "10.0.0.3"),
+        ("/ghost.html", 404, 200, "10.0.0.3"),
+        ("/cgi-bin/db2www/urlquery.d2w/report", 200, 4000, "10.0.0.1"),
+    ]
+    for path, status, size, host in specs:
+        log.record(HttpRequest(target=path),
+                   HttpResponse(status=status, body=b"x" * size),
+                   remote_addr=host)
+    return log.entries()
+
+
+@pytest.fixture()
+def app():
+    return webstats.install(synthetic_entries())
+
+
+def report(app, view: str) -> str:
+    macro = app.library.load(webstats.MACRO_NAME)
+    result = app.engine.execute_report(macro, [("view", view)])
+    assert result.ok
+    return result.html
+
+
+class TestReports:
+    def test_import_count(self, app):
+        assert app.imported == 7
+
+    def test_top_pages_ordered_by_hits(self, app):
+        html = report(app, "top_pages")
+        assert html.index("/index.html") < html.index("/ghost.html")
+        assert "<TD>/index.html</TD><TD>3</TD><TD>3000</TD>" in html
+
+    def test_status_summary(self, app):
+        html = report(app, "status_summary")
+        assert "<LI>200: 5 request(s)" in html
+        assert "<LI>404: 2 request(s)" in html
+
+    def test_top_hosts(self, app):
+        html = report(app, "top_hosts")
+        assert html.index("10.0.0.1") < html.index("10.0.0.3")
+
+    def test_errors_view(self, app):
+        html = report(app, "errors")
+        assert "404 on /ghost.html: 2 time(s)" in html
+        assert "1 distinct error source(s)" in html
+
+    def test_default_view_is_top_pages(self, app):
+        macro = app.library.load(webstats.MACRO_NAME)
+        result = app.engine.execute_report(macro)
+        assert "Most requested pages" in result.html
+
+    def test_reload_replaces_data(self, app):
+        app.reload([])
+        html = report(app, "status_summary")
+        assert "request(s)" not in html
+
+
+class TestDogfooding:
+    def test_stats_on_the_gateways_own_traffic(self):
+        """Serve the urlquery app with a live access log, then report
+        on that log through webstats — the full loop."""
+        log = AccessLog()
+        url_app = urlquery_app.install(rows=20)
+        site = build_site(url_app.engine, url_app.library)
+        site.router.access_log = log
+        browser = site.new_browser()
+        browser.get(url_app.input_path)
+        browser.get(url_app.input_path)
+        browser.get("/cgi-bin/db2www/missing.d2w/input")  # a 404
+
+        stats_app = webstats.install(log.entries())
+        html = report(stats_app, "status_summary")
+        assert "<LI>200: 2 request(s)" in html
+        assert "<LI>404: 1 request(s)" in html
+        top = report(stats_app, "top_pages")
+        assert "/cgi-bin/db2www/urlquery.d2w/input" in top

@@ -1,0 +1,86 @@
+"""The three-step order wizard: hidden-field state across requests."""
+
+import pytest
+
+from repro.apps import wizard
+from repro.apps.site import build_site
+
+
+@pytest.fixture()
+def site_and_app():
+    app = wizard.install()
+    return build_site(app.engine, app.library), app
+
+
+def order_count(app) -> int:
+    conn = app.registry.connect(wizard.DATABASE_NAME)
+    try:
+        return conn.execute("SELECT COUNT(*) FROM orders").fetchone()[0]
+    finally:
+        conn.close()
+
+
+class TestWizardFlow:
+    def test_full_walk_records_order(self, site_and_app):
+        site, app = site_and_app
+        before = order_count(app)
+        browser = site.new_browser()
+
+        step1 = browser.get(app.start_path)
+        assert "Step 1 of 3" in step1.html
+        form1 = step1.form(0)
+        form1["wiz_cust"].select("10300")
+
+        step2 = browser.submit(form1)
+        assert "Step 2 of 3" in step2.html
+        form2 = step2.form(0)
+        # The chosen customer rides along as a hidden field.
+        assert form2["wiz_cust"].kind == "hidden"
+        assert form2["wiz_cust"].value == "10300"
+        form2["wiz_prod"].select("tents")
+        form2.set("wiz_qty", "3")
+
+        step3 = browser.submit(form2)
+        assert "Step 3 of 3" in step3.html
+        assert "id 10300" in step3.html
+        assert "tents, 3 unit(s)" in step3.html
+        assert "Order recorded" in step3.html
+        assert order_count(app) == before + 1
+
+        conn = app.registry.connect(wizard.DATABASE_NAME)
+        row = conn.execute(
+            "SELECT custid, product_name, quantity FROM orders "
+            "ORDER BY order_id DESC LIMIT 1").fetchone()
+        conn.close()
+        assert row == (10300, "tents", 3)
+
+    def test_customer_options_come_from_the_database(self, site_and_app):
+        site, app = site_and_app
+        page = site.new_browser().get(app.start_path)
+        options = page.form(0)["wiz_cust"].options
+        assert len(options) == 40  # seeded customer count
+        assert all(option.value.isdigit() for option in options)
+
+    def test_bad_quantity_surfaces_message_not_crash(self, site_and_app):
+        site, app = site_and_app
+        before = order_count(app)
+        browser = site.new_browser()
+        step1 = browser.get(app.start_path)
+        step2 = browser.submit(step1.form(0))
+        form2 = step2.form(0)
+        form2["wiz_prod"].select("bikes")
+        form2.set("wiz_qty", "0")  # violates CHECK (quantity > 0)
+        step3 = browser.submit(form2)
+        assert "Could not record the order" in step3.html
+        assert order_count(app) == before
+
+    def test_two_wizards_do_not_interfere(self, site_and_app):
+        site, app = site_and_app
+        alice, bob = site.new_browser(), site.new_browser()
+        a2 = alice.submit(alice.get(app.start_path).form(0))
+        b1 = bob.get(app.start_path)
+        b1.form(0)["wiz_cust"].select("10500")
+        b2 = bob.submit(b1.form(0))
+        # Each browser's hidden state is its own.
+        assert a2.form(0)["wiz_cust"].value != "10500"
+        assert b2.form(0)["wiz_cust"].value == "10500"

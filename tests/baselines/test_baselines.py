@@ -1,0 +1,260 @@
+"""The Section 6 baseline gateways, each serving the URL-query workload."""
+
+import pytest
+
+from repro.apps import urlquery as urlquery_app
+from repro.baselines import comparison, gsql, plsql, rawcgi, wdb
+from repro.cgi.environ import CgiEnvironment
+from repro.cgi.request import CgiRequest
+
+
+@pytest.fixture(scope="module")
+def app():
+    return urlquery_app.install(rows=60)
+
+
+def request_for(path_info: str, query: str = "") -> CgiRequest:
+    return CgiRequest(CgiEnvironment(path_info=path_info,
+                                     query_string=query))
+
+
+class TestRawCgi:
+    @pytest.fixture()
+    def program(self, app):
+        return rawcgi.RawCgiUrlQuery(app.registry)
+
+    def test_input_form(self, program):
+        response = program.run(request_for("/input"))
+        assert b'NAME="SEARCH"' in response.body
+
+    def test_report_or_search(self, program):
+        response = program.run(request_for(
+            "/report", "SEARCH=ib&USE_URL=yes&USE_TITLE=yes"))
+        assert b"<LI>" in response.body
+        assert b"http://www.ibm.com" in response.body
+
+    def test_field_allowlist_blocks_injection_via_dbfields(self, program):
+        response = program.run(request_for(
+            "/report",
+            "SEARCH=ib&USE_URL=yes&DBFIELDS=url%3B%20DROP%20TABLE"))
+        assert response.status == 200  # hostile field name ignored
+
+    def test_quote_escaping_in_search(self, program):
+        response = program.run(request_for(
+            "/report", "SEARCH=O%27Brien&USE_TITLE=yes"))
+        assert response.status == 200
+
+    def test_no_checkboxes_lists_all(self, program, app):
+        response = program.run(request_for("/report", "SEARCH=x"))
+        assert response.body.count(b"<LI>") == app.rows
+
+
+class TestGsql:
+    def test_proc_file_parses(self):
+        proc = gsql.ProcFile.parse(gsql.URLQUERY_PROC)
+        assert proc.title.startswith("Query URL")
+        assert proc.fields[0].name == "SEARCH"
+        assert "$SEARCH" in proc.sql_template
+
+    def test_malformed_proc_file(self):
+        with pytest.raises(gsql.ProcFileError):
+            gsql.ProcFile.parse("TITLE no colon separator here--")
+        with pytest.raises(gsql.ProcFileError):
+            gsql.ProcFile.parse("TITLE: x")  # no SQL
+        with pytest.raises(gsql.ProcFileError):
+            gsql.ProcFile.parse("FIELD: onlyname\nSQL: SELECT 1")
+        with pytest.raises(gsql.ProcFileError):
+            gsql.ProcFile.parse("OPTION: ghost|A|a\nSQL: SELECT 1")
+        with pytest.raises(gsql.ProcFileError):
+            gsql.ProcFile.parse("NOVERB: x\nSQL: SELECT 1")
+
+    def test_substitution_escapes_quotes(self):
+        proc = gsql.ProcFile.parse(
+            "SQL: SELECT * FROM t WHERE a = '$X'")
+        assert proc.build_sql({"X": "O'Brien"}) == \
+            "SELECT * FROM t WHERE a = 'O''Brien'"
+
+    def test_missing_input_becomes_empty(self):
+        # The restrictive substitution the paper criticises: no
+        # conditionals, so the template degrades to a catch-all.
+        proc = gsql.ProcFile.parse("SQL: SELECT 1 WHERE a LIKE '%$X%'")
+        assert proc.build_sql({}) == "SELECT 1 WHERE a LIKE '%%'"
+
+    def test_auto_form_and_report(self, app):
+        program = gsql.install_urlquery(app.registry)
+        form = program.run(request_for("/input"))
+        assert b"Run Query" in form.body
+        report = program.run(request_for("/report", "SEARCH=ib"))
+        assert b"<TABLE" in report.body
+
+    def test_sql_error_rendered_not_raised(self, app):
+        proc = gsql.ProcFile.parse("SQL: SELECT * FROM missing")
+        program = gsql.GsqlProgram(proc, app.registry, "URLDB")
+        response = program.run(request_for("/report"))
+        assert b"Query failed" in response.body
+
+    def test_select_field_renders_options(self, app):
+        proc = gsql.ProcFile.parse(
+            "FIELD: F|Pick|select\nOPTION: F|One|1\nOPTION: F|Two|2\n"
+            "SQL: SELECT '$F'")
+        program = gsql.GsqlProgram(proc, app.registry, "URLDB")
+        form = program.run(request_for("/input"))
+        assert form.body.count(b"<OPTION") == 2
+
+
+class TestWdb:
+    def test_fdf_generated_from_catalog(self, app):
+        fdf = wdb.generate_fdf(app.registry, "URLDB", "urldb")
+        assert fdf.table == "urldb"
+        assert [f.column for f in fdf.fields] == \
+            ["url", "title", "description"]
+        assert all(f.type_name == "char" for f in fdf.fields)
+        text = fdf.serialize()
+        assert "TABLE urldb" in text
+        assert "FIELD url" in text
+
+    def test_auto_form_has_field_per_column(self, app):
+        program = wdb.install_urlquery(app.registry)
+        form = program.run(request_for("/input"))
+        assert form.body.count(b'TYPE="text"') == 3
+
+    def test_report_ands_filled_fields(self, app):
+        program = wdb.install_urlquery(app.registry)
+        report = program.run(request_for(
+            "/report", "title=Ibm&description=downloads"))
+        assert report.status == 200
+        assert b"row(s) shown" in report.body
+
+    def test_wildcards_in_user_input_are_literal(self, app):
+        program = wdb.install_urlquery(app.registry)
+        report = program.run(request_for("/report", "title=100%25"))
+        assert b"0 row(s) shown" in report.body
+
+    def test_max_rows_cap(self, app):
+        program = wdb.WdbProgram(
+            wdb.generate_fdf(app.registry, "URLDB", "urldb"),
+            app.registry, "URLDB", max_rows=5)
+        report = program.run(request_for("/report"))
+        assert report.body.count(b"<TR>") == 6  # header + 5 rows
+
+
+class TestPlsql:
+    def test_form_procedure(self, app):
+        program = plsql.install_urlquery(app.registry)
+        response = program.run(request_for("/urlquery_form"))
+        assert b"Submit Query" in response.body
+
+    def test_report_procedure(self, app):
+        program = plsql.install_urlquery(app.registry)
+        response = program.run(request_for(
+            "/urlquery_report", "SEARCH=ib&USE_TITLE=yes"))
+        assert b"<LI>" in response.body
+
+    def test_unknown_procedure_404(self, app):
+        program = plsql.install_urlquery(app.registry)
+        assert program.run(request_for("/nope")).status == 404
+        assert program.run(request_for("")).status == 404
+
+    def test_registry_decorator(self):
+        registry = plsql.ProcedureRegistry()
+
+        @registry.register("p")
+        def proc(htp, params, conn):
+            htp.print("x")
+
+        assert registry.names() == ["p"]
+        assert registry.get("p") is proc
+
+
+class TestComparison:
+    def test_profiles_cover_five_gateways(self):
+        names = [p.name for p in comparison.profiles()]
+        assert names == ["db2www", "gsql", "wdb", "rawcgi", "plsql"]
+
+    def test_db2www_has_most_capabilities(self):
+        ranked = sorted(comparison.profiles(),
+                        key=lambda p: p.capability_count(), reverse=True)
+        assert ranked[0].name == "db2www"
+
+    def test_db2www_needs_no_coding_but_rawcgi_does(self):
+        by_name = {p.name: p for p in comparison.profiles()}
+        assert by_name["db2www"].capabilities["no_coding"]
+        assert not by_name["rawcgi"].capabilities["no_coding"]
+
+    def test_capability_table_renders_all_axes(self):
+        table = comparison.capability_table()
+        for key, _ in comparison.CAPABILITIES:
+            assert key in table
+        assert "developer_loc" in table
+
+    def test_developer_loc_counts_positive(self):
+        by_name = {p.name: p for p in comparison.profiles()}
+        assert by_name["db2www"].developer_loc > 0
+        assert by_name["rawcgi"].developer_loc > \
+            by_name["gsql"].developer_loc
+        assert by_name["wdb"].developer_loc == 0
+
+
+class TestCrossGatewayConsistency:
+    """Different gateways, same database, same logical query: the
+    result *rows* must agree even though page markup differs."""
+
+    def _urls_from(self, body: bytes) -> set[str]:
+        import re
+        return set(re.findall(rb'HREF="(http://[^"]+)"', body))
+
+    def test_db2www_and_rawcgi_agree_on_hits(self, app):
+        from repro.apps.site import build_site
+        site = build_site(app.engine, app.library)
+        db2_response = site.gateway.dispatch(
+            "db2www",
+            request_for("/urlquery.d2w/report",
+                        "SEARCH=ibm&USE_URL=yes&DBFIELDS=title"))
+        raw_program = rawcgi.RawCgiUrlQuery(app.registry)
+        raw_response = raw_program.run(request_for(
+            "/report", "SEARCH=ibm&USE_URL=yes&DBFIELDS=title"))
+        db2_urls = self._urls_from(db2_response.body)
+        raw_urls = self._urls_from(raw_response.body)
+        # Drop the navigation links only the db2www page carries.
+        db2_urls = {u for u in db2_urls if b"/page" in u}
+        raw_urls = {u for u in raw_urls if b"/page" in u}
+        assert db2_urls == raw_urls
+        assert db2_urls  # non-trivial comparison
+
+    def test_plsql_subset_of_db2www_title_search(self, app):
+        from repro.apps.site import build_site
+        site = build_site(app.engine, app.library)
+        db2_response = site.gateway.dispatch(
+            "db2www",
+            request_for("/urlquery.d2w/report",
+                        "SEARCH=web&USE_TITLE=yes&DBFIELDS=title"))
+        plsql_program = plsql.install_urlquery(app.registry)
+        plsql_response = plsql_program.run(request_for(
+            "/urlquery_report", "SEARCH=web&USE_TITLE=yes"))
+        db2_urls = {u for u in self._urls_from(db2_response.body)
+                    if b"/page" in u}
+        plsql_urls = {u for u in self._urls_from(plsql_response.body)
+                      if b"/page" in u}
+        assert plsql_urls == db2_urls
+
+
+class TestFdfEditing:
+    """The skeleton FDF is editable, per WDB's workflow."""
+
+    def test_unlisted_column_excluded_from_report(self, app):
+        fdf = wdb.generate_fdf(app.registry, "URLDB", "urldb")
+        description = next(f for f in fdf.fields
+                           if f.column == "description")
+        description.listed = False
+        program = wdb.WdbProgram(fdf, app.registry, "URLDB")
+        report = program.run(request_for("/report", "title=Ibm"))
+        assert b"<TH>description</TH>" not in report.body
+        assert b"<TH>url</TH>" in report.body
+
+    def test_unsearchable_column_excluded_from_form(self, app):
+        fdf = wdb.generate_fdf(app.registry, "URLDB", "urldb")
+        next(f for f in fdf.fields
+             if f.column == "url").searchable = False
+        program = wdb.WdbProgram(fdf, app.registry, "URLDB")
+        form = program.run(request_for("/input"))
+        assert form.body.count(b'TYPE="text"') == 2

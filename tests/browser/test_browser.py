@@ -1,0 +1,140 @@
+"""The simulated Web client: navigation, forms, links, redirects."""
+
+import pytest
+
+from repro.browser.client import Browser
+from repro.cgi.gateway import CgiGateway, FunctionProgram
+from repro.cgi.request import CgiResponse
+from repro.errors import HttpError
+from repro.http.inprocess import InProcessTransport
+from repro.http.router import Router
+
+
+@pytest.fixture()
+def site():
+    gateway = CgiGateway()
+
+    def echo(request):
+        body = (f"<TITLE>echo</TITLE><P>method={request.environ.request_method} "
+                f"qs={request.environ.query_string} "
+                f"body={request.stdin.decode()}</P>")
+        return CgiResponse(body=body.encode())
+
+    def bouncer(request):
+        return CgiResponse(
+            status=302, reason="Found",
+            headers=[("Location", "/landing.html")])
+
+    gateway.install("echo", FunctionProgram(echo))
+    gateway.install("bounce", FunctionProgram(bouncer))
+    router = Router(gateway=gateway, server_name="test.host")
+    router.add_page("/index.html", """
+<TITLE>Home</TITLE>
+<H1>Welcome</H1>
+<A HREF="/page2.html">Next page</A>
+<A HREF="/cgi-bin/bounce/x">Bounce</A>
+<FORM METHOD="get" ACTION="/cgi-bin/echo/q">
+<INPUT TYPE="text" NAME="term" VALUE="default">
+<INPUT TYPE="submit" VALUE="Go">
+</FORM>
+<FORM METHOD="post" ACTION="/cgi-bin/echo/p">
+<INPUT TYPE="hidden" NAME="h" VALUE="1">
+<INPUT TYPE="submit" VALUE="Post It">
+</FORM>
+""")
+    router.add_page("/page2.html",
+                    "<TITLE>Second</TITLE><A HREF='/index.html'>home</A>")
+    router.add_page("/landing.html", "<TITLE>Landed</TITLE>")
+    return router
+
+
+@pytest.fixture()
+def browser(site):
+    return Browser(InProcessTransport(site),
+                   base_url="http://test.host/")
+
+
+class TestNavigation:
+    def test_get_parses_page(self, browser):
+        page = browser.get("/index.html")
+        assert page.status == 200
+        assert page.title == "Home"
+        assert len(page.forms) == 2
+        assert len(page.links) == 2
+
+    def test_relative_url_resolved_against_base(self, browser):
+        page = browser.get("index.html")
+        assert page.title == "Home"
+
+    def test_follow_link_by_text(self, browser):
+        browser.get("/index.html")
+        page = browser.follow("Next page")
+        assert page.title == "Second"
+
+    def test_follow_link_by_href(self, browser):
+        browser.get("/index.html")
+        page = browser.follow("/page2.html")
+        assert page.title == "Second"
+
+    def test_unknown_link(self, browser):
+        page = browser.get("/index.html")
+        with pytest.raises(LookupError):
+            page.link("No Such Anchor")
+
+    def test_back(self, browser):
+        browser.get("/index.html")
+        browser.follow("Next page")
+        page = browser.back()
+        assert page.title == "Home"
+
+    def test_back_without_history(self, browser):
+        with pytest.raises(HttpError):
+            browser.back()
+
+    def test_redirect_followed(self, browser):
+        browser.get("/index.html")
+        page = browser.follow("Bounce")
+        assert page.title == "Landed"
+        assert page.url.path == "/landing.html"
+
+    def test_404_page_still_parsed(self, browser):
+        page = browser.get("/missing.html")
+        assert page.status == 404
+        assert "404" in page.title
+
+    def test_no_current_page_errors(self, browser):
+        with pytest.raises(HttpError):
+            browser.submit(None)  # type: ignore[arg-type]
+
+
+class TestFormSubmission:
+    def test_get_form_goes_to_query_string(self, browser):
+        page = browser.get("/index.html")
+        form = page.form(0)
+        form.set("term", "ib m")
+        result = browser.submit(form)
+        assert "qs=term=ib+m" in result.html
+        assert "method=GET" in result.html
+
+    def test_post_form_goes_to_body(self, browser):
+        page = browser.get("/index.html")
+        result = browser.submit(page.form(1), click="Post It")
+        assert "method=POST" in result.html
+        assert "body=h=1" in result.html
+
+    def test_form_action_resolved_relative_to_page(self, site):
+        site.add_page("/deep/form.html",
+                      "<FORM ACTION='go'><INPUT TYPE=submit></FORM>")
+        site.gateway.install("noop", FunctionProgram(
+            lambda r: CgiResponse(body=b"x")))
+        browser = Browser(InProcessTransport(site),
+                          base_url="http://test.host/")
+        page = browser.get("/deep/form.html")
+        result = browser.submit(page.form(0))
+        assert result.url.path == "/deep/go"
+
+    def test_render_of_fetched_page(self, browser):
+        page = browser.get("/index.html")
+        rendered = page.render()
+        assert "Welcome" in rendered
+        assert "< Go >" in rendered

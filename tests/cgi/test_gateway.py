@@ -1,0 +1,118 @@
+"""CGI dispatch and the DB2WWW program's URL contract."""
+
+import pytest
+
+from repro.cgi.environ import CgiEnvironment
+from repro.cgi.gateway import (
+    CgiGateway,
+    Db2WwwProgram,
+    FunctionProgram,
+    error_response,
+)
+from repro.cgi.request import CgiRequest, CgiResponse
+from repro.core.engine import MacroEngine
+from repro.core.macrofile import MacroLibrary
+from repro.errors import UnknownCgiProgramError
+
+
+def db2www_request(path_info: str, query: str = "",
+                   method: str = "GET", body: bytes = b"") -> CgiRequest:
+    return CgiRequest(
+        CgiEnvironment(
+            request_method=method,
+            script_name="/cgi-bin/db2www",
+            path_info=path_info,
+            query_string=query,
+            content_type=("application/x-www-form-urlencoded"
+                          if method == "POST" else ""),
+            content_length=len(body)),
+        stdin=body)
+
+
+@pytest.fixture()
+def program(shop_registry):
+    library = MacroLibrary()
+    library.add_text("shop.d2w", """
+%DEFINE DATABASE = "SHOP"
+%SQL{ SELECT name FROM items WHERE name LIKE '$(q)%' ORDER BY name %}
+%HTML_INPUT{<FORM ACTION="/cgi-bin/db2www/shop.d2w/report">
+<INPUT NAME="q"></FORM>%}
+%HTML_REPORT{<H1>Found</H1>%EXEC_SQL%}
+""")
+    return Db2WwwProgram(MacroEngine(shop_registry), library)
+
+
+class TestGatewayDispatch:
+    def test_dispatch_by_name(self):
+        gateway = CgiGateway()
+        gateway.install("echo", FunctionProgram(
+            lambda req: CgiResponse(body=b"pong")))
+        response = gateway.dispatch("echo", db2www_request("/"))
+        assert response.body == b"pong"
+        assert "echo" in gateway
+        assert gateway.names() == ["echo"]
+
+    def test_unknown_program(self):
+        with pytest.raises(UnknownCgiProgramError):
+            CgiGateway().dispatch("ghost", db2www_request("/"))
+
+    def test_program_exception_becomes_500(self):
+        gateway = CgiGateway()
+
+        def crash(request):
+            raise RuntimeError("kaboom")
+
+        gateway.install("crash", FunctionProgram(crash))
+        response = gateway.dispatch("crash", db2www_request("/"))
+        assert response.status == 500
+        assert b"kaboom" in response.body
+
+    def test_error_response_escapes_detail(self):
+        response = error_response(500, "Oops", "<script>bad</script>")
+        assert b"&lt;script&gt;" in response.body
+
+
+class TestDb2WwwProgram:
+    def test_input_mode(self, program):
+        response = program.run(db2www_request("/shop.d2w/input"))
+        assert response.status == 200
+        assert b"<FORM" in response.body
+
+    def test_report_mode_get(self, program):
+        response = program.run(
+            db2www_request("/shop.d2w/report", query="q=b"))
+        assert b"bikes" in response.body
+
+    def test_report_mode_post(self, program):
+        response = program.run(db2www_request(
+            "/shop.d2w/report", method="POST", body=b"q=h"))
+        assert b"helmets" in response.body
+
+    def test_unknown_macro_is_404(self, program):
+        response = program.run(db2www_request("/ghost.d2w/input"))
+        assert response.status == 404
+
+    def test_traversal_name_is_404(self, program):
+        response = program.run(
+            db2www_request("/..%2Fetc%2Fpasswd/input"))
+        assert response.status == 404
+
+    def test_bad_command_is_400(self, program):
+        response = program.run(db2www_request("/shop.d2w/destroy"))
+        assert response.status == 400
+
+    def test_wrong_path_shape_is_400(self, program):
+        assert program.run(db2www_request("/shop.d2w")).status == 400
+        assert program.run(db2www_request("/a/b/c")).status == 400
+
+    def test_macro_execution_error_is_500(self, shop_registry):
+        library = MacroLibrary()
+        library.add_text("broken.d2w", "%HTML_REPORT{no input section%}")
+        program = Db2WwwProgram(MacroEngine(shop_registry), library)
+        response = program.run(db2www_request("/broken.d2w/input"))
+        assert response.status == 500
+        assert b"MissingSectionError" in response.body
+
+    def test_content_type_carries_charset(self, program):
+        response = program.run(db2www_request("/shop.d2w/input"))
+        assert response.content_type == "text/html; charset=utf-8"

@@ -1,0 +1,155 @@
+"""CGI environment, request/response objects, and path splitting."""
+
+import pytest
+
+from repro.cgi.environ import CgiEnvironment, split_cgi_path
+from repro.cgi.request import CgiRequest, CgiResponse
+from repro.errors import CgiProtocolError
+
+
+class TestEnvironment:
+    def test_to_dict_core_fields(self):
+        env = CgiEnvironment(
+            request_method="POST",
+            script_name="/cgi-bin/db2www",
+            path_info="/urlquery.d2w/report",
+            query_string="a=1",
+            content_type="application/x-www-form-urlencoded",
+            content_length=10,
+            http_headers={"User-Agent": "test"},
+        ).to_dict()
+        assert env["GATEWAY_INTERFACE"] == "CGI/1.1"
+        assert env["REQUEST_METHOD"] == "POST"
+        assert env["PATH_INFO"] == "/urlquery.d2w/report"
+        assert env["QUERY_STRING"] == "a=1"
+        assert env["CONTENT_LENGTH"] == "10"
+        assert env["HTTP_USER_AGENT"] == "test"
+
+    def test_roundtrip_through_dict(self):
+        original = CgiEnvironment(
+            request_method="POST", script_name="/cgi-bin/x",
+            path_info="/m/report", query_string="q=1",
+            content_type="text/plain", content_length=5,
+            server_name="www.example.com", server_port=8080,
+            remote_addr="10.1.2.3",
+            http_headers={"Accept-Language": "fr"})
+        rebuilt = CgiEnvironment.from_dict(original.to_dict())
+        assert rebuilt == original
+
+    def test_get_has_no_content_fields(self):
+        env = CgiEnvironment().to_dict()
+        assert "CONTENT_TYPE" not in env
+        assert "CONTENT_LENGTH" not in env
+
+
+class TestPathSplitting:
+    def test_db2www_url(self):
+        script, program, path_info = split_cgi_path(
+            "/cgi-bin/db2www/urlquery.d2w/report")
+        assert script == "/cgi-bin/db2www"
+        assert program == "db2www"
+        assert path_info == "/urlquery.d2w/report"
+
+    def test_program_without_extra_path(self):
+        script, program, path_info = split_cgi_path("/cgi-bin/prog")
+        assert (script, program, path_info) == \
+            ("/cgi-bin/prog", "prog", "")
+
+    def test_not_under_prefix(self):
+        with pytest.raises(ValueError):
+            split_cgi_path("/pages/x.html")
+
+    def test_empty_program(self):
+        with pytest.raises(ValueError):
+            split_cgi_path("/cgi-bin/")
+
+
+class TestRequestInputs:
+    def test_get_inputs_from_query_string(self):
+        request = CgiRequest(CgiEnvironment(
+            request_method="GET", query_string="a=1&a=2&b=x"))
+        assert request.input_pairs() == [("a", "1"), ("a", "2"),
+                                         ("b", "x")]
+
+    def test_post_inputs_from_stdin(self):
+        request = CgiRequest(
+            CgiEnvironment(
+                request_method="POST",
+                content_type="application/x-www-form-urlencoded",
+                content_length=7),
+            stdin=b"a=1&b=2")
+        assert request.input_pairs() == [("a", "1"), ("b", "2")]
+
+    def test_post_merges_query_string_first(self):
+        # Appendix A allows ACTION URLs with ?name=val on a POST form.
+        request = CgiRequest(
+            CgiEnvironment(request_method="POST", query_string="pre=0",
+                           content_type="application/x-www-form-urlencoded"),
+            stdin=b"a=1")
+        assert request.input_pairs() == [("pre", "0"), ("a", "1")]
+
+    def test_post_with_other_content_type_ignores_body(self):
+        request = CgiRequest(
+            CgiEnvironment(request_method="POST",
+                           content_type="text/plain"),
+            stdin=b"not=form")
+        assert request.input_pairs() == []
+
+    def test_path_components(self):
+        request = CgiRequest(CgiEnvironment(path_info="/m.d2w/report/"))
+        assert request.path_components() == ["m.d2w", "report"]
+
+
+class TestResponse:
+    def test_serialize_adds_content_type(self):
+        raw = CgiResponse(body=b"<P>hi</P>").serialize()
+        assert raw.startswith(b"Content-Type: text/html\r\n\r\n")
+        assert raw.endswith(b"<P>hi</P>")
+
+    def test_serialize_non_200_status(self):
+        raw = CgiResponse(status=404, reason="Not Found",
+                          body=b"x").serialize()
+        assert b"Status: 404 Not Found" in raw
+
+    def test_parse_crlf_and_lf(self):
+        for sep in (b"\r\n\r\n", b"\n\n"):
+            head = b"Content-Type: text/plain"
+            parsed = CgiResponse.parse(head + sep + b"body")
+            assert parsed.content_type == "text/plain"
+            assert parsed.body == b"body"
+
+    def test_parse_status_header(self):
+        parsed = CgiResponse.parse(
+            b"Status: 404 Missing\r\nContent-Type: text/html\r\n\r\nx")
+        assert parsed.status == 404
+        assert parsed.reason == "Missing"
+
+    def test_location_implies_redirect(self):
+        parsed = CgiResponse.parse(
+            b"Location: http://elsewhere/\r\n\r\n")
+        assert parsed.status == 302
+
+    def test_missing_separator_rejected(self):
+        with pytest.raises(CgiProtocolError):
+            CgiResponse.parse(b"Content-Type: text/html")
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(CgiProtocolError):
+            CgiResponse.parse(b"NoColonHere\r\n\r\nbody")
+
+    def test_text_respects_charset(self):
+        response = CgiResponse(
+            headers=[("Content-Type", "text/html; charset=latin-1")],
+            body="café".encode("latin-1"))
+        assert response.text == "café"
+
+    def test_serialize_parse_roundtrip(self):
+        original = CgiResponse(
+            status=403, reason="Forbidden",
+            headers=[("Content-Type", "text/html"),
+                     ("X-Extra", "1")],
+            body=b"<H1>no</H1>")
+        parsed = CgiResponse.parse(original.serialize())
+        assert parsed.status == 403
+        assert parsed.header("X-Extra") == "1"
+        assert parsed.body == original.body

@@ -1,0 +1,90 @@
+"""The QUERY_STRING codec: RFC 1738 form-urlencoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cgi.query_string import (
+    decode_component,
+    decode_pairs,
+    encode_component,
+    encode_pairs,
+)
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("text,encoded", [
+        ("plain", "plain"),
+        ("two words", "two+words"),
+        ("a&b=c", "a%26b%3Dc"),
+        ("100%", "100%25"),
+        ("", ""),
+        ("café", "caf%C3%A9"),
+        ("a+b", "a%2Bb"),
+    ])
+    def test_encode_component(self, text, encoded):
+        assert encode_component(text) == encoded
+
+    def test_encode_pairs_preserves_order(self):
+        pairs = [("b", "2"), ("a", "1"), ("b", "3")]
+        assert encode_pairs(pairs) == "b=2&a=1&b=3"
+
+
+class TestDecoding:
+    @pytest.mark.parametrize("encoded,text", [
+        ("two+words", "two words"),
+        ("a%26b", "a&b"),
+        ("caf%C3%A9", "café"),
+        ("%41", "A"),
+        ("100%", "100%"),           # lenient: bad escape is literal
+        ("%zz", "%zz"),
+        ("%4", "%4"),
+    ])
+    def test_decode_component(self, encoded, text):
+        assert decode_component(encoded) == text
+
+    def test_decode_pairs_figure3_example(self):
+        # The multi-valued DBFIELD of Section 2.2 / Figure 3.
+        query = ("SEARCH=&USE_URL=yes&USE_TITLE=yes"
+                 "&DBFIELD=title&DBFIELD=desc")
+        assert decode_pairs(query) == [
+            ("SEARCH", ""),
+            ("USE_URL", "yes"),
+            ("USE_TITLE", "yes"),
+            ("DBFIELD", "title"),
+            ("DBFIELD", "desc"),
+        ]
+
+    def test_field_without_equals(self):
+        assert decode_pairs("flag&x=1") == [("flag", ""), ("x", "1")]
+
+    def test_empty_fields_skipped(self):
+        assert decode_pairs("a=1&&b=2&") == [("a", "1"), ("b", "2")]
+
+    def test_empty_query(self):
+        assert decode_pairs("") == []
+
+    def test_value_containing_equals(self):
+        assert decode_pairs("eq=a%3Db=c") == [("eq", "a=b=c")]
+
+
+class TestRoundTrip:
+    pair_strategy = st.tuples(
+        st.text(min_size=1, max_size=12).filter(lambda s: s.strip()),
+        st.text(max_size=24),
+    )
+
+    @given(st.lists(pair_strategy, max_size=8))
+    def test_pairs_roundtrip(self, pairs):
+        """decode(encode(pairs)) == pairs for arbitrary names/values."""
+        assert decode_pairs(encode_pairs(pairs)) == pairs
+
+    @given(st.text(max_size=40))
+    def test_component_roundtrip(self, text):
+        assert decode_component(encode_component(text)) == text
+
+    @given(st.text(max_size=40))
+    def test_decode_is_total(self, junk):
+        """Arbitrary junk never raises (servers must survive anything)."""
+        decode_component(junk)
+        decode_pairs(junk)

@@ -1,0 +1,64 @@
+"""Shared fixtures: seeded databases, installed applications, sites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import build_site
+from repro.apps import library as library_app
+from repro.apps import orders as orders_app
+from repro.apps import urlquery as urlquery_app
+from repro.core.engine import MacroEngine
+from repro.sql.gateway import DatabaseRegistry
+
+
+@pytest.fixture()
+def registry() -> DatabaseRegistry:
+    return DatabaseRegistry()
+
+
+@pytest.fixture()
+def shop_registry() -> DatabaseRegistry:
+    """A tiny one-table database registered as SHOP."""
+    registry = DatabaseRegistry()
+    db = registry.register_memory("SHOP")
+    with db.connect() as conn:
+        conn.executescript(
+            """
+            CREATE TABLE items (
+                name  TEXT NOT NULL,
+                price REAL NOT NULL,
+                qty   INTEGER NOT NULL
+            );
+            INSERT INTO items VALUES
+                ('bikes', 250.0, 4),
+                ('helmets', 45.5, 10),
+                ('tents', 120.0, 2);
+            """)
+    return registry
+
+
+@pytest.fixture()
+def shop_engine(shop_registry) -> MacroEngine:
+    return MacroEngine(shop_registry)
+
+
+@pytest.fixture(scope="session")
+def urlquery():
+    """The Appendix A application, installed once per test session."""
+    return urlquery_app.install(rows=80)
+
+
+@pytest.fixture(scope="session")
+def urlquery_site(urlquery):
+    return build_site(urlquery.engine, urlquery.library)
+
+
+@pytest.fixture()
+def orders():
+    return orders_app.install()
+
+
+@pytest.fixture()
+def books():
+    return library_app.install(books=60)

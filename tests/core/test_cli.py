@@ -1,0 +1,154 @@
+"""The command-line interface."""
+
+import io
+import sqlite3
+
+import pytest
+
+from repro.cli import main
+
+GOOD_MACRO = """\
+%DEFINE DATABASE = "DEMO"
+%SQL{ SELECT name FROM pets WHERE name LIKE '$(q)%' ORDER BY name %}
+%HTML_INPUT{<H1>Pets</H1><FORM><INPUT NAME="q"></FORM>%}
+%HTML_REPORT{<H1>Found pets</H1>%EXEC_SQL%}
+"""
+
+
+@pytest.fixture()
+def deployment(tmp_path):
+    macro_path = tmp_path / "pets.d2w"
+    macro_path.write_text(GOOD_MACRO)
+    db_path = tmp_path / "demo.sqlite"
+    conn = sqlite3.connect(db_path)
+    conn.executescript(
+        "CREATE TABLE pets (name TEXT);"
+        "INSERT INTO pets VALUES ('rex'), ('rover'), ('max');")
+    conn.commit()
+    conn.close()
+    return macro_path, db_path
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    status = main(list(argv), out=out)
+    return status, out.getvalue()
+
+
+class TestLintCommand:
+    def test_clean_macro(self, deployment):
+        macro_path, _ = deployment
+        status, output = run_cli("lint", str(macro_path))
+        assert status == 0
+        assert "clean" in output
+
+    def test_warnings_printed_but_exit_zero(self, tmp_path):
+        path = tmp_path / "warn.d2w"
+        path.write_text(
+            '%DEFINE DATABASE = "D"\n%SQL{ SELECT $(typo_var) %}\n'
+            "%HTML_INPUT{x%}\n%HTML_REPORT{%EXEC_SQL%}\n")
+        status, output = run_cli("lint", str(path))
+        assert status == 0
+        assert "undefined-variable" in output
+
+    def test_errors_exit_nonzero(self, tmp_path):
+        path = tmp_path / "err.d2w"
+        path.write_text(
+            '%DEFINE a = "$(b)"\n%DEFINE b = "$(a)"\n'
+            "%HTML_INPUT{x%}\n%HTML_REPORT{y%}\n")
+        status, output = run_cli("lint", str(path))
+        assert status == 1
+        assert "circular-definition" in output
+
+    def test_multiple_files(self, deployment, tmp_path):
+        macro_path, _ = deployment
+        other = tmp_path / "other.d2w"
+        other.write_text("%HTML_INPUT{x%}\n%HTML_REPORT{y%}\n")
+        status, output = run_cli("lint", str(macro_path), str(other))
+        assert status == 0
+        assert str(other) in output or "clean" in output
+
+
+class TestRunCommand:
+    def test_input_mode(self, deployment):
+        macro_path, db_path = deployment
+        status, output = run_cli(
+            "run", str(macro_path), "input")
+        assert status == 0
+        assert "<H1>Pets</H1>" in output
+
+    def test_report_mode_with_inputs(self, deployment):
+        macro_path, db_path = deployment
+        status, output = run_cli(
+            "run", str(macro_path), "report", "q=r",
+            "--database", f"DEMO={db_path}")
+        assert status == 0
+        assert "<TD>rex</TD>" in output
+        assert "<TD>rover</TD>" in output
+        assert "max" not in output
+
+    def test_report_failure_exit_code(self, deployment, tmp_path):
+        macro_path, db_path = deployment
+        broken = tmp_path / "broken.d2w"
+        broken.write_text(GOOD_MACRO.replace("pets", "no_table"))
+        status, output = run_cli(
+            "run", str(broken), "report",
+            "--database", f"DEMO={db_path}")
+        assert status == 1
+        assert "SQL error" in output
+
+    def test_render_mode(self, deployment):
+        macro_path, db_path = deployment
+        status, output = run_cli(
+            "render", str(macro_path), "report", "q=r",
+            "--database", f"DEMO={db_path}")
+        assert status == 0
+        assert "Found pets" in output
+        assert "| rex" in output  # text table rendering
+
+    def test_bad_binding_rejected(self, deployment):
+        macro_path, _ = deployment
+        with pytest.raises(SystemExit):
+            run_cli("run", str(macro_path), "report", "not-a-binding")
+
+    def test_macro_error_returns_2(self, tmp_path):
+        path = tmp_path / "syntax.d2w"
+        path.write_text("%DEFINE broken")
+        status, _ = run_cli("run", str(path), "input")
+        assert status == 2
+
+
+class TestUnparseCommand:
+    def test_unparse_roundtrip(self, deployment):
+        macro_path, _ = deployment
+        status, output = run_cli("unparse", str(macro_path))
+        assert status == 0
+        from repro.core.parser import parse_macro
+        again = parse_macro(output)
+        assert again.html_input is not None
+        assert len(again.sql_sections()) == 1
+
+
+class TestStatsCommand:
+    def test_summarises_clf_log(self, tmp_path):
+        log = tmp_path / "access.log"
+        log.write_text(
+            '1.1.1.1 - - [05/Jul/1996:10:00:00 +0000] '
+            '"GET /a HTTP/1.0" 200 100\n'
+            '1.1.1.1 - - [05/Jul/1996:10:00:01 +0000] '
+            '"GET /a HTTP/1.0" 200 100\n'
+            '2.2.2.2 - - [05/Jul/1996:10:00:02 +0000] '
+            '"GET /missing HTTP/1.0" 404 50\n'
+            "this line is junk\n")
+        status, output = run_cli("stats", str(log))
+        assert status == 0
+        assert "requests: 3   errors: 1   bytes: 250" in output
+        assert "unparseable lines: 1" in output
+        assert "2  /a" in output
+        assert "404: 1" in output
+
+    def test_empty_log_is_an_error(self, tmp_path):
+        log = tmp_path / "empty.log"
+        log.write_text("nothing useful\n")
+        status, output = run_cli("stats", str(log))
+        assert status == 1

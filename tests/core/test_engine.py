@@ -1,0 +1,314 @@
+"""The macro engine: input/report modes, Section 4 semantics."""
+
+import pytest
+
+from repro.core import parse_macro
+from repro.core.engine import (
+    EngineConfig,
+    MacroCommand,
+    MacroEngine,
+)
+from repro.core.execvars import RegistryExecRunner
+from repro.errors import (
+    MacroExecutionError,
+    MissingSectionError,
+    UnknownSqlSectionError,
+)
+from repro.sql.gateway import DatabaseRegistry
+from repro.sql.transactions import TransactionMode
+
+SHOP_MACRO = """
+%DEFINE DATABASE = "SHOP"
+%SQL{
+SELECT name, qty FROM items WHERE name LIKE '$(q)%' ORDER BY name
+%SQL_REPORT{
+<UL>
+%ROW{<LI>$(V_name): $(V_qty)
+%}
+</UL>
+%}
+%}
+%HTML_INPUT{<FORM><INPUT NAME="q"></FORM>%}
+%HTML_REPORT{<H1>Stock</H1>
+%EXEC_SQL
+<P>done</P>
+%}
+"""
+
+
+class TestInputMode:
+    def test_emits_only_html_input(self, shop_engine):
+        macro = parse_macro(SHOP_MACRO)
+        result = shop_engine.execute_input(macro)
+        assert "<FORM>" in result.html
+        assert "Stock" not in result.html
+        assert result.statements == []  # no SQL ran
+
+    def test_variables_substituted_into_form(self, shop_engine):
+        macro = parse_macro(
+            '%DEFINE greeting = "Welcome"\n'
+            "%HTML_INPUT{<P>$(greeting)</P>%}")
+        result = shop_engine.execute_input(macro)
+        assert result.html == "<P>Welcome</P>"
+
+    def test_client_inputs_override_defaults(self, shop_engine):
+        macro = parse_macro(
+            '%DEFINE q = "default"\n%HTML_INPUT{[$(q)]%}')
+        result = shop_engine.execute_input(macro, [("q", "client")])
+        assert result.html == "[client]"
+
+    def test_escape_stripped_on_output(self, shop_engine):
+        macro = parse_macro("%HTML_INPUT{VALUE=$$(hidden)%}")
+        result = shop_engine.execute_input(macro)
+        assert result.html == "VALUE=$(hidden)"
+
+    def test_positional_visibility(self, shop_engine):
+        # The Section 4.3.1 example: Z defined after the section is null.
+        macro = parse_macro(
+            '%define X = "One$(Y)$(Z)"\n'
+            '%define Y = " Two"\n'
+            "%HTML_INPUT{$(X)%}\n"
+            '%define Z = " Three"')
+        result = shop_engine.execute_input(macro)
+        assert result.html == "One Two"
+
+    def test_missing_input_section_raises(self, shop_engine):
+        macro = parse_macro("%HTML_REPORT{r%}")
+        with pytest.raises(MissingSectionError):
+            shop_engine.execute_input(macro)
+
+    def test_command_accepts_strings(self, shop_engine):
+        macro = parse_macro("%HTML_INPUT{x%}")
+        assert shop_engine.execute(macro, "input").html == "x"
+        with pytest.raises(MacroExecutionError):
+            shop_engine.execute(macro, "reportx")
+
+    def test_command_parse_case_insensitive(self):
+        assert MacroCommand.parse("REPORT") is MacroCommand.REPORT
+
+
+class TestReportMode:
+    def test_executes_sql_and_formats(self, shop_engine):
+        macro = parse_macro(SHOP_MACRO)
+        result = shop_engine.execute_report(macro, [("q", "b")])
+        assert result.statements == [
+            "SELECT name, qty FROM items WHERE name LIKE 'b%' "
+            "ORDER BY name"]
+        assert "<LI>bikes: 4" in result.html
+        assert result.html.index("<H1>Stock</H1>") < \
+            result.html.index("<LI>bikes")
+        assert "<P>done</P>" in result.html
+
+    def test_missing_report_section_raises(self, shop_engine):
+        macro = parse_macro("%HTML_INPUT{x%}")
+        with pytest.raises(MissingSectionError):
+            shop_engine.execute_report(macro)
+
+    def test_unnamed_exec_sql_runs_all_unnamed_sections_in_order(
+            self, shop_engine):
+        macro = parse_macro("""
+%DEFINE DATABASE = "SHOP"
+%SQL{ SELECT 'first' AS tag %}
+%SQL(named){ SELECT 'named' AS tag %}
+%SQL{ SELECT 'second' AS tag %}
+%HTML_REPORT{%EXEC_SQL%}
+""")
+        result = shop_engine.execute_report(macro)
+        assert [s.split("'")[1] for s in result.statements] == \
+            ["first", "second"]
+
+    def test_named_exec_sql_runs_only_that_section(self, shop_engine):
+        macro = parse_macro("""
+%DEFINE DATABASE = "SHOP"
+%SQL{ SELECT 'unnamed' AS tag %}
+%SQL(wanted){ SELECT 'wanted' AS tag %}
+%HTML_REPORT{%EXEC_SQL(wanted)%}
+""")
+        result = shop_engine.execute_report(macro)
+        assert len(result.statements) == 1
+        assert "wanted" in result.statements[0]
+
+    def test_exec_sql_name_from_variable(self, shop_engine):
+        # Section 3.4: %EXEC_SQL($(sqlcmd)) lets the end user pick.
+        macro = parse_macro("""
+%DEFINE DATABASE = "SHOP"
+%DEFINE sqlcmd = "beta"
+%SQL(alpha){ SELECT 'a' AS t %}
+%SQL(beta){ SELECT 'b' AS t %}
+%HTML_REPORT{%EXEC_SQL($(sqlcmd))%}
+""")
+        default = shop_engine.execute_report(macro)
+        assert "'b'" in default.statements[0]
+        chosen = shop_engine.execute_report(macro, [("sqlcmd", "alpha")])
+        assert "'a'" in chosen.statements[0]
+
+    def test_unknown_section_name_raises(self, shop_engine):
+        macro = parse_macro("""
+%DEFINE DATABASE = "SHOP"
+%SQL(real){ SELECT 1 %}
+%HTML_REPORT{%EXEC_SQL($(pick))%}
+""")
+        with pytest.raises(UnknownSqlSectionError):
+            shop_engine.execute_report(macro, [("pick", "fake")])
+
+    def test_sql_sections_after_report_section_still_execute(
+            self, shop_engine):
+        # Directive semantics are macro-wide, unlike variable visibility.
+        macro = parse_macro("""
+%DEFINE DATABASE = "SHOP"
+%HTML_REPORT{%EXEC_SQL%}
+%SQL{ SELECT 'late' AS tag %}
+""")
+        result = shop_engine.execute_report(macro)
+        assert len(result.statements) == 1
+
+    def test_default_table_format_when_no_report_block(self, shop_engine):
+        macro = parse_macro("""
+%DEFINE DATABASE = "SHOP"
+%SQL{ SELECT name, qty FROM items ORDER BY name %}
+%HTML_REPORT{%EXEC_SQL%}
+""")
+        result = shop_engine.execute_report(macro)
+        assert "<TABLE BORDER=1>" in result.html
+        assert "<TH>name</TH>" in result.html
+        assert "<TD>bikes</TD>" in result.html
+
+    def test_show_sql_flag(self, shop_engine):
+        macro = parse_macro(SHOP_MACRO)
+        shown = shop_engine.execute_report(
+            macro, [("q", "b"), ("SHOWSQL", "YES")])
+        assert "<TT>SELECT name" in shown.html
+        hidden = shop_engine.execute_report(
+            macro, [("q", "b"), ("SHOWSQL", "")])
+        assert "<TT>" not in hidden.html
+
+    def test_missing_database_variable_raises(self):
+        engine = MacroEngine(DatabaseRegistry())
+        macro = parse_macro(
+            "%SQL{ SELECT 1 %}\n%HTML_REPORT{%EXEC_SQL%}")
+        with pytest.raises(MacroExecutionError) as excinfo:
+            engine.execute_report(macro)
+        assert "DATABASE" in str(excinfo.value)
+
+    def test_default_database_config(self, shop_registry):
+        engine = MacroEngine(
+            shop_registry, config=EngineConfig(default_database="SHOP"))
+        macro = parse_macro(
+            "%SQL{ SELECT COUNT(*) FROM items %}\n"
+            "%HTML_REPORT{%EXEC_SQL%}")
+        result = engine.execute_report(macro)
+        assert "3" in result.html
+
+    def test_update_statement_reports_rowcount(self, shop_engine):
+        macro = parse_macro("""
+%DEFINE DATABASE = "SHOP"
+%SQL{ UPDATE items SET qty = qty + 1 WHERE name = 'bikes' %}
+%HTML_REPORT{%EXEC_SQL%}
+""")
+        result = shop_engine.execute_report(macro)
+        assert "1 row(s) affected" in result.html
+
+
+class TestErrorHandling:
+    def test_sql_error_renders_default_message(self, shop_engine):
+        macro = parse_macro("""
+%DEFINE DATABASE = "SHOP"
+%SQL{ SELECT * FROM missing_table %}
+%HTML_REPORT{before %EXEC_SQL after%}
+""")
+        result = shop_engine.execute_report(macro)
+        assert not result.ok
+        assert "SQL error" in result.html
+        assert "missing_table" in result.html
+        assert "before" in result.html
+        # Default action is exit: text after the directive is dropped.
+        assert "after" not in result.html
+
+    def test_sql_message_rule_matched_and_continue(self, shop_engine):
+        macro = parse_macro("""
+%DEFINE DATABASE = "SHOP"
+%SQL{ SELECT * FROM missing_table
+%SQL_MESSAGE{
+-204 : "<P>No table here ($(SQL_STATE)).</P>" : continue
+%}
+%}
+%HTML_REPORT{%EXEC_SQL after%}
+""")
+        result = shop_engine.execute_report(macro)
+        assert "<P>No table here (42704).</P>" in result.html
+        assert "after" in result.html  # continue resumed processing
+        assert result.sql_errors and result.sql_errors[0].sqlcode == -204
+
+    def test_exit_action_stops_following_statements(self, shop_engine):
+        macro = parse_macro("""
+%DEFINE DATABASE = "SHOP"
+%SQL{ SELECT * FROM missing_table %}
+%SQL{ SELECT 'never' AS t %}
+%HTML_REPORT{%EXEC_SQL%}
+""")
+        result = shop_engine.execute_report(macro)
+        assert result.aborted
+        assert all("never" not in s for s in result.statements)
+
+    def test_macro_result_ok_flag(self, shop_engine):
+        good = shop_engine.execute_report(
+            parse_macro(SHOP_MACRO), [("q", "b")])
+        assert good.ok and not good.aborted
+
+
+class TestTransactionModes:
+    def _entry_macro(self) -> str:
+        return """
+%DEFINE DATABASE = "SHOP"
+%SQL{ INSERT INTO items VALUES ('ropes', 9.5, 7) %}
+%SQL{ INSERT INTO broken_table VALUES (1) %}
+%HTML_REPORT{%EXEC_SQL%}
+"""
+
+    def _count(self, registry, name: str) -> int:
+        conn = registry.connect("SHOP")
+        try:
+            cursor = conn.execute(
+                "SELECT COUNT(*) FROM items WHERE name = ?", (name,))
+            return cursor.fetchone()[0]
+        finally:
+            conn.close()
+
+    def test_auto_commit_keeps_successful_statement(self, shop_registry):
+        engine = MacroEngine(shop_registry, config=EngineConfig(
+            transaction_mode=TransactionMode.AUTO_COMMIT))
+        result = engine.execute_report(parse_macro(self._entry_macro()))
+        assert not result.ok
+        assert self._count(shop_registry, "ropes") == 1
+
+    def test_single_mode_rolls_everything_back(self, shop_registry):
+        engine = MacroEngine(shop_registry, config=EngineConfig(
+            transaction_mode=TransactionMode.SINGLE))
+        result = engine.execute_report(parse_macro(self._entry_macro()))
+        assert not result.ok
+        assert self._count(shop_registry, "ropes") == 0
+
+    def test_single_mode_commits_on_success(self, shop_registry):
+        engine = MacroEngine(shop_registry, config=EngineConfig(
+            transaction_mode=TransactionMode.SINGLE))
+        macro = parse_macro("""
+%DEFINE DATABASE = "SHOP"
+%SQL{ INSERT INTO items VALUES ('maps', 3.5, 20) %}
+%SQL{ UPDATE items SET qty = 21 WHERE name = 'maps' %}
+%HTML_REPORT{%EXEC_SQL%}
+""")
+        result = engine.execute_report(macro)
+        assert result.ok
+        assert self._count(shop_registry, "maps") == 1
+
+
+class TestExecVariablesInEngine:
+    def test_exec_variable_in_html_output(self, shop_registry):
+        runner = RegistryExecRunner()
+        runner.register("server_name", lambda args: "repro-httpd")
+        engine = MacroEngine(shop_registry, exec_runner=runner)
+        macro = parse_macro(
+            '%DEFINE sig = %EXEC "server_name"\n'
+            "%HTML_INPUT{Served by $(sig)%}")
+        result = engine.execute_input(macro)
+        assert result.html == "Served by repro-httpd"

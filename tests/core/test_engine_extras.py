@@ -1,0 +1,234 @@
+"""Engine edge behaviours beyond the core Section 4 semantics."""
+
+import pytest
+
+from repro.core import parse_macro
+from repro.core.engine import EngineConfig, MacroEngine
+from repro.sql.gateway import DatabaseRegistry
+
+
+class TestConfiguration:
+    def test_custom_show_sql_variable_name(self, shop_registry):
+        engine = MacroEngine(shop_registry, config=EngineConfig(
+            show_sql_variable="DEBUG_SQL"))
+        macro = parse_macro("""
+%DEFINE DATABASE = "SHOP"
+%SQL{ SELECT 1 %}
+%HTML_REPORT{%EXEC_SQL%}
+""")
+        shown = engine.execute_report(macro, [("DEBUG_SQL", "on")])
+        assert "<TT>SELECT 1</TT>" in shown.html
+        ignored = engine.execute_report(macro, [("SHOWSQL", "YES")])
+        assert "<TT>" not in ignored.html
+
+    def test_show_sql_disabled_entirely(self, shop_registry):
+        engine = MacroEngine(shop_registry, config=EngineConfig(
+            show_sql_variable=""))
+        macro = parse_macro("""
+%DEFINE DATABASE = "SHOP"
+%SQL{ SELECT 1 %}
+%HTML_REPORT{%EXEC_SQL%}
+""")
+        result = engine.execute_report(macro, [("SHOWSQL", "YES")])
+        assert "<TT>" not in result.html
+
+    def test_macro_database_beats_default(self, shop_registry):
+        other = shop_registry.register_memory("OTHER")
+        with other.connect() as conn:
+            conn.executescript(
+                "CREATE TABLE items (name TEXT, price REAL, qty INT);"
+                "INSERT INTO items VALUES ('other-thing', 1, 1);")
+        engine = MacroEngine(shop_registry, config=EngineConfig(
+            default_database="OTHER"))
+        macro = parse_macro("""
+%DEFINE DATABASE = "SHOP"
+%SQL{ SELECT name FROM items ORDER BY name LIMIT 1 %}
+%HTML_REPORT{%EXEC_SQL%}
+""")
+        result = engine.execute_report(macro)
+        assert "bikes" in result.html  # SHOP, not OTHER
+
+    def test_database_name_via_variable(self, shop_registry):
+        engine = MacroEngine(shop_registry)
+        macro = parse_macro("""
+%DEFINE which = "SHOP"
+%DEFINE DATABASE = "$(which)"
+%SQL{ SELECT COUNT(*) FROM items %}
+%HTML_REPORT{%EXEC_SQL%}
+""")
+        result = engine.execute_report(macro)
+        assert result.ok
+
+
+class TestStructuralEdges:
+    def test_free_text_between_sections_ignored(self, shop_engine):
+        macro = parse_macro("""
+This is commentary the engine must skip.
+%DEFINE greeting = "hi"
+more commentary
+%HTML_INPUT{$(greeting)%}
+trailing notes
+""")
+        assert shop_engine.execute_input(macro).html == "hi"
+
+    def test_report_without_exec_sql_is_pure_html(self, shop_engine):
+        macro = parse_macro(
+            "%HTML_REPORT{<P>static report, no SQL</P>%}")
+        result = shop_engine.execute_report(macro)
+        assert result.ok
+        assert result.statements == []
+        assert "static report" in result.html
+
+    def test_multiple_define_sections_merge_in_order(self, shop_engine):
+        macro = parse_macro("""
+%DEFINE a = "first"
+%DEFINE{
+a = "second"
+b = "$(a)!"
+%}
+%HTML_INPUT{$(a)/$(b)%}
+""")
+        # b references a lazily: evaluates against the final store.
+        assert shop_engine.execute_input(macro).html == \
+            "second/second!"
+
+    def test_one_connection_per_request_across_directives(
+            self, shop_registry):
+        """Both named EXEC_SQLs share one session (and transaction)."""
+        from repro.sql.transactions import TransactionMode
+        engine = MacroEngine(shop_registry, config=EngineConfig(
+            transaction_mode=TransactionMode.SINGLE))
+        macro = parse_macro("""
+%DEFINE DATABASE = "SHOP"
+%SQL(first){ INSERT INTO items VALUES ('one-shot', 1, 1) %}
+%SQL(second){ SELECT COUNT(*) FROM items WHERE name = 'one-shot' %}
+%HTML_REPORT{%EXEC_SQL(first)%EXEC_SQL(second)%}
+""")
+        result = engine.execute_report(macro)
+        assert result.ok
+        # The SELECT saw the uncommitted INSERT: same transaction,
+        # hence same connection and session.
+        assert "<TD>1</TD>" in result.html
+
+    def test_empty_client_value_still_protects_name(self, shop_engine):
+        # SEARCH="" from the client beats a macro default (null wins).
+        macro = parse_macro(
+            '%DEFINE q = "default"\n%HTML_INPUT{[$(q)]%}')
+        result = shop_engine.execute_input(macro, [("q", "")])
+        assert result.html == "[]"
+
+    def test_result_statements_exclude_failed_sql(self, shop_engine):
+        macro = parse_macro("""
+%DEFINE DATABASE = "SHOP"
+%SQL{ SELECT * FROM missing_table
+%SQL_MESSAGE{ default : "oops" : continue %}
+%}
+%SQL{ SELECT 1 %}
+%HTML_REPORT{%EXEC_SQL%}
+""")
+        result = shop_engine.execute_report(macro)
+        assert result.statements == ["SELECT 1"]
+        assert len(result.sql_errors) == 1
+
+
+class TestClientInputEdgeCases:
+    def test_client_value_with_self_reference_is_cycle(self, shop_engine):
+        from repro.errors import CircularReferenceError
+        macro = parse_macro("%HTML_INPUT{$(x)%}")
+        with pytest.raises(CircularReferenceError):
+            shop_engine.execute_input(macro, [("x", "loop $(x)")])
+
+    def test_client_value_referencing_macro_default(self, shop_engine):
+        macro = parse_macro(
+            '%DEFINE suffix = "-v1"\n%HTML_INPUT{$(name)%}')
+        result = shop_engine.execute_input(
+            macro, [("name", "report$(suffix)")])
+        assert result.html == "report-v1"
+
+    def test_duplicate_inputs_preserve_order_in_sql(self, shop_registry):
+        engine = MacroEngine(shop_registry)
+        macro = parse_macro("""
+%DEFINE DATABASE = "SHOP"
+%SQL{ SELECT $(cols) FROM items LIMIT 1 %}
+%HTML_REPORT{%EXEC_SQL%}
+""")
+        result = engine.execute_report(
+            macro, [("cols", "qty"), ("cols", "name"), ("cols", "price")])
+        assert "SELECT qty,name,price FROM" in result.statements[0]
+
+
+class TestContentTypeOverride:
+    """Macros can emit non-HTML (Section 2.1's "special types of data")."""
+
+    CSV_MACRO = """
+%DEFINE DATABASE = "SHOP"
+%DEFINE CONTENT_TYPE = "text/csv"
+%SQL{ SELECT name, qty FROM items ORDER BY name
+%SQL_REPORT{name,qty
+%ROW{$(V1),$(V2)
+%}%}
+%}
+%HTML_REPORT{%EXEC_SQL%}
+"""
+
+    def test_default_content_type_is_html(self, shop_engine):
+        macro = parse_macro("%HTML_INPUT{x%}")
+        assert shop_engine.execute_input(macro).content_type == \
+            "text/html"
+
+    def test_csv_report(self, shop_engine):
+        result = shop_engine.execute_report(parse_macro(self.CSV_MACRO))
+        assert result.content_type == "text/csv"
+        assert result.html.splitlines()[0] == "name,qty"
+        assert "bikes,4" in result.html
+
+    def test_content_type_reaches_the_http_layer(self, shop_registry):
+        from repro.apps.site import build_site
+        from repro.core.macrofile import MacroLibrary
+
+        library = MacroLibrary()
+        library.add_text("export.d2w", self.CSV_MACRO)
+        engine = MacroEngine(shop_registry)
+        site = build_site(engine, library)
+        page = site.new_browser().get(
+            "/cgi-bin/db2www/export.d2w/report")
+        assert page.response.content_type == "text/csv; charset=utf-8"
+        assert "bikes,4" in page.response.text
+
+    def test_content_type_from_client_is_honoured(self, shop_engine):
+        # CONTENT_TYPE is an ordinary variable, so a client could set
+        # it; deployments that care should %DEFINE it after checking
+        # (client values win over defines, documented behaviour).
+        macro = parse_macro("%HTML_INPUT{x%}")
+        result = shop_engine.execute_input(
+            macro, [("CONTENT_TYPE", "text/plain")])
+        assert result.content_type == "text/plain"
+
+
+class TestSingleModeWithContinueRule:
+    def test_continue_rule_cannot_outlive_rollback(self, shop_registry):
+        """In single mode a failure dooms the interaction even when the
+        %SQL_MESSAGE rule says continue — everything was rolled back,
+        so running more statements would be incoherent."""
+        from repro.sql.transactions import TransactionMode
+        engine = MacroEngine(shop_registry, config=EngineConfig(
+            transaction_mode=TransactionMode.SINGLE))
+        macro = parse_macro("""
+%DEFINE DATABASE = "SHOP"
+%SQL{ INSERT INTO items VALUES ('kept?', 1, 1) %}
+%SQL{ SELECT * FROM missing_table
+%SQL_MESSAGE{ default : "<P>never mind</P>" : continue %}
+%}
+%SQL{ SELECT 'after' AS t %}
+%HTML_REPORT{%EXEC_SQL tail text%}
+""")
+        result = engine.execute_report(macro)
+        assert result.aborted
+        assert "never mind" in result.html
+        assert all("after" not in s for s in result.statements)
+        conn = shop_registry.connect("SHOP")
+        count = conn.execute(
+            "SELECT COUNT(*) FROM items WHERE name = 'kept?'"
+        ).fetchone()[0]
+        conn.close()
+        assert count == 0  # rolled back

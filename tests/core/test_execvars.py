@@ -1,0 +1,93 @@
+"""Exec runners: registry, subprocess, and the hard-off default."""
+
+import sys
+
+import pytest
+
+from repro.core.execvars import (
+    NullExecRunner,
+    RegistryExecRunner,
+    SubprocessExecRunner,
+)
+from repro.errors import ExecVariableError
+
+
+class TestRegistryRunner:
+    def test_register_call_and_args(self):
+        runner = RegistryExecRunner()
+        runner.register("echo", lambda args: " ".join(args))
+        assert runner.run('echo one "two words"') == \
+            ("one two words", "")
+        assert list(runner.commands()) == ["echo"]
+
+    def test_decorator_registration(self):
+        runner = RegistryExecRunner()
+
+        @runner.register("hi")
+        def hi(args):
+            return "hello"
+
+        assert runner.run("hi") == ("hello", "")
+
+    def test_exception_becomes_error_code(self):
+        runner = RegistryExecRunner()
+
+        def boom(args):
+            raise RuntimeError("bad day")
+
+        runner.register("boom", boom)
+        output, error = runner.run("boom")
+        assert output == ""
+        assert error == "RuntimeError: bad day"
+
+    def test_unknown_command_raises(self):
+        with pytest.raises(ExecVariableError):
+            RegistryExecRunner().run("ghost")
+
+    def test_empty_command_is_noop(self):
+        assert RegistryExecRunner().run("   ") == ("", "")
+
+    def test_unbalanced_quotes_reported(self):
+        runner = RegistryExecRunner()
+        runner.register("x", lambda args: "ok")
+        output, error = runner.run('x "unclosed')
+        assert output == ""
+        assert "badcommand" in error
+
+
+class TestSubprocessRunner:
+    def test_requires_explicit_opt_in(self):
+        with pytest.raises(ExecVariableError):
+            SubprocessExecRunner()
+
+    def test_runs_real_process(self):
+        runner = SubprocessExecRunner(i_understand_the_risk=True)
+        output, error = runner.run(
+            f'{sys.executable} -c "print(6 * 7)"')
+        assert output.strip() == "42"
+        assert error == ""
+
+    def test_nonzero_exit_becomes_error_code(self):
+        runner = SubprocessExecRunner(i_understand_the_risk=True)
+        _, error = runner.run(
+            f'{sys.executable} -c "import sys; sys.exit(3)"')
+        assert error == "3"
+
+    def test_missing_binary_reported(self):
+        runner = SubprocessExecRunner(i_understand_the_risk=True)
+        output, error = runner.run("definitely-not-a-real-binary-xyz")
+        assert output == ""
+        assert error  # FileNotFoundError text
+
+    def test_timeout_reported(self):
+        runner = SubprocessExecRunner(i_understand_the_risk=True,
+                                      timeout=0.2)
+        _, error = runner.run(
+            f'{sys.executable} -c "import time; time.sleep(5)"')
+        assert "TimeoutExpired" in error
+
+
+class TestNullRunner:
+    def test_refuses_everything(self):
+        with pytest.raises(ExecVariableError):
+            NullExecRunner().run("anything at all")

@@ -1,0 +1,128 @@
+"""The macro linter."""
+
+import pytest
+
+from repro.core.lint import Finding, lint_macro
+from repro.core.parser import parse_macro
+
+GOOD_MACRO = """
+%DEFINE DATABASE = "SHOP"
+%SQL{ SELECT name FROM items WHERE name LIKE '$(q)%' %}
+%HTML_INPUT{<FORM><INPUT NAME="q"></FORM>%}
+%HTML_REPORT{%EXEC_SQL%}
+"""
+
+
+def codes(text: str) -> set[str]:
+    return {f.code for f in lint_macro(parse_macro(text))}
+
+
+class TestCleanMacro:
+    def test_good_macro_is_clean(self):
+        assert codes(GOOD_MACRO) == set()
+
+    def test_system_variables_not_flagged(self):
+        text = GOOD_MACRO.replace(
+            "%EXEC_SQL%", "%EXEC_SQL $(ROW_NUM) $(V_name) $(NLIST)%")
+        assert "undefined-variable" not in codes(text)
+
+    def test_form_control_names_are_client_variables(self):
+        # $(q) matches the INPUT NAME="q": not a typo.
+        assert "undefined-variable" not in codes(GOOD_MACRO)
+
+
+class TestFindings:
+    def test_undefined_variable(self):
+        text = GOOD_MACRO.replace("$(q)", "$(qq)")  # typo
+        assert "undefined-variable" in codes(text)
+
+    def test_unused_variable(self):
+        text = '%DEFINE dead = "1"\n' + GOOD_MACRO
+        assert "unused-variable" in codes(text)
+
+    def test_defined_after_use(self):
+        text = """
+%HTML_INPUT{$(greeting)%}
+%DEFINE greeting = "hello"
+%HTML_REPORT{x%}
+"""
+        found = [f for f in lint_macro(parse_macro(text))
+                 if f.code == "defined-after-use"]
+        assert found
+        assert "4.3.1" in found[0].message
+
+    def test_unreachable_unnamed_sql(self):
+        text = """
+%DEFINE DATABASE = "X"
+%SQL{ SELECT 1 %}
+%HTML_REPORT{no exec here%}
+"""
+        assert "unreachable-sql" in codes(text)
+
+    def test_unreachable_named_sql(self):
+        text = """
+%DEFINE DATABASE = "X"
+%SQL(used){ SELECT 1 %}
+%SQL(orphan){ SELECT 2 %}
+%HTML_REPORT{%EXEC_SQL(used)%}
+"""
+        findings = lint_macro(parse_macro(text))
+        orphan = [f for f in findings if f.code == "unreachable-sql"]
+        assert len(orphan) == 1
+        assert "orphan" in orphan[0].message
+
+    def test_variable_exec_sql_suppresses_unreachable(self):
+        text = """
+%DEFINE DATABASE = "X"
+%DEFINE pick = "a"
+%SQL(a){ SELECT 1 %}
+%SQL(b){ SELECT 2 %}
+%HTML_REPORT{%EXEC_SQL($(pick))%}
+"""
+        assert "unreachable-sql" not in codes(text)
+
+    def test_missing_database(self):
+        text = GOOD_MACRO.replace('%DEFINE DATABASE = "SHOP"', "")
+        assert "no-database-variable" in codes(text)
+
+    def test_missing_sections_reported_as_info(self):
+        findings = lint_macro(parse_macro('%DEFINE a = "$(a)x"'))
+        by_code = {f.code: f for f in findings}
+        assert by_code["no-input-section"].severity == "info"
+        assert by_code["no-report-section"].severity == "info"
+
+    def test_circular_definition_is_error(self):
+        findings = lint_macro(parse_macro(
+            '%DEFINE a = "$(b)"\n%DEFINE b = "$(a)"\n%HTML_INPUT{x%}\n'
+            "%HTML_REPORT{y%}"))
+        circular = [f for f in findings
+                    if f.code == "circular-definition"]
+        assert circular and circular[0].severity == "error"
+
+    def test_unexpanded_include_noted(self):
+        findings = lint_macro(parse_macro(
+            '%INCLUDE "common.d2w"\n%HTML_INPUT{x%}\n%HTML_REPORT{y%}'))
+        assert any(f.code == "unexpanded-include" for f in findings)
+
+
+class TestFindingRendering:
+    def test_render_with_source(self):
+        finding = Finding("warning", "some-code", "the message", line=7)
+        assert finding.render("m.d2w") == \
+            "m.d2w:7: warning: some-code: the message"
+
+    def test_render_without_line(self):
+        finding = Finding("info", "c", "m")
+        assert finding.render() == "macro: info: c: m"
+
+    def test_findings_sorted_by_line(self):
+        text = """
+%DEFINE z_unused = "1"
+%DEFINE a_unused = "2"
+%HTML_INPUT{x%}
+%HTML_REPORT{y%}
+"""
+        findings = [f for f in lint_macro(parse_macro(text))
+                    if f.code == "unused-variable"]
+        assert [f.line for f in findings] == sorted(
+            f.line for f in findings)

@@ -1,0 +1,87 @@
+"""Macro library: naming, disk loading, cache invalidation."""
+
+import time
+
+import pytest
+
+from repro.core.macrofile import (
+    MacroLibrary,
+    MacroNameError,
+    validate_macro_name,
+)
+
+
+class TestNameValidation:
+    @pytest.mark.parametrize("name", [
+        "urlquery.d2w", "a", "Order_Search.d2w", "x-1.2",
+    ])
+    def test_legal_names(self, name):
+        assert validate_macro_name(name) == name
+
+    @pytest.mark.parametrize("name", [
+        "../etc/passwd", "a/b.d2w", "", ".hidden", "a\\b",
+        "..", "name with space",
+    ])
+    def test_illegal_names(self, name):
+        with pytest.raises(MacroNameError):
+            validate_macro_name(name)
+
+
+class TestInMemoryLibrary:
+    def test_add_and_load(self):
+        library = MacroLibrary()
+        library.add_text("m.d2w", "%HTML_INPUT{hi%}")
+        macro = library.load("m.d2w")
+        assert macro.html_input is not None
+        assert "m.d2w" in library
+        assert library.names() == ["m.d2w"]
+
+    def test_load_unknown_raises(self):
+        with pytest.raises(MacroNameError):
+            MacroLibrary().load("nope.d2w")
+
+    def test_contains_rejects_traversal_silently(self):
+        assert "../secrets" not in MacroLibrary()
+
+
+class TestDiskLibrary:
+    def test_load_from_directory(self, tmp_path):
+        (tmp_path / "disk.d2w").write_text("%HTML_INPUT{from disk%}")
+        library = MacroLibrary(tmp_path)
+        assert "disk.d2w" in library
+        macro = library.load("disk.d2w")
+        assert "from disk" in macro.html_input.body.raw
+
+    def test_extension_implied(self, tmp_path):
+        (tmp_path / "short.d2w").write_text("%HTML_INPUT{x%}")
+        library = MacroLibrary(tmp_path)
+        assert library.load("short").html_input is not None
+
+    def test_cache_hit_returns_same_object(self, tmp_path):
+        (tmp_path / "c.d2w").write_text("%HTML_INPUT{v1%}")
+        library = MacroLibrary(tmp_path)
+        first = library.load("c.d2w")
+        assert library.load("c.d2w") is first
+
+    def test_cache_invalidated_on_modification(self, tmp_path):
+        path = tmp_path / "c.d2w"
+        path.write_text("%HTML_INPUT{v1%}")
+        library = MacroLibrary(tmp_path)
+        library.load("c.d2w")
+        time.sleep(0.02)  # ensure a different mtime on coarse clocks
+        path.write_text("%HTML_INPUT{v2%}")
+        import os
+        os.utime(path, (time.time() + 10, time.time() + 10))
+        assert "v2" in library.load("c.d2w").html_input.body.raw
+
+    def test_memory_shadows_disk(self, tmp_path):
+        (tmp_path / "m.d2w").write_text("%HTML_INPUT{disk%}")
+        library = MacroLibrary(tmp_path)
+        library.add_text("m.d2w", "%HTML_INPUT{memory%}")
+        assert "memory" in library.load("m.d2w").html_input.body.raw
+
+    def test_names_merges_both_sources(self, tmp_path):
+        (tmp_path / "a.d2w").write_text("%HTML_INPUT{x%}")
+        library = MacroLibrary(tmp_path)
+        library.add_text("b.d2w", "%HTML_INPUT{y%}")
+        assert library.names() == ["a.d2w", "b.d2w"]

@@ -1,0 +1,86 @@
+"""%SQL_MESSAGE rule matching and default error rendering."""
+
+from repro.core.ast import MessageRule, SqlMessageBlock
+from repro.core.messages import default_error_html, resolve_message
+from repro.core.substitution import Evaluator
+from repro.core.values import ValueString
+from repro.core.variables import VariableStore
+from repro.errors import SQLError, SQLObjectError, SQLSyntaxError
+
+
+def rule(code: str, text: str, action: str = "exit") -> MessageRule:
+    return MessageRule(code=code, text=ValueString.parse(text),
+                       action=action)
+
+
+def resolve(block, error):
+    store = VariableStore()
+    return resolve_message(block, error, store, Evaluator(store))
+
+
+class TestRuleMatching:
+    def test_sqlcode_match(self):
+        block = SqlMessageBlock((rule("-204", "missing!"),))
+        resolved = resolve(block, SQLObjectError("no such table: t"))
+        assert resolved.html == "missing!"
+        assert resolved.matched_rule is block.rules[0]
+
+    def test_sqlstate_match(self):
+        block = SqlMessageBlock((rule("42601", "syntax!"),))
+        resolved = resolve(block, SQLSyntaxError("near x"))
+        assert resolved.html == "syntax!"
+
+    def test_sqlcode_beats_sqlstate(self):
+        block = SqlMessageBlock((
+            rule("42601", "by state"),
+            rule("-104", "by code"),
+        ))
+        resolved = resolve(block, SQLSyntaxError("boom"))
+        assert resolved.html == "by code"
+
+    def test_default_rule_as_fallback(self):
+        block = SqlMessageBlock((
+            rule("-803", "dup"),
+            rule("default", "generic: $(SQL_MESSAGE)"),
+        ))
+        resolved = resolve(block, SQLSyntaxError("near SELECT"))
+        assert resolved.html == "generic: near SELECT"
+
+    def test_no_rule_matches_falls_to_default_rendering(self):
+        block = SqlMessageBlock((rule("-803", "dup"),))
+        error = SQLSyntaxError("near FROM")
+        resolved = resolve(block, error)
+        assert resolved.html == default_error_html(error)
+        assert resolved.action == "exit"
+
+    def test_no_block_at_all(self):
+        error = SQLObjectError("no such column: x", sqlstate="42703")
+        resolved = resolve(None, error)
+        assert "42703" in resolved.html
+        assert resolved.matched_rule is None
+
+    def test_action_carried_from_rule(self):
+        block = SqlMessageBlock((rule("-204", "m", action="continue"),))
+        resolved = resolve(block, SQLObjectError("x"))
+        assert resolved.action == "continue"
+
+    def test_warning_defaults_to_continue(self):
+        warning = SQLError("truncated", sqlcode=445, sqlstate="01004")
+        resolved = resolve(None, warning)
+        assert resolved.action == "continue"
+        assert "warning" in resolved.html
+
+
+class TestMessageInterpolation:
+    def test_error_attributes_published_as_variables(self):
+        store = VariableStore()
+        evaluator = Evaluator(store)
+        block = SqlMessageBlock((
+            rule("default", "code=$(SQL_CODE) state=$(SQL_STATE)"),))
+        resolved = resolve_message(
+            block, SQLObjectError("gone"), store, evaluator)
+        assert resolved.html == "code=-204 state=42704"
+
+    def test_default_rendering_escapes_message(self):
+        error = SQLError("bad <input> here", sqlcode=-1, sqlstate="58004")
+        assert "&lt;input&gt;" in default_error_html(error)

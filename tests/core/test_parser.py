@@ -1,0 +1,315 @@
+"""Macro parser: the full grammar of Section 3."""
+
+import pytest
+
+from repro.core import ast
+from repro.core.parser import parse_macro
+from repro.errors import (
+    DuplicateSectionError,
+    MacroSyntaxError,
+    UnterminatedBlockError,
+)
+
+
+class TestDefineSections:
+    def test_single_line_define(self):
+        macro = parse_macro('%DEFINE DATABASE = "CELDIAL"')
+        section = macro.sections[0]
+        assert isinstance(section, ast.DefineSection)
+        assert not section.block
+        stmt = section.statements[0]
+        assert isinstance(stmt, ast.SimpleAssignment)
+        assert stmt.name == "DATABASE"
+        assert stmt.value.raw == "CELDIAL"
+
+    def test_define_block_with_multiple_statements(self):
+        macro = parse_macro("""
+%DEFINE{
+a = "1"
+b = "2"
+%}
+""")
+        section = macro.sections[0]
+        assert isinstance(section, ast.DefineSection)
+        assert [s.name for s in section.statements] == ["a", "b"]
+
+    def test_keywords_case_insensitive(self):
+        macro = parse_macro('%define x = "1"')
+        assert isinstance(macro.sections[0], ast.DefineSection)
+
+    def test_multiline_value(self):
+        macro = parse_macro('%DEFINE x = {line one\nline two %}')
+        stmt = macro.sections[0].statements[0]
+        assert "line one\nline two" in stmt.value.raw
+        assert stmt.multiline
+
+    def test_underscore_names(self):
+        macro = parse_macro('%DEFINE _under_score = "v"')
+        assert macro.sections[0].statements[0].name == "_under_score"
+
+    def test_list_declaration(self):
+        macro = parse_macro('%DEFINE %LIST " AND " where_list')
+        stmt = macro.sections[0].statements[0]
+        assert isinstance(stmt, ast.ListDeclaration)
+        assert stmt.name == "where_list"
+        assert stmt.separator.raw == " AND "
+
+    def test_list_separator_may_reference_variables(self):
+        # Section 3.1.3: dynamically varying delimiters.
+        macro = parse_macro('%DEFINE %LIST " $(conj) " clause')
+        stmt = macro.sections[0].statements[0]
+        assert stmt.separator.has_references()
+
+    def test_exec_declaration(self):
+        macro = parse_macro('%DEFINE today = %EXEC "date today"')
+        stmt = macro.sections[0].statements[0]
+        assert isinstance(stmt, ast.ExecDeclaration)
+        assert stmt.command.raw == "date today"
+
+    def test_conditional_form_a(self):
+        macro = parse_macro(
+            '%DEFINE v = testvar ? "yes-case" : "no-case"')
+        stmt = macro.sections[0].statements[0]
+        assert isinstance(stmt, ast.ConditionalAssignment)
+        assert stmt.test_name == "testvar"
+        assert stmt.then_value.raw == "yes-case"
+        assert stmt.else_value.raw == "no-case"
+
+    def test_conditional_form_b(self):
+        macro = parse_macro('%DEFINE v = ? "custid = $(cust_inp)"')
+        stmt = macro.sections[0].statements[0]
+        assert stmt.test_name is None
+        assert stmt.else_value is None
+
+    def test_conditional_form_c_multiline(self):
+        macro = parse_macro(
+            '%DEFINE v = t ? {then\ntext %} : {else\ntext %}')
+        stmt = macro.sections[0].statements[0]
+        assert "then" in stmt.then_value.raw
+        assert "else" in stmt.else_value.raw
+
+    def test_conditional_without_else(self):
+        macro = parse_macro('%DEFINE v = t ? "only-then"')
+        stmt = macro.sections[0].statements[0]
+        assert stmt.test_name == "t"
+        assert stmt.else_value is None
+
+    def test_missing_equals_is_error(self):
+        with pytest.raises(MacroSyntaxError):
+            parse_macro('%DEFINE broken "value"')
+
+    def test_unterminated_block_is_error(self):
+        with pytest.raises(UnterminatedBlockError):
+            parse_macro('%DEFINE{ a = "1"')
+
+    def test_unterminated_quote_is_error(self):
+        with pytest.raises(MacroSyntaxError):
+            parse_macro('%DEFINE a = "never closed')
+
+    def test_quoted_value_with_escaped_quote(self):
+        macro = parse_macro(r'%DEFINE a = "say \"hi\""')
+        assert macro.sections[0].statements[0].value.raw == 'say "hi"'
+
+
+class TestSqlSections:
+    def test_basic_block(self):
+        macro = parse_macro("%SQL{ SELECT 1 %}")
+        section = macro.sections[0]
+        assert isinstance(section, ast.SqlSection)
+        assert section.command.raw == "SELECT 1"
+        assert section.name is None
+
+    def test_named_section(self):
+        macro = parse_macro("%SQL(by_title){ SELECT 2 %}")
+        assert macro.sections[0].name == "by_title"
+        assert macro.named_sql_section("by_title") is not None
+
+    def test_line_format(self):
+        macro = parse_macro("%SQL SELECT 3 FROM t")
+        assert macro.sections[0].command.raw == "SELECT 3 FROM t"
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(DuplicateSectionError):
+            parse_macro("%SQL(a){ SELECT 1 %}\n%SQL(a){ SELECT 2 %}")
+
+    def test_report_block_with_row(self):
+        macro = parse_macro("""
+%SQL{
+SELECT url FROM t
+%SQL_REPORT{
+header text
+%ROW{<LI>$(V1)
+%}
+footer text
+%}
+%}
+""")
+        section = macro.sections[0]
+        assert section.report is not None
+        assert "header text" in section.report.header.raw
+        assert "$(V1)" in section.report.row.template.unparse()
+        assert "footer text" in section.report.footer.raw
+
+    def test_report_block_without_row(self):
+        macro = parse_macro(
+            "%SQL{ SELECT 1 %SQL_REPORT{ just a header %} %}")
+        report = macro.sections[0].report
+        assert report.row is None
+        assert "just a header" in report.header.raw
+
+    def test_message_block(self):
+        macro = parse_macro("""
+%SQL{
+SELECT 1
+%SQL_MESSAGE{
+-204 : "Table missing: $(SQL_MESSAGE)" : exit
+42601 : "Bad syntax" : continue
+default : "Something failed"
+%}
+%}
+""")
+        message = macro.sections[0].message
+        assert len(message.rules) == 3
+        assert message.rules[0].code == "-204"
+        assert message.rules[0].action == "exit"
+        assert message.rules[1].code == "42601"
+        assert message.rules[1].action == "continue"
+        assert message.rules[2].code == "default"
+        assert message.rules[2].action == "exit"  # the default action
+
+    def test_malformed_message_rule(self):
+        with pytest.raises(MacroSyntaxError):
+            parse_macro('%SQL{ SELECT 1 %SQL_MESSAGE{ not a rule %} %}')
+
+    def test_empty_sql_command_rejected(self):
+        with pytest.raises(MacroSyntaxError):
+            parse_macro("%SQL{   %}")
+
+    def test_sql_command_may_contain_percent_literals(self):
+        # LIKE patterns use % freely; only "%}" terminates.
+        macro = parse_macro(
+            "%SQL{ SELECT * FROM t WHERE a LIKE '%$(x)%' %}")
+        assert "LIKE '%" in macro.sections[0].command.unparse()
+
+
+class TestHtmlSections:
+    def test_input_section(self):
+        macro = parse_macro("%HTML_INPUT{<FORM>...</FORM>%}")
+        assert macro.html_input is not None
+        assert "<FORM>" in macro.html_input.body.raw
+
+    def test_duplicate_input_sections_rejected(self):
+        with pytest.raises(DuplicateSectionError):
+            parse_macro("%HTML_INPUT{a%}\n%HTML_INPUT{b%}")
+
+    def test_duplicate_report_sections_rejected(self):
+        with pytest.raises(DuplicateSectionError):
+            parse_macro("%HTML_REPORT{a%}\n%HTML_REPORT{b%}")
+
+    def test_report_splits_on_exec_sql(self):
+        macro = parse_macro("%HTML_REPORT{before %EXEC_SQL after%}")
+        report = macro.html_report
+        directives = report.exec_sql_directives()
+        assert len(directives) == 1
+        assert directives[0].name is None
+        texts = [p.raw for p in report.pieces
+                 if isinstance(p, ast.ValueString)]
+        assert any("before" in t for t in texts)
+        assert any("after" in t for t in texts)
+
+    def test_named_exec_sql(self):
+        macro = parse_macro(
+            "%SQL(q1){ SELECT 1 %}\n%HTML_REPORT{%EXEC_SQL(q1)%}")
+        directive = macro.html_report.exec_sql_directives()[0]
+        assert directive.name.raw == "q1"
+
+    def test_exec_sql_with_variable_name(self):
+        macro = parse_macro("%HTML_REPORT{%EXEC_SQL($(sqlcmd))%}")
+        directive = macro.html_report.exec_sql_directives()[0]
+        assert directive.name.has_references()
+
+    def test_two_unnamed_exec_sql_rejected(self):
+        # Section 3.4: "There can be at most one execute SQL command".
+        with pytest.raises(MacroSyntaxError):
+            parse_macro("%HTML_REPORT{%EXEC_SQL mid %EXEC_SQL%}")
+
+    def test_static_named_exec_sql_must_resolve(self):
+        with pytest.raises(MacroSyntaxError):
+            parse_macro("%HTML_REPORT{%EXEC_SQL(nosuch)%}")
+
+    def test_exec_sql_case_insensitive(self):
+        macro = parse_macro("%HTML_REPORT{%exec_sql%}")
+        assert len(macro.html_report.exec_sql_directives()) == 1
+
+
+class TestWholeMacro:
+    def test_free_text_preserved(self):
+        macro = parse_macro(
+            "This is a comment.\n%DEFINE a = \"1\"\ntrailing notes")
+        kinds = [type(s).__name__ for s in macro.sections]
+        assert kinds == ["FreeText", "DefineSection", "FreeText"]
+
+    def test_unparse_reparse_equivalence(self):
+        source = """
+%DEFINE{
+DATABASE = "DB"
+%LIST " OR " L
+L = USE_X ? "x LIKE '%$(S)%'" : ""
+W = ? "WHERE $(L)"
+%}
+%SQL(q){
+SELECT a FROM t $(W)
+%SQL_REPORT{
+hdr
+%ROW{<LI>$(V1)%}
+ftr
+%}
+%}
+%HTML_INPUT{<FORM>$(S)</FORM>%}
+%HTML_REPORT{<H1>R</H1>%EXEC_SQL(q)%}
+"""
+        macro = parse_macro(source)
+        again = parse_macro(macro.unparse())
+        assert len(again.sections) == len(macro.sections)
+        assert again.named_sql_section("q").command == \
+            macro.named_sql_section("q").command
+        assert again.html_input.body == macro.html_input.body
+
+    def test_line_numbers_recorded(self):
+        macro = parse_macro('line one text\n%DEFINE a = "1"')
+        define = macro.sections[1]
+        assert define.line == 2
+
+    def test_error_carries_source_name(self):
+        with pytest.raises(MacroSyntaxError) as excinfo:
+            parse_macro("%DEFINE broken", source="bad.d2w")
+        assert "bad.d2w" in str(excinfo.value)
+
+
+class TestCommentBlocks:
+    def test_comment_block_parsed_and_ignored(self):
+        macro = parse_macro("%{ notes to self %}\n%HTML_INPUT{x%}")
+        kinds = [type(s).__name__ for s in macro.sections]
+        assert kinds == ["CommentBlock", "HtmlInputSection"]
+
+    def test_commented_out_sql_never_registers(self):
+        macro = parse_macro(
+            "%{ disabled:\n%SQL{ SELECT broken %}\n%HTML_INPUT{x%}")
+        assert macro.sql_sections() == []
+
+    def test_comment_unparse_roundtrip(self):
+        source = "%{ keep me %}\n%HTML_INPUT{x%}"
+        macro = parse_macro(source)
+        again = parse_macro(macro.unparse())
+        assert [type(s).__name__ for s in again.sections] == \
+            [type(s).__name__ for s in macro.sections]
+
+    def test_unterminated_comment_is_error(self):
+        with pytest.raises(MacroSyntaxError):
+            parse_macro("%{ never closed")
+
+    def test_comment_does_not_nest(self):
+        # The first %} ends the comment; the leftovers are free text.
+        macro = parse_macro("%{ outer %SQL{ inner %} leftovers")
+        kinds = [type(s).__name__ for s in macro.sections]
+        assert kinds == ["CommentBlock", "FreeText"]

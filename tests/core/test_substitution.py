@@ -1,0 +1,312 @@
+"""The cross-language substitution mechanism: Section 3.1 and 4.3."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.execvars import RegistryExecRunner
+from repro.core.substitution import Evaluator
+from repro.core.values import ValueString
+from repro.core.variables import VariableStore
+from repro.errors import CircularReferenceError, ExecVariableError
+
+
+def vs(text: str) -> ValueString:
+    return ValueString.parse(text)
+
+
+def make(*assignments: tuple[str, str]) -> Evaluator:
+    store = VariableStore()
+    for name, value in assignments:
+        store.assign_simple(name, vs(value))
+    return Evaluator(store)
+
+
+class TestBasicEvaluation:
+    def test_literal_passthrough(self):
+        ev = make()
+        assert ev.evaluate(vs("plain text")) == "plain text"
+
+    def test_reference_substitution(self):
+        ev = make(("name", "world"))
+        assert ev.evaluate(vs("hello $(name)")) == "hello world"
+
+    def test_undefined_is_null_not_error(self):
+        # Section 4.1: "an undefined variable is not an error, it merely
+        # evaluates to the null string".
+        ev = make()
+        assert ev.evaluate(vs("a$(missing)b")) == "ab"
+
+    def test_recursive_dereference(self):
+        # %DEFINE var1 = "$(var2).abc" is permitted (Section 3.1.1).
+        ev = make(("var1", "$(var2).abc"), ("var2", "xyz"))
+        assert ev.evaluate_name("var1") == "xyz.abc"
+
+    def test_deep_nesting(self):
+        assignments = [(f"v{i}", f"$(v{i+1})+") for i in range(30)]
+        assignments.append(("v30", "end"))
+        ev = make(*assignments)
+        assert ev.evaluate_name("v0") == "end" + "+" * 30
+
+    def test_escape_survives_one_pass(self):
+        # %DEFINE a = "$$(b)" evaluates to the string "$(b)".
+        ev = make(("a", "$$(b)"), ("b", "SHOULD NOT APPEAR"))
+        assert ev.evaluate_name("a") == "$(b)"
+
+    def test_multiple_references_same_variable(self):
+        ev = make(("x", "ha"))
+        assert ev.evaluate(vs("$(x)$(x)$(x)")) == "hahaha"
+
+
+class TestCircularReferences:
+    def test_direct_cycle(self):
+        ev = make(("a", "$(a)"))
+        with pytest.raises(CircularReferenceError):
+            ev.evaluate_name("a")
+
+    def test_indirect_cycle(self):
+        ev = make(("a", "$(b)"), ("b", "$(c)"), ("c", "$(a)"))
+        with pytest.raises(CircularReferenceError) as excinfo:
+            ev.evaluate_name("a")
+        assert excinfo.value.chain == ["a", "b", "c", "a"]
+
+    def test_diamond_is_not_a_cycle(self):
+        # a -> b, a -> c, b -> d, c -> d: d evaluated twice, no cycle.
+        ev = make(("a", "$(b)$(c)"), ("b", "[$(d)]"), ("c", "{$(d)}"),
+                  ("d", "x"))
+        assert ev.evaluate_name("a") == "[x]{x}"
+
+    def test_evaluator_usable_after_cycle_error(self):
+        ev = make(("a", "$(a)"), ("ok", "fine"))
+        with pytest.raises(CircularReferenceError):
+            ev.evaluate_name("a")
+        assert ev.evaluate_name("ok") == "fine"
+
+
+class TestConditionals:
+    def _store(self) -> VariableStore:
+        return VariableStore()
+
+    def test_form_a_takes_then_branch(self):
+        store = self._store()
+        store.assign_simple("t", vs("set"))
+        store.assign_conditional("v", vs("YES"), test_name="t",
+                                 else_value=vs("NO"))
+        assert Evaluator(store).evaluate_name("v") == "YES"
+
+    def test_form_a_takes_else_branch_when_test_undefined(self):
+        store = self._store()
+        store.assign_conditional("v", vs("YES"), test_name="t",
+                                 else_value=vs("NO"))
+        assert Evaluator(store).evaluate_name("v") == "NO"
+
+    def test_null_valued_test_equals_undefined(self):
+        # Section 2.2: defined-as-null and undefined are identical.
+        store = self._store()
+        store.assign_simple("t", vs(""))
+        store.assign_conditional("v", vs("YES"), test_name="t",
+                                 else_value=vs("NO"))
+        assert Evaluator(store).evaluate_name("v") == "NO"
+
+    def test_missing_else_means_null(self):
+        store = self._store()
+        store.assign_conditional("v", vs("YES"), test_name="t")
+        assert Evaluator(store).evaluate_name("v") == ""
+
+    def test_form_b_null_when_reference_undefined(self):
+        store = self._store()
+        store.assign_conditional("v", vs("custid = $(cust_inp)"))
+        assert Evaluator(store).evaluate_name("v") == ""
+
+    def test_form_b_evaluates_when_all_defined(self):
+        store = self._store()
+        store.assign_simple("cust_inp", vs("10100"))
+        store.assign_conditional("v", vs("custid = $(cust_inp)"))
+        assert Evaluator(store).evaluate_name("v") == "custid = 10100"
+
+    def test_form_b_literal_only_value_is_kept(self):
+        store = self._store()
+        store.assign_conditional("v", vs("no refs at all"))
+        assert Evaluator(store).evaluate_name("v") == "no refs at all"
+
+    def test_form_b_escaped_reference_does_not_count(self):
+        store = self._store()
+        store.assign_conditional("v", vs("$$(missing) literal"))
+        assert Evaluator(store).evaluate_name("v") == "$(missing) literal"
+
+    def test_branch_values_may_reference_variables(self):
+        store = self._store()
+        store.assign_simple("t", vs("on"))
+        store.assign_simple("x", vs("inner"))
+        store.assign_conditional("v", vs("<$(x)>"), test_name="t",
+                                 else_value=vs("none"))
+        assert Evaluator(store).evaluate_name("v") == "<inner>"
+
+
+class TestListEvaluation:
+    def test_join_with_separator(self):
+        store = VariableStore()
+        store.declare_list("L", vs(" AND "))
+        store.assign_simple("L", vs("a = 1"))
+        store.assign_simple("L", vs("b = 2"))
+        assert Evaluator(store).evaluate_name("L") == "a = 1 AND b = 2"
+
+    def test_null_elements_are_skipped(self):
+        # "intelligent enough to add delimiters only if the individual
+        # value strings are not null" (Section 3.1.3).
+        store = VariableStore()
+        store.declare_list("L", vs(" AND "))
+        store.assign_conditional("L", vs("custid = $(cust_inp)"))
+        store.assign_conditional("L", vs("name LIKE '$(prod_inp)%'"))
+        store.assign_simple("prod_inp", vs("bikes"))
+        assert Evaluator(store).evaluate_name("L") == \
+            "name LIKE 'bikes%'"
+
+    def test_all_null_elements_evaluate_to_null(self):
+        store = VariableStore()
+        store.declare_list("L", vs(","))
+        store.assign_conditional("L", vs("$(nope)"))
+        assert Evaluator(store).evaluate_name("L") == ""
+
+    def test_dynamic_separator(self):
+        # "we can have dynamically varying delimiters (An example is to
+        # get the delimiter from the user for AND or OR conditions)".
+        store = VariableStore()
+        store.declare_list("L", vs(" $(conj) "))
+        store.assign_simple("L", vs("x"))
+        store.assign_simple("L", vs("y"))
+        store.set_client_inputs([("conj", "OR")])
+        assert Evaluator(store).evaluate_name("L") == "x OR y"
+
+    def test_empty_list(self):
+        store = VariableStore()
+        store.declare_list("L", vs(","))
+        assert Evaluator(store).evaluate_name("L") == ""
+
+
+class TestSection313WorkedExample:
+    """The paper's own evaluation table for where_list/where_clause."""
+
+    def _evaluator(self, cust: str | None, prod: str | None) -> Evaluator:
+        store = VariableStore()
+        pairs = []
+        if cust is not None:
+            pairs.append(("cust_inp", cust))
+        if prod is not None:
+            pairs.append(("prod_inp", prod))
+        store.set_client_inputs(pairs)
+        store.declare_list("where_list", vs(" AND "))
+        store.assign_conditional("where_list",
+                                 vs("custid = $(cust_inp)"))
+        store.assign_conditional(
+            "where_list", vs("product_name LIKE '$(prod_inp)%'"))
+        store.assign_conditional("where_clause",
+                                 vs("WHERE $(where_list)"))
+        return Evaluator(store)
+
+    def test_both_inputs(self):
+        ev = self._evaluator("10100", "bikes")
+        assert ev.evaluate_name("where_list") == \
+            "custid = 10100 AND product_name LIKE 'bikes%'"
+        assert ev.evaluate_name("where_clause") == \
+            "WHERE custid = 10100 AND product_name LIKE 'bikes%'"
+
+    def test_customer_only(self):
+        ev = self._evaluator("10100", None)
+        assert ev.evaluate_name("where_clause") == "WHERE custid = 10100"
+
+    def test_empty_string_input_behaves_as_missing(self):
+        ev = self._evaluator("", "bikes")
+        assert ev.evaluate_name("where_clause") == \
+            "WHERE product_name LIKE 'bikes%'"
+
+    def test_no_inputs_no_where_clause(self):
+        ev = self._evaluator(None, None)
+        assert ev.evaluate_name("where_clause") == ""
+
+
+class TestExecVariables:
+    def test_reference_runs_command_and_splices_output(self):
+        runner = RegistryExecRunner()
+        runner.register("greet", lambda args: f"hello {args[0]}")
+        store = VariableStore()
+        store.declare_exec("g", vs("greet $(who)"))
+        store.set_client_inputs([("who", "web")])
+        ev = Evaluator(store, exec_runner=runner)
+        assert ev.evaluate(vs("[$(g)]")) == "[hello web]"
+
+    def test_error_code_stored_for_conditional_test(self):
+        runner = RegistryExecRunner()
+
+        def boom(args):
+            raise ValueError("nope")
+
+        runner.register("boom", boom)
+        store = VariableStore()
+        store.declare_exec("e", vs("boom"))
+        store.assign_conditional("msg", vs("FAILED"), test_name="e",
+                                 else_value=vs("OK"))
+        ev = Evaluator(store, exec_runner=runner)
+        assert ev.evaluate_test("e") is False  # not run yet: NULL
+        ev.evaluate_name("e")                  # run it (fails)
+        assert ev.evaluate_test("e") is True
+        assert ev.evaluate_name("msg") == "FAILED"
+
+    def test_success_resets_error_to_null(self):
+        runner = RegistryExecRunner()
+        runner.register("ok", lambda args: "fine")
+        store = VariableStore()
+        store.declare_exec("e", vs("ok"))
+        ev = Evaluator(store, exec_runner=runner)
+        ev.evaluate_name("e")
+        assert ev.evaluate_test("e") is False
+
+    def test_command_reruns_on_every_reference(self):
+        calls = []
+        runner = RegistryExecRunner()
+        runner.register("count", lambda args: str(len(calls)) if not
+                        calls.append(None) else "")
+        store = VariableStore()
+        store.declare_exec("c", vs("count"))
+        ev = Evaluator(store, exec_runner=runner)
+        ev.evaluate(vs("$(c)$(c)"))
+        assert len(calls) == 2
+
+    def test_no_runner_configured_raises(self):
+        store = VariableStore()
+        store.declare_exec("e", vs("anything"))
+        ev = Evaluator(store)
+        with pytest.raises(ExecVariableError):
+            ev.evaluate_name("e")
+
+    def test_unregistered_command_raises(self):
+        store = VariableStore()
+        store.declare_exec("e", vs("nosuch"))
+        ev = Evaluator(store, exec_runner=RegistryExecRunner())
+        with pytest.raises(ExecVariableError):
+            ev.evaluate_name("e")
+
+
+class TestPropertyBased:
+    @given(st.dictionaries(
+        st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True),
+        st.text(alphabet="abc $", max_size=20), max_size=6))
+    def test_flat_stores_always_terminate(self, bindings):
+        """Any store of literal-only values evaluates without error."""
+        store = VariableStore()
+        for name, value in bindings.items():
+            store.assign_simple(name, ValueString.literal(value))
+        ev = Evaluator(store)
+        for name in bindings:
+            assert ev.evaluate_name(name) == bindings[name]
+
+    @given(st.lists(st.text(alphabet="abxy", max_size=8), max_size=8),
+           st.text(alphabet=",; ", min_size=1, max_size=3))
+    def test_list_join_invariant(self, elements, separator):
+        """Joined list == separator.join(non-empty elements)."""
+        store = VariableStore()
+        store.declare_list("L", ValueString.literal(separator))
+        for element in elements:
+            store.assign_simple("L", ValueString.literal(element))
+        expected = separator.join(e for e in elements if e)
+        assert Evaluator(store).evaluate_name("L") == expected

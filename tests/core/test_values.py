@@ -1,0 +1,128 @@
+"""Value-string parsing: references, escapes, round-trips."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.values import (
+    EMPTY,
+    Escape,
+    Literal,
+    Reference,
+    ValueString,
+)
+
+
+class TestParsing:
+    def test_pure_literal(self):
+        value = ValueString.parse("SELECT * FROM t")
+        assert value.segments == (Literal("SELECT * FROM t"),)
+        assert value.is_literal_only()
+
+    def test_single_reference(self):
+        value = ValueString.parse("$(name)")
+        assert value.segments == (Reference("name"),)
+        assert list(value.references()) == ["name"]
+
+    def test_reference_embedded_in_text(self):
+        value = ValueString.parse("WHERE custid = $(cust_inp) AND x")
+        assert value.segments == (
+            Literal("WHERE custid = "),
+            Reference("cust_inp"),
+            Literal(" AND x"),
+        )
+
+    def test_adjacent_references(self):
+        value = ValueString.parse("$(a)$(b)")
+        assert value.segments == (Reference("a"), Reference("b"))
+
+    def test_escape_parses_as_escape_segment(self):
+        value = ValueString.parse('VALUE="$$(hidden_a)"')
+        assert Escape("hidden_a") in value.segments
+        assert not value.has_references()
+
+    def test_escape_beats_reference(self):
+        # "$$(b)" is an escape, never a "$" literal plus a reference.
+        value = ValueString.parse("$$(b)")
+        assert value.segments == (Escape("b"),)
+
+    def test_lone_dollar_is_literal(self):
+        value = ValueString.parse("cost: $5")
+        assert value.is_literal_only()
+
+    def test_unterminated_reference_is_literal(self):
+        value = ValueString.parse("$(unclosed")
+        assert value.is_literal_only()
+
+    def test_dollar_without_parens_is_literal(self):
+        value = ValueString.parse("$name")
+        assert value.is_literal_only()
+
+    def test_empty_string(self):
+        value = ValueString.parse("")
+        assert value.segments == ()
+        assert value == EMPTY
+
+    def test_names_may_contain_dots_and_dashes(self):
+        # Section 3.2.1 spells the implicit report variables both
+        # N_column-name and N.column-name.
+        value = ValueString.parse("$(V.product-name)")
+        assert value.segments == (Reference("V.product-name"),)
+
+    def test_name_must_start_with_letter_or_underscore(self):
+        value = ValueString.parse("$(9lives)")
+        assert value.is_literal_only()
+
+    def test_triple_dollar(self):
+        # "$$$(x)": the first "$" is literal, then the escape.
+        value = ValueString.parse("$$$(x)")
+        assert value.segments == (Literal("$"), Escape("x"))
+
+
+class TestUnparse:
+    def test_unparse_reproduces_source(self):
+        source = "a $(b) c $$(d) e"
+        assert ValueString.parse(source).unparse() == source
+
+    @given(st.text(
+        alphabet=st.characters(blacklist_categories=("Cs",)),
+        max_size=80))
+    def test_parse_unparse_roundtrip(self, text):
+        """unparse(parse(x)) == x for arbitrary text.
+
+        The segment grammar is unambiguous, so re-parsing the unparsed
+        text must also give the same segments.
+        """
+        value = ValueString.parse(text)
+        assert value.unparse() == text
+        assert ValueString.parse(value.unparse()) == value
+
+
+class TestEquality:
+    def test_equal_by_segments(self):
+        assert ValueString.parse("x$(y)") == ValueString.parse("x$(y)")
+
+    def test_unequal(self):
+        assert ValueString.parse("x") != ValueString.parse("y")
+
+    def test_hashable(self):
+        values = {ValueString.parse("a"), ValueString.parse("a"),
+                  ValueString.parse("b")}
+        assert len(values) == 2
+
+    def test_literal_constructor_skips_scanning(self):
+        value = ValueString.literal("$(not_a_ref)")
+        assert value.is_literal_only()
+        assert value.raw == "$(not_a_ref)"
+
+    def test_compare_with_non_valuestring(self):
+        assert ValueString.parse("a") != "a"
+
+
+@pytest.mark.parametrize("source,names", [
+    ("$(a)$(b)$(a)", ["a", "b", "a"]),
+    ("no refs", []),
+    ("$$(x)$(y)", ["y"]),
+])
+def test_references_iteration(source, names):
+    assert list(ValueString.parse(source).references()) == names

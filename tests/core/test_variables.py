@@ -1,0 +1,186 @@
+"""Variable store semantics: namespaces, priority, list accumulation."""
+
+from repro.core import ast
+from repro.core.values import ValueString
+from repro.core.variables import (
+    ConditionalEntry,
+    ExecEntry,
+    ListEntry,
+    SimpleEntry,
+    VariableStore,
+)
+
+
+def vs(text: str) -> ValueString:
+    return ValueString.parse(text)
+
+
+class TestSimpleAssignment:
+    def test_assign_and_lookup(self):
+        store = VariableStore()
+        store.assign_simple("a", vs("hello"))
+        entry = store.lookup("a")
+        assert isinstance(entry, SimpleEntry)
+        assert entry.value.raw == "hello"
+
+    def test_reassignment_replaces(self):
+        store = VariableStore()
+        store.assign_simple("a", vs("one"))
+        store.assign_simple("a", vs("two"))
+        assert store.lookup("a").value.raw == "two"
+
+    def test_names_are_case_sensitive(self):
+        # Section 3: "the variable names are case sensitive".
+        store = VariableStore()
+        store.assign_simple("Search", vs("x"))
+        assert "Search" in store
+        assert "SEARCH" not in store
+
+    def test_undefined_lookup_is_none(self):
+        store = VariableStore()
+        assert store.lookup("missing") is None
+        assert "missing" not in store
+
+
+class TestClientPriority:
+    """Section 4.3: client values beat macro DEFINE values."""
+
+    def test_client_value_blocks_simple_assignment(self):
+        store = VariableStore()
+        store.set_client_inputs([("SEARCH", "from-client")])
+        store.assign_simple("SEARCH", vs("macro-default"))
+        assert store.lookup("SEARCH").value.raw == "from-client"
+
+    def test_define_supplies_default_when_client_absent(self):
+        store = VariableStore()
+        store.set_client_inputs([])
+        store.assign_simple("SEARCH", vs("macro-default"))
+        assert store.lookup("SEARCH").value.raw == "macro-default"
+
+    def test_client_value_blocks_conditional_and_exec(self):
+        store = VariableStore()
+        store.set_client_inputs([("v", "client")])
+        store.assign_conditional("v", vs("cond"))
+        store.declare_exec("v", vs("cmd"))
+        assert isinstance(store.lookup("v"), SimpleEntry)
+
+    def test_client_values_are_parsed_for_references(self):
+        # Section 4.3.2: each var=value is "a simple assignment
+        # statement" whose value may reference other variables — the
+        # hidden-variable mechanism.
+        store = VariableStore()
+        store.set_client_inputs([("DBFIELDS", "$(hidden_a)")])
+        assert store.lookup("DBFIELDS").value.has_references()
+
+    def test_repeated_client_name_becomes_list(self):
+        store = VariableStore()
+        store.set_client_inputs([("DBFIELD", "title"),
+                                 ("DBFIELD", "desc")])
+        entry = store.lookup("DBFIELD")
+        assert isinstance(entry, ListEntry)
+        assert len(entry.elements) == 2
+        assert entry.separator.raw == ","  # the default comma
+
+    def test_list_declaration_overrides_client_separator_only(self):
+        store = VariableStore()
+        store.set_client_inputs([("F", "a"), ("F", "b")])
+        store.declare_list("F", vs(" , "))
+        entry = store.lookup("F")
+        assert entry.separator.raw == " , "
+        assert len(entry.elements) == 2  # client values preserved
+
+
+class TestListVariables:
+    def test_assignments_accumulate(self):
+        store = VariableStore()
+        store.declare_list("L", vs(" AND "))
+        store.assign_simple("L", vs("one"))
+        store.assign_conditional("L", vs("two $(x)"))
+        entry = store.lookup("L")
+        assert len(entry.elements) == 2
+        assert isinstance(entry.elements[0], SimpleEntry)
+        assert isinstance(entry.elements[1], ConditionalEntry)
+
+    def test_declaration_converts_existing_scalar(self):
+        store = VariableStore()
+        store.assign_simple("L", vs("first"))
+        store.declare_list("L", vs("/"))
+        entry = store.lookup("L")
+        assert isinstance(entry, ListEntry)
+        assert len(entry.elements) == 1
+
+    def test_redeclaration_changes_separator_keeps_elements(self):
+        store = VariableStore()
+        store.declare_list("L", vs(","))
+        store.assign_simple("L", vs("x"))
+        store.declare_list("L", vs(" OR "))
+        entry = store.lookup("L")
+        assert entry.separator.raw == " OR "
+        assert len(entry.elements) == 1
+
+
+class TestSystemVariables:
+    def test_system_wins_over_everything(self):
+        store = VariableStore()
+        store.set_client_inputs([("V1", "client")])
+        store.set_system("V1", "system")
+        assert store.lookup("V1") == "system"
+
+    def test_column_variables_case_insensitive(self):
+        # Section 3: implicit column-name variables are the exception to
+        # case sensitivity.
+        store = VariableStore()
+        store.set_system("V_Product_Name", "bikes", case_insensitive=True)
+        assert store.lookup("v_product_name") == "bikes"
+        assert store.lookup("V_PRODUCT_NAME") == "bikes"
+
+    def test_plain_system_variables_stay_case_sensitive(self):
+        store = VariableStore()
+        store.set_system("ROW_NUM", "3")
+        assert store.lookup("ROW_NUM") == "3"
+        assert store.lookup("row_num") is None
+
+    def test_snapshot_restore(self):
+        store = VariableStore()
+        store.set_system("A", "1")
+        snapshot = store.system_snapshot()
+        store.set_system("A", "2")
+        store.set_system("B", "3")
+        store.restore_system(snapshot)
+        assert store.lookup("A") == "1"
+        assert store.lookup("B") is None
+
+    def test_clear_system(self):
+        store = VariableStore()
+        store.set_system("V_x", "1", case_insensitive=True)
+        store.clear_system(["V_x"])
+        assert store.lookup("V_x") is None
+        assert store.lookup("v_X") is None
+
+
+class TestApplyStatements:
+    def test_apply_dispatches_all_statement_kinds(self):
+        store = VariableStore()
+        store.apply(ast.SimpleAssignment("a", vs("1")))
+        store.apply(ast.ConditionalAssignment("b", vs("x"),
+                                              test_name="a"))
+        store.apply(ast.ListDeclaration("c", vs(",")))
+        store.apply(ast.ExecDeclaration("d", vs("cmd")))
+        assert isinstance(store.lookup("a"), SimpleEntry)
+        assert isinstance(store.lookup("b"), ConditionalEntry)
+        assert isinstance(store.lookup("c"), ListEntry)
+        assert isinstance(store.lookup("d"), ExecEntry)
+
+    def test_entry_kind_helper(self):
+        store = VariableStore()
+        store.assign_simple("a", vs("1"))
+        store.set_system("s", "x")
+        assert store.entry_kind("a") == "SimpleEntry"
+        assert store.entry_kind("s") == "system"
+        assert store.entry_kind("nope") is None
+
+    def test_names_iteration(self):
+        store = VariableStore()
+        store.set_system("sys", "1")
+        store.assign_simple("usr", vs("2"))
+        assert set(store.names()) == {"sys", "usr"}

@@ -1,0 +1,97 @@
+"""HTML entities and tokenizer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.html.entities import escape_html, unescape_html
+from repro.html.tokenizer import Comment, EndTag, StartTag, Text, tokenize
+
+
+class TestEntities:
+    def test_escape_markup_characters(self):
+        assert escape_html('<a href="x">&co</a>') == \
+            "&lt;a href=&quot;x&quot;&gt;&amp;co&lt;/a&gt;"
+
+    def test_unescape_named(self):
+        assert unescape_html("Tom &amp; Jerry &lt;3") == "Tom & Jerry <3"
+
+    def test_unescape_numeric(self):
+        assert unescape_html("&#65;&#x42;") == "AB"
+
+    def test_unknown_entity_left_alone(self):
+        assert unescape_html("&bogus; &nosemicolon") == \
+            "&bogus; &nosemicolon"
+
+    @given(st.text(max_size=60))
+    def test_escape_unescape_roundtrip(self, text):
+        assert unescape_html(escape_html(text)) == text
+
+    @given(st.text(max_size=60))
+    def test_escaped_output_has_no_raw_markup(self, text):
+        escaped = escape_html(text)
+        assert "<" not in escaped and ">" not in escaped
+        assert '"' not in escaped
+
+    @given(st.text(max_size=60))
+    def test_unescape_total(self, junk):
+        unescape_html(junk)  # must never raise
+
+
+class TestTokenizer:
+    def tokens(self, markup):
+        return list(tokenize(markup))
+
+    def test_simple_element(self):
+        assert self.tokens("<P>hi</P>") == [
+            StartTag("p"), Text("hi"), EndTag("p")]
+
+    def test_attributes_quoted_and_not(self):
+        (tag,) = self.tokens(
+            '<INPUT TYPE="text" NAME=SEARCH SIZE=20 CHECKED>')
+        assert tag.get("type") == "text"
+        assert tag.get("name") == "SEARCH"
+        assert tag.get("size") == "20"
+        assert tag.has("checked")
+        assert tag.get("checked") == ""
+
+    def test_single_quoted_attribute(self):
+        (tag,) = self.tokens("<A HREF='x y'>")
+        assert tag.get("href") == "x y"
+
+    def test_attribute_entities_decoded(self):
+        (tag,) = self.tokens('<A HREF="a&amp;b">')
+        assert tag.get("href") == "a&b"
+
+    def test_comment(self):
+        assert self.tokens("<!-- note -->") == [Comment(" note ")]
+
+    def test_declaration_as_comment(self):
+        tokens = self.tokens("<!DOCTYPE html><P>")
+        assert isinstance(tokens[0], Comment)
+
+    def test_stray_lt_is_text(self):
+        tokens = self.tokens("a < b")
+        assert "".join(t.data for t in tokens
+                       if isinstance(t, Text)) == "a < b"
+
+    def test_self_closing(self):
+        (tag,) = self.tokens("<BR/>")
+        assert tag.self_closing
+
+    def test_unclosed_tag_at_eof(self):
+        tokens = self.tokens('<INPUT NAME="x"')
+        assert tokens[0].get("name") == "x"
+
+    def test_end_tag_with_junk(self):
+        tokens = self.tokens("</p extra>x")
+        assert tokens[0] == EndTag("p")
+
+    def test_tag_names_lowercased(self):
+        (tag,) = self.tokens("<SeLeCt>")
+        assert tag.name == "select"
+
+    @given(st.text(max_size=80))
+    def test_tokenizer_total(self, junk):
+        """Arbitrary markup never raises and loses no visible text."""
+        list(tokenize(junk))

@@ -1,0 +1,189 @@
+"""The HTML 2.0 form model: extraction, filling, submission pairs."""
+
+import pytest
+
+from repro.html.forms import (
+    FormError,
+    SelectControl,
+    extract_forms,
+)
+from repro.html.parser import parse_html
+
+FIGURE2_FORM = """
+<TITLE>DB2 WWW URL Query</TITLE>
+<H1>Query URL Information</H1>
+<FORM METHOD="post"
+ ACTION="/cgi-bin/db2www/urlquery.d2w/report">
+Please enter a search string:
+<INPUT TYPE="text" NAME="SEARCH" SIZE=20>
+<INPUT TYPE="checkbox" NAME="USE_URL" VALUE="yes" CHECKED> URL<br>
+<INPUT TYPE="checkbox" NAME="USE_TITLE" VALUE="yes" CHECKED> Title<br>
+<INPUT TYPE="checkbox" NAME="USE_DESC" VALUE="yes">Description
+<SELECT NAME="DBFIELD" SIZE=3 MULTIPLE>
+<OPTION VALUE="url">URL
+<OPTION VALUE="title" SELECTED> Title
+<OPTION VALUE="desc">Description
+</SELECT>
+<INPUT TYPE="radio" NAME="SHOWSQL" VALUE="YES"> Yes
+<INPUT TYPE="radio" NAME="SHOWSQL" VALUE="" CHECKED> No
+<INPUT TYPE="submit" VALUE="Submit Query">
+<INPUT TYPE="reset" VALUE="Reset Input">
+</FORM>
+"""
+
+
+@pytest.fixture()
+def form():
+    return extract_forms(parse_html(FIGURE2_FORM))[0]
+
+
+class TestExtraction:
+    def test_form_attributes(self, form):
+        assert form.method == "POST"
+        assert form.action == "/cgi-bin/db2www/urlquery.d2w/report"
+
+    def test_six_input_variables_of_the_paper(self, form):
+        # "The form contains six input variables" (Section 2.2).
+        assert form.control_names() == [
+            "SEARCH", "USE_URL", "USE_TITLE", "USE_DESC", "DBFIELD",
+            "SHOWSQL"]
+
+    def test_checkbox_defaults(self, form):
+        assert form["USE_URL"].checked
+        assert form["USE_TITLE"].checked
+        assert not form["USE_DESC"].checked
+
+    def test_select_options(self, form):
+        select = form["DBFIELD"]
+        assert isinstance(select, SelectControl)
+        assert select.multiple
+        assert [o.value for o in select.options] == \
+            ["url", "title", "desc"]
+        assert select.selected_values() == ["title"]
+
+    def test_radio_group(self, form):
+        radios = form.all("SHOWSQL")
+        assert [r.value for r in radios] == ["YES", ""]
+        assert radios[1].checked
+
+
+class TestFigure3Submission:
+    """The paper's exact submitted bindings for Figure 3's selections."""
+
+    def test_submission_matches_paper(self, form):
+        form["DBFIELD"].select("desc")  # the user adds Description
+        pairs = form.submission_pairs(click="Submit Query")
+        # The paper's variable listing: SEARCH="" USE_URL="yes"
+        # USE_TITLE="yes" DBFIELD="title" DBFIELD="desc" — USE_DESC and
+        # SHOWSQL travel as null/absent.
+        assert pairs == [
+            ("SEARCH", ""),
+            ("USE_URL", "yes"),
+            ("USE_TITLE", "yes"),
+            ("DBFIELD", "title"),
+            ("DBFIELD", "desc"),
+            ("SHOWSQL", ""),
+        ]
+
+
+class TestInteraction:
+    def test_set_text(self, form):
+        form.set("SEARCH", "ib")
+        assert ("SEARCH", "ib") in form.submission_pairs()
+
+    def test_uncheck_checkbox(self, form):
+        form.uncheck("USE_URL")
+        assert all(n != "USE_URL" for n, _ in form.submission_pairs())
+
+    def test_radio_is_exclusive(self, form):
+        form.check("SHOWSQL", "YES")
+        pairs = [p for p in form.submission_pairs() if p[0] == "SHOWSQL"]
+        assert pairs == [("SHOWSQL", "YES")]
+
+    def test_multi_select_accumulates(self, form):
+        form["DBFIELD"].select("url")
+        values = [v for n, v in form.submission_pairs()
+                  if n == "DBFIELD"]
+        assert values == ["url", "title"]
+
+    def test_single_select_is_exclusive(self):
+        doc = parse_html(
+            "<FORM><SELECT NAME=s><OPTION VALUE=a>A"
+            "<OPTION VALUE=b>B</SELECT></FORM>")
+        form = extract_forms(doc)[0]
+        assert form["s"].selected_values() == ["a"]  # first by default
+        form["s"].select("b")
+        assert form["s"].selected_values() == ["b"]
+
+    def test_set_on_checkbox_raises(self, form):
+        with pytest.raises(FormError):
+            form.set("USE_URL", "text")
+
+    def test_unknown_control(self, form):
+        with pytest.raises(FormError):
+            form["GHOST"]
+        with pytest.raises(FormError):
+            form.check("GHOST")
+
+    def test_unknown_option(self, form):
+        with pytest.raises(FormError):
+            form["DBFIELD"].select("nope")
+
+    def test_unknown_submit_button(self, form):
+        with pytest.raises(FormError):
+            form.submission_pairs(click="Launch Missiles")
+
+
+class TestSubmissionRules:
+    def test_hidden_always_submits(self):
+        doc = parse_html(
+            '<FORM><INPUT TYPE=hidden NAME=h VALUE=1></FORM>')
+        assert extract_forms(doc)[0].submission_pairs() == [("h", "1")]
+
+    def test_unnamed_controls_never_submit(self):
+        doc = parse_html('<FORM><INPUT TYPE=text VALUE=x></FORM>')
+        assert extract_forms(doc)[0].submission_pairs() == []
+
+    def test_checkbox_without_value_submits_on(self):
+        doc = parse_html(
+            '<FORM><INPUT TYPE=checkbox NAME=c CHECKED></FORM>')
+        assert extract_forms(doc)[0].submission_pairs() == [("c", "on")]
+
+    def test_named_submit_only_when_clicked(self):
+        doc = parse_html(
+            '<FORM><INPUT TYPE=submit NAME=go VALUE=Go>'
+            '<INPUT TYPE=submit NAME=stop VALUE=Stop></FORM>')
+        form = extract_forms(doc)[0]
+        assert form.submission_pairs() == []
+        assert form.submission_pairs(click="go") == [("go", "Go")]
+
+    def test_textarea_content_submits(self):
+        doc = parse_html(
+            "<FORM><TEXTAREA NAME=t>body text</TEXTAREA></FORM>")
+        assert extract_forms(doc)[0].submission_pairs() == \
+            [("t", "body text")]
+
+    def test_reset_never_submits(self):
+        doc = parse_html(
+            '<FORM><INPUT TYPE=reset NAME=r VALUE=Reset></FORM>')
+        assert extract_forms(doc)[0].submission_pairs() == []
+
+    def test_document_order_preserved(self):
+        doc = parse_html(
+            '<FORM><INPUT TYPE=text NAME=b VALUE=2>'
+            '<INPUT TYPE=hidden NAME=a VALUE=1></FORM>')
+        assert [n for n, _ in
+                extract_forms(doc)[0].submission_pairs()] == ["b", "a"]
+
+    def test_password_submits(self):
+        doc = parse_html(
+            '<FORM><INPUT TYPE=password NAME=p VALUE=secret></FORM>')
+        form = extract_forms(doc)[0]
+        assert form["p"].kind == "password"
+        assert form.submission_pairs() == [("p", "secret")]
+
+    def test_multiple_forms_on_page(self):
+        doc = parse_html(
+            "<FORM ACTION=/a></FORM><FORM ACTION=/b></FORM>")
+        forms = extract_forms(doc)
+        assert [f.action for f in forms] == ["/a", "/b"]

@@ -1,0 +1,99 @@
+"""Property-based checks on the form model.
+
+The simulated browser is the measurement instrument for half the
+experiments, so its submission semantics get property-level scrutiny:
+generated forms must round-trip through markup → parse → fill → encode
+with no invented or lost pairs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cgi.query_string import decode_pairs, encode_pairs
+from repro.html.builder import element
+from repro.html.forms import extract_forms
+from repro.html.parser import parse_html
+
+names = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,8}", fullmatch=True)
+values = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+    max_size=20)
+
+
+@st.composite
+def text_forms(draw):
+    """A form of 1-6 text inputs with unique names and given values."""
+    count = draw(st.integers(min_value=1, max_value=6))
+    fields = {}
+    while len(fields) < count:
+        fields[draw(names)] = draw(values)
+    markup = "".join(
+        element("input", type_="text", name=name, value=value)
+        for name, value in fields.items())
+    return f"<FORM>{markup}</FORM>", fields
+
+
+class TestTextFormRoundTrip:
+    @settings(max_examples=150, deadline=None)
+    @given(text_forms())
+    def test_markup_to_submission_preserves_fields(self, form_spec):
+        markup, fields = form_spec
+        form = extract_forms(parse_html(markup))[0]
+        pairs = form.submission_pairs()
+        assert dict(pairs) == fields
+        assert len(pairs) == len(fields)
+
+    @settings(max_examples=100, deadline=None)
+    @given(text_forms(), values)
+    def test_fill_then_submit_reflects_the_fill(self, form_spec,
+                                                new_value):
+        markup, fields = form_spec
+        form = extract_forms(parse_html(markup))[0]
+        target = next(iter(fields))
+        form.set(target, new_value)
+        submitted = dict(form.submission_pairs())
+        assert submitted[target] == new_value
+        for name, value in fields.items():
+            if name != target:
+                assert submitted[name] == value
+
+    @settings(max_examples=100, deadline=None)
+    @given(text_forms())
+    def test_submission_survives_wire_encoding(self, form_spec):
+        markup, fields = form_spec
+        form = extract_forms(parse_html(markup))[0]
+        pairs = form.submission_pairs()
+        assert decode_pairs(encode_pairs(pairs)) == pairs
+
+
+class TestCheckboxProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=8))
+    def test_only_checked_boxes_submit(self, checked_flags):
+        markup = "".join(
+            element("input", type_="checkbox", name=f"c{i}",
+                    value="yes", checked=flag)
+            for i, flag in enumerate(checked_flags))
+        form = extract_forms(parse_html(f"<FORM>{markup}</FORM>"))[0]
+        submitted = {name for name, _ in form.submission_pairs()}
+        expected = {f"c{i}" for i, flag in enumerate(checked_flags)
+                    if flag}
+        assert submitted == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=2, max_value=6),
+           st.data())
+    def test_radio_group_submits_at_most_one(self, size, data):
+        markup = "".join(
+            element("input", type_="radio", name="group",
+                    value=f"v{i}") for i in range(size))
+        form = extract_forms(parse_html(f"<FORM>{markup}</FORM>"))[0]
+        picks = data.draw(st.lists(
+            st.integers(min_value=0, max_value=size - 1), max_size=4))
+        for pick in picks:
+            form.check("group", f"v{pick}")
+        pairs = [p for p in form.submission_pairs()
+                 if p[0] == "group"]
+        assert len(pairs) <= 1
+        if picks:
+            assert pairs == [("group", f"v{picks[-1]}")]

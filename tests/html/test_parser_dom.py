@@ -1,0 +1,110 @@
+"""DOM construction with 1996-browser repair rules."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.html.parser import parse_html
+
+
+class TestBasicTree:
+    def test_nesting(self):
+        doc = parse_html("<HTML><BODY><P>hi</P></BODY></HTML>")
+        p = doc.find("p")
+        assert p is not None
+        assert p.get_text() == "hi"
+        assert p.parent.tag == "body"
+
+    def test_title_property(self):
+        doc = parse_html("<TITLE>  DB2 WWW   URL Query </TITLE>")
+        assert doc.title == "DB2 WWW URL Query"
+
+    def test_attributes_and_case(self):
+        doc = parse_html('<FORM METHOD="post" ACTION="/x">')
+        form = doc.find("form")
+        assert form.get("method") == "post"
+        assert form.get("ACTION") == "/x"
+        assert form.has_attr("action")
+
+    def test_find_all_multiple_tags(self):
+        doc = parse_html("<TD>a</TD><TH>b</TH>")
+        assert len(doc.find_all("td", "th")) == 2
+
+    def test_get_text_decodes_entities(self):
+        doc = parse_html("<P>Tom &amp; Jerry</P>")
+        assert doc.find("p").get_text() == "Tom & Jerry"
+
+    def test_set_attribute(self):
+        doc = parse_html("<INPUT NAME=a>")
+        element = doc.find("input")
+        element.set("value", "x")
+        element.set("NAME", "b")
+        assert element.get("value") == "x"
+        assert element.get("name") == "b"
+
+
+class TestRepairRules:
+    def test_void_elements_take_no_children(self):
+        doc = parse_html("<INPUT NAME=a> trailing text")
+        input_el = doc.find("input")
+        assert input_el.children == []
+
+    def test_unclosed_li_autoclosed_by_sibling(self):
+        doc = parse_html("<UL><LI>one<LI>two</UL>")
+        items = doc.find_all("li")
+        assert [li.get_text() for li in items] == ["one", "two"]
+        assert items[0].parent.tag == "ul"
+
+    def test_unclosed_option_sequence(self):
+        # The paper's own SELECT markup never closes OPTION.
+        doc = parse_html(
+            "<SELECT><OPTION VALUE=a>A<OPTION VALUE=b>B</SELECT>")
+        options = doc.find_all("option")
+        assert len(options) == 2
+        assert options[0].get_text().strip() == "A"
+
+    def test_p_closed_by_block_element(self):
+        doc = parse_html("<P>para<UL><LI>item</UL>")
+        ul = doc.find("ul")
+        assert ul.parent.tag != "p"
+
+    def test_p_closed_by_next_p(self):
+        doc = parse_html("<P>one<P>two")
+        paragraphs = doc.find_all("p")
+        assert [p.get_text() for p in paragraphs] == ["one", "two"]
+
+    def test_table_cells_autoclose(self):
+        doc = parse_html(
+            "<TABLE><TR><TD>a<TD>b<TR><TD>c</TABLE>")
+        rows = doc.find_all("tr")
+        assert len(rows) == 2
+        assert [td.get_text() for td in rows[0].find_all("td")] == \
+            ["a", "b"]
+
+    def test_unmatched_end_tag_ignored(self):
+        doc = parse_html("<P>text</B></P>")
+        assert doc.find("p").get_text() == "text"
+
+    def test_everything_closed_at_eof(self):
+        doc = parse_html("<UL><LI><B>deep")
+        assert doc.find("b").get_text() == "deep"
+
+    def test_end_ul_closes_open_li(self):
+        doc = parse_html("<UL><LI>x</UL><P>after")
+        p = doc.find("p")
+        assert p.parent.tag == "#document"
+
+    @given(st.text(alphabet="<>/abPUL ", max_size=60))
+    def test_parser_total_on_junk(self, junk):
+        parse_html(junk)  # must never raise
+
+
+class TestIterationOrder:
+    def test_iter_depth_first(self):
+        doc = parse_html("<DIV><P><B>x</B></P><UL></UL></DIV>")
+        tags = [el.tag for el in doc.iter()]
+        assert tags == ["#document", "div", "p", "b", "ul"]
+
+    def test_child_elements_excludes_text(self):
+        doc = parse_html("<DIV>text<P></P>more</DIV>")
+        div = doc.find("div")
+        assert [c.tag for c in div.child_elements()] == ["p"]

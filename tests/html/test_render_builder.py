@@ -1,0 +1,133 @@
+"""Text-mode rendering and the programmatic HTML builder."""
+
+from repro.html.builder import (
+    HtmlWriter,
+    attributes,
+    element,
+    page,
+    text,
+)
+from repro.html.render import render_markup
+
+
+class TestRenderer:
+    def test_heading_underlined(self):
+        out = render_markup("<H1>Query URL Information</H1>")
+        lines = out.splitlines()
+        assert lines[0] == "Query URL Information"
+        assert lines[1] == "=" * len(lines[0])
+
+    def test_list_items_bulleted(self):
+        out = render_markup("<UL><LI>one<LI>two</UL>")
+        assert "* one" in out
+        assert "* two" in out
+
+    def test_checkbox_states(self):
+        out = render_markup(
+            '<INPUT TYPE=checkbox CHECKED> URL '
+            '<INPUT TYPE=checkbox> Description')
+        assert "[x] URL" in out
+        assert "[ ] Description" in out
+
+    def test_radio_states(self):
+        out = render_markup(
+            '<INPUT TYPE=radio NAME=s> Yes '
+            '<INPUT TYPE=radio NAME=s CHECKED> No')
+        assert "( ) Yes" in out
+        assert "(o) No" in out
+
+    def test_text_input_shows_value(self):
+        out = render_markup('<INPUT TYPE=text NAME=q VALUE="ib">')
+        assert "[ib]" in out
+
+    def test_submit_button(self):
+        out = render_markup('<INPUT TYPE=submit VALUE="Submit Query">')
+        assert "< Submit Query >" in out
+
+    def test_select_marks_selected(self):
+        out = render_markup(
+            "<SELECT><OPTION SELECTED>Title<OPTION>Description"
+            "</SELECT>")
+        assert "> Title" in out
+        assert "  Description" in out.replace(">", " ", 1) or \
+            "Description" in out
+
+    def test_hyperlink_shows_target(self):
+        out = render_markup('<A HREF="http://x/">IBM</A>')
+        assert "<IBM>[http://x/]" in out
+
+    def test_table_alignment(self):
+        out = render_markup(
+            "<TABLE><TR><TH>name</TH><TH>qty</TH></TR>"
+            "<TR><TD>bikes</TD><TD>4</TD></TR></TABLE>")
+        assert "| name  | qty |" in out
+        assert "| bikes | 4   |" in out
+
+    def test_whitespace_collapsed(self):
+        out = render_markup("<P>lots    of\n\n   space</P>")
+        assert "lots of space" in out
+
+    def test_pre_preserves_lines(self):
+        out = render_markup("<PRE>line1\nline2</PRE>")
+        assert "line1\nline2" in out
+
+    def test_hidden_input_invisible(self):
+        out = render_markup('<INPUT TYPE=hidden NAME=h VALUE=s3cret>')
+        assert "s3cret" not in out
+
+    def test_image_alt_text(self):
+        out = render_markup('<IMG SRC="/x.gif" ALT="DB2 WWW">')
+        assert "[image: DB2 WWW]" in out
+
+    def test_head_content_skipped(self):
+        out = render_markup(
+            "<HEAD><TITLE>T</TITLE></HEAD><BODY><P>visible</P></BODY>")
+        assert "visible" in out
+        assert "T\n" not in out
+
+    def test_hr_rendered(self):
+        assert "---" in render_markup("<HR>")
+
+    def test_br_breaks_line(self):
+        out = render_markup("one<BR>two")
+        assert out.splitlines()[0].strip() == "one"
+        assert out.splitlines()[1].strip() == "two"
+
+
+class TestBuilder:
+    def test_element_with_attrs(self):
+        assert element("input", type_="text", name="q", size=20) == \
+            '<INPUT TYPE="text" NAME="q" SIZE="20">'
+
+    def test_bare_attribute(self):
+        assert element("input", type_="checkbox", checked=True) == \
+            '<INPUT TYPE="checkbox" CHECKED>'
+
+    def test_false_and_none_attrs_skipped(self):
+        assert element("input", checked=False, value=None) == "<INPUT>"
+
+    def test_non_void_wraps_children(self):
+        assert element("p", "a", "b") == "<P>ab</P>"
+
+    def test_attribute_values_escaped(self):
+        assert 'VALUE="a&quot;b"' in element("input", value='a"b')
+
+    def test_text_escapes(self):
+        assert text("<&>") == "&lt;&amp;&gt;"
+
+    def test_page_shape(self):
+        html = page("Ti<tle", element("h1", text("Hello")))
+        assert "<TITLE>Ti&lt;tle</TITLE>" in html
+        assert "<H1>Hello</H1>" in html
+        assert html.startswith("<HTML>")
+
+    def test_attributes_helper_underscore_to_dash(self):
+        assert attributes(http_equiv="refresh") == \
+            ' HTTP-EQUIV="refresh"'
+
+    def test_writer_accumulates(self):
+        writer = HtmlWriter()
+        writer.print("<P>one</P>")
+        writer.print_text("two & three")
+        assert writer.getvalue() == \
+            "<P>one</P>\ntwo &amp; three\n"

@@ -1,0 +1,93 @@
+"""Renderer coverage for the remaining period markup."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.html.render import render_markup
+
+
+class TestDefinitionLists:
+    def test_dl_dt_dd_blocks(self):
+        out = render_markup(
+            "<DL><DT><B>Ada</B> wrote:<DD>hello there</DL>")
+        lines = [line for line in out.splitlines() if line]
+        assert any("Ada wrote:" in line for line in lines)
+        assert any("hello there" in line for line in lines)
+        # DT and DD render on separate lines.
+        assert lines.index(next(l for l in lines if "Ada" in l)) < \
+            lines.index(next(l for l in lines if "hello" in l))
+
+
+class TestNestedLists:
+    def test_nested_ul_indents(self):
+        out = render_markup(
+            "<UL><LI>outer<UL><LI>inner</UL></UL>")
+        outer = next(l for l in out.splitlines() if "outer" in l)
+        inner = next(l for l in out.splitlines() if "inner" in l)
+        assert len(inner) - len(inner.lstrip()) > \
+            len(outer) - len(outer.lstrip())
+
+
+class TestMiscElements:
+    def test_blockquote_is_block(self):
+        out = render_markup("before<BLOCKQUOTE>quoted</BLOCKQUOTE>after")
+        assert "quoted" in out
+
+    def test_heading_levels_two_and_three(self):
+        out = render_markup("<H2>Sub</H2><H3>SubSub</H3>")
+        assert "Sub\n---" in out
+        assert "SubSub\n------" in out
+
+    def test_empty_document(self):
+        assert render_markup("") == ""
+        assert render_markup("   \n  ") == ""
+
+    def test_consecutive_blank_lines_collapsed(self):
+        out = render_markup("<P>a</P><P></P><P></P><P>b</P>")
+        assert "\n\n\n" not in out
+
+    def test_password_renders_like_text_box(self):
+        out = render_markup('<INPUT TYPE=password NAME=p>')
+        assert "[____________]" in out
+
+    def test_unknown_input_type_labelled(self):
+        out = render_markup('<INPUT TYPE=range NAME=r>')
+        assert "[range:r]" in out
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.text(max_size=150))
+    def test_renderer_total_on_arbitrary_markup(self, junk):
+        render_markup(junk)  # must never raise
+
+
+class TestPageObject:
+    def test_link_resolution_and_find_all(self):
+        from repro.browser.page import Link, Page
+        from repro.html.parser import parse_html
+        from repro.http.message import HttpResponse
+        from repro.http.urls import Url
+
+        url = Url.parse("http://host/apps/index.html")
+        html = ('<TITLE>T</TITLE><A HREF="other.html">rel</A>'
+                '<A HREF="/abs.html">abs</A><P>x</P>')
+        page = Page.build(url, HttpResponse(body=html.encode()),
+                          parse_html(html))
+        assert [l.text for l in page.links] == ["rel", "abs"]
+        assert str(page.links[0].resolve(url)) == \
+            "http://host/apps/other.html"
+        assert str(page.links[1].resolve(url)) == "http://host/abs.html"
+        assert len(page.find_all("a")) == 2
+        assert page.title == "T"
+
+    def test_link_lookup_prefers_exact_href(self):
+        from repro.browser.page import Link, Page
+        from repro.html.parser import parse_html
+        from repro.http.message import HttpResponse
+        from repro.http.urls import Url
+
+        html = ('<A HREF="/a">go to b</A><A HREF="/b">elsewhere</A>')
+        page = Page.build(Url.parse("http://h/"),
+                          HttpResponse(body=html.encode()),
+                          parse_html(html))
+        assert page.link("/b").text == "elsewhere"  # href wins
+        assert page.link("go to").href == "/a"      # then text search

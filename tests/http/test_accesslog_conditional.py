@@ -1,0 +1,129 @@
+"""Access logging (Common Log Format) and HTTP/1.0 conditional GET."""
+
+import email.utils
+import time
+
+import pytest
+
+from repro.http.accesslog import AccessLog, LogEntry, parse_line
+from repro.http.headers import Headers
+from repro.http.message import HttpRequest, HttpResponse
+from repro.http.router import Router
+
+
+class TestLogFormat:
+    def test_format_and_parse_roundtrip(self):
+        entry = LogEntry(host="10.1.2.3", when="05/Jul/1996:10:30:00 +0000",
+                         request_line="GET /index.html HTTP/1.0",
+                         status=200, size=2326)
+        line = entry.format()
+        assert line == ('10.1.2.3 - - [05/Jul/1996:10:30:00 +0000] '
+                        '"GET /index.html HTTP/1.0" 200 2326')
+        parsed = parse_line(line)
+        assert parsed == entry
+        assert parsed.method == "GET"
+        assert parsed.path == "/index.html"
+
+    def test_missing_size_renders_dash(self):
+        entry = LogEntry(host="h", when="x", request_line="GET / HTTP/1.0",
+                         status=304, size=-1)
+        assert entry.format().endswith(" 304 -")
+        assert parse_line(entry.format()).size == -1
+
+    def test_parse_rejects_non_clf(self):
+        assert parse_line("not a log line") is None
+        assert parse_line("") is None
+
+
+class TestAccessLog:
+    def test_record_and_stats(self):
+        log = AccessLog()
+        request = HttpRequest(target="/a")
+        log.record(request, HttpResponse(status=200, body=b"x" * 10),
+                   remote_addr="1.2.3.4")
+        log.record(request, HttpResponse(status=404, body=b"nope"),
+                   remote_addr="1.2.3.4")
+        assert len(log) == 2
+        stats = log.stats()
+        assert stats == {"hits": 2, "errors": 1, "bytes": 14}
+
+    def test_file_output(self, tmp_path):
+        path = tmp_path / "access.log"
+        log = AccessLog(path)
+        log.record(HttpRequest(target="/x"), HttpResponse(status=200),
+                   remote_addr="9.9.9.9")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert parse_line(lines[0]).host == "9.9.9.9"
+
+    def test_memory_bounded(self):
+        log = AccessLog(max_entries=5)
+        for i in range(12):
+            log.record(HttpRequest(target=f"/{i}"), HttpResponse())
+        assert len(log) == 5
+        assert log.entries()[-1].path == "/11"
+
+    def test_router_integration(self):
+        log = AccessLog()
+        router = Router(access_log=log)
+        router.add_page("/index.html", "<H1>x</H1>")
+        router.handle(HttpRequest(target="/index.html"),
+                      remote_addr="8.8.4.4")
+        router.handle(HttpRequest(target="/missing"))
+        entries = log.entries()
+        assert [e.status for e in entries] == [200, 404]
+        assert entries[0].host == "8.8.4.4"
+        assert entries[0].request_line == "GET /index.html HTTP/1.0"
+
+
+@pytest.fixture()
+def file_router(tmp_path):
+    (tmp_path / "page.html").write_text("<P>cached content</P>")
+    return Router(document_root=tmp_path), tmp_path
+
+
+class TestConditionalGet:
+    def test_last_modified_header_sent(self, file_router):
+        router, _ = file_router
+        response = router.handle(HttpRequest(target="/page.html"))
+        assert response.status == 200
+        assert response.headers.get("Last-Modified").endswith("GMT")
+
+    def test_not_modified_when_fresh(self, file_router):
+        router, _ = file_router
+        first = router.handle(HttpRequest(target="/page.html"))
+        stamp = first.headers.get("Last-Modified")
+        headers = Headers()
+        headers.set("If-Modified-Since", stamp)
+        second = router.handle(
+            HttpRequest(target="/page.html", headers=headers))
+        assert second.status == 304
+        assert second.body == b""
+
+    def test_full_response_when_stale(self, file_router):
+        router, tmp_path = file_router
+        old = email.utils.formatdate(time.time() - 86400, usegmt=True)
+        headers = Headers()
+        headers.set("If-Modified-Since", old)
+        response = router.handle(
+            HttpRequest(target="/page.html", headers=headers))
+        assert response.status == 200
+        assert b"cached content" in response.body
+
+    def test_garbage_date_ignored(self, file_router):
+        router, _ = file_router
+        headers = Headers()
+        headers.set("If-Modified-Since", "not a date at all")
+        response = router.handle(
+            HttpRequest(target="/page.html", headers=headers))
+        assert response.status == 200
+
+    def test_in_memory_pages_unconditional(self, file_router):
+        router, _ = file_router
+        router.add_page("/mem.html", "<P>m</P>")
+        headers = Headers()
+        headers.set("If-Modified-Since",
+                    email.utils.formatdate(usegmt=True))
+        response = router.handle(
+            HttpRequest(target="/mem.html", headers=headers))
+        assert response.status == 200  # no mtime to compare against

@@ -1,0 +1,161 @@
+"""HTTP message codecs, headers, and the router."""
+
+import pytest
+
+from repro.cgi.gateway import CgiGateway, FunctionProgram
+from repro.cgi.request import CgiResponse
+from repro.errors import BadRequestError
+from repro.http.headers import Headers
+from repro.http.message import HttpRequest, HttpResponse, html_response
+from repro.http.router import Router
+from repro.http.status import reason_for
+
+
+class TestHeaders:
+    def test_case_insensitive_get(self):
+        headers = Headers([("Content-Type", "text/html")])
+        assert headers.get("content-type") == "text/html"
+        assert "CONTENT-TYPE" in headers
+
+    def test_set_replaces_all(self):
+        headers = Headers([("X", "1"), ("x", "2")])
+        headers.set("X", "3")
+        assert headers.get_all("x") == ["3"]
+
+    def test_add_keeps_duplicates(self):
+        headers = Headers()
+        headers.add("Set-Cookie", "a=1")
+        headers.add("Set-Cookie", "b=2")
+        assert headers.get_all("set-cookie") == ["a=1", "b=2"]
+
+    def test_parse_lines_with_continuation(self):
+        headers = Headers.parse_lines(
+            ["X-Long: part one", "  part two", "Y: 2"])
+        assert headers.get("X-Long") == "part one part two"
+        assert headers.get("Y") == "2"
+
+    def test_remove(self):
+        headers = Headers([("A", "1"), ("a", "2"), ("B", "3")])
+        headers.remove("a")
+        assert len(headers) == 1
+
+
+class TestMessageCodecs:
+    def test_request_roundtrip(self):
+        request = HttpRequest(method="POST", target="/x?q=1",
+                              body=b"a=1")
+        request.headers.set("Content-Type", "text/plain")
+        parsed = HttpRequest.parse(request.serialize())
+        assert parsed.method == "POST"
+        assert parsed.target == "/x?q=1"
+        assert parsed.path == "/x"
+        assert parsed.query == "q=1"
+        assert parsed.body == b"a=1"
+        assert parsed.headers.get("Content-Length") == "3"
+
+    def test_response_roundtrip(self):
+        response = html_response("<H1>ok</H1>", status=201)
+        parsed = HttpResponse.parse(response.serialize())
+        assert parsed.status == 201
+        assert parsed.text == "<H1>ok</H1>"
+
+    def test_http09_request_line(self):
+        parsed = HttpRequest.parse(b"GET /page\r\n\r\n")
+        assert parsed.version == "HTTP/0.9"
+
+    def test_malformed_request_line(self):
+        with pytest.raises(BadRequestError):
+            HttpRequest.parse(b"ONE\r\n\r\n")
+        with pytest.raises(BadRequestError):
+            HttpRequest.parse(b"")
+
+    def test_malformed_status_line(self):
+        with pytest.raises(BadRequestError):
+            HttpResponse.parse(b"NOTHTTP 200 OK\r\n\r\n")
+
+    def test_reason_for(self):
+        assert reason_for(404) == "Not Found"
+        assert reason_for(499) == "Client Error"
+        assert reason_for(999) == "Unknown"
+
+
+@pytest.fixture()
+def router(tmp_path):
+    gateway = CgiGateway()
+    gateway.install("echo", FunctionProgram(
+        lambda req: CgiResponse(
+            body=(f"PATH={req.environ.path_info};"
+                  f"QS={req.environ.query_string};"
+                  f"BODY={req.stdin.decode()}").encode())))
+    (tmp_path / "index.html").write_text("<H1>Home</H1>")
+    (tmp_path / "logo.gif").write_bytes(b"GIF89a")
+    sub = tmp_path / "docs"
+    sub.mkdir()
+    (sub / "a.html").write_text("<P>doc a</P>")
+    r = Router(document_root=tmp_path, gateway=gateway)
+    r.add_page("/memory.html", "<P>in memory</P>")
+    return r
+
+
+class TestRouterStatic:
+    def test_serve_file(self, router):
+        response = router.handle(HttpRequest(target="/docs/a.html"))
+        assert response.status == 200
+        assert b"doc a" in response.body
+
+    def test_index_html_for_directory(self, router):
+        response = router.handle(HttpRequest(target="/"))
+        assert b"Home" in response.body
+
+    def test_mime_type_guessed(self, router):
+        response = router.handle(HttpRequest(target="/logo.gif"))
+        assert response.headers.get("Content-Type") == "image/gif"
+
+    def test_in_memory_page(self, router):
+        response = router.handle(HttpRequest(target="/memory.html"))
+        assert b"in memory" in response.body
+
+    def test_404(self, router):
+        assert router.handle(HttpRequest(target="/nope")).status == 404
+
+    def test_traversal_blocked(self, router):
+        response = router.handle(
+            HttpRequest(target="/../../../etc/passwd"))
+        assert response.status == 404  # normalized inside the root
+
+    def test_head_omits_body(self, router):
+        response = router.handle(
+            HttpRequest(method="HEAD", target="/memory.html"))
+        assert response.status == 200
+        assert response.body == b""
+
+    def test_post_to_static_is_405(self, router):
+        response = router.handle(
+            HttpRequest(method="POST", target="/memory.html"))
+        assert response.status == 405
+
+    def test_unknown_method_501(self, router):
+        response = router.handle(
+            HttpRequest(method="PUT", target="/memory.html"))
+        assert response.status == 501
+
+
+class TestRouterCgi:
+    def test_cgi_get(self, router):
+        response = router.handle(
+            HttpRequest(target="/cgi-bin/echo/extra/path?a=1"))
+        assert response.body == b"PATH=/extra/path;QS=a=1;BODY="
+
+    def test_cgi_post_body_passed(self, router):
+        request = HttpRequest(method="POST", target="/cgi-bin/echo/p",
+                              body=b"payload")
+        response = router.handle(request)
+        assert b"BODY=payload" in response.body
+
+    def test_unknown_program_404(self, router):
+        response = router.handle(HttpRequest(target="/cgi-bin/ghost/x"))
+        assert response.status == 404
+
+    def test_missing_program_name_404(self, router):
+        assert router.handle(
+            HttpRequest(target="/cgi-bin/")).status == 404

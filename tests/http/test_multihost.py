@@ -1,0 +1,61 @@
+"""Figure 1's world: several servers, one browser, cross-site links."""
+
+from repro.apps import urlquery as urlquery_app
+from repro.apps.site import DB2WWW_PROGRAM_NAME
+from repro.browser.client import Browser
+from repro.cgi.gateway import CgiGateway, Db2WwwProgram
+from repro.http.inprocess import InProcessTransport
+from repro.http.router import Router
+
+
+def make_host(name: str, html: str) -> Router:
+    router = Router(server_name=name)
+    router.add_page("/index.html", html)
+    return router
+
+
+class TestMultiHostTransport:
+    def test_browser_crosses_hosts_via_links(self):
+        transport = InProcessTransport()
+        transport.add_host("www.alpha.com", 80, make_host(
+            "www.alpha.com",
+            '<TITLE>Alpha</TITLE>'
+            '<A HREF="http://www.beta.com/">visit beta</A>'))
+        transport.add_host("www.beta.com", 80, make_host(
+            "www.beta.com", "<TITLE>Beta</TITLE><P>welcome</P>"))
+        browser = Browser(transport, base_url="http://www.alpha.com/")
+        alpha = browser.get("/")
+        assert alpha.title == "Alpha"
+        beta = browser.follow("visit beta")
+        assert beta.title == "Beta"
+        assert beta.url.host == "www.beta.com"
+
+    def test_unknown_host_is_bad_gateway(self):
+        transport = InProcessTransport()
+        transport.add_host("known.com", 80, make_host("known.com", "x"))
+        browser = Browser(transport, base_url="http://known.com/")
+        page = browser.get("http://unknown.example.org/")
+        assert page.status == 502
+
+    def test_same_app_on_two_ports(self):
+        """One gateway program shared by two 'servers' — the farm
+        deployment of the era."""
+        app = urlquery_app.install(rows=10)
+        program = Db2WwwProgram(app.engine, app.library)
+        transport = InProcessTransport()
+        for port in (80, 8080):
+            gateway = CgiGateway()
+            gateway.install(DB2WWW_PROGRAM_NAME, program)
+            router = Router(gateway=gateway,
+                            server_name="farm.example.com",
+                            server_port=port)
+            transport.add_host("farm.example.com", port, router)
+        browser = Browser(transport,
+                          base_url="http://farm.example.com/")
+        front = browser.get(
+            "http://farm.example.com/cgi-bin/db2www/urlquery.d2w/input")
+        back = browser.get(
+            "http://farm.example.com:8080/cgi-bin/db2www/"
+            "urlquery.d2w/input")
+        assert front.status == back.status == 200
+        assert front.html == back.html

@@ -1,0 +1,116 @@
+"""URL parsing, building and relative resolution."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import UrlSyntaxError
+from repro.http.urls import Url, join, normalize_path
+
+
+class TestParsing:
+    def test_full_url(self):
+        url = Url.parse("http://www.ibm.com:8080/products/db2.html?x=1")
+        assert url.scheme == "http"
+        assert url.host == "www.ibm.com"
+        assert url.port == 8080
+        assert url.path == "/products/db2.html"
+        assert url.query == "x=1"
+
+    def test_default_port(self):
+        assert Url.parse("http://host/").port == 80
+        assert Url.parse("https://host/").port == 443
+
+    def test_host_lowercased(self):
+        assert Url.parse("http://WWW.IBM.COM/").host == "www.ibm.com"
+
+    def test_bare_host_gets_root_path(self):
+        url = Url.parse("http://www.ibm.com")
+        assert url.path == "/"
+
+    def test_fragment(self):
+        url = Url.parse("http://h/p#sec2")
+        assert url.fragment == "sec2"
+
+    @pytest.mark.parametrize("bad", [
+        "not a url", "/relative/only", "http//missing.colon", "",
+    ])
+    def test_rejects_non_absolute(self, bad):
+        with pytest.raises(UrlSyntaxError):
+            Url.parse(bad)
+
+    def test_str_roundtrip(self):
+        text = "http://h:81/p/q?a=1"
+        assert str(Url.parse(text)) == text
+
+    def test_str_omits_default_port(self):
+        assert str(Url.parse("http://h:80/x")) == "http://h/x"
+
+    def test_request_target(self):
+        assert Url.parse("http://h/p?q=1").request_target == "/p?q=1"
+        assert Url.parse("http://h").request_target == "/"
+
+
+class TestJoin:
+    base = Url.parse("http://www.example.com/apps/page.html?old=1")
+
+    def test_absolute_reference_wins(self):
+        joined = join(self.base, "http://other.com/x")
+        assert joined.host == "other.com"
+
+    def test_absolute_path(self):
+        joined = join(self.base, "/cgi-bin/db2www/m.d2w/input")
+        assert joined.host == "www.example.com"
+        assert joined.path == "/cgi-bin/db2www/m.d2w/input"
+        assert joined.query == ""
+
+    def test_relative_path(self):
+        joined = join(self.base, "other.html")
+        assert joined.path == "/apps/other.html"
+
+    def test_dotdot(self):
+        joined = join(self.base, "../up.html")
+        assert joined.path == "/up.html"
+
+    def test_query_only(self):
+        joined = join(self.base, "?new=2")
+        assert joined.path == "/apps/page.html"
+        assert joined.query == "new=2"
+
+    def test_fragment_only(self):
+        joined = join(self.base, "#top")
+        assert joined.path == "/apps/page.html"
+        assert joined.fragment == "top"
+
+    def test_empty_reference(self):
+        assert join(self.base, "") == self.base
+
+    def test_network_path(self):
+        joined = join(self.base, "//mirror.example.com/x")
+        assert joined.host == "mirror.example.com"
+
+    def test_relative_with_query(self):
+        joined = join(self.base, "search?q=db")
+        assert joined.path == "/apps/search"
+        assert joined.query == "q=db"
+
+
+class TestNormalizePath:
+    @pytest.mark.parametrize("path,expected", [
+        ("/a/b/../c", "/a/c"),
+        ("/a/./b", "/a/b"),
+        ("/../../etc/passwd", "/etc/passwd"),
+        ("//double//slash", "/double/slash"),
+        ("/", "/"),
+        ("/dir/", "/dir/"),
+        ("", "/"),
+    ])
+    def test_normalization(self, path, expected):
+        assert normalize_path(path) == expected
+
+    @given(st.lists(st.sampled_from(["a", "b", "..", ".", ""]),
+                    max_size=10))
+    def test_never_escapes_root(self, segments):
+        normalized = normalize_path("/" + "/".join(segments))
+        assert normalized.startswith("/")
+        assert ".." not in normalized.split("/")

@@ -1,0 +1,136 @@
+"""End-to-end flows: the Section 2.1 user loop over the full stack.
+
+These tests walk the exact journey of the paper's figures: fetch the
+input form (Figure 7), fill it like the user of Figure 3, submit, and
+read the report (Figure 8) — all through browser → HTTP → CGI → engine →
+SQL and back.
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def browser(urlquery_site):
+    return urlquery_site.new_browser()
+
+
+@pytest.fixture()
+def input_page(browser, urlquery):
+    return browser.get(urlquery.input_path)
+
+
+class TestInputForm:
+    def test_figure7_page_structure(self, input_page):
+        assert input_page.status == 200
+        assert input_page.title == "DB2 WWW URL Query"
+        form = input_page.form(0)
+        assert form.method == "POST"
+        assert form.action.endswith("/urlquery.d2w/report")
+        assert form.control_names() == [
+            "SEARCH", "USE_URL", "USE_TITLE", "USE_DESC", "DBFIELDS",
+            "SHOWSQL"]
+
+    def test_hidden_values_travel_as_literals(self, input_page):
+        select = input_page.form(0)["DBFIELDS"]
+        assert [o.value for o in select.options] == \
+            ["$(hidden_a)", "$(hidden_b)"]
+
+    def test_default_selections_match_figure(self, input_page):
+        form = input_page.form(0)
+        assert form["SEARCH"].value == "ib"
+        assert form["USE_URL"].checked
+        assert form["USE_TITLE"].checked
+        assert not form["USE_DESC"].checked
+        assert form["DBFIELDS"].selected_values() == ["$(hidden_a)"]
+
+    def test_text_rendering_shows_controls(self, input_page):
+        rendered = input_page.render()
+        assert "Query URL Information" in rendered
+        assert "[x] URL" in rendered
+        assert "[ ] Description" in rendered
+        assert "< Submit Query >" in rendered
+
+
+class TestSubmitAndReport:
+    def test_full_round_trip(self, browser, input_page):
+        form = input_page.form(0)
+        form.set("SEARCH", "ibm")
+        report = browser.submit(form, click="Submit Query")
+        assert report.status == 200
+        assert report.title == "DB2 WWW URL Query Result"
+        result_links = [link for link in report.links
+                        if "ibm" in link.href]
+        assert result_links
+
+    def test_hidden_variable_resolved_server_side(self, browser,
+                                                  input_page):
+        form = input_page.form(0)
+        form.set("SEARCH", "ib")
+        form["DBFIELDS"].select("$(hidden_b)")
+        form.check("SHOWSQL", "YES")
+        report = browser.submit(form, click="Submit Query")
+        # The browser sent the literal "$(hidden_a)", but the SQL shows
+        # the real column names — the paper's hiding idiom, end to end.
+        assert "$(hidden" not in report.html.split("<TT>")[1]
+        assert "title , description" in report.html
+
+    def test_report_links_navigate_back_to_input(self, browser,
+                                                 input_page):
+        form = input_page.form(0)
+        report = browser.submit(form, click="Submit Query")
+        again = browser.follow("New URL query")
+        assert again.title == "DB2 WWW URL Query"
+
+    def test_empty_search_with_checked_boxes_matches_everything(
+            self, browser, input_page, urlquery):
+        form = input_page.form(0)
+        form.set("SEARCH", "")
+        report = browser.submit(form, click="Submit Query")
+        # LIKE '%%' matches every row: all URLs listed.
+        http_links = [l for l in report.links
+                      if l.href.startswith("http://www.")
+                      and "ibm.com/" != l.href[11:]]
+        assert len([l for l in report.links
+                    if "/page" in l.href]) == urlquery.rows
+
+    def test_multiple_users_independent_sessions(self, urlquery_site,
+                                                 urlquery):
+        first = urlquery_site.new_browser()
+        second = urlquery_site.new_browser()
+        page1 = first.get(urlquery.input_path)
+        page2 = second.get(urlquery.input_path)
+        form1 = page1.form(0)
+        form1.set("SEARCH", "ibm")
+        form2 = page2.form(0)
+        form2.set("SEARCH", "acme")
+        report1 = first.submit(form1, click="Submit Query")
+        report2 = second.submit(form2, click="Submit Query")
+        assert all("ibm" in l.href for l in report1.links
+                   if "/page" in l.href)
+        assert all("acme" in l.href for l in report2.links
+                   if "/page" in l.href)
+
+
+class TestGetVsPost:
+    def test_report_also_reachable_by_get(self, browser, urlquery):
+        # Figure 4's first scenario: variables in the URL QUERY_STRING.
+        page = browser.get(
+            urlquery.report_path
+            + "?SEARCH=ibm&USE_URL=yes&DBFIELDS=title")
+        assert page.status == 200
+        assert page.title == "DB2 WWW URL Query Result"
+
+    def test_get_and_post_give_identical_pages(self, urlquery_site,
+                                               urlquery):
+        browser = urlquery_site.new_browser()
+        via_get = browser.get(
+            urlquery.report_path
+            + "?SEARCH=ibm&USE_URL=yes&DBFIELDS=title").html
+        page = browser.get(urlquery.input_path)
+        form = page.form(0)
+        form.set("SEARCH", "ibm")
+        form.uncheck("USE_TITLE")
+        form["DBFIELDS"].deselect_all()
+        form["DBFIELDS"].select("$(hidden_a)")
+        via_post = browser.submit(form, click="Submit Query").html
+        assert via_get == via_post

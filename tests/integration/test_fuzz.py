@@ -1,0 +1,127 @@
+"""Fuzzing: hostile and random inputs must never crash the stack.
+
+A 1996 gateway lived on the open internet; every layer here is expected
+to either handle arbitrary bytes or fail with the library's own typed
+errors — never an unhandled exception.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cgi.environ import CgiEnvironment
+from repro.cgi.request import CgiRequest
+from repro.core.engine import MacroEngine
+from repro.core.parser import parse_macro
+from repro.errors import ReproError
+from repro.http.message import HttpRequest
+from repro.http.router import Router
+
+# Text skewed toward macro metacharacters so the fuzz actually reaches
+# interesting parser states.
+macro_text = st.text(
+    alphabet=st.sampled_from(list(
+        "%{}()$\"'=?:\n abcDEFINE_SQLHTML_INPUTREPORTLISTEXECROW")),
+    max_size=300)
+
+
+class TestParserFuzz:
+    @settings(max_examples=300, deadline=None)
+    @given(macro_text)
+    def test_parse_macro_total(self, text):
+        """parse_macro either succeeds or raises a ReproError."""
+        try:
+            macro = parse_macro(text)
+        except ReproError:
+            return
+        # A successful parse must also unparse and re-parse without
+        # crashing (the result need not be identical: lenient parses of
+        # junk can normalise).
+        try:
+            parse_macro(macro.unparse())
+        except ReproError:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(macro_text)
+    def test_lint_total_on_parseable_macros(self, text):
+        from repro.core.lint import lint_macro
+        try:
+            macro = parse_macro(text)
+        except ReproError:
+            return
+        for finding in lint_macro(macro):
+            assert finding.severity in ("error", "warning", "info")
+
+
+class TestEngineFuzz:
+    @settings(max_examples=150, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(
+        st.tuples(st.text(min_size=1, max_size=10),
+                  st.text(max_size=30)),
+        max_size=8))
+    def test_urlquery_app_survives_arbitrary_inputs(self, urlquery,
+                                                    pairs):
+        """The Appendix A app, fed arbitrary client variables."""
+        macro = urlquery.library.load(urlquery.macro_name)
+        try:
+            result = urlquery.engine.execute_report(macro, pairs)
+        except ReproError:
+            return  # typed failure is acceptable (e.g. broken SQL)
+        assert isinstance(result.html, str)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=60))
+    def test_substitution_of_hostile_search_strings(self, urlquery,
+                                                    term):
+        """Search strings full of quotes/percent signs: the engine must
+        produce a page or a typed SQL error, never crash."""
+        macro = urlquery.library.load(urlquery.macro_name)
+        try:
+            result = urlquery.engine.execute_report(macro, [
+                ("SEARCH", term), ("USE_TITLE", "yes"),
+                ("DBFIELDS", "title")])
+        except ReproError:
+            return
+        assert "URL Query Result" in result.html
+
+
+class TestHttpFuzz:
+    @pytest.fixture(scope="class")
+    def router(self):
+        router = Router()
+        router.add_page("/index.html", "<H1>x</H1>")
+        return router
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.binary(max_size=200))
+    def test_router_survives_arbitrary_request_bytes(self, router, raw):
+        from repro.errors import BadRequestError
+        try:
+            request = HttpRequest.parse(raw)
+        except BadRequestError:
+            return
+        response = router.handle(request)
+        assert 200 <= response.status < 600
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=120))
+    def test_db2www_survives_arbitrary_path_info(self, urlquery_site,
+                                                 path_info):
+        request = CgiRequest(CgiEnvironment(
+            script_name="/cgi-bin/db2www", path_info=path_info))
+        response = urlquery_site.gateway.dispatch("db2www", request)
+        assert response.status in (200, 400, 404, 500)
+
+
+class TestEndToEndDeterminism:
+    def test_identical_requests_identical_pages(self, urlquery_site,
+                                                urlquery):
+        """The gateway is stateless: same request, same bytes."""
+        browser = urlquery_site.new_browser()
+        path = (urlquery.report_path
+                + "?SEARCH=ib&USE_TITLE=yes&DBFIELDS=title")
+        first = browser.get(path).html
+        second = browser.get(path).html
+        assert first == second

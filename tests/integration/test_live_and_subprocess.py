@@ -1,0 +1,141 @@
+"""Faithful transports: real sockets and process-per-request CGI."""
+
+import sys
+
+import pytest
+
+from repro.apps import urlquery as urlquery_app
+from repro.apps.datasets import seed_urldb
+from repro.apps.site import build_site
+from repro.browser.client import Browser
+from repro.cgi.db2www_main import main as db2www_main
+from repro.cgi.environ import CgiEnvironment
+from repro.cgi.process import SubprocessCgiRunner
+from repro.cgi.request import CgiRequest, CgiResponse
+from repro.http.client import HttpClient
+from repro.sql.connection import Connection
+
+
+class TestLiveSocketServer:
+    @pytest.fixture()
+    def served(self):
+        app = urlquery_app.install(rows=25)
+        site = build_site(app.engine, app.library)
+        server = site.serve()
+        yield app, server
+        server.shutdown()
+
+    def test_browser_over_real_tcp(self, served):
+        app, server = served
+        browser = Browser(HttpClient(), base_url=server.base_url)
+        page = browser.get(app.input_path)
+        assert page.title == "DB2 WWW URL Query"
+        form = page.form(0)
+        form.set("SEARCH", "ibm")
+        report = browser.submit(form, click="Submit Query")
+        assert report.title == "DB2 WWW URL Query Result"
+        assert any("/page" in link.href for link in report.links)
+
+
+@pytest.fixture()
+def disk_deployment(tmp_path):
+    """A file-backed deployment for subprocess CGI (memory DBs do not
+    cross process boundaries)."""
+    db_path = tmp_path / "urldb.sqlite"
+    conn = Connection(str(db_path))
+    seed_urldb(conn, 20)
+    conn.close()
+    macro_dir = tmp_path / "macros"
+    macro_dir.mkdir()
+    (macro_dir / "urlquery.d2w").write_text(
+        urlquery_app.URLQUERY_MACRO, encoding="utf-8")
+    return {
+        "REPRO_MACRO_DIR": str(macro_dir),
+        "REPRO_DATABASE_URLDB": str(db_path),
+    }
+
+
+def cgi_request(path_info: str, query: str = "") -> CgiRequest:
+    return CgiRequest(CgiEnvironment(
+        script_name="/cgi-bin/db2www", path_info=path_info,
+        query_string=query))
+
+
+class TestDb2WwwMainInProcess:
+    """The executable's logic, called directly (fast path for coverage)."""
+
+    def test_input_mode(self, disk_deployment):
+        env = dict(disk_deployment)
+        env.update(cgi_request("/urlquery.d2w/input").environ.to_dict())
+        output = db2www_main(env=env, stdin=b"")
+        response = CgiResponse.parse(output)
+        assert response.status == 200
+        assert b"Query URL Information" in response.body
+
+    def test_report_mode(self, disk_deployment):
+        env = dict(disk_deployment)
+        env.update(cgi_request(
+            "/urlquery.d2w/report",
+            "SEARCH=ib&USE_URL=yes&DBFIELDS=title").environ.to_dict())
+        response = CgiResponse.parse(db2www_main(env=env, stdin=b""))
+        assert b"URL Query Result" in response.body
+
+    def test_missing_configuration(self):
+        env = cgi_request("/m/input").environ.to_dict()
+        response = CgiResponse.parse(db2www_main(env=env, stdin=b""))
+        assert response.status == 500
+        assert b"REPRO_MACRO_DIR" in response.body
+
+
+class TestSubprocessCgi:
+    """The real thing: a child Python process per request (Figure 4)."""
+
+    def test_get_request_spawns_process(self, disk_deployment):
+        runner = SubprocessCgiRunner(extra_env=disk_deployment)
+        response = runner.run(cgi_request("/urlquery.d2w/input"))
+        assert response.status == 200
+        assert b"Submit Query" in response.body
+
+    def test_post_body_through_stdin(self, disk_deployment):
+        runner = SubprocessCgiRunner(extra_env=disk_deployment)
+        body = b"SEARCH=ibm&USE_URL=yes&DBFIELDS=title"
+        request = CgiRequest(
+            CgiEnvironment(
+                request_method="POST",
+                script_name="/cgi-bin/db2www",
+                path_info="/urlquery.d2w/report",
+                content_type="application/x-www-form-urlencoded",
+                content_length=len(body)),
+            stdin=body)
+        response = runner.run(request)
+        assert response.status == 200
+        assert b"ibm" in response.body
+
+    def test_database_writes_persist_across_processes(
+            self, disk_deployment, tmp_path):
+        macro_dir = disk_deployment["REPRO_MACRO_DIR"]
+        (tmp_path / "macros" / "adder.d2w").write_text("""
+%DEFINE DATABASE = "URLDB"
+%SQL{
+INSERT INTO urldb (url, title, description)
+VALUES ('http://new/$(n)', 'added $(n)', 'x')
+%}
+%HTML_REPORT{%EXEC_SQL%}
+""", encoding="utf-8")
+        runner = SubprocessCgiRunner(extra_env=disk_deployment)
+        first = runner.run(cgi_request("/adder.d2w/report", "n=1"))
+        assert first.status == 200
+        conn = Connection(disk_deployment["REPRO_DATABASE_URLDB"])
+        count = conn.execute(
+            "SELECT COUNT(*) FROM urldb WHERE url LIKE 'http://new/%'"
+        ).fetchone()[0]
+        conn.close()
+        assert count == 1
+
+    def test_broken_command_line_raises(self, disk_deployment):
+        from repro.errors import CgiProtocolError
+        runner = SubprocessCgiRunner(
+            argv=[sys.executable, "-c", "import sys; sys.exit(3)"],
+            extra_env=disk_deployment)
+        with pytest.raises(CgiProtocolError):
+            runner.run(cgi_request("/urlquery.d2w/input"))

@@ -1,0 +1,108 @@
+"""Section 5's internationalisation, end to end: per-language macro
+files selected by Accept-Language, and multi-byte data everywhere."""
+
+import pytest
+
+from repro.apps.site import build_site
+from repro.core.engine import MacroEngine
+from repro.core.macrofile import MacroLibrary
+from repro.security.i18n import localized_macro_name, negotiate_language
+from repro.sql.gateway import DatabaseRegistry
+
+BASE_MACRO = """\
+%DEFINE DATABASE = "STORE"
+%SQL{ SELECT name FROM products ORDER BY name
+%SQL_REPORT{<UL>%ROW{<LI>$(V1)%}</UL>%}
+%}
+%HTML_INPUT{<H1>Catalog</H1>%}
+%HTML_REPORT{<H1>Products</H1>%EXEC_SQL%}
+"""
+
+FR_MACRO = BASE_MACRO.replace("Catalog", "Catalogue") \
+                     .replace("Products", "Produits")
+JA_MACRO = BASE_MACRO.replace("Catalog", "カタログ") \
+                     .replace("Products", "製品一覧")
+
+
+@pytest.fixture()
+def deployment():
+    registry = DatabaseRegistry()
+    database = registry.register_memory("STORE")
+    with database.connect() as conn:
+        conn.executescript(
+            "CREATE TABLE products (name TEXT);"
+            "INSERT INTO products VALUES"
+            " ('bicycle'), ('自転車'), ('vélo');")
+    library = MacroLibrary()
+    library.add_text("store.d2w", BASE_MACRO)
+    library.add_text("store.fr.d2w", FR_MACRO)
+    library.add_text("store.ja.d2w", JA_MACRO)
+    engine = MacroEngine(registry)
+    return engine, library
+
+
+class TestPerLanguageMacroSelection:
+    """The deployment pattern: pick the macro variant per request."""
+
+    AVAILABLE = ["en", "fr", "ja"]
+
+    def select(self, library, accept_language: str) -> str:
+        language = negotiate_language(accept_language, self.AVAILABLE,
+                                      default="en")
+        if language == "en":
+            return "store.d2w"
+        candidate = localized_macro_name("store.d2w", language)
+        return candidate if candidate in library else "store.d2w"
+
+    @pytest.mark.parametrize("header,expected_title", [
+        ("en-US, en", "Catalog"),
+        ("fr-CA, fr;q=0.9, en;q=0.5", "Catalogue"),
+        ("ja", "カタログ"),
+        ("de, pt", "Catalog"),        # no German variant: fall back
+        ("", "Catalog"),
+    ])
+    def test_language_selects_macro(self, deployment, header,
+                                    expected_title):
+        engine, library = deployment
+        name = self.select(library, header)
+        result = engine.execute_input(library.load(name))
+        assert expected_title in result.html
+
+    def test_reports_localized_too(self, deployment):
+        engine, library = deployment
+        macro = library.load(self.select(library, "ja"))
+        result = engine.execute_report(macro)
+        assert "製品一覧" in result.html
+        assert "自転車" in result.html  # multi-byte data intact
+
+
+class TestMultibyteOverHttp:
+    def test_utf8_round_trip_through_the_full_stack(self, deployment):
+        engine, library = deployment
+        site = build_site(engine, library)
+        browser = site.new_browser()
+        page = browser.get("/cgi-bin/db2www/store.ja.d2w/report")
+        assert page.status == 200
+        assert "自転車" in page.html
+        assert "vélo" in page.html
+        assert "charset=utf-8" in page.response.content_type
+
+    def test_multibyte_form_input_travels_encoded(self, deployment):
+        engine, library = deployment
+        library.add_text("search.d2w", """
+%DEFINE DATABASE = "STORE"
+%SQL{ SELECT name FROM products WHERE name = '$(q)'
+%SQL_REPORT{%ROW{<P>found: $(V1)</P>%}%}
+%}
+%HTML_INPUT{<FORM METHOD="post"
+ ACTION="/cgi-bin/db2www/search.d2w/report">
+<INPUT TYPE="text" NAME="q"></FORM>%}
+%HTML_REPORT{%EXEC_SQL%}
+""")
+        site = build_site(engine, library)
+        browser = site.new_browser()
+        page = browser.get("/cgi-bin/db2www/search.d2w/input")
+        form = page.form(0)
+        form.set("q", "自転車")
+        report = browser.submit(form)
+        assert "found: 自転車" in report.html

@@ -1,0 +1,150 @@
+"""Every concrete example the paper states, asserted verbatim.
+
+These tests pin the reproduction to the paper's own text: each test's
+docstring quotes or cites the passage it checks.
+"""
+
+import pytest
+
+from repro.core import MacroEngine, parse_macro
+from repro.errors import CircularReferenceError
+from repro.sql.gateway import DatabaseRegistry
+
+
+@pytest.fixture()
+def engine(shop_registry):
+    return MacroEngine(shop_registry)
+
+
+class TestSection311:
+    def test_dollar_escape_example(self, engine):
+        """'%DEFINE a = "$$(b)" will result in the variable a being
+        evaluated to the string $(b) at run-time.'"""
+        macro = parse_macro(
+            '%DEFINE a = "$$(b)"\n%HTML_INPUT{$(a)%}')
+        assert engine.execute_input(macro).html == "$(b)"
+
+    def test_var1_var2_example(self, engine):
+        """'%DEFINE var1 = "$(var2).abc" is permitted.'"""
+        macro = parse_macro(
+            '%DEFINE var1 = "$(var2).abc"\n'
+            '%DEFINE var2 = "xyz"\n'
+            "%HTML_INPUT{$(var1)%}")
+        assert engine.execute_input(macro).html == "xyz.abc"
+
+    def test_circular_references_are_an_error(self, engine):
+        """'Circular references among variables are not allowed and
+        result in an error.'"""
+        macro = parse_macro(
+            '%DEFINE a = "$(b)"\n%DEFINE b = "$(a)"\n'
+            "%HTML_INPUT{$(a)%}")
+        with pytest.raises(CircularReferenceError):
+            engine.execute_input(macro)
+
+
+class TestSection313:
+    """The where_list worked example, through the real engine."""
+
+    MACRO = """
+%define{
+%list " AND " where_list
+where_list = ? "custid = $(cust_inp)"
+where_list = ? "product_name LIKE '$(prod_inp)%'"
+where_clause = ? "WHERE $(where_list)"
+%}
+%HTML_INPUT{$(where_clause)%}
+"""
+
+    def test_both_inputs_give_paper_string(self, engine):
+        """'the variables where_list and where_clause respectively
+        evaluate to ... WHERE custid = 10100 AND product_name LIKE
+        'bikes%''"""
+        result = engine.execute_input(
+            parse_macro(self.MACRO),
+            [("cust_inp", "10100"), ("prod_inp", "bikes")])
+        assert result.html.strip() == (
+            "WHERE custid = 10100 AND product_name LIKE 'bikes%'")
+
+    def test_empty_cust_inp(self, engine):
+        """'If cust_inp = "", ... The variable where_clause therefore
+        evaluates to WHERE custid = 10100' — i.e. with cust_inp null the
+        prod condition carries the clause; the paper's sentence swaps
+        the names but the semantics are: null conjuncts drop out."""
+        result = engine.execute_input(
+            parse_macro(self.MACRO),
+            [("cust_inp", ""), ("prod_inp", "bikes")])
+        assert result.html.strip() == \
+            "WHERE product_name LIKE 'bikes%'"
+
+    def test_neither_input_no_where_clause(self, engine):
+        """'In other words, there will be no WHERE clause in a SQL
+        statement constructed using the variable where_clause.'"""
+        result = engine.execute_input(parse_macro(self.MACRO))
+        assert result.html.strip() == ""
+
+
+class TestSection431:
+    def test_one_two_not_one_two_three(self, engine):
+        """'Thus, $(X) will be substituted with One Two and not
+        One Two Three.'"""
+        macro = parse_macro(
+            '%define X = "One$(Y)$(Z)"\n'
+            '%define Y = " Two"\n'
+            "%HTML_INPUT{$(X)%}\n"
+            '%define Z = " Three"')
+        assert engine.execute_input(macro).html == "One Two"
+
+
+class TestSection22:
+    def test_undefined_equals_null_string(self, engine):
+        """'the case where a variable is not defined and the case where
+        a variable is defined to have its value as the null string are
+        treated identically.'"""
+        macro = parse_macro(
+            '%DEFINE v = t ? "SET" : "UNSET"\n%HTML_INPUT{$(v)%}')
+        undefined = engine.execute_input(parse_macro(
+            '%DEFINE v = t ? "SET" : "UNSET"\n%HTML_INPUT{$(v)%}'))
+        null_defined = engine.execute_input(macro, [("t", "")])
+        assert undefined.html == null_defined.html == "UNSET"
+
+    def test_multiple_selections_reach_sql_as_comma_list(
+            self, shop_registry):
+        """Section 2.2/3.1.3: multi-valued DBFIELD arrives as a list
+        variable with comma separator — 'particularly useful for SELECT
+        and FROM clause lists of a SQL query'."""
+        engine = MacroEngine(shop_registry)
+        macro = parse_macro("""
+%DEFINE DATABASE = "SHOP"
+%SQL{ SELECT $(COLS) FROM items ORDER BY name %}
+%HTML_REPORT{%EXEC_SQL%}
+""")
+        result = engine.execute_report(
+            macro, [("COLS", "name"), ("COLS", "qty")])
+        assert result.statements[0].startswith(
+            "SELECT name,qty FROM items")
+        assert "<TH>name</TH><TH>qty</TH>" in result.html
+
+
+class TestSection4Invocation:
+    def test_url_syntax_input_and_report(self, urlquery_site, urlquery):
+        """Section 4: '/cgi-bin/db2www/{macro-file}/{cmd}' with cmd in
+        {input, report}."""
+        browser = urlquery_site.new_browser()
+        assert browser.get(
+            "/cgi-bin/db2www/urlquery.d2w/input").status == 200
+        assert browser.get(
+            "/cgi-bin/db2www/urlquery.d2w/report?DBFIELDS=title"
+        ).status == 200
+
+    def test_input_mode_ignores_sql_sections_entirely(self, engine):
+        """Section 4.1: SQL sections are 'completely ignored (skipped
+        over)' in input mode — even ones that would fail."""
+        macro = parse_macro("""
+%DEFINE DATABASE = "SHOP"
+%SQL{ SELECT * FROM table_that_does_not_exist %}
+%HTML_INPUT{form ok%}
+%HTML_REPORT{%EXEC_SQL%}
+""")
+        result = engine.execute_input(macro)
+        assert result.html == "form ok"
+        assert result.ok

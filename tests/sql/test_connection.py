@@ -1,0 +1,164 @@
+"""Connections: execution, error translation, shared memory databases."""
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    ConnectionClosedError,
+    SQLConstraintError,
+    SQLObjectError,
+    SQLSyntaxError,
+)
+from repro.sql.connection import Connection, MemoryDatabase, connect
+
+
+@pytest.fixture()
+def conn():
+    connection = connect()
+    connection.executescript(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT NOT NULL);"
+        "INSERT INTO t VALUES (1, 'one');")
+    yield connection
+    connection.close()
+
+
+class TestExecution:
+    def test_query_returns_cursor_with_rows(self, conn):
+        cursor = conn.execute("SELECT id, v FROM t")
+        assert cursor.column_names == ["id", "v"]
+        assert cursor.fetchall() == [(1, "one")]
+
+    def test_parameters(self, conn):
+        conn.execute("INSERT INTO t VALUES (?, ?)", (2, "two"))
+        cursor = conn.execute("SELECT v FROM t WHERE id = ?", (2,))
+        assert cursor.fetchone() == ("two",)
+
+    def test_empty_sql_is_syntax_error(self, conn):
+        with pytest.raises(SQLSyntaxError):
+            conn.execute("   ")
+
+    def test_use_after_close(self, conn):
+        conn.close()
+        with pytest.raises(ConnectionClosedError):
+            conn.execute("SELECT 1")
+
+    def test_close_idempotent(self, conn):
+        conn.close()
+        conn.close()
+
+    def test_context_manager_closes(self):
+        with connect() as connection:
+            connection.execute("SELECT 1")
+        assert connection.closed
+
+
+class TestErrorTranslation:
+    def test_missing_table(self, conn):
+        with pytest.raises(SQLObjectError) as excinfo:
+            conn.execute("SELECT * FROM absent")
+        assert excinfo.value.sqlstate == "42704"
+        assert excinfo.value.sqlcode == -204
+
+    def test_missing_column(self, conn):
+        with pytest.raises(SQLObjectError) as excinfo:
+            conn.execute("SELECT ghost FROM t")
+        assert excinfo.value.sqlstate == "42703"
+
+    def test_syntax_error(self, conn):
+        with pytest.raises(SQLSyntaxError) as excinfo:
+            conn.execute("SELEKT 1")
+        assert excinfo.value.sqlstate == "42601"
+        assert excinfo.value.sqlcode == -104
+
+    def test_constraint_violation(self, conn):
+        with pytest.raises(SQLConstraintError) as excinfo:
+            conn.execute("INSERT INTO t VALUES (1, 'dup')")
+        assert excinfo.value.sqlstate == "23505"
+
+    def test_not_null_violation(self, conn):
+        with pytest.raises(SQLConstraintError):
+            conn.execute("INSERT INTO t (id, v) VALUES (9, NULL)")
+
+
+class TestTransactionsOnConnection:
+    def test_begin_commit(self, conn):
+        conn.begin()
+        conn.execute("INSERT INTO t VALUES (5, 'five')")
+        conn.commit()
+        assert not conn.in_transaction
+        assert conn.execute(
+            "SELECT COUNT(*) FROM t").fetchone() == (2,)
+
+    def test_rollback_discards(self, conn):
+        conn.begin()
+        conn.execute("DELETE FROM t")
+        conn.rollback()
+        assert conn.execute(
+            "SELECT COUNT(*) FROM t").fetchone() == (1,)
+
+    def test_begin_is_reentrant(self, conn):
+        conn.begin()
+        conn.begin()  # no "cannot start a transaction" error
+        conn.rollback()
+
+    def test_commit_without_begin_is_noop(self, conn):
+        conn.commit()
+        conn.rollback()
+
+
+class TestMemoryDatabase:
+    def test_connections_share_data(self):
+        with MemoryDatabase() as db:
+            first = db.connect()
+            first.executescript(
+                "CREATE TABLE s (x); INSERT INTO s VALUES (42);")
+            second = db.connect()
+            assert second.execute(
+                "SELECT x FROM s").fetchone() == (42,)
+            first.close()
+            second.close()
+
+    def test_distinct_databases_are_isolated(self):
+        with MemoryDatabase() as a, MemoryDatabase() as b:
+            conn_a = a.connect()
+            conn_a.executescript("CREATE TABLE only_a (x);")
+            conn_b = b.connect()
+            with pytest.raises(SQLObjectError):
+                conn_b.execute("SELECT * FROM only_a")
+            conn_a.close()
+            conn_b.close()
+
+    def test_data_survives_while_anchor_open(self):
+        db = MemoryDatabase()
+        setup = db.connect()
+        setup.executescript("CREATE TABLE k (x); INSERT INTO k VALUES (1);")
+        setup.close()  # all request connections gone; anchor remains
+        later = db.connect()
+        assert later.execute("SELECT COUNT(*) FROM k").fetchone() == (1,)
+        later.close()
+        db.close()
+
+    def test_concurrent_readers(self):
+        db = MemoryDatabase()
+        setup = db.connect()
+        setup.executescript(
+            "CREATE TABLE n (x); INSERT INTO n VALUES (7);")
+        setup.close()
+        results = []
+
+        def read():
+            conn = db.connect()
+            try:
+                results.append(
+                    conn.execute("SELECT x FROM n").fetchone()[0])
+            finally:
+                conn.close()
+
+        threads = [threading.Thread(target=read) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == [7] * 8
+        db.close()

@@ -1,0 +1,128 @@
+"""SQL dialect helpers and catalog introspection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SQLObjectError
+from repro.sql.catalog import describe_table, list_tables, row_count
+from repro.sql.connection import connect
+from repro.sql.dialect import (
+    escape_literal,
+    is_plain_identifier,
+    is_query,
+    is_update,
+    like_pattern,
+    quote_identifier,
+    quote_literal,
+    statement_verb,
+)
+
+
+class TestVerbs:
+    @pytest.mark.parametrize("sql,verb", [
+        ("SELECT * FROM t", "SELECT"),
+        ("  select 1", "SELECT"),
+        ("INSERT INTO t VALUES (1)", "INSERT"),
+        ("WITH c AS (SELECT 1) SELECT * FROM c", "WITH"),
+        ("", ""),
+        ("123", ""),
+    ])
+    def test_statement_verb(self, sql, verb):
+        assert statement_verb(sql) == verb
+
+    def test_is_query_and_update(self):
+        assert is_query("SELECT 1")
+        assert not is_query("DELETE FROM t")
+        assert is_update("UPDATE t SET x = 1")
+        assert not is_update("SELECT 1")
+
+
+class TestQuoting:
+    def test_escape_literal_doubles_quotes(self):
+        assert escape_literal("O'Brien") == "O''Brien"
+
+    def test_escape_literal_strips_nul(self):
+        assert escape_literal("a\x00b") == "ab"
+
+    def test_quote_literal(self):
+        assert quote_literal("it's") == "'it''s'"
+
+    def test_quote_identifier(self):
+        assert quote_identifier('we"ird') == '"we""ird"'
+
+    def test_is_plain_identifier(self):
+        assert is_plain_identifier("product_name")
+        assert not is_plain_identifier("2fast")
+        assert not is_plain_identifier("a-b")
+
+    @given(st.text(max_size=40))
+    def test_quoted_literal_roundtrips_through_sqlite(self, value):
+        """quote_literal output is always a single valid SQL literal."""
+        conn = connect()
+        try:
+            cleaned = value.replace("\x00", "")
+            got = conn.execute(
+                f"SELECT {quote_literal(value)}").fetchone()[0]
+            assert got == cleaned
+        finally:
+            conn.close()
+
+    def test_like_pattern_escapes_wildcards(self):
+        assert like_pattern("50%_off", prefix=True, suffix=True) == \
+            "%50\\%\\_off%"
+
+    def test_like_pattern_is_literal_match_in_sqlite(self):
+        conn = connect()
+        conn.executescript(
+            "CREATE TABLE t (s TEXT);"
+            "INSERT INTO t VALUES ('50%_off'), ('500 off');")
+        pattern = like_pattern("50%_off", prefix=True, suffix=True)
+        rows = conn.execute(
+            f"SELECT s FROM t WHERE s LIKE '{pattern}' ESCAPE '\\'"
+        ).fetchall()
+        assert rows == [("50%_off",)]
+        conn.close()
+
+
+class TestCatalog:
+    @pytest.fixture()
+    def conn(self):
+        connection = connect()
+        connection.executescript("""
+            CREATE TABLE urls (
+                url TEXT NOT NULL PRIMARY KEY,
+                title VARCHAR(100),
+                hits INTEGER NOT NULL DEFAULT 0
+            );
+            CREATE TABLE empty_one (x REAL);
+            INSERT INTO urls VALUES ('http://a', 'A', 3);
+        """)
+        yield connection
+        connection.close()
+
+    def test_list_tables(self, conn):
+        assert list_tables(conn) == ["urls", "empty_one"]
+
+    def test_describe_table(self, conn):
+        info = describe_table(conn, "urls")
+        assert info.column_names == ["url", "title", "hits"]
+        url = info.column("url")
+        assert url.not_null and url.primary_key and url.is_character
+        hits = info.column("HITS")  # case-insensitive lookup
+        assert hits.is_numeric and hits.default == "0"
+
+    def test_describe_missing_table(self, conn):
+        with pytest.raises(SQLObjectError):
+            describe_table(conn, "ghost")
+
+    def test_missing_column_lookup(self, conn):
+        info = describe_table(conn, "urls")
+        with pytest.raises(SQLObjectError):
+            info.column("nope")
+
+    def test_row_count(self, conn):
+        assert row_count(conn, "urls") == 1
+        assert row_count(conn, "empty_one") == 0
+        with pytest.raises(SQLObjectError):
+            row_count(conn, "ghost")

@@ -1,0 +1,125 @@
+"""Gateway facade: registry, macro SQL sessions, execution results."""
+
+import pytest
+
+from repro.errors import SQLError, SQLObjectError
+from repro.sql.connection import MemoryDatabase
+from repro.sql.cursor import value_to_text
+from repro.sql.gateway import (
+    DatabaseRegistry,
+    ExecutionResult,
+    MacroSqlSession,
+)
+from repro.sql.transactions import TransactionMode
+
+
+@pytest.fixture()
+def registry():
+    reg = DatabaseRegistry()
+    db = reg.register_memory("MAIN")
+    with db.connect() as conn:
+        conn.executescript(
+            "CREATE TABLE v (n INTEGER, s TEXT);"
+            "INSERT INTO v VALUES (1, 'a'), (2, 'b');")
+    return reg
+
+
+class TestRegistry:
+    def test_register_and_connect(self, registry):
+        conn = registry.connect("MAIN")
+        assert conn.execute("SELECT COUNT(*) FROM v").fetchone() == (2,)
+        conn.close()
+        assert "MAIN" in registry
+        assert registry.names() == ["MAIN"]
+
+    def test_unknown_database(self, registry):
+        with pytest.raises(SQLObjectError) as excinfo:
+            registry.connect("NOPE")
+        assert excinfo.value.sqlstate == "08001"
+
+    def test_register_path(self, tmp_path, registry):
+        path = str(tmp_path / "disk.db")
+        registry.register_path("DISK", path)
+        conn = registry.connect("DISK")
+        conn.executescript("CREATE TABLE d (x); INSERT INTO d VALUES (9);")
+        conn.close()
+        conn2 = registry.connect("DISK")
+        assert conn2.execute("SELECT x FROM d").fetchone() == (9,)
+        conn2.close()
+
+    def test_register_factory(self, registry):
+        db = MemoryDatabase()
+        registry.register_factory("FACT", db.connect)
+        conn = registry.connect("FACT")
+        conn.execute("SELECT 1")
+        conn.close()
+
+
+class TestMacroSqlSession:
+    def test_query_result(self, registry):
+        with MacroSqlSession(registry.connect("MAIN")) as session:
+            result = session.execute("SELECT n, s FROM v ORDER BY n")
+        assert result.is_query
+        assert result.columns == ["n", "s"]
+        assert result.rows == [(1, "a"), (2, "b")]
+        assert result.row_total == 2
+
+    def test_update_result(self, registry):
+        with MacroSqlSession(registry.connect("MAIN")) as session:
+            result = session.execute("UPDATE v SET s = 'z' WHERE n = 1")
+        assert not result.is_query
+        assert result.rowcount == 1
+
+    def test_statement_log(self, registry):
+        session = MacroSqlSession(registry.connect("MAIN"))
+        session.execute("SELECT 1")
+        with pytest.raises(SQLError):
+            session.execute("BROKEN")
+        session.finish(success=False)
+        assert session.statement_log == ["SELECT 1", "BROKEN"]
+
+    def test_single_mode_marks_failed(self, registry):
+        session = MacroSqlSession(registry.connect("MAIN"),
+                                  mode=TransactionMode.SINGLE)
+        session.execute("INSERT INTO v VALUES (3, 'c')")
+        with pytest.raises(SQLError):
+            session.execute("INSERT INTO nope VALUES (1)")
+        assert session.failed
+        session.finish(success=False)
+        conn = registry.connect("MAIN")
+        assert conn.execute(
+            "SELECT COUNT(*) FROM v").fetchone() == (2,)  # rolled back
+        conn.close()
+
+    def test_finish_closes_owned_connection(self, registry):
+        conn = registry.connect("MAIN")
+        MacroSqlSession(conn).finish()
+        assert conn.closed
+
+    def test_finish_keeps_borrowed_connection(self, registry):
+        conn = registry.connect("MAIN")
+        MacroSqlSession(conn, owns_connection=False).finish()
+        assert not conn.closed
+        conn.close()
+
+
+class TestExecutionResult:
+    def test_iter_text_rows(self):
+        result = ExecutionResult(
+            sql="q", columns=["a", "b"],
+            rows=[(None, 1.0), (2.5, b"bytes")], is_query=True)
+        assert list(result.iter_text_rows()) == [
+            ["", "1"], ["2.5", "bytes"]]
+
+
+class TestValueToText:
+    @pytest.mark.parametrize("value,expected", [
+        (None, ""),
+        (5, "5"),
+        (5.0, "5"),
+        (5.25, "5.25"),
+        ("text", "text"),
+        (b"caf\xc3\xa9", "café"),
+    ])
+    def test_rendering(self, value, expected):
+        assert value_to_text(value) == expected

@@ -1,0 +1,121 @@
+"""Connection pools: reuse, exhaustion, per-request strategy."""
+
+import threading
+
+import pytest
+
+from repro.errors import PoolExhaustedError
+from repro.sql.connection import MemoryDatabase
+from repro.sql.pool import ConnectionPool, PerRequestPool
+
+
+@pytest.fixture()
+def db():
+    database = MemoryDatabase()
+    conn = database.connect()
+    conn.executescript("CREATE TABLE p (x); INSERT INTO p VALUES (1);")
+    conn.close()
+    yield database
+    database.close()
+
+
+class TestConnectionPool:
+    def test_acquire_release_reuses(self, db):
+        pool = ConnectionPool(db.connect, size=2)
+        first = pool.acquire()
+        pool.release(first)
+        second = pool.acquire()
+        assert second is first
+        pool.release(second)
+        pool.close()
+
+    def test_creates_up_to_size(self, db):
+        pool = ConnectionPool(db.connect, size=3, timeout=0.05)
+        conns = [pool.acquire() for _ in range(3)]
+        assert pool.stats["created"] == 3
+        for conn in conns:
+            pool.release(conn)
+        pool.close()
+
+    def test_exhaustion_raises_after_timeout(self, db):
+        pool = ConnectionPool(db.connect, size=1, timeout=0.05)
+        held = pool.acquire()
+        with pytest.raises(PoolExhaustedError) as excinfo:
+            pool.acquire()
+        assert excinfo.value.sqlstate == "57030"
+        pool.release(held)
+        pool.close()
+
+    def test_blocked_acquire_wakes_on_release(self, db):
+        pool = ConnectionPool(db.connect, size=1, timeout=2.0)
+        held = pool.acquire()
+        got = []
+
+        def taker():
+            conn = pool.acquire()
+            got.append(conn)
+            pool.release(conn)
+
+        thread = threading.Thread(target=taker)
+        thread.start()
+        pool.release(held)
+        thread.join(timeout=2)
+        assert got
+        pool.close()
+
+    def test_release_rolls_back_open_transaction(self, db):
+        pool = ConnectionPool(db.connect, size=1)
+        conn = pool.acquire()
+        conn.begin()
+        conn.execute("DELETE FROM p")
+        pool.release(conn)
+        conn2 = pool.acquire()
+        assert conn2.execute("SELECT COUNT(*) FROM p").fetchone() == (1,)
+        pool.release(conn2)
+        pool.close()
+
+    def test_dead_connection_replaced(self, db):
+        pool = ConnectionPool(db.connect, size=1)
+        conn = pool.acquire()
+        conn.close()
+        pool.release(conn)
+        fresh = pool.acquire()
+        assert not fresh.closed
+        pool.release(fresh)
+        pool.close()
+
+    def test_context_manager_checkout(self, db):
+        pool = ConnectionPool(db.connect, size=1)
+        with pool.connection() as conn:
+            assert conn.execute("SELECT x FROM p").fetchone() == (1,)
+        # returned: can be re-acquired without exhaustion
+        with pool.connection() as conn:
+            conn.execute("SELECT 1")
+        pool.close()
+
+    def test_closed_pool_rejects_acquire(self, db):
+        pool = ConnectionPool(db.connect, size=1)
+        pool.close()
+        with pytest.raises(PoolExhaustedError):
+            pool.acquire()
+
+    def test_invalid_size(self, db):
+        with pytest.raises(ValueError):
+            ConnectionPool(db.connect, size=0)
+
+
+class TestPerRequestPool:
+    def test_fresh_connection_each_time(self, db):
+        pool = PerRequestPool(db.connect)
+        first = pool.acquire()
+        pool.release(first)
+        assert first.closed  # the 1996 model: closed on release
+        second = pool.acquire()
+        assert second is not first
+        pool.release(second)
+
+    def test_context_manager(self, db):
+        pool = PerRequestPool(db.connect)
+        with pool.connection() as conn:
+            assert conn.execute("SELECT x FROM p").fetchone() == (1,)
+        assert conn.closed

@@ -1,0 +1,117 @@
+"""TransactionScope: the statement bracket underneath the engine."""
+
+import pytest
+
+from repro.errors import SQLError
+from repro.sql.connection import connect
+from repro.sql.transactions import TransactionMode, TransactionScope
+
+
+@pytest.fixture()
+def conn():
+    connection = connect()
+    connection.executescript(
+        "CREATE TABLE t (x INTEGER UNIQUE);")
+    yield connection
+    connection.close()
+
+
+def insert(scope, conn, value):
+    scope.before_statement()
+    try:
+        conn.execute("INSERT INTO t VALUES (?)", (value,))
+    except SQLError as exc:
+        scope.after_statement(exc)
+        raise
+    scope.after_statement(None)
+
+
+def count(conn) -> int:
+    return conn.execute("SELECT COUNT(*) FROM t").fetchone()[0]
+
+
+class TestModeParsing:
+    @pytest.mark.parametrize("text,mode", [
+        ("auto_commit", TransactionMode.AUTO_COMMIT),
+        ("AUTO_COMMIT", TransactionMode.AUTO_COMMIT),
+        ("single", TransactionMode.SINGLE),
+        (" Single ", TransactionMode.SINGLE),
+    ])
+    def test_parse(self, text, mode):
+        assert TransactionMode.parse(text) is mode
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError):
+            TransactionMode.parse("two-phase")
+
+
+class TestAutoCommit:
+    def test_each_statement_durable_immediately(self, conn):
+        scope = TransactionScope(conn, TransactionMode.AUTO_COMMIT)
+        insert(scope, conn, 1)
+        assert not conn.in_transaction  # committed already
+        insert(scope, conn, 2)
+        scope.finish(success=True)
+        assert count(conn) == 2
+
+    def test_failed_statement_rolled_back_alone(self, conn):
+        scope = TransactionScope(conn, TransactionMode.AUTO_COMMIT)
+        insert(scope, conn, 1)
+        with pytest.raises(SQLError):
+            insert(scope, conn, 1)  # duplicate
+        assert not scope.failed  # auto-commit never dooms the run
+        insert(scope, conn, 2)
+        scope.finish()
+        assert count(conn) == 2
+
+
+class TestSingle:
+    def test_commit_on_success(self, conn):
+        scope = TransactionScope(conn, TransactionMode.SINGLE)
+        insert(scope, conn, 1)
+        assert conn.in_transaction  # still open across statements
+        insert(scope, conn, 2)
+        scope.finish(success=True)
+        assert not conn.in_transaction
+        assert count(conn) == 2
+
+    def test_failure_dooms_and_rolls_back(self, conn):
+        scope = TransactionScope(conn, TransactionMode.SINGLE)
+        insert(scope, conn, 1)
+        with pytest.raises(SQLError):
+            insert(scope, conn, 1)
+        assert scope.failed
+        scope.finish(success=True)  # success flag cannot resurrect it
+        assert count(conn) == 0
+
+    def test_finish_with_failure_rolls_back(self, conn):
+        scope = TransactionScope(conn, TransactionMode.SINGLE)
+        insert(scope, conn, 1)
+        scope.finish(success=False)
+        assert count(conn) == 0
+
+    def test_finish_idempotent(self, conn):
+        scope = TransactionScope(conn, TransactionMode.SINGLE)
+        insert(scope, conn, 1)
+        scope.finish(success=True)
+        scope.finish(success=False)  # no effect the second time
+        assert count(conn) == 1
+
+    def test_context_manager_commits_on_clean_exit(self, conn):
+        with TransactionScope(conn, TransactionMode.SINGLE) as scope:
+            insert(scope, conn, 5)
+        assert count(conn) == 1
+
+    def test_context_manager_rolls_back_on_exception(self, conn):
+        with pytest.raises(RuntimeError):
+            with TransactionScope(conn, TransactionMode.SINGLE) as scope:
+                insert(scope, conn, 5)
+                raise RuntimeError("application blew up")
+        assert count(conn) == 0
+
+    def test_statements_run_counter(self, conn):
+        scope = TransactionScope(conn, TransactionMode.SINGLE)
+        insert(scope, conn, 1)
+        insert(scope, conn, 2)
+        assert scope.statements_run == 2
+        scope.finish()

@@ -1,0 +1,76 @@
+"""Concurrent workload runner."""
+
+import pytest
+
+from repro.apps import build_site
+from repro.apps import urlquery as urlquery_app
+from repro.workloads.concurrent import run_concurrent, throughput_sweep
+from repro.workloads.generator import UrlQueryWorkload
+from repro.workloads.runner import db2www_request_builder
+
+
+@pytest.fixture(scope="module")
+def site():
+    app = urlquery_app.install(rows=40)
+    return build_site(app.engine, app.library)
+
+
+class TestRunConcurrent:
+    def test_all_requests_processed(self, site):
+        result = run_concurrent(
+            site.gateway, UrlQueryWorkload(seed=11).requests(80),
+            db2www_request_builder("urlquery.d2w"), threads=4)
+        assert result.ok
+        assert result.responses == 80
+        assert result.summary.count == 80
+        assert result.threads == 4
+
+    def test_failures_counted(self, site):
+        result = run_concurrent(
+            site.gateway, UrlQueryWorkload(seed=11).requests(10),
+            db2www_request_builder("ghost.d2w"), threads=2)
+        assert result.failures == 10
+
+    def test_single_thread_matches_sequential_count(self, site):
+        result = run_concurrent(
+            site.gateway, UrlQueryWorkload(seed=3).requests(30),
+            db2www_request_builder("urlquery.d2w"), threads=1)
+        assert result.ok and result.summary.count == 30
+
+    def test_results_consistent_under_contention(self, site):
+        """Same pages regardless of how many threads served them."""
+        from repro.cgi.environ import CgiEnvironment
+        from repro.cgi.request import CgiRequest
+
+        request = CgiRequest(CgiEnvironment(
+            path_info="/urlquery.d2w/report",
+            query_string="SEARCH=ib&USE_TITLE=yes&DBFIELDS=title"))
+        sequential = site.gateway.dispatch("db2www", request).body
+
+        import threading
+        bodies = []
+        lock = threading.Lock()
+
+        def hit():
+            body = site.gateway.dispatch("db2www", request).body
+            with lock:
+                bodies.append(body)
+
+        threads = [threading.Thread(target=hit) for _ in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(body == sequential for body in bodies)
+
+
+class TestThroughputSweep:
+    def test_sweep_shapes(self, site):
+        results = throughput_sweep(
+            site.gateway,
+            lambda: UrlQueryWorkload(seed=5).requests(60),
+            db2www_request_builder("urlquery.d2w"),
+            thread_counts=(1, 4))
+        assert [r.threads for r in results] == [1, 4]
+        assert all(r.ok for r in results)
+        assert all(r.summary.throughput_rps > 0 for r in results)

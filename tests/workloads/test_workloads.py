@@ -1,0 +1,177 @@
+"""Workload generation and measurement."""
+
+import pytest
+
+from repro.apps import build_site
+from repro.apps import urlquery as urlquery_app
+from repro.workloads.generator import (
+    OrderSearchWorkload,
+    UrlQueryWorkload,
+)
+from repro.workloads.metrics import LatencyRecorder, percentile
+from repro.workloads.runner import (
+    db2www_request_builder,
+    plain_request_builder,
+    run_workload,
+)
+
+
+class TestGenerators:
+    def test_deterministic(self):
+        first = list(UrlQueryWorkload(seed=5).requests(50))
+        second = list(UrlQueryWorkload(seed=5).requests(50))
+        assert first == second
+
+    def test_report_fraction_respected(self):
+        requests = list(UrlQueryWorkload(
+            seed=1, report_fraction=1.0).requests(40))
+        assert all(r.is_report for r in requests)
+
+    def test_mix_contains_input_requests(self):
+        requests = list(UrlQueryWorkload(
+            seed=2, report_fraction=0.5).requests(100))
+        commands = {r.command for r in requests}
+        assert commands == {"input", "report"}
+
+    def test_report_requests_always_have_a_report_field(self):
+        for request in UrlQueryWorkload(seed=3).requests(100):
+            if request.is_report:
+                assert ("DBFIELDS", "title") in request.pairs
+
+    def test_order_workload_shapes(self):
+        requests = list(OrderSearchWorkload(seed=4).requests(100))
+        assert all(r.is_report for r in requests)
+        # All four Section 3.1.3 combinations appear in a long stream.
+        shapes = {tuple(sorted(n for n, _ in r.pairs))
+                  for r in requests}
+        assert ("cust_inp",) in shapes
+        assert ("prod_inp",) in shapes
+        assert ("cust_inp", "prod_inp") in shapes
+        assert () in shapes
+
+
+class TestMetrics:
+    def test_percentile_interpolation(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 1.0) == 4.0
+        assert percentile(samples, 0.5) == 2.5
+
+    def test_percentile_single_sample(self):
+        assert percentile([7.0], 0.95) == 7.0
+
+    def test_percentile_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_recorder_summary(self):
+        recorder = LatencyRecorder()
+        recorder.start_run()
+        for ms in (1, 2, 3, 4, 100):
+            recorder.record(ms / 1000)
+        recorder.finish_run()
+        summary = recorder.summary()
+        assert summary.count == 5
+        assert summary.min_ms == pytest.approx(1.0)
+        assert summary.max_ms == pytest.approx(100.0)
+        assert summary.p50_ms == pytest.approx(3.0)
+        assert summary.throughput_rps > 0
+
+    def test_recorder_empty_raises(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().summary()
+
+    def test_timer_context(self):
+        recorder = LatencyRecorder()
+        with recorder.time():
+            pass
+        assert len(recorder.samples) == 1
+        assert recorder.samples[0] >= 0
+
+    def test_summary_row_format(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.001)
+        row = recorder.summary().row("label")
+        assert row.startswith("label")
+        assert len(row.split()) == 7
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def site(self):
+        app = urlquery_app.install(rows=40)
+        return build_site(app.engine, app.library)
+
+    def test_db2www_run_all_succeed(self, site):
+        result = run_workload(
+            site.gateway, UrlQueryWorkload(seed=9).requests(60),
+            db2www_request_builder("urlquery.d2w"))
+        assert result.ok
+        assert result.responses == 60
+        assert result.summary.count == 60
+
+    def test_failures_counted_not_raised(self, site):
+        result = run_workload(
+            site.gateway, UrlQueryWorkload(seed=9).requests(10),
+            db2www_request_builder("missing.d2w"))
+        assert result.failures == 10
+        assert not result.ok
+
+    def test_plain_builder_urls(self):
+        builder = plain_request_builder("rawcgi")
+        from repro.workloads.generator import WorkloadRequest
+        program, request = builder(WorkloadRequest(
+            command="report", pairs=(("SEARCH", "a b"),)))
+        assert program == "rawcgi"
+        assert request.environ.path_info == "/report"
+        assert request.environ.query_string == "SEARCH=a+b"
+
+
+class TestLogReplay:
+    def test_replay_reconstructs_gateway_requests(self):
+        from repro.http.accesslog import LogEntry
+        from repro.workloads.generator import replay_log
+
+        entries = [
+            LogEntry(host="h", when="x", status=200, size=1,
+                     request_line="GET /cgi-bin/db2www/urlquery.d2w/"
+                                  "report?SEARCH=ib&USE_URL=yes "
+                                  "HTTP/1.0"),
+            LogEntry(host="h", when="x", status=200, size=1,
+                     request_line="GET /index.html HTTP/1.0"),
+            LogEntry(host="h", when="x", status=200, size=1,
+                     request_line="GET /cgi-bin/db2www/urlquery.d2w/"
+                                  "input HTTP/1.0"),
+            LogEntry(host="h", when="x", status=404, size=1,
+                     request_line="GET /cgi-bin/other/thing HTTP/1.0"),
+        ]
+        replayed = list(replay_log(entries))
+        assert len(replayed) == 2
+        assert replayed[0].command == "report"
+        assert ("SEARCH", "ib") in replayed[0].pairs
+        assert replayed[1].command == "input"
+
+    def test_replayed_log_drives_the_gateway(self):
+        from repro.apps import build_site
+        from repro.apps import urlquery as urlquery_app
+        from repro.http.accesslog import AccessLog
+        from repro.workloads.generator import replay_log
+        from repro.workloads.runner import (
+            db2www_request_builder,
+            run_workload,
+        )
+
+        app = urlquery_app.install(rows=20)
+        site = build_site(app.engine, app.library)
+        log = AccessLog()
+        site.router.access_log = log
+        browser = site.new_browser()
+        browser.get(app.input_path)
+        browser.get(app.report_path
+                    + "?SEARCH=ib&USE_TITLE=yes&DBFIELDS=title")
+
+        result = run_workload(
+            site.gateway, replay_log(log.entries()),
+            db2www_request_builder("urlquery.d2w"))
+        assert result.ok
+        assert result.responses == 2
