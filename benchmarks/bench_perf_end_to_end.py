@@ -20,11 +20,16 @@ from repro.apps.site import build_site
 from repro.cgi.environ import CgiEnvironment
 from repro.cgi.process import SubprocessCgiRunner
 from repro.cgi.request import CgiRequest
+from repro.core.engine import EngineConfig, MacroEngine
+from repro.core.parser import parse_macro
 from repro.http.client import HttpClient
 from repro.http.headers import Headers
 from repro.http.message import HttpRequest
 from repro.http.urls import Url
 from repro.sql.connection import Connection
+from repro.sql.gateway import DatabaseRegistry
+from repro.sql.querycache import QueryResultCache
+from repro.workloads.metrics import CacheReport
 
 QUERY = "SEARCH=ib&USE_URL=yes&USE_TITLE=yes&DBFIELDS=title"
 
@@ -58,6 +63,116 @@ def test_perf_e2e_over_tcp(benchmark, urlquery_site):
         assert response.status == 200
     finally:
         server.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Repeated-SELECT workload: query cache on vs off
+# ---------------------------------------------------------------------------
+
+#: Rows in the archive table; RPT_MAXROWS keeps printing cheap so the
+#: repeated cost is dominated by the fetch the cache elides.
+ARCHIVE_ROWS = 20_000
+
+ARCHIVE_MACRO = """\
+%DEFINE DATABASE = "ARCHIVE"
+%DEFINE RPT_MAXROWS = "20"
+%SQL{ SELECT n, payload FROM entries ORDER BY n
+%SQL_REPORT{%ROW{<LI>$(V1): $(V2)
+%}<P>$(ROW_NUM) entries</P>
+%}
+%}
+%HTML_REPORT{%EXEC_SQL%}
+"""
+
+
+@pytest.fixture(scope="module")
+def archive_registry():
+    reg = DatabaseRegistry()
+    db = reg.register_memory("ARCHIVE")
+    with db.connect() as conn:
+        conn.execute("CREATE TABLE entries (n INTEGER, payload TEXT)")
+        conn.begin()
+        for i in range(ARCHIVE_ROWS):
+            conn.execute("INSERT INTO entries VALUES (?, ?)",
+                         (i, f"entry-{i:06d}"))
+        conn.commit()
+    return reg
+
+
+def _requests_per_second(engine, macro, *, rounds=30):
+    import time
+    engine.execute_report(macro, [])  # warm up
+    start = time.perf_counter()
+    for _ in range(rounds):
+        result = engine.execute_report(macro, [])
+    elapsed = (time.perf_counter() - start) / rounds
+    assert f"<P>{ARCHIVE_ROWS} entries</P>" in result.html
+    return 1.0 / elapsed
+
+
+def test_perf_e2e_query_cache_speedup(benchmark, archive_registry,
+                                      artifact):
+    """Repeated identical SELECTs with the generation-keyed cache on
+    versus off.  The read-mostly deployment profile of the paper: the
+    same report URL fetched over and over between writes.  Acceptance
+    bar: >= 3x requests/sec with the cache enabled."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    macro = parse_macro(ARCHIVE_MACRO)
+
+    cold_engine = MacroEngine(archive_registry)  # no cache configured
+    cache = QueryResultCache()
+    cached_config = EngineConfig()
+    cached_config.query_cache = cache
+    cached_engine = MacroEngine(archive_registry, config=cached_config)
+
+    cold_rps = _requests_per_second(cold_engine, macro)
+    before = CacheReport.from_stats(cache.stats())
+    cached_rps = _requests_per_second(cached_engine, macro)
+    report = CacheReport.from_stats(cache.stats()).delta(before)
+    speedup = cached_rps / cold_rps
+
+    artifact("perf_query_cache.txt", "\n".join([
+        f"PERF-E2E — repeated SELECT over {ARCHIVE_ROWS} rows, "
+        f"query cache off vs on",
+        "",
+        f"{'mode':<14}{'req_per_s':>12}",
+        f"{'cache off':<14}{cold_rps:>12.1f}",
+        f"{'cache on':<14}{cached_rps:>12.1f}",
+        "",
+        f"speedup: {speedup:.2f}x",
+        "",
+        CacheReport.header(),
+        report.row("workload"),
+    ]) + "\n")
+    assert report.hits > 0, "cache never hit during cached run"
+    assert speedup >= 3.0, (
+        f"cached path only {speedup:.2f}x over uncached")
+
+
+def test_perf_e2e_query_cache_write_invalidation(archive_registry):
+    """A write between repeats forces a re-read: the next request must
+    see the new row and the cache must count an invalidation."""
+    cache = QueryResultCache()
+    config = EngineConfig()
+    config.query_cache = cache
+    engine = MacroEngine(archive_registry, config=config)
+    read = parse_macro(ARCHIVE_MACRO)
+    write = parse_macro("""\
+%DEFINE DATABASE = "ARCHIVE"
+%SQL{ UPDATE entries SET payload = 'HOT-ITEM' WHERE n = 0 %}
+%HTML_REPORT{%EXEC_SQL ok%}
+""")
+    engine.execute_report(read, [])
+    engine.execute_report(read, [])
+    assert cache.stats()["hits"] == 1
+    engine.execute_report(write, [])
+    html = engine.execute_report(read, []).html
+    assert "HOT-ITEM" in html
+    assert cache.stats()["invalidations"] == 1
+    # restore for other module-scoped consumers
+    with archive_registry.connect("ARCHIVE") as conn:
+        conn.execute(
+            "UPDATE entries SET payload = 'entry-000000' WHERE n = 0")
 
 
 @pytest.fixture(scope="module")

@@ -10,6 +10,11 @@ Groups the pytest-benchmark results by experiment id (the ``bench_*``
 file prefix mapped through DESIGN.md's experiment index), appends the
 regenerated artifacts, and prints a single text report — the
 "reviewer's packet" for EXPERIMENTS.md.
+
+As a side effect it writes ``benchmarks/out/BENCH_perf.json``: the
+PERF-* experiment means plus the speedup ratios parsed from the
+compiled-template and query-cache artifacts, in a machine-readable form
+CI can diff against a baseline.
 """
 
 from __future__ import annotations
@@ -55,6 +60,56 @@ def experiment_for(fullname: str) -> tuple[str, str]:
     return ("?", filename)
 
 
+#: artifact file -> key under "speedups" in BENCH_perf.json
+_SPEEDUP_ARTIFACTS = {
+    "perf_compiled_speedup.txt": "compiled_report_rows_per_sec",
+    "perf_query_cache.txt": "query_cache_requests_per_sec",
+}
+
+
+def _parse_speedup(path: Path) -> float | None:
+    """The ``speedup: N.NNx`` line of one perf artifact, if present."""
+    for line in path.read_text().splitlines():
+        if line.startswith("speedup:"):
+            try:
+                return float(line.split(":", 1)[1].strip().rstrip("x"))
+            except ValueError:
+                return None
+    return None
+
+
+def write_perf_baseline(groups: dict[str, list[tuple[str, float]]],
+                        machine: dict) -> Path:
+    """Emit BENCH_perf.json: PERF-* means + artifact speedup ratios."""
+    perf = {
+        exp_id: {name: round(mean_ms, 4)
+                 for name, mean_ms in sorted(benches)}
+        for exp_id, benches in sorted(groups.items())
+        if exp_id.startswith("PERF")
+    }
+    speedups = {}
+    for filename, key in _SPEEDUP_ARTIFACTS.items():
+        path = OUT_DIR / filename
+        if path.is_file():
+            ratio = _parse_speedup(path)
+            if ratio is not None:
+                speedups[key] = ratio
+    payload = {
+        "machine": {
+            "python_version": machine.get("python_version", "?"),
+            "system": machine.get("system", "?"),
+            "machine": machine.get("machine", "?"),
+        },
+        "mean_ms": perf,
+        "speedups": speedups,
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    out_path = OUT_DIR / "BENCH_perf.json"
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                        + "\n", encoding="utf-8")
+    return out_path
+
+
 def summarize(json_path: str) -> str:
     data = json.loads(Path(json_path).read_text())
     groups: dict[str, list[tuple[str, float]]] = {}
@@ -76,6 +131,9 @@ def summarize(json_path: str) -> str:
                                     key=lambda item: item[1]):
             lines.append(f"    {name:<55} {mean_ms:>10.3f} ms")
         lines.append("")
+    baseline = write_perf_baseline(groups, machine)
+    lines.append(f"perf baseline written to {baseline}")
+    lines.append("")
     artifacts = sorted(OUT_DIR.glob("*.txt")) if OUT_DIR.is_dir() else []
     if artifacts:
         lines.append("REGENERATED ARTIFACTS")

@@ -76,6 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="NAME=PATH")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8000)
+    serve.add_argument("--query-cache", type=int, default=128,
+                       metavar="ENTRIES", dest="query_cache",
+                       help="max cached SELECT results (0 disables)")
+    serve.add_argument("--macro-stat-ttl", type=float, default=1.0,
+                       metavar="SECONDS", dest="macro_stat_ttl",
+                       help="seconds between macro-file mtime checks "
+                            "(0 checks every request)")
     return parser
 
 
@@ -209,8 +216,12 @@ def _cmd_serve(args, out) -> int:  # pragma: no cover - interactive
     registry = DatabaseRegistry()
     for name, path in _parse_bindings(args.database, "--database"):
         registry.register_path(name, path)
-    engine = MacroEngine(registry)
-    library = MacroLibrary(args.macros)
+    config = EngineConfig()
+    if args.query_cache > 0:
+        from repro.sql.querycache import QueryResultCache
+        config.query_cache = QueryResultCache(max_entries=args.query_cache)
+    engine = MacroEngine(registry, config=config)
+    library = MacroLibrary(args.macros, stat_ttl=args.macro_stat_ttl)
     site = build_site(engine, library)
     server = site.serve(host=args.host, port=args.port)
     print(f"serving macros from {args.macros} on {server.base_url}",

@@ -1,0 +1,251 @@
+"""Compiled ``%ROW`` templates — the report generator's hot path.
+
+The interpreted row path (Section 3.2.1 as :mod:`repro.core.report`
+implements it) pays, per fetched row, one ``set_system`` call for every
+column name spelling (``Vi``, ``V_col``, ``V.col``) plus ``VLIST`` and
+``ROW_NUM``, and then re-dispatches the row template through
+:class:`~repro.core.substitution.Evaluator` segment by segment, with a
+store lookup per reference.  For a template that only references the
+paper's *implicit report variables* none of that machinery can change the
+output: the value of ``$(V2)`` is column 2 of the current row, always.
+
+This module compiles such a template **once per section** into a flat
+render plan — static text fragments plus slots filled by direct index
+into the row tuple — so the per-row cost collapses to a list copy, a few
+indexed reads and one ``str.join``.
+
+Fidelity rules (lazy substitution, Section 4.3.1, must be bit-for-bit):
+
+* Only references that *provably* resolve to this section's implicit
+  variables compile: ``Vi``/``Ni`` with an in-range index, ``V_col`` /
+  ``V.col`` / ``N_col`` / ``N.col`` naming a retrieved column (exact
+  spelling first, then the case-insensitive layer — the same order as
+  :meth:`VariableStore.lookup`), ``VLIST``, ``NLIST`` and ``ROW_NUM``.
+* Anything else — user variables, conditionals, executable variables,
+  out-of-range indexes, column forms naming no retrieved column — makes
+  the template *uncompilable* and the caller falls back to the
+  interpreted path.
+* A reference resolved through the case-insensitive layer is re-checked
+  at render time against the store's exact system layer: an earlier SQL
+  section in the same macro run may have installed an exact-spelling
+  system variable that the interpreted lookup would see first (stale
+  shadowing).  :meth:`CompiledRowTemplate.shadowed_by` reports this and
+  the caller falls back, keeping the two paths indistinguishable.
+
+Compilation results are memoised module-wide: macros are parsed once and
+cached by :class:`~repro.core.macrofile.MacroLibrary`, so the same
+``ValueString`` object renders on every request and the plan is reused
+across requests, not just across rows.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Optional, Sequence
+
+from repro.core.values import Escape, Literal, Reference, ValueString
+from repro.html.entities import escape_html
+from repro.sql.cursor import value_to_text
+
+__all__ = ["CompiledRowTemplate", "compile_row_template"]
+
+#: Must match :data:`repro.core.report.LIST_CONCAT_SEPARATOR`; imported
+#: lazily there to avoid a cycle, asserted equal in the test-suite.
+LIST_CONCAT_SEPARATOR = " "
+
+#: Memo bound: one entry per (row template, column tuple, escape flag)
+#: triple actually served.  256 is far beyond any realistic macro set.
+_MEMO_MAX = 256
+
+_memo: "OrderedDict[tuple[ValueString, tuple[str, ...], bool], Optional[CompiledRowTemplate]]" = OrderedDict()
+_memo_lock = threading.Lock()
+
+
+class CompiledRowTemplate:
+    """A render plan for one ``%ROW`` template against one column set.
+
+    ``parts`` is the full output skeleton with empty strings at dynamic
+    positions; the slot lists say which positions to fill from where.
+    Instances are immutable after compilation and safe to share across
+    threads (``render`` copies ``parts``).
+    """
+
+    __slots__ = ("_parts", "_value_slots", "_rownum_slots", "_vlist_slots",
+                 "_escape", "ci_names")
+
+    def __init__(self, parts: list[str],
+                 value_slots: list[tuple[int, int]],
+                 rownum_slots: list[int],
+                 vlist_slots: list[int],
+                 escape: bool,
+                 ci_names: tuple[str, ...]):
+        self._parts = parts
+        self._value_slots = value_slots
+        self._rownum_slots = rownum_slots
+        self._vlist_slots = vlist_slots
+        self._escape = escape
+        #: Reference spellings resolved through the case-insensitive
+        #: layer; must not be shadowed by exact system variables.
+        self.ci_names = ci_names
+
+    def shadowed_by(self, store) -> bool:
+        """True when a stale exact system variable would win the lookup."""
+        return any(store.has_system(name) for name in self.ci_names)
+
+    def render(self, row: Sequence[Any], row_num: int) -> str:
+        """Render one row tuple (raw database values) to template text."""
+        parts = self._parts.copy()
+        escape = self._escape
+        for part_index, col_index in self._value_slots:
+            text = value_to_text(row[col_index])
+            if escape:
+                text = escape_html(text)
+            parts[part_index] = text
+        if self._rownum_slots:
+            text = str(row_num)
+            for part_index in self._rownum_slots:
+                parts[part_index] = text
+        if self._vlist_slots:
+            values = [value_to_text(value) for value in row]
+            if escape:
+                values = [escape_html(value) for value in values]
+            text = LIST_CONCAT_SEPARATOR.join(values)
+            for part_index in self._vlist_slots:
+                parts[part_index] = text
+        return "".join(parts)
+
+
+def compile_row_template(template: ValueString, columns: Sequence[str], *,
+                         escape_values: bool = False
+                         ) -> Optional[CompiledRowTemplate]:
+    """Compile ``template`` against ``columns``; ``None`` = fall back.
+
+    Memoised: repeated calls with the same template object, column names
+    and escape flag return the cached plan (or the cached ``None``).
+    """
+    key = (template, tuple(columns), escape_values)
+    with _memo_lock:
+        if key in _memo:
+            _memo.move_to_end(key)
+            return _memo[key]
+    compiled = _compile(template, tuple(columns), escape_values)
+    with _memo_lock:
+        _memo[key] = compiled
+        _memo.move_to_end(key)
+        while len(_memo) > _MEMO_MAX:
+            _memo.popitem(last=False)
+    return compiled
+
+
+def clear_compile_cache() -> None:
+    """Drop all memoised plans (tests and long-lived reloading servers)."""
+    with _memo_lock:
+        _memo.clear()
+
+
+# ----------------------------------------------------------------------
+# Static analysis
+# ----------------------------------------------------------------------
+
+#: Sentinel op kinds used while building the plan.
+_ROW_NUM = object()
+_VLIST = object()
+
+
+def _compile(template: ValueString, columns: tuple[str, ...],
+             escape: bool) -> Optional[CompiledRowTemplate]:
+    ops: list[Any] = []  # str (static) | int (column index) | sentinel
+    ci_names: list[str] = []
+    for segment in template.segments:
+        if isinstance(segment, Literal):
+            ops.append(segment.text)
+        elif isinstance(segment, Escape):
+            ops.append(f"$({segment.name})")
+        elif isinstance(segment, Reference):
+            op = _classify(segment.name, columns, ci_names)
+            if op is None:
+                return None
+            ops.append(op)
+        else:  # pragma: no cover - exhaustive over the union
+            return None
+    # Merge adjacent static text so the render loop touches fewer parts.
+    parts: list[str] = []
+    value_slots: list[tuple[int, int]] = []
+    rownum_slots: list[int] = []
+    vlist_slots: list[int] = []
+    last_was_static = False
+    for op in ops:
+        if isinstance(op, str):
+            if last_was_static:
+                parts[-1] += op
+            else:
+                parts.append(op)
+            last_was_static = True
+            continue
+        if isinstance(op, int):
+            value_slots.append((len(parts), op))
+        elif op is _ROW_NUM:
+            rownum_slots.append(len(parts))
+        else:  # _VLIST
+            vlist_slots.append(len(parts))
+        parts.append("")
+        last_was_static = False
+    return CompiledRowTemplate(parts, value_slots, rownum_slots,
+                               vlist_slots, escape, tuple(ci_names))
+
+
+def _classify(name: str, columns: tuple[str, ...],
+              ci_names: list[str]) -> Any:
+    """Map one reference to a render op, or ``None`` for non-implicit.
+
+    Mirrors what :meth:`ReportGenerator._install_row` installs and the
+    exact-then-case-insensitive order of :meth:`VariableStore.lookup`.
+    When several columns share a name the *last* wins, because each
+    ``set_system`` overwrites the previous one.
+    """
+    if name == "ROW_NUM":
+        return _ROW_NUM
+    if name == "VLIST":
+        return _VLIST
+    if name == "NLIST":
+        return LIST_CONCAT_SEPARATOR.join(columns)
+    head, tail = name[:1], name[1:]
+    if head in ("V", "N") and tail.isdigit():
+        index = int(tail)
+        # ``V01`` is NOT ``V1``: the store only installs the canonical
+        # spelling, so a zero-padded reference resolves elsewhere.
+        if str(index) != tail or not 1 <= index <= len(columns):
+            return None
+        if head == "V":
+            return index - 1
+        return columns[index - 1]
+    # Column-name forms: V_col / V.col / N_col / N.col.  Exact spelling
+    # first (it lands in the store's exact system layer), then the
+    # case-insensitive layer.
+    if name[:2] in ("V_", "V.", "N_", "N."):
+        index = _last_index(columns, name[2:])
+        if index is not None:
+            return index if name[0] == "V" else columns[index]
+    folded = name.lower()
+    if folded[:2] in ("v_", "v.", "n_", "n."):
+        index = _last_index_folded(columns, folded[2:])
+        if index is not None:
+            ci_names.append(name)
+            return index if folded[0] == "v" else columns[index]
+    return None
+
+
+def _last_index(columns: tuple[str, ...], name: str) -> Optional[int]:
+    for index in range(len(columns) - 1, -1, -1):
+        if columns[index] == name:
+            return index
+    return None
+
+
+def _last_index_folded(columns: tuple[str, ...],
+                       folded: str) -> Optional[int]:
+    for index in range(len(columns) - 1, -1, -1):
+        if columns[index].lower() == folded:
+            return index
+    return None

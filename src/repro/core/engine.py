@@ -38,6 +38,7 @@ from repro.errors import (
 )
 from repro.html.entities import escape_html
 from repro.sql.gateway import DatabaseRegistry, MacroSqlSession
+from repro.sql.querycache import QueryResultCache
 from repro.sql.transactions import TransactionMode
 
 
@@ -72,12 +73,26 @@ class EngineConfig:
         Name of the flag variable that, when non-null, echoes each SQL
         statement into the report (the ``SHOWSQL`` radio button of the
         paper's Figures 2 and 7).
+    ``compiled_reports``
+        Render ``%ROW`` templates that reference only implicit report
+        variables through the compiled fast path (on by default; the
+        interpreted evaluator is always used for anything it cannot
+        prove equivalent — see :mod:`repro.core.compiled`).
+    ``query_cache``
+        A shared :class:`~repro.sql.querycache.QueryResultCache`; when
+        set, identical SELECTs are served from cache until a write to
+        the same database bumps its generation.  ``None`` (default)
+        disables result reuse.  Share one instance across engines to
+        share its budget; bypassed automatically in ``SINGLE``
+        transaction mode.
     """
 
     transaction_mode: TransactionMode = TransactionMode.AUTO_COMMIT
     escape_report_values: bool = False
     default_database: Optional[str] = None
     show_sql_variable: str = "SHOWSQL"
+    compiled_reports: bool = True
+    query_cache: Optional[QueryResultCache] = None
 
 
 @dataclass
@@ -157,7 +172,8 @@ class _MacroRun:
                                    exec_runner=engine.exec_runner)
         self.reporter = ReportGenerator(
             self.store, self.evaluator,
-            escape_values=engine.config.escape_report_values)
+            escape_values=engine.config.escape_report_values,
+            compile_templates=engine.config.compiled_reports)
         self.out: list[str] = []
         self.session: Optional[MacroSqlSession] = None
         self.result = MacroResult(html="", command=command)
@@ -286,5 +302,7 @@ class _MacroRun:
                     "and the engine has no default_database")
             connection = self.engine.registry.connect(database)
             self.session = MacroSqlSession(
-                connection, mode=self.engine.config.transaction_mode)
+                connection, mode=self.engine.config.transaction_mode,
+                cache=self.engine.config.query_cache,
+                database=database)
         return self.session

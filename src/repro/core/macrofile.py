@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import os
 import re
+import time
 from pathlib import Path
 from typing import Optional
 
@@ -57,10 +58,18 @@ class MacroLibrary:
     deployment.
     """
 
-    def __init__(self, root: Optional[str | Path] = None):
+    def __init__(self, root: Optional[str | Path] = None, *,
+                 stat_ttl: float = 0.0):
         self.root = Path(root) if root is not None else None
+        #: Seconds during which a cached disk macro is served without
+        #: re-``stat``-ing the file.  0 (the default) checks the mtime on
+        #: every load — the faithful edit-in-place behaviour; a serving
+        #: deployment sets a short TTL (e.g. 1s) so hot macros cost a
+        #: dict lookup per request instead of filesystem calls.
+        self.stat_ttl = stat_ttl
         self._memory: dict[str, MacroFile] = {}
-        self._disk_cache: dict[str, tuple[float, MacroFile]] = {}
+        # name -> (mtime, last_stat_monotonic, parsed macro)
+        self._disk_cache: dict[str, tuple[float, float, MacroFile]] = {}
 
     # -- registration ------------------------------------------------------
 
@@ -110,16 +119,21 @@ class MacroLibrary:
         validate_macro_name(name)
         if name in self._memory:
             return self._memory[name]
+        cached = self._disk_cache.get(name)
+        now = time.monotonic()
+        if (cached is not None and self.stat_ttl > 0
+                and now - cached[1] < self.stat_ttl):
+            return cached[2]
         path = self._disk_path(name)
         if path is None:
             raise MacroNameError(f"no such macro: {name!r}")
         mtime = os.stat(path).st_mtime
-        cached = self._disk_cache.get(name)
         if cached is not None and cached[0] == mtime:
-            return cached[1]
+            self._disk_cache[name] = (mtime, now, cached[2])
+            return cached[2]
         macro = parse_macro(path.read_text(encoding="utf-8"),
                             source=str(path))
-        self._disk_cache[name] = (mtime, macro)
+        self._disk_cache[name] = (mtime, now, macro)
         return macro
 
     # ------------------------------------------------------------------

@@ -35,6 +35,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.ast import SqlReportBlock, SqlSection
+from repro.core.compiled import CompiledRowTemplate, compile_row_template
 from repro.core.substitution import Evaluator
 from repro.core.variables import VariableStore
 from repro.html.entities import escape_html
@@ -51,7 +52,8 @@ class ReportGenerator:
     """Renders SQL execution results into HTML report fragments."""
 
     def __init__(self, store: VariableStore, evaluator: Evaluator, *,
-                 escape_values: bool = False):
+                 escape_values: bool = False,
+                 compile_templates: bool = True):
         self.store = store
         self.evaluator = evaluator
         #: When true, column values substituted into custom ``%ROW``
@@ -60,6 +62,12 @@ class ReportGenerator:
         #: value inside an HREF attribute) — but applications handling
         #: untrusted data should enable it (see repro.security).
         self.escape_values = escape_values
+        #: When true (the default), ``%ROW`` templates that reference only
+        #: implicit report variables render through the compiled fast path
+        #: (:mod:`repro.core.compiled`); templates that reference anything
+        #: else always use the interpreted evaluator, whose lazy semantics
+        #: the compiled path preserves bit-for-bit.
+        self.compile_templates = compile_templates
 
     # ------------------------------------------------------------------
     # Entry point
@@ -83,17 +91,62 @@ class ReportGenerator:
         window = self._print_window()
         row_num = 0
         if block.row is not None and result.is_query:
-            for row_values in result.iter_text_rows():
-                row_num += 1
-                self._install_row(result.columns, row_values, row_num)
-                if window.prints(row_num):
-                    out.append(self.evaluator.evaluate(block.row.template))
+            compiled = self._compile_row(block, result)
+            if compiled is not None:
+                row_num = self._render_rows_compiled(
+                    compiled, result, window, out)
+            else:
+                for row_values in result.iter_text_rows():
+                    row_num += 1
+                    self._install_row(result.columns, row_values, row_num)
+                    if window.prints(row_num):
+                        out.append(
+                            self.evaluator.evaluate(block.row.template))
         # ROW_NUM ends at the total fetched, printed or not.
         self.store.set_system("ROW_NUM", str(row_num))
         self.store.set_system("ROWCOUNT", str(
             result.row_total if result.is_query else result.rowcount))
         out.append(self.evaluator.evaluate(block.footer))
         return "".join(out)
+
+    def _compile_row(self, block: SqlReportBlock,
+                     result: ExecutionResult
+                     ) -> Optional[CompiledRowTemplate]:
+        """The compiled plan for this section, or ``None`` to interpret."""
+        if not self.compile_templates or block.row is None:
+            return None
+        compiled = compile_row_template(
+            block.row.template, result.columns,
+            escape_values=self.escape_values)
+        if compiled is None or compiled.shadowed_by(self.store):
+            return None
+        return compiled
+
+    def _render_rows_compiled(self, compiled: CompiledRowTemplate,
+                              result: ExecutionResult,
+                              window: "_PrintWindow",
+                              out: list[str]) -> int:
+        """Run the row loop through the compiled plan.
+
+        Rows outside the print window are counted without being rendered
+        (or even text-converted).  The *last* fetched row is installed
+        into the store exactly as the interpreted loop would have left
+        it, so the footer and any later SQL section observe identical
+        system-variable state.
+        """
+        row_num = 0
+        last_row = None
+        render = compiled.render
+        prints = window.prints
+        for row in result.rows:
+            row_num += 1
+            last_row = row
+            if prints(row_num):
+                out.append(render(row, row_num))
+        if last_row is not None:
+            values = [value_to_text(value) for value in last_row]
+            self._install_row(result.columns, values, row_num)
+        return row_num
 
     def _install_column_names(self, result: ExecutionResult) -> None:
         names = result.columns
@@ -164,15 +217,20 @@ class ReportGenerator:
             out.append(f"<TH>{escape_html(name)}</TH>")
         out.append("</TR>\n")
         window = self._print_window()
+        prints = window.prints
         row_num = 0
-        for values in result.iter_text_rows():
+        # Hot loop: rows outside the print window are counted without
+        # text conversion; printed rows render with one join per row.
+        for row in result.rows:
             row_num += 1
-            if not window.prints(row_num):
+            if not prints(row_num):
                 continue
-            out.append("<TR>")
-            for value in values:
-                out.append(f"<TD>{escape_html(value)}</TD>")
-            out.append("</TR>\n")
+            cells = "</TD><TD>".join(
+                escape_html(value_to_text(value)) for value in row)
+            if row:
+                out.append(f"<TR><TD>{cells}</TD></TR>\n")
+            else:
+                out.append("<TR></TR>\n")
         out.append("</TABLE>\n")
         self.store.set_system("ROW_NUM", str(row_num))
         return "".join(out)

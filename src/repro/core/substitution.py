@@ -120,9 +120,18 @@ class Evaluator:
         Returns ``(text, all_defined)`` where ``all_defined`` is False when
         ``strict`` and some reference evaluated to null.
         """
+        segments = value.segments
+        # Fast path for the overwhelmingly common shapes — a pure-literal
+        # value string (most HTML/SQL text carries no references at all)
+        # needs no list build or join, and has no references for strict
+        # mode to find.
+        if len(segments) == 1 and type(segments[0]) is Literal:
+            return segments[0].text, True
+        if not segments:
+            return "", True
         out: list[str] = []
         all_defined = True
-        for segment in value.segments:
+        for segment in segments:
             if isinstance(segment, Literal):
                 out.append(segment.text)
             elif isinstance(segment, Escape):

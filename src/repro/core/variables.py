@@ -124,6 +124,15 @@ class VariableStore:
     def is_protected(self, name: str) -> bool:
         return name in self._protected
 
+    def has_system(self, name: str) -> bool:
+        """True when ``name`` is an *exact* system-layer variable.
+
+        The compiled report path uses this to detect stale exact-spelling
+        system variables (left by an earlier SQL section) that would
+        shadow a case-insensitive implicit lookup.
+        """
+        return name in self._system
+
     # ------------------------------------------------------------------
     # Macro %DEFINE processing
     # ------------------------------------------------------------------

@@ -18,7 +18,7 @@ import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.http.message import HttpRequest, HttpResponse
 
@@ -90,6 +90,18 @@ class AccessLog:
         self.max_entries = max_entries
         self._entries: list[LogEntry] = []
         self._lock = threading.Lock()
+        self._stats_sources: dict[str, Callable[[], dict[str, int]]] = {}
+
+    def attach_stats_source(self, name: str,
+                            source: Callable[[], dict[str, int]]) -> None:
+        """Merge an extra counter source into :meth:`stats`.
+
+        ``source`` is called at stats time and its keys are prefixed with
+        ``name_``.  The deployment wires the query-result cache here
+        (``log.attach_stats_source("query_cache", cache.stats)``) so one
+        call reports traffic *and* cache effectiveness.
+        """
+        self._stats_sources[name] = source
 
     def record(self, request: HttpRequest, response: HttpResponse, *,
                remote_addr: str = "-",
@@ -125,11 +137,19 @@ class AccessLog:
             return len(self._entries)
 
     def stats(self) -> dict[str, int]:
-        """The webmaster's morning numbers: hits, errors, bytes."""
+        """The webmaster's morning numbers: hits, errors, bytes.
+
+        Attached sources (see :meth:`attach_stats_source`) contribute
+        their counters under ``<name>_<counter>`` keys.
+        """
         with self._lock:
             entries = list(self._entries)
-        return {
+        stats = {
             "hits": len(entries),
             "errors": sum(1 for e in entries if e.status >= 400),
             "bytes": sum(max(e.size, 0) for e in entries),
         }
+        for name, source in self._stats_sources.items():
+            for key, value in source().items():
+                stats[f"{name}_{key}"] = value
+        return stats

@@ -10,6 +10,8 @@ DESIGN.md's substitution table).  Public surface:
 * :class:`TransactionMode` / :class:`TransactionScope` — Section 5 modes
 * :class:`DatabaseRegistry` / :class:`MacroSqlSession` /
   :class:`ExecutionResult` — the facade the macro engine consumes
+* :class:`QueryResultCache` / :class:`WriteGeneration` —
+  generation-keyed SELECT result reuse (see repro.sql.querycache)
 * :mod:`repro.sql.dialect` — SQL text helpers (quoting, LIKE patterns)
 * :mod:`repro.sql.catalog` — table/column introspection
 """
@@ -29,6 +31,7 @@ from repro.sql.gateway import (
     MacroSqlSession,
 )
 from repro.sql.pool import ConnectionPool, PerRequestPool
+from repro.sql.querycache import QueryResultCache, WriteGeneration
 from repro.sql.transactions import TransactionMode, TransactionScope
 
 __all__ = [
@@ -41,9 +44,11 @@ __all__ = [
     "MacroSqlSession",
     "MemoryDatabase",
     "PerRequestPool",
+    "QueryResultCache",
     "TableInfo",
     "TransactionMode",
     "TransactionScope",
+    "WriteGeneration",
     "connect",
     "describe_table",
     "list_tables",

@@ -28,6 +28,8 @@ from repro.errors import (
     SQLSyntaxError,
 )
 from repro.sql.cursor import Cursor
+from repro.sql.dialect import is_query
+from repro.sql.querycache import WriteGeneration
 
 _NO_TABLE_RE = re.compile(r"no such table: (\S+)")
 _NO_COLUMN_RE = re.compile(r"no such column: (\S+)")
@@ -75,6 +77,11 @@ class Connection:
         self._lock = threading.RLock()
         self._closed = False
         self._in_transaction = False
+        #: Shared per-database write counter (attached by the registry
+        #: or a :class:`MemoryDatabase`); any non-query statement that
+        #: runs through :meth:`execute`/:meth:`executescript` bumps it so
+        #: the query-result cache invalidates (see repro.sql.querycache).
+        self.generation: Optional[WriteGeneration] = None
 
     # -- lifecycle ------------------------------------------------------
 
@@ -117,6 +124,10 @@ class Connection:
                 raw_cursor = self._raw.execute(sql, tuple(parameters))
             except sqlite3.Error as exc:
                 raise translate_error(exc, sql) from exc
+            if self.generation is not None and not is_query(sql):
+                # Conservative: bump even if the statement is later
+                # rolled back — an extra cache miss is always sound.
+                self.generation.bump()
             return Cursor(raw_cursor, sql)
 
     def executescript(self, script: str) -> None:
@@ -127,6 +138,8 @@ class Connection:
                 self._raw.executescript(script)
             except sqlite3.Error as exc:
                 raise translate_error(exc, script) from exc
+            if self.generation is not None:
+                self.generation.bump()
 
     # -- transactions -----------------------------------------------------
 
@@ -182,10 +195,16 @@ class MemoryDatabase:
                 name = f"repro_mem_{MemoryDatabase._counter}"
         self.name = name
         self.uri = f"file:{name}?mode=memory&cache=shared"
+        #: One write generation for *all* connections to this database,
+        #: whether opened through a registry or directly; the registry
+        #: adopts this counter when the database is registered.
+        self.generation = WriteGeneration()
         self._anchor = Connection(self.uri, uri=True)
 
     def connect(self) -> Connection:
-        return Connection(self.uri, uri=True)
+        connection = Connection(self.uri, uri=True)
+        connection.generation = self.generation
+        return connection
 
     def close(self) -> None:
         self._anchor.close()

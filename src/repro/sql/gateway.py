@@ -17,6 +17,7 @@ from repro.errors import SQLError, SQLObjectError
 from repro.sql.connection import Connection, MemoryDatabase
 from repro.sql.cursor import Cursor, value_to_text
 from repro.sql.dialect import is_query
+from repro.sql.querycache import QueryResultCache, WriteGeneration
 from repro.sql.transactions import TransactionMode, TransactionScope
 
 
@@ -57,6 +58,7 @@ class DatabaseRegistry:
 
     def __init__(self) -> None:
         self._factories: dict[str, Callable[[], Connection]] = {}
+        self._generations: dict[str, WriteGeneration] = {}
 
     def register_path(self, name: str, path: str) -> None:
         self._factories[name] = lambda: Connection(path)
@@ -66,6 +68,9 @@ class DatabaseRegistry:
         if db is None:
             db = MemoryDatabase()
         self._factories[name] = db.connect
+        # Adopt the database's own counter so writes through connections
+        # opened directly (db.connect()) invalidate cached results too.
+        self._generations[name] = db.generation
         return db
 
     def register_factory(self, name: str,
@@ -78,13 +83,23 @@ class DatabaseRegistry:
     def names(self) -> list[str]:
         return sorted(self._factories)
 
+    def generation(self, name: str) -> WriteGeneration:
+        """The write-generation counter of one registered database."""
+        counter = self._generations.get(name)
+        if counter is None:
+            counter = self._generations[name] = WriteGeneration()
+        return counter
+
     def connect(self, name: str) -> Connection:
         factory = self._factories.get(name)
         if factory is None:
             raise SQLObjectError(
                 f"database {name!r} is not registered with the gateway",
                 sqlstate="08001")
-        return factory()
+        connection = factory()
+        if connection.generation is None:
+            connection.generation = self.generation(name)
+        return connection
 
 
 class MacroSqlSession:
@@ -98,11 +113,23 @@ class MacroSqlSession:
 
     def __init__(self, connection: Connection, *,
                  mode: TransactionMode = TransactionMode.AUTO_COMMIT,
-                 owns_connection: bool = True):
+                 owns_connection: bool = True,
+                 cache: Optional[QueryResultCache] = None,
+                 database: str = "",
+                 generation: Optional[WriteGeneration] = None):
         self.connection = connection
         self.scope = TransactionScope(connection, mode)
         self._owns_connection = owns_connection
         self.statement_log: list[str] = []
+        #: Optional shared SELECT-result cache (see repro.sql.querycache).
+        #: Only consulted in auto-commit mode and only when a write
+        #: generation is available; ``database`` scopes the cache keys.
+        self.cache = cache
+        self.database = database
+        self.generation = generation if generation is not None \
+            else connection.generation
+        #: Cache hits served by this session (request-level observability).
+        self.cache_hits = 0
 
     def execute(self, sql: str) -> ExecutionResult:
         """Run one dynamically assembled SQL statement.
@@ -110,8 +137,25 @@ class MacroSqlSession:
         Raises :class:`SQLError` on failure *after* recording it with the
         transaction scope (so single-mode rollback happens before the
         engine sees the exception).
+
+        When a query cache is attached (and usable — auto-commit mode,
+        query statement, generation counter present), an unexpired cached
+        result is returned without touching the database; a fresh result
+        is stored under the generation observed *before* execution, so a
+        concurrent write can only make the entry stale, never wrong.
         """
         self.statement_log.append(sql)
+        use_cache = (self.cache is not None
+                     and self.generation is not None
+                     and self.scope.mode is not TransactionMode.SINGLE
+                     and is_query(sql))
+        if use_cache:
+            generation = self.generation.value
+            cached = self.cache.get(self.database, sql, generation)
+            if cached is not None:
+                self.cache_hits += 1
+                self.scope.statements_run += 1  # counted, not bracketed
+                return cached
         self.scope.before_statement()
         try:
             cursor = self.connection.execute(sql)
@@ -120,6 +164,8 @@ class MacroSqlSession:
             raise
         result = self._drain(cursor, sql)
         self.scope.after_statement(None)
+        if use_cache and result.is_query:
+            self.cache.put(self.database, sql, generation, result)
         return result
 
     @staticmethod

@@ -42,22 +42,35 @@ class ConnectionPool:
     # -- acquisition ------------------------------------------------------
 
     def acquire(self) -> Connection:
-        with self._lock:
-            if self._closed:
-                raise PoolExhaustedError("pool is closed")
-            if self._idle.empty() and self._created < self._size:
-                self._created += 1
-                return self._factory()
-        try:
-            conn = self._idle.get(timeout=self._timeout)
-        except queue.Empty:
-            raise PoolExhaustedError(
-                f"no connection available within {self._timeout}s") from None
-        if conn.closed:  # replace a connection that died while idle
+        while True:
             with self._lock:
-                self._created -= 1
-            return self.acquire()
-        return conn
+                if self._closed:
+                    raise PoolExhaustedError("pool is closed")
+                create = self._idle.empty() and self._created < self._size
+                if create:
+                    # Reserve the slot before calling the factory (outside
+                    # the lock: factories may be slow); if the factory
+                    # raises, the slot is reclaimed so the pool's capacity
+                    # never shrinks permanently.
+                    self._created += 1
+            if create:
+                try:
+                    return self._factory()
+                except BaseException:
+                    with self._lock:
+                        self._created -= 1
+                    raise
+            try:
+                conn = self._idle.get(timeout=self._timeout)
+            except queue.Empty:
+                raise PoolExhaustedError(
+                    f"no connection available within "
+                    f"{self._timeout}s") from None
+            if conn.closed:  # replace a connection that died while idle
+                with self._lock:
+                    self._created -= 1
+                continue
+            return conn
 
     def release(self, conn: Connection) -> None:
         """Return a connection; any open transaction is rolled back."""

@@ -1,0 +1,174 @@
+"""Generation-keyed SELECT result caching for the gateway.
+
+The paper's deployment profile — and every read-mostly SQL publishing
+system since (DbShare, Mragyati) — repeats identical SELECTs: the same
+report URL is fetched by thousands of clients between writes.  The
+gateway executes *dynamic* SQL assembled from macro text, so two requests
+with the same inputs produce byte-identical statement text; caching the
+:class:`~repro.sql.gateway.ExecutionResult` under ``(database,
+sql_text)`` turns the repeat into a dictionary hit.
+
+Consistency comes from **write generations**, not TTLs.  Every named
+database carries a :class:`WriteGeneration` counter that any non-query
+statement bumps (conservatively: a rolled-back write still bumps, which
+can only cause an unnecessary miss, never a stale hit).  A cache entry
+remembers the generation observed *before* its query executed; a lookup
+whose current generation differs discards the entry.  There is therefore
+no window in which a committed write is visible to the database but not
+to cache consumers.
+
+The cache is bypassed entirely:
+
+* for non-query statements (nothing reusable),
+* in ``TransactionMode.SINGLE`` (Section 5's all-or-nothing mode: a
+  macro's reads must see its own uncommitted writes and participate in
+  the transaction bracket),
+* when no generation counter is attached (a connection outside any
+  :class:`~repro.sql.gateway.DatabaseRegistry` has no invalidation
+  source, so reuse would be unsound).
+
+Thread-safe; shared ``ExecutionResult`` objects are treated as immutable
+by all consumers (the report generator only reads them).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sql.gateway import ExecutionResult
+
+__all__ = ["QueryResultCache", "WriteGeneration"]
+
+
+class WriteGeneration:
+    """A monotonically increasing per-database write counter."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def bump(self) -> int:
+        """Record a write; returns the new generation."""
+        with self._lock:
+            self._value += 1
+            return self._value
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WriteGeneration({self._value})"
+
+
+class QueryResultCache:
+    """A bounded LRU of query results keyed ``(database, sql_text)``.
+
+    ``max_entries`` bounds the entry count (evicting least-recently-used)
+    and ``max_rows_per_entry`` refuses to cache oversized result sets so
+    one huge SELECT cannot monopolise the budget.  Counters are
+    cumulative; :meth:`stats` snapshots them for the metrics/access-log
+    surfaces.
+    """
+
+    def __init__(self, *, max_entries: int = 128,
+                 max_rows_per_entry: int = 100_000):
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self.max_rows_per_entry = max_rows_per_entry
+        self._entries: "OrderedDict[tuple[str, str], tuple[int, ExecutionResult]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    # -- lookup / store -------------------------------------------------
+
+    def get(self, database: str, sql: str,
+            generation: int) -> Optional["ExecutionResult"]:
+        """The cached result, or ``None`` on miss or stale generation."""
+        key = (database, sql)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            cached_generation, result = entry
+            if cached_generation != generation:
+                del self._entries[key]
+                self._invalidations += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return result
+
+    def put(self, database: str, sql: str, generation: int,
+            result: "ExecutionResult") -> bool:
+        """Cache ``result``; False when it is not cacheable."""
+        if not result.is_query:
+            return False
+        if len(result.rows) > self.max_rows_per_entry:
+            return False
+        key = (database, sql)
+        with self._lock:
+            self._entries[key] = (generation, result)
+            self._entries.move_to_end(key)
+            self._stores += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+        return True
+
+    # -- invalidation ---------------------------------------------------
+
+    def invalidate_database(self, database: str) -> int:
+        """Drop every entry of one database; returns the count dropped."""
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == database]
+            for key in stale:
+                del self._entries[key]
+            self._invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # -- inspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Snapshot of the cumulative counters plus current size."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "stores": self._stores,
+                "evictions": self._evictions,
+                "invalidations": self._invalidations,
+                "entries": len(self._entries),
+            }
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none yet)."""
+        with self._lock:
+            total = self._hits + self._misses
+            return self._hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._hits = self._misses = self._stores = 0
+            self._evictions = self._invalidations = 0

@@ -3,7 +3,10 @@
 pytest-benchmark times the hot loops; the workload runner additionally
 needs request-level latency distributions and throughput for the
 comparison experiments, collected here with no dependencies beyond the
-standard library.
+standard library.  :class:`CacheReport` gives the query-result cache's
+counters (see :mod:`repro.sql.querycache`) the same tabular surface the
+latency summaries have, so workload reports can show hit rates next to
+throughput.
 """
 
 from __future__ import annotations
@@ -44,6 +47,57 @@ class Summary:
     def header() -> str:
         return (f"{'gateway':<14} {'n':>6} {'mean_ms':>9} {'p50_ms':>9} "
                 f"{'p95_ms':>9} {'p99_ms':>9} {'req_per_s':>10}")
+
+
+@dataclass
+class CacheReport:
+    """Query-result-cache counters in workload-report form.
+
+    Build one from :meth:`QueryResultCache.stats` snapshots; subtracting
+    a "before" snapshot isolates one workload's contribution.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    entries: int = 0
+
+    @classmethod
+    def from_stats(cls, stats: dict[str, int]) -> "CacheReport":
+        return cls(**{key: stats.get(key, 0)
+                      for key in ("hits", "misses", "stores", "evictions",
+                                  "invalidations", "entries")})
+
+    def delta(self, before: "CacheReport") -> "CacheReport":
+        """Counters accumulated since ``before`` (entries stays absolute)."""
+        return CacheReport(
+            hits=self.hits - before.hits,
+            misses=self.misses - before.misses,
+            stores=self.stores - before.stores,
+            evictions=self.evictions - before.evictions,
+            invalidations=self.invalidations - before.invalidations,
+            entries=self.entries)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def row(self, label: str) -> str:
+        """One fixed-width table row (pairs with :meth:`header`)."""
+        return (f"{label:<14} {self.hits:>8} {self.misses:>8} "
+                f"{self.stores:>8} {self.evictions:>9} "
+                f"{self.invalidations:>12} {self.hit_rate:>8.1%}")
+
+    @staticmethod
+    def header() -> str:
+        return (f"{'cache':<14} {'hits':>8} {'misses':>8} {'stores':>8} "
+                f"{'evictions':>9} {'invalidated':>12} {'hit_rate':>8}")
 
 
 @dataclass

@@ -1,0 +1,289 @@
+"""Compiled %ROW rendering must be indistinguishable from interpreted.
+
+Two layers of guarantees:
+
+* unit: ``compile_row_template`` classifies implicit references exactly
+  as ``VariableStore.lookup`` would resolve them, and refuses anything
+  else;
+* end-to-end: rendering a macro with ``compiled_reports=True`` (the
+  default) is byte-identical to ``compiled_reports=False`` across the
+  Appendix A application, the examples-style macros, and crafted edge
+  cases (case-insensitive forms, duplicate columns, stale system
+  variables from earlier sections, user variables forcing fallback).
+"""
+
+import pytest
+
+from repro.apps import urlquery as urlquery_app
+from repro.core import compiled as compiled_mod
+from repro.core.compiled import compile_row_template
+from repro.core.engine import EngineConfig, MacroEngine
+from repro.core.parser import parse_macro
+from repro.core.report import LIST_CONCAT_SEPARATOR
+from repro.core.values import ValueString
+from repro.sql.gateway import DatabaseRegistry
+
+
+def test_list_separator_matches_report_module():
+    assert compiled_mod.LIST_CONCAT_SEPARATOR == LIST_CONCAT_SEPARATOR
+
+
+# ----------------------------------------------------------------------
+# Unit: classification
+# ----------------------------------------------------------------------
+
+COLUMNS = ("id", "Name", "price")
+
+
+def compiles(text, columns=COLUMNS):
+    return compile_row_template(ValueString.parse(text), columns)
+
+
+class TestClassification:
+    def test_positional_and_named_forms_compile(self):
+        assert compiles("$(V1) $(V2) $(V3)") is not None
+        assert compiles("$(V_id) $(V.Name) $(N_price)") is not None
+        assert compiles("$(ROW_NUM) $(VLIST) $(NLIST) $(N1)") is not None
+
+    def test_case_insensitive_forms_compile(self):
+        assert compiles("$(V_NAME) $(v_name) $(V.PRICE)") is not None
+
+    def test_escapes_and_literals_compile(self):
+        assert compiles("x $$(hidden) y") is not None
+
+    def test_user_variable_falls_back(self):
+        assert compiles("$(V1) $(D2)") is None
+
+    def test_out_of_range_index_falls_back(self):
+        assert compiles("$(V4)") is None
+        assert compiles("$(N0)") is None
+
+    def test_zero_padded_index_falls_back(self):
+        # The store installs V1, not V01; V01 may be a user variable.
+        assert compiles("$(V01)") is None
+
+    def test_unknown_column_falls_back(self):
+        assert compiles("$(V_total)") is None
+
+    def test_lowercase_positional_falls_back(self):
+        # V1 is installed case-sensitively; $(v1) is a user variable.
+        assert compiles("$(v1)") is None
+
+    def test_rowcount_falls_back(self):
+        # ROWCOUNT is only set after the row loop.
+        assert compiles("$(ROWCOUNT)") is None
+
+    def test_render_by_index(self):
+        plan = compiles("[$(V1)|$(V_Name)|$(ROW_NUM)|$(VLIST)]")
+        assert plan.render((7, "ann", 2.5), 3) == "[7|ann|3|7 ann 2.5]"
+
+    def test_duplicate_column_last_wins(self):
+        plan = compiles("$(V_x)", columns=("x", "y", "x"))
+        assert plan.render(("first", "mid", "last"), 1) == "last"
+
+    def test_memoised_plan_reused(self):
+        template = ValueString.parse("$(V1)!")
+        first = compile_row_template(template, COLUMNS)
+        second = compile_row_template(template, COLUMNS)
+        assert first is second
+
+
+# ----------------------------------------------------------------------
+# End-to-end byte identity
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def registry():
+    reg = DatabaseRegistry()
+    db = reg.register_memory("SHOP")
+    with db.connect() as conn:
+        conn.executescript("""
+            CREATE TABLE items (id INTEGER, Name TEXT, price REAL);
+            INSERT INTO items VALUES
+                (1, 'anvil', 9.5),
+                (2, 'rope & <hook>', 3.25),
+                (3, 'x''y "q"', 0.0),
+                (4, NULL, 12.75);
+        """)
+    return reg
+
+
+def both_ways(registry, macro_text, inputs=(), escape=False):
+    """Render with compiled templates on and off; return both htmls."""
+    macro = parse_macro(macro_text)
+    on = MacroEngine(registry, config=EngineConfig(
+        escape_report_values=escape))
+    off = MacroEngine(registry, config=EngineConfig(
+        escape_report_values=escape, compiled_reports=False))
+    html_on = on.execute_report(macro, list(inputs)).html
+    html_off = off.execute_report(macro, list(inputs)).html
+    return html_on, html_off
+
+
+HEADER = '%DEFINE DATABASE = "SHOP"\n'
+
+
+class TestByteIdentity:
+    def test_implicit_only_template(self, registry):
+        on, off = both_ways(registry, HEADER + """
+%SQL{ SELECT id, Name, price FROM items ORDER BY id
+%SQL_REPORT{<TABLE>
+%ROW{<TR><TD>$(ROW_NUM)</TD><TD>$(V1)</TD><TD>$(V_Name)</TD>
+<TD>$(V.price)</TD><TD>$(VLIST)</TD></TR>
+%}</TABLE><P>$(ROW_NUM) of $(ROWCOUNT)</P>
+%}
+%}
+%HTML_REPORT{%EXEC_SQL%}
+""")
+        assert on == off
+        assert "anvil" in on and "rope & <hook>" in on
+
+    def test_escaped_values_mode(self, registry):
+        on, off = both_ways(registry, HEADER + """
+%SQL{ SELECT Name FROM items ORDER BY id
+%SQL_REPORT{%ROW{<P>$(V1) / $(VLIST)</P>
+%}%}
+%}
+%HTML_REPORT{%EXEC_SQL%}
+""", escape=True)
+        assert on == off
+        assert "&lt;hook&gt;" in on
+
+    def test_case_insensitive_references(self, registry):
+        on, off = both_ways(registry, HEADER + """
+%SQL{ SELECT id, Name FROM items ORDER BY id
+%SQL_REPORT{%ROW{$(V_ID)=$(v_name)|$(N_NAME)
+%}%}
+%}
+%HTML_REPORT{%EXEC_SQL%}
+""")
+        assert on == off
+
+    def test_user_variable_forces_fallback_identically(self, registry):
+        on, off = both_ways(registry, HEADER + """
+%DEFINE note = "N:$(V1)"
+%SQL{ SELECT id, Name FROM items ORDER BY id
+%SQL_REPORT{%ROW{$(note) $(V2)
+%}%}
+%}
+%HTML_REPORT{%EXEC_SQL%}
+""")
+        assert on == off
+        assert "N:1" in on  # lazy: note re-evaluates per row
+
+    def test_rpt_maxrows_and_start_row(self, registry):
+        on, off = both_ways(registry, HEADER + """
+%DEFINE RPT_MAXROWS = "2"
+%DEFINE START_ROW_NUM = "2"
+%SQL{ SELECT id FROM items ORDER BY id
+%SQL_REPORT{%ROW{[$(ROW_NUM):$(V1)]
+%}<P>total $(ROW_NUM)</P>
+%}
+%}
+%HTML_REPORT{%EXEC_SQL%}
+""")
+        assert on == off
+        assert "[2:2]" in on and "[3:3]" in on and "[1:1]" not in on
+        assert "total 4" in on
+
+    def test_stale_exact_shadow_from_earlier_section(self, registry):
+        """Section 1 retrieves column ``qty`` (installing exact V_qty);
+        section 2 has column ``QTY`` only.  The interpreted lookup of
+        ``$(V_qty)`` in section 2 sees section 1's stale exact system
+        variable — the compiled path must detect the shadow and fall
+        back so both paths agree."""
+        on, off = both_ways(registry, HEADER + """
+%SQL(first){ SELECT id AS qty FROM items WHERE id = 1
+%SQL_REPORT{%ROW{a=$(V_qty)
+%}%}
+%}
+%SQL(second){ SELECT id * 10 AS QTY FROM items WHERE id = 2
+%SQL_REPORT{%ROW{b=$(V_qty)
+%}%}
+%}
+%HTML_REPORT{%EXEC_SQL(first)%EXEC_SQL(second)%}
+""")
+        assert on == off
+        # The stale exact spelling wins in section 2: still "1", not 20.
+        assert "a=1" in on and "b=1" in on
+
+    def test_footer_sees_last_row_state(self, registry):
+        on, off = both_ways(registry, HEADER + """
+%SQL{ SELECT id, Name FROM items ORDER BY id
+%SQL_REPORT{%ROW{.%}last=$(V1)/$(V_Name) vl=[$(VLIST)]
+%}
+%}
+%HTML_REPORT{%EXEC_SQL%}
+""")
+        assert on == off
+        assert "last=4/" in on
+
+    def test_later_section_sees_installed_values(self, registry):
+        """System variables installed by one section leak into the next
+        (paper behaviour); compiled rendering must leave identical
+        state."""
+        on, off = both_ways(registry, HEADER + """
+%SQL(a){ SELECT id FROM items ORDER BY id
+%SQL_REPORT{%ROW{%}%}
+%}
+%SQL(b){ SELECT Name FROM items WHERE id = $(V1)
+%SQL_REPORT{%ROW{got $(V1)
+%}%}
+%}
+%HTML_REPORT{%EXEC_SQL(a)%EXEC_SQL(b)%}
+""")
+        assert on == off
+        assert "got " in on
+
+    def test_zero_rows(self, registry):
+        on, off = both_ways(registry, HEADER + """
+%SQL{ SELECT id, Name FROM items WHERE id > 999
+%SQL_REPORT{head %ROW{$(V1)%}tail $(ROW_NUM)
+%}
+%}
+%HTML_REPORT{%EXEC_SQL%}
+""")
+        assert on == off
+        assert "tail 0" in on
+
+    def test_default_table_format(self, registry):
+        on, off = both_ways(registry, HEADER + """
+%SQL{ SELECT id, Name, price FROM items ORDER BY id %}
+%HTML_REPORT{%EXEC_SQL%}
+""")
+        assert on == off
+        assert "<TABLE BORDER=1>" in on and "&lt;hook&gt;" in on
+
+    def test_default_table_with_maxrows(self, registry):
+        on, off = both_ways(registry, HEADER + """
+%DEFINE RPT_MAXROWS = "1"
+%SQL{ SELECT id FROM items ORDER BY id %}
+%HTML_REPORT{%EXEC_SQL <P>$(ROW_NUM)</P>%}
+""")
+        assert on == off
+        assert on.count("<TD>") == 1
+        assert "<P>4</P>" in on
+
+
+class TestAppendixAApplication:
+    """The paper's complete worked example, both macro modes."""
+
+    @pytest.mark.parametrize("inputs", [
+        urlquery_app.FIGURE3_BINDINGS,
+        [("SEARCH", "ib"), ("USE_URL", "yes"), ("USE_TITLE", "yes"),
+         ("DBFIELDS", "title")],
+        [("SEARCH", ""), ("DBFIELDS", "title"),
+         ("DBFIELDS", "description"), ("SHOWSQL", "YES")],
+    ])
+    def test_report_byte_identical(self, inputs):
+        app_on = urlquery_app.install(rows=40)
+        html_on = app_on.engine.execute_report(
+            app_on.library.load(app_on.macro_name), list(inputs)).html
+
+        app_off = urlquery_app.install(
+            rows=40, engine=MacroEngine(
+                None, config=EngineConfig(compiled_reports=False)))
+        html_off = app_off.engine.execute_report(
+            app_off.library.load(app_off.macro_name), list(inputs)).html
+        assert html_on == html_off

@@ -103,6 +103,97 @@ class TestConnectionPool:
         with pytest.raises(ValueError):
             ConnectionPool(db.connect, size=0)
 
+    def test_failing_factory_reclaims_capacity(self, db):
+        """A factory exception must not permanently shrink the pool."""
+        attempts = {"n": 0}
+
+        def flaky():
+            attempts["n"] += 1
+            if attempts["n"] == 1:
+                raise RuntimeError("transient connect failure")
+            return db.connect()
+
+        pool = ConnectionPool(flaky, size=1, timeout=0.05)
+        with pytest.raises(RuntimeError):
+            pool.acquire()
+        assert pool.stats["created"] == 0  # slot reclaimed
+        conn = pool.acquire()  # retry succeeds; no PoolExhaustedError
+        assert not conn.closed
+        pool.release(conn)
+        pool.close()
+
+    def test_dead_connection_retry_is_iterative(self, db):
+        """Draining many dead idle connections must not recurse."""
+        pool = ConnectionPool(db.connect, size=3)
+        conns = [pool.acquire() for _ in range(3)]
+        for conn in conns:
+            conn.close()
+            pool.release(conn)
+        # released-closed connections were dropped at release time; a new
+        # acquire creates a fresh one without blowing the stack.
+        fresh = pool.acquire()
+        assert not fresh.closed
+        pool.release(fresh)
+        pool.close()
+
+
+class TestConnectionPoolConcurrency:
+    def test_sixteen_threads_with_flaky_factory(self, db):
+        """Hammer the pool from 16 threads with a sometimes-failing
+        factory: capacity must never leak, every thread must finish, and
+        the pool must still satisfy requests afterwards."""
+        import random
+
+        rng = random.Random(96)
+        fail_lock = threading.Lock()
+
+        def flaky():
+            with fail_lock:
+                fail = rng.random() < 0.3
+            if fail:
+                raise RuntimeError("flaky connect")
+            return db.connect()
+
+        pool = ConnectionPool(flaky, size=4, timeout=1.0)
+        errors: list[Exception] = []
+        done = []
+
+        def worker():
+            for _ in range(50):
+                try:
+                    conn = pool.acquire()
+                except RuntimeError:
+                    continue  # transient factory failure: retry later
+                except PoolExhaustedError as exc:  # pragma: no cover
+                    errors.append(exc)
+                    continue
+                try:
+                    assert conn.execute(
+                        "SELECT x FROM p").fetchone() == (1,)
+                finally:
+                    pool.release(conn)
+            done.append(True)
+
+        threads = [threading.Thread(target=worker) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(done) == 16
+        assert not errors, f"pool exhausted despite reclaim: {errors[:3]}"
+        stats = pool.stats
+        assert 0 <= stats["created"] <= 4
+        # The pool still works at full capacity after the storm.
+        survivors = []
+        while len(survivors) < stats["size"]:
+            try:
+                survivors.append(pool.acquire())
+            except RuntimeError:
+                continue
+        for conn in survivors:
+            pool.release(conn)
+        pool.close()
+
 
 class TestPerRequestPool:
     def test_fresh_connection_each_time(self, db):

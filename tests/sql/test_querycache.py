@@ -1,0 +1,244 @@
+"""Query-result cache: LRU semantics, write-generation invalidation,
+transaction-mode bypass, and the counters the metrics surfaces read."""
+
+import pytest
+
+from repro.core.engine import EngineConfig, MacroEngine
+from repro.core.parser import parse_macro
+from repro.sql.gateway import (DatabaseRegistry, ExecutionResult,
+                               MacroSqlSession)
+from repro.sql.querycache import QueryResultCache, WriteGeneration
+from repro.sql.transactions import TransactionMode
+
+
+def query_result(sql="SELECT 1", rows=((1,),)):
+    return ExecutionResult(sql=sql, columns=["c"], rows=list(rows),
+                           rowcount=len(rows), is_query=True)
+
+
+class TestWriteGeneration:
+    def test_bump_is_monotonic(self):
+        gen = WriteGeneration()
+        assert gen.value == 0
+        assert gen.bump() == 1
+        assert gen.bump() == 2
+        assert gen.value == 2
+
+
+class TestQueryResultCacheUnit:
+    def test_miss_then_hit(self):
+        cache = QueryResultCache()
+        assert cache.get("DB", "SELECT 1", 0) is None
+        result = query_result()
+        assert cache.put("DB", "SELECT 1", 0, result)
+        assert cache.get("DB", "SELECT 1", 0) is result
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1,
+                                 "evictions": 0, "invalidations": 0,
+                                 "entries": 1}
+
+    def test_stale_generation_invalidates(self):
+        cache = QueryResultCache()
+        cache.put("DB", "SELECT 1", 3, query_result())
+        assert cache.get("DB", "SELECT 1", 4) is None
+        stats = cache.stats()
+        assert stats["invalidations"] == 1
+        assert stats["entries"] == 0  # dropped, not retained stale
+
+    def test_keys_scoped_by_database(self):
+        cache = QueryResultCache()
+        a, b = query_result(), query_result()
+        cache.put("A", "SELECT 1", 0, a)
+        cache.put("B", "SELECT 1", 0, b)
+        assert cache.get("A", "SELECT 1", 0) is a
+        assert cache.get("B", "SELECT 1", 0) is b
+
+    def test_lru_eviction_order(self):
+        cache = QueryResultCache(max_entries=2)
+        cache.put("DB", "q1", 0, query_result("q1"))
+        cache.put("DB", "q2", 0, query_result("q2"))
+        cache.get("DB", "q1", 0)  # touch q1: q2 becomes LRU
+        cache.put("DB", "q3", 0, query_result("q3"))
+        assert cache.get("DB", "q1", 0) is not None
+        assert cache.get("DB", "q2", 0) is None  # evicted
+        assert cache.stats()["evictions"] == 1
+
+    def test_refuses_non_query(self):
+        cache = QueryResultCache()
+        write = ExecutionResult(sql="INSERT INTO t VALUES (1)",
+                                rowcount=1, is_query=False)
+        assert not cache.put("DB", write.sql, 0, write)
+        assert len(cache) == 0
+
+    def test_refuses_oversized_result(self):
+        cache = QueryResultCache(max_rows_per_entry=2)
+        big = query_result(rows=[(1,), (2,), (3,)])
+        assert not cache.put("DB", "big", 0, big)
+        small = query_result(rows=[(1,), (2,)])
+        assert cache.put("DB", "small", 0, small)
+
+    def test_invalidate_database_is_scoped(self):
+        cache = QueryResultCache()
+        cache.put("A", "q", 0, query_result())
+        cache.put("B", "q", 0, query_result())
+        assert cache.invalidate_database("A") == 1
+        assert cache.get("A", "q", 0) is None
+        assert cache.get("B", "q", 0) is not None
+
+    def test_hit_rate_and_reset(self):
+        cache = QueryResultCache()
+        assert cache.hit_rate == 0.0
+        cache.put("DB", "q", 0, query_result())
+        cache.get("DB", "q", 0)
+        cache.get("DB", "other", 0)
+        assert cache.hit_rate == pytest.approx(0.5)
+        cache.reset_stats()
+        assert cache.stats()["hits"] == 0
+        assert len(cache) == 1  # entries survive a stats reset
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            QueryResultCache(max_entries=0)
+
+
+# ----------------------------------------------------------------------
+# End-to-end through the engine
+# ----------------------------------------------------------------------
+
+READ_MACRO = """\
+%DEFINE DATABASE = "INV"
+%SQL{ SELECT id, label FROM stock ORDER BY id
+%SQL_REPORT{%ROW{[$(V1):$(V2)]%}
+%}
+%}
+%HTML_REPORT{%EXEC_SQL%}
+"""
+
+WRITE_MACRO_TEMPLATE = """\
+%DEFINE DATABASE = "INV"
+%SQL{ {STATEMENT} %}
+%HTML_REPORT{%EXEC_SQL done%}
+"""
+
+
+@pytest.fixture()
+def setup():
+    registry = DatabaseRegistry()
+    db = registry.register_memory("INV")
+    with db.connect() as conn:
+        conn.executescript("""
+            CREATE TABLE stock (id INTEGER, label TEXT);
+            INSERT INTO stock VALUES (1, 'bolt'), (2, 'nut');
+        """)
+    cache = QueryResultCache()
+    config = EngineConfig()
+    config.query_cache = cache
+    engine = MacroEngine(registry, config=config)
+    return registry, db, cache, engine
+
+
+def run_read(engine):
+    return engine.execute_report(parse_macro(READ_MACRO), []).html
+
+
+def run_write(engine, statement):
+    macro = WRITE_MACRO_TEMPLATE.replace("{STATEMENT}", statement)
+    return engine.execute_report(parse_macro(macro), []).html
+
+
+class TestEngineIntegration:
+    def test_repeated_select_hits_cache(self, setup):
+        _, _, cache, engine = setup
+        first = run_read(engine)
+        second = run_read(engine)
+        assert first == second
+        stats = cache.stats()
+        assert stats == {"hits": 1, "misses": 1, "stores": 1,
+                         "evictions": 0, "invalidations": 0, "entries": 1}
+
+    @pytest.mark.parametrize("statement,visible,gone", [
+        ("INSERT INTO stock VALUES (3, 'washer')", "[3:washer]", None),
+        ("UPDATE stock SET label = 'BOLT' WHERE id = 1",
+         "[1:BOLT]", "[1:bolt]"),
+        ("DELETE FROM stock WHERE id = 2", None, "[2:nut]"),
+    ])
+    def test_write_through_macro_invalidates(self, setup, statement,
+                                             visible, gone):
+        _, _, cache, engine = setup
+        run_read(engine)  # populate
+        run_write(engine, statement)
+        html = run_read(engine)
+        if visible:
+            assert visible in html
+        if gone:
+            assert gone not in html
+        stats = cache.stats()
+        assert stats["invalidations"] == 1
+        assert stats["hits"] == 0  # stale entry never served
+
+    def test_write_through_direct_connection_invalidates(self, setup):
+        """Out-of-band writes through ``db.connect()`` (not the engine)
+        still bump the adopted generation counter."""
+        _, db, cache, engine = setup
+        run_read(engine)
+        with db.connect() as conn:
+            conn.execute("INSERT INTO stock VALUES (9, 'direct')")
+        html = run_read(engine)
+        assert "[9:direct]" in html
+        assert cache.stats()["invalidations"] == 1
+
+    def test_single_mode_bypasses_cache(self, setup):
+        registry, _, cache, _ = setup
+        config = EngineConfig(transaction_mode=TransactionMode.SINGLE)
+        config.query_cache = cache
+        engine = MacroEngine(registry, config=config)
+        run_read(engine)
+        run_read(engine)
+        stats = cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+        assert stats["entries"] == 0
+
+    def test_non_query_not_cached(self, setup):
+        _, _, cache, engine = setup
+        run_write(engine, "INSERT INTO stock VALUES (4, 'pin')")
+        assert cache.stats()["stores"] == 0
+
+    def test_no_cache_configured_still_works(self, setup):
+        registry, _, _, _ = setup
+        engine = MacroEngine(registry)  # default config: no cache
+        assert "[1:bolt]" in run_read(engine)
+
+
+class TestSessionLevel:
+    def test_session_counts_its_hits(self, setup):
+        registry, _, cache, _ = setup
+        session = MacroSqlSession(registry.connect("INV"), cache=cache,
+                                  database="INV")
+        try:
+            session.execute("SELECT id FROM stock ORDER BY id")
+            assert session.cache_hits == 0
+            session.execute("SELECT id FROM stock ORDER BY id")
+            assert session.cache_hits == 1
+            # statements_run still counts the cached statement.
+            assert session.scope.statements_run == 2
+        finally:
+            session.finish()
+
+    def test_unregistered_connection_has_no_generation(self):
+        """A bare connection outside any registry carries no generation,
+        so the cache is (soundly) bypassed."""
+        from repro.sql.connection import MemoryDatabase
+
+        db = MemoryDatabase()
+        with db.connect() as conn:
+            conn.execute("CREATE TABLE t (x)")
+        cache = QueryResultCache()
+        raw = db.connect()
+        raw.generation = None  # simulate a foreign connection
+        session = MacroSqlSession(raw, cache=cache, database="X")
+        try:
+            session.execute("SELECT x FROM t")
+            session.execute("SELECT x FROM t")
+            assert session.cache_hits == 0
+            assert cache.stats()["misses"] == 0  # never consulted
+        finally:
+            session.finish()
