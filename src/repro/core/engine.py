@@ -83,8 +83,12 @@ class EngineConfig:
         set, identical SELECTs are served from cache until a write to
         the same database bumps its generation.  ``None`` (default)
         disables result reuse.  Share one instance across engines to
-        share its budget; bypassed automatically in ``SINGLE``
-        transaction mode.
+        share its budget — cache stamps embed each write counter's
+        identity, so engines with *separate* registries stay correct
+        even when database names collide (they contend for the same
+        cache keys, though, so engines meant to share results should
+        share a :class:`~repro.sql.gateway.DatabaseRegistry`).
+        Bypassed automatically in ``SINGLE`` transaction mode.
     """
 
     transaction_mode: TransactionMode = TransactionMode.AUTO_COMMIT

@@ -77,10 +77,13 @@ class Connection:
         self._lock = threading.RLock()
         self._closed = False
         self._in_transaction = False
+        self._write_pending = False
         #: Shared per-database write counter (attached by the registry
         #: or a :class:`MemoryDatabase`); any non-query statement that
-        #: runs through :meth:`execute`/:meth:`executescript` bumps it so
-        #: the query-result cache invalidates (see repro.sql.querycache).
+        #: runs through :meth:`execute`/:meth:`executescript` bumps it —
+        #: at execution time and again when the enclosing transaction
+        #: ends — so the query-result cache invalidates (see
+        #: repro.sql.querycache).
         self.generation: Optional[WriteGeneration] = None
 
     # -- lifecycle ------------------------------------------------------
@@ -127,7 +130,15 @@ class Connection:
             if self.generation is not None and not is_query(sql):
                 # Conservative: bump even if the statement is later
                 # rolled back — an extra cache miss is always sound.
+                # Inside an explicit transaction the write is not yet
+                # visible to other connections, so a second bump is
+                # owed at COMMIT/ROLLBACK: a reader that sees this
+                # post-execute generation but snapshots pre-commit data
+                # must not have its cached result stay current once the
+                # write lands.
                 self.generation.bump()
+                if self._in_transaction:
+                    self._write_pending = True
             return Cursor(raw_cursor, sql)
 
     def executescript(self, script: str) -> None:
@@ -138,6 +149,11 @@ class Connection:
                 self._raw.executescript(script)
             except sqlite3.Error as exc:
                 raise translate_error(exc, script) from exc
+            # ``executescript`` implicitly commits before it runs and
+            # autocommits each statement, so one post-commit bump is
+            # enough; any bump owed by the flushed transaction is
+            # covered by it too.
+            self._write_pending = False
             if self.generation is not None:
                 self.generation.bump()
 
@@ -157,6 +173,7 @@ class Connection:
             if self._in_transaction:
                 self._raw.execute("COMMIT")
                 self._in_transaction = False
+                self._flush_pending_write()
 
     def rollback(self) -> None:
         with self._lock:
@@ -164,6 +181,21 @@ class Connection:
             if self._in_transaction:
                 self._raw.execute("ROLLBACK")
                 self._in_transaction = False
+                self._flush_pending_write()
+
+    def _flush_pending_write(self) -> None:
+        """Bump the generation for writes the just-ended transaction made.
+
+        Ordered *after* COMMIT so that once the new generation is
+        observable, the data it stands for is already visible; results
+        computed during the uncommitted window sit under the pre-flush
+        generation and can never be served again.  Rollback also flushes
+        — conservative, costing at most a miss.
+        """
+        if self._write_pending:
+            self._write_pending = False
+            if self.generation is not None:
+                self.generation.bump()
 
     @property
     def in_transaction(self) -> bool:

@@ -18,6 +18,13 @@ _VERB_RE = re.compile(r"^\s*([A-Za-z]+)")
 #: Verbs that produce a result set the report generator must render.
 QUERY_VERBS = frozenset({"SELECT", "VALUES", "WITH", "EXPLAIN", "PRAGMA"})
 
+#: Query verbs whose result sets are safe to reuse across requests:
+#: pure reads of table data.  ``PRAGMA`` and ``EXPLAIN`` return rows but
+#: are excluded — a PRAGMA can read or *write* per-connection and
+#: database state without registering as a write anywhere else, and
+#: EXPLAIN output reflects the planner, not just the data.
+CACHEABLE_VERBS = frozenset({"SELECT", "VALUES", "WITH"})
+
 #: Verbs that modify data (relevant to transaction modes, Section 5).
 UPDATE_VERBS = frozenset({"INSERT", "UPDATE", "DELETE", "REPLACE", "MERGE"})
 
@@ -40,6 +47,11 @@ def statement_verb(sql: str) -> str:
 def is_query(sql: str) -> bool:
     """True when the statement returns a result set."""
     return statement_verb(sql) in QUERY_VERBS
+
+
+def is_cacheable_query(sql: str) -> bool:
+    """True when the statement's result set may be reused across requests."""
+    return statement_verb(sql) in CACHEABLE_VERBS
 
 
 def is_update(sql: str) -> bool:

@@ -16,7 +16,7 @@ from typing import Any, Callable, Iterator, Optional
 from repro.errors import SQLError, SQLObjectError
 from repro.sql.connection import Connection, MemoryDatabase
 from repro.sql.cursor import Cursor, value_to_text
-from repro.sql.dialect import is_query
+from repro.sql.dialect import is_cacheable_query, is_query
 from repro.sql.querycache import QueryResultCache, WriteGeneration
 from repro.sql.transactions import TransactionMode, TransactionScope
 
@@ -139,19 +139,21 @@ class MacroSqlSession:
         engine sees the exception).
 
         When a query cache is attached (and usable — auto-commit mode,
-        query statement, generation counter present), an unexpired cached
-        result is returned without touching the database; a fresh result
-        is stored under the generation observed *before* execution, so a
-        concurrent write can only make the entry stale, never wrong.
+        pure-read statement (``SELECT``/``VALUES``/``WITH``; PRAGMA and
+        EXPLAIN always re-execute), generation counter present), an
+        unexpired cached result is returned without touching the
+        database; a fresh result is stored under the generation stamp
+        observed *before* execution, so a concurrent write can only make
+        the entry stale, never wrong.
         """
         self.statement_log.append(sql)
         use_cache = (self.cache is not None
                      and self.generation is not None
                      and self.scope.mode is not TransactionMode.SINGLE
-                     and is_query(sql))
+                     and is_cacheable_query(sql))
         if use_cache:
-            generation = self.generation.value
-            cached = self.cache.get(self.database, sql, generation)
+            stamp = self.generation.stamp()
+            cached = self.cache.get(self.database, sql, stamp)
             if cached is not None:
                 self.cache_hits += 1
                 self.scope.statements_run += 1  # counted, not bracketed
@@ -165,7 +167,7 @@ class MacroSqlSession:
         result = self._drain(cursor, sql)
         self.scope.after_statement(None)
         if use_cache and result.is_query:
-            self.cache.put(self.database, sql, generation, result)
+            self.cache.put(self.database, sql, stamp, result)
         return result
 
     @staticmethod

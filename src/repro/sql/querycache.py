@@ -10,16 +10,27 @@ sql_text)`` turns the repeat into a dictionary hit.
 
 Consistency comes from **write generations**, not TTLs.  Every named
 database carries a :class:`WriteGeneration` counter that any non-query
-statement bumps (conservatively: a rolled-back write still bumps, which
-can only cause an unnecessary miss, never a stale hit).  A cache entry
-remembers the generation observed *before* its query executed; a lookup
-whose current generation differs discards the entry.  There is therefore
-no window in which a committed write is visible to the database but not
-to cache consumers.
+statement bumps — once when the statement executes and again when its
+enclosing transaction ends (COMMIT or ROLLBACK; see
+:meth:`repro.sql.connection.Connection.commit`).  The double bump is
+what closes the uncommitted-write window: a reader that observes the
+post-execute generation and snapshots pre-commit data stores its result
+under a generation that the commit-time bump immediately makes stale.
+Bumping is conservative — a rolled-back write still bumps, which can
+only cause an unnecessary miss, never a stale hit.  A cache entry
+remembers the generation :meth:`~WriteGeneration.stamp` observed
+*before* its query executed; a lookup whose current stamp differs
+discards the entry.  There is therefore no window in which a committed
+write is visible to the database but not to cache consumers.  Stamps
+embed the counter's process-unique identity, so two registries that
+happen to register the same database name can share one cache without
+their generation numbers colliding.
 
 The cache is bypassed entirely:
 
-* for non-query statements (nothing reusable),
+* for statements that are not pure reads of table data — only
+  ``SELECT``/``VALUES``/``WITH`` results are reusable; ``PRAGMA`` and
+  ``EXPLAIN`` return rows but read (or mutate!) per-connection state,
 * in ``TransactionMode.SINGLE`` (Section 5's all-or-nothing mode: a
   macro's reads must see its own uncommitted writes and participate in
   the transaction bracket),
@@ -33,9 +44,12 @@ by all consumers (the report generator only reads them).
 
 from __future__ import annotations
 
+import itertools
 import threading
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Hashable, Optional
+
+from repro.sql.dialect import is_cacheable_query
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sql.gateway import ExecutionResult
@@ -44,13 +58,22 @@ __all__ = ["QueryResultCache", "WriteGeneration"]
 
 
 class WriteGeneration:
-    """A monotonically increasing per-database write counter."""
+    """A monotonically increasing per-database write counter.
 
-    __slots__ = ("_value", "_lock")
+    Each counter also carries a process-unique ``token``; cache lookups
+    compare :meth:`stamp` (token *and* value) so counters created by
+    different registries can never alias each other in a shared cache,
+    even when their integer values coincide.
+    """
+
+    __slots__ = ("_value", "_lock", "token")
+
+    _tokens = itertools.count(1)
 
     def __init__(self) -> None:
         self._value = 0
         self._lock = threading.Lock()
+        self.token = next(WriteGeneration._tokens)
 
     def bump(self) -> int:
         """Record a write; returns the new generation."""
@@ -61,6 +84,10 @@ class WriteGeneration:
     @property
     def value(self) -> int:
         return self._value
+
+    def stamp(self) -> tuple[int, int]:
+        """An opaque cache stamp: this counter's identity plus its value."""
+        return (self.token, self._value)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"WriteGeneration({self._value})"
@@ -82,7 +109,7 @@ class QueryResultCache:
             raise ValueError("max_entries must be at least 1")
         self.max_entries = max_entries
         self.max_rows_per_entry = max_rows_per_entry
-        self._entries: "OrderedDict[tuple[str, str], tuple[int, ExecutionResult]]" = OrderedDict()
+        self._entries: "OrderedDict[tuple[str, str], tuple[Hashable, ExecutionResult]]" = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
@@ -93,8 +120,13 @@ class QueryResultCache:
     # -- lookup / store -------------------------------------------------
 
     def get(self, database: str, sql: str,
-            generation: int) -> Optional["ExecutionResult"]:
-        """The cached result, or ``None`` on miss or stale generation."""
+            generation: Hashable) -> Optional["ExecutionResult"]:
+        """The cached result, or ``None`` on miss or stale generation.
+
+        ``generation`` is compared for equality with the value recorded
+        at :meth:`put` time — typically a :meth:`WriteGeneration.stamp`
+        tuple (a bare int also works for standalone use).
+        """
         key = (database, sql)
         with self._lock:
             entry = self._entries.get(key)
@@ -111,10 +143,14 @@ class QueryResultCache:
             self._hits += 1
             return result
 
-    def put(self, database: str, sql: str, generation: int,
+    def put(self, database: str, sql: str, generation: Hashable,
             result: "ExecutionResult") -> bool:
         """Cache ``result``; False when it is not cacheable."""
         if not result.is_query:
+            return False
+        if not is_cacheable_query(sql):
+            # PRAGMA/EXPLAIN and anything else that returns rows without
+            # being a pure data read must re-execute on every request.
             return False
         if len(result.rows) > self.max_rows_per_entry:
             return False

@@ -54,12 +54,12 @@ class TestQueryResultCacheUnit:
 
     def test_lru_eviction_order(self):
         cache = QueryResultCache(max_entries=2)
-        cache.put("DB", "q1", 0, query_result("q1"))
-        cache.put("DB", "q2", 0, query_result("q2"))
-        cache.get("DB", "q1", 0)  # touch q1: q2 becomes LRU
-        cache.put("DB", "q3", 0, query_result("q3"))
-        assert cache.get("DB", "q1", 0) is not None
-        assert cache.get("DB", "q2", 0) is None  # evicted
+        cache.put("DB", "SELECT 1", 0, query_result("SELECT 1"))
+        cache.put("DB", "SELECT 2", 0, query_result("SELECT 2"))
+        cache.get("DB", "SELECT 1", 0)  # touch: SELECT 2 becomes LRU
+        cache.put("DB", "SELECT 3", 0, query_result("SELECT 3"))
+        assert cache.get("DB", "SELECT 1", 0) is not None
+        assert cache.get("DB", "SELECT 2", 0) is None  # evicted
         assert cache.stats()["evictions"] == 1
 
     def test_refuses_non_query(self):
@@ -69,31 +69,50 @@ class TestQueryResultCacheUnit:
         assert not cache.put("DB", write.sql, 0, write)
         assert len(cache) == 0
 
+    def test_refuses_pragma_and_explain(self):
+        """PRAGMA/EXPLAIN return rows but read (or mutate) per-connection
+        state, so their results must never be reused."""
+        cache = QueryResultCache()
+        for sql in ("PRAGMA user_version", "EXPLAIN SELECT 1"):
+            assert not cache.put("DB", sql, 0, query_result(sql))
+        assert len(cache) == 0
+
     def test_refuses_oversized_result(self):
         cache = QueryResultCache(max_rows_per_entry=2)
         big = query_result(rows=[(1,), (2,), (3,)])
-        assert not cache.put("DB", "big", 0, big)
+        assert not cache.put("DB", "SELECT big", 0, big)
         small = query_result(rows=[(1,), (2,)])
-        assert cache.put("DB", "small", 0, small)
+        assert cache.put("DB", "SELECT small", 0, small)
 
     def test_invalidate_database_is_scoped(self):
         cache = QueryResultCache()
-        cache.put("A", "q", 0, query_result())
-        cache.put("B", "q", 0, query_result())
+        cache.put("A", "SELECT 1", 0, query_result())
+        cache.put("B", "SELECT 1", 0, query_result())
         assert cache.invalidate_database("A") == 1
-        assert cache.get("A", "q", 0) is None
-        assert cache.get("B", "q", 0) is not None
+        assert cache.get("A", "SELECT 1", 0) is None
+        assert cache.get("B", "SELECT 1", 0) is not None
 
     def test_hit_rate_and_reset(self):
         cache = QueryResultCache()
         assert cache.hit_rate == 0.0
-        cache.put("DB", "q", 0, query_result())
-        cache.get("DB", "q", 0)
-        cache.get("DB", "other", 0)
+        cache.put("DB", "SELECT 1", 0, query_result())
+        cache.get("DB", "SELECT 1", 0)
+        cache.get("DB", "SELECT 2", 0)
         assert cache.hit_rate == pytest.approx(0.5)
         cache.reset_stats()
         assert cache.stats()["hits"] == 0
         assert len(cache) == 1  # entries survive a stats reset
+
+    def test_stamps_from_distinct_counters_never_alias(self):
+        """Equal integer values from two different WriteGeneration
+        counters must not validate each other's entries."""
+        cache = QueryResultCache()
+        gen_a, gen_b = WriteGeneration(), WriteGeneration()
+        assert gen_a.value == gen_b.value == 0
+        result_a = query_result()
+        cache.put("DB", "SELECT 1", gen_a.stamp(), result_a)
+        assert cache.get("DB", "SELECT 1", gen_b.stamp()) is None
+        assert cache.get("DB", "SELECT 1", gen_a.stamp()) is None  # dropped
 
     def test_rejects_bad_capacity(self):
         with pytest.raises(ValueError):
@@ -207,6 +226,59 @@ class TestEngineIntegration:
         engine = MacroEngine(registry)  # default config: no cache
         assert "[1:bolt]" in run_read(engine)
 
+    def test_read_during_uncommitted_write_never_served_after_commit(
+            self, tmp_path):
+        """The review-window race: a writer bumps the generation when its
+        statement executes, a reader then snapshots the *pre-commit* data
+        and caches it — the COMMIT-time bump must retire that entry, or
+        every later read serves stale rows (file-backed database so the
+        reader is not blocked by the open write transaction)."""
+        registry = DatabaseRegistry()
+        registry.register_path("INV", str(tmp_path / "race.db"))
+        with registry.connect("INV") as conn:
+            conn.executescript("""
+                CREATE TABLE stock (id INTEGER, label TEXT);
+                INSERT INTO stock VALUES (1, 'bolt'), (2, 'nut');
+            """)
+        cache = QueryResultCache()
+        config = EngineConfig()
+        config.query_cache = cache
+        engine = MacroEngine(registry, config=config)
+
+        writer = registry.connect("INV")
+        writer.begin()
+        writer.execute("UPDATE stock SET label = 'BOLT' WHERE id = 1")
+        # Reader runs inside the writer's uncommitted window: it sees
+        # (and caches) the old rows under the post-execute generation.
+        assert "[1:bolt]" in run_read(engine)
+        writer.commit()
+        writer.close()
+        # The commit bumped the generation again, so the windowed entry
+        # is stale and the committed data is what every read now sees.
+        assert "[1:BOLT]" in run_read(engine)
+        assert cache.stats()["hits"] == 0  # stale entry never served
+
+    def test_shared_cache_across_registries_does_not_collide(self):
+        """Two engines over *separate* registries that register the same
+        database name may share one cache: generation stamps embed the
+        counter identity, so neither serves the other's rows."""
+        cache = QueryResultCache()
+        engines = []
+        for label in ("alpha", "beta"):
+            registry = DatabaseRegistry()
+            db = registry.register_memory("INV")
+            with db.connect() as conn:
+                conn.executescript(f"""
+                    CREATE TABLE stock (id INTEGER, label TEXT);
+                    INSERT INTO stock VALUES (1, '{label}');
+                """)
+            config = EngineConfig()
+            config.query_cache = cache
+            engines.append(MacroEngine(registry, config=config))
+        assert "[1:alpha]" in run_read(engines[0])
+        assert "[1:beta]" in run_read(engines[1])
+        assert cache.stats()["hits"] == 0
+
 
 class TestSessionLevel:
     def test_session_counts_its_hits(self, setup):
@@ -220,6 +292,23 @@ class TestSessionLevel:
             assert session.cache_hits == 1
             # statements_run still counts the cached statement.
             assert session.scope.statements_run == 2
+        finally:
+            session.finish()
+
+    def test_pragma_bypasses_cache_and_always_executes(self, setup):
+        """A PRAGMA is a query (it returns rows) but must never be
+        cached: a side-effecting PRAGMA has to run on every request's
+        connection, and a PRAGMA read must see the latest state."""
+        registry, _, cache, _ = setup
+        session = MacroSqlSession(registry.connect("INV"), cache=cache,
+                                  database="INV")
+        try:
+            assert session.execute("PRAGMA user_version").rows == [(0,)]
+            session.execute("PRAGMA user_version = 5")
+            assert session.execute("PRAGMA user_version").rows == [(5,)]
+            assert session.cache_hits == 0
+            stats = cache.stats()
+            assert stats["stores"] == 0 and stats["misses"] == 0
         finally:
             session.finish()
 
