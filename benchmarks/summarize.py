@@ -43,6 +43,7 @@ EXPERIMENTS = {
     "bench_perf_concurrency": ("PERF-CONC", "Concurrent clients"),
     "bench_ext_scrollable": ("EXT-PAGE", "Scrollable cursor paging"),
     "bench_ext_keepalive": ("EXT-KEEPALIVE", "Persistent connections"),
+    "bench_resilience": ("RES", "Degraded-backend resilience"),
     "bench_abl": ("ABL", "Design-choice ablations"),
 }
 

@@ -8,6 +8,7 @@ standard input, and emitting a dynamically generated HTML page.
 
 from __future__ import annotations
 
+import math
 import traceback
 from typing import Callable, Protocol
 
@@ -15,8 +16,11 @@ from repro.cgi.request import CgiRequest, CgiResponse
 from repro.core.engine import MacroCommand, MacroEngine
 from repro.core.macrofile import MacroLibrary, MacroNameError
 from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
     MacroError,
     MacroExecutionError,
+    PoolExhaustedError,
     ReproError,
     SQLError,
     UnknownCgiProgramError,
@@ -65,6 +69,11 @@ class CgiGateway:
             raise UnknownCgiProgramError(f"no CGI program named {name!r}")
         try:
             return program.run(request)
+        except (CircuitOpenError, PoolExhaustedError) as exc:
+            return unavailable_response(exc)
+        except DeadlineExceededError as exc:
+            return error_response(504, "Gateway Timeout",
+                                  f"{type(exc).__name__}: {exc}")
         except ReproError as exc:
             return error_response(500, "Internal Server Error",
                                   f"{type(exc).__name__}: {exc}")
@@ -73,14 +82,31 @@ class CgiGateway:
                                   traceback.format_exc())
 
 
-def error_response(status: int, reason: str, detail: str) -> CgiResponse:
+def error_response(status: int, reason: str, detail: str, *,
+                   extra_headers: list[tuple[str, str]] | None = None
+                   ) -> CgiResponse:
     body = (
         f"<HTML><HEAD><TITLE>{status} {escape_html(reason)}</TITLE></HEAD>\n"
         f"<BODY><H1>{status} {escape_html(reason)}</H1>\n"
         f"<PRE>{escape_html(detail)}</PRE></BODY></HTML>\n"
     ).encode("utf-8")
+    headers = [("Content-Type", "text/html")] + list(extra_headers or [])
     return CgiResponse(status=status, reason=reason,
-                       headers=[("Content-Type", "text/html")], body=body)
+                       headers=headers, body=body)
+
+
+def unavailable_response(error: SQLError) -> CgiResponse:
+    """503 + ``Retry-After`` for breaker-open / pool-exhausted failures.
+
+    These mean "the backend cannot take this request right now, try
+    again shortly" — the 1996 equivalent was the browser's reload
+    button; the header tells period and modern clients alike when.
+    """
+    retry_after = max(1, math.ceil(getattr(error, "retry_after", 1.0)))
+    return error_response(
+        503, "Service Unavailable",
+        f"{type(error).__name__}: {error}",
+        extra_headers=[("Retry-After", str(retry_after))])
 
 
 class Db2WwwProgram:
@@ -123,6 +149,11 @@ class Db2WwwProgram:
         try:
             result = self.engine.execute(macro, command,
                                          request.input_pairs())
+        except (CircuitOpenError, PoolExhaustedError) as exc:
+            return unavailable_response(exc)
+        except DeadlineExceededError as exc:
+            return error_response(504, "Gateway Timeout",
+                                  f"{type(exc).__name__}: {exc}")
         except (MacroError, MacroExecutionError, SQLError) as exc:
             return error_response(500, "Macro Execution Error",
                                   f"{type(exc).__name__}: {exc}")

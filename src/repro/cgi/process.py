@@ -18,9 +18,11 @@ from __future__ import annotations
 import os
 import subprocess
 import sys
+from typing import Optional
 
 from repro.cgi.request import CgiRequest, CgiResponse
-from repro.errors import CgiProtocolError
+from repro.errors import CgiProtocolError, DeadlineExceededError
+from repro.resilience.deadline import Deadline
 
 
 class SubprocessCgiRunner:
@@ -39,17 +41,32 @@ class SubprocessCgiRunner:
         self.extra_env = dict(extra_env or {})
         self.timeout = timeout
 
-    def run(self, request: CgiRequest) -> CgiResponse:
+    def run(self, request: CgiRequest, *,
+            deadline: Optional[Deadline] = None) -> CgiResponse:
+        """Run the child; a request deadline caps the child's timeout.
+
+        The web server killed over-long CGI processes in 1996 too — the
+        deadline just makes the budget explicit and shared with the rest
+        of the request path.
+        """
         env = dict(os.environ)
         env.update(self.extra_env)
         env.update(request.environ.to_dict())
+        timeout = self.timeout
+        if deadline is not None:
+            deadline.check("CGI process")
+            timeout = deadline.cap(timeout)
         try:
             proc = subprocess.run(
                 self.argv, input=request.stdin, env=env,
-                capture_output=True, timeout=self.timeout, check=False)
+                capture_output=True, timeout=timeout, check=False)
         except subprocess.TimeoutExpired as exc:
+            if deadline is not None and deadline.expired:
+                raise DeadlineExceededError(
+                    f"CGI process exceeded the request deadline "
+                    f"({timeout:.3g}s remaining at start)") from exc
             raise CgiProtocolError(
-                f"CGI process exceeded {self.timeout}s") from exc
+                f"CGI process exceeded {timeout:.3g}s") from exc
         if proc.returncode != 0:
             stderr = proc.stderr.decode("utf-8", "replace")
             raise CgiProtocolError(

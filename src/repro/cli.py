@@ -58,6 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="register a SQLite database under NAME")
         cmd.add_argument("--transaction-mode", default="auto_commit",
                          choices=["auto_commit", "single"])
+        _add_resilience_options(cmd)
 
     unparse = sub.add_parser("unparse",
                              help="parse and regenerate macro source")
@@ -83,7 +84,41 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS", dest="macro_stat_ttl",
                        help="seconds between macro-file mtime checks "
                             "(0 checks every request)")
+    serve.add_argument("--access-log", type=Path, default=None,
+                       metavar="PATH", dest="access_log",
+                       help="append Common Log Format entries (with "
+                            "retry/breaker counters in stats) to PATH")
+    _add_resilience_options(serve)
     return parser
+
+
+def _add_resilience_options(cmd: argparse.ArgumentParser) -> None:
+    """Failure-handling knobs shared by run/render/serve.
+
+    See docs/deployment.md, "Resilience and failure handling".
+    """
+    cmd.add_argument("--inject-faults", default=None, metavar="SPEC",
+                     dest="inject_faults",
+                     help="inject database faults per SPEC, e.g. "
+                          "prob:0.05 or connect:0.1,slow:0.2:0.05 "
+                          "(see repro.resilience.faults)")
+    cmd.add_argument("--max-retries", type=int, default=0,
+                     metavar="N", dest="max_retries",
+                     help="retry transient read failures up to N times "
+                          "with exponential backoff (0 disables)")
+    cmd.add_argument("--request-deadline", type=float, default=None,
+                     metavar="SECONDS", dest="request_deadline",
+                     help="per-request time budget; exceeding it maps "
+                          "to 504 Gateway Timeout")
+    cmd.add_argument("--breaker-threshold", type=int, default=0,
+                     metavar="N", dest="breaker_threshold",
+                     help="open a per-database circuit breaker after N "
+                          "consecutive connect failures (0 disables); "
+                          "open circuits answer 503 + Retry-After")
+    cmd.add_argument("--degrade", action="store_true", dest="degrade",
+                     help="on terminal SQL failure, emit the error "
+                          "block and continue the report instead of "
+                          "aborting the page")
 
 
 def main(argv: Optional[Sequence[str]] = None,
@@ -143,12 +178,30 @@ def _parse_bindings(pairs: list[str],
     return bindings
 
 
+def _apply_resilience(args, registry: DatabaseRegistry,
+                      config: EngineConfig) -> None:
+    """Wire the shared resilience options into a registry and config."""
+    if getattr(args, "inject_faults", None):
+        registry.inject_faults(args.inject_faults)
+    if getattr(args, "breaker_threshold", 0) > 0:
+        registry.enable_breakers(failure_threshold=args.breaker_threshold)
+    if getattr(args, "max_retries", 0) > 0:
+        from repro.resilience.retry import RetryPolicy
+        config.retry_policy = RetryPolicy(
+            max_attempts=args.max_retries + 1)
+    if getattr(args, "request_deadline", None):
+        config.request_deadline = args.request_deadline
+    if getattr(args, "degrade", False):
+        config.degrade_sql_errors = True
+
+
 def _build_engine(args) -> MacroEngine:
     registry = DatabaseRegistry()
     for name, path in _parse_bindings(args.database, "--database"):
         registry.register_path(name, path)
     config = EngineConfig(
         transaction_mode=TransactionMode.parse(args.transaction_mode))
+    _apply_resilience(args, registry, config)
     return MacroEngine(registry, config=config)
 
 
@@ -220,9 +273,17 @@ def _cmd_serve(args, out) -> int:  # pragma: no cover - interactive
     if args.query_cache > 0:
         from repro.sql.querycache import QueryResultCache
         config.query_cache = QueryResultCache(max_entries=args.query_cache)
+    _apply_resilience(args, registry, config)
     engine = MacroEngine(registry, config=config)
     library = MacroLibrary(args.macros, stat_ttl=args.macro_stat_ttl)
     site = build_site(engine, library)
+    if args.access_log is not None:
+        from repro.http.accesslog import AccessLog
+        log = AccessLog(args.access_log)
+        log.attach_stats_source("resilience", registry.resilience_stats)
+        if config.query_cache is not None:
+            log.attach_stats_source("query_cache", config.query_cache.stats)
+        site.router.access_log = log
     server = site.serve(host=args.host, port=args.port)
     print(f"serving macros from {args.macros} on {server.base_url}",
           file=out)

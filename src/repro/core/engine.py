@@ -31,12 +31,18 @@ from repro.core.report import ReportGenerator
 from repro.core.substitution import Evaluator
 from repro.core.variables import VariableStore
 from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
     MacroExecutionError,
     MissingSectionError,
+    PoolExhaustedError,
     SQLError,
     UnknownSqlSectionError,
+    is_transient,
 )
 from repro.html.entities import escape_html
+from repro.resilience.deadline import Deadline
+from repro.resilience.retry import RetryPolicy, call_with_retry
 from repro.sql.gateway import DatabaseRegistry, MacroSqlSession
 from repro.sql.querycache import QueryResultCache
 from repro.sql.transactions import TransactionMode
@@ -89,6 +95,23 @@ class EngineConfig:
         cache keys, though, so engines meant to share results should
         share a :class:`~repro.sql.gateway.DatabaseRegistry`).
         Bypassed automatically in ``SINGLE`` transaction mode.
+    ``retry_policy``
+        When set, transient failures of idempotent reads (and of
+        connection establishment) are retried with exponential backoff
+        and jitter (see :mod:`repro.resilience.retry`).  ``None``
+        (default) keeps the paper's fail-on-first-error behaviour.
+    ``request_deadline``
+        Per-invocation time budget in seconds; the retry loop, pool
+        acquisition and statement dispatch all honour it, surfacing
+        :class:`~repro.errors.DeadlineExceededError` once spent.
+    ``degrade_sql_errors``
+        Graceful report degradation: when a SQL section fails terminally
+        and no ``%SQL_MESSAGE`` rule matched, emit the default error
+        block and *continue* the rest of the ``%HTML_REPORT`` instead of
+        aborting the page.  Off by default — the paper's default action
+        is ``exit`` — but recommended for production serving, where half
+        a report beats a dead page.  (Single-transaction mode still
+        aborts: the rollback already undid the interaction, Section 5.)
     """
 
     transaction_mode: TransactionMode = TransactionMode.AUTO_COMMIT
@@ -97,6 +120,9 @@ class EngineConfig:
     show_sql_variable: str = "SHOWSQL"
     compiled_reports: bool = True
     query_cache: Optional[QueryResultCache] = None
+    retry_policy: Optional[RetryPolicy] = None
+    request_deadline: Optional[float] = None
+    degrade_sql_errors: bool = False
 
 
 @dataclass
@@ -108,6 +134,8 @@ class MacroResult:
     statements: list[str] = field(default_factory=list)
     sql_errors: list[SQLError] = field(default_factory=list)
     aborted: bool = False
+    #: Transparent statement/connect retries performed for this page.
+    retries: int = 0
     #: Media type for the generated page.  Macros may override the
     #: default by defining a ``CONTENT_TYPE`` variable — Section 2.1
     #: notes servers return "special types of data other than HTML",
@@ -117,6 +145,12 @@ class MacroResult:
     @property
     def ok(self) -> bool:
         return not self.sql_errors and not self.aborted
+
+
+def _should_propagate(error: SQLError) -> bool:
+    """Errors that should become 503/504 responses, not report content."""
+    return isinstance(error, (CircuitOpenError, PoolExhaustedError,
+                              DeadlineExceededError))
 
 
 class MacroEngine:
@@ -180,6 +214,9 @@ class _MacroRun:
             compile_templates=engine.config.compiled_reports)
         self.out: list[str] = []
         self.session: Optional[MacroSqlSession] = None
+        self.deadline = (Deadline.after(engine.config.request_deadline)
+                         if engine.config.request_deadline is not None
+                         else None)
         self.result = MacroResult(html="", command=command)
         self._emitted_target_section = False
         # SQL sections are registered macro-wide up front: the directive
@@ -199,6 +236,8 @@ class _MacroRun:
             if self.session is not None:
                 self.session.finish(success=not self.result.aborted
                                     and not self.session.failed)
+                self.result.retries += self.session.retries
+            self.engine.registry.record_retries(self.result.retries)
         if not self._emitted_target_section:
             needed = ("%HTML_INPUT" if self.command is MacroCommand.INPUT
                       else "%HTML_REPORT")
@@ -270,18 +309,36 @@ class _MacroRun:
         return [section]
 
     def _run_sql_section(self, section: ast.SqlSection) -> bool:
-        """Execute one SQL section; False when processing must stop."""
+        """Execute one SQL section; False when processing must stop.
+
+        Terminal SQL failures degrade, not crash: the section's
+        ``%SQL_MESSAGE`` (or the default error block) is emitted, and
+        the report continues per the matched rule's action.  Under
+        ``degrade_sql_errors`` the *default* action (no rule matched)
+        becomes ``continue``; an explicit ``exit`` rule is always
+        honoured.  Failures to even *reach* the database (breaker open,
+        pool exhausted, connect refused) are handled the same way, so
+        one dead backend costs one error block, not the whole page.
+        """
         sql_text = self.evaluator.evaluate(section.command).strip()
         self._maybe_show_sql(sql_text)
-        session = self._ensure_session()
         try:
+            session = self._ensure_session()
             result = session.execute(sql_text)
         except SQLError as error:
+            degrade = self.engine.config.degrade_sql_errors
+            message = resolve_message(
+                section.message, error, self.store, self.evaluator,
+                default_error_action="continue" if degrade else "exit")
+            if message.matched_rule is None and _should_propagate(error):
+                # Unavailability is a transport condition, not page
+                # content: unless a %SQL_MESSAGE rule claimed it, let
+                # the HTTP layer answer 503 + Retry-After (or 504).
+                raise
             self.result.sql_errors.append(error)
-            message = resolve_message(section.message, error, self.store,
-                                      self.evaluator)
             self.out.append(message.html)
-            if message.action == "exit" or session.failed:
+            failed = self.session is not None and self.session.failed
+            if message.action == "exit" or failed:
                 self.result.aborted = True
                 return False
             return True
@@ -304,9 +361,38 @@ class _MacroRun:
                 raise MacroExecutionError(
                     "macro executed SQL but defines no DATABASE variable "
                     "and the engine has no default_database")
-            connection = self.engine.registry.connect(database)
+            connection = self._connect(database)
             self.session = MacroSqlSession(
                 connection, mode=self.engine.config.transaction_mode,
                 cache=self.engine.config.query_cache,
-                database=database)
+                database=database,
+                retry=self.engine.config.retry_policy,
+                deadline=self.deadline)
         return self.session
+
+    def _connect(self, database: str):
+        """Open the request's connection, retrying transient failures.
+
+        Connection establishment is idempotent, so it is retried under
+        the engine's policy even though writes never are.  Breaker-open
+        rejections *are* transient but deliberately fail fast here — the
+        breaker exists to shed load, retrying against it immediately
+        would defeat that.
+        """
+        registry = self.engine.registry
+        policy = self.engine.config.retry_policy
+        if policy is None:
+            return registry.connect(database, deadline=self.deadline)
+
+        def attempt():
+            return registry.connect(database, deadline=self.deadline)
+
+        def count_retry(_attempt, _error, _delay):
+            self.result.retries += 1
+
+        return call_with_retry(
+            attempt, policy=policy, deadline=self.deadline,
+            is_retryable=lambda exc: (is_transient(exc)
+                                      and not isinstance(exc,
+                                                         CircuitOpenError)),
+            on_retry=count_retry)

@@ -56,12 +56,19 @@ def default_error_html(error: SQLError) -> str:
 
 def resolve_message(block: Optional[SqlMessageBlock], error: SQLError,
                     store: VariableStore,
-                    evaluator: Evaluator) -> ResolvedMessage:
+                    evaluator: Evaluator, *,
+                    default_error_action: str = DEFAULT_ERROR_ACTION
+                    ) -> ResolvedMessage:
     """Pick and render the message for a failed/warning SQL statement.
 
     Before rendering, the error's attributes are published as system
     variables — ``SQL_CODE``, ``SQL_STATE`` and ``SQL_MESSAGE`` — so rule
     text can interpolate them (``"Sorry: $(SQL_MESSAGE)"``).
+
+    ``default_error_action`` is what happens when *no* rule matched an
+    error: the paper's behaviour is ``exit``; the engine's graceful-
+    degradation mode passes ``continue`` so the rest of the report still
+    renders.  An explicit rule's action is always honoured as written.
     """
     store.set_system("SQL_CODE", str(error.sqlcode))
     store.set_system("SQL_STATE", error.sqlstate)
@@ -69,7 +76,7 @@ def resolve_message(block: Optional[SqlMessageBlock], error: SQLError,
     rule = _match_rule(block, error)
     if rule is None:
         action = (DEFAULT_WARNING_ACTION if error.is_warning
-                  else DEFAULT_ERROR_ACTION)
+                  else default_error_action)
         return ResolvedMessage(default_error_html(error), action)
     html = evaluator.evaluate(rule.text)
     return ResolvedMessage(html, rule.action, matched_rule=rule)

@@ -198,11 +198,101 @@ class ConnectionClosedError(SQLError):
         super().__init__(message, sqlcode=-99999, sqlstate="08003")
 
 
-class PoolExhaustedError(SQLError):
+# -- transient failures (the retry/breaker layer classifies on these) -------
+
+
+class SQLTransientError(SQLError):
+    """A failure that may succeed if the statement is retried.
+
+    DB2 grouped these under SQLSTATE classes 08 (connection), 40001
+    (deadlock/timeout rollback) and 57xxx (resource unavailable); the
+    resilience layer (:mod:`repro.resilience`) retries idempotent reads
+    that fail with one of these and feeds them to the circuit breaker.
+    """
+
+
+class SQLConnectError(SQLTransientError):
+    """The database could not be reached (SQLSTATE class 08).
+
+    DB2's DRDA client reported unreachable servers as SQL30081N.
+    """
+
+    def __init__(self, message: str = "could not connect to database", *,
+                 sqlstate: str = "08001"):
+        super().__init__(message, sqlcode=-30081, sqlstate=sqlstate)
+
+
+class SQLDeadlockError(SQLTransientError):
+    """Deadlock or lock timeout rolled the statement back (SQL0911N)."""
+
+    def __init__(self, message: str = "deadlock or timeout, "
+                 "statement rolled back"):
+        super().__init__(message, sqlcode=-911, sqlstate="40001")
+
+
+class SQLTimeoutError(SQLTransientError):
+    """The statement timed out without rollback (SQL0913N, 57033)."""
+
+    def __init__(self, message: str = "statement timed out"):
+        super().__init__(message, sqlcode=-913, sqlstate="57033")
+
+
+class PoolExhaustedError(SQLTransientError):
     """No connection became available within the pool timeout."""
 
     def __init__(self, message: str = "connection pool exhausted"):
         super().__init__(message, sqlcode=-1040, sqlstate="57030")
+
+
+class CircuitOpenError(SQLTransientError):
+    """The circuit breaker for a database is open: fail fast, retry later.
+
+    ``retry_after`` is the breaker's estimate of when a probe will be
+    allowed (seconds); the HTTP layer surfaces it as a ``Retry-After``
+    header on a 503 response.
+    """
+
+    def __init__(self, message: str = "database circuit breaker is open",
+                 *, retry_after: float = 1.0):
+        self.retry_after = retry_after
+        super().__init__(message, sqlcode=-30081, sqlstate="08004")
+
+
+class DeadlineExceededError(SQLError):
+    """The request's deadline budget ran out (SQL0952N: cancelled).
+
+    Deliberately *not* transient: once the budget is spent there is no
+    time left to retry in, so the resilience layer surfaces it terminally.
+    """
+
+    def __init__(self, message: str = "request deadline exceeded"):
+        super().__init__(message, sqlcode=-952, sqlstate="57014")
+
+
+#: SQLSTATE values (beyond the class-08 prefix) treated as retryable.
+TRANSIENT_SQLSTATES = frozenset({"40001", "57030", "57033"})
+
+
+def is_transient(error: BaseException) -> bool:
+    """True when ``error`` is a retryable (transient) database failure.
+
+    Classifies both the library's own :class:`SQLTransientError` subtree
+    and foreign :class:`SQLError` instances by SQLSTATE: class 08
+    (connection) and the deadlock/resource states of
+    :data:`TRANSIENT_SQLSTATES`.  Deadline exhaustion is never transient.
+    """
+    if isinstance(error, DeadlineExceededError):
+        return False
+    if isinstance(error, SQLTransientError):
+        return True
+    if isinstance(error, ConnectionClosedError):
+        # A connection that died under us is replaceable: the pool evicts
+        # it and a retry gets a fresh one.
+        return True
+    if isinstance(error, SQLError):
+        state = error.sqlstate or ""
+        return state.startswith("08") or state in TRANSIENT_SQLSTATES
+    return False
 
 
 # ---------------------------------------------------------------------------

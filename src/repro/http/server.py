@@ -36,9 +36,15 @@ class HttpServer:
 
     def __init__(self, router: Router, *, host: str = "127.0.0.1",
                  port: int = 0, timeout: float = 10.0,
+                 idle_timeout: float | None = None,
                  keep_alive_max: int = 100):
         self.router = router
         self.timeout = timeout
+        #: how long a kept-alive connection may sit idle (no bytes of a
+        #: next request) before the server closes it; a stalled client
+        #: must not pin a server thread forever.  Defaults to ``timeout``.
+        self.idle_timeout = idle_timeout if idle_timeout is not None \
+            else timeout
         #: maximum requests served on one kept-alive connection
         self.keep_alive_max = keep_alive_max
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -141,18 +147,30 @@ class HttpServer:
 
         ``buffer`` carries bytes already read beyond the previous
         request (keep-alive pipelining); returns ``(request_bytes,
-        remaining_buffer)``, with ``None`` when the peer closed or the
-        limits were exceeded.
+        remaining_buffer)``, with ``None`` when the peer closed, stalled
+        past a timeout, or the limits were exceeded.
+
+        While *no* bytes of the next request have arrived the socket
+        runs under ``idle_timeout``; once the request starts flowing it
+        switches to the stricter per-read ``timeout``.  Either timeout
+        closes the connection cleanly (the request was not yet begun or
+        is abandoned — nothing to answer).
         """
         data = buffer
         separator = b"\r\n\r\n"
         while separator not in data and b"\n\n" not in data:
             if len(data) > _MAX_HEAD:
                 return None, b""
-            chunk = conn.recv(_RECV_CHUNK)
+            conn.settimeout(self.idle_timeout if not data
+                            else self.timeout)
+            try:
+                chunk = conn.recv(_RECV_CHUNK)
+            except TimeoutError:
+                return None, b""
             if not chunk:
                 return None, b""
             data += chunk
+        conn.settimeout(self.timeout)
         if separator not in data:
             separator = b"\n\n"
         head, _, rest = data.partition(separator)

@@ -20,10 +20,12 @@ REASONS: dict[int, str] = {
     411: "Length Required",
     413: "Payload Too Large",
     414: "URI Too Long",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     501: "Not Implemented",
     502: "Bad Gateway",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 

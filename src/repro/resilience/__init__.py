@@ -1,0 +1,44 @@
+"""Resilience layer: faults, retries, deadlines and circuit breaking.
+
+The paper's engine ran one CGI invocation per request against a remote
+DB2 gateway, so every transient database hiccup surfaced to the browser
+as a dead page — ``%SQL_MESSAGE`` (Section 3.5) was the only degradation
+mechanism.  This package gives the grown-up gateway real failure
+handling:
+
+* :mod:`repro.resilience.faults` — a fault-injection harness that wraps
+  any :class:`~repro.sql.connection.Connection` (or factory) and injects
+  scripted or probabilistic failures, used by tests, the CLI
+  (``--inject-faults``) and the workload runner;
+* :mod:`repro.resilience.retry` — exponential backoff with jitter,
+  applied only to idempotent reads;
+* :mod:`repro.resilience.deadline` — per-request time budgets honoured
+  by the pool, the retry loop and the CGI subprocess runner;
+* :mod:`repro.resilience.breaker` — a circuit breaker per registered
+  database so an unreachable backend fails fast (503 + ``Retry-After``)
+  instead of tying up pool slots.
+"""
+
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.resilience.deadline import Deadline
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultSpecError,
+    ambient_injector,
+    set_ambient_injector,
+    wrap_factory,
+)
+from repro.resilience.retry import RetryPolicy, call_with_retry
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "Deadline",
+    "FaultInjector",
+    "FaultSpecError",
+    "RetryPolicy",
+    "ambient_injector",
+    "call_with_retry",
+    "set_ambient_injector",
+    "wrap_factory",
+]

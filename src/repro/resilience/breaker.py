@@ -1,0 +1,141 @@
+"""A circuit breaker per registered database.
+
+When a backend is down, every request otherwise pays the full connect
+timeout while holding a pool slot — the failure of one database becomes
+latency for every database.  The breaker counts consecutive connect
+failures; past the threshold it *opens* and rejects immediately with
+:class:`~repro.errors.CircuitOpenError` (which the HTTP layer maps to
+503 + ``Retry-After``).  After ``reset_timeout`` it lets one probe
+through (*half-open*); a successful probe closes the circuit, a failed
+one re-opens it.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from typing import Callable, TypeVar
+
+from repro.errors import CircuitOpenError
+
+T = TypeVar("T")
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a single half-open probe.
+
+    Thread-safe; all decisions happen under one lock, so the "exactly
+    one probe at a time" rule holds across the server's request threads.
+    """
+
+    def __init__(self, *, failure_threshold: int = 5,
+                 reset_timeout: float = 1.0, name: str = "",
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        # cumulative counters for observability
+        self._opens = 0
+        self._rejections = 0
+        self._probes = 0
+
+    # -- decisions -------------------------------------------------------
+
+    def allow(self) -> None:
+        """Admit one operation or raise :class:`CircuitOpenError`.
+
+        Every admitted operation must be balanced with exactly one
+        :meth:`record_success` or :meth:`record_failure` call.
+        """
+        with self._lock:
+            if self._state is BreakerState.CLOSED:
+                return
+            if self._state is BreakerState.OPEN:
+                elapsed = self._clock() - self._opened_at
+                if elapsed < self.reset_timeout:
+                    self._rejections += 1
+                    raise CircuitOpenError(
+                        self._describe("is open"),
+                        retry_after=self.reset_timeout - elapsed)
+                self._state = BreakerState.HALF_OPEN
+                self._probe_inflight = False
+            # HALF_OPEN: admit a single probe; concurrent callers are
+            # rejected until it reports back.
+            if self._probe_inflight:
+                self._rejections += 1
+                raise CircuitOpenError(
+                    self._describe("is half-open, probe in flight"),
+                    retry_after=self.reset_timeout)
+            self._probe_inflight = True
+            self._probes += 1
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_inflight = False
+            self._state = BreakerState.CLOSED
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state is BreakerState.HALF_OPEN:
+                self._trip()
+            elif (self._state is BreakerState.CLOSED
+                  and self._consecutive_failures >= self.failure_threshold):
+                self._trip()
+
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+        self._probe_inflight = False
+        self._opens += 1
+
+    def call(self, func: Callable[[], T]) -> T:
+        """Run ``func`` under the breaker's accounting."""
+        self.allow()
+        try:
+            result = func()
+        except BaseException:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def state(self) -> BreakerState:
+        with self._lock:
+            if (self._state is BreakerState.OPEN
+                    and self._clock() - self._opened_at
+                    >= self.reset_timeout):
+                return BreakerState.HALF_OPEN
+            return self._state
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "opens": self._opens,
+                "rejections": self._rejections,
+                "probes": self._probes,
+                "consecutive_failures": self._consecutive_failures,
+            }
+
+    def _describe(self, what: str) -> str:
+        target = f"database {self.name!r}" if self.name else "backend"
+        return f"circuit breaker for {target} {what}"

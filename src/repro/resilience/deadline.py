@@ -1,0 +1,66 @@
+"""Per-request deadline budgets.
+
+A 1996 CGI process had an implicit deadline — the web server killed it
+after a configured wall-clock limit — but nothing inside the request
+knew about it, so a slow database burned the whole budget in one place.
+:class:`Deadline` makes the budget explicit and threadable through the
+layers: the engine creates one per macro invocation, the retry loop
+refuses to sleep past it, ``ConnectionPool.acquire`` caps its wait on
+it, and the CGI subprocess runner caps the child's timeout.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.errors import DeadlineExceededError
+
+
+class Deadline:
+    """A monotonic point in time after which a request must give up."""
+
+    __slots__ = ("expires_at", "_clock")
+
+    def __init__(self, expires_at: float,
+                 clock: Callable[[], float] = time.monotonic):
+        self.expires_at = expires_at
+        self._clock = clock
+
+    @classmethod
+    def after(cls, seconds: float,
+              clock: Callable[[], float] = time.monotonic) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        return cls(clock() + seconds, clock)
+
+    def remaining(self) -> float:
+        """Seconds left; never negative."""
+        return max(0.0, self.expires_at - self._clock())
+
+    @property
+    def expired(self) -> bool:
+        return self._clock() >= self.expires_at
+
+    def check(self, what: str = "request") -> None:
+        """Raise :class:`DeadlineExceededError` when the budget is spent."""
+        if self.expired:
+            raise DeadlineExceededError(f"{what} deadline exceeded")
+
+    def cap(self, timeout: Optional[float]) -> float:
+        """Cap a layer's own timeout by the time remaining.
+
+        ``None`` means the layer had no timeout of its own; the deadline
+        becomes the only bound.
+        """
+        remaining = self.remaining()
+        if timeout is None:
+            return remaining
+        return min(timeout, remaining)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+def remaining_or(deadline: Optional[Deadline], default: float) -> float:
+    """``deadline.remaining()``, or ``default`` when there is no deadline."""
+    return default if deadline is None else deadline.remaining()

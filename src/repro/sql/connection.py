@@ -98,6 +98,21 @@ class Connection:
     def closed(self) -> bool:
         return self._closed
 
+    def ping(self) -> bool:
+        """Cheap health probe: can this connection still run a statement?
+
+        Used by the pool to validate connections on release so a broken
+        connection is evicted instead of recycled.  Never raises.
+        """
+        with self._lock:
+            if self._closed:
+                return False
+            try:
+                self._raw.execute("SELECT 1").fetchone()
+            except sqlite3.Error:
+                return False
+            return True
+
     def _check_open(self) -> None:
         if self._closed:
             raise ConnectionClosedError()

@@ -10,13 +10,20 @@ transaction mode.
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
-from repro.errors import SQLError, SQLObjectError
+from repro.errors import SQLError, SQLObjectError, is_transient
+from repro.resilience import faults as fault_injection
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.deadline import Deadline
+from repro.resilience.retry import DEFAULT_RETRY, RetryPolicy
 from repro.sql.connection import Connection, MemoryDatabase
 from repro.sql.cursor import Cursor, value_to_text
 from repro.sql.dialect import is_cacheable_query, is_query
+from repro.sql.pool import ConnectionPool
 from repro.sql.querycache import QueryResultCache, WriteGeneration
 from repro.sql.transactions import TransactionMode, TransactionScope
 
@@ -54,11 +61,25 @@ class DatabaseRegistry:
     Appendix A: ``DATABASE="CELDIAL"``).  Applications register either a
     filesystem path, a :class:`MemoryDatabase`, or a connection factory
     under that name.
+
+    The registry is also where the resilience layer attaches to the
+    request path: :meth:`inject_faults` wraps every factory in the fault
+    harness, and :meth:`enable_breakers` puts a circuit breaker in front
+    of each database so an unreachable backend fails fast
+    (:class:`~repro.errors.CircuitOpenError`, surfaced by the HTTP layer
+    as 503 + ``Retry-After``) instead of paying the connect cost — and
+    holding a pool slot — on every request.
     """
 
     def __init__(self) -> None:
         self._factories: dict[str, Callable[[], Connection]] = {}
         self._generations: dict[str, WriteGeneration] = {}
+        self._pools: dict[str, ConnectionPool] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._breaker_config: Optional[dict[str, float]] = None
+        self._injector: Optional[fault_injection.FaultInjector] = None
+        self._retries = 0
+        self._retry_lock = threading.Lock()
 
     def register_path(self, name: str, path: str) -> None:
         self._factories[name] = lambda: Connection(path)
@@ -77,6 +98,94 @@ class DatabaseRegistry:
                          factory: Callable[[], Connection]) -> None:
         self._factories[name] = factory
 
+    def attach_pool(self, name: str, *, size: int = 4,
+                    timeout: float = 5.0) -> ConnectionPool:
+        """Put a bounded :class:`ConnectionPool` in front of a database.
+
+        Subsequent :meth:`connect` calls lease from the pool; the leased
+        connection's ``close()`` releases it back (health-validated, so
+        a connection that broke during the request is evicted).  Must be
+        called after the database is registered.
+        """
+        factory = self._factories.get(name)
+        if factory is None:
+            raise SQLObjectError(
+                f"database {name!r} is not registered with the gateway",
+                sqlstate="08001")
+        pool = ConnectionPool(self._wrap(factory), size=size,
+                              timeout=timeout)
+        self._pools[name] = pool
+        return pool
+
+    def pool(self, name: str) -> Optional[ConnectionPool]:
+        return self._pools.get(name)
+
+    # -- resilience attachment -------------------------------------------
+
+    def inject_faults(
+            self,
+            injector: fault_injection.FaultInjector | str | None) -> None:
+        """Route every future connection through a fault injector.
+
+        Accepts an injector, a spec string (see
+        :mod:`repro.resilience.faults`), or ``None`` to stop injecting.
+        Pools attached before this call keep their unwrapped factories;
+        wire faults first when both are wanted.
+        """
+        if isinstance(injector, str):
+            injector = fault_injection.FaultInjector.parse(injector)
+        self._injector = injector
+
+    def enable_breakers(self, *, failure_threshold: int = 5,
+                        reset_timeout: float = 1.0) -> None:
+        """Guard every database behind a per-database circuit breaker."""
+        self._breaker_config = {"failure_threshold": failure_threshold,
+                                "reset_timeout": reset_timeout}
+
+    def breaker(self, name: str) -> Optional[CircuitBreaker]:
+        """The breaker guarding ``name`` (``None`` unless enabled)."""
+        if self._breaker_config is None:
+            return None
+        breaker = self._breakers.get(name)
+        if breaker is None:
+            breaker = self._breakers[name] = CircuitBreaker(
+                name=name,
+                failure_threshold=int(
+                    self._breaker_config["failure_threshold"]),
+                reset_timeout=self._breaker_config["reset_timeout"])
+        return breaker
+
+    def record_retries(self, count: int) -> None:
+        """Fold one request's transparent retry count into the totals.
+
+        The engine calls this as each macro run finishes, so the
+        access log's ``resilience`` stats line shows cumulative retries
+        next to the breaker and injector counters.
+        """
+        if count:
+            with self._retry_lock:
+                self._retries += count
+
+    def resilience_stats(self) -> dict[str, int]:
+        """Aggregated breaker/injector/pool counters for observability."""
+        stats: dict[str, int] = {}
+        with self._retry_lock:
+            stats["retries"] = self._retries
+        totals = {"opens": 0, "rejections": 0, "probes": 0}
+        for breaker in self._breakers.values():
+            for key, value in breaker.stats().items():
+                if key in totals:
+                    totals[key] += value
+        for key, value in totals.items():
+            stats[f"breaker_{key}"] = value
+        if self._injector is not None:
+            stats.update(self._injector.stats())
+        stats["pool_evicted"] = sum(
+            pool.stats["evicted"] for pool in self._pools.values())
+        return stats
+
+    # ---------------------------------------------------------------------
+
     def __contains__(self, name: str) -> bool:
         return name in self._factories
 
@@ -90,16 +199,86 @@ class DatabaseRegistry:
             counter = self._generations[name] = WriteGeneration()
         return counter
 
-    def connect(self, name: str) -> Connection:
+    def connect(self, name: str, *,
+                deadline: Optional[Deadline] = None) -> Connection:
+        """Open (or lease) a connection to a registered database.
+
+        Consults the database's circuit breaker first — when it is open
+        this raises :class:`~repro.errors.CircuitOpenError` in
+        microseconds, without touching factory, pool or network — and
+        reports the connect outcome back to it.
+        """
         factory = self._factories.get(name)
         if factory is None:
             raise SQLObjectError(
                 f"database {name!r} is not registered with the gateway",
                 sqlstate="08001")
-        connection = factory()
+        breaker = self.breaker(name)
+        if breaker is not None:
+            breaker.allow()
+        try:
+            pool = self._pools.get(name)
+            if pool is not None:
+                connection = _LeasedConnection(
+                    pool, pool.acquire(deadline=deadline))
+            else:
+                connection = self._wrap(factory)()
+        except BaseException:
+            if breaker is not None:
+                breaker.record_failure()
+            raise
+        if breaker is not None:
+            breaker.record_success()
         if connection.generation is None:
             connection.generation = self.generation(name)
         return connection
+
+    def _wrap(self,
+              factory: Callable[[], Connection]) -> Callable[[], Connection]:
+        if self._injector is None:
+            return factory
+        return fault_injection.wrap_factory(factory, self._injector)
+
+
+class _LeasedConnection:
+    """A pooled connection whose ``close()`` releases the lease.
+
+    The engine's session model closes its connection when the request
+    finishes; with a pool attached, "close" means "give it back" — the
+    pool health-validates it on the way in and evicts it if the request
+    broke it.
+    """
+
+    def __init__(self, pool: ConnectionPool, connection: Connection):
+        self._pool = pool
+        self._conn = connection
+        self._released = False
+
+    def close(self) -> None:
+        if not self._released:
+            self._released = True
+            self._pool.release(self._conn)
+
+    @property
+    def closed(self) -> bool:
+        return self._released or self._conn.closed
+
+    @property
+    def generation(self):
+        return self._conn.generation
+
+    @generation.setter
+    def generation(self, value) -> None:
+        self._conn.generation = value
+
+    def __getattr__(self, name: str):
+        return getattr(self._conn, name)
+
+    def __enter__(self) -> "_LeasedConnection":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 class MacroSqlSession:
@@ -116,7 +295,9 @@ class MacroSqlSession:
                  owns_connection: bool = True,
                  cache: Optional[QueryResultCache] = None,
                  database: str = "",
-                 generation: Optional[WriteGeneration] = None):
+                 generation: Optional[WriteGeneration] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 deadline: Optional[Deadline] = None):
         self.connection = connection
         self.scope = TransactionScope(connection, mode)
         self._owns_connection = owns_connection
@@ -128,8 +309,29 @@ class MacroSqlSession:
         self.database = database
         self.generation = generation if generation is not None \
             else connection.generation
+        #: Retry policy for transient failures of *idempotent reads*
+        #: (never applied to writes or inside an open transaction).
+        self.retry = retry
+        #: Per-request deadline; checked before each attempt and before
+        #: each backoff sleep.
+        self.deadline = deadline
         #: Cache hits served by this session (request-level observability).
         self.cache_hits = 0
+        #: Statement retries performed by this session.
+        self.retries = 0
+
+    def _retryable(self, sql: str) -> bool:
+        """May this statement be transparently re-run after a failure?
+
+        Only idempotent pure reads qualify, and never while an explicit
+        transaction is open: re-running a read mid-transaction would
+        widen its footprint, and re-running a *write* is out of the
+        question (the paper's single-transaction mode rolls back and
+        reports instead, Section 5).
+        """
+        return (self.scope.mode is not TransactionMode.SINGLE
+                and not self.connection.in_transaction
+                and is_cacheable_query(sql))
 
     def execute(self, sql: str) -> ExecutionResult:
         """Run one dynamically assembled SQL statement.
@@ -145,8 +347,17 @@ class MacroSqlSession:
         database; a fresh result is stored under the generation stamp
         observed *before* execution, so a concurrent write can only make
         the entry stale, never wrong.
+
+        Transient failures (:func:`repro.errors.is_transient`) of
+        idempotent reads are retried under the session's policy with
+        exponential backoff, within the request deadline.  When an
+        ambient fault injector is active (chaos mode) it fires here —
+        before the statement touches the database — and, absent an
+        explicit policy, is absorbed by a default one.
         """
         self.statement_log.append(sql)
+        if self.deadline is not None:
+            self.deadline.check("statement")
         use_cache = (self.cache is not None
                      and self.generation is not None
                      and self.scope.mode is not TransactionMode.SINGLE
@@ -158,6 +369,36 @@ class MacroSqlSession:
                 self.cache_hits += 1
                 self.scope.statements_run += 1  # counted, not bracketed
                 return cached
+        ambient = fault_injection.ambient_injector()
+        retryable = self._retryable(sql)
+        policy = self.retry
+        if policy is None and ambient is not None:
+            policy = DEFAULT_RETRY
+        attempt = 1
+        while True:
+            try:
+                if ambient is not None and retryable:
+                    ambient.before_query(sql)
+                result = self._execute_once(sql)
+            except SQLError as exc:
+                if (not retryable or policy is None
+                        or attempt >= policy.max_attempts
+                        or not is_transient(exc)):
+                    raise
+                delay = policy.delay(attempt)
+                if (self.deadline is not None
+                        and self.deadline.remaining() <= delay):
+                    raise
+                self.retries += 1
+                attempt += 1
+                time.sleep(delay)
+                continue
+            if use_cache and result.is_query:
+                self.cache.put(self.database, sql, stamp, result)
+            return result
+
+    def _execute_once(self, sql: str) -> ExecutionResult:
+        """One bracketed attempt at a statement."""
         self.scope.before_statement()
         try:
             cursor = self.connection.execute(sql)
@@ -166,8 +407,6 @@ class MacroSqlSession:
             raise
         result = self._drain(cursor, sql)
         self.scope.after_statement(None)
-        if use_cache and result.is_query:
-            self.cache.put(self.database, sql, stamp, result)
         return result
 
     @staticmethod

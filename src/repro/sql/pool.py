@@ -14,6 +14,7 @@ import threading
 from typing import Callable, Optional
 
 from repro.errors import PoolExhaustedError
+from repro.resilience.deadline import Deadline
 from repro.sql.connection import Connection
 
 ConnectionFactory = Callable[[], Connection]
@@ -36,13 +37,24 @@ class ConnectionPool:
         self._timeout = timeout
         self._idle: queue.LifoQueue[Connection] = queue.LifoQueue()
         self._created = 0
+        self._evicted = 0
         self._lock = threading.Lock()
         self._closed = False
 
     # -- acquisition ------------------------------------------------------
 
-    def acquire(self) -> Connection:
+    def acquire(self, *, deadline: Optional[Deadline] = None) -> Connection:
+        """Check out a connection, waiting at most ``timeout`` seconds.
+
+        A request :class:`~repro.resilience.deadline.Deadline` caps the
+        wait further: a request with 50 ms of budget left never blocks
+        the full pool timeout for a slot it could not use anyway.
+        """
         while True:
+            wait = self._timeout if deadline is None \
+                else deadline.cap(self._timeout)
+            if deadline is not None:
+                deadline.check("pool acquire")
             with self._lock:
                 if self._closed:
                     raise PoolExhaustedError("pool is closed")
@@ -61,26 +73,48 @@ class ConnectionPool:
                         self._created -= 1
                     raise
             try:
-                conn = self._idle.get(timeout=self._timeout)
+                conn = self._idle.get(timeout=wait)
             except queue.Empty:
                 raise PoolExhaustedError(
                     f"no connection available within "
-                    f"{self._timeout}s") from None
+                    f"{wait:.3g}s") from None
             if conn.closed:  # replace a connection that died while idle
                 with self._lock:
                     self._created -= 1
                 continue
             return conn
 
-    def release(self, conn: Connection) -> None:
-        """Return a connection; any open transaction is rolled back."""
-        if conn.closed:
-            with self._lock:
-                self._created -= 1
+    def release(self, conn: Connection, *, broken: bool = False) -> None:
+        """Return a connection; any open transaction is rolled back.
+
+        Connections are health-validated on the way in: a closed, broken
+        or unpingable connection is *evicted* — closed and its capacity
+        slot freed so the next acquire builds a replacement — never
+        recycled to another request.  Callers that saw a gateway error on
+        the connection pass ``broken=True`` to skip straight to eviction.
+        """
+        if broken or conn.closed or not self._healthy(conn):
+            self._evict(conn)
             return
-        if conn.in_transaction:
-            conn.rollback()
         self._idle.put(conn)
+
+    @staticmethod
+    def _healthy(conn: Connection) -> bool:
+        try:
+            if conn.in_transaction:
+                conn.rollback()
+            return conn.ping()
+        except Exception:  # noqa: BLE001 - any failure means "evict"
+            return False
+
+    def _evict(self, conn: Connection) -> None:
+        with self._lock:
+            self._created -= 1
+            self._evicted += 1
+        try:
+            conn.close()
+        except Exception:  # noqa: BLE001 - already broken; slot is freed
+            pass
 
     def close(self) -> None:
         with self._lock:
@@ -99,11 +133,15 @@ class ConnectionPool:
     @property
     def stats(self) -> dict[str, int]:
         return {"created": self._created, "idle": self._idle.qsize(),
-                "size": self._size}
+                "size": self._size, "evicted": self._evicted}
 
 
 class _PooledConnection:
-    """``with pool.connection() as conn:`` checkout helper."""
+    """``with pool.connection() as conn:`` checkout helper.
+
+    When the body raised, the connection goes back flagged as broken —
+    release() then validates/evicts instead of blindly recycling.
+    """
 
     def __init__(self, pool: ConnectionPool):
         self._pool = pool
@@ -113,9 +151,9 @@ class _PooledConnection:
         self._conn = self._pool.acquire()
         return self._conn
 
-    def __exit__(self, *exc_info: object) -> None:
+    def __exit__(self, exc_type, _exc, _tb) -> None:
         if self._conn is not None:
-            self._pool.release(self._conn)
+            self._pool.release(self._conn, broken=exc_type is not None)
             self._conn = None
 
 
@@ -130,10 +168,12 @@ class PerRequestPool:
     def __init__(self, factory: ConnectionFactory):
         self._factory = factory
 
-    def acquire(self) -> Connection:
+    def acquire(self, *, deadline: Optional[Deadline] = None) -> Connection:
+        if deadline is not None:
+            deadline.check("pool acquire")
         return self._factory()
 
-    def release(self, conn: Connection) -> None:
+    def release(self, conn: Connection, *, broken: bool = False) -> None:
         conn.close()
 
     def close(self) -> None:
@@ -144,4 +184,4 @@ class PerRequestPool:
 
     @property
     def stats(self) -> dict[str, int]:
-        return {"created": -1, "idle": 0, "size": 0}
+        return {"created": -1, "idle": 0, "size": 0, "evicted": 0}

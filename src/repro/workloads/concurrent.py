@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import queue
 import threading
-from dataclasses import dataclass
+from collections import Counter
+from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.cgi.gateway import CgiGateway
@@ -33,10 +34,18 @@ class ConcurrentResult:
     threads: int
     responses: int
     failures: int
+    #: HTTP status → occurrence count across all workers.
+    status_counts: dict[int, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return self.failures == 0
+
+    @property
+    def success_rate(self) -> float:
+        if not self.responses:
+            return 0.0
+        return 1.0 - self.failures / self.responses
 
 
 def run_concurrent(gateway: CgiGateway,
@@ -67,6 +76,7 @@ def run_concurrent(gateway: CgiGateway,
 
     recorders = [LatencyRecorder() for _ in range(threads)]
     failures = [0] * threads
+    statuses: list[Counter[int]] = [Counter() for _ in range(threads)]
 
     def worker(index: int) -> None:
         recorder = recorders[index]
@@ -77,6 +87,7 @@ def run_concurrent(gateway: CgiGateway,
             program, cgi_request = item
             with recorder.time():
                 response = gateway.dispatch(program, cgi_request)
+            statuses[index][response.status] += 1
             if not check(response):
                 failures[index] += 1
 
@@ -91,9 +102,13 @@ def run_concurrent(gateway: CgiGateway,
     merged.finish_run()
     for recorder in recorders:
         merged.samples.extend(recorder.samples)
+    merged_statuses: Counter[int] = Counter()
+    for counter in statuses:
+        merged_statuses.update(counter)
     return ConcurrentResult(
         summary=merged.summary(), threads=threads,
-        responses=total, failures=sum(failures))
+        responses=total, failures=sum(failures),
+        status_counts=dict(merged_statuses))
 
 
 def throughput_sweep(gateway: CgiGateway,

@@ -6,7 +6,8 @@ comparison experiments, collected here with no dependencies beyond the
 standard library.  :class:`CacheReport` gives the query-result cache's
 counters (see :mod:`repro.sql.querycache`) the same tabular surface the
 latency summaries have, so workload reports can show hit rates next to
-throughput.
+throughput; :class:`ResilienceReport` does the same for the retry /
+breaker / fault-injection counters of :mod:`repro.resilience`.
 """
 
 from __future__ import annotations
@@ -98,6 +99,59 @@ class CacheReport:
     def header() -> str:
         return (f"{'cache':<14} {'hits':>8} {'misses':>8} {'stores':>8} "
                 f"{'evictions':>9} {'invalidated':>12} {'hit_rate':>8}")
+
+
+@dataclass
+class ResilienceReport:
+    """Retry/breaker/fault counters in workload-report form.
+
+    Build one from the stats surfaces of the resilience layer —
+    ``DatabaseRegistry.resilience_stats()`` merged with a
+    :class:`~repro.resilience.faults.FaultInjector`'s counters and the
+    engine results' retry totals — so a degraded-backend run can print
+    failure handling next to throughput.
+    """
+
+    retries: int = 0
+    injected_total: int = 0
+    breaker_opens: int = 0
+    breaker_rejections: int = 0
+    breaker_probes: int = 0
+    pool_evicted: int = 0
+    deadline_exceeded: int = 0
+
+    @classmethod
+    def from_stats(cls, stats: dict[str, int]) -> "ResilienceReport":
+        return cls(**{key: stats.get(key, 0)
+                      for key in ("retries", "injected_total",
+                                  "breaker_opens", "breaker_rejections",
+                                  "breaker_probes", "pool_evicted",
+                                  "deadline_exceeded")})
+
+    def delta(self, before: "ResilienceReport") -> "ResilienceReport":
+        """Counters accumulated since ``before``."""
+        return ResilienceReport(
+            retries=self.retries - before.retries,
+            injected_total=self.injected_total - before.injected_total,
+            breaker_opens=self.breaker_opens - before.breaker_opens,
+            breaker_rejections=(self.breaker_rejections
+                                - before.breaker_rejections),
+            breaker_probes=self.breaker_probes - before.breaker_probes,
+            pool_evicted=self.pool_evicted - before.pool_evicted,
+            deadline_exceeded=(self.deadline_exceeded
+                               - before.deadline_exceeded))
+
+    def row(self, label: str) -> str:
+        """One fixed-width table row (pairs with :meth:`header`)."""
+        return (f"{label:<14} {self.injected_total:>8} {self.retries:>8} "
+                f"{self.breaker_opens:>6} {self.breaker_rejections:>9} "
+                f"{self.pool_evicted:>8} {self.deadline_exceeded:>9}")
+
+    @staticmethod
+    def header() -> str:
+        return (f"{'resilience':<14} {'faults':>8} {'retries':>8} "
+                f"{'opens':>6} {'rejected':>9} {'evicted':>8} "
+                f"{'deadline':>9}")
 
 
 @dataclass

@@ -9,7 +9,8 @@ experiment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import Counter
+from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.cgi.environ import CgiEnvironment
@@ -69,10 +70,19 @@ class RunResult:
     summary: Summary
     responses: int
     failures: int
+    #: HTTP status → occurrence count, so a degraded-backend run can
+    #: distinguish fast 503 shedding from real 500 breakage.
+    status_counts: dict[int, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return self.failures == 0
+
+    @property
+    def success_rate(self) -> float:
+        if not self.responses:
+            return 0.0
+        return 1.0 - self.failures / self.responses
 
 
 def run_workload(gateway: CgiGateway,
@@ -89,6 +99,7 @@ def run_workload(gateway: CgiGateway,
     recorder = LatencyRecorder()
     failures = 0
     count = 0
+    statuses: Counter[int] = Counter()
     if check is None:
         def check(response: CgiResponse) -> bool:
             return response.status < 400
@@ -98,8 +109,9 @@ def run_workload(gateway: CgiGateway,
         with recorder.time():
             response = gateway.dispatch(program, cgi_request)
         count += 1
+        statuses[response.status] += 1
         if not check(response):
             failures += 1
     recorder.finish_run()
     return RunResult(summary=recorder.summary(), responses=count,
-                     failures=failures)
+                     failures=failures, status_counts=dict(statuses))

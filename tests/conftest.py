@@ -1,4 +1,12 @@
-"""Shared fixtures: seeded databases, installed applications, sites."""
+"""Shared fixtures: seeded databases, installed applications, sites.
+
+Chaos mode: ``pytest --inject-faults SPEC`` installs an *ambient* fault
+injector for the whole run (see :mod:`repro.resilience.faults`).  The
+gateway then injects transient faults into idempotent reads and absorbs
+them with a default retry policy — the full tier-1 suite must stay
+green under ``--inject-faults prob:0.05`` (CI's ``chaos`` job runs
+exactly that).
+"""
 
 from __future__ import annotations
 
@@ -10,6 +18,32 @@ from repro.apps import orders as orders_app
 from repro.apps import urlquery as urlquery_app
 from repro.core.engine import MacroEngine
 from repro.sql.gateway import DatabaseRegistry
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="run the whole suite under ambient database fault "
+             "injection, e.g. prob:0.05 (see repro.resilience.faults)")
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    spec = config.getoption("--inject-faults")
+    if spec:
+        from repro.resilience import faults
+        faults.set_ambient_injector(faults.FaultInjector.parse(spec))
+
+
+def pytest_unconfigure(config: pytest.Config) -> None:
+    if config.getoption("--inject-faults"):
+        from repro.resilience import faults
+        faults.set_ambient_injector(None)
+
+
+@pytest.fixture()
+def fault_spec(request: pytest.FixtureRequest) -> str:
+    """The chaos spec for fault-driven tests (CLI override or default)."""
+    return request.config.getoption("--inject-faults") or "prob:0.05"
 
 
 @pytest.fixture()

@@ -23,10 +23,12 @@ values = st.text(
 @st.composite
 def text_forms(draw):
     """A form of 1-6 text inputs with unique names and given values."""
-    count = draw(st.integers(min_value=1, max_value=6))
-    fields = {}
-    while len(fields) < count:
-        fields[draw(names)] = draw(values)
+    # draw the unique names as one bounded list: redrawing on collision
+    # in a loop occasionally burned enough entropy to trip Hypothesis's
+    # data_too_large health check and flake the suite
+    field_names = draw(st.lists(names, min_size=1, max_size=6,
+                                unique=True))
+    fields = {name: draw(values) for name in field_names}
     markup = "".join(
         element("input", type_="text", name=name, value=value)
         for name, value in fields.items())

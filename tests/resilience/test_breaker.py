@@ -1,0 +1,158 @@
+"""Circuit breaker: trip, fail fast, half-open probe, recovery."""
+
+import time
+
+import pytest
+
+from repro.errors import CircuitOpenError, SQLConnectError
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def tripped(clock, *, threshold=3, reset=1.0) -> CircuitBreaker:
+    breaker = CircuitBreaker(failure_threshold=threshold,
+                             reset_timeout=reset, name="TESTDB",
+                             clock=clock)
+    for _ in range(threshold):
+        breaker.allow()
+        breaker.record_failure()
+    return breaker
+
+
+class TestTripping:
+    def test_closed_below_threshold(self, clock):
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        for _ in range(2):
+            breaker.allow()
+            breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.allow()  # still admitting
+
+    def test_opens_at_threshold(self, clock):
+        breaker = tripped(clock)
+        assert breaker.state is BreakerState.OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()
+
+    def test_success_resets_consecutive_count(self, clock):
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        for _ in range(5):  # alternating: never 3 in a row
+            breaker.allow()
+            breaker.record_failure()
+            breaker.allow()
+            breaker.record_failure()
+            breaker.allow()
+            breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_rejection_carries_retry_after(self, clock):
+        breaker = tripped(clock, reset=10.0)
+        clock.advance(4.0)
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.allow()
+        assert excinfo.value.retry_after == pytest.approx(6.0)
+        assert excinfo.value.sqlstate == "08004"
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+
+class TestHalfOpen:
+    def test_probe_admitted_after_reset_timeout(self, clock):
+        breaker = tripped(clock, reset=1.0)
+        clock.advance(1.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.allow()  # the probe goes through
+
+    def test_single_probe_rule(self, clock):
+        breaker = tripped(clock, reset=1.0)
+        clock.advance(1.0)
+        breaker.allow()  # probe in flight
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()  # concurrent caller rejected meanwhile
+
+    def test_successful_probe_closes(self, clock):
+        breaker = tripped(clock, reset=1.0)
+        clock.advance(1.0)
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.allow()  # normal admission resumed
+
+    def test_failed_probe_reopens(self, clock):
+        breaker = tripped(clock, reset=1.0)
+        clock.advance(1.0)
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()
+
+    def test_reopened_breaker_waits_full_reset_again(self, clock):
+        breaker = tripped(clock, reset=1.0)
+        clock.advance(1.0)
+        breaker.allow()
+        breaker.record_failure()  # failed probe at t=1.0
+        clock.advance(0.5)
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()
+        clock.advance(0.5)  # full reset_timeout since the re-open
+        breaker.allow()
+
+
+class TestCallWrapper:
+    def test_call_records_outcomes(self, clock):
+        breaker = CircuitBreaker(failure_threshold=1, clock=clock)
+        with pytest.raises(SQLConnectError):
+            breaker.call(lambda: (_ for _ in ()).throw(
+                SQLConnectError("down")))
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(breaker.reset_timeout)
+        assert breaker.call(lambda: "ok") == "ok"
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestObservability:
+    def test_stats_counters(self, clock):
+        breaker = tripped(clock, threshold=2, reset=1.0)
+        for _ in range(3):
+            with pytest.raises(CircuitOpenError):
+                breaker.allow()
+        clock.advance(1.0)
+        breaker.allow()
+        breaker.record_success()
+        stats = breaker.stats()
+        assert stats["opens"] == 1
+        assert stats["rejections"] == 3
+        assert stats["probes"] == 1  # the single half-open probe
+        assert stats["consecutive_failures"] == 0
+
+
+class TestFailFast:
+    def test_open_breaker_rejects_in_microseconds(self):
+        """The acceptance bar: rejection must cost ~nothing (<50 ms)."""
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=60.0)
+        breaker.allow()
+        breaker.record_failure()
+        started = time.perf_counter()
+        for _ in range(100):
+            with pytest.raises(CircuitOpenError):
+                breaker.allow()
+        elapsed = time.perf_counter() - started
+        assert elapsed / 100 < 0.05

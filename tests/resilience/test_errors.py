@@ -1,0 +1,75 @@
+"""The DB2-flavoured error taxonomy behind the resilience layer.
+
+Satellite coverage for the SQLSTATE mapping: the retry loop, breaker
+and HTTP status mapping all key off these classes, so their codes are
+pinned here exactly.
+"""
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    ConnectionClosedError,
+    DeadlineExceededError,
+    PoolExhaustedError,
+    SQLConnectError,
+    SQLDeadlockError,
+    SQLError,
+    SQLTimeoutError,
+    SQLTransientError,
+    TRANSIENT_SQLSTATES,
+    is_transient,
+)
+
+
+class TestSqlstateMapping:
+    @pytest.mark.parametrize("cls,sqlcode,sqlstate", [
+        (SQLConnectError, -30081, "08001"),
+        (SQLDeadlockError, -911, "40001"),
+        (SQLTimeoutError, -913, "57033"),
+        (PoolExhaustedError, -1040, "57030"),
+        (CircuitOpenError, -30081, "08004"),
+        (DeadlineExceededError, -952, "57014"),
+    ])
+    def test_codes(self, cls, sqlcode, sqlstate):
+        error = cls("boom")
+        assert error.sqlcode == sqlcode
+        assert error.sqlstate == sqlstate
+
+    def test_connect_error_carries_custom_sqlstate(self):
+        assert SQLConnectError("lost", sqlstate="08006").sqlstate == "08006"
+
+    def test_circuit_open_carries_retry_after(self):
+        assert CircuitOpenError("open", retry_after=2.5).retry_after == 2.5
+
+    def test_transient_states_are_the_db2_unavailability_classes(self):
+        assert TRANSIENT_SQLSTATES == {"40001", "57030", "57033"}
+
+
+class TestIsTransient:
+    @pytest.mark.parametrize("error", [
+        SQLConnectError("down"),
+        SQLDeadlockError("deadlock"),
+        SQLTimeoutError("timeout"),
+        PoolExhaustedError("57030: no slot"),
+        CircuitOpenError("open"),
+        SQLTransientError("generic transient"),
+        ConnectionClosedError("closed"),
+    ])
+    def test_transient_classes(self, error):
+        assert is_transient(error)
+
+    def test_foreign_error_by_sqlstate_class_08(self):
+        assert is_transient(SQLError("lost", sqlstate="08006"))
+
+    def test_foreign_error_by_listed_sqlstate(self):
+        assert is_transient(SQLError("busy", sqlstate="57030"))
+
+    @pytest.mark.parametrize("error", [
+        DeadlineExceededError("spent"),  # retrying cannot help
+        SQLError("syntax", sqlstate="42601"),
+        SQLError("no state"),
+        ValueError("not sql at all"),
+    ])
+    def test_non_transient(self, error):
+        assert not is_transient(error)

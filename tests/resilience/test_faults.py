@@ -1,0 +1,193 @@
+"""Fault-injection harness: spec parsing, determinism, wrapping."""
+
+import pytest
+
+from repro.errors import (
+    SQLConnectError,
+    SQLError,
+    is_transient,
+)
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultSpec,
+    FaultSpecError,
+    FaultyConnection,
+    ambient_injector,
+    set_ambient_injector,
+    wrap_factory,
+)
+from repro.sql.connection import MemoryDatabase
+
+
+@pytest.fixture()
+def db():
+    database = MemoryDatabase()
+    conn = database.connect()
+    conn.executescript("CREATE TABLE t (x); INSERT INTO t VALUES (1);")
+    conn.close()
+    yield database
+    database.close()
+
+
+class TestSpecParsing:
+    def test_prob_sets_connect_and_query(self):
+        spec = FaultSpec.parse("prob:0.25")
+        assert spec.connect == 0.25
+        assert spec.query == 0.25
+        assert spec.slow == 0.0
+
+    def test_individual_clauses(self):
+        spec = FaultSpec.parse("connect:0.1,query:0.2,disconnect:0.3")
+        assert (spec.connect, spec.query, spec.disconnect) == (0.1, 0.2, 0.3)
+
+    def test_slow_with_duration(self):
+        spec = FaultSpec.parse("slow:0.5:0.125")
+        assert spec.slow == 0.5
+        assert spec.slow_seconds == 0.125
+
+    def test_slow_default_duration(self):
+        assert FaultSpec.parse("slow:1").slow_seconds == 0.05
+
+    def test_every_with_kind(self):
+        spec = FaultSpec.parse("every:3:connect")
+        assert spec.every == 3
+        assert spec.every_kind == "connect"
+
+    def test_every_defaults_to_query(self):
+        assert FaultSpec.parse("every:2").every_kind == "query"
+
+    def test_down_and_seed(self):
+        spec = FaultSpec.parse("down,seed:7")
+        assert spec.down is True
+        assert spec.seed == 7
+
+    def test_whitespace_tolerated(self):
+        spec = FaultSpec.parse(" prob:0.1 , seed:2 ")
+        assert spec.query == 0.1 and spec.seed == 2
+
+    @pytest.mark.parametrize("bad", [
+        "nope:1", "prob:2.0", "prob:-0.1", "prob:x",
+        "every:0", "every:1:pool", "seed:abc",
+    ])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(FaultSpecError):
+            FaultSpec.parse(bad)
+
+
+class TestInjectorDeterminism:
+    def _fault_pattern(self, injector, operations=200):
+        pattern = []
+        for _ in range(operations):
+            try:
+                injector.before_query("SELECT 1")
+                pattern.append(None)
+            except SQLError as exc:
+                pattern.append(type(exc).__name__)
+        return pattern
+
+    def test_same_seed_same_faults(self):
+        first = FaultInjector.parse("query:0.2,seed:11")
+        second = FaultInjector.parse("query:0.2,seed:11")
+        assert self._fault_pattern(first) == self._fault_pattern(second)
+        assert first.stats() == second.stats()
+
+    def test_different_seed_different_faults(self):
+        first = FaultInjector.parse("query:0.2,seed:11")
+        second = FaultInjector.parse("query:0.2,seed:12")
+        assert self._fault_pattern(first) != self._fault_pattern(second)
+
+    def test_every_nth_is_deterministic(self):
+        injector = FaultInjector.parse("every:3")
+        pattern = self._fault_pattern(injector, operations=9)
+        assert [p is not None for p in pattern] == [
+            False, False, True, False, False, True, False, False, True]
+
+    def test_injected_errors_are_transient(self):
+        injector = FaultInjector.parse("query:1.0")
+        for _ in range(20):
+            with pytest.raises(SQLError) as excinfo:
+                injector.before_query("SELECT 1")
+            assert is_transient(excinfo.value)
+            assert excinfo.value.sqlstate in {"40001", "57033", "57030"}
+
+    def test_down_fails_every_connect(self):
+        injector = FaultInjector.parse("down")
+        for _ in range(5):
+            with pytest.raises(SQLConnectError):
+                injector.before_connect()
+        assert injector.stats()["injected_down"] == 5
+
+    def test_slow_calls_sleep(self):
+        stalls = []
+        injector = FaultInjector.parse("slow:1.0:0.02",
+                                       sleep=stalls.append)
+        injector.before_query("SELECT 1")
+        assert stalls == [0.02]
+
+    def test_stats_counters(self):
+        injector = FaultInjector.parse("query:1.0")
+        with pytest.raises(SQLError):
+            injector.before_query("SELECT 1")
+        injector_stats = injector.stats()
+        assert injector_stats["query_ops"] == 1
+        assert injector_stats["injected_query"] == 1
+        assert injector_stats["injected_total"] == 1
+        assert injector_stats["injected_connect"] == 0
+
+
+class TestWrappedConnections:
+    def test_wrap_factory_injects_connect_failures(self, db):
+        factory = wrap_factory(db.connect, FaultInjector.parse("down"))
+        with pytest.raises(SQLConnectError):
+            factory()
+
+    def test_clean_injector_passes_through(self, db):
+        factory = wrap_factory(db.connect, FaultInjector())
+        with factory() as conn:
+            assert conn.execute("SELECT x FROM t").fetchone() == (1,)
+
+    def test_query_fault_raised_before_execution(self, db):
+        factory = wrap_factory(db.connect, FaultInjector.parse("every:1"))
+        conn = factory()
+        with pytest.raises(SQLError):
+            conn.execute("INSERT INTO t VALUES (2)")
+        conn.close()
+        with db.connect() as verify:
+            # injection happens *before* the statement touches the
+            # database, so no partial state is left behind
+            count = verify.execute("SELECT COUNT(*) FROM t").fetchone()
+        assert count == (1,)
+
+    def test_disconnect_closes_real_connection(self, db):
+        factory = wrap_factory(db.connect,
+                               FaultInjector.parse("disconnect:1.0"))
+        conn = factory()
+        with pytest.raises(SQLConnectError) as excinfo:
+            conn.execute("SELECT x FROM t")
+        assert excinfo.value.sqlstate == "08006"
+        assert conn.closed  # pool health checks see a dead connection
+
+    def test_proxy_delegates_and_generation_writes_through(self, db):
+        real = db.connect()
+        proxy = FaultyConnection(real, FaultInjector())
+        assert proxy.ping()
+        marker = object()
+        proxy.generation = marker
+        assert real.generation is marker
+        proxy.close()
+        assert real.closed
+
+
+class TestAmbientInjector:
+    def test_install_and_clear(self):
+        # restore whatever was ambient before: under a chaos run
+        # (--inject-faults) the whole suite shares one injector
+        previous = ambient_injector()
+        injector = FaultInjector()
+        set_ambient_injector(injector)
+        try:
+            assert ambient_injector() is injector
+            set_ambient_injector(None)
+            assert ambient_injector() is None
+        finally:
+            set_ambient_injector(previous)

@@ -1,0 +1,171 @@
+"""Retry policy, backoff schedule, and deadline budgets."""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceededError,
+    SQLDeadlockError,
+    SQLSyntaxError,
+)
+from repro.resilience.deadline import Deadline, remaining_or
+from repro.resilience.retry import (
+    DEFAULT_RETRY,
+    NO_RETRY,
+    RetryPolicy,
+    call_with_retry,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestRetryPolicy:
+    def test_exponential_schedule_without_jitter(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.01,
+                             multiplier=2.0, max_delay=1.0, jitter=0.0)
+        assert [policy.delay(n) for n in (1, 2, 3, 4)] == [
+            0.01, 0.02, 0.04, 0.08]
+
+    def test_delay_capped_at_max(self):
+        policy = RetryPolicy(max_attempts=10, base_delay=0.1,
+                             multiplier=10.0, max_delay=0.5, jitter=0.0)
+        assert policy.delay(4) == 0.5
+
+    def test_jitter_randomises_top_half(self):
+        policy = RetryPolicy(base_delay=0.04, jitter=0.5)
+        rng = random.Random(96)
+        delays = [policy.delay(1, rng) for _ in range(200)]
+        assert all(0.02 <= d <= 0.04 for d in delays)
+        assert len(set(delays)) > 1  # actually randomised
+
+    def test_retries_property(self):
+        assert RetryPolicy(max_attempts=4).retries == 3
+        assert NO_RETRY.retries == 0
+        assert DEFAULT_RETRY.retries == 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+
+class TestCallWithRetry:
+    def _flaky(self, failures, error=None):
+        state = {"calls": 0}
+
+        def func():
+            state["calls"] += 1
+            if state["calls"] <= failures:
+                raise error or SQLDeadlockError("transient")
+            return "ok"
+
+        return func, state
+
+    def test_succeeds_after_transient_failures(self):
+        func, state = self._flaky(failures=2)
+        retried = []
+        result = call_with_retry(
+            func, policy=RetryPolicy(max_attempts=4, base_delay=0.001),
+            sleep=lambda _s: None,
+            on_retry=lambda attempt, error, delay:
+                retried.append((attempt, type(error).__name__)))
+        assert result == "ok"
+        assert state["calls"] == 3
+        assert retried == [(1, "SQLDeadlockError"),
+                           (2, "SQLDeadlockError")]
+
+    def test_exhausted_attempts_reraise_last_error(self):
+        func, state = self._flaky(failures=99)
+        with pytest.raises(SQLDeadlockError):
+            call_with_retry(
+                func, policy=RetryPolicy(max_attempts=3, base_delay=0.001),
+                sleep=lambda _s: None)
+        assert state["calls"] == 3
+
+    def test_non_transient_never_retried(self):
+        func, state = self._flaky(
+            failures=1, error=SQLSyntaxError("near FROM"))
+        with pytest.raises(SQLSyntaxError):
+            call_with_retry(
+                func, policy=RetryPolicy(max_attempts=5),
+                sleep=lambda _s: None)
+        assert state["calls"] == 1
+
+    def test_no_retry_policy_is_single_attempt(self):
+        func, state = self._flaky(failures=1)
+        with pytest.raises(SQLDeadlockError):
+            call_with_retry(func, policy=NO_RETRY, sleep=lambda _s: None)
+        assert state["calls"] == 1
+
+    def test_refuses_to_sleep_past_deadline(self):
+        clock = FakeClock()
+        deadline = Deadline.after(0.005, clock=clock)
+        func, state = self._flaky(failures=99)
+        policy = RetryPolicy(max_attempts=10, base_delay=0.01, jitter=0.0)
+        with pytest.raises(SQLDeadlockError):
+            # first backoff (10 ms) would overshoot the 5 ms budget, so
+            # the transient error surfaces instead of being retried
+            call_with_retry(func, policy=policy, deadline=deadline,
+                            sleep=lambda _s: None)
+        assert state["calls"] == 1
+
+    def test_expired_deadline_raises_before_calling(self):
+        clock = FakeClock()
+        deadline = Deadline.after(0.01, clock=clock)
+        clock.advance(0.02)
+        func, state = self._flaky(failures=0)
+        with pytest.raises(DeadlineExceededError):
+            call_with_retry(func, policy=NO_RETRY, deadline=deadline)
+        assert state["calls"] == 0
+
+
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(1.0)
+        clock.advance(0.4)
+        assert deadline.remaining() == pytest.approx(0.6)
+
+    def test_remaining_never_negative(self):
+        clock = FakeClock()
+        deadline = Deadline.after(0.1, clock=clock)
+        clock.advance(5.0)
+        assert deadline.remaining() == 0.0
+        assert deadline.expired
+
+    def test_check_raises_when_spent(self):
+        clock = FakeClock()
+        deadline = Deadline.after(0.1, clock=clock)
+        deadline.check("statement")  # within budget: no-op
+        clock.advance(0.2)
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            deadline.check("statement")
+        assert "statement" in str(excinfo.value)
+        assert excinfo.value.sqlstate == "57014"
+
+    def test_cap_limits_layer_timeouts(self):
+        clock = FakeClock()
+        deadline = Deadline.after(0.3, clock=clock)
+        assert deadline.cap(5.0) == pytest.approx(0.3)
+        assert deadline.cap(0.1) == pytest.approx(0.1)
+        assert deadline.cap(None) == pytest.approx(0.3)
+
+    def test_remaining_or_default(self):
+        clock = FakeClock()
+        deadline = Deadline.after(0.5, clock=clock)
+        assert remaining_or(deadline, 9.0) == pytest.approx(0.5)
+        assert remaining_or(None, 9.0) == 9.0

@@ -1,6 +1,7 @@
 """Connection pools: reuse, exhaustion, per-request strategy."""
 
 import threading
+import time
 
 import pytest
 
@@ -134,6 +135,90 @@ class TestConnectionPool:
         fresh = pool.acquire()
         assert not fresh.closed
         pool.release(fresh)
+        pool.close()
+
+
+class TestReleaseEviction:
+    """Health validation on release: broken connections never recycle."""
+
+    def test_broken_release_evicts_and_replaces(self, db):
+        """Regression: a connection flagged broken must be evicted and
+        its capacity slot given to a freshly created replacement."""
+        created = {"n": 0}
+
+        def counting_factory():
+            created["n"] += 1
+            return db.connect()
+
+        pool = ConnectionPool(counting_factory, size=1)
+        conn = pool.acquire()
+        assert created["n"] == 1
+        pool.release(conn, broken=True)
+        assert conn.closed  # evicted, not parked in the idle queue
+        assert pool.stats["evicted"] == 1
+        fresh = pool.acquire()
+        assert created["n"] == 2  # replacement built, capacity intact
+        assert not fresh.closed
+        pool.release(fresh)
+        assert pool.stats["evicted"] == 1  # healthy release recycles
+        pool.close()
+
+    def test_exception_in_checkout_flags_broken(self, db):
+        pool = ConnectionPool(db.connect, size=1)
+        with pytest.raises(RuntimeError):
+            with pool.connection():
+                raise RuntimeError("request blew up on this connection")
+        assert pool.stats["evicted"] == 1
+        with pool.connection() as conn:  # the replacement works
+            assert conn.execute("SELECT x FROM p").fetchone() == (1,)
+        pool.close()
+
+    def test_unpingable_connection_evicted(self, db):
+        pool = ConnectionPool(db.connect, size=1)
+        conn = pool.acquire()
+
+        class Zombie:
+            """Open-looking connection whose health check fails."""
+            closed = False
+            in_transaction = False
+
+            def ping(self):
+                return False
+
+            def close(self):
+                self.closed = True
+
+        zombie = Zombie()
+        pool.release(zombie)
+        assert zombie.closed
+        assert pool.stats["evicted"] == 1
+        conn.close()
+        pool.close()
+
+
+class TestAcquireDeadline:
+    def test_deadline_caps_the_wait(self, db):
+        from repro.resilience.deadline import Deadline
+
+        pool = ConnectionPool(db.connect, size=1, timeout=30.0)
+        held = pool.acquire()
+        started = time.perf_counter()
+        with pytest.raises(PoolExhaustedError):
+            pool.acquire(deadline=Deadline.after(0.05))
+        # gave up on the deadline's budget, not the pool's 30 s timeout
+        assert time.perf_counter() - started < 5.0
+        pool.release(held)
+        pool.close()
+
+    def test_spent_deadline_raises_immediately(self, db):
+        from repro.errors import DeadlineExceededError
+        from repro.resilience.deadline import Deadline
+
+        pool = ConnectionPool(db.connect, size=1, timeout=30.0)
+        held = pool.acquire()
+        with pytest.raises(DeadlineExceededError):
+            pool.acquire(deadline=Deadline.after(0.0))
+        pool.release(held)
         pool.close()
 
 
