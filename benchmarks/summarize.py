@@ -40,6 +40,8 @@ EXPERIMENTS = {
     "bench_perf_substitution": ("PERF-SUB", "Substitution scaling"),
     "bench_perf_report": ("PERF-RPT", "Report scaling"),
     "bench_perf_end": ("PERF-E2E", "Execution-mode latency"),
+    "bench_perf_appserver": ("PERF-APPSRV",
+                             "App-server gateway + streaming"),
     "bench_perf_concurrency": ("PERF-CONC", "Concurrent clients"),
     "bench_ext_scrollable": ("EXT-PAGE", "Scrollable cursor paging"),
     "bench_ext_keepalive": ("EXT-KEEPALIVE", "Persistent connections"),
@@ -65,6 +67,7 @@ def experiment_for(fullname: str) -> tuple[str, str]:
 _SPEEDUP_ARTIFACTS = {
     "perf_compiled_speedup.txt": "compiled_report_rows_per_sec",
     "perf_query_cache.txt": "query_cache_requests_per_sec",
+    "perf_appserver.txt": "appserver_requests_per_sec",
 }
 
 

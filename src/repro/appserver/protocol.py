@@ -1,0 +1,156 @@
+"""The dispatcher↔worker frame protocol.
+
+FastCGI-flavoured but deliberately tiny: every message on the Unix
+socket is one frame —
+
+===========  =========================================================
+``1 byte``    frame type (the ``FRAME_*`` constants)
+``4 bytes``   payload length, unsigned big-endian
+``N bytes``   payload
+===========  =========================================================
+
+Control frames (``HELLO``/``PING``/``PONG``/``SHUTDOWN``) carry a small
+JSON object or nothing.  ``REQUEST``/``RESPONSE`` payloads are a JSON
+header (CGI environment, or status line and headers) length-prefixed
+the same way, followed by the raw body bytes — the body is never
+JSON-escaped, so a megabyte page costs a memcpy, not an encode.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Optional
+
+from repro.cgi.environ import CgiEnvironment
+from repro.cgi.request import CgiRequest, CgiResponse
+from repro.errors import CgiProtocolError
+
+FRAME_HELLO = 0x01      # worker → dispatcher, on connect
+FRAME_REQUEST = 0x02    # dispatcher → worker
+FRAME_RESPONSE = 0x03   # worker → dispatcher
+FRAME_PING = 0x04       # dispatcher → worker, health check
+FRAME_PONG = 0x05       # worker → dispatcher, carries counters
+FRAME_SHUTDOWN = 0x06   # dispatcher → worker, drain and exit
+
+_FRAME_HEAD = struct.Struct(">BI")
+_JSON_LEN = struct.Struct(">I")
+
+#: A frame larger than this is a protocol violation, not a big page.
+MAX_FRAME_SIZE = 64 * 1024 * 1024
+
+
+def send_frame(sock: socket.socket, frame_type: int,
+               payload: bytes = b"") -> None:
+    sock.sendall(_FRAME_HEAD.pack(frame_type, len(payload)) + payload)
+
+
+def recv_frame(sock: socket.socket) -> Optional[tuple[int, bytes]]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    EOF in the *middle* of a frame means the peer died mid-message and
+    raises :class:`CgiProtocolError` — the dispatcher treats that as a
+    worker crash.
+    """
+    head = _recv_exact(sock, _FRAME_HEAD.size, eof_ok=True)
+    if head is None:
+        return None
+    frame_type, length = _FRAME_HEAD.unpack(head)
+    if length > MAX_FRAME_SIZE:
+        raise CgiProtocolError(
+            f"app-server frame of {length} bytes exceeds the "
+            f"{MAX_FRAME_SIZE}-byte limit")
+    payload = _recv_exact(sock, length) if length else b""
+    return frame_type, payload
+
+
+def _recv_exact(sock: socket.socket, count: int, *,
+                eof_ok: bool = False) -> Optional[bytes]:
+    parts = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 65536))
+        if not chunk:
+            if eof_ok and remaining == count:
+                return None
+            raise CgiProtocolError(
+                "app-server connection closed mid-frame")
+        parts.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(parts)
+
+
+# -- payload codecs --------------------------------------------------------
+
+def _pack_json(header: dict, body: bytes) -> bytes:
+    encoded = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return _JSON_LEN.pack(len(encoded)) + encoded + body
+
+
+def _unpack_json(payload: bytes) -> tuple[dict, bytes]:
+    if len(payload) < _JSON_LEN.size:
+        raise CgiProtocolError("app-server payload too short for header")
+    (length,) = _JSON_LEN.unpack_from(payload)
+    start = _JSON_LEN.size
+    if len(payload) < start + length:
+        raise CgiProtocolError("app-server payload header truncated")
+    try:
+        header = json.loads(payload[start:start + length])
+    except ValueError as exc:
+        raise CgiProtocolError(
+            f"malformed app-server header: {exc}") from exc
+    return header, payload[start + length:]
+
+
+def encode_request(request: CgiRequest) -> bytes:
+    return _pack_json({"environ": request.environ.to_dict()},
+                      request.stdin)
+
+
+def decode_request(payload: bytes) -> CgiRequest:
+    header, body = _unpack_json(payload)
+    environ = CgiEnvironment.from_dict(dict(header.get("environ", {})))
+    return CgiRequest(environ=environ, stdin=body)
+
+
+def encode_response(response: CgiResponse) -> bytes:
+    # Workers answer with complete pages; a streaming body is drained
+    # here (the dispatcher side of the socket re-buffers anyway).
+    response.drain()
+    header = {
+        "status": response.status,
+        "reason": response.reason,
+        "headers": [[key, value] for key, value in response.headers],
+    }
+    return _pack_json(header, response.body)
+
+
+def decode_response(payload: bytes) -> CgiResponse:
+    header, body = _unpack_json(payload)
+    try:
+        status = int(header["status"])
+        reason = str(header.get("reason", "OK"))
+        headers = [(str(k), str(v)) for k, v in header.get("headers", [])]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CgiProtocolError(
+            f"malformed app-server response header: {exc}") from exc
+    return CgiResponse(status=status, reason=reason, headers=headers,
+                       body=body)
+
+
+def encode_control(fields: dict) -> bytes:
+    return json.dumps(fields, separators=(",", ":")).encode("utf-8")
+
+
+def decode_control(payload: bytes) -> dict:
+    if not payload:
+        return {}
+    try:
+        fields = json.loads(payload)
+    except ValueError as exc:
+        raise CgiProtocolError(
+            f"malformed app-server control frame: {exc}") from exc
+    if not isinstance(fields, dict):
+        raise CgiProtocolError("app-server control frame is not an object")
+    return fields

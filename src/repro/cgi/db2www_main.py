@@ -18,6 +18,15 @@ sets (the 1996 equivalent was the DB2WWW initialisation file):
     name, which is taken as upper-case here).
 ``REPRO_TRANSACTION_MODE``
     ``auto_commit`` (default) or ``single``.
+``REPRO_QUERY_CACHE``
+    Capacity of a per-process query-result cache (unset or ``0``
+    disables it).  Pointless for process-per-request CGI — the cache
+    dies with the process — but the app-server workers live across
+    requests and share it profitably.
+``REPRO_POOL_SIZE``
+    Size of a connection pool attached to each registered database
+    (unset or ``0`` means a fresh connection per request).  Same story:
+    only long-lived processes benefit.
 """
 
 from __future__ import annotations
@@ -31,9 +40,21 @@ from repro.cgi.request import CgiRequest
 from repro.core.engine import EngineConfig, MacroEngine
 from repro.core.macrofile import MacroLibrary
 from repro.sql.gateway import DatabaseRegistry
+from repro.sql.querycache import QueryResultCache
 from repro.sql.transactions import TransactionMode
 
 _DB_PREFIX = "REPRO_DATABASE_"
+
+
+def _int_env(env: dict[str, str], name: str) -> int:
+    raw = env.get(name, "").strip()
+    if not raw:
+        return 0
+    try:
+        return max(0, int(raw))
+    except ValueError as exc:
+        raise RuntimeError(f"{name}: expected an integer, "
+                           f"got {raw!r}") from exc
 
 
 def build_program(env: dict[str, str]) -> Db2WwwProgram:
@@ -42,16 +63,27 @@ def build_program(env: dict[str, str]) -> Db2WwwProgram:
     if not macro_dir:
         raise RuntimeError("REPRO_MACRO_DIR is not configured")
     registry = DatabaseRegistry()
+    names = []
     for key, value in env.items():
         if key.startswith(_DB_PREFIX) and value:
-            registry.register_path(key[len(_DB_PREFIX):], value)
+            name = key[len(_DB_PREFIX):]
+            registry.register_path(name, value)
+            names.append(name)
     try:
         mode = TransactionMode.parse(
             env.get("REPRO_TRANSACTION_MODE", "auto_commit"))
     except ValueError as exc:
         raise RuntimeError(f"REPRO_TRANSACTION_MODE: {exc}") from exc
+    pool_size = _int_env(env, "REPRO_POOL_SIZE")
+    if pool_size:
+        for name in names:
+            registry.attach_pool(name, size=pool_size)
+    cache_size = _int_env(env, "REPRO_QUERY_CACHE")
+    cache = (QueryResultCache(max_entries=cache_size)
+             if cache_size else None)
     engine = MacroEngine(registry,
-                         config=EngineConfig(transaction_mode=mode))
+                         config=EngineConfig(transaction_mode=mode,
+                                             query_cache=cache))
     library = MacroLibrary(macro_dir)
     return Db2WwwProgram(engine, library)
 

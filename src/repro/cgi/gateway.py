@@ -124,10 +124,17 @@ class Db2WwwProgram:
     """
 
     def __init__(self, engine: MacroEngine, library: MacroLibrary, *,
-                 charset: str = "utf-8"):
+                 charset: str = "utf-8", stream: bool = False):
         self.engine = engine
         self.library = library
         self.charset = charset
+        #: When true, report pages are produced as a chunk stream riding
+        #: the live SQL cursor (close-delimited HTTP emission) instead of
+        #: one buffered body — first-byte latency and peak memory stay
+        #: flat as reports grow.  Errors raised before the first chunk
+        #: still map to the error pages below; later failures surface
+        #: mid-stream as a truncated page.
+        self.stream = stream
 
     def run(self, request: CgiRequest) -> CgiResponse:
         components = request.path_components()
@@ -146,9 +153,11 @@ class Db2WwwProgram:
             command = MacroCommand.parse(command_text)
         except MacroExecutionError as exc:
             return error_response(400, "Bad Request", str(exc))
+        inputs = request.input_pairs()
+        if self.stream:
+            return self._run_stream(macro, command, inputs)
         try:
-            result = self.engine.execute(macro, command,
-                                         request.input_pairs())
+            result = self.engine.execute(macro, command, inputs)
         except (CircuitOpenError, PoolExhaustedError) as exc:
             return unavailable_response(exc)
         except DeadlineExceededError as exc:
@@ -163,6 +172,53 @@ class Db2WwwProgram:
             content_type = f"{content_type}; charset={self.charset}"
         return CgiResponse(
             headers=[("Content-Type", content_type)], body=body)
+
+    # -- streaming ---------------------------------------------------------
+
+    def _run_stream(self, macro, command: MacroCommand,
+                    inputs: list[tuple[str, str]]) -> CgiResponse:
+        """Produce the page as a streaming response.
+
+        The first non-empty chunk is pulled eagerly: it forces macro
+        processing up to the first output, so page-level failures (bad
+        macro, unreachable database, missing section) surface here and
+        map to the same error pages as the buffered path — and by then
+        ``result.content_type`` is pinned, so the headers can go out
+        before the rest of the body exists.
+        """
+        stream = self.engine.execute_stream(macro, command, inputs)
+        chunks = stream.chunks
+        try:
+            first = ""
+            for chunk in chunks:
+                if chunk:
+                    first = chunk
+                    break
+        except (CircuitOpenError, PoolExhaustedError) as exc:
+            return unavailable_response(exc)
+        except DeadlineExceededError as exc:
+            return error_response(504, "Gateway Timeout",
+                                  f"{type(exc).__name__}: {exc}")
+        except (MacroError, MacroExecutionError, SQLError) as exc:
+            return error_response(500, "Macro Execution Error",
+                                  f"{type(exc).__name__}: {exc}")
+        content_type = stream.result.content_type
+        if "charset=" not in content_type:
+            content_type = f"{content_type}; charset={self.charset}"
+        return CgiResponse(
+            headers=[("Content-Type", content_type)],
+            body=first.encode(self.charset, "replace"),
+            body_iter=self._encode_chunks(chunks))
+
+    def _encode_chunks(self, chunks):
+        try:
+            for chunk in chunks:
+                if chunk:
+                    yield chunk.encode(self.charset, "replace")
+        finally:
+            close = getattr(chunks, "close", None)
+            if close is not None:
+                close()
 
 
 class FunctionProgram:

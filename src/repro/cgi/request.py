@@ -11,6 +11,7 @@ benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator, Optional
 
 from repro.cgi.environ import CgiEnvironment
 from repro.cgi.query_string import decode_pairs
@@ -55,6 +56,20 @@ class CgiResponse:
     reason: str = "OK"
     headers: list[tuple[str, str]] = field(default_factory=list)
     body: bytes = b""
+    #: Streaming body: when set, the page arrives as byte chunks and
+    #: ``body`` is empty.  Transports that cannot stream call
+    #: :meth:`drain` to fall back to a buffered body.
+    body_iter: Optional[Iterator[bytes]] = None
+
+    @property
+    def streaming(self) -> bool:
+        return self.body_iter is not None
+
+    def drain(self) -> None:
+        """Materialise a streaming body into ``body`` (no-op otherwise)."""
+        if self.body_iter is not None:
+            chunks, self.body_iter = self.body_iter, None
+            self.body = self.body + b"".join(chunks)
 
     def header(self, name: str, default: str = "") -> str:
         folded = name.lower()

@@ -77,6 +77,25 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="NAME=PATH")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8000)
+    serve.add_argument("--gateway", default="inprocess",
+                       choices=["inprocess", "subprocess", "appserver"],
+                       help="execution model behind /cgi-bin/db2www: "
+                            "in-process engine, process-per-request "
+                            "CGI, or the persistent app-server pool "
+                            "(see docs/deployment.md, Gateway modes)")
+    serve.add_argument("--workers", type=int, default=4, metavar="N",
+                       help="app-server worker processes "
+                            "(--gateway appserver only)")
+    serve.add_argument("--recycle-after", type=int, default=500,
+                       metavar="N", dest="recycle_after",
+                       help="recycle each app-server worker after N "
+                            "requests")
+    serve.add_argument("--stream", action="store_true",
+                       help="stream report pages off the live SQL "
+                            "cursor (close-delimited responses; "
+                            "--gateway inprocess only)")
+    serve.add_argument("--backlog", type=int, default=128,
+                       help="listen(2) backlog of the HTTP server")
     serve.add_argument("--query-cache", type=int, default=128,
                        metavar="ENTRIES", dest="query_cache",
                        help="max cached SELECT results (0 disables)")
@@ -226,14 +245,27 @@ def _cmd_unparse(args, out) -> int:
 
 
 def _cmd_stats(args, out) -> int:
+    import json
     from collections import Counter
 
     from repro.http.accesslog import parse_line
 
     entries = []
     skipped = 0
+    counters: dict[str, int] = {}
     for line in args.logfile.read_text(encoding="utf-8").splitlines():
         if not line.strip():
+            continue
+        if line.startswith("#stats "):
+            # Server-side counter trailer (AccessLog.append_stats_note);
+            # later notes supersede earlier ones key by key.
+            try:
+                note = json.loads(line[len("#stats "):])
+            except ValueError:
+                skipped += 1
+                continue
+            if isinstance(note, dict):
+                counters.update({str(k): v for k, v in note.items()})
             continue
         entry = parse_line(line)
         if entry is None:
@@ -260,32 +292,82 @@ def _cmd_stats(args, out) -> int:
     for status, hits in sorted(Counter(
             e.status for e in entries).items()):
         print(f"  {status}: {hits}", file=out)
+    if counters:
+        print("\nserver counters:", file=out)
+        for key in sorted(counters):
+            print(f"  {key}: {counters[key]}", file=out)
     return 0
 
 
-def _cmd_serve(args, out) -> int:  # pragma: no cover - interactive
-    from repro.apps.site import build_site
-
-    registry = DatabaseRegistry()
+def _worker_env(args) -> dict[str, str]:
+    """Application configuration for out-of-process gateways."""
+    env = {"REPRO_MACRO_DIR": str(args.macros.resolve())}
     for name, path in _parse_bindings(args.database, "--database"):
-        registry.register_path(name, path)
-    config = EngineConfig()
+        env[f"REPRO_DATABASE_{name.upper()}"] = str(Path(path).resolve())
     if args.query_cache > 0:
-        from repro.sql.querycache import QueryResultCache
-        config.query_cache = QueryResultCache(max_entries=args.query_cache)
-    _apply_resilience(args, registry, config)
-    engine = MacroEngine(registry, config=config)
-    library = MacroLibrary(args.macros, stat_ttl=args.macro_stat_ttl)
-    site = build_site(engine, library)
+        env["REPRO_QUERY_CACHE"] = str(args.query_cache)
+    # One request at a time per worker: a small pool just keeps the
+    # connection warm between requests.
+    env["REPRO_POOL_SIZE"] = "1"
+    return env
+
+
+def _cmd_serve(args, out) -> int:  # pragma: no cover - interactive
+    from repro.http.router import Router
+    from repro.http.server import HttpServer
+
+    if args.stream and args.gateway != "inprocess":
+        raise SystemExit(
+            "--stream requires --gateway inprocess (worker responses "
+            "cross the dispatch socket as complete frames)")
+    dispatcher = None
+    log = None
+    stats_sources = []
+    if args.gateway == "inprocess":
+        registry = DatabaseRegistry()
+        for name, path in _parse_bindings(args.database, "--database"):
+            registry.register_path(name, path)
+        config = EngineConfig()
+        if args.query_cache > 0:
+            from repro.sql.querycache import QueryResultCache
+            config.query_cache = QueryResultCache(
+                max_entries=args.query_cache)
+        _apply_resilience(args, registry, config)
+        engine = MacroEngine(registry, config=config)
+        library = MacroLibrary(args.macros, stat_ttl=args.macro_stat_ttl)
+        from repro.apps.site import build_site
+        site = build_site(engine, library, stream=args.stream)
+        router = site.router
+        stats_sources.append(("resilience", registry.resilience_stats))
+        if config.query_cache is not None:
+            stats_sources.append(("query_cache", config.query_cache.stats))
+    else:
+        from repro.cgi.gateway import CgiGateway
+        gateway = CgiGateway()
+        if args.gateway == "subprocess":
+            from repro.cgi.process import SubprocessCgiRunner
+            gateway.install("db2www",
+                            SubprocessCgiRunner(extra_env=_worker_env(args)))
+        else:
+            from repro.appserver import AppServerDispatcher
+            dispatcher = AppServerDispatcher(
+                _worker_env(args), workers=args.workers,
+                recycle_after=args.recycle_after)
+            gateway.install("db2www", dispatcher)
+            stats_sources.append(("appserver", dispatcher.stats))
+        router = Router(gateway=gateway, server_name=args.host)
     if args.access_log is not None:
         from repro.http.accesslog import AccessLog
         log = AccessLog(args.access_log)
-        log.attach_stats_source("resilience", registry.resilience_stats)
-        if config.query_cache is not None:
-            log.attach_stats_source("query_cache", config.query_cache.stats)
-        site.router.access_log = log
-    server = site.serve(host=args.host, port=args.port)
-    print(f"serving macros from {args.macros} on {server.base_url}",
+        for name, source in stats_sources:
+            log.attach_stats_source(name, source)
+        router.access_log = log
+    server = HttpServer(router, host=args.host, port=args.port,
+                        backlog=args.backlog).start()
+    print(f"serving macros from {args.macros} on {server.base_url} "
+          f"({args.gateway} gateway"
+          + (f", {args.workers} workers" if dispatcher else "")
+          + (", streaming" if args.stream else "") + ")",
           file=out)
     print("press Ctrl-C to stop", file=out)
     try:
@@ -295,4 +377,11 @@ def _cmd_serve(args, out) -> int:  # pragma: no cover - interactive
         pass
     finally:
         server.shutdown()
+        if log is not None:
+            # Counters survive the process in the log file, where
+            # `repro stats` picks them up (before worker teardown, so
+            # the live pool size is captured).
+            log.append_stats_note()
+        if dispatcher is not None:
+            dispatcher.shutdown()
     return 0

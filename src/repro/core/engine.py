@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 from repro.core import ast
 from repro.core.messages import resolve_message
@@ -147,6 +147,24 @@ class MacroResult:
         return not self.sql_errors and not self.aborted
 
 
+@dataclass
+class MacroStream:
+    """A macro invocation rendered as a chunk stream.
+
+    ``chunks`` yields the page incrementally — first byte out as soon as
+    the first HTML piece is evaluated, SQL rows rendered straight off the
+    live cursor.  ``result`` is the same object the buffered path
+    returns; its ``statements``/``sql_errors``/``retries`` fields fill in
+    as the stream advances and are final once ``chunks`` is exhausted
+    (``result.html`` stays empty — the chunks *are* the page).
+    ``result.content_type`` is valid as soon as the first chunk has been
+    produced, so a transport can emit headers before the body.
+    """
+
+    chunks: Iterator[str]
+    result: MacroResult
+
+
 def _should_propagate(error: SQLError) -> bool:
     """Errors that should become 503/504 responses, not report content."""
     return isinstance(error, (CircuitOpenError, PoolExhaustedError,
@@ -194,13 +212,41 @@ class MacroEngine:
                        client_inputs: Sequence[tuple[str, str]] = ()) -> MacroResult:
         return self.execute(macro, MacroCommand.REPORT, client_inputs)
 
+    def execute_stream(self, macro: ast.MacroFile,
+                       command: MacroCommand | str,
+                       client_inputs: Sequence[tuple[str, str]] = ()
+                       ) -> MacroStream:
+        """Process ``macro`` as an incremental chunk stream.
+
+        Identical processing to :meth:`execute` — the buffered path is
+        literally the join of this stream — except that SQL result rows
+        ride the live cursor instead of being fetched up front, so first
+        byte latency and peak memory stay flat as reports grow.  Query
+        results consumed this way bypass the query cache (their rows
+        stream once).  Errors raised before the first chunk surface
+        exactly as in :meth:`execute`; after that they propagate from
+        the iterator mid-stream.
+        """
+        if isinstance(command, str):
+            command = MacroCommand.parse(command)
+        run = _MacroRun(self, macro, command, client_inputs,
+                        stream_rows=True)
+        return MacroStream(chunks=run.stream(), result=run.result)
+
+    def execute_report_stream(self, macro: ast.MacroFile,
+                              client_inputs: Sequence[tuple[str, str]] = ()
+                              ) -> MacroStream:
+        return self.execute_stream(macro, MacroCommand.REPORT,
+                                   client_inputs)
+
 
 class _MacroRun:
     """State for one macro invocation (kept off the engine for clarity)."""
 
     def __init__(self, engine: MacroEngine, macro: ast.MacroFile,
                  command: MacroCommand,
-                 client_inputs: Sequence[tuple[str, str]]):
+                 client_inputs: Sequence[tuple[str, str]], *,
+                 stream_rows: bool = False):
         self.engine = engine
         self.macro = macro
         self.command = command
@@ -212,7 +258,8 @@ class _MacroRun:
             self.store, self.evaluator,
             escape_values=engine.config.escape_report_values,
             compile_templates=engine.config.compiled_reports)
-        self.out: list[str] = []
+        #: When true, SQL results ride the live cursor (streaming mode).
+        self.stream_rows = stream_rows
         self.session: Optional[MacroSqlSession] = None
         self.deadline = (Deadline.after(engine.config.request_deadline)
                          if engine.config.request_deadline is not None
@@ -230,8 +277,19 @@ class _MacroRun:
     # ------------------------------------------------------------------
 
     def execute(self) -> MacroResult:
+        out = list(self.stream())
+        self.result.html = "".join(out)
+        return self.result
+
+    def stream(self) -> Iterator[str]:
+        """The page as a chunk generator (the single processing path).
+
+        The buffered :meth:`execute` joins this stream; the streaming
+        transports forward it chunk by chunk.  Session finalisation runs
+        even when the consumer abandons the iterator early.
+        """
         try:
-            self._walk()
+            yield from self._walk()
         finally:
             if self.session is not None:
                 self.session.finish(success=not self.result.aborted
@@ -244,24 +302,31 @@ class _MacroRun:
             raise MissingSectionError(
                 f"macro has no {needed} section required by "
                 f"{self.command.value} mode")
-        self.result.html = "".join(self.out)
+        self._refresh_content_type()
+
+    def _refresh_content_type(self) -> None:
         declared = self.evaluator.evaluate_name("CONTENT_TYPE").strip()
         if declared:
             self.result.content_type = declared
-        return self.result
 
-    def _walk(self) -> None:
+    def _walk(self) -> Iterator[str]:
         for section in self.macro.sections:
             if isinstance(section, ast.DefineSection):
                 self.store.apply_section(section)
             elif isinstance(section, ast.HtmlInputSection):
                 if self.command is MacroCommand.INPUT:
-                    self.out.append(self.evaluator.evaluate(section.body))
                     self._emitted_target_section = True
+                    self._refresh_content_type()
+                    yield self.evaluator.evaluate(section.body)
             elif isinstance(section, ast.HtmlReportSection):
                 if self.command is MacroCommand.REPORT:
                     self._emitted_target_section = True
-                    if not self._process_report(section):
+                    # Streaming transports read the content type off the
+                    # result as soon as the first chunk arrives; pin it
+                    # before anything is emitted (the end-of-run refresh
+                    # still wins for the buffered path).
+                    self._refresh_content_type()
+                    if (yield from self._process_report(section)):
                         return  # an 'exit' action stopped processing
             elif isinstance(section, ast.IncludeSection):
                 raise MacroExecutionError(
@@ -273,28 +338,31 @@ class _MacroRun:
     # Report mode
     # ------------------------------------------------------------------
 
-    def _process_report(self, section: ast.HtmlReportSection) -> bool:
-        """Emit the report section; False when an error action was 'exit'."""
+    def _process_report(self,
+                        section: ast.HtmlReportSection) -> Iterator[str]:
+        """Emit the report section; returns True when 'exit' stopped it."""
         for piece in section.pieces:
             if isinstance(piece, ast.ExecSqlDirective):
-                if not self._run_directive(piece):
-                    return False
+                if (yield from self._run_directive(piece)):
+                    return True
             else:
-                self.out.append(self.evaluator.evaluate(piece))
-        return True
+                yield self.evaluator.evaluate(piece)
+        return False
 
-    def _run_directive(self, directive: ast.ExecSqlDirective) -> bool:
+    def _run_directive(self,
+                       directive: ast.ExecSqlDirective) -> Iterator[str]:
+        """Run one %EXEC_SQL; returns True when processing must stop."""
         sections = self._resolve_directive(directive)
         for sql_section in sections:
-            if not self._run_sql_section(sql_section):
-                return False
+            if (yield from self._run_sql_section(sql_section)):
+                return True
             if self.session is not None and self.session.failed:
                 # Single-transaction mode: everything was rolled back;
                 # no further statements may run (Section 5), even when
                 # the matched %SQL_MESSAGE rule said "continue".
                 self.result.aborted = True
-                return False
-        return True
+                return True
+        return False
 
     def _resolve_directive(
             self, directive: ast.ExecSqlDirective) -> list[ast.SqlSection]:
@@ -308,8 +376,8 @@ class _MacroRun:
                 "which names no SQL section in this macro")
         return [section]
 
-    def _run_sql_section(self, section: ast.SqlSection) -> bool:
-        """Execute one SQL section; False when processing must stop.
+    def _run_sql_section(self, section: ast.SqlSection) -> Iterator[str]:
+        """Execute one SQL section; returns True when processing must stop.
 
         Terminal SQL failures degrade, not crash: the section's
         ``%SQL_MESSAGE`` (or the default error block) is emitted, and
@@ -321,36 +389,47 @@ class _MacroRun:
         one dead backend costs one error block, not the whole page.
         """
         sql_text = self.evaluator.evaluate(section.command).strip()
-        self._maybe_show_sql(sql_text)
+        yield from self._maybe_show_sql(sql_text)
         try:
             session = self._ensure_session()
-            result = session.execute(sql_text)
+            result = session.execute(sql_text,
+                                     stream=self.stream_rows)
         except SQLError as error:
-            degrade = self.engine.config.degrade_sql_errors
-            message = resolve_message(
-                section.message, error, self.store, self.evaluator,
-                default_error_action="continue" if degrade else "exit")
-            if message.matched_rule is None and _should_propagate(error):
-                # Unavailability is a transport condition, not page
-                # content: unless a %SQL_MESSAGE rule claimed it, let
-                # the HTTP layer answer 503 + Retry-After (or 504).
-                raise
-            self.result.sql_errors.append(error)
-            self.out.append(message.html)
-            failed = self.session is not None and self.session.failed
-            if message.action == "exit" or failed:
-                self.result.aborted = True
-                return False
-            return True
+            return (yield from self._emit_sql_error(section, error))
         self.result.statements.append(sql_text)
-        self.out.append(self.reporter.render(section, result))
-        return True
+        try:
+            yield from self.reporter.render_iter(section, result)
+        except SQLError as error:
+            # Streaming rides the live cursor, so a fetch failure can
+            # surface mid-render; the buffered path never reaches here
+            # (execute() drains the cursor above).
+            return (yield from self._emit_sql_error(section, error))
+        return False
 
-    def _maybe_show_sql(self, sql_text: str) -> None:
+    def _emit_sql_error(self, section: ast.SqlSection,
+                        error: SQLError) -> Iterator[str]:
+        """Emit the section's error block; True when processing stops."""
+        degrade = self.engine.config.degrade_sql_errors
+        message = resolve_message(
+            section.message, error, self.store, self.evaluator,
+            default_error_action="continue" if degrade else "exit")
+        if message.matched_rule is None and _should_propagate(error):
+            # Unavailability is a transport condition, not page
+            # content: unless a %SQL_MESSAGE rule claimed it, let
+            # the HTTP layer answer 503 + Retry-After (or 504).
+            raise error
+        self.result.sql_errors.append(error)
+        yield message.html
+        failed = self.session is not None and self.session.failed
+        if message.action == "exit" or failed:
+            self.result.aborted = True
+            return True
+        return False
+
+    def _maybe_show_sql(self, sql_text: str) -> Iterator[str]:
         flag = self.engine.config.show_sql_variable
         if flag and self.evaluator.evaluate_name(flag) != "":
-            self.out.append(
-                f"<P><TT>{escape_html(sql_text)}</TT></P>\n")
+            yield f"<P><TT>{escape_html(sql_text)}</TT></P>\n"
 
     def _ensure_session(self) -> MacroSqlSession:
         if self.session is None:

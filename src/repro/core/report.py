@@ -32,7 +32,7 @@ Together: rows ``START_ROW_NUM .. START_ROW_NUM+RPT_MAXROWS-1`` print.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.core.ast import SqlReportBlock, SqlSection
 from repro.core.compiled import CompiledRowTemplate, compile_row_template
@@ -75,6 +75,16 @@ class ReportGenerator:
 
     def render(self, section: SqlSection, result: ExecutionResult) -> str:
         """Render one executed SQL section's result."""
+        return "".join(self.render_iter(section, result))
+
+    def render_iter(self, section: SqlSection,
+                    result: ExecutionResult) -> Iterator[str]:
+        """Render one result as a chunk stream (header, rows, footer).
+
+        The buffered :meth:`render` is exactly the join of this stream;
+        the streaming HTTP path consumes it chunk by chunk so a 100k-row
+        report never exists as one string.
+        """
         if section.report is not None:
             return self._render_custom(section.report, result)
         return self._render_default(result)
@@ -84,30 +94,27 @@ class ReportGenerator:
     # ------------------------------------------------------------------
 
     def _render_custom(self, block: SqlReportBlock,
-                       result: ExecutionResult) -> str:
-        out: list[str] = []
+                       result: ExecutionResult) -> Iterator[str]:
         self._install_column_names(result)
-        out.append(self.evaluator.evaluate(block.header))
+        yield self.evaluator.evaluate(block.header)
         window = self._print_window()
         row_num = 0
         if block.row is not None and result.is_query:
             compiled = self._compile_row(block, result)
             if compiled is not None:
-                row_num = self._render_rows_compiled(
-                    compiled, result, window, out)
+                row_num = yield from self._render_rows_compiled(
+                    compiled, result, window)
             else:
                 for row_values in result.iter_text_rows():
                     row_num += 1
                     self._install_row(result.columns, row_values, row_num)
                     if window.prints(row_num):
-                        out.append(
-                            self.evaluator.evaluate(block.row.template))
+                        yield self.evaluator.evaluate(block.row.template)
         # ROW_NUM ends at the total fetched, printed or not.
         self.store.set_system("ROW_NUM", str(row_num))
         self.store.set_system("ROWCOUNT", str(
             result.row_total if result.is_query else result.rowcount))
-        out.append(self.evaluator.evaluate(block.footer))
-        return "".join(out)
+        yield self.evaluator.evaluate(block.footer)
 
     def _compile_row(self, block: SqlReportBlock,
                      result: ExecutionResult
@@ -124,25 +131,25 @@ class ReportGenerator:
 
     def _render_rows_compiled(self, compiled: CompiledRowTemplate,
                               result: ExecutionResult,
-                              window: "_PrintWindow",
-                              out: list[str]) -> int:
+                              window: "_PrintWindow") -> Iterator[str]:
         """Run the row loop through the compiled plan.
 
         Rows outside the print window are counted without being rendered
         (or even text-converted).  The *last* fetched row is installed
         into the store exactly as the interpreted loop would have left
         it, so the footer and any later SQL section observe identical
-        system-variable state.
+        system-variable state.  Returns the row count (via the
+        generator's return value).
         """
         row_num = 0
         last_row = None
         render = compiled.render
         prints = window.prints
-        for row in result.rows:
+        for row in result.iter_rows():
             row_num += 1
             last_row = row
             if prints(row_num):
-                out.append(render(row, row_num))
+                yield render(row, row_num)
         if last_row is not None:
             values = [value_to_text(value) for value in last_row]
             self._install_row(result.columns, values, row_num)
@@ -197,43 +204,47 @@ class ReportGenerator:
     # Default table format
     # ------------------------------------------------------------------
 
-    def _render_default(self, result: ExecutionResult) -> str:
+    def _render_default(self, result: ExecutionResult) -> Iterator[str]:
         """The paper's "default table format".
 
         Values are always HTML-escaped here: the table markup is ours, so
         raw substitution would let data break the page structure.  For a
         non-query statement there is no table; a short confirmation line is
         produced instead (and ``ROWCOUNT`` is set for the report text).
+
+        A streaming result's ``row_total`` is only correct after the row
+        loop, so ``ROWCOUNT`` for queries is (re)installed at the end.
         """
-        self.store.set_system("ROWCOUNT", str(
-            result.row_total if result.is_query else result.rowcount))
         if not result.is_query:
+            self.store.set_system("ROWCOUNT", str(result.rowcount))
             self.store.set_system("ROW_NUM", "0")
-            return (f"<P>Statement executed successfully. "
-                    f"{result.rowcount} row(s) affected.</P>\n")
+            yield (f"<P>Statement executed successfully. "
+                   f"{result.rowcount} row(s) affected.</P>\n")
+            return
         self._install_column_names(result)
-        out = ["<TABLE BORDER=1>\n<TR>"]
+        head = ["<TABLE BORDER=1>\n<TR>"]
         for name in result.columns:
-            out.append(f"<TH>{escape_html(name)}</TH>")
-        out.append("</TR>\n")
+            head.append(f"<TH>{escape_html(name)}</TH>")
+        head.append("</TR>\n")
+        yield "".join(head)
         window = self._print_window()
         prints = window.prints
         row_num = 0
         # Hot loop: rows outside the print window are counted without
         # text conversion; printed rows render with one join per row.
-        for row in result.rows:
+        for row in result.iter_rows():
             row_num += 1
             if not prints(row_num):
                 continue
             cells = "</TD><TD>".join(
                 escape_html(value_to_text(value)) for value in row)
             if row:
-                out.append(f"<TR><TD>{cells}</TD></TR>\n")
+                yield f"<TR><TD>{cells}</TD></TR>\n"
             else:
-                out.append("<TR></TR>\n")
-        out.append("</TABLE>\n")
+                yield "<TR></TR>\n"
         self.store.set_system("ROW_NUM", str(row_num))
-        return "".join(out)
+        self.store.set_system("ROWCOUNT", str(result.row_total))
+        yield "</TABLE>\n"
 
 
 class _PrintWindow:

@@ -13,6 +13,7 @@ workload harness can post-process logs.
 
 from __future__ import annotations
 
+import json
 import re
 import threading
 import time
@@ -125,6 +126,23 @@ class AccessLog:
                 with self.path.open("a", encoding="utf-8") as fh:
                     fh.write(entry.format() + "\n")
         return entry
+
+    def append_stats_note(self) -> Optional[str]:
+        """Append a ``#stats {json}`` trailer line to the log file.
+
+        CLF has no place for server-side counters, so deployments write
+        them as comment lines the CLF parser skips; ``repro stats``
+        recognises and reports them.  Returns the line written, or
+        ``None`` when the log has no file.
+        """
+        if self.path is None:
+            return None
+        stats = self.stats()  # outside the lock: stats() locks too
+        line = "#stats " + json.dumps(stats, sort_keys=True)
+        with self._lock:
+            with self.path.open("a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+        return line
 
     # -- inspection ---------------------------------------------------------
 

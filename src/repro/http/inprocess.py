@@ -49,4 +49,8 @@ class InProcessTransport(Transport):
         # Round-trip through the wire format so in-process behaviour can
         # not silently diverge from what sockets would carry.
         parsed = HttpRequest.parse(request.serialize())
-        return router.handle(parsed)
+        response = router.handle(parsed)
+        # No socket to stream over: materialise close-delimited bodies,
+        # exactly what a client reading until close would have seen.
+        response.drain()
+        return response

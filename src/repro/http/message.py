@@ -10,6 +10,7 @@ the in-process transport.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator, Optional
 
 from repro.errors import BadRequestError
 from repro.http.headers import Headers
@@ -75,10 +76,24 @@ class HttpResponse:
     headers: Headers = field(default_factory=Headers)
     body: bytes = b""
     version: str = HTTP_VERSION
+    #: Streaming body: when set, the body arrives as byte chunks and the
+    #: response is emitted HTTP/1.0 style — no ``Content-Length``, the
+    #: connection close delimiting the body (``Connection: close``).
+    body_iter: Optional[Iterator[bytes]] = None
 
     @property
     def reason(self) -> str:
         return reason_for(self.status)
+
+    @property
+    def streaming(self) -> bool:
+        return self.body_iter is not None
+
+    def drain(self) -> None:
+        """Materialise a streaming body into ``body`` (no-op otherwise)."""
+        if self.body_iter is not None:
+            chunks, self.body_iter = self.body_iter, None
+            self.body = self.body + b"".join(chunks)
 
     @property
     def content_type(self) -> str:
@@ -94,12 +109,28 @@ class HttpResponse:
         return self.body.decode(charset, "replace")
 
     def serialize(self) -> bytes:
+        self.drain()
         headers = Headers(self.headers.items())
         headers.set("Content-Length", str(len(self.body)))
         headers.setdefault("Content-Type", "text/html")
         head = (f"{self.version} {self.status} {self.reason}\r\n"
                 + headers.serialize() + "\r\n")
         return head.encode("latin-1") + self.body
+
+    def serialize_head(self) -> bytes:
+        """The status line and headers for close-delimited streaming.
+
+        No ``Content-Length`` — the body length is unknown until the
+        stream is exhausted — so ``Connection: close`` marks the close
+        of the connection as the end of the body (plain HTTP/1.0
+        framing, Section 1's "ubiquitous" protocol).
+        """
+        headers = Headers(self.headers.items())
+        headers.set("Connection", "close")
+        headers.setdefault("Content-Type", "text/html")
+        head = (f"{self.version} {self.status} {self.reason}\r\n"
+                + headers.serialize() + "\r\n")
+        return head.encode("latin-1")
 
     @classmethod
     def parse(cls, raw: bytes) -> "HttpResponse":

@@ -31,17 +31,27 @@ class PersistentHttpClient(Transport):
 
     # -- transport interface ------------------------------------------------
 
+    #: methods whose requests are safe to replay (RFC 1945 idempotence)
+    _REPLAYABLE = frozenset({"GET", "HEAD"})
+
     def fetch(self, url: Url, request: HttpRequest) -> HttpResponse:
         request.headers.setdefault("Host", url.netloc)
         request.headers.set("Connection", "Keep-Alive")
         key = f"{url.host}:{url.port}"
+        sent = [False]
         try:
-            return self._fetch_on(key, url, request)
+            return self._fetch_on(key, url, request, sent)
         except (HttpError, OSError):
             # The server may have closed an idle connection between
-            # requests; retry once on a fresh socket.
+            # requests; retry once on a fresh socket — but only when the
+            # replay cannot repeat a side effect: an idempotent method,
+            # or a request none of whose bytes ever left this client.  A
+            # POST that failed after (partial) send may already have
+            # reached the server; replaying it could double a write.
             self._drop(key)
-            return self._fetch_on(key, url, request)
+            if request.method.upper() not in self._REPLAYABLE and sent[0]:
+                raise
+            return self._fetch_on(key, url, request, [False])
 
     def close(self) -> None:
         for key in list(self._sockets):
@@ -55,15 +65,17 @@ class PersistentHttpClient(Transport):
 
     # -- internals -----------------------------------------------------------
 
-    def _fetch_on(self, key: str, url: Url,
-                  request: HttpRequest) -> HttpResponse:
+    def _fetch_on(self, key: str, url: Url, request: HttpRequest,
+                  sent: list[bool]) -> HttpResponse:
         conn = self._sockets.get(key)
         if conn is None:
             conn = socket.create_connection((url.host, url.port),
                                             timeout=self.timeout)
             self._sockets[key] = conn
             self._buffers[key] = b""
-        conn.sendall(request.serialize())
+        payload = request.serialize()
+        sent[0] = True  # from here on, bytes may have hit the wire
+        conn.sendall(payload)
         response, remaining = self._read_response(
             conn, self._buffers.get(key, b""))
         self._buffers[key] = remaining

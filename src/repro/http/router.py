@@ -81,6 +81,13 @@ class Router:
             response = self._handle_static(path, request)
         if request.method == "HEAD":
             response.body = b""
+            if response.body_iter is not None:
+                # A HEAD answer carries no body; close the stream so its
+                # finally blocks (transaction brackets) still run.
+                body_iter, response.body_iter = response.body_iter, None
+                close = getattr(body_iter, "close", None)
+                if close is not None:
+                    close()
         return response
 
     # -- CGI ---------------------------------------------------------------
@@ -112,7 +119,8 @@ class Router:
         headers = Headers(cgi_response.headers)
         headers.setdefault("Content-Type", "text/html")
         return HttpResponse(status=cgi_response.status, headers=headers,
-                            body=cgi_response.body)
+                            body=cgi_response.body,
+                            body_iter=cgi_response.body_iter)
 
     # -- static files ------------------------------------------------------
 

@@ -37,7 +37,8 @@ class HttpServer:
     def __init__(self, router: Router, *, host: str = "127.0.0.1",
                  port: int = 0, timeout: float = 10.0,
                  idle_timeout: float | None = None,
-                 keep_alive_max: int = 100):
+                 keep_alive_max: int = 100,
+                 backlog: int = 128):
         self.router = router
         self.timeout = timeout
         #: how long a kept-alive connection may sit idle (no bytes of a
@@ -47,10 +48,16 @@ class HttpServer:
             else timeout
         #: maximum requests served on one kept-alive connection
         self.keep_alive_max = keep_alive_max
+        #: pending-connection queue depth passed to ``listen``.  Deep
+        #: enough by default that a burst of concurrent clients (the
+        #: concurrency bench aims hundreds at a pre-forked gateway)
+        #: queues instead of getting connection-refused; the kernel caps
+        #: it at SOMAXCONN.
+        self.backlog = backlog
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
-        self._listener.listen(32)
+        self._listener.listen(backlog)
         self.host, self.port = self._listener.getsockname()
         router.server_name = self.host
         router.server_port = self.port
@@ -123,6 +130,13 @@ class HttpServer:
                         f"<H1>400 Bad Request</H1><P>{exc}</P>",
                         status=400)
                 served += 1
+                if response.streaming:
+                    # Close-delimited body: no Content-Length exists
+                    # until the stream ends, so this response always
+                    # terminates the connection (plain HTTP/1.0
+                    # framing; Keep-Alive needs a length to survive).
+                    self._send_streaming(conn, response)
+                    return
                 if keep_alive and served < self.keep_alive_max:
                     response.headers.set("Connection", "Keep-Alive")
                 else:
@@ -139,6 +153,29 @@ class HttpServer:
             except OSError:
                 pass
             conn.close()
+
+    def _send_streaming(self, conn: socket.socket,
+                        response: HttpResponse) -> None:
+        """Emit head, any buffered prefix, then the chunk stream.
+
+        The body iterator is closed whatever happens, so abandoned
+        generators (client gone mid-page) still run their ``finally``
+        blocks — the streaming SQL session's transaction bracket
+        depends on that.
+        """
+        body_iter = response.body_iter
+        assert body_iter is not None
+        try:
+            conn.sendall(response.serialize_head())
+            if response.body:
+                conn.sendall(response.body)
+            for chunk in body_iter:
+                if chunk:
+                    conn.sendall(chunk)
+        finally:
+            close = getattr(body_iter, "close", None)
+            if close is not None:
+                close()
 
     def _read_request(self, conn: socket.socket,
                       buffer: bytes) -> tuple[bytes | None, bytes]:

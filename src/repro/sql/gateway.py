@@ -36,6 +36,13 @@ class ExecutionResult:
     the fetched data (the report generator consumed rows one at a time in
     1996; we fetch eagerly inside the statement's transaction bracket so a
     later rollback cannot invalidate an open cursor mid-report).
+
+    A *streaming* result (``row_iter`` set) carries no materialised
+    ``rows``: the rows come straight off the live cursor, one at a time,
+    and may be consumed exactly once.  ``rows_fetched`` counts them as
+    they pass, so :attr:`row_total` is correct after exhaustion — which
+    is the only point the report machinery reads it (``ROW_NUM`` /
+    ``ROWCOUNT`` are footer-time variables).
     """
 
     sql: str
@@ -43,14 +50,31 @@ class ExecutionResult:
     rows: list[tuple[Any, ...]] = field(default_factory=list)
     rowcount: int = 0
     is_query: bool = False
+    #: Live-cursor row source for streaming execution; ``None`` for the
+    #: (default) eager result.  Single-use.
+    row_iter: Optional[Iterator[tuple[Any, ...]]] = None
+    #: Rows that have passed through ``row_iter`` so far.
+    rows_fetched: int = 0
+
+    @property
+    def streaming(self) -> bool:
+        return self.row_iter is not None
+
+    def iter_rows(self) -> Iterator[tuple[Any, ...]]:
+        """The result rows, eager or streaming (single-use when streaming)."""
+        if self.row_iter is not None:
+            return self.row_iter
+        return iter(self.rows)
 
     def iter_text_rows(self) -> Iterator[list[str]]:
         """Rows with every value rendered to gateway text form."""
-        for row in self.rows:
+        for row in self.iter_rows():
             yield [value_to_text(value) for value in row]
 
     @property
     def row_total(self) -> int:
+        if self.row_iter is not None:
+            return self.rows_fetched
         return len(self.rows)
 
 
@@ -333,7 +357,7 @@ class MacroSqlSession:
                 and not self.connection.in_transaction
                 and is_cacheable_query(sql))
 
-    def execute(self, sql: str) -> ExecutionResult:
+    def execute(self, sql: str, *, stream: bool = False) -> ExecutionResult:
         """Run one dynamically assembled SQL statement.
 
         Raises :class:`SQLError` on failure *after* recording it with the
@@ -354,11 +378,21 @@ class MacroSqlSession:
         ambient fault injector is active (chaos mode) it fires here —
         before the statement touches the database — and, absent an
         explicit policy, is absorbed by a default one.
+
+        ``stream=True`` asks for a lazy result: a query's rows ride a
+        live cursor (:attr:`ExecutionResult.row_iter`) instead of being
+        fetched up front, and the statement's transaction bracket closes
+        when the iterator is exhausted (or abandoned).  Streaming
+        results bypass the query cache — their rows can be consumed only
+        once — and only the *initial* execute is retryable; a failure
+        mid-iteration propagates, since rows already handed out cannot
+        be taken back.  Non-query statements execute eagerly either way.
         """
         self.statement_log.append(sql)
         if self.deadline is not None:
             self.deadline.check("statement")
-        use_cache = (self.cache is not None
+        use_cache = (not stream
+                     and self.cache is not None
                      and self.generation is not None
                      and self.scope.mode is not TransactionMode.SINGLE
                      and is_cacheable_query(sql))
@@ -379,7 +413,8 @@ class MacroSqlSession:
             try:
                 if ambient is not None and retryable:
                     ambient.before_query(sql)
-                result = self._execute_once(sql)
+                result = (self._execute_streaming(sql) if stream
+                          else self._execute_once(sql))
             except SQLError as exc:
                 if (not retryable or policy is None
                         or attempt >= policy.max_attempts
@@ -408,6 +443,52 @@ class MacroSqlSession:
         result = self._drain(cursor, sql)
         self.scope.after_statement(None)
         return result
+
+    def _execute_streaming(self, sql: str) -> ExecutionResult:
+        """One attempt at a statement whose rows stream off the cursor.
+
+        For a result-set statement the transaction bracket stays open
+        until the row iterator is exhausted or dropped; the engine
+        consumes each result fully before running the next directive, so
+        no two brackets ever overlap.  Statements without a result set
+        complete their bracket here, exactly like the eager path.
+        """
+        self.scope.before_statement()
+        try:
+            cursor = self.connection.execute(sql)
+        except SQLError as exc:
+            self.scope.after_statement(exc)
+            raise
+        if not cursor.has_result_set:
+            result = ExecutionResult(
+                sql=sql, rowcount=max(cursor.rowcount, 0),
+                is_query=is_query(sql))
+            self.scope.after_statement(None)
+            return result
+        result = ExecutionResult(
+            sql=sql, columns=cursor.column_names, is_query=True)
+        result.row_iter = self._stream_cursor(cursor, result)
+        return result
+
+    def _stream_cursor(self, cursor: Cursor,
+                       result: ExecutionResult) -> Iterator[tuple[Any, ...]]:
+        """Yield rows off the live cursor, then close the bracket.
+
+        The ``finally`` also runs when the consumer abandons the
+        iterator (a streaming client disconnecting mid-page): the read's
+        bracket completes cleanly with whatever was fetched.
+        """
+        error: Optional[SQLError] = None
+        try:
+            for row in cursor:
+                result.rows_fetched += 1
+                yield row
+        except SQLError as exc:
+            error = exc
+            raise
+        finally:
+            cursor.close()
+            self.scope.after_statement(error)
 
     @staticmethod
     def _drain(cursor: Cursor, sql: str) -> ExecutionResult:

@@ -155,6 +155,53 @@ class ResilienceReport:
 
 
 @dataclass
+class WorkerReport:
+    """App-server worker-pool counters in workload-report form.
+
+    Build one from :meth:`AppServerDispatcher.stats` snapshots (the
+    aggregate keys; the per-slot ``worker_N_*`` keys are ignored) so a
+    gateway workload can print pool health next to throughput.
+    """
+
+    workers: int = 0
+    requests: int = 0
+    recycles: int = 0
+    crashes: int = 0
+    crash_retries: int = 0
+    busy_timeouts: int = 0
+
+    @classmethod
+    def from_stats(cls, stats: dict[str, int]) -> "WorkerReport":
+        return cls(**{key: stats.get(key, 0)
+                      for key in ("workers", "requests", "recycles",
+                                  "crashes", "crash_retries",
+                                  "busy_timeouts")})
+
+    def delta(self, before: "WorkerReport") -> "WorkerReport":
+        """Counters accumulated since ``before`` (pool size is a gauge,
+        not a counter, so the current value is kept)."""
+        return WorkerReport(
+            workers=self.workers,
+            requests=self.requests - before.requests,
+            recycles=self.recycles - before.recycles,
+            crashes=self.crashes - before.crashes,
+            crash_retries=self.crash_retries - before.crash_retries,
+            busy_timeouts=self.busy_timeouts - before.busy_timeouts)
+
+    def row(self, label: str) -> str:
+        """One fixed-width table row (pairs with :meth:`header`)."""
+        return (f"{label:<14} {self.workers:>7} {self.requests:>8} "
+                f"{self.recycles:>8} {self.crashes:>7} "
+                f"{self.crash_retries:>8} {self.busy_timeouts:>8}")
+
+    @staticmethod
+    def header() -> str:
+        return (f"{'pool':<14} {'workers':>7} {'requests':>8} "
+                f"{'recycles':>8} {'crashes':>7} {'replays':>8} "
+                f"{'timeouts':>8}")
+
+
+@dataclass
 class LatencyRecorder:
     """Accumulates per-request latencies (seconds)."""
 

@@ -1,0 +1,212 @@
+"""The pre-forked dispatcher: warm state, lifecycle, crash recovery.
+
+These spawn real worker processes (the whole point of the subsystem),
+so the pool fixtures are module-scoped where the tests allow it.
+"""
+
+import threading
+
+import pytest
+
+from repro.appserver import AppServerDispatcher
+from repro.apps import urlquery as urlquery_app
+from repro.apps.datasets import seed_urldb
+from repro.cgi.environ import CgiEnvironment
+from repro.cgi.gateway import CgiGateway
+from repro.cgi.request import CgiRequest
+from repro.errors import CgiProtocolError
+from repro.sql.connection import Connection
+
+REPORT_QUERY = "SEARCH=ib&USE_URL=yes&DBFIELDS=title"
+
+
+def deployment_env(tmp_path):
+    db_path = tmp_path / "urldb.sqlite"
+    conn = Connection(str(db_path))
+    seed_urldb(conn, 20)
+    conn.close()
+    macro_dir = tmp_path / "macros"
+    macro_dir.mkdir()
+    (macro_dir / "urlquery.d2w").write_text(
+        urlquery_app.URLQUERY_MACRO, encoding="utf-8")
+    return {
+        "REPRO_MACRO_DIR": str(macro_dir),
+        "REPRO_DATABASE_URLDB": str(db_path),
+        "REPRO_QUERY_CACHE": "32",
+        "REPRO_POOL_SIZE": "1",
+    }
+
+
+def cgi_request(path_info, query=""):
+    return CgiRequest(CgiEnvironment(
+        script_name="/cgi-bin/db2www", path_info=path_info,
+        query_string=query))
+
+
+@pytest.fixture(scope="module")
+def pool(tmp_path_factory):
+    env = deployment_env(tmp_path_factory.mktemp("appserver"))
+    dispatcher = AppServerDispatcher(env, workers=2)
+    yield dispatcher
+    dispatcher.shutdown()
+
+
+class TestDispatch:
+    def test_serves_requests_from_warm_workers(self, pool):
+        response = pool.run(cgi_request("/urlquery.d2w/input"))
+        assert response.status == 200
+        assert b"Submit Query" in response.body
+        response = pool.run(
+            cgi_request("/urlquery.d2w/report", REPORT_QUERY))
+        assert response.status == 200
+        assert b"URL Query Result" in response.body
+
+    def test_macro_error_costs_a_page_not_the_worker(self, pool):
+        before = pool.stats()["crashes"]
+        response = pool.run(cgi_request("/nosuch.d2w/report"))
+        assert response.status == 404
+        assert pool.stats()["crashes"] == before
+        # the worker still serves afterwards
+        assert pool.run(
+            cgi_request("/urlquery.d2w/input")).status == 200
+
+    def test_mounts_in_cgi_gateway(self, pool):
+        gateway = CgiGateway()
+        gateway.install("db2www", pool)
+        response = gateway.dispatch(
+            "db2www", cgi_request("/urlquery.d2w/input"))
+        assert response.status == 200
+
+    def test_post_body_crosses_the_socket(self, pool):
+        body = b"SEARCH=ibm&USE_URL=yes&DBFIELDS=title"
+        request = CgiRequest(
+            CgiEnvironment(
+                request_method="POST",
+                script_name="/cgi-bin/db2www",
+                path_info="/urlquery.d2w/report",
+                content_type="application/x-www-form-urlencoded",
+                content_length=len(body)),
+            stdin=body)
+        response = pool.run(request)
+        assert response.status == 200
+        assert b"ibm" in response.body
+
+    def test_per_worker_counters(self, pool):
+        for _ in range(4):
+            pool.run(cgi_request("/urlquery.d2w/input"))
+        stats = pool.stats()
+        assert stats["requests"] >= 4
+        per_worker = [stats[f"worker_{slot}_requests"]
+                      for slot in range(pool.pool_size)]
+        assert sum(per_worker) == stats["requests"]
+
+    def test_health_check_reports_alive(self, pool):
+        results = pool.health_check()
+        assert results  # at least the idle workers answered
+        assert all(results.values())
+
+
+class TestRecycling:
+    def test_workers_recycle_after_n_requests(self, tmp_path):
+        env = deployment_env(tmp_path)
+        with AppServerDispatcher(env, workers=1,
+                                 recycle_after=3) as pool:
+            for _ in range(7):
+                assert pool.run(
+                    cgi_request("/urlquery.d2w/input")).status == 200
+            stats = pool.stats()
+            assert stats["requests"] == 7
+            assert stats["recycles"] == 2  # after requests 3 and 6
+            assert stats["worker_0_recycles"] == 2
+
+
+class TestCrashRecovery:
+    def test_crash_mid_request_is_replaced_and_replayed(self, tmp_path):
+        env = deployment_env(tmp_path)
+        # Deterministic fault injection: the worker's 2nd request dies
+        # mid-request (os._exit while the dispatcher awaits the frame).
+        env["REPRO_WORKER_FAULTS"] = "every:2"
+        with AppServerDispatcher(env, workers=1) as pool:
+            assert pool.run(
+                cgi_request("/urlquery.d2w/input")).status == 200
+            # Request 2 crashes the worker; the dispatcher replaces it
+            # and replays the (idempotent GET) request transparently.
+            response = pool.run(cgi_request("/urlquery.d2w/input"))
+            assert response.status == 200
+            stats = pool.stats()
+            assert stats["crashes"] == 1
+            assert stats["crash_retries"] == 1
+            assert stats["workers"] == 1  # replacement is live
+
+    def test_crashed_post_is_not_replayed(self, tmp_path):
+        env = deployment_env(tmp_path)
+        env["REPRO_WORKER_FAULTS"] = "every:1"  # first request crashes
+        with AppServerDispatcher(env, workers=1) as pool:
+            body = b"SEARCH=x"
+            request = CgiRequest(
+                CgiEnvironment(
+                    request_method="POST",
+                    script_name="/cgi-bin/db2www",
+                    path_info="/urlquery.d2w/report",
+                    content_type="application/x-www-form-urlencoded",
+                    content_length=len(body)),
+                stdin=body)
+            with pytest.raises(CgiProtocolError, match="died"):
+                pool.run(request)
+            assert pool.stats()["crash_retries"] == 0
+
+    def test_other_in_flight_requests_survive_a_crash(self, tmp_path):
+        env = deployment_env(tmp_path)
+        # Every 5th request on a worker crashes it; with 3 workers and
+        # 30 concurrent GETs, several crashes happen while other
+        # requests are in flight on sibling workers.
+        env["REPRO_WORKER_FAULTS"] = "every:5"
+        with AppServerDispatcher(env, workers=3) as pool:
+            results = []
+            lock = threading.Lock()
+
+            def client():
+                for _ in range(5):
+                    try:
+                        response = pool.run(
+                            cgi_request("/urlquery.d2w/report",
+                                        REPORT_QUERY))
+                        outcome = response.status
+                    except CgiProtocolError:
+                        outcome = "dropped"
+                    with lock:
+                        results.append(outcome)
+
+            threads = [threading.Thread(target=client)
+                       for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = pool.stats()
+            assert stats["crashes"] >= 1, "injector never fired"
+            # Crashed GETs are replayed once, so a request only drops
+            # when its replay *also* lands on a worker at its crash
+            # point — two crashes for one drop.  Everything else,
+            # including requests in flight on sibling workers while a
+            # crash happened, must succeed.
+            dropped = results.count("dropped")
+            assert results.count(200) == len(results) - dropped
+            assert dropped * 2 <= stats["crashes"]
+            # the pool healed: all slots live again
+            assert stats["workers"] == 3
+
+
+class TestShutdown:
+    def test_checkout_after_shutdown_fails_fast(self, tmp_path):
+        env = deployment_env(tmp_path)
+        pool = AppServerDispatcher(env, workers=1)
+        pool.shutdown()
+        with pytest.raises(CgiProtocolError, match="shut down"):
+            pool.run(cgi_request("/urlquery.d2w/input"))
+
+    def test_shutdown_is_idempotent(self, tmp_path):
+        env = deployment_env(tmp_path)
+        pool = AppServerDispatcher(env, workers=1)
+        pool.shutdown()
+        pool.shutdown()

@@ -1,0 +1,159 @@
+"""Frame codec round-trips and protocol-violation handling."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.appserver import protocol
+from repro.cgi.environ import CgiEnvironment
+from repro.cgi.request import CgiRequest, CgiResponse
+from repro.errors import CgiProtocolError
+
+
+def socket_pair():
+    return socket.socketpair()
+
+
+class TestFrames:
+    def test_round_trip(self):
+        a, b = socket_pair()
+        try:
+            protocol.send_frame(a, protocol.FRAME_PING, b"payload")
+            frame = protocol.recv_frame(b)
+            assert frame == (protocol.FRAME_PING, b"payload")
+        finally:
+            a.close()
+            b.close()
+
+    def test_empty_payload(self):
+        a, b = socket_pair()
+        try:
+            protocol.send_frame(a, protocol.FRAME_SHUTDOWN)
+            assert frame_type(b) == protocol.FRAME_SHUTDOWN
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = socket_pair()
+        a.close()
+        try:
+            assert protocol.recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_eof_mid_frame_raises(self):
+        a, b = socket_pair()
+        try:
+            # A header promising 100 bytes, then the peer dies.
+            a.sendall(b"\x02\x00\x00\x00\x64partial")
+            a.close()
+            with pytest.raises(CgiProtocolError, match="mid-frame"):
+                protocol.recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_frame_rejected(self):
+        a, b = socket_pair()
+        try:
+            big = protocol.MAX_FRAME_SIZE + 1
+            a.sendall(b"\x02" + big.to_bytes(4, "big"))
+            with pytest.raises(CgiProtocolError, match="exceeds"):
+                protocol.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_large_payload_crosses_recv_chunks(self):
+        a, b = socket_pair()
+        payload = b"x" * 300_000
+        try:
+            writer = threading.Thread(
+                target=protocol.send_frame,
+                args=(a, protocol.FRAME_RESPONSE, payload))
+            writer.start()
+            frame = protocol.recv_frame(b)
+            writer.join()
+            assert frame == (protocol.FRAME_RESPONSE, payload)
+        finally:
+            a.close()
+            b.close()
+
+
+def frame_type(sock):
+    frame = protocol.recv_frame(sock)
+    assert frame is not None
+    return frame[0]
+
+
+class TestRequestCodec:
+    def test_round_trip_preserves_environment_and_body(self):
+        request = CgiRequest(
+            CgiEnvironment(
+                request_method="POST",
+                script_name="/cgi-bin/db2www",
+                path_info="/urlquery.d2w/report",
+                query_string="a=1&b=2",
+                content_type="application/x-www-form-urlencoded",
+                content_length=9,
+                remote_addr="10.0.0.7",
+                http_headers={"User-Agent": "test/1.0"}),
+            stdin=b"SEARCH=ib")
+        decoded = protocol.decode_request(protocol.encode_request(request))
+        assert decoded.environ.request_method == "POST"
+        assert decoded.environ.path_info == "/urlquery.d2w/report"
+        assert decoded.environ.query_string == "a=1&b=2"
+        assert decoded.environ.remote_addr == "10.0.0.7"
+        assert decoded.environ.http_headers["User-Agent"] == "test/1.0"
+        assert decoded.stdin == b"SEARCH=ib"
+
+    def test_body_bytes_are_not_json_escaped(self):
+        body = bytes(range(256))
+        request = CgiRequest(CgiEnvironment(), stdin=body)
+        payload = protocol.encode_request(request)
+        assert payload.endswith(body)
+        assert protocol.decode_request(payload).stdin == body
+
+
+class TestResponseCodec:
+    def test_round_trip(self):
+        response = CgiResponse(
+            status=503, reason="Service Unavailable",
+            headers=[("Content-Type", "text/html"),
+                     ("Retry-After", "2")],
+            body=b"<H1>down</H1>")
+        decoded = protocol.decode_response(
+            protocol.encode_response(response))
+        assert decoded.status == 503
+        assert decoded.reason == "Service Unavailable"
+        assert decoded.header("Retry-After") == "2"
+        assert decoded.body == b"<H1>down</H1>"
+
+    def test_streaming_response_is_drained(self):
+        response = CgiResponse(body=b"head,",
+                               body_iter=iter([b"chunk1,", b"chunk2"]))
+        decoded = protocol.decode_response(
+            protocol.encode_response(response))
+        assert decoded.body == b"head,chunk1,chunk2"
+        assert not decoded.streaming
+
+    def test_malformed_header_raises(self):
+        with pytest.raises(CgiProtocolError):
+            protocol.decode_response(b"\x00\x00\x00\x05notjs")
+        with pytest.raises(CgiProtocolError):
+            protocol.decode_response(b"\x00")
+
+
+class TestControlCodec:
+    def test_round_trip(self):
+        fields = {"worker_id": 3, "pid": 1234, "served": 17}
+        assert protocol.decode_control(
+            protocol.encode_control(fields)) == fields
+
+    def test_empty_is_empty_dict(self):
+        assert protocol.decode_control(b"") == {}
+
+    def test_non_object_rejected(self):
+        with pytest.raises(CgiProtocolError):
+            protocol.decode_control(b"[1, 2]")

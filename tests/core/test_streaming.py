@@ -1,0 +1,158 @@
+"""The streaming render path: execute_stream vs the buffered engine.
+
+The contract under test: the buffered path is *exactly* the join of
+the stream — one processing code path, two consumption modes — while
+the stream rides the live cursor (rows never materialised up front).
+"""
+
+import pytest
+
+from repro.core import parse_macro
+from repro.core.engine import EngineConfig, MacroCommand, MacroEngine
+from repro.errors import MissingSectionError
+from repro.sql.gateway import DatabaseRegistry
+from repro.sql.querycache import QueryResultCache
+
+MACRO = """
+%DEFINE DATABASE = "SHOP"
+%SQL{
+SELECT name, qty FROM items ORDER BY name
+%SQL_REPORT{
+<UL>
+%ROW{<LI>$(V_name): $(V_qty)
+%}
+</UL>
+%}
+%}
+%HTML_INPUT{<FORM><INPUT NAME="q"></FORM>%}
+%HTML_REPORT{<H1>Stock</H1>
+%EXEC_SQL
+<P>total: $(ROW_NUM)</P>
+%}
+"""
+
+DEFAULT_FORMAT_MACRO = """
+%DEFINE DATABASE = "SHOP"
+%SQL{SELECT name, qty FROM items ORDER BY name%}
+%HTML_REPORT{%EXEC_SQL%}
+"""
+
+CONTENT_TYPE_MACRO = """
+%DEFINE DATABASE = "SHOP"
+%DEFINE CONTENT_TYPE = "text/plain"
+%SQL{SELECT name FROM items ORDER BY name
+%SQL_REPORT{%ROW{$(V_name)
+%}%}
+%}
+%HTML_REPORT{%EXEC_SQL%}
+"""
+
+
+def drain(stream):
+    return "".join(stream.chunks)
+
+
+class TestStreamEqualsBuffered:
+    @pytest.mark.parametrize("source", [MACRO, DEFAULT_FORMAT_MACRO],
+                             ids=["custom-report", "default-format"])
+    def test_report_chunks_join_to_buffered_html(self, shop_engine,
+                                                 source):
+        macro = parse_macro(source)
+        buffered = shop_engine.execute_report(macro)
+        stream = shop_engine.execute_report_stream(macro)
+        assert drain(stream) == buffered.html
+
+    def test_input_mode_streams_identically(self, shop_engine):
+        macro = parse_macro(MACRO)
+        buffered = shop_engine.execute_input(macro)
+        stream = shop_engine.execute_stream(macro, MacroCommand.INPUT)
+        assert drain(stream) == buffered.html
+
+    def test_result_fields_final_after_exhaustion(self, shop_engine):
+        macro = parse_macro(MACRO)
+        stream = shop_engine.execute_report_stream(macro)
+        drain(stream)
+        assert stream.result.statements == [
+            "SELECT name, qty FROM items ORDER BY name"]
+        assert stream.result.ok
+        assert stream.result.html == ""  # the chunks were the page
+
+    def test_string_command_accepted(self, shop_engine):
+        macro = parse_macro(MACRO)
+        stream = shop_engine.execute_stream(macro, "report")
+        assert "<H1>Stock</H1>" in drain(stream)
+
+
+class TestLiveCursor:
+    def test_rows_arrive_in_separate_chunks(self, shop_engine):
+        """Row template output is emitted per row, not as one string."""
+        macro = parse_macro(MACRO)
+        chunks = list(shop_engine.execute_report_stream(macro).chunks)
+        row_chunks = [c for c in chunks if c.startswith("<LI>")]
+        assert len(row_chunks) == 3  # one per item row
+
+    def test_rowcount_correct_at_stream_end(self, shop_engine):
+        macro = parse_macro(MACRO)
+        page = drain(shop_engine.execute_report_stream(macro))
+        assert "total: 3" in page
+
+    def test_streaming_bypasses_query_cache(self, shop_registry):
+        cache = QueryResultCache()
+        engine = MacroEngine(shop_registry,
+                             config=EngineConfig(query_cache=cache))
+        macro = parse_macro(MACRO)
+        drain(engine.execute_report_stream(macro))
+        assert cache.stats()["entries"] == 0
+        # ... while the buffered path still populates it
+        engine.execute_report(macro)
+        assert cache.stats()["entries"] == 1
+
+    def test_abandoned_stream_finishes_the_session(self, shop_engine):
+        """Closing mid-page completes the transaction bracket."""
+        macro = parse_macro(MACRO)
+        stream = shop_engine.execute_report_stream(macro)
+        iterator = stream.chunks
+        next(iterator)  # header chunk is out, cursor is live
+        iterator.close()
+        # the engine is reusable immediately; nothing leaks
+        result = shop_engine.execute_report(macro)
+        assert result.ok
+
+
+class TestContentType:
+    def test_declared_content_type_pinned_before_first_chunk(
+            self, shop_engine):
+        macro = parse_macro(CONTENT_TYPE_MACRO)
+        stream = shop_engine.execute_report_stream(macro)
+        next(stream.chunks)
+        assert stream.result.content_type == "text/plain"
+
+    def test_default_content_type(self, shop_engine):
+        macro = parse_macro(MACRO)
+        stream = shop_engine.execute_report_stream(macro)
+        next(stream.chunks)
+        assert stream.result.content_type == "text/html"
+
+
+class TestErrors:
+    def test_missing_section_raises_on_first_pull(self, shop_engine):
+        macro = parse_macro('%DEFINE x = "1"\n%HTML_INPUT{[$(x)]%}')
+        stream = shop_engine.execute_report_stream(macro)
+        with pytest.raises(MissingSectionError):
+            drain(stream)
+
+    def test_sql_error_block_streams_like_buffered(self, shop_engine):
+        macro = parse_macro("""
+%DEFINE DATABASE = "SHOP"
+%SQL{SELECT broken syntax FROM nowhere
+%SQL_MESSAGE{
+default : "<P>query failed</P>" : continue
+%}
+%}
+%HTML_REPORT{<H1>R</H1>%EXEC_SQL<P>after</P>%}
+""")
+        buffered = shop_engine.execute_report(macro)
+        page = drain(shop_engine.execute_report_stream(macro))
+        assert page == buffered.html
+        assert "query failed" in page
+        assert "after" in page

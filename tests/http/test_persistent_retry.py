@@ -1,0 +1,133 @@
+"""PersistentHttpClient retry semantics on stale keep-alive sockets.
+
+A server may close an idle kept-alive connection at any time; the client
+retries once on a fresh socket — but only when the replay cannot repeat
+a side effect (idempotent method, or no request bytes ever sent).
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import HttpError
+from repro.http.headers import Headers
+from repro.http.message import HttpRequest
+from repro.http.persistent import PersistentHttpClient
+from repro.http.urls import Url
+
+
+class OneShotServer:
+    """Serves exactly one response per connection, then closes it while
+    still advertising ``Connection: Keep-Alive`` — so a persistent
+    client's cached socket is always stale on its next request."""
+
+    def __init__(self):
+        self.sock = socket.socket()
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.port = self.sock.getsockname()[1]
+        self.accepts = 0
+        self.requests = []
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return
+            self.accepts += 1
+            with conn:
+                conn.settimeout(5)
+                head = self._read_request(conn)
+                if head:
+                    self.requests.append(head)
+                    conn.sendall(b"HTTP/1.0 200 OK\r\n"
+                                 b"Content-Length: 2\r\n"
+                                 b"Connection: Keep-Alive\r\n\r\nok")
+
+    def _read_request(self, conn):
+        data = b""
+        try:
+            while b"\r\n\r\n" not in data:
+                chunk = conn.recv(4096)
+                if not chunk:
+                    return data
+                data += chunk
+            head, _, body = data.partition(b"\r\n\r\n")
+            for line in head.split(b"\r\n"):
+                if line.lower().startswith(b"content-length"):
+                    length = int(line.split(b":")[1])
+                    while len(body) < length:
+                        body += conn.recv(4096)
+        except OSError:
+            pass
+        return data
+
+    def close(self):
+        self.sock.close()
+
+
+@pytest.fixture()
+def server():
+    running = OneShotServer()
+    yield running
+    running.close()
+
+
+def request_for(server, method="GET", body=b""):
+    url = Url.parse(f"http://127.0.0.1:{server.port}/x")
+    headers = Headers()
+    if body:
+        headers.set("Content-Length", str(len(body)))
+    return url, HttpRequest(method=method, target="/x",
+                            headers=headers, body=body)
+
+
+class TestIdempotentRetry:
+    def test_get_retries_on_a_stale_connection(self, server):
+        with PersistentHttpClient(timeout=5) as client:
+            url, request = request_for(server)
+            assert client.fetch(url, request).status == 200
+            # The server closed the socket; this GET fails on the
+            # cached connection and is replayed on a fresh one.
+            url, request = request_for(server)
+            assert client.fetch(url, request).status == 200
+        assert server.accepts == 2
+        assert len(server.requests) == 2
+
+    def test_post_is_not_replayed_after_bytes_were_sent(self, server):
+        with PersistentHttpClient(timeout=5) as client:
+            url, request = request_for(server)
+            assert client.fetch(url, request).status == 200
+            url, request = request_for(server, method="POST",
+                                       body=b"amount=1")
+            with pytest.raises((HttpError, OSError)):
+                client.fetch(url, request)
+        # the failed POST never reached a second connection
+        assert server.accepts == 1
+        assert len(server.requests) == 1
+
+    def test_post_retries_when_connect_failed(self, server, monkeypatch):
+        """No bytes left the client, so even a POST is safe to retry."""
+        from repro.http import persistent as persistent_mod
+
+        real = socket.create_connection
+        calls = {"n": 0}
+
+        def flaky(address, timeout=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("connection refused")
+            return real(address, timeout=timeout)
+
+        monkeypatch.setattr(persistent_mod.socket,
+                            "create_connection", flaky)
+        with PersistentHttpClient(timeout=5) as client:
+            url, request = request_for(server, method="POST",
+                                       body=b"amount=1")
+            assert client.fetch(url, request).status == 200
+        assert calls["n"] == 2
+        assert len(server.requests) == 1

@@ -139,3 +139,48 @@ VALUES ('http://new/$(n)', 'added $(n)', 'x')
             extra_env=disk_deployment)
         with pytest.raises(CgiProtocolError):
             runner.run(cgi_request("/urlquery.d2w/input"))
+
+
+class TestSubprocessEdges:
+    """Failure-path details: stderr capture limits and timeout mapping."""
+
+    def test_stderr_truncated_to_500_chars(self):
+        marker = "E" * 600
+        runner = SubprocessCgiRunner(argv=[
+            sys.executable, "-c",
+            f"import sys; sys.stderr.write('{marker}'); sys.exit(2)"])
+        from repro.errors import CgiProtocolError
+        with pytest.raises(CgiProtocolError) as excinfo:
+            runner.run(cgi_request("/x"))
+        message = str(excinfo.value)
+        assert "exited with 2" in message
+        assert "E" * 500 in message
+        assert "E" * 501 not in message
+
+    def test_plain_timeout_is_a_protocol_error(self):
+        from repro.errors import CgiProtocolError
+        runner = SubprocessCgiRunner(
+            argv=[sys.executable, "-c", "import time; time.sleep(30)"],
+            timeout=0.3)
+        with pytest.raises(CgiProtocolError, match="exceeded 0.3s"):
+            runner.run(cgi_request("/x"))
+
+    def test_deadline_caps_the_timeout(self):
+        """A short request deadline overrides a generous runner timeout
+        and surfaces as DeadlineExceededError, not a protocol error."""
+        from repro.errors import DeadlineExceededError
+        from repro.resilience.deadline import Deadline
+        runner = SubprocessCgiRunner(
+            argv=[sys.executable, "-c", "import time; time.sleep(30)"],
+            timeout=30.0)
+        with pytest.raises(DeadlineExceededError, match="deadline"):
+            runner.run(cgi_request("/x"),
+                       deadline=Deadline.after(0.3))
+
+    def test_expired_deadline_fails_before_spawning(self):
+        from repro.errors import DeadlineExceededError
+        from repro.resilience.deadline import Deadline
+        runner = SubprocessCgiRunner(
+            argv=[sys.executable, "-c", "print('never runs')"])
+        with pytest.raises(DeadlineExceededError):
+            runner.run(cgi_request("/x"), deadline=Deadline.after(-1.0))
