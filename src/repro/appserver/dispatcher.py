@@ -42,6 +42,7 @@ import repro
 from repro.appserver import protocol
 from repro.cgi.request import CgiRequest, CgiResponse
 from repro.errors import CgiProtocolError, PoolExhaustedError
+from repro.obs.trace import TRACER
 
 #: request methods safe to replay on a fresh worker after a crash
 _REPLAYABLE = frozenset({"GET", "HEAD"})
@@ -301,17 +302,24 @@ class AppServerDispatcher:
 
     def _dispatch_on(self, worker: _Worker,
                      request: CgiRequest) -> CgiResponse:
-        protocol.send_frame(worker.conn, protocol.FRAME_REQUEST,
-                            protocol.encode_request(request))
-        frame = protocol.recv_frame(worker.conn)
-        if frame is None:
-            raise CgiProtocolError(
-                "worker closed the connection instead of responding")
-        frame_type, payload = frame
-        if frame_type != protocol.FRAME_RESPONSE:
-            raise CgiProtocolError(
-                f"expected a RESPONSE frame, got type {frame_type}")
-        return protocol.decode_response(payload)
+        with TRACER.span("appserver.dispatch") as span:
+            span.set("slot", worker.slot)
+            protocol.send_frame(worker.conn, protocol.FRAME_REQUEST,
+                                protocol.encode_request(request))
+            frame = protocol.recv_frame(worker.conn)
+            if frame is None:
+                raise CgiProtocolError(
+                    "worker closed the connection instead of responding")
+            frame_type, payload = frame
+            if frame_type != protocol.FRAME_RESPONSE:
+                raise CgiProtocolError(
+                    f"expected a RESPONSE frame, got type {frame_type}")
+            response = protocol.decode_response(payload)
+            if response.trace is not None:
+                # Stitch the worker-side spans into this request's
+                # trace; their ids match (the frame carried the id).
+                TRACER.graft(response.trace)
+            return response
 
     def _recycle(self, worker: _Worker) -> None:
         """Planned replacement after ``recycle_after`` requests."""

@@ -114,7 +114,8 @@ def decode_request(payload: bytes) -> CgiRequest:
     return CgiRequest(environ=environ, stdin=body)
 
 
-def encode_response(response: CgiResponse) -> bytes:
+def encode_response(response: CgiResponse,
+                    trace: Optional[dict] = None) -> bytes:
     # Workers answer with complete pages; a streaming body is drained
     # here (the dispatcher side of the socket re-buffers anyway).
     response.drain()
@@ -123,6 +124,10 @@ def encode_response(response: CgiResponse) -> bytes:
         "reason": response.reason,
         "headers": [[key, value] for key, value in response.headers],
     }
+    if trace:
+        # The worker's exported span tree (Span.to_dict), grafted into
+        # the dispatcher's live request trace on the other side.
+        header["trace"] = trace
     return _pack_json(header, response.body)
 
 
@@ -135,8 +140,10 @@ def decode_response(payload: bytes) -> CgiResponse:
     except (KeyError, TypeError, ValueError) as exc:
         raise CgiProtocolError(
             f"malformed app-server response header: {exc}") from exc
+    trace = header.get("trace")
     return CgiResponse(status=status, reason=reason, headers=headers,
-                       body=body)
+                       body=body,
+                       trace=trace if isinstance(trace, dict) else None)
 
 
 def encode_control(fields: dict) -> bytes:

@@ -30,6 +30,7 @@ from repro.appserver import protocol
 from repro.cgi.db2www_main import build_program
 from repro.cgi.gateway import CgiGateway
 from repro.errors import SQLError
+from repro.obs.trace import TRACER
 from repro.resilience.faults import FaultInjector
 
 _PROGRAM_NAME = "db2www"
@@ -91,11 +92,27 @@ def _serve(sock: socket.socket, gateway: CgiGateway,
                 # has sent the frame and is waiting on the response.
                 os._exit(1)
         request = protocol.decode_request(payload)
+        # The request frame carries the dispatcher's trace id
+        # (REPRO_TRACE_ID in the CGI environment); the worker's spans
+        # run under it and ship home in the response frame, where the
+        # dispatcher grafts them into the live request trace.
+        act = TRACER.begin("worker", trace_id=request.trace_id or None,
+                           attrs={"worker_id": worker_id,
+                                  "pid": os.getpid()})
         # dispatch() maps every failure to a 5xx response, so a macro
         # bug costs one error page, never the worker.
         response = gateway.dispatch(_PROGRAM_NAME, request)
+        trace = None
+        if act is not None:
+            # Drain before closing the span: streamed pages fill in
+            # their sql.execute row counts as the cursor empties.
+            response.drain()
+            act.span.set("status", response.status)
+            act.finish()
+            trace = act.span.to_dict()
         protocol.send_frame(sock, protocol.FRAME_RESPONSE,
-                            protocol.encode_response(response))
+                            protocol.encode_response(response,
+                                                     trace=trace))
         served += 1
 
 

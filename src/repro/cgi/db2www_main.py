@@ -27,6 +27,12 @@ sets (the 1996 equivalent was the DB2WWW initialisation file):
     Size of a connection pool attached to each registered database
     (unset or ``0`` means a fresh connection per request).  Same story:
     only long-lived processes benefit.
+``REPRO_TRACE`` / ``REPRO_TRACE_LOG`` / ``REPRO_SLOW_QUERY_MS`` /
+``REPRO_SLOW_QUERY_LOG``
+    Observability settings (see :func:`repro.obs.configure_from_env`):
+    the worker's tracer and sinks come from the same environment block,
+    and the request's ``REPRO_TRACE_ID`` joins its spans to the
+    dispatching server's trace.
 """
 
 from __future__ import annotations
@@ -39,6 +45,8 @@ from repro.cgi.gateway import Db2WwwProgram, error_response
 from repro.cgi.request import CgiRequest
 from repro.core.engine import EngineConfig, MacroEngine
 from repro.core.macrofile import MacroLibrary
+from repro.obs import configure_from_env
+from repro.obs.trace import TRACER
 from repro.sql.gateway import DatabaseRegistry
 from repro.sql.querycache import QueryResultCache
 from repro.sql.transactions import TransactionMode
@@ -62,6 +70,7 @@ def build_program(env: dict[str, str]) -> Db2WwwProgram:
     macro_dir = env.get("REPRO_MACRO_DIR")
     if not macro_dir:
         raise RuntimeError("REPRO_MACRO_DIR is not configured")
+    configure_from_env(env)
     registry = DatabaseRegistry()
     names = []
     for key, value in env.items():
@@ -102,7 +111,16 @@ def main(env: dict[str, str] | None = None,
     except RuntimeError as exc:
         return error_response(500, "Configuration Error",
                               str(exc)).serialize()
-    response = program.run(request)
+    # One coherent trace per subprocess run, under the caller's id.
+    act = TRACER.begin("cgi", trace_id=environ.trace_id or None)
+    try:
+        response = program.run(request)
+        response.drain()
+        if act is not None:
+            act.span.set("status", response.status)
+    finally:
+        if act is not None:
+            act.finish()
     return response.serialize()
 
 

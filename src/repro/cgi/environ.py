@@ -39,6 +39,11 @@ class CgiEnvironment:
     server_port: int = 80
     remote_addr: str = "127.0.0.1"
     http_headers: dict[str, str] = field(default_factory=dict)
+    #: End-to-end trace id (see :mod:`repro.obs.trace`).  Not a CGI/1.1
+    #: meta-variable — it rides the environment as ``REPRO_TRACE_ID``
+    #: the way servers have always smuggled extras to CGI programs — so
+    #: subprocess runs and app-server workers join the caller's trace.
+    trace_id: str = ""
 
     def to_dict(self) -> dict[str, str]:
         """Render as the flat string environment a subprocess receives."""
@@ -58,6 +63,8 @@ class CgiEnvironment:
             env["CONTENT_TYPE"] = self.content_type
         if self.content_length:
             env["CONTENT_LENGTH"] = str(self.content_length)
+        if self.trace_id:
+            env["REPRO_TRACE_ID"] = self.trace_id
         for name, value in self.http_headers.items():
             env["HTTP_" + name.upper().replace("-", "_")] = value
         return env
@@ -80,6 +87,7 @@ class CgiEnvironment:
             server_port=int(env.get("SERVER_PORT", "80") or 80),
             remote_addr=env.get("REMOTE_ADDR", "127.0.0.1"),
             http_headers=headers,
+            trace_id=env.get("REPRO_TRACE_ID", ""),
         )
 
 

@@ -26,6 +26,7 @@ from repro.errors import (
     UnknownCgiProgramError,
 )
 from repro.html.entities import escape_html
+from repro.obs.trace import TRACER
 
 
 class CgiProgram(Protocol):
@@ -144,7 +145,16 @@ class Db2WwwProgram:
                 "expected PATH_INFO of the form /{macro-file}/{cmd}")
         macro_name, command_text = components
         try:
-            macro = self.library.load(macro_name)
+            # A leaf span: the parse span (cold loads only) attaches to
+            # the request directly, which keeps the hot cached-load path
+            # free of context-variable traffic.
+            span = TRACER.leaf("macro.load")
+            try:
+                macro = self.library.load(macro_name)
+            finally:
+                if span is not None:
+                    span.set("macro", macro_name)
+                    span.finish()
         except MacroNameError as exc:
             return error_response(404, "Not Found", str(exc))
         except MacroError as exc:

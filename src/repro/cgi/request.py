@@ -47,6 +47,11 @@ class CgiRequest:
         """Non-empty components of ``PATH_INFO``."""
         return [part for part in self.environ.path_info.split("/") if part]
 
+    @property
+    def trace_id(self) -> str:
+        """The caller's trace id (empty when the request is untraced)."""
+        return self.environ.trace_id
+
 
 @dataclass
 class CgiResponse:
@@ -60,6 +65,11 @@ class CgiResponse:
     #: ``body`` is empty.  Transports that cannot stream call
     #: :meth:`drain` to fall back to a buffered body.
     body_iter: Optional[Iterator[bytes]] = None
+    #: Exported span tree of the process that produced this response
+    #: (:meth:`repro.obs.trace.Span.to_dict`).  App-server workers fill
+    #: it so the dispatcher can graft their spans into the live request
+    #: trace; ``None`` everywhere else.
+    trace: Optional[dict] = None
 
     @property
     def streaming(self) -> bool:

@@ -13,8 +13,13 @@ The operational tools a 1996 webmaster (and today's tests) need:
     Parse and regenerate a macro (format/normalise; also a syntax check).
 ``stats``
     Summarise a Common Log Format access log (the webmaster's numbers).
+``trace``
+    Pretty-print a JSONL request-trace / slow-query log as span trees.
 ``serve``
     Start the HTTP server with DB2WWW mounted over a macro directory.
+    Tracing and the ``/metrics`` + ``/statusz`` endpoints are on by
+    default (``--no-trace`` turns span collection off); ``--trace-log``
+    and ``--slow-query-ms`` add the structured log files.
 
 Variables are passed as ``name=value`` arguments; databases as
 ``--database NAME=path.sqlite`` (repeatable).
@@ -70,6 +75,15 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--top", type=int, default=10,
                        help="how many paths/hosts to list")
 
+    trace = sub.add_parser(
+        "trace", help="pretty-print a JSONL trace / slow-query log")
+    trace.add_argument("logfile", type=Path)
+    trace.add_argument("--slow-only", action="store_true",
+                       dest="slow_only",
+                       help="show only slow_query records")
+    trace.add_argument("--limit", type=int, default=0,
+                       help="show at most N records (0 = all)")
+
     serve = sub.add_parser("serve", help="serve a macro directory")
     serve.add_argument("--macros", type=Path, required=True,
                        help="directory of .d2w macro files")
@@ -107,6 +121,22 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="PATH", dest="access_log",
                        help="append Common Log Format entries (with "
                             "retry/breaker counters in stats) to PATH")
+    serve.add_argument("--no-trace", action="store_true", dest="no_trace",
+                       help="disable request tracing (metrics endpoints "
+                            "stay up; span collection is skipped)")
+    serve.add_argument("--trace-log", type=Path, default=None,
+                       metavar="PATH", dest="trace_log",
+                       help="append one JSON line per request trace to "
+                            "PATH (render with `repro trace PATH`)")
+    serve.add_argument("--slow-query-ms", type=float, default=None,
+                       metavar="MS", dest="slow_query_ms",
+                       help="log any SQL execution at or over MS "
+                            "milliseconds with its span subtree")
+    serve.add_argument("--slow-query-log", type=Path, default=None,
+                       metavar="PATH", dest="slow_query_log",
+                       help="slow-query log path (default "
+                            "slow_query.log next to the access log, "
+                            "or ./slow_query.log)")
     _add_resilience_options(serve)
     return parser
 
@@ -154,6 +184,8 @@ def main(argv: Optional[Sequence[str]] = None,
             return _cmd_unparse(args, out)
         if args.command == "stats":
             return _cmd_stats(args, out)
+        if args.command == "trace":
+            return _cmd_trace(args, out)
         if args.command == "serve":
             return _cmd_serve(args, out)
     except ReproError as exc:
@@ -292,11 +324,53 @@ def _cmd_stats(args, out) -> int:
     for status, hits in sorted(Counter(
             e.status for e in entries).items()):
         print(f"  {status}: {hits}", file=out)
-    if counters:
+    from repro.workloads.metrics import LatencyReport
+    families = LatencyReport.families(counters)
+    if families:
+        # Histogram families in the #stats trailer (the metrics
+        # registry flattens each one to _count/_mean/_p50/_p95/_p99).
+        print("\nserver latency:", file=out)
+        print("  " + LatencyReport.header(), file=out)
+        for family in families:
+            report = LatencyReport.from_flat(counters, family)
+            print("  " + report.row(family), file=out)
+    flattened_suffixes = ("_count", "_mean", "_p50", "_p95", "_p99")
+    scalar = {key: value for key, value in counters.items()
+              if not any(key.endswith(suffix)
+                         and key[:-len(suffix)] in families
+                         for suffix in flattened_suffixes)}
+    if scalar:
         print("\nserver counters:", file=out)
-        for key in sorted(counters):
-            print(f"  {key}: {counters[key]}", file=out)
+        for key in sorted(scalar):
+            print(f"  {key}: {scalar[key]}", file=out)
     return 0
+
+
+def _cmd_trace(args, out) -> int:
+    from repro.obs.sinks import format_trace, read_trace_log
+
+    records = read_trace_log(args.logfile)
+    if args.slow_only:
+        records = [r for r in records if r.get("type") == "slow_query"]
+    if args.limit > 0:
+        records = records[-args.limit:]
+    if not records:
+        print("no trace records found", file=out)
+        return 1
+    for record in records:
+        print(format_trace(record), file=out)
+        print("", file=out)
+    print(f"{len(records)} record(s)", file=out)
+    return 0
+
+
+def _slow_query_path(args) -> Path:
+    """Where ``--slow-query-ms`` dumps go when no path was given."""
+    if getattr(args, "slow_query_log", None) is not None:
+        return args.slow_query_log
+    access_log = getattr(args, "access_log", None)
+    base = access_log.parent if access_log is not None else Path(".")
+    return base / "slow_query.log"
 
 
 def _worker_env(args) -> dict[str, str]:
@@ -309,17 +383,47 @@ def _worker_env(args) -> dict[str, str]:
     # One request at a time per worker: a small pool just keeps the
     # connection warm between requests.
     env["REPRO_POOL_SIZE"] = "1"
+    if not getattr(args, "no_trace", False):
+        # Workers join the server's traces: the tracer must be on so
+        # their spans exist to ship home in the response frames.
+        env["REPRO_TRACE"] = "1"
+    if getattr(args, "gateway", "") == "subprocess":
+        # Subprocess CGI runs deliver their own root spans, so the
+        # file sinks must live *in* the subprocess.  (App-server
+        # worker spans are grafted into the dispatcher's trace and
+        # logged by the serving process — no worker-side sinks, or
+        # every slow query would be recorded twice.)
+        if getattr(args, "trace_log", None) is not None:
+            env["REPRO_TRACE_LOG"] = str(args.trace_log.resolve())
+        if getattr(args, "slow_query_ms", None) is not None:
+            env["REPRO_SLOW_QUERY_MS"] = str(args.slow_query_ms)
+            env["REPRO_SLOW_QUERY_LOG"] = str(
+                _slow_query_path(args).resolve())
     return env
 
 
 def _cmd_serve(args, out) -> int:  # pragma: no cover - interactive
     from repro.http.router import Router
     from repro.http.server import HttpServer
+    from repro.obs import (
+        REGISTRY, TRACER, MetricsBridge, SlowQueryLog, TraceLog)
 
     if args.stream and args.gateway != "inprocess":
         raise SystemExit(
             "--stream requires --gateway inprocess (worker responses "
             "cross the dispatch socket as complete frames)")
+    metrics = REGISTRY
+    if not args.no_trace:
+        TRACER.enable()
+        TRACER.add_sink(MetricsBridge(
+            metrics, slow_query_ms=args.slow_query_ms))
+    if args.trace_log is not None:
+        TRACER.add_sink(TraceLog(args.trace_log))
+    slow_log = None
+    if args.slow_query_ms is not None:
+        slow_log = SlowQueryLog(_slow_query_path(args),
+                                args.slow_query_ms)
+        TRACER.add_sink(slow_log)
     dispatcher = None
     log = None
     stats_sources = []
@@ -356,20 +460,28 @@ def _cmd_serve(args, out) -> int:  # pragma: no cover - interactive
             gateway.install("db2www", dispatcher)
             stats_sources.append(("appserver", dispatcher.stats))
         router = Router(gateway=gateway, server_name=args.host)
+    # One registry feeds every read path: /metrics, /statusz, the
+    # access log's #stats trailer, and `repro stats`.
+    router.metrics = metrics
+    for name, source in stats_sources:
+        metrics.attach_stats_source(name, source)
     if args.access_log is not None:
         from repro.http.accesslog import AccessLog
-        log = AccessLog(args.access_log)
-        for name, source in stats_sources:
-            log.attach_stats_source(name, source)
+        log = AccessLog(args.access_log, metrics=metrics)
         router.access_log = log
     server = HttpServer(router, host=args.host, port=args.port,
                         backlog=args.backlog).start()
+    # Flush each banner line: supervisors (and the smoke test) read the
+    # bound address from a pipe, which Python would otherwise buffer.
     print(f"serving macros from {args.macros} on {server.base_url} "
           f"({args.gateway} gateway"
           + (f", {args.workers} workers" if dispatcher else "")
-          + (", streaming" if args.stream else "") + ")",
-          file=out)
-    print("press Ctrl-C to stop", file=out)
+          + (", streaming" if args.stream else "")
+          + (", tracing off" if args.no_trace else "") + ")",
+          file=out, flush=True)
+    print(f"metrics: {server.base_url}/metrics   "
+          f"status: {server.base_url}/statusz", file=out, flush=True)
+    print("press Ctrl-C to stop", file=out, flush=True)
     try:
         import signal
         signal.pause()

@@ -22,6 +22,7 @@ the input form.
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence
 
@@ -41,6 +42,7 @@ from repro.errors import (
     is_transient,
 )
 from repro.html.entities import escape_html
+from repro.obs.trace import TRACER, Span
 from repro.resilience.deadline import Deadline
 from repro.resilience.retry import RetryPolicy, call_with_retry
 from repro.sql.gateway import DatabaseRegistry, MacroSqlSession
@@ -266,6 +268,9 @@ class _MacroRun:
                          else None)
         self.result = MacroResult(html="", command=command)
         self._emitted_target_section = False
+        #: the run's single ``substitute`` span (created lazily); see
+        #: :meth:`_substitute`.
+        self._subst_span: Optional[Span] = None
         # SQL sections are registered macro-wide up front: the directive
         # semantics of Section 3.4 ("all unnamed SQL sections are executed
         # sequentially, in the order of appearance in the macro") are not
@@ -317,7 +322,7 @@ class _MacroRun:
                 if self.command is MacroCommand.INPUT:
                     self._emitted_target_section = True
                     self._refresh_content_type()
-                    yield self.evaluator.evaluate(section.body)
+                    yield self._substitute(section.body)
             elif isinstance(section, ast.HtmlReportSection):
                 if self.command is MacroCommand.REPORT:
                     self._emitted_target_section = True
@@ -346,8 +351,30 @@ class _MacroRun:
                 if (yield from self._run_directive(piece)):
                     return True
             else:
-                yield self.evaluator.evaluate(piece)
+                yield self._substitute(piece)
         return False
+
+    def _substitute(self, node) -> str:
+        """Evaluate a template node under the run's ``substitute`` span.
+
+        Substitution runs once per free-text piece; a span per piece
+        would dominate both the trace and the overhead budget, so the
+        whole run shares one span whose duration is the *accumulated*
+        evaluation time (the same accrued-clock idiom as the streaming
+        ``report.render`` span).
+        """
+        span = self._subst_span
+        if span is None:
+            span = self._subst_span = TRACER.leaf("substitute")
+            if span is not None:
+                span.end = span.start
+        if span is None:
+            return self.evaluator.evaluate(node)
+        tick = time.perf_counter()
+        try:
+            return self.evaluator.evaluate(node)
+        finally:
+            span.end += time.perf_counter() - tick
 
     def _run_directive(self,
                        directive: ast.ExecSqlDirective) -> Iterator[str]:
@@ -398,13 +425,51 @@ class _MacroRun:
             return (yield from self._emit_sql_error(section, error))
         self.result.statements.append(sql_text)
         try:
-            yield from self.reporter.render_iter(section, result)
+            yield from self._render_section(section, result)
         except SQLError as error:
             # Streaming rides the live cursor, so a fetch failure can
             # surface mid-render; the buffered path never reaches here
             # (execute() drains the cursor above).
             return (yield from self._emit_sql_error(section, error))
         return False
+
+    def _render_section(self, section: ast.SqlSection,
+                        result) -> Iterator[str]:
+        """Render the section's report, under a ``report.render`` span.
+
+        The span measures *production* time only: the clock runs while a
+        chunk is being rendered and stops across each ``yield``, so a
+        slow consumer (network sends on the streaming path) cannot
+        inflate the rendering phase.
+        """
+        inner = self.reporter.render_iter(section, result)
+        parent = TRACER.current() if TRACER.enabled else None
+        if parent is None:
+            yield from inner
+            return
+        span = Span("report.render", parent.trace_id, parent.span_id)
+        parent.add_child(span)
+        if not self.stream_rows:
+            # Buffered path: execute() drains the stream immediately, so
+            # wall time *is* production time — skip the per-chunk clock.
+            try:
+                yield from inner
+            finally:
+                span.finish()
+            return
+        active = 0.0
+        try:
+            while True:
+                tick = time.perf_counter()
+                try:
+                    chunk = next(inner)
+                except StopIteration:
+                    active += time.perf_counter() - tick
+                    break
+                active += time.perf_counter() - tick
+                yield chunk
+        finally:
+            span.end = span.start + active
 
     def _emit_sql_error(self, section: ast.SqlSection,
                         error: SQLError) -> Iterator[str]:

@@ -28,6 +28,7 @@ from repro.core.ast import (
 )
 from repro.core.parser import parse_macro
 from repro.errors import DuplicateSectionError, MacroError
+from repro.obs.trace import TRACER
 
 #: Macro names must be simple file names — no path separators and no
 #: parent references.  This is the gateway's path-traversal defence; the
@@ -131,8 +132,10 @@ class MacroLibrary:
         if cached is not None and cached[0] == mtime:
             self._disk_cache[name] = (mtime, now, cached[2])
             return cached[2]
-        macro = parse_macro(path.read_text(encoding="utf-8"),
-                            source=str(path))
+        with TRACER.span("parse") as span:
+            span.set("macro", name)
+            macro = parse_macro(path.read_text(encoding="utf-8"),
+                                source=str(path))
         self._disk_cache[name] = (mtime, now, macro)
         return macro
 

@@ -86,9 +86,14 @@ class AccessLog:
     """
 
     def __init__(self, path: Optional[str | Path] = None, *,
-                 max_entries: int = 10_000):
+                 max_entries: int = 10_000, metrics=None):
         self.path = Path(path) if path is not None else None
         self.max_entries = max_entries
+        #: optional repro.obs.metrics.MetricsRegistry.  When attached,
+        #: stats sources live on the registry (one source of truth for
+        #: ``/statusz``, the ``#stats`` trailer and ``repro stats``) and
+        #: :meth:`stats` merges the registry's counters in.
+        self.metrics = metrics
         self._entries: list[LogEntry] = []
         self._lock = threading.Lock()
         self._stats_sources: dict[str, Callable[[], dict[str, int]]] = {}
@@ -101,12 +106,30 @@ class AccessLog:
         ``name_``.  The deployment wires the query-result cache here
         (``log.attach_stats_source("query_cache", cache.stats)``) so one
         call reports traffic *and* cache effectiveness.
+
+        With a metrics registry attached this delegates to
+        :meth:`repro.obs.metrics.MetricsRegistry.attach_stats_source`, so
+        the same counters also surface on ``/metrics`` and ``/statusz``;
+        the flattened key names are identical either way.
         """
-        self._stats_sources[name] = source
+        if self.metrics is not None:
+            self.metrics.attach_stats_source(name, source)
+        else:
+            self._stats_sources[name] = source
 
     def record(self, request: HttpRequest, response: HttpResponse, *,
                remote_addr: str = "-",
-               now: Optional[float] = None) -> LogEntry:
+               now: Optional[float] = None,
+               size: Optional[int] = None) -> LogEntry:
+        """Record one served request.
+
+        ``size`` is the number of body bytes actually emitted.  It must
+        be passed for streamed responses — ``response.body`` is empty
+        while ``body_iter`` carries the page, so the historical
+        ``len(response.body)`` default would log 0 bytes.  The router's
+        streaming wrapper counts chunks as the transport pulls them and
+        records the entry at stream close with the true total.
+        """
         when = time.strftime(
             CLF_TIME_FORMAT,
             time.localtime(now if now is not None else time.time()))
@@ -116,7 +139,7 @@ class AccessLog:
             request_line=(f"{request.method} {request.target} "
                           f"{request.version}"),
             status=response.status,
-            size=len(response.body),
+            size=size if size is not None else len(response.body),
         )
         with self._lock:
             self._entries.append(entry)
@@ -158,7 +181,11 @@ class AccessLog:
         """The webmaster's morning numbers: hits, errors, bytes.
 
         Attached sources (see :meth:`attach_stats_source`) contribute
-        their counters under ``<name>_<counter>`` keys.
+        their counters under ``<name>_<counter>`` keys.  With a metrics
+        registry attached, every registry metric (request latency
+        histograms included, flattened to ``_count``/``_p50``/…) rides
+        along too — the ``#stats`` trailer then carries the full
+        instrument panel.
         """
         with self._lock:
             entries = list(self._entries)
@@ -167,6 +194,9 @@ class AccessLog:
             "errors": sum(1 for e in entries if e.status >= 400),
             "bytes": sum(max(e.size, 0) for e in entries),
         }
+        if self.metrics is not None:
+            for key, value in self.metrics.flat().items():
+                stats.setdefault(key, value)
         for name, source in self._stats_sources.items():
             for key, value in source().items():
                 stats[f"{name}_{key}"] = value

@@ -11,9 +11,11 @@ exercises the same dispatch logic regardless of transport.
 from __future__ import annotations
 
 import email.utils
+import json
 import mimetypes
+import time
 from pathlib import Path
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.cgi.environ import CgiEnvironment, split_cgi_path
 from repro.cgi.gateway import CgiGateway
@@ -28,8 +30,13 @@ from repro.http.message import (
     html_response,
 )
 from repro.http.urls import normalize_path
+from repro.obs.trace import TRACER, Span
 
 CGI_PREFIX = "/cgi-bin/"
+
+#: Scrape endpoints served when a metrics registry is attached.
+METRICS_PATH = "/metrics"
+STATUSZ_PATH = "/statusz"
 
 
 class Router:
@@ -38,7 +45,7 @@ class Router:
     def __init__(self, *, document_root: Optional[str | Path] = None,
                  gateway: Optional[CgiGateway] = None,
                  server_name: str = "localhost", server_port: int = 80,
-                 access_log=None):
+                 access_log=None, metrics=None, tracer=None):
         self.document_root = (Path(document_root)
                               if document_root is not None else None)
         self.gateway = gateway or CgiGateway()
@@ -47,7 +54,18 @@ class Router:
         #: optional repro.http.accesslog.AccessLog; every handled
         #: request is recorded in Common Log Format.
         self.access_log = access_log
+        #: optional repro.obs.metrics.MetricsRegistry; when attached the
+        #: router records request counters + latency histograms and
+        #: serves the ``/metrics`` (text scrape) and ``/statusz``
+        #: (JSON) endpoints off it.
+        self.metrics = metrics
+        #: the tracer consulted per request (the process-wide one unless
+        #: a test injects its own).
+        self.tracer = tracer or TRACER
         self._pages: dict[str, tuple[str, bytes]] = {}
+        # per-registry resolved metric objects; rebuilt if self.metrics
+        # is swapped (tests do) so _observe pays no name lookups.
+        self._observe_cache: Optional[tuple] = None
 
     # -- registration ------------------------------------------------------
 
@@ -61,12 +79,117 @@ class Router:
     # -- dispatch ----------------------------------------------------------
 
     def handle(self, request: HttpRequest, *,
-               remote_addr: str = "127.0.0.1") -> HttpResponse:
-        response = self._route(request, remote_addr)
+               remote_addr: str = "127.0.0.1",
+               trace_id: str = "") -> HttpResponse:
+        tracer = self.tracer
+        start = time.perf_counter()
+        act = None
+        if tracer.enabled:
+            act = tracer.begin(
+                "request", trace_id=trace_id or None,
+                attrs={"method": request.method, "path": request.path})
+        try:
+            response = self._route(request, remote_addr)
+        except BaseException:
+            if act is not None:
+                act.span.set("error", True)
+                act.finish()
+            raise
+        if act is not None:
+            act.span.set("status", response.status)
+            response.headers.set("X-Trace-Id", act.span.trace_id)
+        if response.body_iter is not None:
+            # Streamed page: bytes are still unknown and the engine keeps
+            # working as the transport pulls chunks.  Wrap the stream so
+            # the access-log entry carries the true byte count, metrics
+            # see the full wall time, and the request span stays current
+            # around each pull — all settled when the stream closes.
+            response.body_iter = self._accounted_stream(
+                request, response, remote_addr, act, start,
+                response.body_iter)
+            if act is not None:
+                act.deactivate()
+            return response
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        self._observe(request, response, len(response.body), elapsed_ms)
         if self.access_log is not None:
             self.access_log.record(request, response,
                                    remote_addr=remote_addr)
+        if act is not None:
+            act.finish()
         return response
+
+    def _observe(self, request: HttpRequest, response: HttpResponse,
+                 size: int, elapsed_ms: float) -> None:
+        """Record the per-request counters and the latency histogram."""
+        metrics = self.metrics
+        if metrics is None:
+            return
+        cache = self._observe_cache
+        if cache is None or cache[0] is not metrics:
+            cache = (metrics,
+                     metrics.counter("http_requests_total"),
+                     metrics.counter("http_errors_total"),
+                     metrics.counter("http_response_bytes_total"),
+                     metrics.histogram("request_latency_ms"))
+            self._observe_cache = cache
+        _, requests, errors, resp_bytes, latency = cache
+        requests.inc()
+        if response.status >= 400:
+            errors.inc()
+        resp_bytes.inc(size)
+        latency.observe(elapsed_ms)
+
+    def _accounted_stream(self, request: HttpRequest,
+                          response: HttpResponse, remote_addr: str,
+                          act, start: float,
+                          body_iter: Iterator[bytes]) -> Iterator[bytes]:
+        """Wrap a streaming body: count bytes, settle the books at close.
+
+        The generator runs in whatever thread the transport pulls from;
+        the request span is (re)activated inside each ``__next__`` and
+        deactivated across the ``yield``, so engine-side spans created
+        while producing a chunk land under the request while the
+        transport's own context stays clean.
+        """
+        def stream() -> Iterator[bytes]:
+            emitted = 0
+            emit_span = None
+            if act is not None:
+                parent = act.span
+                emit_span = Span("emit", parent.trace_id, parent.span_id)
+                parent.add_child(emit_span)
+            try:
+                if act is not None:
+                    act.activate()
+                try:
+                    for chunk in body_iter:
+                        emitted += len(chunk)
+                        if act is not None:
+                            act.deactivate()
+                        yield chunk
+                        if act is not None:
+                            act.activate()
+                except BaseException as exc:
+                    if act is not None:
+                        act.span.set("error", type(exc).__name__)
+                    raise
+            finally:
+                if emit_span is not None:
+                    emit_span.finish()
+                # Any buffered prefix went over the wire before the
+                # stream; the logged size covers both.
+                total = emitted + len(response.body)
+                elapsed_ms = (time.perf_counter() - start) * 1000.0
+                self._observe(request, response, total, elapsed_ms)
+                if self.access_log is not None:
+                    self.access_log.record(request, response,
+                                           remote_addr=remote_addr,
+                                           size=total)
+                if act is not None:
+                    act.span.set("bytes", total)
+                    act.finish()
+        return stream()
 
     def _route(self, request: HttpRequest,
                remote_addr: str) -> HttpResponse:
@@ -77,6 +200,10 @@ class Router:
             response = self._handle_cgi(request, path, remote_addr)
         elif request.method == "POST":
             return _error(405, "POST is only supported for CGI programs")
+        elif self.metrics is not None and path == METRICS_PATH:
+            response = self._serve_metrics()
+        elif self.metrics is not None and path == STATUSZ_PATH:
+            response = self._serve_statusz()
         else:
             response = self._handle_static(path, request)
         if request.method == "HEAD":
@@ -89,6 +216,25 @@ class Router:
                 if close is not None:
                     close()
         return response
+
+    # -- scrape endpoints --------------------------------------------------
+
+    def _serve_metrics(self) -> HttpResponse:
+        """The Prometheus-style text scrape."""
+        headers = Headers()
+        headers.set("Content-Type",
+                    "text/plain; version=0.0.4; charset=utf-8")
+        return HttpResponse(status=200, headers=headers,
+                            body=self.metrics.render_text().encode("utf-8"))
+
+    def _serve_statusz(self) -> HttpResponse:
+        """The JSON status page (nested registry snapshot)."""
+        body = json.dumps(self.metrics.snapshot(), sort_keys=True,
+                          indent=2, default=str) + "\n"
+        headers = Headers()
+        headers.set("Content-Type", "application/json; charset=utf-8")
+        return HttpResponse(status=200, headers=headers,
+                            body=body.encode("utf-8"))
 
     # -- CGI ---------------------------------------------------------------
 
@@ -110,6 +256,7 @@ class Router:
             server_port=self.server_port,
             remote_addr=remote_addr,
             http_headers=dict(request.headers.items()),
+            trace_id=self.tracer.current_trace_id(),
         )
         cgi_request = CgiRequest(environ=environ, stdin=request.body)
         try:

@@ -19,6 +19,7 @@ import threading
 from repro.errors import BadRequestError
 from repro.http.message import HttpRequest, HttpResponse, html_response
 from repro.http.router import Router
+from repro.obs.trace import new_trace_id
 
 _MAX_HEAD = 64 * 1024
 _MAX_BODY = 8 * 1024 * 1024
@@ -123,8 +124,13 @@ class HttpServer:
                 try:
                     request = HttpRequest.parse(raw)
                     keep_alive = _wants_keep_alive(request)
+                    # The trace id is minted where the request enters
+                    # the system; the router threads it everywhere else.
+                    trace_id = new_trace_id() \
+                        if self.router.tracer.enabled else ""
                     response = self.router.handle(request,
-                                                  remote_addr=addr[0])
+                                                  remote_addr=addr[0],
+                                                  trace_id=trace_id)
                 except BadRequestError as exc:
                     response = html_response(
                         f"<H1>400 Bad Request</H1><P>{exc}</P>",

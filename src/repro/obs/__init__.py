@@ -1,0 +1,72 @@
+"""Unified observability: metrics, request tracing, slow-query log.
+
+The gateway's instrument panel (see ``docs/observability.md``):
+
+* :mod:`repro.obs.metrics` — process-wide counters/gauges/histograms
+  with streaming p50/p95/p99, scraped at ``/metrics`` (text) and
+  ``/statusz`` (JSON), absorbing the legacy per-subsystem stats bags.
+* :mod:`repro.obs.trace` — a span tree per request with one trace id
+  end-to-end (HTTP → CGI environment → app-server frames → SQL layer).
+* :mod:`repro.obs.sinks` — where finished traces go: the structured
+  request log, the ``--slow-query-ms`` watchdog, the metrics bridge.
+
+``configure_from_env`` is the out-of-process hook: app-server workers
+and subprocess CGI runs read their observability settings from the
+same environment block that carries ``REPRO_MACRO_DIR``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.sinks import MetricsBridge, SlowQueryLog, TraceLog
+from repro.obs.trace import TRACER, Span, Tracer, new_trace_id
+
+__all__ = [
+    "MetricsRegistry", "REGISTRY",
+    "Tracer", "TRACER", "Span", "new_trace_id",
+    "TraceLog", "SlowQueryLog", "MetricsBridge",
+    "configure_from_env",
+]
+
+_configured = False
+
+
+def configure_from_env(env: dict[str, str]) -> bool:
+    """Configure the process-wide tracer from environment variables.
+
+    Honoured keys (set by ``repro serve`` for its worker processes):
+
+    ``REPRO_TRACE``
+        Non-empty/non-zero enables tracing on the global tracer.
+    ``REPRO_TRACE_LOG``
+        Path of a JSONL trace log; every finished trace appends a line.
+    ``REPRO_SLOW_QUERY_MS`` / ``REPRO_SLOW_QUERY_LOG``
+        Threshold and path of the slow-query log.
+
+    Idempotent per process (workers call it once from ``build_program``;
+    repeated calls are no-ops so in-process tests cannot stack sinks).
+    Returns True when this call performed the configuration.
+    """
+    global _configured
+    if _configured:
+        return False
+    flag = env.get("REPRO_TRACE", "").strip()
+    slow_ms = env.get("REPRO_SLOW_QUERY_MS", "").strip()
+    if not flag and not slow_ms:
+        return False
+    _configured = True
+    if flag and flag != "0":
+        TRACER.enable()
+    trace_log = env.get("REPRO_TRACE_LOG", "").strip()
+    if trace_log:
+        TRACER.add_sink(TraceLog(trace_log))
+    if slow_ms:
+        try:
+            threshold = float(slow_ms)
+        except ValueError:
+            threshold = 0.0
+        slow_path = env.get("REPRO_SLOW_QUERY_LOG", "").strip()
+        if slow_path:
+            TRACER.add_sink(SlowQueryLog(slow_path, threshold))
+        TRACER.add_sink(MetricsBridge(REGISTRY, slow_query_ms=threshold))
+    return True

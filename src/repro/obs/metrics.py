@@ -1,0 +1,345 @@
+"""Process-wide metrics: counters, gauges and streaming histograms.
+
+The 1996 webmaster's instrument panel was the access log; everything
+since (mod_status, FastCGI process managers, Prometheus) grew a second
+surface: live counters scraped from the running server.  This module is
+that surface for the gateway — a :class:`MetricsRegistry` holding
+
+* **counters** — monotonically increasing totals (requests, errors),
+* **gauges** — point-in-time values (pool size, worker count),
+* **histograms** — latency distributions with streaming p50/p95/p99,
+  implemented as log-spaced buckets so an observation costs one bisect
+  and one list increment regardless of how many samples came before.
+
+The registry also *absorbs* the pre-existing stats bags (query cache,
+resilience registry, app-server worker pool): legacy ``stats()``
+callables attach as polled **sources** whose counters appear — under
+their historical ``<name>_<key>`` names — in every rendering: the text
+``/metrics`` scrape, the JSON ``/statusz``, the access log's ``#stats``
+trailer, and ``repro stats``.  One registry, four read paths.
+
+Everything is thread-safe (the HTTP server handles requests on
+threads); observation cost is a few dictionary operations, so metrics
+stay on even when tracing is off.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_right
+from typing import Callable, Iterable, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY"]
+
+_NAME_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _scrape_name(name: str) -> str:
+    """A metric name made safe for the text exposition format."""
+    return _NAME_SANITIZE_RE.sub("_", name)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value; set, not accumulated."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+def _log_bounds(lowest: float, highest: float, factor: float) -> list[float]:
+    bounds = []
+    edge = lowest
+    while edge < highest:
+        bounds.append(edge)
+        edge *= factor
+    bounds.append(highest)
+    return bounds
+
+
+class Histogram:
+    """A streaming latency distribution with quantile estimates.
+
+    Observations land in log-spaced buckets (factor 1.25 from 1µs to
+    10 minutes, in milliseconds), so quantiles carry at most ~12%
+    relative error — plenty for a latency panel — while observation
+    cost and memory stay constant.  ``sum``/``count``/``min``/``max``
+    are tracked exactly.
+    """
+
+    #: Bucket upper bounds in milliseconds, shared by every histogram.
+    BOUNDS: list[float] = _log_bounds(0.001, 600_000.0, 1.25)
+
+    __slots__ = ("name", "_counts", "_count", "_sum", "_min", "_max",
+                 "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._counts = [0] * (len(self.BOUNDS) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect_right(self.BOUNDS, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 < q <= 1); 0.0 with no samples."""
+        with self._lock:
+            return self._quantile_locked(q)
+
+    def _quantile_locked(self, q: float) -> float:
+        if self._count == 0:
+            return 0.0
+        target = q * self._count
+        seen = 0
+        for index, bucket_count in enumerate(self._counts):
+            if bucket_count == 0:
+                continue
+            seen += bucket_count
+            if seen >= target:
+                lower = self.BOUNDS[index - 1] if index > 0 else 0.0
+                upper = (self.BOUNDS[index] if index < len(self.BOUNDS)
+                         else self._max)
+                # Clamp the bucket edges to the observed extremes so a
+                # single-sample histogram reports the sample itself.
+                lower = max(lower, min(self._min, upper))
+                upper = min(upper, self._max)
+                if upper < lower:
+                    upper = lower
+                return (lower + upper) / 2.0
+        return self._max  # pragma: no cover - defensive
+
+    def snapshot(self) -> dict[str, float]:
+        """Count, sum and the standard quantiles, one consistent view."""
+        with self._lock:
+            if self._count == 0:
+                return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0,
+                        "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+            return {
+                "count": self._count,
+                "sum": round(self._sum, 3),
+                "mean": round(self._sum / self._count, 3),
+                "min": round(self._min, 3),
+                "max": round(self._max, 3),
+                "p50": round(self._quantile_locked(0.50), 3),
+                "p95": round(self._quantile_locked(0.95), 3),
+                "p99": round(self._quantile_locked(0.99), 3),
+            }
+
+
+class MetricsRegistry:
+    """The process-wide bag of named metrics plus polled legacy sources.
+
+    Metric creation is get-or-create by name (``inc``/``observe``/
+    ``set_gauge`` are the one-line forms), so instrumentation points
+    never need wiring beyond a registry reference.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._sources: dict[str, Callable[[], dict]] = {}
+
+    # -- get-or-create ---------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._counters.setdefault(name, Counter(name))
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._gauges.setdefault(name, Gauge(name))
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._histograms.setdefault(name,
+                                                     Histogram(name))
+        return metric
+
+    # -- one-line instrumentation ----------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- legacy stats bags as polled sources -----------------------------
+
+    def attach_stats_source(self, name: str,
+                            source: Callable[[], dict]) -> None:
+        """Attach a legacy ``stats()`` callable under a prefix.
+
+        The source is polled at read time; its counters appear as
+        ``<name>_<key>`` in :meth:`flat` and the scrape — the exact keys
+        :meth:`repro.http.accesslog.AccessLog.stats` produced before the
+        registry existed, so log-trailer consumers keep working.
+        """
+        with self._lock:
+            self._sources[name] = source
+
+    def source_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._sources)
+
+    def _poll_sources(self) -> dict[str, dict]:
+        with self._lock:
+            sources = dict(self._sources)
+        polled: dict[str, dict] = {}
+        for name, source in sources.items():
+            try:
+                polled[name] = dict(source())
+            except Exception:  # noqa: BLE001 - a broken bag must not
+                polled[name] = {}  # take the metrics surface down
+        return polled
+
+    # -- read paths ------------------------------------------------------
+
+    def flat(self) -> dict[str, float]:
+        """Every metric as one flat ``name -> number`` dict.
+
+        Histograms flatten to ``<name>_count`` / ``<name>_mean`` /
+        ``<name>_p50`` / ``<name>_p95`` / ``<name>_p99``; sources to
+        their historical ``<source>_<key>`` names.  This is the shape
+        the access log's ``#stats`` trailer and ``repro stats`` consume.
+        """
+        flat: dict[str, float] = {}
+        for name, counter in sorted(self._counters.items()):
+            flat[name] = counter.value
+        for name, gauge in sorted(self._gauges.items()):
+            flat[name] = gauge.value
+        for name, histogram in sorted(self._histograms.items()):
+            snap = histogram.snapshot()
+            for key in ("count", "mean", "p50", "p95", "p99"):
+                flat[f"{name}_{key}"] = snap[key]
+        for source_name, counters in sorted(self._poll_sources().items()):
+            for key, value in counters.items():
+                flat[f"{source_name}_{key}"] = value
+        return flat
+
+    def snapshot(self) -> dict:
+        """Nested JSON-ready view — the body of ``/statusz``."""
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value
+                       for name, g in sorted(self._gauges.items())},
+            "histograms": {name: h.snapshot()
+                           for name, h in
+                           sorted(self._histograms.items())},
+            "sources": dict(sorted(self._poll_sources().items())),
+        }
+
+    def render_text(self) -> str:
+        """The ``/metrics`` scrape body (Prometheus text exposition).
+
+        Histograms render as summaries (quantile-labelled samples plus
+        ``_count``/``_sum``); sources render as plain counters under
+        their historical flattened names.
+        """
+        lines: list[str] = []
+        for name, counter in sorted(self._counters.items()):
+            scrape = _scrape_name(name)
+            lines.append(f"# TYPE {scrape} counter")
+            lines.append(f"{scrape} {counter.value}")
+        for name, gauge in sorted(self._gauges.items()):
+            scrape = _scrape_name(name)
+            lines.append(f"# TYPE {scrape} gauge")
+            lines.append(f"{scrape} {_number(gauge.value)}")
+        for name, histogram in sorted(self._histograms.items()):
+            scrape = _scrape_name(name)
+            snap = histogram.snapshot()
+            lines.append(f"# TYPE {scrape} summary")
+            for label, key in (("0.5", "p50"), ("0.95", "p95"),
+                               ("0.99", "p99")):
+                lines.append(
+                    f'{scrape}{{quantile="{label}"}} '
+                    f'{_number(snap[key])}')
+            lines.append(f"{scrape}_count {snap['count']}")
+            lines.append(f"{scrape}_sum {_number(snap['sum'])}")
+        for source_name, counters in sorted(self._poll_sources().items()):
+            for key, value in sorted(counters.items()):
+                scrape = _scrape_name(f"{source_name}_{key}")
+                lines.append(f"# TYPE {scrape} counter")
+                lines.append(f"{scrape} {_number(value)}")
+        return "\n".join(lines) + "\n"
+
+
+def _number(value) -> str:
+    """Render a metric value without a trailing ``.0`` on whole numbers."""
+    if isinstance(value, bool):  # bools are ints; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+#: The default process-wide registry.  The serving stack wires this one
+#: unless told otherwise; tests build private registries.
+REGISTRY = MetricsRegistry()

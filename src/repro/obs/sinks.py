@@ -1,0 +1,231 @@
+"""Trace sinks: where finished request traces go.
+
+Three consumers hang off :class:`repro.obs.trace.Tracer`:
+
+* :class:`TraceLog` — one structured JSON line per request (trace id,
+  duration, per-phase breakdown, full span tree), the grep-able
+  per-request log the paper era never had.  ``repro trace <file>``
+  pretty-prints it.
+* :class:`SlowQueryLog` — the ``--slow-query-ms`` watchdog: any
+  ``sql.execute`` span at or over the threshold dumps its statement
+  digest and the whole offending span subtree as a ``slow_query``
+  record (same file format, so ``repro trace`` renders those too).
+* :class:`MetricsBridge` — folds span durations into a
+  :class:`~repro.obs.metrics.MetricsRegistry` (per-phase latency
+  histograms, slow-query counter), so the scrape endpoint shows where
+  time goes even when nobody is tailing logs.
+
+All file sinks append JSON Lines with a single ``write`` per record, so
+multiple processes (app-server workers) can share one file.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span
+
+__all__ = ["TraceLog", "SlowQueryLog", "MetricsBridge",
+           "format_trace", "read_trace_log"]
+
+#: Span name the slow-query watchdog matches.
+SQL_SPAN_NAME = "sql.execute"
+
+
+class _JsonLineFile:
+    """Append-only JSON Lines writer (one ``write`` syscall per record)."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+
+    def write(self, record: dict) -> None:
+        line = json.dumps(record, separators=(",", ":"),
+                          sort_keys=True, default=str) + "\n"
+        with self._lock:
+            with self.path.open("a", encoding="utf-8") as fh:
+                fh.write(line)
+
+
+class TraceLog:
+    """One JSON line per finished request trace."""
+
+    def __init__(self, path: str | Path):
+        self._file = _JsonLineFile(path)
+
+    @property
+    def path(self) -> Path:
+        return self._file.path
+
+    def __call__(self, root: Span) -> None:
+        self._file.write({
+            "type": "trace",
+            "ts": round(time.time(), 3),
+            "trace_id": root.trace_id,
+            "name": root.name,
+            "duration_ms": round(root.duration_ms, 3),
+            "phases": root.phase_totals(),
+            "attrs": dict(root.attrs),
+            "spans": root.to_dict(),
+        })
+
+
+class SlowQueryLog:
+    """Dump the span subtree of every SQL execution over the threshold."""
+
+    def __init__(self, path: str | Path, threshold_ms: float):
+        self._file = _JsonLineFile(path)
+        self.threshold_ms = float(threshold_ms)
+        self._count = 0
+
+    @property
+    def path(self) -> Path:
+        return self._file.path
+
+    @property
+    def count(self) -> int:
+        """Slow statements recorded so far (for tests and counters)."""
+        return self._count
+
+    def __call__(self, root: Span) -> None:
+        for span in root.walk():
+            if (span.name == SQL_SPAN_NAME
+                    and span.duration_ms >= self.threshold_ms):
+                self._count += 1
+                self._file.write({
+                    "type": "slow_query",
+                    "ts": round(time.time(), 3),
+                    "trace_id": root.trace_id,
+                    "request": {"name": root.name,
+                                "attrs": dict(root.attrs),
+                                "duration_ms":
+                                    round(root.duration_ms, 3)},
+                    "duration_ms": round(span.duration_ms, 3),
+                    "threshold_ms": self.threshold_ms,
+                    "digest": span.attrs.get("digest", ""),
+                    "sql": span.attrs.get("sql", ""),
+                    "spans": span.to_dict(),
+                })
+
+
+class MetricsBridge:
+    """Fold finished traces into latency histograms.
+
+    Per span name: ``span_<name>_ms`` (dots become underscores), one
+    observation per trace carrying the trace's *total* time in that
+    phase — the same per-request phase breakdown the trace log records.
+    The request root additionally counts into ``traces_total``; slow
+    SQL spans (when a threshold is given) into ``slow_queries_total``.
+    """
+
+    def __init__(self, registry: MetricsRegistry, *,
+                 slow_query_ms: Optional[float] = None):
+        self.registry = registry
+        self.slow_query_ms = slow_query_ms
+        self._traces = registry.counter("traces_total")
+        # Only materialise the slow counter when watching: its absence
+        # from the scrape is how "no threshold configured" reads.
+        self._slow = (registry.counter("slow_queries_total")
+                      if slow_query_ms is not None else None)
+        #: span name -> Histogram, resolved once — this sink runs on
+        #: every request, so it must not pay string assembly or registry
+        #: lookups per span.
+        self._histograms: dict[str, object] = {}
+
+    def _histogram(self, name: str):
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            safe = name.replace(".", "_")
+            histogram = self.registry.histogram(f"span_{safe}_ms")
+            self._histograms[name] = histogram
+        return histogram
+
+    def __call__(self, root: Span) -> None:
+        self._traces.inc()
+        slow_ms = self.slow_query_ms
+        totals: dict[str, float] = {}
+        stack = [root]
+        while stack:
+            span = stack.pop()
+            if span.children:
+                stack.extend(span.children)
+            duration = span.duration_ms
+            name = span.name
+            if name in totals:
+                totals[name] += duration
+            else:
+                totals[name] = duration
+            if (self._slow is not None and name == SQL_SPAN_NAME
+                    and duration >= slow_ms):
+                self._slow.inc()
+        for name, total in totals.items():
+            self._histogram(name).observe(total)
+
+
+# ---------------------------------------------------------------------------
+# reading and pretty-printing (the `repro trace` command)
+# ---------------------------------------------------------------------------
+
+
+def read_trace_log(path: str | Path) -> list[dict]:
+    """Parse a trace/slow-query JSONL file; malformed lines are skipped."""
+    records = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict) and record.get("type") in (
+                "trace", "slow_query"):
+            records.append(record)
+    return records
+
+
+def format_trace(record: dict) -> str:
+    """Render one logged trace (or slow-query) record as an ASCII tree."""
+    lines = []
+    kind = record.get("type", "trace")
+    trace_id = record.get("trace_id", "?")
+    duration = record.get("duration_ms", 0.0)
+    if kind == "slow_query":
+        lines.append(f"slow_query {trace_id}  {duration:.1f}ms  "
+                     f"(threshold {record.get('threshold_ms', 0)}ms, "
+                     f"digest {record.get('digest', '')})")
+    else:
+        lines.append(f"trace {trace_id}  {duration:.1f}ms")
+    phases = record.get("phases")
+    if phases:
+        breakdown = "  ".join(f"{name}={ms:.1f}ms"
+                              for name, ms in sorted(phases.items())
+                              if name != record.get("name"))
+        if breakdown:
+            lines.append(f"  phases: {breakdown}")
+    spans = record.get("spans")
+    if spans:
+        _format_span(spans, lines, depth=1)
+    return "\n".join(lines)
+
+
+def _format_span(span: dict, lines: list[str], depth: int) -> None:
+    indent = "  " * depth
+    attrs = span.get("attrs", {})
+    detail = " ".join(f"{key}={_short(value)}"
+                      for key, value in sorted(attrs.items()))
+    lines.append(f"{indent}{span.get('name', '?')} "
+                 f"{span.get('duration_ms', 0.0):.2f}ms"
+                 + (f"  [{detail}]" if detail else ""))
+    for child in span.get("children", ()):
+        _format_span(child, lines, depth + 1)
+
+
+def _short(value, limit: int = 48) -> str:
+    text = str(value)
+    return text if len(text) <= limit else text[:limit - 1] + "…"

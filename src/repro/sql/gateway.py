@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
 from repro.errors import SQLError, SQLObjectError, is_transient
+from repro.obs.trace import TRACER, statement_digest
 from repro.resilience import faults as fault_injection
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.deadline import Deadline
@@ -387,7 +388,57 @@ class MacroSqlSession:
         once — and only the *initial* execute is retryable; a failure
         mid-iteration propagates, since rows already handed out cannot
         be taken back.  Non-query statements execute eagerly either way.
+
+        With tracing enabled, each call runs under a ``sql.execute``
+        span carrying the statement digest, database, truncated SQL
+        text, cache outcome and row count.  For a streaming result the
+        span's duration covers statement dispatch only (rows are
+        fetched later, inside ``report.render``); the ``rows``
+        attribute is still filled in as the cursor drains.
         """
+        span = TRACER.leaf("sql.execute")
+        if span is None:
+            return self._execute(sql, stream=stream)
+        try:
+            span.set("digest", statement_digest(sql))
+            if self.database:
+                span.set("database", self.database)
+            span.set("sql", sql if len(sql) <= 200 else sql[:200])
+            hits_before = self.cache_hits
+            result = self._execute(sql, stream=stream)
+            if self.cache_hits > hits_before:
+                span.set("cached", True)
+            if result.row_iter is not None:
+                span.set("streaming", True)
+                result.row_iter = self._counted_rows(
+                    result.row_iter, result, span)
+            else:
+                span.set("rows", result.row_total)
+            return result
+        except BaseException as exc:
+            span.attrs.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            span.finish()
+
+    def _counted_rows(self, row_iter: Iterator[tuple[Any, ...]],
+                      result: ExecutionResult,
+                      span) -> Iterator[tuple[Any, ...]]:
+        """Pass rows through; stamp the final count onto the span.
+
+        ``row_iter`` is the pre-wrap cursor iterator (``result.row_iter``
+        points at this generator by the time it first runs).  Attributes
+        may be set after the span has timed out of its context —
+        delivery (and worker export) happens at request end, well after
+        the cursor drains.
+        """
+        try:
+            yield from row_iter
+        finally:
+            span.set("rows", result.rows_fetched)
+
+    def _execute(self, sql: str, *, stream: bool = False) -> ExecutionResult:
+        """The uninstrumented execution path (see :meth:`execute`)."""
         self.statement_log.append(sql)
         if self.deadline is not None:
             self.deadline.check("statement")

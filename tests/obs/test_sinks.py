@@ -1,0 +1,147 @@
+"""Trace sinks: trace log, slow-query watchdog, metrics bridge."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import (
+    MetricsBridge,
+    SlowQueryLog,
+    TraceLog,
+    format_trace,
+    read_trace_log,
+)
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture()
+def tracer():
+    tracer = Tracer()
+    tracer.enable()
+    return tracer
+
+
+def run_request(tracer, *, sql_ms: float = 0.0):
+    """One synthetic request trace with a single sql.execute span."""
+    with tracer.span("request") as root:
+        root.set("path", "/cgi-bin/db2www/urlquery.d2w/report")
+        with tracer.span("sql.execute") as sql:
+            sql.set("digest", "deadbeef0123")
+            sql.set("sql", "SELECT * FROM urldb")
+            sql.end = sql.start + sql_ms / 1000.0  # pin the duration
+    return root
+
+
+class TestTraceLog:
+    def test_one_json_line_per_trace(self, tmp_path, tracer):
+        log = TraceLog(tmp_path / "trace.log")
+        tracer.add_sink(log)
+        run_request(tracer)
+        run_request(tracer)
+        lines = log.path.read_text().splitlines()
+        assert len(lines) == 2
+        record = json.loads(lines[0])
+        assert record["type"] == "trace"
+        assert record["name"] == "request"
+        assert record["spans"]["children"][0]["name"] == "sql.execute"
+        assert "sql.execute" in record["phases"]
+
+    def test_attrs_ride_along(self, tmp_path, tracer):
+        log = TraceLog(tmp_path / "trace.log")
+        tracer.add_sink(log)
+        run_request(tracer)
+        (record,) = read_trace_log(log.path)
+        assert record["attrs"]["path"].endswith("/report")
+
+
+class TestSlowQueryLog:
+    def test_slow_statement_is_recorded(self, tmp_path, tracer):
+        log = SlowQueryLog(tmp_path / "slow.log", threshold_ms=10.0)
+        tracer.add_sink(log)
+        run_request(tracer, sql_ms=25.0)
+        assert log.count == 1
+        (record,) = read_trace_log(log.path)
+        assert record["type"] == "slow_query"
+        assert record["digest"] == "deadbeef0123"
+        assert record["sql"] == "SELECT * FROM urldb"
+        assert record["duration_ms"] >= 10.0
+        assert record["threshold_ms"] == 10.0
+        assert record["spans"]["name"] == "sql.execute"
+
+    def test_fast_statement_is_not(self, tmp_path, tracer):
+        log = SlowQueryLog(tmp_path / "slow.log", threshold_ms=10.0)
+        tracer.add_sink(log)
+        run_request(tracer, sql_ms=1.0)
+        assert log.count == 0
+        assert not log.path.exists()
+
+    def test_non_sql_spans_never_match(self, tmp_path, tracer):
+        log = SlowQueryLog(tmp_path / "slow.log", threshold_ms=0.0)
+        tracer.add_sink(log)
+        with tracer.span("request"):
+            with tracer.span("report.render"):
+                pass
+        assert log.count == 0
+
+
+class TestMetricsBridge:
+    def test_span_durations_land_in_histograms(self, tracer):
+        registry = MetricsRegistry()
+        tracer.add_sink(MetricsBridge(registry))
+        run_request(tracer, sql_ms=5.0)
+        flat = registry.flat()
+        assert flat["traces_total"] == 1
+        assert flat["span_request_ms_count"] == 1
+        assert flat["span_sql_execute_ms_count"] == 1
+        assert "slow_queries_total" not in flat
+
+    def test_slow_queries_are_counted_when_thresholded(self, tracer):
+        registry = MetricsRegistry()
+        tracer.add_sink(MetricsBridge(registry, slow_query_ms=10.0))
+        run_request(tracer, sql_ms=25.0)
+        run_request(tracer, sql_ms=1.0)
+        assert registry.counter("slow_queries_total").value == 1
+        assert registry.counter("traces_total").value == 2
+
+
+class TestReadAndFormat:
+    def test_malformed_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "trace.log"
+        path.write_text(
+            'not json at all\n'
+            '{"type": "trace", "trace_id": "t1", "duration_ms": 1.0}\n'
+            '{"type": "unrelated"}\n'
+            '[1, 2, 3]\n'
+            '\n'
+            '{"type": "slow_query", "trace_id": "t2"}\n')
+        records = read_trace_log(path)
+        assert [r["trace_id"] for r in records] == ["t1", "t2"]
+
+    def test_format_trace_renders_the_tree(self, tmp_path, tracer):
+        log = TraceLog(tmp_path / "trace.log")
+        tracer.add_sink(log)
+        run_request(tracer, sql_ms=2.0)
+        (record,) = read_trace_log(log.path)
+        text = format_trace(record)
+        assert text.startswith("trace ")
+        assert "phases:" in text
+        assert "request" in text
+        assert "sql.execute" in text
+        assert "digest=deadbeef0123" in text
+
+    def test_format_slow_query_header(self):
+        text = format_trace({"type": "slow_query", "trace_id": "t9",
+                             "duration_ms": 42.0, "threshold_ms": 10.0,
+                             "digest": "abc"})
+        assert text.startswith("slow_query t9")
+        assert "threshold 10.0ms" in text
+        assert "digest abc" in text
+
+    def test_long_attrs_are_truncated_in_the_tree(self):
+        text = format_trace({
+            "type": "trace", "trace_id": "t1", "duration_ms": 1.0,
+            "spans": {"name": "sql.execute", "duration_ms": 1.0,
+                      "attrs": {"sql": "X" * 200}}})
+        assert "X" * 47 + "…" in text
+        assert "X" * 60 not in text

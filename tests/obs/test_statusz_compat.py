@@ -1,0 +1,102 @@
+"""The registry absorbs the legacy stats bags without renaming keys.
+
+Before the observability layer, ``AccessLog.stats`` flattened attached
+``stats()`` callables to ``<name>_<key>``; the ``#stats`` trailer and
+``repro stats`` consume those names.  The same bags now attach to the
+:class:`~repro.obs.metrics.MetricsRegistry` — these tests pin the key
+compatibility across every read path.
+"""
+
+from repro.http.accesslog import AccessLog
+from repro.obs.metrics import MetricsRegistry
+from repro.sql.gateway import DatabaseRegistry
+from repro.sql.querycache import QueryResultCache
+from repro.workloads.metrics import (
+    CacheReport,
+    ResilienceReport,
+    WorkerReport,
+)
+
+
+def exercised_cache() -> QueryResultCache:
+    from types import SimpleNamespace
+    cache = QueryResultCache(max_entries=4)
+    result = SimpleNamespace(is_query=True, rows=[])
+    cache.get("URLDB", "SELECT 1", 0)          # miss
+    cache.put("URLDB", "SELECT 1", 0, result)
+    cache.get("URLDB", "SELECT 1", 0)          # hit
+    return cache
+
+
+class TestHistoricalKeyNames:
+    def test_query_cache_keys_match_the_legacy_flattening(self):
+        cache = exercised_cache()
+        legacy = AccessLog()
+        legacy.attach_stats_source("query_cache", cache.stats)
+        registry = MetricsRegistry()
+        registry.attach_stats_source("query_cache", cache.stats)
+        flat = registry.flat()
+        legacy_keys = {key for key in legacy.stats()
+                       if key.startswith("query_cache_")}
+        assert legacy_keys  # the bag is non-trivial
+        assert legacy_keys <= set(flat)
+        assert flat["query_cache_hits"] == 1
+        assert flat["query_cache_misses"] == 1
+
+    def test_resilience_registry_keys_survive(self):
+        registry = MetricsRegistry()
+        db = DatabaseRegistry()
+        registry.attach_stats_source("resilience", db.resilience_stats)
+        flat = registry.flat()
+        for key in ("retries", "breaker_opens", "pool_evicted"):
+            assert f"resilience_{key}" in flat
+
+    def test_delegating_access_log_produces_the_same_trailer_keys(self):
+        """AccessLog(metrics=...) routes sources through the registry;
+        stats() must show the exact keys a bare AccessLog produced."""
+        cache = exercised_cache()
+        bare = AccessLog()
+        bare.attach_stats_source("query_cache", cache.stats)
+        delegating = AccessLog(metrics=MetricsRegistry())
+        delegating.attach_stats_source("query_cache", cache.stats)
+        bare_stats = bare.stats()
+        delegating_stats = delegating.stats()
+        assert set(bare_stats) <= set(delegating_stats)
+        for key in bare_stats:
+            assert delegating_stats[key] == bare_stats[key]
+
+    def test_source_lands_on_the_registry_not_the_log(self):
+        registry = MetricsRegistry()
+        log = AccessLog(metrics=registry)
+        log.attach_stats_source("query_cache", lambda: {"hits": 3})
+        assert registry.source_names() == ["query_cache"]
+        assert log._stats_sources == {}
+        assert registry.flat()["query_cache_hits"] == 3
+
+
+class TestWorkloadReportsStillParse:
+    """The report dataclasses read the flattened dicts the bags emit."""
+
+    def test_cache_report_from_registry_source(self):
+        registry = MetricsRegistry()
+        registry.attach_stats_source("query_cache",
+                                     exercised_cache().stats)
+        polled = registry.snapshot()["sources"]["query_cache"]
+        report = CacheReport.from_stats(polled)
+        assert report.hits == 1
+        assert report.lookups == 2
+
+    def test_resilience_report_from_registry_source(self):
+        registry = MetricsRegistry()
+        registry.attach_stats_source(
+            "resilience", DatabaseRegistry().resilience_stats)
+        polled = registry.snapshot()["sources"]["resilience"]
+        report = ResilienceReport.from_stats(polled)
+        assert report.retries == 0
+
+    def test_worker_report_shape_is_stable(self):
+        report = WorkerReport.from_stats(
+            {"workers": 2, "requests": 9, "recycles": 1, "crashes": 0,
+             "crash_retries": 0, "busy_timeouts": 0})
+        assert report.workers == 2
+        assert report.requests == 9
