@@ -11,12 +11,20 @@ templates, pooled connections, a query-result cache), and speaks a small
 length-prefixed frame protocol to them over a Unix socket — so a request
 costs one dispatch instead of one ``exec``.
 
-The dispatcher implements the :class:`repro.cgi.gateway.CgiProgram`
-protocol and mounts in a :class:`~repro.cgi.gateway.CgiGateway` exactly
+The same frame protocol also runs over TCP (:mod:`repro.appserver.remote`):
+a :class:`WorkerPoolDaemon` hosts the pool behind ``--listen host:port``
+and a :class:`TcpPoolDispatcher` on the web-server host dispatches to any
+number of such pools via ``--connect`` — the three-tier separation the
+related work argues for, with crash replacement, idempotent-only replay
+and trace grafting identical across both transports.
+
+The dispatchers implement the :class:`repro.cgi.gateway.CgiProgram`
+protocol and mount in a :class:`~repro.cgi.gateway.CgiGateway` exactly
 like the in-process program or :class:`~repro.cgi.process.SubprocessCgiRunner`,
 so the whole HTTP stack above is unchanged.
 """
 
 from repro.appserver.dispatcher import AppServerDispatcher
+from repro.appserver.remote import TcpPoolDispatcher, WorkerPoolDaemon
 
-__all__ = ["AppServerDispatcher"]
+__all__ = ["AppServerDispatcher", "TcpPoolDispatcher", "WorkerPoolDaemon"]

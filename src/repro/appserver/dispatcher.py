@@ -1,6 +1,7 @@
 """The app-server dispatcher: pre-forked workers behind ``CgiProgram``.
 
-:class:`AppServerDispatcher` owns a Unix listening socket and a pool of
+:class:`AppServerDispatcher` owns a rendezvous listening socket (Unix
+by default, loopback TCP with ``transport="tcp"``) and a pool of
 worker processes (:mod:`repro.appserver.worker`).  Its :meth:`run`
 implements the :class:`repro.cgi.gateway.CgiProgram` protocol, so the
 whole web stack mounts it exactly like the in-process program or the
@@ -74,22 +75,39 @@ class AppServerDispatcher:
                  recycle_after: int = 500,
                  request_timeout: float = 30.0,
                  spawn_timeout: float = 20.0,
-                 argv: Optional[list[str]] = None):
+                 argv: Optional[list[str]] = None,
+                 transport: str = "unix"):
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if recycle_after < 1:
             raise ValueError("recycle_after must be at least 1")
+        if transport not in ("unix", "tcp"):
+            raise ValueError(f"unknown transport {transport!r}")
         self.worker_env = dict(worker_env)
         self.pool_size = workers
         self.recycle_after = recycle_after
         self.request_timeout = request_timeout
         self.spawn_timeout = spawn_timeout
+        self.transport = transport
         self.argv = argv or [sys.executable, "-m",
                              "repro.appserver.worker"]
-        self._dir = tempfile.mkdtemp(prefix="repro-appserver-")
-        self.socket_path = os.path.join(self._dir, "dispatch.sock")
-        self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        self._listener.bind(self.socket_path)
+        self._dir = None
+        if transport == "tcp":
+            # Worker rendezvous over loopback TCP: the same frame
+            # protocol, no filesystem artifact.  (Workers still spawn
+            # locally; cross-host pools are the daemon's job — see
+            # repro.appserver.remote.)
+            self._listener = socket.socket(socket.AF_INET,
+                                           socket.SOCK_STREAM)
+            self._listener.bind(("127.0.0.1", 0))
+            self.socket_path = protocol.format_endpoint(
+                "tcp", self._listener.getsockname())
+        else:
+            self._dir = tempfile.mkdtemp(prefix="repro-appserver-")
+            self.socket_path = os.path.join(self._dir, "dispatch.sock")
+            self._listener = socket.socket(socket.AF_UNIX,
+                                           socket.SOCK_STREAM)
+            self._listener.bind(self.socket_path)
         self._listener.listen(workers * 2)
         self._idle: "queue.Queue[_Worker]" = queue.Queue()
         self._lock = threading.Lock()       # registry + counters
@@ -213,14 +231,15 @@ class AppServerDispatcher:
         for worker in stragglers:
             self._kill(worker)
         self._listener.close()
-        try:
-            os.unlink(self.socket_path)
-        except OSError:
-            pass
-        try:
-            os.rmdir(self._dir)
-        except OSError:
-            pass
+        if self._dir is not None:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+            try:
+                os.rmdir(self._dir)
+            except OSError:
+                pass
 
     def __enter__(self) -> "AppServerDispatcher":
         return self
@@ -258,6 +277,8 @@ class AppServerDispatcher:
             raise CgiProtocolError(
                 f"app-server worker {slot} never connected "
                 f"(within {self.spawn_timeout:.3g}s)") from exc
+        if self.transport == "tcp":
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         conn.settimeout(self.request_timeout)
         frame = protocol.recv_frame(conn)
         if frame is None or frame[0] != protocol.FRAME_HELLO:

@@ -1,7 +1,7 @@
-"""The dispatcher↔worker frame protocol.
+"""The dispatcher↔worker frame protocol, over Unix *or* TCP sockets.
 
-FastCGI-flavoured but deliberately tiny: every message on the Unix
-socket is one frame —
+FastCGI-flavoured but deliberately tiny: every message on the socket is
+one frame —
 
 ===========  =========================================================
 ``1 byte``    frame type (the ``FRAME_*`` constants)
@@ -9,11 +9,19 @@ socket is one frame —
 ``N bytes``   payload
 ===========  =========================================================
 
-Control frames (``HELLO``/``PING``/``PONG``/``SHUTDOWN``) carry a small
-JSON object or nothing.  ``REQUEST``/``RESPONSE`` payloads are a JSON
-header (CGI environment, or status line and headers) length-prefixed
-the same way, followed by the raw body bytes — the body is never
-JSON-escaped, so a megabyte page costs a memcpy, not an encode.
+Control frames (``HELLO``/``PING``/``PONG``/``SHUTDOWN``/``ERROR``)
+carry a small JSON object or nothing.  ``REQUEST``/``RESPONSE``
+payloads are a JSON header (CGI environment, or status line and
+headers) length-prefixed the same way, followed by the raw body bytes —
+the body is never JSON-escaped, so a megabyte page costs a memcpy, not
+an encode.
+
+The frame format is transport-agnostic: the same codecs run over the
+dispatcher's local ``AF_UNIX`` rendezvous socket and over TCP between
+hosts (``repro serve --listen`` pool daemons and ``--connect``
+dispatchers — see :mod:`repro.appserver.remote`).  Endpoint strings
+pick the transport: ``host:port`` means TCP, anything else is a Unix
+socket path (:func:`parse_endpoint`).
 """
 
 from __future__ import annotations
@@ -33,6 +41,10 @@ FRAME_RESPONSE = 0x03   # worker → dispatcher
 FRAME_PING = 0x04       # dispatcher → worker, health check
 FRAME_PONG = 0x05       # worker → dispatcher, carries counters
 FRAME_SHUTDOWN = 0x06   # dispatcher → worker, drain and exit
+FRAME_ERROR = 0x07      # pool daemon → remote dispatcher: the request
+                        # failed pool-side (worker died on a
+                        # non-replayable request, pool exhausted); the
+                        # channel itself stays healthy
 
 _FRAME_HEAD = struct.Struct(">BI")
 _JSON_LEN = struct.Struct(">I")
@@ -144,6 +156,75 @@ def decode_response(payload: bytes) -> CgiResponse:
     return CgiResponse(status=status, reason=reason, headers=headers,
                        body=body,
                        trace=trace if isinstance(trace, dict) else None)
+
+
+# -- transport endpoints ---------------------------------------------------
+
+def parse_endpoint(spec: str) -> tuple[str, object]:
+    """Classify an endpoint string: ``("tcp", (host, port))`` when it
+    looks like ``host:port`` (the port numeric), else ``("unix", path)``.
+
+    A Unix socket path can contain colons, but never ends in ``:<int>``
+    the way a TCP authority does, so the two spellings cannot collide in
+    practice; TCP specs may also be written ``tcp:host:port`` to be
+    explicit.
+    """
+    text = spec
+    if text.startswith("tcp:"):
+        text = text[len("tcp:"):]
+        host, sep, port = text.rpartition(":")
+        if not sep:
+            raise ValueError(f"bad TCP endpoint {spec!r}: expected "
+                             f"host:port")
+        return "tcp", (host or "127.0.0.1", int(port))
+    host, sep, port = text.rpartition(":")
+    if sep and port.isdigit():
+        return "tcp", (host or "127.0.0.1", int(port))
+    return "unix", text
+
+
+def connect_endpoint(spec: str, *,
+                     timeout: Optional[float] = None) -> socket.socket:
+    """Connect a stream socket to a Unix-path or ``host:port`` endpoint.
+
+    TCP connections get ``TCP_NODELAY``: frames are written whole and
+    waited on synchronously, so Nagle coalescing only adds latency.
+    """
+    kind, address = parse_endpoint(spec)
+    if kind == "tcp":
+        sock = socket.create_connection(address, timeout=timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    if timeout is not None:
+        sock.settimeout(timeout)
+    try:
+        sock.connect(address)
+    except OSError:
+        sock.close()
+        raise
+    return sock
+
+
+def format_endpoint(kind: str, address) -> str:
+    """The canonical spec string for a bound endpoint."""
+    if kind == "tcp":
+        host, port = address[0], address[1]
+        return f"{host}:{port}"
+    return str(address)
+
+
+# -- control frames --------------------------------------------------------
+
+def encode_error(message: str, *, kind: str = "protocol") -> bytes:
+    """An ``ERROR`` frame payload (pool-side failure classification)."""
+    return encode_control({"error": str(message), "kind": kind})
+
+
+def decode_error(payload: bytes) -> tuple[str, str]:
+    fields = decode_control(payload)
+    return (str(fields.get("error", "unknown pool-side failure")),
+            str(fields.get("kind", "protocol")))
 
 
 def encode_control(fields: dict) -> bytes:

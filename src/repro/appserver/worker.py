@@ -11,7 +11,8 @@ Configuration rides the same environment variables as the stand-alone
 CGI executable (:mod:`repro.cgi.db2www_main`), plus:
 
 ``REPRO_APPSERVER_SOCKET``
-    Path of the dispatcher's Unix listening socket.  Required.
+    The dispatcher's rendezvous endpoint: a Unix socket path, or
+    ``host:port`` for the TCP transport.  Required.
 ``REPRO_APPSERVER_WORKER_ID``
     Slot number announced in the ``HELLO`` frame.
 ``REPRO_WORKER_FAULTS``
@@ -53,8 +54,7 @@ def worker_main(env: dict[str, str] | None = None) -> int:
     if faults:
         injector = FaultInjector.parse(faults)
 
-    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-    sock.connect(socket_path)
+    sock = protocol.connect_endpoint(socket_path)
     try:
         protocol.send_frame(
             sock, protocol.FRAME_HELLO,

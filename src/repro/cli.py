@@ -106,8 +106,40 @@ def build_parser() -> argparse.ArgumentParser:
                             "requests")
     serve.add_argument("--stream", action="store_true",
                        help="stream report pages off the live SQL "
-                            "cursor (close-delimited responses; "
-                            "--gateway inprocess only)")
+                            "cursor (close-delimited on HTTP/1.0; the "
+                            "async edge sends chunked to HTTP/1.1 "
+                            "clients; --gateway inprocess only)")
+    serve.add_argument("--edge", default="threaded",
+                       choices=["threaded", "async"],
+                       help="HTTP front end: thread-per-connection or "
+                            "the asyncio event-loop edge (keep-alive "
+                            "pipelining, chunked streaming, bounded "
+                            "connection budget)")
+    serve.add_argument("--acceptors", type=int, default=1, metavar="N",
+                       help="async-edge acceptor processes sharing the "
+                            "port via SO_REUSEPORT (N>1 spawns N serve "
+                            "processes; --edge async only)")
+    serve.add_argument("--reuse-port", action="store_true",
+                       dest="reuse_port",
+                       help="set SO_REUSEPORT on the listener so other "
+                            "acceptor processes can share the port")
+    serve.add_argument("--max-connections", type=int, default=None,
+                       metavar="N", dest="max_connections",
+                       help="concurrent-connection budget; connections "
+                            "past it get an immediate 503 (default: "
+                            "1024 on the async edge, unbounded on the "
+                            "threaded edge)")
+    serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="worker-pool daemon mode: no HTTP edge; "
+                            "host the app-server worker pool behind a "
+                            "TCP endpoint for --connect dispatchers "
+                            "on other machines")
+    serve.add_argument("--connect", action="append", default=[],
+                       metavar="HOST:PORT",
+                       help="dispatch /cgi-bin/db2www to remote "
+                            "worker-pool daemons instead of a local "
+                            "pool (repeatable to balance across "
+                            "pools; --gateway appserver only)")
     serve.add_argument("--backlog", type=int, default=128,
                        help="listen(2) backlog of the HTTP server")
     serve.add_argument("--query-cache", type=int, default=128,
@@ -402,16 +434,110 @@ def _worker_env(args) -> dict[str, str]:
     return env
 
 
+def _cmd_pool_daemon(args, out) -> int:  # pragma: no cover - interactive
+    """``repro serve --listen host:port`` — the standalone worker-pool
+    daemon: no HTTP edge, just the app-server pool behind TCP for
+    ``--connect`` dispatchers on other machines."""
+    from repro.appserver import WorkerPoolDaemon
+    from repro.appserver.protocol import parse_endpoint
+
+    kind, address = parse_endpoint(args.listen)
+    if kind != "tcp":
+        raise SystemExit(f"--listen expects host:port, got {args.listen!r}")
+    host, port = address
+    # No TRACER.enable() here: the daemon only forwards the trace tree
+    # riding the RESPONSE frame; workers trace via REPRO_TRACE.
+    daemon = WorkerPoolDaemon(_worker_env(args), workers=args.workers,
+                              host=host, port=port,
+                              recycle_after=args.recycle_after)
+    print(f"worker pool listening on {daemon.endpoint} "
+          f"({args.workers} workers)", file=out, flush=True)
+    print("press Ctrl-C to stop", file=out, flush=True)
+    try:
+        import signal
+        signal.pause()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.shutdown()
+    return 0
+
+
+def _cmd_multi_acceptor(args, out) -> int:  # pragma: no cover - interactive
+    """``repro serve --edge async --acceptors N`` — N serve processes
+    sharing one port via ``SO_REUSEPORT``; the kernel load-balances
+    accepted connections across their event loops."""
+    import signal
+    import socket
+    import subprocess
+
+    port = args.port
+    if port == 0:
+        # Pre-pick the shared port so every child binds the same one.
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        probe.bind((args.host, 0))
+        port = probe.getsockname()[1]
+        probe.close()
+    child_argv = _acceptor_child_argv(sys.argv[1:], port)
+    children = [subprocess.Popen([sys.executable, "-m", "repro"]
+                                 + child_argv)
+                for _ in range(args.acceptors)]
+    print(f"serving {args.acceptors} acceptors on "
+          f"http://{args.host}:{port} (SO_REUSEPORT)",
+          file=out, flush=True)
+    try:
+        signal.pause()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for child in children:
+            child.terminate()
+        for child in children:
+            try:
+                child.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                child.kill()
+    return 0
+
+
+def _acceptor_child_argv(argv: list[str], port: int) -> list[str]:
+    """The original serve argv with acceptors/port pinned for a child."""
+    out: list[str] = []
+    skip = False
+    for item in argv:
+        if skip:
+            skip = False
+            continue
+        if item in ("--acceptors", "--port"):
+            skip = True
+            continue
+        if item.startswith(("--acceptors=", "--port=")):
+            continue
+        out.append(item)
+    return out + ["--port", str(port), "--acceptors", "1",
+                  "--reuse-port"]
+
+
 def _cmd_serve(args, out) -> int:  # pragma: no cover - interactive
     from repro.http.router import Router
     from repro.http.server import HttpServer
     from repro.obs import (
         REGISTRY, TRACER, MetricsBridge, SlowQueryLog, TraceLog)
 
+    if args.listen is not None:
+        return _cmd_pool_daemon(args, out)
     if args.stream and args.gateway != "inprocess":
         raise SystemExit(
             "--stream requires --gateway inprocess (worker responses "
             "cross the dispatch socket as complete frames)")
+    if args.connect and args.gateway != "appserver":
+        raise SystemExit("--connect requires --gateway appserver")
+    if args.acceptors > 1 and args.edge != "async":
+        raise SystemExit("--acceptors requires --edge async "
+                         "(SO_REUSEPORT load balancing)")
+    if args.acceptors > 1:
+        return _cmd_multi_acceptor(args, out)
     metrics = REGISTRY
     if not args.no_trace:
         TRACER.enable()
@@ -452,6 +578,12 @@ def _cmd_serve(args, out) -> int:  # pragma: no cover - interactive
             from repro.cgi.process import SubprocessCgiRunner
             gateway.install("db2www",
                             SubprocessCgiRunner(extra_env=_worker_env(args)))
+        elif args.connect:
+            from repro.appserver import TcpPoolDispatcher
+            dispatcher = TcpPoolDispatcher(args.connect,
+                                           channels=args.workers)
+            gateway.install("db2www", dispatcher)
+            stats_sources.append(("appserver", dispatcher.stats))
         else:
             from repro.appserver import AppServerDispatcher
             dispatcher = AppServerDispatcher(
@@ -469,14 +601,26 @@ def _cmd_serve(args, out) -> int:  # pragma: no cover - interactive
         from repro.http.accesslog import AccessLog
         log = AccessLog(args.access_log, metrics=metrics)
         router.access_log = log
-    server = HttpServer(router, host=args.host, port=args.port,
-                        backlog=args.backlog).start()
+    if args.edge == "async":
+        from repro.http.async_server import AsyncHttpServer
+        server = AsyncHttpServer(
+            router, host=args.host, port=args.port,
+            backlog=args.backlog,
+            reuse_port=args.reuse_port,
+            max_connections=args.max_connections
+            if args.max_connections is not None else 1024,
+            metrics=metrics).start()
+    else:
+        server = HttpServer(router, host=args.host, port=args.port,
+                            backlog=args.backlog,
+                            max_connections=args.max_connections).start()
     # Flush each banner line: supervisors (and the smoke test) read the
     # bound address from a pipe, which Python would otherwise buffer.
     print(f"serving macros from {args.macros} on {server.base_url} "
           f"({args.gateway} gateway"
           + (f", {args.workers} workers" if dispatcher else "")
           + (", streaming" if args.stream else "")
+          + (f", {args.edge} edge" if args.edge != "threaded" else "")
           + (", tracing off" if args.no_trace else "") + ")",
           file=out, flush=True)
     print(f"metrics: {server.base_url}/metrics   "

@@ -152,6 +152,37 @@ class HttpResponse:
                    body=body, version=parts[0])
 
 
+def content_length_of(head: bytes) -> int:
+    """The body length a request head declares — parsed strictly.
+
+    Request smuggling lives in parser disagreement, so anything two
+    implementations could read differently is a hard
+    :class:`BadRequestError` (a 400 at the edge) instead of a silent
+    guess: a repeated ``Content-Length`` header, a comma-joined value
+    list (even when the copies agree), or a value that is not a plain
+    non-negative decimal integer.  Absent means ``0``.  Both the
+    threaded and the async edge call this, so they agree by
+    construction.
+    """
+    values = []
+    for line in head.split(b"\n")[1:]:  # [0] is the request line
+        name, sep, value = line.decode("latin-1", "replace").partition(":")
+        if sep and name.strip().lower() == "content-length":
+            values.append(value.strip())
+    if not values:
+        return 0
+    if len(values) > 1:
+        raise BadRequestError(
+            f"request carries {len(values)} Content-Length headers")
+    value = values[0]
+    if "," in value:
+        raise BadRequestError(
+            f"comma-joined Content-Length values: {value!r}")
+    if not (value.isascii() and value.isdigit()):
+        raise BadRequestError(f"malformed Content-Length: {value!r}")
+    return int(value)
+
+
 def html_response(html: str, *, status: int = 200,
                   charset: str = "utf-8") -> HttpResponse:
     """Build a text/html response from a page string."""

@@ -6,6 +6,11 @@ Keep-Alive`` and reuses the socket while the server agrees — reading
 responses by ``Content-Length`` instead of connection close — which is
 how Netscape 1.x cut page-load latency and what the EXT-KEEPALIVE bench
 measures.
+
+With ``http11=True`` requests go out as HTTP/1.1 (persistent by
+default) and ``Transfer-Encoding: chunked`` responses are decoded —
+the framing the async edge uses for streamed reports, which is what
+lets a streaming response *not* cost the connection.
 """
 
 from __future__ import annotations
@@ -24,8 +29,11 @@ _MAX_HEAD = 64 * 1024
 class PersistentHttpClient(Transport):
     """Fetches URLs over reusable TCP connections (one per netloc)."""
 
-    def __init__(self, *, timeout: float = 10.0):
+    def __init__(self, *, timeout: float = 10.0, http11: bool = False):
         self.timeout = timeout
+        #: speak HTTP/1.1 — persistent connections by default, chunked
+        #: response bodies decoded.
+        self.http11 = http11
         self._sockets: dict[str, socket.socket] = {}
         self._buffers: dict[str, bytes] = {}
 
@@ -36,7 +44,10 @@ class PersistentHttpClient(Transport):
 
     def fetch(self, url: Url, request: HttpRequest) -> HttpResponse:
         request.headers.setdefault("Host", url.netloc)
-        request.headers.set("Connection", "Keep-Alive")
+        if self.http11:
+            request.version = "HTTP/1.1"
+        else:
+            request.headers.set("Connection", "Keep-Alive")
         key = f"{url.host}:{url.port}"
         sent = [False]
         try:
@@ -98,6 +109,9 @@ class PersistentHttpClient(Transport):
         if separator not in data:
             separator = b"\n\n"
         head, _, rest = data.partition(separator)
+        if _is_chunked(head):
+            body, remaining = _decode_chunked(conn, rest)
+            return HttpResponse.parse(head + separator + body), remaining
         length = _content_length(head)
         if length is None:
             # No Content-Length: fall back to read-until-close (and the
@@ -124,6 +138,52 @@ class PersistentHttpClient(Transport):
                 conn.close()
             except OSError:
                 pass
+
+
+def _is_chunked(head: bytes) -> bool:
+    for line in head.split(b"\n"):
+        name, sep, value = line.decode("latin-1", "replace").partition(":")
+        if sep and name.strip().lower() == "transfer-encoding":
+            return "chunked" in value.lower()
+    return False
+
+
+def _decode_chunked(conn: socket.socket,
+                    data: bytes) -> tuple[bytes, bytes]:
+    """Decode a chunked body; returns ``(body, bytes_past_the_body)``.
+
+    The surplus bytes belong to the next pipelined response, exactly
+    like the Content-Length path's ``remaining``.
+    """
+    body = b""
+    while True:
+        while b"\r\n" not in data:
+            chunk = conn.recv(_RECV_CHUNK)
+            if not chunk:
+                raise HttpError("connection closed mid-chunk-size")
+            data += chunk
+        line, _, data = data.partition(b"\r\n")
+        try:
+            size = int(line.split(b";")[0].strip() or b"0", 16)
+        except ValueError as exc:
+            raise HttpError(f"malformed chunk size {line!r}") from exc
+        if size == 0:
+            # No trailers are ever sent here; consume the final CRLF.
+            while len(data) < 2:
+                chunk = conn.recv(_RECV_CHUNK)
+                if not chunk:
+                    break  # server closed right after the 0-chunk
+                data += chunk
+            if data.startswith(b"\r\n"):
+                data = data[2:]
+            return body, data
+        while len(data) < size + 2:
+            chunk = conn.recv(_RECV_CHUNK)
+            if not chunk:
+                raise HttpError("connection closed mid-chunk")
+            data += chunk
+        body += data[:size]
+        data = data[size + 2:]  # chunk payload, then its CRLF
 
 
 def _content_length(head: bytes) -> int | None:

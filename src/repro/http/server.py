@@ -17,7 +17,12 @@ import socket
 import threading
 
 from repro.errors import BadRequestError
-from repro.http.message import HttpRequest, HttpResponse, html_response
+from repro.http.message import (
+    HttpRequest,
+    HttpResponse,
+    content_length_of,
+    html_response,
+)
 from repro.http.router import Router
 from repro.obs.trace import new_trace_id
 
@@ -39,9 +44,18 @@ class HttpServer:
                  port: int = 0, timeout: float = 10.0,
                  idle_timeout: float | None = None,
                  keep_alive_max: int = 100,
+                 max_connections: int | None = None,
                  backlog: int = 128):
         self.router = router
         self.timeout = timeout
+        #: concurrent-connection budget.  Each connection is a daemon
+        #: thread, and threads are the scarce resource here: past the
+        #: budget the server answers an immediate ``503`` and closes
+        #: instead of spawning without bound.  ``None`` keeps the
+        #: historical unbounded behaviour.
+        self.max_connections = max_connections
+        self._active = 0
+        self._active_lock = threading.Lock()
         #: how long a kept-alive connection may sit idle (no bytes of a
         #: next request) before the server closes it; a stalled client
         #: must not pin a server thread forever.  Defaults to ``timeout``.
@@ -105,10 +119,32 @@ class HttpServer:
             if self._shutdown.is_set():
                 conn.close()
                 return
+            if not self._try_admit():
+                # A fresh socket's send buffer swallows the small 503
+                # without blocking, so shedding stays in the accept
+                # loop — no thread is spawned for an over-budget peer.
+                _shed_connection(conn)
+                continue
             thread = threading.Thread(
                 target=self._serve_connection, args=(conn, addr),
                 daemon=True)
             thread.start()
+
+    def _try_admit(self) -> bool:
+        """Claim a connection slot; ``False`` means shed with a 503."""
+        if self.max_connections is None:
+            return True
+        with self._active_lock:
+            if self._active >= self.max_connections:
+                return False
+            self._active += 1
+            return True
+
+    def _release(self) -> None:
+        if self.max_connections is None:
+            return
+        with self._active_lock:
+            self._active -= 1
 
     def _serve_connection(self, conn: socket.socket,
                           addr: tuple[str, int]) -> None:
@@ -117,7 +153,19 @@ class HttpServer:
         served = 0
         try:
             while served < self.keep_alive_max:
-                raw, buffer = self._read_request(conn, buffer)
+                try:
+                    raw, buffer = self._read_request(conn, buffer)
+                except BadRequestError as exc:
+                    # An ambiguous request head (e.g. conflicting
+                    # Content-Length headers) poisons any pipelined
+                    # bytes behind it too: answer 400 and drop the
+                    # connection rather than guess at a body boundary.
+                    response = html_response(
+                        f"<H1>400 Bad Request</H1><P>{exc}</P>",
+                        status=400)
+                    response.headers.set("Connection", "close")
+                    conn.sendall(response.serialize())
+                    return
                 if raw is None:
                     return
                 keep_alive = False
@@ -159,6 +207,7 @@ class HttpServer:
             except OSError:
                 pass
             conn.close()
+            self._release()
 
     def _send_streaming(self, conn: socket.socket,
                         response: HttpResponse) -> None:
@@ -203,7 +252,8 @@ class HttpServer:
         separator = b"\r\n\r\n"
         while separator not in data and b"\n\n" not in data:
             if len(data) > _MAX_HEAD:
-                return None, b""
+                raise BadRequestError(
+                    f"request head exceeds {_MAX_HEAD} bytes")
             conn.settimeout(self.idle_timeout if not data
                             else self.timeout)
             try:
@@ -217,7 +267,14 @@ class HttpServer:
         if separator not in data:
             separator = b"\n\n"
         head, _, rest = data.partition(separator)
-        content_length = _content_length(head)
+        if len(head) > _MAX_HEAD:
+            # The terminator and the overflow can arrive in one read;
+            # the in-loop check alone would admit such a head.
+            raise BadRequestError(
+                f"request head exceeds {_MAX_HEAD} bytes")
+        # Strict parse: duplicate / comma-joined / malformed
+        # Content-Length raises BadRequestError → 400 upstream.
+        content_length = content_length_of(head)
         if content_length > _MAX_BODY:
             return None, b""
         while len(rest) < content_length:
@@ -234,12 +291,21 @@ def _wants_keep_alive(request: HttpRequest) -> bool:
     return "keep-alive" in tokens
 
 
-def _content_length(head: bytes) -> int:
-    for line in head.split(b"\n"):
-        name, sep, value = line.decode("latin-1", "replace").partition(":")
-        if sep and name.strip().lower() == "content-length":
-            try:
-                return max(0, int(value.strip()))
-            except ValueError:
-                return 0
-    return 0
+def _shed_connection(conn: socket.socket) -> None:
+    """Answer an over-budget connection with an immediate 503."""
+    response = html_response(
+        "<H1>503 Service Unavailable</H1>"
+        "<P>connection budget exhausted; retry shortly</P>", status=503)
+    response.headers.set("Connection", "close")
+    response.headers.set("Retry-After", "1")
+    try:
+        conn.settimeout(1.0)
+        conn.sendall(response.serialize())
+    except OSError:
+        pass
+    finally:
+        try:
+            conn.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        conn.close()

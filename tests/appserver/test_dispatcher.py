@@ -2,13 +2,23 @@
 
 These spawn real worker processes (the whole point of the subsystem),
 so the pool fixtures are module-scoped where the tests allow it.
+
+Every test runs twice — against the local Unix-socket pool and against
+the same pool behind a TCP daemon (``WorkerPoolDaemon`` +
+``TcpPoolDispatcher``).  The ISSUE-6 contract is that the two
+transports are behaviourally identical: same responses, same stats
+keys, same crash/replay semantics, same exceptions.
 """
 
 import threading
 
 import pytest
 
-from repro.appserver import AppServerDispatcher
+from repro.appserver import (
+    AppServerDispatcher,
+    TcpPoolDispatcher,
+    WorkerPoolDaemon,
+)
 from repro.apps import urlquery as urlquery_app
 from repro.apps.datasets import seed_urldb
 from repro.cgi.environ import CgiEnvironment
@@ -18,6 +28,53 @@ from repro.errors import CgiProtocolError
 from repro.sql.connection import Connection
 
 REPORT_QUERY = "SEARCH=ib&USE_URL=yes&DBFIELDS=title"
+
+TRANSPORTS = ["unix", "tcp"]
+
+
+class TcpPoolStack:
+    """A worker pool behind a loopback TCP daemon, presenting the same
+    surface as the local ``AppServerDispatcher``."""
+
+    def __init__(self, env, workers=2, **daemon_kwargs):
+        self.daemon = WorkerPoolDaemon(env, workers=workers,
+                                       **daemon_kwargs)
+        self.client = TcpPoolDispatcher(self.daemon.endpoint,
+                                        channels=workers)
+
+    def run(self, request):
+        return self.client.run(request)
+
+    def stats(self):
+        return self.client.stats()
+
+    def health_check(self):
+        return self.client.health_check()
+
+    @property
+    def pool_size(self):
+        return self.client.pool_size
+
+    def shutdown(self):
+        self.client.shutdown()
+        self.daemon.shutdown()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.shutdown()
+
+
+def make_pool(transport, env, workers=2, **kwargs):
+    if transport == "tcp":
+        return TcpPoolStack(env, workers=workers, **kwargs)
+    return AppServerDispatcher(env, workers=workers, **kwargs)
+
+
+@pytest.fixture(params=TRANSPORTS)
+def transport(request):
+    return request.param
 
 
 def deployment_env(tmp_path):
@@ -43,10 +100,10 @@ def cgi_request(path_info, query=""):
         query_string=query))
 
 
-@pytest.fixture(scope="module")
-def pool(tmp_path_factory):
+@pytest.fixture(scope="module", params=TRANSPORTS)
+def pool(request, tmp_path_factory):
     env = deployment_env(tmp_path_factory.mktemp("appserver"))
-    dispatcher = AppServerDispatcher(env, workers=2)
+    dispatcher = make_pool(request.param, env, workers=2)
     yield dispatcher
     dispatcher.shutdown()
 
@@ -107,10 +164,10 @@ class TestDispatch:
 
 
 class TestRecycling:
-    def test_workers_recycle_after_n_requests(self, tmp_path):
+    def test_workers_recycle_after_n_requests(self, tmp_path, transport):
         env = deployment_env(tmp_path)
-        with AppServerDispatcher(env, workers=1,
-                                 recycle_after=3) as pool:
+        with make_pool(transport, env, workers=1,
+                       recycle_after=3) as pool:
             for _ in range(7):
                 assert pool.run(
                     cgi_request("/urlquery.d2w/input")).status == 200
@@ -121,12 +178,13 @@ class TestRecycling:
 
 
 class TestCrashRecovery:
-    def test_crash_mid_request_is_replaced_and_replayed(self, tmp_path):
+    def test_crash_mid_request_is_replaced_and_replayed(self, tmp_path,
+                                                        transport):
         env = deployment_env(tmp_path)
         # Deterministic fault injection: the worker's 2nd request dies
         # mid-request (os._exit while the dispatcher awaits the frame).
         env["REPRO_WORKER_FAULTS"] = "every:2"
-        with AppServerDispatcher(env, workers=1) as pool:
+        with make_pool(transport, env, workers=1) as pool:
             assert pool.run(
                 cgi_request("/urlquery.d2w/input")).status == 200
             # Request 2 crashes the worker; the dispatcher replaces it
@@ -138,10 +196,10 @@ class TestCrashRecovery:
             assert stats["crash_retries"] == 1
             assert stats["workers"] == 1  # replacement is live
 
-    def test_crashed_post_is_not_replayed(self, tmp_path):
+    def test_crashed_post_is_not_replayed(self, tmp_path, transport):
         env = deployment_env(tmp_path)
         env["REPRO_WORKER_FAULTS"] = "every:1"  # first request crashes
-        with AppServerDispatcher(env, workers=1) as pool:
+        with make_pool(transport, env, workers=1) as pool:
             body = b"SEARCH=x"
             request = CgiRequest(
                 CgiEnvironment(
@@ -155,13 +213,14 @@ class TestCrashRecovery:
                 pool.run(request)
             assert pool.stats()["crash_retries"] == 0
 
-    def test_other_in_flight_requests_survive_a_crash(self, tmp_path):
+    def test_other_in_flight_requests_survive_a_crash(self, tmp_path,
+                                                      transport):
         env = deployment_env(tmp_path)
         # Every 5th request on a worker crashes it; with 3 workers and
         # 30 concurrent GETs, several crashes happen while other
         # requests are in flight on sibling workers.
         env["REPRO_WORKER_FAULTS"] = "every:5"
-        with AppServerDispatcher(env, workers=3) as pool:
+        with make_pool(transport, env, workers=3) as pool:
             results = []
             lock = threading.Lock()
 
@@ -198,15 +257,67 @@ class TestCrashRecovery:
 
 
 class TestShutdown:
-    def test_checkout_after_shutdown_fails_fast(self, tmp_path):
+    def test_checkout_after_shutdown_fails_fast(self, tmp_path,
+                                                transport):
         env = deployment_env(tmp_path)
-        pool = AppServerDispatcher(env, workers=1)
+        pool = make_pool(transport, env, workers=1)
         pool.shutdown()
         with pytest.raises(CgiProtocolError, match="shut down"):
             pool.run(cgi_request("/urlquery.d2w/input"))
 
-    def test_shutdown_is_idempotent(self, tmp_path):
+    def test_shutdown_is_idempotent(self, tmp_path, transport):
         env = deployment_env(tmp_path)
-        pool = AppServerDispatcher(env, workers=1)
+        pool = make_pool(transport, env, workers=1)
         pool.shutdown()
         pool.shutdown()
+
+
+class TestTcpChannelResilience:
+    """TCP-transport specifics: channel breakage and replay."""
+
+    def test_daemon_death_replays_idempotent_requests(self, tmp_path):
+        env = deployment_env(tmp_path)
+        first = WorkerPoolDaemon(env, workers=1)
+        second = WorkerPoolDaemon(env, workers=1)
+        client = TcpPoolDispatcher(
+            [first.endpoint, second.endpoint], channels=2)
+        try:
+            assert client.run(
+                cgi_request("/urlquery.d2w/input")).status == 200
+            # Kill one backend outright: its channel breaks on next
+            # use, and the idempotent GET replays on a fresh channel.
+            first.shutdown()
+            served = 0
+            for _ in range(4):
+                response = client.run(
+                    cgi_request("/urlquery.d2w/input"))
+                assert response.status == 200
+                served += 1
+            assert served == 4
+            stats = client.stats()
+            assert stats["channel_reconnects"] >= 1
+        finally:
+            client.shutdown()
+            second.shutdown()
+
+    def test_broken_channel_does_not_replay_posts(self, tmp_path):
+        env = deployment_env(tmp_path)
+        daemon = WorkerPoolDaemon(env, workers=1)
+        client = TcpPoolDispatcher(daemon.endpoint, channels=1)
+        try:
+            assert client.run(
+                cgi_request("/urlquery.d2w/input")).status == 200
+            daemon.shutdown()
+            body = b"SEARCH=x"
+            request = CgiRequest(
+                CgiEnvironment(
+                    request_method="POST",
+                    script_name="/cgi-bin/db2www",
+                    path_info="/urlquery.d2w/report",
+                    content_type="application/x-www-form-urlencoded",
+                    content_length=len(body)),
+                stdin=body)
+            with pytest.raises(CgiProtocolError, match="broke"):
+                client.run(request)
+        finally:
+            client.shutdown()
