@@ -42,7 +42,11 @@ from typing import Optional
 import repro
 from repro.appserver import protocol
 from repro.cgi.request import CgiRequest, CgiResponse
-from repro.errors import CgiProtocolError, PoolExhaustedError
+from repro.errors import (
+    CgiProtocolError,
+    DeadlineExceededError,
+    PoolExhaustedError,
+)
 from repro.obs.trace import TRACER
 
 #: request methods safe to replay on a fresh worker after a crash
@@ -131,7 +135,8 @@ class AppServerDispatcher:
     # -- CgiProgram --------------------------------------------------------
 
     def run(self, request: CgiRequest) -> CgiResponse:
-        worker = self._checkout()
+        deadline = getattr(request, "deadline", None)
+        worker = self._checkout(deadline)
         try:
             response = self._dispatch_on(worker, request)
         except (OSError, CgiProtocolError) as exc:
@@ -145,7 +150,7 @@ class AppServerDispatcher:
                     f"app-server worker died mid-request: {exc}") from exc
             with self._lock:
                 self._crash_retries += 1
-            worker = self._checkout()
+            worker = self._checkout(deadline)
             try:
                 response = self._dispatch_on(worker, request)
             except (OSError, CgiProtocolError) as again:
@@ -300,17 +305,30 @@ class AppServerDispatcher:
             self._live[slot] = worker
         return worker
 
-    def _checkout(self) -> _Worker:
+    def _checkout(self, deadline=None) -> _Worker:
         if self._closed:
             raise CgiProtocolError("app-server dispatcher is shut down")
+        # The wait for a worker is bounded by the request's remaining
+        # deadline budget: a request with 50 ms left must not sit 30 s
+        # in the checkout queue doing dead work.
+        timeout = self.request_timeout
+        if deadline is not None:
+            if deadline.expired:
+                raise DeadlineExceededError(
+                    "request deadline expired before a worker was free")
+            timeout = min(timeout, deadline.remaining())
         try:
-            return self._idle.get(timeout=self.request_timeout)
+            return self._idle.get(timeout=timeout)
         except queue.Empty:
             with self._lock:
                 self._busy_timeouts += 1
+            if deadline is not None and deadline.expired:
+                raise DeadlineExceededError(
+                    "request deadline expired waiting for an "
+                    "app-server worker") from None
             raise PoolExhaustedError(
                 f"all {self.pool_size} app-server workers stayed busy "
-                f"for {self.request_timeout:.3g}s") from None
+                f"for {timeout:.3g}s") from None
 
     def _checkin(self, worker: _Worker) -> None:
         worker.served += 1

@@ -216,9 +216,18 @@ def format_endpoint(kind: str, address) -> str:
 
 # -- control frames --------------------------------------------------------
 
-def encode_error(message: str, *, kind: str = "protocol") -> bytes:
-    """An ``ERROR`` frame payload (pool-side failure classification)."""
-    return encode_control({"error": str(message), "kind": kind})
+def encode_error(message: str, *, kind: str = "protocol",
+                 retry_after: float | None = None) -> bytes:
+    """An ``ERROR`` frame payload (pool-side failure classification).
+
+    ``retry_after`` rides along for ``exhausted`` errors so the
+    dispatcher side can rebuild the pool's honest retry hint instead of
+    inventing its own (shared semantics: repro.overload.retryafter).
+    """
+    fields: dict = {"error": str(message), "kind": kind}
+    if retry_after is not None:
+        fields["retry_after"] = float(retry_after)
+    return encode_control(fields)
 
 
 def decode_error(payload: bytes) -> tuple[str, str]:

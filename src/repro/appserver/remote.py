@@ -47,8 +47,13 @@ from typing import Optional
 from repro.appserver import protocol
 from repro.appserver.dispatcher import AppServerDispatcher
 from repro.cgi.request import CgiRequest, CgiResponse
-from repro.errors import CgiProtocolError, PoolExhaustedError
+from repro.errors import (
+    CgiProtocolError,
+    DeadlineExceededError,
+    PoolExhaustedError,
+)
 from repro.obs.trace import TRACER
+from repro.overload.retryafter import clamp_retry_hint
 
 #: request methods safe to replay on a fresh channel after a break
 _REPLAYABLE = frozenset({"GET", "HEAD"})
@@ -176,9 +181,11 @@ class WorkerPoolDaemon:
         except PoolExhaustedError as exc:
             with self._lock:
                 self._errors += 1
-            protocol.send_frame(conn, protocol.FRAME_ERROR,
-                                protocol.encode_error(str(exc),
-                                                      kind="exhausted"))
+            protocol.send_frame(
+                conn, protocol.FRAME_ERROR,
+                protocol.encode_error(
+                    str(exc), kind="exhausted",
+                    retry_after=getattr(exc, "retry_after", None)))
             return
         except CgiProtocolError as exc:
             # The local pool already applied its idempotent-only replay;
@@ -255,7 +262,8 @@ class TcpPoolDispatcher:
     # -- CgiProgram --------------------------------------------------------
 
     def run(self, request: CgiRequest) -> CgiResponse:
-        channel = self._checkout()
+        deadline = getattr(request, "deadline", None)
+        channel = self._checkout(deadline)
         try:
             response = self._exchange(channel, request)
         except _ChannelBroken as exc:
@@ -270,7 +278,7 @@ class TcpPoolDispatcher:
                     f"mid-request: {exc}") from exc
             with self._lock:
                 self._replays += 1
-            channel = self._checkout()
+            channel = self._checkout(deadline)
             try:
                 response = self._exchange(channel, request)
             except _ChannelBroken as again:
@@ -373,18 +381,30 @@ class TcpPoolDispatcher:
             self._live[index] = channel
         return channel
 
-    def _checkout(self) -> _Channel:
+    def _checkout(self, deadline=None) -> _Channel:
         if self._closed:
             raise CgiProtocolError(
                 "app-server TCP dispatcher is shut down")
+        # Same deadline-capped wait as the local pool: spending a spent
+        # budget queueing for a channel is dead work.
+        timeout = self.request_timeout
+        if deadline is not None:
+            if deadline.expired:
+                raise DeadlineExceededError(
+                    "request deadline expired before a channel was free")
+            timeout = min(timeout, deadline.remaining())
         try:
-            return self._idle.get(timeout=self.request_timeout)
+            return self._idle.get(timeout=timeout)
         except queue.Empty:
             with self._lock:
                 self._busy_timeouts += 1
+            if deadline is not None and deadline.expired:
+                raise DeadlineExceededError(
+                    "request deadline expired waiting for an "
+                    "app-server channel") from None
             raise PoolExhaustedError(
                 f"all channels to {', '.join(self.backends)} stayed "
-                f"busy for {self.request_timeout:.3g}s") from None
+                f"busy for {timeout:.3g}s") from None
 
     def _checkin(self, channel: _Channel) -> None:
         channel.served += 1
@@ -480,7 +500,11 @@ class TcpPoolDispatcher:
 
 def _pool_error(payload: bytes) -> Exception:
     """Rebuild the pool-side exception an ``ERROR`` frame carries."""
-    message, kind = protocol.decode_error(payload)
-    if kind == "exhausted":
-        return PoolExhaustedError(message)
+    fields = protocol.decode_control(payload)
+    message = str(fields.get("error", "unknown pool-side failure"))
+    if str(fields.get("kind", "protocol")) == "exhausted":
+        hint = fields.get("retry_after")
+        return PoolExhaustedError(
+            message, retry_after=clamp_retry_hint(
+                float(hint) if hint is not None else None))
     return CgiProtocolError(message)

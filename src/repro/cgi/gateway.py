@@ -8,7 +8,6 @@ standard input, and emitting a dynamically generated HTML page.
 
 from __future__ import annotations
 
-import math
 import traceback
 from typing import Callable, Protocol
 
@@ -27,6 +26,7 @@ from repro.errors import (
 )
 from repro.html.entities import escape_html
 from repro.obs.trace import TRACER
+from repro.overload.retryafter import retry_after_header
 
 
 class CgiProgram(Protocol):
@@ -103,11 +103,11 @@ def unavailable_response(error: SQLError) -> CgiResponse:
     again shortly" — the 1996 equivalent was the browser's reload
     button; the header tells period and modern clients alike when.
     """
-    retry_after = max(1, math.ceil(getattr(error, "retry_after", 1.0)))
     return error_response(
         503, "Service Unavailable",
         f"{type(error).__name__}: {error}",
-        extra_headers=[("Retry-After", str(retry_after))])
+        extra_headers=[("Retry-After", retry_after_header(
+            getattr(error, "retry_after", None)))])
 
 
 class Db2WwwProgram:

@@ -26,6 +26,12 @@ class CgiRequest:
 
     environ: CgiEnvironment
     stdin: bytes = b""
+    #: Optional per-request deadline budget
+    #: (:class:`repro.resilience.deadline.Deadline`).  Process-local
+    #: and deliberately *not* serialised: dispatchers use it to cap
+    #: their own waits (worker checkout, channel checkout); a worker
+    #: process re-derives its budget from engine configuration.
+    deadline: Optional[object] = None
 
     def input_pairs(self) -> list[tuple[str, str]]:
         """The HTML input variables of Section 2.2, in arrival order.

@@ -129,6 +129,32 @@ def build_parser() -> argparse.ArgumentParser:
                             "past it get an immediate 503 (default: "
                             "1024 on the async edge, unbounded on the "
                             "threaded edge)")
+    serve.add_argument("--overload", action="store_true",
+                       dest="overload",
+                       help="enable adaptive admission control: a "
+                            "bounded admission queue with per-class "
+                            "weighted fair queueing and an AIMD "
+                            "shedder driven by the live interactive "
+                            "p99 (503 + honest Retry-After when shed)")
+    serve.add_argument("--overload-concurrency", type=int, default=8,
+                       metavar="N", dest="overload_concurrency",
+                       help="requests processed concurrently past "
+                            "admission (default 8)")
+    serve.add_argument("--overload-queue", type=int, default=64,
+                       metavar="N", dest="overload_queue",
+                       help="admission queue depth; a full queue "
+                            "evicts the cheapest-to-shed waiter "
+                            "(default 64)")
+    serve.add_argument("--slo-ms", type=float, default=100.0,
+                       metavar="MS", dest="slo_ms",
+                       help="interactive p99 target driving the "
+                            "shedder (default 100)")
+    serve.add_argument("--overload-rule", action="append", default=[],
+                       metavar="SUBSTR=CLASS", dest="overload_rules",
+                       help="classify request paths containing SUBSTR "
+                            "as CLASS (cached/interactive/heavy/"
+                            "unclassified); repeatable, first match "
+                            "wins, checked before the learned profile")
     serve.add_argument("--listen", default=None, metavar="HOST:PORT",
                        help="worker-pool daemon mode: no HTTP edge; "
                             "host the app-server worker pool behind a "
@@ -595,6 +621,27 @@ def _cmd_serve(args, out) -> int:  # pragma: no cover - interactive
     # One registry feeds every read path: /metrics, /statusz, the
     # access log's #stats trailer, and `repro stats`.
     router.metrics = metrics
+    if args.overload:
+        from repro.overload import (
+            COST_CLASSES, OverloadController, RequestClassifier)
+        rules = []
+        for spec in args.overload_rules:
+            # The class rides after the LAST "=": the substring itself
+            # may contain "=" (URL fragments like "USE_DESC=yes").
+            substring, sep, cls = spec.rpartition("=")
+            if not sep or cls not in COST_CLASSES:
+                raise SystemExit(
+                    f"bad --overload-rule {spec!r}: expected "
+                    f"SUBSTR={'|'.join(COST_CLASSES)}")
+            rules.append((substring, cls))
+        controller = OverloadController(
+            max_concurrent=args.overload_concurrency,
+            queue_limit=args.overload_queue,
+            interactive_slo_ms=args.slo_ms,
+            classifier=RequestClassifier(rules=rules or None),
+            metrics=metrics)
+        router.overload = controller
+        stats_sources.append(("overload", controller.stats))
     for name, source in stats_sources:
         metrics.attach_stats_source(name, source)
     if args.access_log is not None:
@@ -609,17 +656,20 @@ def _cmd_serve(args, out) -> int:  # pragma: no cover - interactive
             reuse_port=args.reuse_port,
             max_connections=args.max_connections
             if args.max_connections is not None else 1024,
+            request_deadline=args.request_deadline,
             metrics=metrics).start()
     else:
         server = HttpServer(router, host=args.host, port=args.port,
                             backlog=args.backlog,
-                            max_connections=args.max_connections).start()
+                            max_connections=args.max_connections,
+                            request_deadline=args.request_deadline).start()
     # Flush each banner line: supervisors (and the smoke test) read the
     # bound address from a pipe, which Python would otherwise buffer.
     print(f"serving macros from {args.macros} on {server.base_url} "
           f"({args.gateway} gateway"
           + (f", {args.workers} workers" if dispatcher else "")
           + (", streaming" if args.stream else "")
+          + (", overload control" if args.overload else "")
           + (f", {args.edge} edge" if args.edge != "threaded" else "")
           + (", tracing off" if args.no_trace else "") + ")",
           file=out, flush=True)

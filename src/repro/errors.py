@@ -238,9 +238,16 @@ class SQLTimeoutError(SQLTransientError):
 
 
 class PoolExhaustedError(SQLTransientError):
-    """No connection became available within the pool timeout."""
+    """No connection became available within the pool timeout.
 
-    def __init__(self, message: str = "connection pool exhausted"):
+    ``retry_after`` is the pool's estimate (seconds) of when a slot is
+    likely to free up; the HTTP layer surfaces it on the 503 response
+    through the shared helper in :mod:`repro.overload.retryafter`.
+    """
+
+    def __init__(self, message: str = "connection pool exhausted", *,
+                 retry_after: float = 1.0):
+        self.retry_after = retry_after
         super().__init__(message, sqlcode=-1040, sqlstate="57030")
 
 
@@ -298,6 +305,23 @@ def is_transient(error: BaseException) -> bool:
 # ---------------------------------------------------------------------------
 # CGI / HTTP
 # ---------------------------------------------------------------------------
+
+
+class OverloadShedError(ReproError):
+    """Admission control refused this request: the server is overloaded.
+
+    Deliberate and cheap — the request never touched the gateway.  Maps
+    to 503 with the shared ``Retry-After`` semantics; ``retry_after``
+    is the controller's honest drain estimate (seconds) and
+    ``cost_class`` records which class was shed (heavy-report and
+    unclassified traffic go first).
+    """
+
+    def __init__(self, message: str = "server overloaded, request shed",
+                 *, retry_after: float = 1.0, cost_class: str = ""):
+        self.retry_after = retry_after
+        self.cost_class = cost_class
+        super().__init__(message)
 
 
 class GatewayError(ReproError):

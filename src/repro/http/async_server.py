@@ -57,6 +57,8 @@ from repro.http.message import (
 )
 from repro.http.router import CGI_PREFIX, Router
 from repro.obs.trace import new_trace_id
+from repro.overload.retryafter import retry_after_header
+from repro.resilience.deadline import Deadline
 
 _MAX_HEAD = 64 * 1024
 _MAX_BODY = 8 * 1024 * 1024
@@ -101,12 +103,19 @@ class AsyncHttpServer:
                  reuse_port: bool = False,
                  offload: str = "auto",
                  executor_threads: int = 8,
+                 request_deadline: float | None = None,
                  metrics=None):
         if offload not in ("auto", "always", "never"):
             raise ValueError(f"offload must be auto/always/never, "
                              f"not {offload!r}")
         self.router = router
         self.timeout = timeout
+        #: per-request wall-clock budget (seconds), minted when the
+        #: request is fully parsed.  The budget covers the executor
+        #: hand-off too: a request whose deadline expires while queued
+        #: for an executor thread answers 504 *without* ever touching
+        #: the router or the gateway behind it.
+        self.request_deadline = request_deadline
         self.idle_timeout = idle_timeout if idle_timeout is not None \
             else timeout
         self.keep_alive_max = keep_alive_max
@@ -268,12 +277,16 @@ class AsyncHttpServer:
                 keep_alive = _keeps_alive(request, http11)
                 trace_id = new_trace_id() \
                     if self.router.tracer.enabled else ""
+                deadline = Deadline.after(self.request_deadline) \
+                    if self.request_deadline else None
                 handle = functools.partial(self.router.handle, request,
                                            remote_addr=remote_addr,
-                                           trace_id=trace_id)
+                                           trace_id=trace_id,
+                                           deadline=deadline)
                 if self._offloads(request):
                     response = await loop.run_in_executor(
-                        self._executor, handle)
+                        self._executor,
+                        self._guarded(handle, deadline))
                 else:
                     response = handle()
             except BadRequestError as exc:
@@ -310,6 +323,27 @@ class AsyncHttpServer:
         if self.offload == "always":
             return True
         return request.path.startswith(CGI_PREFIX)
+
+    def _guarded(self, handle, deadline):
+        """Wrap a router call with a deadline check run *in the
+        executor thread*.
+
+        Under load the executor's own queue is an invisible admission
+        queue: a request can wait there longer than its whole budget.
+        Checking at the moment a thread finally picks it up turns that
+        wasted work into an immediate 504 — the router, admission queue
+        and worker pool never see the corpse.
+        """
+        if deadline is None:
+            return handle
+
+        def run() -> HttpResponse:
+            if deadline.expired:
+                self._m_deadline_expired.inc()
+                return _gateway_timeout()
+            return handle()
+
+        return run
 
     # -- request reading ---------------------------------------------------
 
@@ -393,7 +427,10 @@ class AsyncHttpServer:
             "<H1>503 Service Unavailable</H1>"
             "<P>connection budget exhausted; retry shortly</P>",
             status=503)
-        response.headers.set("Retry-After", "1")
+        controller = getattr(self.router, "overload", None)
+        hint = controller.retry_after_hint() \
+            if controller is not None else None
+        response.headers.set("Retry-After", retry_after_header(hint))
         try:
             await self._write_response(writer, response, keep_alive=False)
         except (ConnectionError, OSError):
@@ -519,6 +556,7 @@ class AsyncHttpServer:
             self._m_shed = _NULL
             self._m_chunked = _NULL
             self._m_backpressure = _NULL
+            self._m_deadline_expired = _NULL
             return
         self._m_conns_active = registry.gauge("edge_connections_active")
         self._m_conns_total = registry.counter("edge_connections_total")
@@ -527,6 +565,8 @@ class AsyncHttpServer:
         self._m_chunked = registry.counter("edge_responses_chunked_total")
         self._m_backpressure = registry.counter(
             "edge_backpressure_waits_total")
+        self._m_deadline_expired = registry.counter(
+            "edge_deadline_expired_total")
 
 
 def _keeps_alive(request: HttpRequest, http11: bool) -> bool:
@@ -543,6 +583,13 @@ def _chunk(data: bytes) -> bytes:
 def _bad_request(exc: BadRequestError) -> HttpResponse:
     return html_response(f"<H1>400 Bad Request</H1><P>{exc}</P>",
                          status=400)
+
+
+def _gateway_timeout() -> HttpResponse:
+    return html_response(
+        "<H1>504 Gateway Timeout</H1>"
+        "<P>request deadline expired before processing began</P>",
+        status=504)
 
 
 async def _close_writer(writer: asyncio.StreamWriter) -> None:

@@ -20,7 +20,11 @@ from typing import Iterator, Optional
 from repro.cgi.environ import CgiEnvironment, split_cgi_path
 from repro.cgi.gateway import CgiGateway
 from repro.cgi.request import CgiRequest
-from repro.errors import UnknownCgiProgramError
+from repro.errors import (
+    DeadlineExceededError,
+    OverloadShedError,
+    UnknownCgiProgramError,
+)
 from repro.html.entities import escape_html
 from repro.http.headers import Headers
 from repro.http.message import (
@@ -31,6 +35,7 @@ from repro.http.message import (
 )
 from repro.http.urls import normalize_path
 from repro.obs.trace import TRACER, Span
+from repro.overload.retryafter import retry_after_header
 
 CGI_PREFIX = "/cgi-bin/"
 
@@ -45,7 +50,8 @@ class Router:
     def __init__(self, *, document_root: Optional[str | Path] = None,
                  gateway: Optional[CgiGateway] = None,
                  server_name: str = "localhost", server_port: int = 80,
-                 access_log=None, metrics=None, tracer=None):
+                 access_log=None, metrics=None, tracer=None,
+                 overload=None):
         self.document_root = (Path(document_root)
                               if document_root is not None else None)
         self.gateway = gateway or CgiGateway()
@@ -62,6 +68,11 @@ class Router:
         #: the tracer consulted per request (the process-wide one unless
         #: a test injects its own).
         self.tracer = tracer or TRACER
+        #: optional repro.overload.OverloadController; when attached
+        #: every request passes admission control first — shed requests
+        #: answer 503 + Retry-After (or 504 when their deadline expired
+        #: in the queue) without touching the gateway.
+        self.overload = overload
         self._pages: dict[str, tuple[str, bytes]] = {}
         # per-registry resolved metric objects; rebuilt if self.metrics
         # is swapped (tests do) so _observe pays no name lookups.
@@ -80,17 +91,37 @@ class Router:
 
     def handle(self, request: HttpRequest, *,
                remote_addr: str = "127.0.0.1",
-               trace_id: str = "") -> HttpResponse:
+               trace_id: str = "",
+               deadline=None) -> HttpResponse:
         tracer = self.tracer
         start = time.perf_counter()
+        # -- admission control (before any per-request work) --------------
+        ticket = None
+        if self.overload is not None:
+            try:
+                ticket = self.overload.admit(request,
+                                             client_key=remote_addr,
+                                             deadline=deadline)
+            except OverloadShedError as exc:
+                return self._settle_unadmitted(
+                    request, _shed_response(exc), remote_addr, start)
+            except DeadlineExceededError as exc:
+                return self._settle_unadmitted(
+                    request, _error(504, str(exc)), remote_addr, start)
+        elif deadline is not None and deadline.expired:
+            return self._settle_unadmitted(
+                request, _error(504, "request deadline expired before "
+                                     "dispatch"), remote_addr, start)
         act = None
         if tracer.enabled:
             act = tracer.begin(
                 "request", trace_id=trace_id or None,
                 attrs={"method": request.method, "path": request.path})
         try:
-            response = self._route(request, remote_addr)
+            response = self._route(request, remote_addr, deadline)
         except BaseException:
+            if ticket is not None:
+                self.overload.release(ticket, status=500)
             if act is not None:
                 act.span.set("error", True)
                 act.finish()
@@ -102,14 +133,17 @@ class Router:
             # Streamed page: bytes are still unknown and the engine keeps
             # working as the transport pulls chunks.  Wrap the stream so
             # the access-log entry carries the true byte count, metrics
-            # see the full wall time, and the request span stays current
+            # see the full wall time, the admission slot is held until
+            # the stream closes, and the request span stays current
             # around each pull — all settled when the stream closes.
             response.body_iter = self._accounted_stream(
                 request, response, remote_addr, act, start,
-                response.body_iter)
+                response.body_iter, ticket)
             if act is not None:
                 act.deactivate()
             return response
+        if ticket is not None:
+            self.overload.release(ticket, status=response.status)
         elapsed_ms = (time.perf_counter() - start) * 1000.0
         self._observe(request, response, len(response.body), elapsed_ms)
         if self.access_log is not None:
@@ -117,6 +151,22 @@ class Router:
                                    remote_addr=remote_addr)
         if act is not None:
             act.finish()
+        return response
+
+    def _settle_unadmitted(self, request: HttpRequest,
+                           response: HttpResponse, remote_addr: str,
+                           start: float) -> HttpResponse:
+        """Book a shed/expired request: counted and logged, untraced.
+
+        Shedding exists to cost ~nothing, so no span is opened; the
+        request still shows up in the metrics and the access log (a
+        503 the operator cannot see is a 503 they cannot tune away).
+        """
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        self._observe(request, response, len(response.body), elapsed_ms)
+        if self.access_log is not None:
+            self.access_log.record(request, response,
+                                   remote_addr=remote_addr)
         return response
 
     def _observe(self, request: HttpRequest, response: HttpResponse,
@@ -143,7 +193,8 @@ class Router:
     def _accounted_stream(self, request: HttpRequest,
                           response: HttpResponse, remote_addr: str,
                           act, start: float,
-                          body_iter: Iterator[bytes]) -> Iterator[bytes]:
+                          body_iter: Iterator[bytes],
+                          ticket=None) -> Iterator[bytes]:
         """Wrap a streaming body: count bytes, settle the books at close.
 
         The generator runs in whatever thread the transport pulls from;
@@ -175,6 +226,10 @@ class Router:
                         act.span.set("error", type(exc).__name__)
                     raise
             finally:
+                if ticket is not None:
+                    # The slot is busy for as long as the engine feeds
+                    # the stream; release when the last chunk settles.
+                    self.overload.release(ticket, status=response.status)
                 if emit_span is not None:
                     emit_span.finish()
                 # Any buffered prefix went over the wire before the
@@ -191,13 +246,14 @@ class Router:
                     act.finish()
         return stream()
 
-    def _route(self, request: HttpRequest,
-               remote_addr: str) -> HttpResponse:
+    def _route(self, request: HttpRequest, remote_addr: str,
+               deadline=None) -> HttpResponse:
         if request.method not in SUPPORTED_METHODS:
             return _error(501, f"method {request.method} not implemented")
         path = normalize_path(request.path)
         if path.startswith(CGI_PREFIX):
-            response = self._handle_cgi(request, path, remote_addr)
+            response = self._handle_cgi(request, path, remote_addr,
+                                        deadline)
         elif request.method == "POST":
             return _error(405, "POST is only supported for CGI programs")
         elif self.metrics is not None and path == METRICS_PATH:
@@ -239,7 +295,7 @@ class Router:
     # -- CGI ---------------------------------------------------------------
 
     def _handle_cgi(self, request: HttpRequest, path: str,
-                    remote_addr: str) -> HttpResponse:
+                    remote_addr: str, deadline=None) -> HttpResponse:
         try:
             script_name, program, path_info = split_cgi_path(
                 path, CGI_PREFIX)
@@ -258,7 +314,8 @@ class Router:
             http_headers=dict(request.headers.items()),
             trace_id=self.tracer.current_trace_id(),
         )
-        cgi_request = CgiRequest(environ=environ, stdin=request.body)
+        cgi_request = CgiRequest(environ=environ, stdin=request.body,
+                                 deadline=deadline)
         try:
             cgi_response = self.gateway.dispatch(program, cgi_request)
         except UnknownCgiProgramError as exc:
@@ -324,6 +381,13 @@ def _parseable_date(text: str) -> bool:
         return email.utils.parsedate_to_datetime(text) is not None
     except (TypeError, ValueError):
         return False
+
+
+def _shed_response(exc: OverloadShedError) -> HttpResponse:
+    response = _error(503, str(exc))
+    response.headers.set("Retry-After",
+                         retry_after_header(exc.retry_after))
+    return response
 
 
 def _error(status: int, detail: str) -> HttpResponse:

@@ -25,6 +25,8 @@ from repro.http.message import (
 )
 from repro.http.router import Router
 from repro.obs.trace import new_trace_id
+from repro.overload.retryafter import retry_after_header
+from repro.resilience.deadline import Deadline
 
 _MAX_HEAD = 64 * 1024
 _MAX_BODY = 8 * 1024 * 1024
@@ -45,9 +47,15 @@ class HttpServer:
                  idle_timeout: float | None = None,
                  keep_alive_max: int = 100,
                  max_connections: int | None = None,
-                 backlog: int = 128):
+                 backlog: int = 128,
+                 request_deadline: float | None = None):
         self.router = router
         self.timeout = timeout
+        #: per-request wall-clock budget (seconds).  Minted as a
+        #: :class:`Deadline` the moment a request is fully read and
+        #: threaded through the router, admission queue and dispatcher
+        #: — a request that outlives it answers 504.
+        self.request_deadline = request_deadline
         #: concurrent-connection budget.  Each connection is a daemon
         #: thread, and threads are the scarce resource here: past the
         #: budget the server answers an immediate ``503`` and closes
@@ -123,7 +131,7 @@ class HttpServer:
                 # A fresh socket's send buffer swallows the small 503
                 # without blocking, so shedding stays in the accept
                 # loop — no thread is spawned for an over-budget peer.
-                _shed_connection(conn)
+                _shed_connection(conn, self._retry_hint())
                 continue
             thread = threading.Thread(
                 target=self._serve_connection, args=(conn, addr),
@@ -145,6 +153,18 @@ class HttpServer:
             return
         with self._active_lock:
             self._active -= 1
+
+    def _retry_hint(self) -> float | None:
+        """An honest Retry-After for shed connections.
+
+        When the router carries an overload controller its queue-depth /
+        service-rate estimate is the best signal available; otherwise
+        fall back to the historical flat ``1``.
+        """
+        controller = getattr(self.router, "overload", None)
+        if controller is not None:
+            return controller.retry_after_hint()
+        return None
 
     def _serve_connection(self, conn: socket.socket,
                           addr: tuple[str, int]) -> None:
@@ -176,9 +196,15 @@ class HttpServer:
                     # the system; the router threads it everywhere else.
                     trace_id = new_trace_id() \
                         if self.router.tracer.enabled else ""
+                    # The deadline starts the moment the request is
+                    # fully read: queue time in the admission queue and
+                    # pool-checkout waits all burn the same budget.
+                    deadline = Deadline.after(self.request_deadline) \
+                        if self.request_deadline else None
                     response = self.router.handle(request,
                                                   remote_addr=addr[0],
-                                                  trace_id=trace_id)
+                                                  trace_id=trace_id,
+                                                  deadline=deadline)
                 except BadRequestError as exc:
                     response = html_response(
                         f"<H1>400 Bad Request</H1><P>{exc}</P>",
@@ -291,13 +317,14 @@ def _wants_keep_alive(request: HttpRequest) -> bool:
     return "keep-alive" in tokens
 
 
-def _shed_connection(conn: socket.socket) -> None:
+def _shed_connection(conn: socket.socket,
+                     retry_hint: float | None = None) -> None:
     """Answer an over-budget connection with an immediate 503."""
     response = html_response(
         "<H1>503 Service Unavailable</H1>"
         "<P>connection budget exhausted; retry shortly</P>", status=503)
     response.headers.set("Connection", "close")
-    response.headers.set("Retry-After", "1")
+    response.headers.set("Retry-After", retry_after_header(retry_hint))
     try:
         conn.settimeout(1.0)
         conn.sendall(response.serialize())

@@ -31,7 +31,8 @@ import threading
 from bisect import bisect_right
 from typing import Callable, Iterable, Optional
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY",
+           "quantile_from_counts"]
 
 _NAME_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -160,6 +161,19 @@ class Histogram:
                 return (lower + upper) / 2.0
         return self._max  # pragma: no cover - defensive
 
+    def bucket_counts(self) -> list[int]:
+        """A consistent copy of the cumulative per-bucket counts.
+
+        The window trick: snapshot now, snapshot later, subtract — the
+        difference is a histogram of only the observations in between.
+        :func:`quantile_from_counts` turns that difference back into a
+        quantile, which is how the overload controller reads a *live*
+        p99 off the same histogram the scrape endpoints render
+        cumulatively.
+        """
+        with self._lock:
+            return list(self._counts)
+
     def snapshot(self) -> dict[str, float]:
         """Count, sum and the standard quantiles, one consistent view."""
         with self._lock:
@@ -176,6 +190,33 @@ class Histogram:
                 "p95": round(self._quantile_locked(0.95), 3),
                 "p99": round(self._quantile_locked(0.99), 3),
             }
+
+
+def quantile_from_counts(counts: list[int], q: float, *,
+                         bounds: Optional[list[float]] = None) -> float:
+    """Estimated ``q``-quantile of a bucket-count vector.
+
+    ``counts`` has the :attr:`Histogram.BOUNDS` shape (one overflow
+    bucket at the end); typically it is the element-wise difference of
+    two :meth:`Histogram.bucket_counts` snapshots — the observations of
+    one window.  Returns 0.0 for an empty (or all-zero) vector.
+    """
+    if bounds is None:
+        bounds = Histogram.BOUNDS
+    total = sum(counts)
+    if total <= 0:
+        return 0.0
+    target = q * total
+    seen = 0
+    for index, bucket_count in enumerate(counts):
+        if bucket_count == 0:
+            continue
+        seen += bucket_count
+        if seen >= target:
+            lower = bounds[index - 1] if index > 0 else 0.0
+            upper = bounds[index] if index < len(bounds) else bounds[-1]
+            return (lower + upper) / 2.0
+    return bounds[-1]  # pragma: no cover - defensive
 
 
 class MetricsRegistry:

@@ -1,0 +1,54 @@
+"""Admission control and load shedding for the serving stack.
+
+The paper's gateway assumed polite CGI traffic; at the ROADMAP's
+"millions of users" scale the steady state is *overload*, and the
+difference between a server that degrades gracefully and one that
+collapses is who gets told "no", how early, and how honestly.  This
+package is that decision, factored into three pieces:
+
+* :mod:`repro.overload.retryafter` — one shared definition of what a
+  503's ``Retry-After`` header says, used by both HTTP edges, the
+  circuit breaker, the app-server pool and the shedder.
+* :mod:`repro.overload.classify` — per-request cost classes
+  (cached-read / interactive / heavy-report / unclassified) from static
+  rules plus a learned latency profile, so a 100k-row report and a
+  cache hit stop competing as equals.
+* :mod:`repro.overload.control` — the :class:`OverloadController`:
+  a bounded admission queue with weighted fair queueing across client
+  keys, an AIMD shedder driven by the windowed interactive p99, and
+  queue-time accounting against the request deadline so work that
+  expires waiting is shed for ~0 cost.
+"""
+
+from repro.overload.classify import (
+    CACHED,
+    COST_CLASSES,
+    HEAVY,
+    INTERACTIVE,
+    UNCLASSIFIED,
+    LatencyProfiler,
+    RequestClassifier,
+)
+from repro.overload.control import AdmissionTicket, OverloadController
+from repro.overload.retryafter import (
+    clamp_retry_hint,
+    queue_retry_hint,
+    retry_after_header,
+    retry_after_seconds,
+)
+
+__all__ = [
+    "AdmissionTicket",
+    "CACHED",
+    "COST_CLASSES",
+    "HEAVY",
+    "INTERACTIVE",
+    "LatencyProfiler",
+    "OverloadController",
+    "RequestClassifier",
+    "UNCLASSIFIED",
+    "clamp_retry_hint",
+    "queue_retry_hint",
+    "retry_after_header",
+    "retry_after_seconds",
+]

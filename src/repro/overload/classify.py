@@ -1,0 +1,159 @@
+"""Per-request cost classes: cached-read / interactive / heavy-report.
+
+Admission control is only as smart as its notion of cost.  A cache hit
+costs microseconds, a selective search costs a few milliseconds, and an
+empty-search full-table report costs thousands of times more — treating
+them as equals is how a FIFO queue lets one heavy report starve a
+hundred interactive users.  Classification combines three signals:
+
+* **Static rules** — anything outside ``/cgi-bin/`` is a cached read
+  (in-memory pages, ``/metrics``); an ``input``-mode macro command is
+  interactive (it renders a form, no report query).  Deployments add
+  their own ``(substring, class)`` rules for URLs they know are heavy.
+* **A pluggable probe** — an optional callable that may recognise a
+  request outright (e.g. an application that can check its query-result
+  cache for the exact request).
+* **A learned latency profile** — the controller feeds observed service
+  times back per request key; keys whose recent service time sits under
+  the cached threshold become :data:`CACHED`, over the heavy threshold
+  become :data:`HEAVY`.  This is the practical query-cache probe: a
+  cache hit *is* a sub-millisecond observation, so repeated queries
+  migrate into the cheap class without the classifier ever seeing the
+  SQL.
+
+Fresh report-mode requests start :data:`UNCLASSIFIED` — and the shedder
+sheds unclassified and heavy traffic first, so an unknown query proves
+itself cheap before it competes with interactive users under pressure.
+
+The module deliberately imports nothing from :mod:`repro.http`; a
+"request" here is anything with ``method``, ``path`` and ``query``
+attributes (both the HTTP request object and test doubles qualify).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+#: The cost classes, cheapest first.
+CACHED = "cached"
+INTERACTIVE = "interactive"
+HEAVY = "heavy"
+UNCLASSIFIED = "unclassified"
+
+COST_CLASSES = (CACHED, INTERACTIVE, HEAVY, UNCLASSIFIED)
+
+_CGI_PREFIX = "/cgi-bin/"
+
+
+class LatencyProfiler:
+    """A bounded map of request key → EWMA service time (milliseconds).
+
+    The controller calls :meth:`observe` after every completed request;
+    :meth:`classify` answers from the profile once a key has enough
+    observations.  Bounded LRU-ish eviction (drop the coldest half when
+    full) keeps memory constant under URL churn.
+    """
+
+    def __init__(self, *, max_keys: int = 4096,
+                 cached_threshold_ms: float = 5.0,
+                 heavy_threshold_ms: float = 50.0,
+                 min_samples: int = 3, alpha: float = 0.3):
+        self.max_keys = max_keys
+        self.cached_threshold_ms = cached_threshold_ms
+        self.heavy_threshold_ms = heavy_threshold_ms
+        self.min_samples = min_samples
+        self.alpha = alpha
+        self._lock = threading.Lock()
+        # key -> [ewma_ms, samples]; dict order doubles as recency
+        # (observed keys are re-inserted).
+        self._profile: dict[str, list] = {}
+
+    def observe(self, key: str, service_ms: float) -> None:
+        with self._lock:
+            entry = self._profile.pop(key, None)
+            if entry is None:
+                entry = [service_ms, 1]
+            else:
+                entry[0] += self.alpha * (service_ms - entry[0])
+                entry[1] += 1
+            self._profile[key] = entry
+            if len(self._profile) > self.max_keys:
+                # Drop the coldest half in one sweep; per-observation
+                # cost stays O(1) amortised.
+                for stale in list(self._profile)[:self.max_keys // 2]:
+                    del self._profile[stale]
+
+    def classify(self, key: str) -> Optional[str]:
+        """The learned class for ``key``; ``None`` while unproven."""
+        with self._lock:
+            entry = self._profile.get(key)
+            if entry is None or entry[1] < self.min_samples:
+                return None
+            ewma = entry[0]
+        if ewma <= self.cached_threshold_ms:
+            return CACHED
+        if ewma >= self.heavy_threshold_ms:
+            return HEAVY
+        return INTERACTIVE
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._profile)
+
+
+class RequestClassifier:
+    """Maps a request to ``(key, cost_class)``.
+
+    ``rules`` are ``(substring, class)`` pairs matched against the full
+    target (path plus query) in order — the operator's knowledge of
+    which URLs are expensive.  ``probe`` may answer authoritatively
+    before any rule.  The profiler (shared with the controller, which
+    feeds it) refines whatever the static signals guessed.
+    """
+
+    def __init__(self, *,
+                 rules: Optional[list[tuple[str, str]]] = None,
+                 probe: Optional[Callable[[object], Optional[str]]] = None,
+                 profiler: Optional[LatencyProfiler] = None):
+        for _, cls in (rules or []):
+            if cls not in COST_CLASSES:
+                raise ValueError(f"unknown cost class {cls!r}")
+        self.rules = list(rules or [])
+        self.probe = probe
+        self.profiler = profiler if profiler is not None \
+            else LatencyProfiler()
+
+    def key_for(self, request) -> str:
+        query = getattr(request, "query", "") or ""
+        return f"{request.path}?{query}" if query else request.path
+
+    def classify(self, request) -> tuple[str, str]:
+        key = self.key_for(request)
+        if self.probe is not None:
+            answer = self.probe(request)
+            if answer is not None:
+                return key, answer
+        target = key
+        for fragment, cls in self.rules:
+            if fragment in target:
+                return key, cls
+        learned = self.profiler.classify(key)
+        if learned is not None:
+            return key, learned
+        return key, self._static_class(request)
+
+    def observe(self, key: str, service_ms: float) -> None:
+        """Feed a completed request's service time into the profile."""
+        self.profiler.observe(key, service_ms)
+
+    def _static_class(self, request) -> str:
+        path = request.path
+        if not path.startswith(_CGI_PREFIX):
+            # Static pages, /metrics, /statusz: served from memory.
+            return CACHED
+        last = path.rstrip("/").rsplit("/", 1)[-1]
+        if last == "input":
+            # Input mode renders the form — no report query runs.
+            return INTERACTIVE
+        return UNCLASSIFIED

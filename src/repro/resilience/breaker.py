@@ -18,6 +18,7 @@ import time
 from typing import Callable, TypeVar
 
 from repro.errors import CircuitOpenError
+from repro.overload.retryafter import clamp_retry_hint
 
 T = TypeVar("T")
 
@@ -69,9 +70,13 @@ class CircuitBreaker:
                 elapsed = self._clock() - self._opened_at
                 if elapsed < self.reset_timeout:
                     self._rejections += 1
+                    # The shared clamp keeps the carried hint finite and
+                    # non-negative (a clock race can make the remaining
+                    # window fractionally negative).
                     raise CircuitOpenError(
                         self._describe("is open"),
-                        retry_after=self.reset_timeout - elapsed)
+                        retry_after=clamp_retry_hint(
+                            self.reset_timeout - elapsed))
                 self._state = BreakerState.HALF_OPEN
                 self._probe_inflight = False
             # HALF_OPEN: admit a single probe; concurrent callers are
@@ -80,7 +85,7 @@ class CircuitBreaker:
                 self._rejections += 1
                 raise CircuitOpenError(
                     self._describe("is half-open, probe in flight"),
-                    retry_after=self.reset_timeout)
+                    retry_after=clamp_retry_hint(self.reset_timeout))
             self._probe_inflight = True
             self._probes += 1
 

@@ -12,6 +12,13 @@ from repro.workloads.generator import (
     WorkloadRequest,
 )
 from repro.workloads.metrics import LatencyRecorder, Summary, percentile
+from repro.workloads.openloop import (
+    ArrivalSchedule,
+    OpenLoopResult,
+    OpenLoopSample,
+    router_submitter,
+    run_open_loop,
+)
 from repro.workloads.runner import (
     RunResult,
     db2www_request_builder,
@@ -20,8 +27,13 @@ from repro.workloads.runner import (
 )
 
 __all__ = [
+    "ArrivalSchedule",
     "ConcurrentResult",
+    "OpenLoopResult",
+    "OpenLoopSample",
     "run_concurrent",
+    "run_open_loop",
+    "router_submitter",
     "throughput_sweep",
     "LatencyRecorder",
     "OrderSearchWorkload",

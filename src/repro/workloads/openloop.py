@@ -1,0 +1,263 @@
+"""Open-loop load generation: arrival rates, not concurrency levels.
+
+The closed-loop harness (:mod:`repro.workloads.runner`,
+:mod:`repro.workloads.concurrent`) models N users who each wait for
+their response before sending again — which means a slow server
+*throttles its own load test*: latency goes up, the offered rate goes
+down, and the measured percentiles flatter the server.  That is the
+coordinated-omission trap, and it hides exactly the regime overload
+control exists for.
+
+An open-loop generator fixes the arrival **schedule** up front — request
+``i`` is *due* at ``start + offsets[i]`` whether or not the server has
+answered request ``i-1`` — and measures every latency from the *intended*
+send time.  Time a request spends waiting for a free generator worker
+counts against the server, not against nobody.  A million-user public
+does not pace itself on your response times; neither does this.
+
+Abandonment is part of the model too: a real client gives up.  With
+``give_up_after`` set, an arrival that cannot even start within that
+window is recorded as a failure at its (already catastrophic) waiting
+latency instead of being submitted late — which both matches user
+behaviour and bounds the wall-clock of a collapse run (a naive server at
+10x capacity would otherwise take 10x the schedule to drain).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.workloads.metrics import percentile
+
+
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """A fixed sequence of arrival offsets (seconds from run start).
+
+    The schedule is computed *before* the run and never adjusted by
+    server behaviour — that invariance is what makes the harness
+    coordinated-omission-safe.
+    """
+
+    offsets: tuple[float, ...]
+
+    @classmethod
+    def poisson(cls, rate: float, duration: float, *,
+                seed: int = 0) -> "ArrivalSchedule":
+        """Poisson arrivals at ``rate``/s for ``duration`` seconds.
+
+        Exponential inter-arrival gaps — the memoryless process a large
+        independent public actually generates, bursts included.
+        """
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        rng = random.Random(seed)
+        offsets: list[float] = []
+        at = rng.expovariate(rate)
+        while at < duration:
+            offsets.append(at)
+            at += rng.expovariate(rate)
+        return cls(offsets=tuple(offsets))
+
+    @classmethod
+    def uniform(cls, rate: float, duration: float) -> "ArrivalSchedule":
+        """Evenly spaced arrivals at ``rate``/s for ``duration`` seconds."""
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        count = int(rate * duration)
+        gap = 1.0 / rate
+        return cls(offsets=tuple(i * gap for i in range(count)))
+
+    @property
+    def duration(self) -> float:
+        return self.offsets[-1] if self.offsets else 0.0
+
+    @property
+    def rate(self) -> float:
+        if not self.offsets or self.duration <= 0:
+            return 0.0
+        return len(self.offsets) / self.duration
+
+    def __len__(self) -> int:
+        return len(self.offsets)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.offsets)
+
+
+@dataclass(frozen=True)
+class OpenLoopSample:
+    """One scheduled arrival's outcome."""
+
+    index: int
+    intended: float        # offset from run start the request was due
+    latency: float         # seconds from *intended* time to completion
+    status: int            # HTTP status; 0 when abandoned unsubmitted
+    abandoned: bool = False
+
+
+@dataclass
+class OpenLoopResult:
+    """Everything measured by one open-loop run."""
+
+    samples: list[OpenLoopSample]
+    duration: float        # scheduled duration (for rate arithmetic)
+    elapsed: float         # wall-clock the run actually took
+
+    @property
+    def attempted(self) -> int:
+        return len(self.samples)
+
+    @property
+    def abandoned(self) -> int:
+        return sum(1 for s in self.samples if s.abandoned)
+
+    @property
+    def status_counts(self) -> dict[int, int]:
+        return dict(Counter(s.status for s in self.samples))
+
+    def successes(self, *,
+                  success: Callable[[OpenLoopSample], bool] | None = None,
+                  within: Optional[float] = None) -> int:
+        """Completed-and-useful arrivals.
+
+        Default success is "answered 200"; ``within`` additionally
+        requires the intended-time latency under a budget, which is the
+        goodput definition — a correct answer after the user left is
+        not good.
+        """
+        if success is None:
+            def success(sample: OpenLoopSample) -> bool:
+                return not sample.abandoned and sample.status == 200
+        count = 0
+        for sample in self.samples:
+            if not success(sample):
+                continue
+            if within is not None and sample.latency > within:
+                continue
+            count += 1
+        return count
+
+    def goodput_rps(self, **kwargs) -> float:
+        """Useful completions per scheduled second (see
+        :meth:`successes` for the success definition)."""
+        if self.duration <= 0:
+            return 0.0
+        return self.successes(**kwargs) / self.duration
+
+    def latency_ms(self, fraction: float, *,
+                   success_only: bool = False) -> float:
+        """Intended-time latency percentile in milliseconds.
+
+        Abandoned arrivals count at their waiting latency (they *are*
+        the tail — dropping them would be coordinated omission through
+        the back door); ``success_only`` restricts to 200s for
+        per-class SLO checks.
+        """
+        values = sorted(s.latency for s in self.samples
+                        if not success_only
+                        or (not s.abandoned and s.status == 200))
+        if not values:
+            return 0.0
+        return percentile(values, fraction) * 1e3
+
+
+def run_open_loop(submit: Callable[[int], int],
+                  schedule: Sequence[float] | ArrivalSchedule, *,
+                  workers: int = 32,
+                  give_up_after: Optional[float] = None,
+                  clock: Callable[[], float] = time.monotonic,
+                  sleep: Callable[[float], None] = time.sleep
+                  ) -> OpenLoopResult:
+    """Drive ``submit`` on a fixed arrival schedule.
+
+    ``submit(index)`` performs request ``index`` synchronously and
+    returns its HTTP status.  ``workers`` bounds the generator's own
+    concurrency — when all workers are stuck waiting on a slow server,
+    due arrivals queue and their wait is charged as latency, exactly as
+    a real user's would be.  An exception from ``submit`` records
+    status 599 rather than killing the run.
+    """
+    offsets = list(schedule)
+    duration = (schedule.duration if isinstance(schedule, ArrivalSchedule)
+                else (max(offsets) if offsets else 0.0))
+    samples: list[Optional[OpenLoopSample]] = [None] * len(offsets)
+    cursor = [0]
+    lock = threading.Lock()
+    start = clock()
+
+    def worker() -> None:
+        while True:
+            with lock:
+                index = cursor[0]
+                if index >= len(offsets):
+                    return
+                cursor[0] += 1
+            intended = offsets[index]
+            now = clock() - start
+            if now < intended:
+                sleep(intended - now)
+                now = clock() - start
+            late_by = now - intended
+            if give_up_after is not None and late_by >= give_up_after:
+                # The client is gone; the request was never sent.  Its
+                # latency is the wait it had already suffered.
+                samples[index] = OpenLoopSample(
+                    index=index, intended=intended, latency=late_by,
+                    status=0, abandoned=True)
+                continue
+            try:
+                status = int(submit(index))
+            except Exception:
+                status = 599
+            samples[index] = OpenLoopSample(
+                index=index, intended=intended,
+                latency=(clock() - start) - intended, status=status)
+
+    threads = [threading.Thread(target=worker, daemon=True,
+                                name=f"openloop-{i}")
+               for i in range(max(1, workers))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = clock() - start
+    return OpenLoopResult(
+        samples=[s for s in samples if s is not None],
+        duration=duration, elapsed=elapsed)
+
+
+def router_submitter(router, build_request: Callable[[int], object], *,
+                     remote_addr: str = "127.0.0.1",
+                     client_key: Callable[[int], str] | None = None
+                     ) -> Callable[[int], int]:
+    """A ``submit`` callable that drives a :class:`~repro.http.router.
+    Router` in-process.
+
+    ``build_request(index)`` supplies the :class:`HttpRequest`;
+    ``client_key`` (when given) varies the remote address per arrival so
+    weighted-fair queueing across clients is exercised.  Streaming
+    responses are drained — an unread stream would hold engine
+    resources and never settle its accounting.
+    """
+
+    def submit(index: int) -> int:
+        request = build_request(index)
+        addr = client_key(index) if client_key is not None else remote_addr
+        response = router.handle(request, remote_addr=addr)
+        if response.streaming and response.body_iter is not None:
+            try:
+                for _ in response.body_iter:
+                    pass
+            finally:
+                close = getattr(response.body_iter, "close", None)
+                if close is not None:
+                    close()
+        return response.status
+
+    return submit

@@ -15,7 +15,10 @@ from repro.apps import urlquery as urlquery_app
 from repro.apps.site import build_site
 from repro.baselines import gsql, plsql, rawcgi, wdb
 from repro.http.async_server import AsyncHttpServer
+from repro.http.router import Router
 from repro.http.server import HttpServer
+from repro.obs.metrics import MetricsRegistry
+from repro.overload.control import OverloadController
 
 #: program → (mount, path_info, query): the cmp6 golden report requests
 GOLDEN_REQUESTS = {
@@ -75,3 +78,75 @@ def test_edges_serve_identical_bytes(edges, name):
     assert status_t == status_a == 200
     assert body_t == body_a
     assert body_t  # a pair of empty bodies proves nothing
+
+
+# -- overload shedding vs pipelined framing ---------------------------------
+
+
+def build_shedding_router() -> Router:
+    """A router whose admission controller always sheds CGI traffic.
+
+    The deferrable admit rate is pinned at zero (and the tick frozen so
+    AIMD recovery cannot raise it mid-test): every ``/cgi-bin/`` request
+    is UNCLASSIFIED and rate-shed at admission, while static pages are
+    CACHED and always admitted — the deterministic mid-burst 503.
+    """
+    controller = OverloadController(
+        max_concurrent=8, queue_limit=8, tick_interval=3600.0,
+        metrics=MetricsRegistry())
+    controller._rates["deferrable"] = 0.0
+    router = Router(overload=controller, metrics=controller.metrics)
+    router.add_page("/a", "<P>page a before the shed</P>")
+    router.add_page("/b", "<P>page b after the shed</P>")
+    return router
+
+
+def read_one_response(stream) -> tuple[int, dict, bytes]:
+    """Parse one Content-Length-framed response off a socket file."""
+    status_line = stream.readline()
+    assert status_line, "peer closed before a full response"
+    status = int(status_line.split(None, 2)[1])
+    headers: dict[str, str] = {}
+    while True:
+        line = stream.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        key, _, value = line.decode("latin-1").partition(":")
+        headers[key.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0"))
+    body = stream.read(length)
+    assert len(body) == length, "body truncated mid-frame"
+    return status, headers, body
+
+
+@pytest.mark.parametrize("edge_cls,version,middle_ka", [
+    (HttpServer, "HTTP/1.0", "Connection: keep-alive\r\n"),
+    (AsyncHttpServer, "HTTP/1.1", ""),
+], ids=["threaded", "async"])
+def test_mid_burst_503_does_not_corrupt_pipelined_framing(
+        edge_cls, version, middle_ka):
+    """503 to request N of a pipelined keep-alive burst must leave
+    requests N-1 and N+1 perfectly framed on the same connection."""
+    router = build_shedding_router()
+    shed_target = "/cgi-bin/db2www/urlquery.d2w/report?SEARCH="
+    ka = "Connection: keep-alive\r\n" if version == "HTTP/1.0" else ""
+    burst = (
+        f"GET /a {version}\r\n{ka}\r\n"
+        f"GET {shed_target} {version}\r\n{middle_ka}\r\n"
+        f"GET /b {version}\r\nConnection: close\r\n\r\n"
+    ).encode()
+    with edge_cls(router) as server:
+        with socket.create_connection((server.host, server.port),
+                                      timeout=10.0) as sock:
+            sock.sendall(burst)
+            stream = sock.makefile("rb")
+            first = read_one_response(stream)
+            shed = read_one_response(stream)
+            third = read_one_response(stream)
+            assert stream.read() == b""  # connection closed cleanly
+    assert first[0] == 200
+    assert b"page a before the shed" in first[2]
+    assert shed[0] == 503
+    assert int(shed[1]["retry-after"]) >= 1  # shared header semantics
+    assert third[0] == 200
+    assert b"page b after the shed" in third[2]

@@ -1,0 +1,120 @@
+"""Cost classification: static rules, operator rules, learned profile."""
+
+from dataclasses import dataclass
+
+from repro.overload.classify import (
+    CACHED,
+    HEAVY,
+    INTERACTIVE,
+    UNCLASSIFIED,
+    LatencyProfiler,
+    RequestClassifier,
+)
+
+
+@dataclass
+class FakeRequest:
+    path: str
+    query: str = ""
+    method: str = "GET"
+
+
+class TestStaticRules:
+    def test_non_cgi_paths_are_cached_reads(self):
+        classifier = RequestClassifier()
+        for path in ("/", "/index.html", "/metrics", "/statusz"):
+            _, cls = classifier.classify(FakeRequest(path))
+            assert cls == CACHED, path
+
+    def test_input_mode_is_interactive(self):
+        classifier = RequestClassifier()
+        _, cls = classifier.classify(
+            FakeRequest("/cgi-bin/db2www/urlquery.d2w/input"))
+        assert cls == INTERACTIVE
+
+    def test_fresh_report_is_unclassified(self):
+        # Unknown queries must prove themselves cheap: the shedder
+        # drops unclassified traffic before interactive traffic.
+        classifier = RequestClassifier()
+        _, cls = classifier.classify(
+            FakeRequest("/cgi-bin/db2www/urlquery.d2w/report",
+                        query="SEARCH=ib"))
+        assert cls == UNCLASSIFIED
+
+
+class TestOperatorRules:
+    def test_substring_rule_wins_over_static(self):
+        classifier = RequestClassifier(
+            rules=[("/report", HEAVY)])
+        _, cls = classifier.classify(
+            FakeRequest("/cgi-bin/db2www/urlquery.d2w/report"))
+        assert cls == HEAVY
+
+    def test_first_matching_rule_wins(self):
+        classifier = RequestClassifier(
+            rules=[("SEARCH=", INTERACTIVE), ("/report", HEAVY)])
+        _, cls = classifier.classify(
+            FakeRequest("/cgi-bin/x/report", query="SEARCH=ib"))
+        assert cls == INTERACTIVE
+
+    def test_bad_rule_class_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            RequestClassifier(rules=[("/x", "enormous")])
+
+
+class TestProbe:
+    def test_probe_answers_before_everything(self):
+        classifier = RequestClassifier(
+            rules=[("/report", HEAVY)],
+            probe=lambda request: CACHED)
+        _, cls = classifier.classify(FakeRequest("/cgi-bin/x/report"))
+        assert cls == CACHED
+
+    def test_probe_abstains_with_none(self):
+        classifier = RequestClassifier(probe=lambda request: None)
+        _, cls = classifier.classify(FakeRequest("/index.html"))
+        assert cls == CACHED
+
+
+class TestLearnedProfile:
+    def test_repeated_fast_requests_become_cached(self):
+        # The practical query-cache probe: a cache hit IS a
+        # sub-millisecond observation.
+        classifier = RequestClassifier()
+        request = FakeRequest("/cgi-bin/x/report", query="SEARCH=ib")
+        key, cls = classifier.classify(request)
+        assert cls == UNCLASSIFIED
+        for _ in range(3):
+            classifier.observe(key, 0.4)
+        _, cls = classifier.classify(request)
+        assert cls == CACHED
+
+    def test_slow_requests_become_heavy(self):
+        classifier = RequestClassifier()
+        request = FakeRequest("/cgi-bin/x/report", query="SEARCH=")
+        key, _ = classifier.classify(request)
+        for _ in range(3):
+            classifier.observe(key, 400.0)
+        _, cls = classifier.classify(request)
+        assert cls == HEAVY
+
+    def test_needs_min_samples_before_answering(self):
+        profiler = LatencyProfiler(min_samples=3)
+        profiler.observe("k", 1.0)
+        profiler.observe("k", 1.0)
+        assert profiler.classify("k") is None
+        profiler.observe("k", 1.0)
+        assert profiler.classify("k") == CACHED
+
+    def test_profile_is_bounded(self):
+        profiler = LatencyProfiler(max_keys=10, min_samples=1)
+        for i in range(50):
+            profiler.observe(f"key-{i}", 1.0)
+        assert len(profiler) <= 10
+
+    def test_key_includes_query_string(self):
+        classifier = RequestClassifier()
+        a = classifier.key_for(FakeRequest("/r", query="SEARCH=ib"))
+        b = classifier.key_for(FakeRequest("/r", query="SEARCH="))
+        assert a != b

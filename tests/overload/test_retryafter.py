@@ -1,0 +1,62 @@
+"""The shared Retry-After semantics (one answer across every 503)."""
+
+import math
+
+import pytest
+
+from repro.overload.retryafter import (
+    MAX_RETRY_AFTER,
+    clamp_retry_hint,
+    queue_retry_hint,
+    retry_after_header,
+    retry_after_seconds,
+)
+
+
+class TestClampRetryHint:
+    def test_positive_hint_passes_through(self):
+        assert clamp_retry_hint(6.0) == 6.0
+        assert clamp_retry_hint(0.25) == 0.25
+
+    def test_none_yields_default(self):
+        assert clamp_retry_hint(None) == 1.0
+        assert clamp_retry_hint(None, default=3.5) == 3.5
+
+    @pytest.mark.parametrize("bad", [-0.001, -5.0, math.nan,
+                                     math.inf, -math.inf])
+    def test_garbage_collapses_to_zero(self, bad):
+        assert clamp_retry_hint(bad) == 0.0
+
+
+class TestRetryAfterSeconds:
+    def test_rounds_up_never_down(self):
+        # A client told "1" must not retry after 0.4s when the honest
+        # estimate was 0.5s.
+        assert retry_after_seconds(0.5) == 1
+        assert retry_after_seconds(1.2) == 2
+
+    def test_floor_is_one_second(self):
+        assert retry_after_seconds(0.0) == 1
+        assert retry_after_seconds(None) == 1
+
+    def test_capped(self):
+        assert retry_after_seconds(3600.0) == int(MAX_RETRY_AFTER)
+
+    def test_header_is_delta_seconds_text(self):
+        assert retry_after_header(2.3) == "3"
+        assert retry_after_header(None) == "1"
+
+
+class TestQueueRetryHint:
+    def test_backlog_over_rate(self):
+        # 9 waiters + the retrier itself at 5/s → 2 seconds.
+        assert queue_retry_hint(9, 5.0) == pytest.approx(2.0)
+
+    def test_unknown_rate_means_no_hint(self):
+        assert queue_retry_hint(10, 0.0) is None
+        assert queue_retry_hint(10, -1.0) is None
+        assert queue_retry_hint(10, math.inf) is None
+
+    def test_empty_queue_still_positive(self):
+        hint = queue_retry_hint(0, 10.0)
+        assert hint is not None and hint > 0.0

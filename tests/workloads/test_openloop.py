@@ -1,0 +1,152 @@
+"""The open-loop generator: fixed schedules, intended-time latency."""
+
+import threading
+import time
+
+import pytest
+
+from repro.http.message import HttpRequest
+from repro.http.router import Router
+from repro.workloads.openloop import (
+    ArrivalSchedule,
+    run_open_loop,
+    router_submitter,
+)
+
+
+class TestArrivalSchedule:
+    def test_poisson_is_deterministic_per_seed(self):
+        a = ArrivalSchedule.poisson(100.0, 1.0, seed=7)
+        b = ArrivalSchedule.poisson(100.0, 1.0, seed=7)
+        c = ArrivalSchedule.poisson(100.0, 1.0, seed=8)
+        assert a.offsets == b.offsets
+        assert a.offsets != c.offsets
+
+    def test_poisson_rate_approximates_target(self):
+        schedule = ArrivalSchedule.poisson(200.0, 5.0, seed=1)
+        assert len(schedule) == pytest.approx(1000, rel=0.15)
+        assert all(x < y for x, y in zip(schedule.offsets,
+                                         schedule.offsets[1:]))
+
+    def test_uniform_spacing(self):
+        schedule = ArrivalSchedule.uniform(10.0, 1.0)
+        assert len(schedule) == 10
+        gaps = [y - x for x, y in zip(schedule.offsets,
+                                      schedule.offsets[1:])]
+        assert all(gap == pytest.approx(0.1) for gap in gaps)
+
+    def test_rate_property(self):
+        schedule = ArrivalSchedule.uniform(50.0, 2.0)
+        assert schedule.rate == pytest.approx(50.0, rel=0.05)
+
+
+class TestRunOpenLoop:
+    def test_all_arrivals_submitted_and_indexed(self):
+        seen = []
+        lock = threading.Lock()
+
+        def submit(index):
+            with lock:
+                seen.append(index)
+            return 200
+
+        result = run_open_loop(submit,
+                               ArrivalSchedule.uniform(200.0, 0.1),
+                               workers=4)
+        assert sorted(seen) == list(range(20))
+        assert result.attempted == 20
+        assert result.successes() == 20
+        assert result.abandoned == 0
+
+    def test_latency_charged_from_intended_time(self):
+        """Coordinated-omission safety: worker-queue wait is latency.
+
+        One worker, three arrivals due at t=0, each taking 50ms: the
+        third request's latency must include the ~100ms it waited for
+        the worker, not just its own service time.
+        """
+
+        def submit(index):
+            time.sleep(0.05)
+            return 200
+
+        result = run_open_loop(submit, [0.0, 0.0, 0.0], workers=1)
+        ordered = sorted(s.latency for s in result.samples)
+        assert ordered[0] < 0.09
+        assert ordered[-1] > 0.13  # ~2 waits + own service
+
+    def test_give_up_after_abandons_instead_of_submitting_late(self):
+        submitted = []
+        lock = threading.Lock()
+
+        def submit(index):
+            with lock:
+                submitted.append(index)
+            time.sleep(0.2)
+            return 200
+
+        result = run_open_loop(submit, [0.0, 0.0, 0.0, 0.0],
+                               workers=1, give_up_after=0.1)
+        assert len(submitted) == 1  # the rest gave up waiting
+        assert result.abandoned == 3
+        for sample in result.samples:
+            if sample.abandoned:
+                assert sample.status == 0
+                assert sample.latency >= 0.1  # the wait it suffered
+        # Abandoned arrivals are failures, not omissions.
+        assert result.successes() == 1
+        assert result.latency_ms(0.99) > 100.0
+
+    def test_goodput_within_budget(self):
+        latencies = {0: 0.0, 1: 0.0, 2: 0.3}
+
+        def submit(index):
+            time.sleep(latencies[index])
+            return 200
+
+        result = run_open_loop(submit, [0.0, 0.01, 0.02], workers=3)
+        assert result.successes() == 3
+        assert result.successes(within=0.1) == 2
+
+    def test_submit_exception_counts_as_599(self):
+        def submit(index):
+            raise RuntimeError("boom")
+
+        result = run_open_loop(submit, [0.0], workers=1)
+        assert result.samples[0].status == 599
+        assert result.successes() == 0
+
+    def test_non_200_is_not_goodput(self):
+        result = run_open_loop(lambda i: 503, [0.0, 0.0], workers=2)
+        assert result.successes() == 0
+        assert result.status_counts == {503: 2}
+
+
+class TestRouterSubmitter:
+    def test_drives_router_in_process(self):
+        router = Router()
+        router.add_page("/hello", "<P>hi</P>")
+        submit = router_submitter(
+            router, lambda index: HttpRequest.parse(
+                b"GET /hello HTTP/1.0\r\n\r\n"))
+        assert submit(0) == 200
+
+    def test_client_key_varies_remote_addr(self):
+        seen = []
+
+        class SpyRouter:
+            def handle(self, request, *, remote_addr):
+                seen.append(remote_addr)
+
+                class R:
+                    status = 200
+                    streaming = False
+                    body_iter = None
+                return R()
+
+        submit = router_submitter(
+            SpyRouter(), lambda index: object(),
+            client_key=lambda index: f"10.0.0.{index % 4}")
+        for i in range(4):
+            submit(i)
+        assert seen == ["10.0.0.0", "10.0.0.1", "10.0.0.2", "10.0.0.3"]
