@@ -64,6 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--transaction-mode", default="auto_commit",
                          choices=["auto_commit", "single"])
         _add_resilience_options(cmd)
+        _add_shard_options(cmd)
 
     unparse = sub.add_parser("unparse",
                              help="parse and regenerate macro source")
@@ -196,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "slow_query.log next to the access log, "
                             "or ./slow_query.log)")
     _add_resilience_options(serve)
+    _add_shard_options(serve)
     return parser
 
 
@@ -226,6 +228,73 @@ def _add_resilience_options(cmd: argparse.ArgumentParser) -> None:
                      help="on terminal SQL failure, emit the error "
                           "block and continue the report instead of "
                           "aborting the page")
+
+
+def _add_shard_options(cmd: argparse.ArgumentParser) -> None:
+    """Sharded-tier options shared by run, render, and serve.
+
+    A logical sharded database is declared with ``--shards`` naming its
+    physical shard paths in routing order; each shard's primary is
+    registered as ``LOGICAL#i`` and its replicas (``--shard-replicas``)
+    as ``LOGICAL#i.rN``.  See docs/deployment.md §10.
+    """
+    cmd.add_argument("--shards", action="append", default=[],
+                     metavar="NAME=PATH,PATH,...",
+                     help="register NAME as a sharded logical database "
+                          "over the comma-separated SQLite paths "
+                          "(hash-routed on the macro's SHARD_KEY)")
+    cmd.add_argument("--shard-replicas", action="append", default=[],
+                     dest="shard_replicas", metavar="NAME.IDX=PATH,...",
+                     help="read replicas for shard IDX of logical "
+                          "database NAME (cacheable SELECTs prefer "
+                          "them; everything else hits the primary)")
+    cmd.add_argument("--shard-key", default="SHARD_KEY",
+                     dest="shard_key", metavar="VAR",
+                     help="macro variable that pins a request to one "
+                          "shard (default SHARD_KEY)")
+    cmd.add_argument("--replica-lag-bound", type=float, default=1.0,
+                     dest="replica_lag_bound", metavar="SEC",
+                     help="skip replicas whose observed replication "
+                          "lag exceeds SEC seconds (default 1.0)")
+    cmd.add_argument("--shard-timeout", type=float, default=None,
+                     dest="shard_timeout", metavar="SEC",
+                     help="per-shard slice of the request deadline for "
+                          "scatter-gather workers")
+
+
+def _apply_sharding(args, registry: DatabaseRegistry) -> bool:
+    """Register any ``--shards`` topologies; True when sharding is on."""
+    specs = getattr(args, "shards", [])
+    if not specs:
+        return False
+    from repro.sql.sharding import build_shard_map
+    replica_specs: dict[str, dict[int, list[str]]] = {}
+    for item in getattr(args, "shard_replicas", []):
+        target, sep, paths = item.partition("=")
+        name, dot, index_text = target.rpartition(".")
+        if not sep or not dot or not index_text.isdigit():
+            raise SystemExit(f"bad --shard-replicas {item!r}: expected "
+                             "NAME.IDX=PATH[,PATH...]")
+        replica_specs.setdefault(name, {})[int(index_text)] = \
+            [p for p in paths.split(",") if p]
+    for name, paths_text in _parse_bindings(specs, "--shards"):
+        paths = [p for p in paths_text.split(",") if p]
+        if not paths:
+            raise SystemExit(f"bad --shards {name!r}: no shard paths")
+        shard_map = build_shard_map(
+            registry, name, paths,
+            replica_paths=replica_specs.pop(name, None),
+            key_variable=getattr(args, "shard_key", "SHARD_KEY"),
+            lag_bound=getattr(args, "replica_lag_bound", 1.0))
+        shard_map.shard_timeout = getattr(args, "shard_timeout", None)
+    if replica_specs:
+        unknown = ", ".join(sorted(replica_specs))
+        raise SystemExit(f"--shard-replicas names unknown logical "
+                         f"database(s): {unknown}")
+    # Per-endpoint pools are created lazily on first use, so shards
+    # that serve no requests hold no connections (and leak none).
+    registry.enable_pools()
+    return True
 
 
 def main(argv: Optional[Sequence[str]] = None,
@@ -308,6 +377,7 @@ def _build_engine(args) -> MacroEngine:
     registry = DatabaseRegistry()
     for name, path in _parse_bindings(args.database, "--database"):
         registry.register_path(name, path)
+    _apply_sharding(args, registry)
     config = EngineConfig(
         transaction_mode=TransactionMode.parse(args.transaction_mode))
     _apply_resilience(args, registry, config)
@@ -397,11 +467,47 @@ def _cmd_stats(args, out) -> int:
               if not any(key.endswith(suffix)
                          and key[:-len(suffix)] in families
                          for suffix in flattened_suffixes)}
+    shard_keys = {key: scalar.pop(key) for key in list(scalar)
+                  if key.startswith("shard_")}
     if scalar:
         print("\nserver counters:", file=out)
         for key in sorted(scalar):
             print(f"  {key}: {scalar[key]}", file=out)
+    if shard_keys:
+        _print_shard_section(shard_keys, out)
     return 0
+
+
+def _print_shard_section(counters: dict, out) -> None:
+    """The per-shard routing table of `repro stats`.
+
+    The ``shard`` stats source flattens ShardMap counters to
+    ``shard_<idx>_<counter>`` (per shard) and ``shard_<counter>``
+    (topology-wide); render the former as one row per shard and the
+    latter as plain lines.
+    """
+    import re as _re
+
+    per_shard: dict[str, dict[str, object]] = {}
+    plain: dict[str, object] = {}
+    for key, value in counters.items():
+        match = _re.match(r"shard_(\d+)_(\w+)$", key)
+        if match:
+            per_shard.setdefault(match.group(1), {})[match.group(2)] = value
+        else:
+            plain[key[len("shard_"):]] = value
+    print("\nshard routing:", file=out)
+    for key in sorted(plain):
+        print(f"  {key}: {plain[key]}", file=out)
+    if not per_shard:
+        return
+    columns = sorted({name for row in per_shard.values() for name in row})
+    header = "  shard  " + "  ".join(f"{c:>17}" for c in columns)
+    print(header, file=out)
+    for index in sorted(per_shard, key=int):
+        row = per_shard[index]
+        cells = "  ".join(f"{row.get(c, 0):>17}" for c in columns)
+        print(f"  {index:>5}  {cells}", file=out)
 
 
 def _cmd_trace(args, out) -> int:
@@ -583,6 +689,7 @@ def _cmd_serve(args, out) -> int:  # pragma: no cover - interactive
         registry = DatabaseRegistry()
         for name, path in _parse_bindings(args.database, "--database"):
             registry.register_path(name, path)
+        sharded = _apply_sharding(args, registry)
         config = EngineConfig()
         if args.query_cache > 0:
             from repro.sql.querycache import QueryResultCache
@@ -595,6 +702,8 @@ def _cmd_serve(args, out) -> int:  # pragma: no cover - interactive
         site = build_site(engine, library, stream=args.stream)
         router = site.router
         stats_sources.append(("resilience", registry.resilience_stats))
+        if sharded:
+            stats_sources.append(("shard", registry.shard_stats))
         if config.query_cache is not None:
             stats_sources.append(("query_cache", config.query_cache.stats))
     else:

@@ -505,6 +505,23 @@ class _MacroRun:
                 raise MacroExecutionError(
                     "macro executed SQL but defines no DATABASE variable "
                     "and the engine has no default_database")
+            shard_map = self.engine.registry.shard_map(database)
+            if shard_map is not None:
+                # A logical sharded database: the macro's shard-key
+                # variable (SHARD_KEY unless the map renames it) pins
+                # the request to one shard; without it, reads scatter
+                # and writes fan out (see repro.sql.sharding).
+                from repro.sql.sharding import ShardedSqlSession
+                key = self.evaluator.evaluate_name(shard_map.key_variable)
+                self.session = ShardedSqlSession(
+                    self.engine.registry, shard_map,
+                    shard_key=key or None,
+                    mode=self.engine.config.transaction_mode,
+                    cache=self.engine.config.query_cache,
+                    retry=self.engine.config.retry_policy,
+                    deadline=self.deadline,
+                    degrade=self.engine.config.degrade_sql_errors)
+                return self.session
             connection = self._connect(database)
             self.session = MacroSqlSession(
                 connection, mode=self.engine.config.transaction_mode,

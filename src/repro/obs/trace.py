@@ -394,6 +394,22 @@ class Tracer:
         span = Span(name, trace_id or new_trace_id(), None, attrs)
         return ActiveSpan(self, span)
 
+    def child_of(self, parent: Optional[Span],
+                 name: str) -> Optional[Span]:
+        """A started child of an *explicit* parent span (cross-thread).
+
+        The scatter-gather merge hands each shard worker a span created
+        on the request thread — creating them there, before the workers
+        start, keeps ``parent``'s lazy child-list initialisation
+        single-threaded.  Returns ``None`` when tracing is off or there
+        is no parent; the caller must ``finish()`` it.
+        """
+        if not self.enabled or parent is None:
+            return None
+        span = Span(name, parent.trace_id, parent.span_id)
+        parent.add_child(span)
+        return span
+
     # -- context introspection ---------------------------------------------
 
     def current(self) -> Optional[Span]:

@@ -46,6 +46,23 @@ class Deadline:
         if self.expired:
             raise DeadlineExceededError(f"{what} deadline exceeded")
 
+    @classmethod
+    def tightest(cls, deadline: Optional["Deadline"],
+                 seconds: Optional[float]) -> Optional["Deadline"]:
+        """The tighter of an existing deadline and a fresh ``seconds`` budget.
+
+        The sharded scatter path hands each shard worker
+        ``tightest(request_deadline, shard_timeout)``: a shard may never
+        outspend the request, and a per-shard bound (when configured)
+        caps it further so one slow shard degrades alone.  Either side
+        may be ``None``; both ``None`` means no deadline at all.
+        """
+        if seconds is None:
+            return deadline
+        if deadline is not None and deadline.remaining() <= seconds:
+            return deadline
+        return cls.after(seconds)
+
     def cap(self, timeout: Optional[float]) -> float:
         """Cap a layer's own timeout by the time remaining.
 

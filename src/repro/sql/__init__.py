@@ -12,6 +12,9 @@ DESIGN.md's substitution table).  Public surface:
   :class:`ExecutionResult` — the facade the macro engine consumes
 * :class:`QueryResultCache` / :class:`WriteGeneration` —
   generation-keyed SELECT result reuse (see repro.sql.querycache)
+* :class:`ShardMap` / :class:`ShardedSqlSession` — hash/range-sharded
+  logical databases with read replicas and streaming scatter-gather
+  merge (see repro.sql.sharding)
 * :mod:`repro.sql.dialect` — SQL text helpers (quoting, LIKE patterns)
 * :mod:`repro.sql.catalog` — table/column introspection
 """
@@ -32,6 +35,13 @@ from repro.sql.gateway import (
 )
 from repro.sql.pool import ConnectionPool, PerRequestPool
 from repro.sql.querycache import QueryResultCache, WriteGeneration
+from repro.sql.sharding import (
+    Replica,
+    Shard,
+    ShardMap,
+    ShardedSqlSession,
+    build_shard_map,
+)
 from repro.sql.transactions import TransactionMode, TransactionScope
 
 __all__ = [
@@ -45,10 +55,15 @@ __all__ = [
     "MemoryDatabase",
     "PerRequestPool",
     "QueryResultCache",
+    "Replica",
+    "Shard",
+    "ShardMap",
+    "ShardedSqlSession",
     "TableInfo",
     "TransactionMode",
     "TransactionScope",
     "WriteGeneration",
+    "build_shard_map",
     "connect",
     "describe_table",
     "list_tables",

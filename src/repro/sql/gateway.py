@@ -13,9 +13,10 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Optional
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional
 
-from repro.errors import SQLError, SQLObjectError, is_transient
+from repro.errors import (SQLConnectError, SQLError, SQLObjectError,
+                          is_transient)
 from repro.obs.trace import TRACER, statement_digest
 from repro.resilience import faults as fault_injection
 from repro.resilience.breaker import CircuitBreaker
@@ -27,6 +28,9 @@ from repro.sql.dialect import is_cacheable_query, is_query
 from repro.sql.pool import ConnectionPool
 from repro.sql.querycache import QueryResultCache, WriteGeneration
 from repro.sql.transactions import TransactionMode, TransactionScope
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sql.sharding import ShardMap
 
 
 @dataclass
@@ -56,6 +60,12 @@ class ExecutionResult:
     row_iter: Optional[Iterator[tuple[Any, ...]]] = None
     #: Rows that have passed through ``row_iter`` so far.
     rows_fetched: int = 0
+    #: True when a sharded scatter-gather lost one or more shards and
+    #: degradation kept the survivors (see repro.sql.sharding).  Partial
+    #: results are never cached.
+    partial: bool = False
+    #: Labels of the shards whose rows are missing from a partial result.
+    failed_shards: tuple[str, ...] = ()
 
     @property
     def streaming(self) -> bool:
@@ -100,11 +110,19 @@ class DatabaseRegistry:
         self._factories: dict[str, Callable[[], Connection]] = {}
         self._generations: dict[str, WriteGeneration] = {}
         self._pools: dict[str, ConnectionPool] = {}
+        #: Guards lazy pool creation: two concurrent first requests to
+        #: one shard must share a pool, not leak one.
+        self._pools_lock = threading.Lock()
+        #: When set, every database gets a pool lazily on first connect
+        #: (see :meth:`enable_pools`); ``None`` keeps pools explicit.
+        self._pool_config: Optional[dict[str, float]] = None
+        self._shard_maps: dict[str, "ShardMap"] = {}
         self._breakers: dict[str, CircuitBreaker] = {}
         self._breaker_config: Optional[dict[str, float]] = None
         self._injector: Optional[fault_injection.FaultInjector] = None
         self._retries = 0
         self._retry_lock = threading.Lock()
+        self._closed = False
 
     def register_path(self, name: str, path: str) -> None:
         self._factories[name] = lambda: Connection(path)
@@ -123,6 +141,49 @@ class DatabaseRegistry:
                          factory: Callable[[], Connection]) -> None:
         self._factories[name] = factory
 
+    def register_sharded(self, name: str, shard_map: "ShardMap") -> None:
+        """Make ``name`` a *logical* sharded database.
+
+        A macro whose ``DATABASE`` resolves to ``name`` routes through
+        the map (see :mod:`repro.sql.sharding`); the map's shard and
+        replica databases must each be registered here as ordinary
+        physical databases — pools, breakers and fault injection attach
+        per endpoint exactly as before.
+        """
+        if name in self._factories:
+            raise SQLObjectError(
+                f"database {name!r} is already registered as a physical "
+                "database; a sharded logical name must be distinct",
+                sqlstate="42710")
+        shard_map.validate()
+        for shard in shard_map.shards:
+            for endpoint in (shard.database,
+                             *(r.database for r in shard.replicas)):
+                if endpoint not in self._factories:
+                    raise SQLObjectError(
+                        f"shard map {name!r} names unregistered database "
+                        f"{endpoint!r}", sqlstate="08001")
+        self._shard_maps[name] = shard_map
+
+    def shard_map(self, name: str) -> Optional["ShardMap"]:
+        """The shard map behind a logical name (``None`` if unsharded)."""
+        return self._shard_maps.get(name)
+
+    def shard_stats(self) -> dict[str, int]:
+        """Merged routing counters of every registered shard map.
+
+        Attached to the metrics registry as the ``shard`` stats source,
+        so the keys render as ``shard_<counter>``.  With several maps
+        the keys are prefixed by the (lowercased) logical name.
+        """
+        stats: dict[str, int] = {}
+        prefixed = len(self._shard_maps) > 1
+        for name, shard_map in self._shard_maps.items():
+            prefix = f"{name.lower()}_" if prefixed else ""
+            for key, value in shard_map.stats().items():
+                stats[prefix + key] = stats.get(prefix + key, 0) + value
+        return stats
+
     def attach_pool(self, name: str, *, size: int = 4,
                     timeout: float = 5.0) -> ConnectionPool:
         """Put a bounded :class:`ConnectionPool` in front of a database.
@@ -137,13 +198,49 @@ class DatabaseRegistry:
             raise SQLObjectError(
                 f"database {name!r} is not registered with the gateway",
                 sqlstate="08001")
-        pool = ConnectionPool(self._wrap(factory), size=size,
-                              timeout=timeout)
-        self._pools[name] = pool
+        with self._pools_lock:
+            if self._closed:
+                raise SQLConnectError(
+                    f"database registry is closed (pool for {name!r})",
+                    sqlstate="08003")
+            pool = self._pools.get(name)
+            if pool is None:
+                pool = self._pools[name] = ConnectionPool(
+                    self._wrap(factory), size=size, timeout=timeout)
         return pool
+
+    def enable_pools(self, *, size: int = 4, timeout: float = 5.0) -> None:
+        """Pool every database *lazily*, on its first :meth:`connect`.
+
+        The sharded tier registers primaries and replicas for every
+        shard up front, but a request pinned to one shard touches one
+        endpoint; eager pooling would hold ``size`` idle connections on
+        every endpoint that never serves a request.  With lazy creation,
+        an endpoint that served zero requests owns zero connections —
+        and :meth:`close_all` has nothing of its to leak.
+        """
+        self._pool_config = {"size": size, "timeout": timeout}
 
     def pool(self, name: str) -> Optional[ConnectionPool]:
         return self._pools.get(name)
+
+    def close_all(self) -> None:
+        """Close every pool the registry created.  Idempotent.
+
+        Only pools that exist are touched — with :meth:`enable_pools`'
+        lazy creation that is exactly the set of endpoints that served
+        at least one request.  After closing, :meth:`connect` refuses
+        with SQLSTATE 08003 instead of silently re-opening pools.
+        """
+        with self._pools_lock:
+            self._closed = True
+            pools = list(self._pools.values())
+        for pool in pools:
+            pool.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     # -- resilience attachment -------------------------------------------
 
@@ -212,10 +309,10 @@ class DatabaseRegistry:
     # ---------------------------------------------------------------------
 
     def __contains__(self, name: str) -> bool:
-        return name in self._factories
+        return name in self._factories or name in self._shard_maps
 
     def names(self) -> list[str]:
-        return sorted(self._factories)
+        return sorted((*self._factories, *self._shard_maps))
 
     def generation(self, name: str) -> WriteGeneration:
         """The write-generation counter of one registered database."""
@@ -238,11 +335,19 @@ class DatabaseRegistry:
             raise SQLObjectError(
                 f"database {name!r} is not registered with the gateway",
                 sqlstate="08001")
+        if self._closed:
+            raise SQLConnectError(
+                f"database registry is closed (connect to {name!r})",
+                sqlstate="08003")
         breaker = self.breaker(name)
         if breaker is not None:
             breaker.allow()
         try:
             pool = self._pools.get(name)
+            if pool is None and self._pool_config is not None:
+                pool = self.attach_pool(
+                    name, size=int(self._pool_config["size"]),
+                    timeout=self._pool_config["timeout"])
             if pool is not None:
                 connection = _LeasedConnection(
                     pool, pool.acquire(deadline=deadline))

@@ -18,6 +18,7 @@ from repro.workloads.openloop import (
     OpenLoopSample,
     router_submitter,
     run_open_loop,
+    zipf_shard_keys,
 )
 from repro.workloads.runner import (
     RunResult,
@@ -46,4 +47,5 @@ __all__ = [
     "percentile",
     "plain_request_builder",
     "run_workload",
+    "zipf_shard_keys",
 ]

@@ -169,6 +169,11 @@ class WorkerReport:
     crashes: int = 0
     crash_retries: int = 0
     busy_timeouts: int = 0
+    #: Goodput (useful 200s per second) by target shard, for sharded
+    #: workloads — built from
+    #: :meth:`~repro.workloads.openloop.OpenLoopResult.per_shard_goodput`
+    #: so skewed runs can show the hot shard next to pool health.
+    per_shard: dict[str, float] = field(default_factory=dict)
 
     @classmethod
     def from_stats(cls, stats: dict[str, int]) -> "WorkerReport":
@@ -186,7 +191,8 @@ class WorkerReport:
             recycles=self.recycles - before.recycles,
             crashes=self.crashes - before.crashes,
             crash_retries=self.crash_retries - before.crash_retries,
-            busy_timeouts=self.busy_timeouts - before.busy_timeouts)
+            busy_timeouts=self.busy_timeouts - before.busy_timeouts,
+            per_shard=dict(self.per_shard))
 
     def row(self, label: str) -> str:
         """One fixed-width table row (pairs with :meth:`header`)."""
@@ -199,6 +205,14 @@ class WorkerReport:
         return (f"{'pool':<14} {'workers':>7} {'requests':>8} "
                 f"{'recycles':>8} {'crashes':>7} {'replays':>8} "
                 f"{'timeouts':>8}")
+
+    def shard_rows(self) -> list[str]:
+        """Per-shard goodput lines (empty for unsharded workloads)."""
+        if not self.per_shard:
+            return []
+        width = max(len(shard) or 1 for shard in self.per_shard)
+        return [f"{(shard or '-'):<{width}}  {goodput:>8.1f} good_rps"
+                for shard, goodput in sorted(self.per_shard.items())]
 
 
 @dataclass

@@ -90,6 +90,27 @@ class ArrivalSchedule:
         return iter(self.offsets)
 
 
+def zipf_shard_keys(keys: Sequence[str], count: int, *,
+                    skew: float = 1.0, seed: int = 0) -> list[str]:
+    """Pre-drawn Zipf-skewed shard-key assignments for ``count`` arrivals.
+
+    Real key popularity is never uniform — a few customers are most of
+    the traffic — so the shard bench needs a skew knob to show hot-shard
+    behaviour.  Key ``keys[rank]`` is drawn with weight
+    ``1 / (rank + 1) ** skew``: ``skew=0`` is uniform, ``skew=1``
+    classic Zipf, higher values concentrate harder.  Drawn up front
+    (seeded) so the assignment is part of the fixed schedule, like the
+    arrival offsets.
+    """
+    if not keys:
+        raise ValueError("zipf_shard_keys needs at least one key")
+    if skew < 0:
+        raise ValueError("skew must be non-negative")
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** skew for rank in range(len(keys))]
+    return rng.choices(list(keys), weights=weights, k=count)
+
+
 @dataclass(frozen=True)
 class OpenLoopSample:
     """One scheduled arrival's outcome."""
@@ -99,6 +120,9 @@ class OpenLoopSample:
     latency: float         # seconds from *intended* time to completion
     status: int            # HTTP status; 0 when abandoned unsubmitted
     abandoned: bool = False
+    #: The shard this arrival targeted ("" when the workload is not
+    #: sharded); lets per-shard goodput fall out of one sample list.
+    shard: str = ""
 
 
 @dataclass
@@ -150,6 +174,28 @@ class OpenLoopResult:
             return 0.0
         return self.successes(**kwargs) / self.duration
 
+    def per_shard_goodput(self, *,
+                          within: Optional[float] = None
+                          ) -> dict[str, float]:
+        """Goodput (200s/s, optionally within a latency budget) broken
+        down by the shard each arrival targeted.
+
+        Under Zipf skew this is the whole point: aggregate goodput can
+        look healthy while the hot shard is drowning.  Unlabelled
+        samples land under ``""``.
+        """
+        if self.duration <= 0:
+            return {}
+        counts: dict[str, int] = {}
+        for sample in self.samples:
+            if sample.abandoned or sample.status != 200:
+                continue
+            if within is not None and sample.latency > within:
+                continue
+            counts[sample.shard] = counts.get(sample.shard, 0) + 1
+        return {shard: count / self.duration
+                for shard, count in sorted(counts.items())}
+
     def latency_ms(self, fraction: float, *,
                    success_only: bool = False) -> float:
         """Intended-time latency percentile in milliseconds.
@@ -171,6 +217,7 @@ def run_open_loop(submit: Callable[[int], int],
                   schedule: Sequence[float] | ArrivalSchedule, *,
                   workers: int = 32,
                   give_up_after: Optional[float] = None,
+                  shard_of: Callable[[int], str] | None = None,
                   clock: Callable[[], float] = time.monotonic,
                   sleep: Callable[[float], None] = time.sleep
                   ) -> OpenLoopResult:
@@ -181,7 +228,10 @@ def run_open_loop(submit: Callable[[int], int],
     concurrency — when all workers are stuck waiting on a slow server,
     due arrivals queue and their wait is charged as latency, exactly as
     a real user's would be.  An exception from ``submit`` records
-    status 599 rather than killing the run.
+    status 599 rather than killing the run.  ``shard_of(index)`` (when
+    given) labels each sample with the shard its arrival targeted —
+    abandoned arrivals included, since the hot shard's abandonments are
+    exactly what a skewed run needs to attribute.
     """
     offsets = list(schedule)
     duration = (schedule.duration if isinstance(schedule, ArrivalSchedule)
@@ -204,12 +254,13 @@ def run_open_loop(submit: Callable[[int], int],
                 sleep(intended - now)
                 now = clock() - start
             late_by = now - intended
+            shard = shard_of(index) if shard_of is not None else ""
             if give_up_after is not None and late_by >= give_up_after:
                 # The client is gone; the request was never sent.  Its
                 # latency is the wait it had already suffered.
                 samples[index] = OpenLoopSample(
                     index=index, intended=intended, latency=late_by,
-                    status=0, abandoned=True)
+                    status=0, abandoned=True, shard=shard)
                 continue
             try:
                 status = int(submit(index))
@@ -217,7 +268,8 @@ def run_open_loop(submit: Callable[[int], int],
                 status = 599
             samples[index] = OpenLoopSample(
                 index=index, intended=intended,
-                latency=(clock() - start) - intended, status=status)
+                latency=(clock() - start) - intended, status=status,
+                shard=shard)
 
     threads = [threading.Thread(target=worker, daemon=True,
                                 name=f"openloop-{i}")
