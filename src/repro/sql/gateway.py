@@ -124,11 +124,26 @@ class DatabaseRegistry:
         self._retry_lock = threading.Lock()
         self._closed = False
 
+    def _reject_sharded_name(self, name: str) -> None:
+        """Physical registration must not shadow a sharded logical name.
+
+        The mirror image of :meth:`register_sharded`'s check: the engine
+        resolves shard maps first, so a physical database registered
+        under an existing logical name would be silently unreachable.
+        """
+        if name in self._shard_maps:
+            raise SQLObjectError(
+                f"database {name!r} is already registered as a sharded "
+                "logical database; a physical name must be distinct",
+                sqlstate="42710")
+
     def register_path(self, name: str, path: str) -> None:
+        self._reject_sharded_name(name)
         self._factories[name] = lambda: Connection(path)
 
     def register_memory(self, name: str,
                         db: Optional[MemoryDatabase] = None) -> MemoryDatabase:
+        self._reject_sharded_name(name)
         if db is None:
             db = MemoryDatabase()
         self._factories[name] = db.connect
@@ -139,6 +154,7 @@ class DatabaseRegistry:
 
     def register_factory(self, name: str,
                          factory: Callable[[], Connection]) -> None:
+        self._reject_sharded_name(name)
         self._factories[name] = factory
 
     def register_sharded(self, name: str, shard_map: "ShardMap") -> None:

@@ -20,7 +20,14 @@ this module makes a registered name stand for a *topology* instead:
   an ordered k-way merge when the statement ends in a recognizable
   ``ORDER BY`` over selected columns, arrival-order interleave
   otherwise; writes and DDL execute on every shard sequentially
-  (schema changes must land everywhere).
+  (schema changes must land everywhere).  A trailing ``LIMIT``/
+  ``OFFSET`` is *global*: each shard runs without the offset and with
+  the limit widened to ``limit + offset`` rows, and the merge
+  re-applies the exact ``[offset, offset + limit)`` window over the
+  merged order — never ``limit`` rows per shard.  Non-literal bounds,
+  and ``ORDER BY ... LIMIT`` whose ordering terms the merge cannot map
+  onto the selected columns, are refused with SQLSTATE 0A000 rather
+  than answered with the wrong window.
 
 **Correctness core** — the cache can never serve a stale cross-shard
 merge: a merged result is stored under the *tuple* of every shard's
@@ -31,7 +38,12 @@ owning shard's counter rides the physical connection), so a shard-B-only
 cached SELECT survives a shard-A write while every cross-shard merge
 containing shard A is invalidated.  Commit/rollback double-bumps
 compose per shard exactly as before — the tuple changes whenever any
-element does.
+element does.  Replica-served rows never enter the cache (a replica
+whose lag is within the bound may still trail the primary's generation,
+and a stale row set stored under a current stamp would validate until
+the *next* write — unbounded staleness from bounded lag); replica
+sessions read the shared cache but store nothing, and a merged result
+is cached only when every shard answered from its primary.
 
 **Degradation** rides the resilience layer: every shard worker gets a
 per-shard deadline budget (the request deadline tightened by the map's
@@ -45,6 +57,7 @@ results are never cached.
 from __future__ import annotations
 
 import heapq
+import itertools
 import queue
 import re
 import threading
@@ -70,7 +83,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
         DatabaseRegistry, ExecutionResult, MacroSqlSession)
 
 __all__ = ["Replica", "Shard", "ShardMap", "ShardedSqlSession",
-           "parse_order_by"]
+           "parse_order_by", "parse_trailing_limit"]
 
 #: Queue depth per shard stream: bounds merge-side memory to
 #: ``shards * _STREAM_DEPTH`` rows however fast a shard produces.
@@ -256,6 +269,61 @@ _ORDER_TERM_RE = re.compile(
     r"(?:\s+(?P<dir>asc|desc))?\s*$",
     re.IGNORECASE)
 
+#: Loose ORDER BY presence check (anywhere, even in a subquery).  Used
+#: only to decide whether an unmergeable LIMIT query must be *refused*
+#: instead of truncated; a false positive costs a conservative 0A000,
+#: never a wrong row window.
+_ANY_ORDER_BY_RE = re.compile(r"\border\s+by\b", re.IGNORECASE)
+
+#: A statement-trailing ``LIMIT n [OFFSET m]`` / ``LIMIT m, n`` clause.
+#: ``[^()\s,]+`` keeps a subquery's ``LIMIT 5)`` from matching, exactly
+#: like the ORDER BY recognizer above.
+_TRAILING_LIMIT_RE = re.compile(
+    r"\blimit\s+(?P<first>[^()\s,;]+)"
+    r"(?:\s*,\s*(?P<second>[^()\s,;]+)"
+    r"|\s+offset\s+(?P<offset>[^()\s,;]+))?"
+    r"\s*;?\s*$",
+    re.IGNORECASE)
+
+
+def parse_trailing_limit(sql: str) -> tuple[str, Optional[int], int]:
+    """Split a statement-trailing ``LIMIT``/``OFFSET`` off ``sql``.
+
+    Returns ``(base_sql, limit, offset)``: the statement with the
+    clause removed, the row limit (``None`` when absent or negative —
+    SQLite treats a negative limit as unbounded) and the non-negative
+    offset.  Both spellings are understood: ``LIMIT n OFFSET m`` and
+    the MySQL-style ``LIMIT m, n``.
+
+    The scatter path must re-apply these *globally* after the merge —
+    a per-shard ``LIMIT n`` would return up to ``n × shards`` rows and
+    a per-shard ``OFFSET m`` would drop rows that belong in the global
+    window.  Raises :class:`ValueError` when the clause's bounds are
+    not integer literals (an expression cannot be widened or re-applied
+    post-merge, so the caller refuses to scatter).
+    """
+    match = _TRAILING_LIMIT_RE.search(sql)
+    if match is None:
+        return sql, None, 0
+
+    def bound(text: str) -> int:
+        try:
+            return int(text, 10)
+        except ValueError:
+            raise ValueError(
+                f"LIMIT/OFFSET bound {text!r} is not an integer literal")
+
+    first = bound(match.group("first"))
+    if match.group("second") is not None:
+        offset, limit = first, bound(match.group("second"))
+    elif match.group("offset") is not None:
+        limit, offset = first, bound(match.group("offset"))
+    else:
+        limit, offset = first, 0
+    return (sql[:match.start()].rstrip(),
+            None if limit < 0 else limit,
+            max(offset, 0))
+
 
 def parse_order_by(sql: str,
                    columns: list[str]) -> Optional[list[tuple[int, bool]]]:
@@ -365,6 +433,29 @@ class _ShardStream:
                 continue
 
 
+class _ReplicaReadCache:
+    """A store-nothing view of the shared query cache for replica reads.
+
+    Every cached entry is primary data under a primary generation stamp,
+    so a replica session may *serve* hits safely.  It must never *store*:
+    a replica within the lag bound can still trail the primary's
+    generation, and stale rows written under the current stamp would
+    keep validating until the next write — bounded replication lag
+    turned into unbounded cache staleness.
+    """
+
+    __slots__ = ("_cache",)
+
+    def __init__(self, cache: QueryResultCache):
+        self._cache = cache
+
+    def get(self, database, sql, generation):
+        return self._cache.get(database, sql, generation)
+
+    def put(self, database, sql, generation, result) -> bool:
+        return False
+
+
 class ShardedSqlSession:
     """All SQL activity of one macro invocation against a sharded tier.
 
@@ -407,24 +498,32 @@ class ShardedSqlSession:
 
     # -- the MacroSqlSession surface the engine consumes -----------------
 
+    def _all_sessions(self) -> list["MacroSqlSession"]:
+        """Snapshot of the inner sessions (scatter workers insert
+        concurrently; iterating the live dict would race them)."""
+        with self._sessions_lock:
+            return list(self._sessions.values())
+
     @property
     def failed(self) -> bool:
-        return any(s.failed for s in self._sessions.values())
+        return any(s.failed for s in self._all_sessions())
 
     @property
     def retries(self) -> int:
-        return sum(s.retries for s in self._sessions.values())
+        return sum(s.retries for s in self._all_sessions())
 
     @property
     def cache_hits(self) -> int:
         return self._merge_hits + sum(s.cache_hits
-                                      for s in self._sessions.values())
+                                      for s in self._all_sessions())
 
     def finish(self, success: bool = True) -> None:
-        if self._finished:
-            return
-        self._finished = True
-        for session in self._sessions.values():
+        with self._sessions_lock:
+            if self._finished:
+                return
+            self._finished = True
+            sessions = list(self._sessions.values())
+        for session in sessions:
             session.finish(success=success and not session.failed)
 
     def __enter__(self) -> "ShardedSqlSession":
@@ -509,15 +608,22 @@ class ShardedSqlSession:
         """Get-or-create the lazy inner session for one endpoint.
 
         Every session of a shard — primary or replica — shares the
-        shard-scoped cache namespace (``LOGICAL#index``) and the
-        *primary's* write generation, so a replica-served result is
-        invalidated by exactly the writes that invalidate a
-        primary-served one.
+        shard-scoped cache namespace (``LOGICAL#index``) and consults
+        the *primary's* write generation, but a replica session gets a
+        store-nothing cache view: it may serve primary-stamped hits,
+        never record its own (possibly lagging) rows under a current
+        stamp.  After :meth:`finish` no new endpoint session may be
+        created — a scatter worker racing the request's teardown gets
+        SQLSTATE 08003 instead of leaking an unfinished connection.
         """
         from repro.sql.gateway import MacroSqlSession
 
         key = (shard.index, endpoint)
         with self._sessions_lock:
+            if self._finished:
+                raise SQLConnectError(
+                    f"sharded session for {self.map.name!r} is finished "
+                    f"(connect to {endpoint!r})", sqlstate="08003")
             session = self._sessions.get(key)
         if session is not None:
             return session
@@ -530,15 +636,27 @@ class ShardedSqlSession:
         # in place — a write would then bump a counter no stamp ever
         # reads, and stale entries would keep validating.
         connection.generation = generation
+        cache = self.cache
+        if cache is not None and endpoint != shard.database:
+            cache = _ReplicaReadCache(cache)
         created = MacroSqlSession(
-            connection, mode=self.mode, cache=self.cache,
+            connection, mode=self.mode, cache=cache,
             database=f"{self.map.name}#{shard.index}",
             generation=generation,
             retry=self.retry, deadline=self.deadline)
         with self._sessions_lock:
-            session = self._sessions.setdefault(key, created)
-        if session is not created:  # lost a (benign) creation race
+            if self._finished:
+                session = None
+            else:
+                session = self._sessions.setdefault(key, created)
+        if session is not created:
+            # Lost a (benign) creation race, or the request finished
+            # mid-creation: release the spare connection either way.
             created.finish()
+            if session is None:
+                raise SQLConnectError(
+                    f"sharded session for {self.map.name!r} finished "
+                    f"during connect to {endpoint!r}", sqlstate="08003")
         return session
 
     # -- fan-out write ---------------------------------------------------
@@ -578,8 +696,24 @@ class ShardedSqlSession:
             if cached is not None:
                 self._merge_hits += 1
                 return cached
+        try:
+            base_sql, limit, offset = parse_trailing_limit(sql)
+        except ValueError as exc:
+            raise SQLError(
+                f"sharded database {self.map.name!r} cannot scatter: "
+                f"{exc} (the clause must be re-applied globally after "
+                "the merge)", sqlstate="0A000")
+        # Per-shard rewrite: drop the OFFSET and widen the limit to
+        # limit+offset rows — every row of the global [offset,
+        # offset+limit) window ranks within the first limit+offset rows
+        # of its own shard, and the merge re-applies the exact window.
+        shard_sql = base_sql
+        if limit is not None:
+            shard_sql = f"{base_sql} LIMIT {limit + offset}"
         result = ExecutionResult(sql=sql, is_query=True)
-        rows = self._merged_rows(sql, result)
+        replica_served: list[str] = []
+        rows = self._merged_rows(shard_sql, result, replica_served,
+                                 limit=limit, offset=offset)
         if stream:
             result.row_iter = rows
             return result
@@ -592,12 +726,17 @@ class ShardedSqlSession:
         result.rowcount = len(materialised)
         result.row_iter = None
         result.rows_fetched = 0
-        if use_cache and not result.partial:
+        # Never cache a merge that any replica contributed to: a
+        # lag-bounded replica may trail the primary generation the
+        # composite stamp was read from (see _ReplicaReadCache).
+        if use_cache and not result.partial and not replica_served:
             self.cache.put(self.map.name, sql, stamp, result)
         return result
 
-    def _merged_rows(self, sql: str,
-                     result: "ExecutionResult") -> Iterator[tuple[Any, ...]]:
+    def _merged_rows(self, sql: str, result: "ExecutionResult",
+                     replica_served: list[str], *,
+                     limit: Optional[int] = None,
+                     offset: int = 0) -> Iterator[tuple[Any, ...]]:
         """The scatter-gather merge generator.
 
         Spawns one worker thread per shard (each leasing its own
@@ -618,13 +757,15 @@ class ShardedSqlSession:
             if stream.span is not None:
                 stream.span.set("shard", stream.shard.label)
             thread = threading.Thread(
-                target=self._shard_worker, args=(stream, sql, abandoned),
+                target=self._shard_worker,
+                args=(stream, sql, abandoned, replica_served),
                 name=f"shard-{self.map.name}-{stream.shard.label}",
                 daemon=True)
             threads.append(thread)
             thread.start()
         try:
-            yield from self._merge(sql, streams, result, abandoned)
+            yield from self._merge(sql, streams, result, abandoned,
+                                   limit=limit, offset=offset)
         finally:
             abandoned.set()
             for stream in streams:
@@ -634,13 +775,15 @@ class ShardedSqlSession:
                 thread.join(timeout=5.0)
 
     def _shard_worker(self, stream: _ShardStream, sql: str,
-                      abandoned: threading.Event) -> None:
+                      abandoned: threading.Event,
+                      replica_served: list[str]) -> None:
         """Produce one shard's rows into its queue (worker thread)."""
         budget = Deadline.tightest(self.deadline,
                                    self.map.shard_timeout)
         row_iter = None
         try:
-            session = self._session_for_scatter(stream, budget)
+            session = self._session_for_scatter(stream, budget,
+                                                replica_served)
             shard_result = session.execute(sql, stream=True)
             stream.put(("columns", list(shard_result.columns)), abandoned)
             row_iter = shard_result.iter_rows()
@@ -672,11 +815,13 @@ class ShardedSqlSession:
                 close()
 
     def _session_for_scatter(self, stream: _ShardStream,
-                             budget: Optional[Deadline]
+                             budget: Optional[Deadline],
+                             replica_served: list[str]
                              ) -> "MacroSqlSession":
         """The scatter path's per-worker session (scatter is SELECT-only,
         so replicas are always eligible here, with the same breaker/lag
-        fallback as routed reads)."""
+        fallback as routed reads).  A replica that does serve is recorded
+        in ``replica_served`` so the merged result is never cached."""
         shard = stream.shard
         self.map.count_shard(shard, "scatter")
         replica = self.map.choose_replica(shard)
@@ -684,6 +829,7 @@ class ShardedSqlSession:
             try:
                 session = self._endpoint_session(shard, replica.database)
                 stream.endpoint = replica.database
+                replica_served.append(replica.database)
                 self.map.count_shard(shard, "replica_reads")
                 if stream.span is not None:
                     stream.span.set("endpoint", replica.database)
@@ -696,8 +842,21 @@ class ShardedSqlSession:
 
     def _merge(self, sql: str, streams: list[_ShardStream],
                result: "ExecutionResult",
-               abandoned: threading.Event) -> Iterator[tuple[Any, ...]]:
-        """Merge shard streams into one row iterator (request thread)."""
+               abandoned: threading.Event, *,
+               limit: Optional[int] = None,
+               offset: int = 0) -> Iterator[tuple[Any, ...]]:
+        """Merge shard streams into one row iterator (request thread).
+
+        A statement-trailing ``LIMIT``/``OFFSET`` (already stripped from
+        the per-shard SQL by :meth:`_scatter`) is re-applied here as the
+        global ``[offset, offset + limit)`` window over the merged
+        order.  That is exact for the ordered merge; without any ORDER
+        BY the statement promises no particular rows, so truncating the
+        interleave is equally exact.  An ORDER BY the merge cannot map
+        onto the selected columns normally degrades to interleave — but
+        combined with a row window that would silently pick the *wrong*
+        rows, so it is refused with SQLSTATE 0A000 instead.
+        """
         live: list[_ShardStream] = []
         for stream in streams:
             header = self._next_item(stream, result)
@@ -719,8 +878,18 @@ class ShardedSqlSession:
                 key=lambda row: tuple(_OrderKey(row[i], desc)
                                       for i, desc in order))
         else:
+            if (result.columns and (limit is not None or offset)
+                    and _ANY_ORDER_BY_RE.search(sql) is not None):
+                raise SQLError(
+                    f"sharded database {self.map.name!r} cannot scatter "
+                    "ORDER BY ... LIMIT: the ordering terms do not map "
+                    "onto the selected columns, so the global row "
+                    "window cannot be computed", sqlstate="0A000")
             self.map.count("interleaved_merges")
             merged = self._interleave(live, result)
+        if offset or limit is not None:
+            stop = None if limit is None else offset + limit
+            merged = itertools.islice(merged, offset, stop)
         for row in merged:
             result.rows_fetched += 1
             yield row

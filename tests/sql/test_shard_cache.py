@@ -270,22 +270,95 @@ class TestReplicaRouting:
         assert result.rows  # the read still succeeded
         assert smap.stats()["0_replica_fallbacks"] == 1
 
-    def test_replica_shares_shard_cache_namespace(self, tmp_path):
-        """A replica-served result must be invalidated by a primary
-        write: replica sessions stamp with the *primary's* generation."""
+    def test_replica_session_reads_but_never_stores(self, tmp_path):
+        """A replica session may serve primary-stamped cache hits (the
+        entry is primary data) but must never store its own rows."""
         registry, smap = make_tier(tmp_path, replicas=1)
         cache = QueryResultCache()
         key = key_for(smap, 0)
+        smap.replica(0, "LOG#0.r1").lag = 9.9  # force the primary
         s = shard_session(registry, smap, cache, shard_key=key)
-        s.execute("SELECT label FROM stock")  # replica-served, cached
+        s.execute("SELECT label FROM stock")  # primary-served, stored
         s.finish()
+        assert cache.stats()["stores"] == 1
+        smap.replica(0, "LOG#0.r1").lag = 0.0
+        s = shard_session(registry, smap, cache, shard_key=key)
+        s.execute("SELECT label FROM stock")
+        assert s.cache_hits == 1  # replica session served the hit…
+        s.execute("SELECT id FROM stock")  # …replica-executed: not stored
+        s.finish()
+        assert cache.stats()["stores"] == 1
+        # A primary write still retires the primary-stored entry.
         s = shard_session(registry, smap, cache, shard_key=key)
         s.execute("INSERT INTO stock VALUES (7, 'new')")
         s.finish()
+        smap.replica(0, "LOG#0.r1").lag = 9.9
         s = shard_session(registry, smap, cache, shard_key=key)
         result = s.execute("SELECT label FROM stock")
-        assert s.cache_hits == 0  # primary write retired the entry
+        assert s.cache_hits == 0
         assert "new" in {row[0] for row in result.rows}
+        s.finish()
+
+    def test_lagging_replica_cannot_poison_cache(self):
+        """Regression: a replica inside the lag bound can still serve
+        pre-write rows after the primary's generation was bumped; had
+        that result been cached it would validate until the *next*
+        write.  Replica-served results must never be stored."""
+        registry = DatabaseRegistry()
+        primary = MemoryDatabase()
+        conn = primary.connect()
+        conn.executescript("CREATE TABLE stock (id INTEGER, label TEXT);")
+        conn.execute("INSERT INTO stock VALUES (1, 'new')")
+        conn.commit()
+        conn.close()
+        lagging = MemoryDatabase()  # has not applied the write yet
+        conn = lagging.connect()
+        conn.executescript("CREATE TABLE stock (id INTEGER, label TEXT);")
+        conn.execute("INSERT INTO stock VALUES (1, 'old')")
+        conn.commit()
+        conn.close()
+        registry.register_memory("P#0", primary)
+        registry.register_factory("P#0.r1", lagging.connect)
+        smap = ShardMap("P")
+        smap.add_shard("P#0", replicas=("P#0.r1",))
+        registry.register_sharded("P", smap)
+        cache = QueryResultCache()
+
+        s = shard_session(registry, smap, cache, shard_key="k")
+        stale = s.execute("SELECT label FROM stock")
+        s.finish()
+        assert stale.rows == [("old",)]  # bounded lag: stale is allowed
+        assert cache.stats()["stores"] == 0  # …but never cached
+
+        # Forced to the primary, the read sees current data — it must
+        # not be answered from a poisoned cache entry.
+        smap.replica(0, "P#0.r1").lag = 9.9
+        smap.lag_bound = 0.5
+        s = shard_session(registry, smap, cache, shard_key="k")
+        fresh = s.execute("SELECT label FROM stock")
+        assert s.cache_hits == 0
+        assert fresh.rows == [("new",)]
+        s.finish()
+
+    def test_merge_not_cached_when_replica_served(self, tmp_path):
+        """A cross-shard merge that any replica contributed to is not
+        cached under the composite stamp; an all-primary merge is."""
+        registry, smap = make_tier(tmp_path, replicas=1)
+        cache = QueryResultCache()
+        s = shard_session(registry, smap, cache)
+        s.execute(MERGED_SELECT)  # replica-served scatter
+        s.finish()
+        assert cache.stats()["stores"] == 0
+        for index in range(2):  # lag every replica out of eligibility
+            smap.replica(index, f"LOG#{index}.r1").lag = 9.9
+        smap.lag_bound = 0.5
+        s = shard_session(registry, smap, cache)
+        s.execute(MERGED_SELECT)  # all-primary scatter
+        s.finish()
+        assert cache.stats()["stores"] == 1
+        s = shard_session(registry, smap, cache)
+        s.execute(MERGED_SELECT)
+        assert s.cache_hits == 1
         s.finish()
 
 

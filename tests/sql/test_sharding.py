@@ -17,6 +17,7 @@ from repro.sql.sharding import (
     ShardMap,
     build_shard_map,
     parse_order_by,
+    parse_trailing_limit,
 )
 from repro.sql.transactions import TransactionMode
 
@@ -158,6 +159,20 @@ class TestRouting:
         with pytest.raises(SQLError, match="already registered"):
             registry.register_sharded("INV#0", smap)
 
+    def test_physical_name_must_not_shadow_logical(self, registry,
+                                                   shard_map, tmp_path):
+        """The mirror check: the engine resolves shard maps first, so a
+        later physical registration under 'INV' would be unreachable."""
+        for attempt in (
+                lambda: registry.register_path(
+                    "INV", str(tmp_path / "x.db")),
+                lambda: registry.register_memory("INV"),
+                lambda: registry.register_factory(
+                    "INV", MemoryDatabase().connect)):
+            with pytest.raises(SQLError) as excinfo:
+                attempt()
+            assert excinfo.value.sqlstate == "42710"
+
     def test_sharded_name_visible_in_registry(self, registry, shard_map):
         assert "INV" in registry
         assert "INV" in registry.names()
@@ -234,6 +249,116 @@ class TestScatterGather:
         # one shard's answer, not SHARDS copies of the schema
         assert len(result.rows) == 3
         assert shard_map.stats().get("scatter_queries", 0) == 0
+
+    def test_finished_session_refuses_new_statements(self, registry,
+                                                     shard_map):
+        """A finish() racing a lazy endpoint-session creation must not
+        leak a connection: creations after finish are refused."""
+        s = session(registry, shard_map, shard_key="pin")
+        s.execute("SELECT id FROM parts")
+        s.finish()
+        with pytest.raises(SQLError) as excinfo:
+            s.execute("SELECT id FROM parts")
+        assert excinfo.value.sqlstate == "08003"
+
+
+class TestScatterLimit:
+    """A trailing LIMIT/OFFSET must be the *global* row window, not a
+    per-shard one — 4 shards × LIMIT 10 is 10 rows, not 40, and OFFSET
+    skips merged rows, not rows on every shard."""
+
+    # Global id order: shard 0 holds 0..9, shard 1 holds 100..109, ...
+
+    def test_limit_is_global_not_per_shard(self, registry, shard_map):
+        s = session(registry, shard_map)
+        result = s.execute("SELECT id FROM parts ORDER BY id LIMIT 10")
+        s.finish()
+        assert [row[0] for row in result.rows] == list(range(10))
+
+    def test_offset_skips_merged_rows_once(self, registry, shard_map):
+        s = session(registry, shard_map)
+        result = s.execute(
+            "SELECT id FROM parts ORDER BY id LIMIT 5 OFFSET 8")
+        s.finish()
+        assert [row[0] for row in result.rows] == [8, 9, 100, 101, 102]
+
+    def test_comma_offset_form(self, registry, shard_map):
+        s = session(registry, shard_map)
+        result = s.execute("SELECT id FROM parts ORDER BY id LIMIT 8, 5")
+        s.finish()
+        assert [row[0] for row in result.rows] == [8, 9, 100, 101, 102]
+
+    def test_desc_limit_takes_global_tail(self, registry, shard_map):
+        s = session(registry, shard_map)
+        result = s.execute(
+            "SELECT id FROM parts ORDER BY id DESC LIMIT 3")
+        s.finish()
+        assert [row[0] for row in result.rows] == [309, 308, 307]
+
+    def test_limit_without_order_by_truncates(self, registry, shard_map):
+        all_ids = {index * 100 + j
+                   for index in range(SHARDS) for j in range(ROWS_PER_SHARD)}
+        s = session(registry, shard_map)
+        result = s.execute("SELECT id FROM parts LIMIT 7")
+        s.finish()
+        assert len(result.rows) == 7
+        assert {row[0] for row in result.rows} <= all_ids
+
+    def test_streaming_limit_counts_only_window_rows(self, registry,
+                                                     shard_map):
+        s = session(registry, shard_map)
+        result = s.execute(
+            "SELECT id FROM parts ORDER BY id LIMIT 6 OFFSET 2",
+            stream=True)
+        rows = list(result.iter_rows())
+        s.finish()
+        assert [row[0] for row in rows] == [2, 3, 4, 5, 6, 7]
+        assert result.rows_fetched == 6  # offset rows are not counted
+
+    def test_limited_result_cached_globally_correct(self, registry,
+                                                    shard_map):
+        cache = QueryResultCache()
+        sql = "SELECT id FROM parts ORDER BY id LIMIT 10"
+        s = session(registry, shard_map, cache=cache)
+        s.execute(sql)
+        s.finish()
+        s = session(registry, shard_map, cache=cache)
+        result = s.execute(sql)
+        assert s.cache_hits == 1
+        s.finish()
+        assert [row[0] for row in result.rows] == list(range(10))
+
+    def test_limit_zero_returns_no_rows(self, registry, shard_map):
+        s = session(registry, shard_map)
+        result = s.execute("SELECT id FROM parts ORDER BY id LIMIT 0")
+        s.finish()
+        assert result.rows == []
+
+    def test_negative_limit_is_unbounded_offset_still_global(
+            self, registry, shard_map):
+        s = session(registry, shard_map)
+        result = s.execute(
+            "SELECT id FROM parts ORDER BY id LIMIT -1 OFFSET 38")
+        s.finish()
+        assert [row[0] for row in result.rows] == [308, 309]
+
+    def test_non_literal_limit_refused(self, registry, shard_map):
+        s = session(registry, shard_map)
+        with pytest.raises(SQLError) as excinfo:
+            s.execute("SELECT id FROM parts ORDER BY id LIMIT 1+1")
+        s.finish()
+        assert excinfo.value.sqlstate == "0A000"
+
+    def test_unmergeable_order_by_with_limit_refused(self, registry,
+                                                     shard_map):
+        """ORDER BY the merge cannot map degrades to interleave — but
+        with a LIMIT that would pick the wrong rows, so it refuses."""
+        s = session(registry, shard_map)
+        with pytest.raises(SQLError) as excinfo:
+            s.execute(
+                "SELECT id, name FROM parts ORDER BY lower(name) LIMIT 5")
+        s.finish()
+        assert excinfo.value.sqlstate == "0A000"
 
 
 class TestDegradation:
@@ -374,6 +499,46 @@ class TestOrderByParser:
         # statement's own trailing clause.
         sql = ("SELECT * FROM (SELECT id FROM t ORDER BY id LIMIT 5)")
         assert parse_order_by(sql, self.COLS) is None
+
+
+class TestTrailingLimitParser:
+    def test_no_limit(self):
+        sql = "SELECT * FROM t ORDER BY id"
+        assert parse_trailing_limit(sql) == (sql, None, 0)
+
+    def test_plain_limit(self):
+        assert parse_trailing_limit(
+            "SELECT * FROM t ORDER BY id LIMIT 10") == \
+            ("SELECT * FROM t ORDER BY id", 10, 0)
+
+    def test_limit_offset(self):
+        assert parse_trailing_limit(
+            "SELECT * FROM t LIMIT 10 OFFSET 5;") == \
+            ("SELECT * FROM t", 10, 5)
+
+    def test_comma_form_swaps_operands(self):
+        assert parse_trailing_limit(
+            "SELECT * FROM t LIMIT 5, 10") == ("SELECT * FROM t", 10, 5)
+
+    def test_negative_limit_means_unbounded(self):
+        assert parse_trailing_limit(
+            "SELECT * FROM t LIMIT -1 OFFSET 3") == \
+            ("SELECT * FROM t", None, 3)
+
+    def test_negative_offset_clamped(self):
+        assert parse_trailing_limit(
+            "SELECT * FROM t LIMIT 4 OFFSET -2") == \
+            ("SELECT * FROM t", 4, 0)
+
+    def test_subquery_limit_is_not_trailing(self):
+        sql = "SELECT * FROM (SELECT id FROM t LIMIT 5)"
+        assert parse_trailing_limit(sql) == (sql, None, 0)
+
+    def test_non_literal_bound_raises(self):
+        with pytest.raises(ValueError, match="integer literal"):
+            parse_trailing_limit("SELECT * FROM t LIMIT n")
+        with pytest.raises(ValueError, match="integer literal"):
+            parse_trailing_limit("SELECT * FROM t LIMIT 10 OFFSET x")
 
 
 class TestBuildShardMap:
