@@ -116,6 +116,10 @@ def _unpack_json(payload: bytes) -> tuple[dict, bytes]:
 
 
 def encode_request(request: CgiRequest) -> bytes:
+    # The environment dict is the complete request context: the trace
+    # id, the authenticated REMOTE_USER and the tenant id (REPRO_TENANT)
+    # all ride it, so a worker process serves a multi-tenant request
+    # with the same identity the edge authenticated.
     return _pack_json({"environ": request.environ.to_dict()},
                       request.stdin)
 

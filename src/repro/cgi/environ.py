@@ -38,6 +38,17 @@ class CgiEnvironment:
     server_name: str = "localhost"
     server_port: int = 80
     remote_addr: str = "127.0.0.1"
+    #: CGI/1.1 ``REMOTE_USER``: the identity the server authenticated
+    #: (HTTP Basic auth), empty for anonymous requests.  Set by
+    #: :class:`repro.security.auth.ProtectedProgram` and the tenancy
+    #: layer; rides the environment across subprocess and app-server
+    #: dispatch like every other meta-variable.
+    remote_user: str = ""
+    #: The tenant a multi-tenant request was routed to (see
+    #: :mod:`repro.tenancy`).  Not a CGI/1.1 meta-variable — it rides as
+    #: ``REPRO_TENANT`` the way ``REPRO_TRACE_ID`` does, so app-server
+    #: workers and subprocess runs know which tenant they serve.
+    tenant: str = ""
     http_headers: dict[str, str] = field(default_factory=dict)
     #: End-to-end trace id (see :mod:`repro.obs.trace`).  Not a CGI/1.1
     #: meta-variable — it rides the environment as ``REPRO_TRACE_ID``
@@ -63,6 +74,10 @@ class CgiEnvironment:
             env["CONTENT_TYPE"] = self.content_type
         if self.content_length:
             env["CONTENT_LENGTH"] = str(self.content_length)
+        if self.remote_user:
+            env["REMOTE_USER"] = self.remote_user
+        if self.tenant:
+            env["REPRO_TENANT"] = self.tenant
         if self.trace_id:
             env["REPRO_TRACE_ID"] = self.trace_id
         for name, value in self.http_headers.items():
@@ -86,6 +101,8 @@ class CgiEnvironment:
             server_name=env.get("SERVER_NAME", "localhost"),
             server_port=int(env.get("SERVER_PORT", "80") or 80),
             remote_addr=env.get("REMOTE_ADDR", "127.0.0.1"),
+            remote_user=env.get("REMOTE_USER", ""),
+            tenant=env.get("REPRO_TENANT", ""),
             http_headers=headers,
             trace_id=env.get("REPRO_TRACE_ID", ""),
         )

@@ -9,10 +9,11 @@ standard input, and emitting a dynamically generated HTML page.
 from __future__ import annotations
 
 import traceback
-from typing import Callable, Protocol
+from typing import Callable, Optional, Protocol
 
 from repro.cgi.request import CgiRequest, CgiResponse
-from repro.core.engine import MacroCommand, MacroEngine
+from repro.core.engine import MacroCommand, MacroEngine, MacroResult
+from repro.core.report import RowRenderer
 from repro.core.macrofile import MacroLibrary, MacroNameError
 from repro.errors import (
     CircuitOpenError,
@@ -20,6 +21,7 @@ from repro.errors import (
     MacroError,
     MacroExecutionError,
     PoolExhaustedError,
+    ReadOnlySqlError,
     ReproError,
     SQLError,
     UnknownCgiProgramError,
@@ -70,6 +72,8 @@ class CgiGateway:
             raise UnknownCgiProgramError(f"no CGI program named {name!r}")
         try:
             return program.run(request)
+        except ReadOnlySqlError as exc:
+            return forbidden_response(exc)
         except (CircuitOpenError, PoolExhaustedError) as exc:
             return unavailable_response(exc)
         except DeadlineExceededError as exc:
@@ -94,6 +98,18 @@ def error_response(status: int, reason: str, detail: str, *,
     headers = [("Content-Type", "text/html")] + list(extra_headers or [])
     return CgiResponse(status=status, reason=reason,
                        headers=headers, body=body)
+
+
+def forbidden_response(error: ReadOnlySqlError) -> CgiResponse:
+    """403 for a write against a read-only engine (SQLSTATE 42501).
+
+    Authorization, not availability: no ``Retry-After``, and the body
+    carries the SQLSTATE so API clients can distinguish "you may not"
+    from "try again".
+    """
+    return error_response(
+        403, "Forbidden",
+        f"SQLSTATE {error.sqlstate}: {error}")
 
 
 def unavailable_response(error: SQLError) -> CgiResponse:
@@ -125,10 +141,24 @@ class Db2WwwProgram:
     """
 
     def __init__(self, engine: MacroEngine, library: MacroLibrary, *,
-                 charset: str = "utf-8", stream: bool = False):
+                 charset: str = "utf-8", stream: bool = False,
+                 negotiate: Optional[
+                     Callable[[CgiRequest], Optional[RowRenderer]]] = None,
+                 result_hook: Optional[
+                     Callable[[CgiRequest, MacroResult], None]] = None):
         self.engine = engine
         self.library = library
         self.charset = charset
+        #: Content negotiation: called per request, may return a
+        #: :class:`~repro.core.report.RowRenderer` to swap the page's
+        #: presentation (the tenancy JSON API), or ``None`` for the
+        #: default HTML pipeline.
+        self.negotiate = negotiate
+        #: Called with ``(request, result)`` once a page completes —
+        #: buffered pages right after execution, streamed pages when the
+        #: chunk stream closes (so ``result.rows`` is final).  Used for
+        #: per-tenant accounting.
+        self.result_hook = result_hook
         #: When true, report pages are produced as a chunk stream riding
         #: the live SQL cursor (close-delimited HTTP emission) instead of
         #: one buffered body — first-byte latency and peak memory stay
@@ -164,10 +194,16 @@ class Db2WwwProgram:
         except MacroExecutionError as exc:
             return error_response(400, "Bad Request", str(exc))
         inputs = request.input_pairs()
+        renderer = (self.negotiate(request)
+                    if self.negotiate is not None else None)
         if self.stream:
-            return self._run_stream(macro, command, inputs)
+            return self._run_stream(request, macro, command, inputs,
+                                    renderer)
         try:
-            result = self.engine.execute(macro, command, inputs)
+            result = self.engine.execute(macro, command, inputs,
+                                         row_renderer=renderer)
+        except ReadOnlySqlError as exc:
+            return forbidden_response(exc)
         except (CircuitOpenError, PoolExhaustedError) as exc:
             return unavailable_response(exc)
         except DeadlineExceededError as exc:
@@ -176,6 +212,8 @@ class Db2WwwProgram:
         except (MacroError, MacroExecutionError, SQLError) as exc:
             return error_response(500, "Macro Execution Error",
                                   f"{type(exc).__name__}: {exc}")
+        if self.result_hook is not None:
+            self.result_hook(request, result)
         body = result.html.encode(self.charset, "replace")
         content_type = result.content_type
         if "charset=" not in content_type:
@@ -185,25 +223,37 @@ class Db2WwwProgram:
 
     # -- streaming ---------------------------------------------------------
 
-    def _run_stream(self, macro, command: MacroCommand,
-                    inputs: list[tuple[str, str]]) -> CgiResponse:
+    def _run_stream(self, request: CgiRequest, macro,
+                    command: MacroCommand,
+                    inputs: list[tuple[str, str]],
+                    renderer: Optional[RowRenderer] = None) -> CgiResponse:
         """Produce the page as a streaming response.
 
-        The first non-empty chunk is pulled eagerly: it forces macro
+        The first substantive chunk is pulled eagerly: it forces macro
         processing up to the first output, so page-level failures (bad
-        macro, unreachable database, missing section) surface here and
-        map to the same error pages as the buffered path — and by then
-        ``result.content_type`` is pinned, so the headers can go out
-        before the rest of the body exists.
+        macro, unreachable database, missing section, a write against a
+        read-only engine) surface here and map to the same error pages
+        as the buffered path — and by then ``result.content_type`` is
+        pinned, so the headers can go out before the rest of the body
+        exists.  Whitespace-only chunks (the newline after an
+        ``%HTML_REPORT{``) are buffered into the prefix rather than
+        treated as first output, so they cannot commit a 200 ahead of a
+        failure in the first SQL section.
         """
-        stream = self.engine.execute_stream(macro, command, inputs)
+        stream = self.engine.execute_stream(macro, command, inputs,
+                                            row_renderer=renderer)
         chunks = stream.chunks
+        prefix: list[str] = []
         try:
             first = ""
             for chunk in chunks:
-                if chunk:
+                if chunk and chunk.strip():
                     first = chunk
                     break
+                if chunk:
+                    prefix.append(chunk)
+        except ReadOnlySqlError as exc:
+            return forbidden_response(exc)
         except (CircuitOpenError, PoolExhaustedError) as exc:
             return unavailable_response(exc)
         except DeadlineExceededError as exc:
@@ -217,10 +267,11 @@ class Db2WwwProgram:
             content_type = f"{content_type}; charset={self.charset}"
         return CgiResponse(
             headers=[("Content-Type", content_type)],
-            body=first.encode(self.charset, "replace"),
-            body_iter=self._encode_chunks(chunks))
+            body=("".join(prefix) + first).encode(self.charset,
+                                                  "replace"),
+            body_iter=self._encode_chunks(request, stream, chunks))
 
-    def _encode_chunks(self, chunks):
+    def _encode_chunks(self, request, stream, chunks):
         try:
             for chunk in chunks:
                 if chunk:
@@ -229,6 +280,10 @@ class Db2WwwProgram:
             close = getattr(chunks, "close", None)
             if close is not None:
                 close()
+            if self.result_hook is not None:
+                # The stream has settled (drained or abandoned);
+                # result.rows/sql_errors are as final as they will get.
+                self.result_hook(request, stream.result)
 
 
 class FunctionProgram:

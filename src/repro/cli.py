@@ -176,6 +176,13 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS", dest="macro_stat_ttl",
                        help="seconds between macro-file mtime checks "
                             "(0 checks every request)")
+    serve.add_argument("--tenant-config", type=Path, default=None,
+                       metavar="FILE", dest="tenant_config",
+                       help="host multi-tenant applications under /t/ "
+                            "per the JSON tenant descriptor FILE (see "
+                            "docs/deployment.md §11: per-tenant macro "
+                            "dirs, databases, owner credentials, "
+                            "visibility, read-only, quotas)")
     serve.add_argument("--access-log", type=Path, default=None,
                        metavar="PATH", dest="access_log",
                        help="append Common Log Format entries (with "
@@ -651,6 +658,54 @@ def _acceptor_child_argv(argv: list[str], port: int) -> list[str]:
                   "--reuse-port"]
 
 
+def _load_tenant_config(path: Path, *, query_cache=None):
+    """Build a TenantRegistry from a JSON descriptor file.
+
+    The file is either ``{"tenants": [...]}`` or a bare list; each
+    entry::
+
+        {"name": "alpha", "owner": "alice", "password": "secret",
+         "visibility": "private", "read_only": false,
+         "macros": "tenants/alpha/macros",
+         "databases": {"SHOP": "tenants/alpha/shop.sqlite"},
+         "quota": {"requests": 100, "rows": 50000,
+                   "window_seconds": 60}}
+
+    ``password`` registers the owner with the shared authenticator
+    (omit for owners declared by an earlier tenant); a database path of
+    ``:memory:`` provisions a fresh shared in-memory database.
+    """
+    import json as _json
+
+    from repro.tenancy import TenantQuota, TenantRegistry
+
+    spec = _json.loads(path.read_text(encoding="utf-8"))
+    entries = spec.get("tenants", []) if isinstance(spec, dict) else spec
+    registry = TenantRegistry(query_cache=query_cache)
+    for entry in entries:
+        quota = None
+        quota_spec = entry.get("quota")
+        if quota_spec:
+            quota = TenantQuota(
+                requests=quota_spec.get("requests"),
+                rows=quota_spec.get("rows"),
+                window_seconds=float(
+                    quota_spec.get("window_seconds", 60.0)))
+        tenant = registry.create_tenant(
+            entry["name"], owner=entry["owner"],
+            password=entry.get("password"),
+            visibility=entry.get("visibility", "public"),
+            read_only=bool(entry.get("read_only", False)),
+            macro_root=entry.get("macros"),
+            quota=quota)
+        for db_name, db_path in (entry.get("databases") or {}).items():
+            if db_path == ":memory:":
+                tenant.databases.register_memory(db_name)
+            else:
+                tenant.databases.register_path(db_name, db_path)
+    return registry
+
+
 def _cmd_serve(args, out) -> int:  # pragma: no cover - interactive
     from repro.http.router import Router
     from repro.http.server import HttpServer
@@ -727,6 +782,21 @@ def _cmd_serve(args, out) -> int:  # pragma: no cover - interactive
             gateway.install("db2www", dispatcher)
             stats_sources.append(("appserver", dispatcher.stats))
         router = Router(gateway=gateway, server_name=args.host)
+    tenant_registry = None
+    if args.tenant_config is not None:
+        from repro.tenancy import TenantHost
+
+        shared_cache = None
+        if args.query_cache > 0:
+            from repro.sql.querycache import QueryResultCache
+            shared_cache = QueryResultCache(max_entries=args.query_cache)
+        tenant_registry = _load_tenant_config(args.tenant_config,
+                                              query_cache=shared_cache)
+        # Tenant dispatch is in-process on both edges regardless of
+        # --gateway: each tenant runs its own engine over its scoped
+        # registry view.
+        router.tenants = TenantHost(tenant_registry)
+        stats_sources.append(("tenant", tenant_registry.stats))
     # One registry feeds every read path: /metrics, /statusz, the
     # access log's #stats trailer, and `repro stats`.
     router.metrics = metrics
@@ -779,6 +849,8 @@ def _cmd_serve(args, out) -> int:  # pragma: no cover - interactive
           + (f", {args.workers} workers" if dispatcher else "")
           + (", streaming" if args.stream else "")
           + (", overload control" if args.overload else "")
+          + (f", {len(tenant_registry.names())} tenants"
+             if tenant_registry is not None else "")
           + (f", {args.edge} edge" if args.edge != "threaded" else "")
           + (", tracing off" if args.no_trace else "") + ")",
           file=out, flush=True)

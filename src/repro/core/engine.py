@@ -28,7 +28,7 @@ from typing import Iterator, Optional, Sequence
 
 from repro.core import ast
 from repro.core.messages import resolve_message
-from repro.core.report import ReportGenerator
+from repro.core.report import ReportGenerator, RowRenderer
 from repro.core.substitution import Evaluator
 from repro.core.variables import VariableStore
 from repro.errors import (
@@ -37,6 +37,7 @@ from repro.errors import (
     MacroExecutionError,
     MissingSectionError,
     PoolExhaustedError,
+    ReadOnlySqlError,
     SQLError,
     UnknownSqlSectionError,
     is_transient,
@@ -45,6 +46,7 @@ from repro.html.entities import escape_html
 from repro.obs.trace import TRACER, Span
 from repro.resilience.deadline import Deadline
 from repro.resilience.retry import RetryPolicy, call_with_retry
+from repro.sql.dialect import is_cacheable_query
 from repro.sql.gateway import DatabaseRegistry, MacroSqlSession
 from repro.sql.querycache import QueryResultCache
 from repro.sql.transactions import TransactionMode
@@ -106,6 +108,14 @@ class EngineConfig:
         Per-invocation time budget in seconds; the retry loop, pool
         acquisition and statement dispatch all honour it, surfacing
         :class:`~repro.errors.DeadlineExceededError` once spent.
+    ``read_only``
+        When true, any statement other than a read (``SELECT``,
+        ``VALUES``, ``WITH``) is rejected with
+        :class:`~repro.errors.ReadOnlySqlError` (SQLSTATE 42501)
+        *before* a connection is acquired — the check runs on the
+        substituted SQL text, so a read-only tenant cannot occupy pool
+        slots with doomed writes.  The error propagates to the caller
+        (it is an authorization failure, not report content).
     ``degrade_sql_errors``
         Graceful report degradation: when a SQL section fails terminally
         and no ``%SQL_MESSAGE`` rule matched, emit the default error
@@ -124,6 +134,7 @@ class EngineConfig:
     query_cache: Optional[QueryResultCache] = None
     retry_policy: Optional[RetryPolicy] = None
     request_deadline: Optional[float] = None
+    read_only: bool = False
     degrade_sql_errors: bool = False
 
 
@@ -138,6 +149,10 @@ class MacroResult:
     aborted: bool = False
     #: Transparent statement/connect retries performed for this page.
     retries: int = 0
+    #: Query rows fetched across every SQL section (printed or not) —
+    #: what a per-tenant row quota charges for.  Final once the page
+    #: (or stream) is complete.
+    rows: int = 0
     #: Media type for the generated page.  Macros may override the
     #: default by defining a ``CONTENT_TYPE`` variable — Section 2.1
     #: notes servers return "special types of data other than HTML",
@@ -194,16 +209,22 @@ class MacroEngine:
 
     def execute(self, macro: ast.MacroFile,
                 command: MacroCommand | str,
-                client_inputs: Sequence[tuple[str, str]] = ()) -> MacroResult:
+                client_inputs: Sequence[tuple[str, str]] = (), *,
+                row_renderer: Optional[RowRenderer] = None) -> MacroResult:
         """Process ``macro`` in ``command`` mode with the given inputs.
 
         ``client_inputs`` are the HTML input variables of Section 2.2, in
         arrival order (repeats become list variables).  Returns a
         :class:`MacroResult` whose ``html`` is the generated page body.
+
+        ``row_renderer`` swaps the presentation layer (e.g. the JSON
+        API) while keeping execution identical; ``None`` — the default —
+        is the paper's HTML pipeline, byte for byte.
         """
         if isinstance(command, str):
             command = MacroCommand.parse(command)
-        run = _MacroRun(self, macro, command, client_inputs)
+        run = _MacroRun(self, macro, command, client_inputs,
+                        row_renderer=row_renderer)
         return run.execute()
 
     def execute_input(self, macro: ast.MacroFile,
@@ -216,7 +237,8 @@ class MacroEngine:
 
     def execute_stream(self, macro: ast.MacroFile,
                        command: MacroCommand | str,
-                       client_inputs: Sequence[tuple[str, str]] = ()
+                       client_inputs: Sequence[tuple[str, str]] = (), *,
+                       row_renderer: Optional[RowRenderer] = None
                        ) -> MacroStream:
         """Process ``macro`` as an incremental chunk stream.
 
@@ -232,7 +254,7 @@ class MacroEngine:
         if isinstance(command, str):
             command = MacroCommand.parse(command)
         run = _MacroRun(self, macro, command, client_inputs,
-                        stream_rows=True)
+                        stream_rows=True, row_renderer=row_renderer)
         return MacroStream(chunks=run.stream(), result=run.result)
 
     def execute_report_stream(self, macro: ast.MacroFile,
@@ -248,7 +270,8 @@ class _MacroRun:
     def __init__(self, engine: MacroEngine, macro: ast.MacroFile,
                  command: MacroCommand,
                  client_inputs: Sequence[tuple[str, str]], *,
-                 stream_rows: bool = False):
+                 stream_rows: bool = False,
+                 row_renderer: Optional[RowRenderer] = None):
         self.engine = engine
         self.macro = macro
         self.command = command
@@ -256,10 +279,17 @@ class _MacroRun:
         self.store.set_client_inputs(list(client_inputs))
         self.evaluator = Evaluator(self.store,
                                    exec_runner=engine.exec_runner)
+        self.row_renderer = row_renderer
+        #: Structured renderers (JSON) own the byte stream: macro free
+        #: text, SHOWSQL echoes and error blocks are evaluated for their
+        #: variable-visibility side effects but not emitted.
+        self._suppress_text = (row_renderer is not None
+                               and row_renderer.suppress_free_text)
         self.reporter = ReportGenerator(
             self.store, self.evaluator,
             escape_values=engine.config.escape_report_values,
-            compile_templates=engine.config.compiled_reports)
+            compile_templates=engine.config.compiled_reports,
+            row_renderer=row_renderer)
         #: When true, SQL results ride the live cursor (streaming mode).
         self.stream_rows = stream_rows
         self.session: Optional[MacroSqlSession] = None
@@ -307,9 +337,15 @@ class _MacroRun:
             raise MissingSectionError(
                 f"macro has no {needed} section required by "
                 f"{self.command.value} mode")
+        if self.row_renderer is not None:
+            yield from self.row_renderer.finish()
         self._refresh_content_type()
 
     def _refresh_content_type(self) -> None:
+        if (self.row_renderer is not None
+                and self.row_renderer.content_type):
+            self.result.content_type = self.row_renderer.content_type
+            return
         declared = self.evaluator.evaluate_name("CONTENT_TYPE").strip()
         if declared:
             self.result.content_type = declared
@@ -322,7 +358,9 @@ class _MacroRun:
                 if self.command is MacroCommand.INPUT:
                     self._emitted_target_section = True
                     self._refresh_content_type()
-                    yield self._substitute(section.body)
+                    chunk = self._substitute(section.body)
+                    if not self._suppress_text:
+                        yield chunk
             elif isinstance(section, ast.HtmlReportSection):
                 if self.command is MacroCommand.REPORT:
                     self._emitted_target_section = True
@@ -351,7 +389,9 @@ class _MacroRun:
                 if (yield from self._run_directive(piece)):
                     return True
             else:
-                yield self._substitute(piece)
+                chunk = self._substitute(piece)
+                if not self._suppress_text:
+                    yield chunk
         return False
 
     def _substitute(self, node) -> str:
@@ -416,6 +456,15 @@ class _MacroRun:
         one dead backend costs one error block, not the whole page.
         """
         sql_text = self.evaluator.evaluate(section.command).strip()
+        if self.engine.config.read_only \
+                and not is_cacheable_query(sql_text):
+            # Authorization, not report content: raised before the
+            # session (and therefore any pool slot) exists, and outside
+            # the %SQL_MESSAGE machinery so it reaches the HTTP layer.
+            raise ReadOnlySqlError(
+                f"write rejected: this engine is read-only "
+                f"(statement began {sql_text.split(None, 1)[0]!r} "
+                f"when only SELECT/VALUES/WITH are allowed)")
         yield from self._maybe_show_sql(sql_text)
         try:
             session = self._ensure_session()
@@ -431,6 +480,9 @@ class _MacroRun:
             # surface mid-render; the buffered path never reaches here
             # (execute() drains the cursor above).
             return (yield from self._emit_sql_error(section, error))
+        if result.is_query:
+            # Valid only after the render loop drained the cursor.
+            self.result.rows += result.row_total
         return False
 
     def _render_section(self, section: ast.SqlSection,
@@ -484,7 +536,8 @@ class _MacroRun:
             # the HTTP layer answer 503 + Retry-After (or 504).
             raise error
         self.result.sql_errors.append(error)
-        yield message.html
+        if not self._suppress_text:
+            yield message.html
         failed = self.session is not None and self.session.failed
         if message.action == "exit" or failed:
             self.result.aborted = True
@@ -493,6 +546,8 @@ class _MacroRun:
 
     def _maybe_show_sql(self, sql_text: str) -> Iterator[str]:
         flag = self.engine.config.show_sql_variable
+        if self._suppress_text:
+            return
         if flag and self.evaluator.evaluate_name(flag) != "":
             yield f"<P><TT>{escape_html(sql_text)}</TT></P>\n"
 
@@ -513,8 +568,11 @@ class _MacroRun:
                 # and writes fan out (see repro.sql.sharding).
                 from repro.sql.sharding import ShardedSqlSession
                 key = self.evaluator.evaluate_name(shard_map.key_variable)
+                # Shard maps name physical databases, so the sharded
+                # session always runs against the physical registry
+                # (identity for an unscoped one).
                 self.session = ShardedSqlSession(
-                    self.engine.registry, shard_map,
+                    self.engine.registry.physical(), shard_map,
                     shard_key=key or None,
                     mode=self.engine.config.transaction_mode,
                     cache=self.engine.config.query_cache,
@@ -523,10 +581,14 @@ class _MacroRun:
                     degrade=self.engine.config.degrade_sql_errors)
                 return self.session
             connection = self._connect(database)
+            # Cache keys carry the *resolved* name: a scoped (tenant)
+            # registry prefixes its namespace here, so two tenants'
+            # identical SELECTs against databases that share a logical
+            # name can never serve each other's rows.
             self.session = MacroSqlSession(
                 connection, mode=self.engine.config.transaction_mode,
                 cache=self.engine.config.query_cache,
-                database=database,
+                database=self.engine.registry.resolve(database),
                 retry=self.engine.config.retry_policy,
                 deadline=self.deadline)
         return self.session

@@ -48,14 +48,51 @@ from repro.sql.gateway import ExecutionResult
 LIST_CONCAT_SEPARATOR = " "
 
 
+class RowRenderer:
+    """A pluggable result renderer — the content-negotiation hook.
+
+    The default rendering of a SQL section is the paper's HTML pipeline
+    (``%SQL_REPORT`` template or default table).  A :class:`RowRenderer`
+    replaces that *presentation* while reusing the same execution and
+    row-streaming machinery: :meth:`render_iter` is handed each executed
+    section in macro order and yields output chunks straight off the
+    live cursor, and :meth:`finish` yields any trailing chunks (a JSON
+    envelope's closing brackets) once the whole macro has been walked.
+
+    Implementations must keep the engine's observable variable state
+    intact — install ``ROW_NUM``/``ROWCOUNT`` through ``generator``'s
+    store as the HTML paths do — so macros that branch on those after a
+    section behave identically under any renderer.
+    """
+
+    #: When set, overrides the page content type (and any macro-declared
+    #: ``CONTENT_TYPE``) — e.g. ``"application/json"``.
+    content_type: Optional[str] = None
+    #: When true, the engine drops free-text/HTML chunks (section bodies,
+    #: SHOWSQL echoes, degraded-error blocks) so only renderer output
+    #: reaches the client.  Required for structured formats.
+    suppress_free_text: bool = False
+
+    def render_iter(self, section: SqlSection, result: ExecutionResult,
+                    generator: "ReportGenerator") -> Iterator[str]:
+        raise NotImplementedError
+
+    def finish(self) -> Iterator[str]:
+        return iter(())
+
+
 class ReportGenerator:
     """Renders SQL execution results into HTML report fragments."""
 
     def __init__(self, store: VariableStore, evaluator: Evaluator, *,
                  escape_values: bool = False,
-                 compile_templates: bool = True):
+                 compile_templates: bool = True,
+                 row_renderer: Optional[RowRenderer] = None):
         self.store = store
         self.evaluator = evaluator
+        #: When set, every section renders through this
+        #: :class:`RowRenderer` instead of the HTML paths below.
+        self.row_renderer = row_renderer
         #: When true, column values substituted into custom ``%ROW``
         #: templates are HTML-escaped.  Off by default for fidelity — the
         #: 1996 system substituted raw values (Figure 8 relies on a raw
@@ -85,6 +122,8 @@ class ReportGenerator:
         the streaming HTTP path consumes it chunk by chunk so a 100k-row
         report never exists as one string.
         """
+        if self.row_renderer is not None:
+            return self.row_renderer.render_iter(section, result, self)
         if section.report is not None:
             return self._render_custom(section.report, result)
         return self._render_default(result)

@@ -177,6 +177,21 @@ class SQLObjectError(SQLError):
         super().__init__(message, sqlcode=-204, sqlstate=sqlstate)
 
 
+class ReadOnlySqlError(SQLError):
+    """A write statement reached a read-only database or tenant.
+
+    DB2 reports authorization failures as SQL0551N with SQLSTATE 42501
+    ("does not have the privilege to perform operation").  Raised at the
+    gateway *before* a connection is acquired, so a read-only tenant
+    cannot tie up pool slots with statements that will never run; the
+    HTTP layer maps it to 403.
+    """
+
+    def __init__(self, message: str = "write rejected: target is "
+                 "read-only"):
+        super().__init__(message, sqlcode=-551, sqlstate="42501")
+
+
 class SQLConstraintError(SQLError):
     """A constraint violation (duplicate key, NOT NULL, ...)."""
 

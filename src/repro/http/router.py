@@ -39,6 +39,9 @@ from repro.overload.retryafter import retry_after_header
 
 CGI_PREFIX = "/cgi-bin/"
 
+#: The multi-tenant URL namespace (see repro.tenancy.web.TenantHost).
+TENANT_PREFIX = "/t/"
+
 #: Scrape endpoints served when a metrics registry is attached.
 METRICS_PATH = "/metrics"
 STATUSZ_PATH = "/statusz"
@@ -51,7 +54,7 @@ class Router:
                  gateway: Optional[CgiGateway] = None,
                  server_name: str = "localhost", server_port: int = 80,
                  access_log=None, metrics=None, tracer=None,
-                 overload=None):
+                 overload=None, tenants=None):
         self.document_root = (Path(document_root)
                               if document_root is not None else None)
         self.gateway = gateway or CgiGateway()
@@ -73,6 +76,11 @@ class Router:
         #: answer 503 + Retry-After (or 504 when their deadline expired
         #: in the queue) without touching the gateway.
         self.overload = overload
+        #: optional repro.tenancy.web.TenantHost; when attached, paths
+        #: under ``/t/`` dispatch to it — tenant resolution, visibility
+        #: auth, quotas and JSON negotiation all live there.  Shared by
+        #: both edges because both route through this class.
+        self.tenants = tenants
         self._pages: dict[str, tuple[str, bytes]] = {}
         # per-registry resolved metric objects; rebuilt if self.metrics
         # is swapped (tests do) so _observe pays no name lookups.
@@ -251,7 +259,10 @@ class Router:
         if request.method not in SUPPORTED_METHODS:
             return _error(501, f"method {request.method} not implemented")
         path = normalize_path(request.path)
-        if path.startswith(CGI_PREFIX):
+        if self.tenants is not None and path.startswith(TENANT_PREFIX):
+            response = self.tenants.handle(self, request, path,
+                                           remote_addr, deadline)
+        elif path.startswith(CGI_PREFIX):
             response = self._handle_cgi(request, path, remote_addr,
                                         deadline)
         elif request.method == "POST":

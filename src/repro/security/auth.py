@@ -18,6 +18,7 @@ import hashlib
 import hmac
 import ipaddress
 import secrets
+from typing import Optional
 
 from repro.cgi.gateway import CgiProgram
 from repro.cgi.request import CgiRequest, CgiResponse
@@ -28,6 +29,10 @@ class BasicAuthenticator:
 
     Passwords are salted and hashed (SHA-256); 1996 servers stored crypt
     hashes, same idea.  Verification is constant-time.
+
+    Empty usernames are rejected outright: ``""`` is what a malformed
+    header decodes to, so allowing it as a registered account would turn
+    a parsing accident into a login.
     """
 
     def __init__(self, realm: str = "repro"):
@@ -35,6 +40,8 @@ class BasicAuthenticator:
         self._users: dict[str, tuple[bytes, bytes]] = {}
 
     def add_user(self, username: str, password: str) -> None:
+        if not username:
+            raise ValueError("username must be non-empty")
         salt = secrets.token_bytes(16)
         digest = self._digest(salt, password)
         self._users[username] = (salt, digest)
@@ -44,29 +51,40 @@ class BasicAuthenticator:
         return hashlib.sha256(salt + password.encode("utf-8")).digest()
 
     def verify(self, username: str, password: str) -> bool:
-        record = self._users.get(username)
+        record = self._users.get(username) if username else None
         if record is None:
             # Burn comparable time so user existence does not leak.
+            # Empty usernames take this same path: rejected, but at the
+            # cost of a real verification.
             hmac.compare_digest(
                 self._digest(b"x" * 16, password), b"\x00" * 32)
             return False
         salt, stored = record
         return hmac.compare_digest(self._digest(salt, password), stored)
 
-    def check_header(self, authorization: str) -> bool:
-        """Validate an ``Authorization: Basic ...`` header value."""
+    def check_header(self, authorization: str) -> Optional[str]:
+        """Validate an ``Authorization: Basic ...`` header value.
+
+        Returns the *verified username* so callers can make identity
+        decisions (tenant ownership, audit logs) without re-parsing the
+        header, or ``None`` when the header is absent, malformed, or the
+        credentials do not verify.  Success is always a non-empty string,
+        so boolean use (``if check_header(...)``) keeps working.
+        """
         scheme, _, payload = authorization.partition(" ")
         if scheme.lower() != "basic" or not payload:
-            return False
+            return None
         try:
             decoded = base64.b64decode(payload.strip(),
                                        validate=True).decode("utf-8")
         except (ValueError, UnicodeDecodeError):
-            return False
+            return None
         username, sep, password = decoded.partition(":")
         if not sep:
-            return False
-        return self.verify(username, password)
+            return None
+        if self.verify(username, password):
+            return username
+        return None
 
 
 def basic_credentials(username: str, password: str) -> str:
@@ -86,7 +104,8 @@ class ProtectedProgram:
 
     def run(self, request: CgiRequest) -> CgiResponse:
         header = request.environ.http_headers.get("Authorization", "")
-        if not self.authenticator.check_header(header):
+        user = self.authenticator.check_header(header)
+        if user is None:
             body = (b"<HTML><BODY><H1>401 Unauthorized</H1>"
                     b"<P>This application requires a login.</P>"
                     b"</BODY></HTML>\n")
@@ -98,6 +117,9 @@ class ProtectedProgram:
                     ("Content-Type", "text/html"),
                 ],
                 body=body)
+        # CGI/1.1's REMOTE_USER: the wrapped program (and anything
+        # behind a dispatch socket) sees who authenticated.
+        request.environ.remote_user = user
         return self.program.run(request)
 
 
@@ -127,9 +149,21 @@ class HostFilter:
             ip = ipaddress.ip_address(address)
         except ValueError:
             return False
-        if any(ip in net for net in self._deny):
+        # A dual-stack edge reports IPv4 clients as IPv4-mapped IPv6
+        # (::ffff:192.0.2.7); an address must match rules written in
+        # either family, or a deny for 192.0.2.0/24 is bypassed by the
+        # exact same client arriving over the v6 socket.
+        candidates: list[ipaddress.IPv4Address | ipaddress.IPv6Address]
+        candidates = [ip]
+        if isinstance(ip, ipaddress.IPv6Address):
+            mapped = ip.ipv4_mapped
+            if mapped is not None:
+                candidates.append(mapped)
+        else:
+            candidates.append(ipaddress.ip_address(f"::ffff:{ip}"))
+        if any(c in net for c in candidates for net in self._deny):
             return False
-        if any(ip in net for net in self._allow):
+        if any(c in net for c in candidates for net in self._allow):
             return True
         return self.default_allow
 

@@ -1,0 +1,75 @@
+"""Tenant visibility and ownership decisions — tenancy's security half.
+
+Section 5 of the paper composes security from the layers around DB2WWW
+(web-server auth, firewall, database credentials); multi-tenant hosting
+adds one more: *who owns which application*.  The policy here turns the
+HTTP Basic identity produced by
+:meth:`repro.security.auth.BasicAuthenticator.check_header` into an
+allow/deny decision against a tenant's declared visibility:
+
+* ``public`` — anyone may invoke the tenant's macros (its ``read_only``
+  flag and quotas still apply);
+* ``private`` — only the tenant's owner: anonymous requests get 401
+  (with the challenge), authenticated non-owners get 403.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from repro.security.auth import BasicAuthenticator
+
+VISIBILITIES = ("public", "private")
+
+
+class TenantLike(Protocol):
+    """What the policy needs to know about a tenant (duck-typed)."""
+
+    name: str
+    owner: str
+    visibility: str
+
+
+@dataclass
+class AccessDecision:
+    """The outcome of one authorization check."""
+
+    allowed: bool
+    #: HTTP status to answer with when denied (401 or 403).
+    status: int = 200
+    reason: str = ""
+    #: The verified identity (``None`` when anonymous or bad creds) —
+    #: becomes ``REMOTE_USER`` for the dispatched request either way.
+    user: Optional[str] = None
+
+
+class TenantAccessPolicy:
+    """Maps (tenant, Authorization header) to an :class:`AccessDecision`.
+
+    Credentials are always verified when presented — even for public
+    tenants — so ``REMOTE_USER`` is trustworthy wherever it appears;
+    *invalid* credentials against a public tenant simply proceed as
+    anonymous (the paper's public home-page posture), while against a
+    private tenant they deny with the challenge.
+    """
+
+    def __init__(self, authenticator: BasicAuthenticator):
+        self.authenticator = authenticator
+
+    def authorize(self, tenant: TenantLike,
+                  authorization: str) -> AccessDecision:
+        user = (self.authenticator.check_header(authorization)
+                if authorization else None)
+        if tenant.visibility == "public":
+            return AccessDecision(True, user=user)
+        if user is None:
+            return AccessDecision(
+                False, status=401,
+                reason=f"tenant {tenant.name!r} is private: "
+                       "authentication required")
+        if user != tenant.owner:
+            return AccessDecision(
+                False, status=403, user=user,
+                reason=f"tenant {tenant.name!r} is private to its owner")
+        return AccessDecision(True, user=user)

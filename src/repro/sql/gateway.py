@@ -122,6 +122,10 @@ class DatabaseRegistry:
         self._injector: Optional[fault_injection.FaultInjector] = None
         self._retries = 0
         self._retry_lock = threading.Lock()
+        #: Open connections per database name; :meth:`unregister`
+        #: refuses while a database is in use (SQLSTATE 55006).
+        self._active: dict[str, int] = {}
+        self._active_lock = threading.Lock()
         self._closed = False
 
     def _reject_sharded_name(self, name: str) -> None:
@@ -180,6 +184,81 @@ class DatabaseRegistry:
                         f"shard map {name!r} names unregistered database "
                         f"{endpoint!r}", sqlstate="08001")
         self._shard_maps[name] = shard_map
+
+    def unregister(self, name: str, *,
+                   cache: Optional[QueryResultCache] = None) -> None:
+        """Remove a registered database (or sharded logical name).
+
+        Deleting a tenant's database must leave *nothing* behind that a
+        later registration under the same name could inherit:
+
+        * the connection pool is closed (its warm connections point at
+          the old backend);
+        * the write-generation counter is dropped, so a recreated name
+          mints a fresh counter identity — cached results stored under
+          the old counter's stamps can never match again;
+        * when ``cache`` is given, the name's query-cache namespace is
+          purged eagerly (the stamp mismatch already makes the entries
+          unservable; purging reclaims their memory now).
+
+        Refuses with SQLSTATE 55006 ("object in use") while connections
+        to the database are still open — an active session holds
+        transaction state the teardown would yank out from under it.
+        """
+        if name not in self._factories and name not in self._shard_maps:
+            raise SQLObjectError(
+                f"database {name!r} is not registered with the gateway",
+                sqlstate="08001")
+        with self._active_lock:
+            active = self._active.get(name, 0)
+            if active:
+                raise SQLObjectError(
+                    f"database {name!r} has {active} active "
+                    "connection(s); close them before unregistering",
+                    sqlstate="55006")
+        with self._pools_lock:
+            pool = self._pools.pop(name, None)
+        if pool is not None:
+            pool.close()
+        self._factories.pop(name, None)
+        self._shard_maps.pop(name, None)
+        self._generations.pop(name, None)
+        self._breakers.pop(name, None)
+        if cache is not None:
+            cache.invalidate_database(name)
+
+    def active_connections(self, name: str) -> int:
+        """Open connections to ``name`` right now (leased or direct)."""
+        with self._active_lock:
+            return self._active.get(name, 0)
+
+    def _retain(self, name: str) -> None:
+        with self._active_lock:
+            self._active[name] = self._active.get(name, 0) + 1
+
+    def _release_active(self, name: str) -> None:
+        with self._active_lock:
+            count = self._active.get(name, 0) - 1
+            if count <= 0:
+                self._active.pop(name, None)
+            else:
+                self._active[name] = count
+
+    # -- name scoping ------------------------------------------------------
+
+    def resolve(self, name: str) -> str:
+        """The physical name a macro-level database name maps to.
+
+        Identity here; :class:`ScopedDatabaseRegistry` overrides it to
+        prefix the tenant namespace.  The engine keys query-cache
+        entries by the *resolved* name, so two tenants registering the
+        same database name can never share cache entries.
+        """
+        return name
+
+    def physical(self) -> "DatabaseRegistry":
+        """The underlying physical registry (self for the real one)."""
+        return self
 
     def shard_map(self, name: str) -> Optional["ShardMap"]:
         """The shard map behind a logical name (``None`` if unsharded)."""
@@ -358,6 +437,7 @@ class DatabaseRegistry:
         breaker = self.breaker(name)
         if breaker is not None:
             breaker.allow()
+        release = lambda: self._release_active(name)  # noqa: E731
         try:
             pool = self._pools.get(name)
             if pool is None and self._pool_config is not None:
@@ -366,9 +446,11 @@ class DatabaseRegistry:
                     timeout=self._pool_config["timeout"])
             if pool is not None:
                 connection = _LeasedConnection(
-                    pool, pool.acquire(deadline=deadline))
+                    pool, pool.acquire(deadline=deadline),
+                    on_close=release)
             else:
-                connection = self._wrap(factory)()
+                connection = _TrackedConnection(self._wrap(factory)(),
+                                                on_close=release)
         except BaseException:
             if breaker is not None:
                 breaker.record_failure()
@@ -377,6 +459,7 @@ class DatabaseRegistry:
             breaker.record_success()
         if connection.generation is None:
             connection.generation = self.generation(name)
+        self._retain(name)
         return connection
 
     def _wrap(self,
@@ -392,18 +475,25 @@ class _LeasedConnection:
     The engine's session model closes its connection when the request
     finishes; with a pool attached, "close" means "give it back" — the
     pool health-validates it on the way in and evicts it if the request
-    broke it.
+    broke it.  ``on_close`` (when given) runs exactly once as the lease
+    settles — the registry uses it to keep its active-connection count.
     """
 
-    def __init__(self, pool: ConnectionPool, connection: Connection):
+    def __init__(self, pool: ConnectionPool, connection: Connection,
+                 on_close: Optional[Callable[[], None]] = None):
         self._pool = pool
         self._conn = connection
+        self._on_close = on_close
         self._released = False
 
     def close(self) -> None:
         if not self._released:
             self._released = True
-            self._pool.release(self._conn)
+            try:
+                self._pool.release(self._conn)
+            finally:
+                if self._on_close is not None:
+                    self._on_close()
 
     @property
     def closed(self) -> bool:
@@ -425,6 +515,120 @@ class _LeasedConnection:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+class _TrackedConnection:
+    """An unpooled connection counted against its database's actives."""
+
+    def __init__(self, connection: Connection,
+                 on_close: Callable[[], None]):
+        self._conn = connection
+        self._on_close = on_close
+        self._settled = False
+
+    def close(self) -> None:
+        if not self._settled:
+            self._settled = True
+            try:
+                self._conn.close()
+            finally:
+                self._on_close()
+
+    @property
+    def closed(self) -> bool:
+        return self._settled or self._conn.closed
+
+    @property
+    def generation(self):
+        return self._conn.generation
+
+    @generation.setter
+    def generation(self, value) -> None:
+        self._conn.generation = value
+
+    def __getattr__(self, name: str):
+        return getattr(self._conn, name)
+
+    def __enter__(self) -> "_TrackedConnection":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class ScopedDatabaseRegistry:
+    """A tenant's view of a shared :class:`DatabaseRegistry`.
+
+    Every name is transparently prefixed with the tenant namespace
+    (``tenantA/SHOP``), so two tenants may both register ``SHOP``
+    without sharing a backend, a pool, a write-generation counter — or,
+    because the engine keys its query cache by :meth:`resolve`'d names,
+    a single cached row.  Pools, breakers and fault injection stay on
+    the parent, attached per *physical* (scoped) name.
+    """
+
+    SEPARATOR = "/"
+
+    def __init__(self, parent: DatabaseRegistry, namespace: str):
+        if not namespace or self.SEPARATOR in namespace:
+            raise ValueError(
+                f"bad registry namespace {namespace!r}: must be a "
+                f"non-empty name without {self.SEPARATOR!r}")
+        self.parent = parent
+        self.namespace = namespace
+
+    def resolve(self, name: str) -> str:
+        return f"{self.namespace}{self.SEPARATOR}{name}"
+
+    def physical(self) -> DatabaseRegistry:
+        return self.parent
+
+    # -- registration (scoped) --------------------------------------------
+
+    def register_path(self, name: str, path: str) -> None:
+        self.parent.register_path(self.resolve(name), path)
+
+    def register_memory(self, name: str,
+                        db: Optional[MemoryDatabase] = None
+                        ) -> MemoryDatabase:
+        return self.parent.register_memory(self.resolve(name), db)
+
+    def register_factory(self, name: str,
+                         factory: Callable[[], Connection]) -> None:
+        self.parent.register_factory(self.resolve(name), factory)
+
+    def unregister(self, name: str, *,
+                   cache: Optional[QueryResultCache] = None) -> None:
+        self.parent.unregister(self.resolve(name), cache=cache)
+
+    # -- the engine-facing surface ----------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return self.resolve(name) in self.parent
+
+    def names(self) -> list[str]:
+        prefix = self.namespace + self.SEPARATOR
+        return [name[len(prefix):] for name in self.parent.names()
+                if name.startswith(prefix)]
+
+    def generation(self, name: str) -> WriteGeneration:
+        return self.parent.generation(self.resolve(name))
+
+    def shard_map(self, name: str) -> Optional["ShardMap"]:
+        return self.parent.shard_map(self.resolve(name))
+
+    def connect(self, name: str, *,
+                deadline: Optional[Deadline] = None) -> Connection:
+        return self.parent.connect(self.resolve(name), deadline=deadline)
+
+    def pool(self, name: str) -> Optional[ConnectionPool]:
+        return self.parent.pool(self.resolve(name))
+
+    def active_connections(self, name: str) -> int:
+        return self.parent.active_connections(self.resolve(name))
+
+    def record_retries(self, count: int) -> None:
+        self.parent.record_retries(count)
 
 
 class MacroSqlSession:

@@ -108,6 +108,20 @@ class TestRequestCodec:
         assert decoded.environ.http_headers["User-Agent"] == "test/1.0"
         assert decoded.stdin == b"SEARCH=ib"
 
+    def test_identity_and_tenant_ride_the_frame(self):
+        # The edge authenticates; the worker process — possibly on
+        # another host — must serve with the same identity and tenant.
+        request = CgiRequest(CgiEnvironment(
+            script_name="/t/alpha",
+            path_info="/items.d2w/report",
+            remote_user="alice",
+            tenant="alpha"))
+        decoded = protocol.decode_request(protocol.encode_request(request))
+        assert decoded.environ.remote_user == "alice"
+        assert decoded.environ.tenant == "alpha"
+        assert decoded.environ.to_dict()["REMOTE_USER"] == "alice"
+        assert decoded.environ.to_dict()["REPRO_TENANT"] == "alpha"
+
     def test_body_bytes_are_not_json_escaped(self):
         body = bytes(range(256))
         request = CgiRequest(CgiEnvironment(), stdin=body)

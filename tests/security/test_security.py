@@ -107,6 +107,25 @@ class TestBasicAuth:
         assert not auth.check_header("Bearer token")
         assert not auth.check_header("")
 
+    def test_header_check_returns_verified_username(self, auth):
+        # Regression: callers (tenancy, REMOTE_USER) need the identity,
+        # not just a boolean.
+        assert auth.check_header(
+            basic_credentials("tam", "sigmod96")) == "tam"
+        assert auth.check_header(
+            basic_credentials("tam", "wrong")) is None
+        assert auth.check_header(
+            basic_credentials("ghost", "sigmod96")) is None
+
+    def test_empty_username_rejected(self, auth):
+        # Regression: ":password" base64-decodes to an empty username;
+        # it must neither register nor verify.
+        with pytest.raises(ValueError):
+            auth.add_user("", "anything")
+        assert not auth.verify("", "sigmod96")
+        assert auth.check_header(
+            basic_credentials("", "sigmod96")) is None
+
     def test_protected_program_flow(self, auth):
         inner = FunctionProgram(lambda r: CgiResponse(body=b"secret"))
         protected = ProtectedProgram(inner, auth)
@@ -117,6 +136,19 @@ class TestBasicAuth:
             http_headers={"Authorization":
                           basic_credentials("tam", "sigmod96")})))
         assert allowed.body == b"secret"
+
+    def test_protected_program_sets_remote_user(self, auth):
+        seen = {}
+
+        def capture(request):
+            seen["user"] = request.environ.remote_user
+            return CgiResponse(body=b"ok")
+
+        protected = ProtectedProgram(FunctionProgram(capture), auth)
+        protected.run(CgiRequest(CgiEnvironment(
+            http_headers={"Authorization":
+                          basic_credentials("tam", "sigmod96")})))
+        assert seen["user"] == "tam"
 
 
 class TestHostFilter:
@@ -134,6 +166,29 @@ class TestHostFilter:
 
     def test_garbage_address_denied(self):
         assert not HostFilter().permits("not-an-ip")
+
+    def test_ipv4_mapped_ipv6_hits_ipv4_deny_rule(self):
+        # Regression: a dual-stack listener reports IPv4 peers as
+        # ::ffff:a.b.c.d; the textual form must not slip past an IPv4
+        # CIDR deny rule.
+        filt = HostFilter().deny("192.0.2.0/24")
+        assert not filt.permits("192.0.2.7")
+        assert not filt.permits("::ffff:192.0.2.7")
+        assert filt.permits("::ffff:198.51.100.7")
+
+    def test_ipv4_literal_hits_mapped_ipv6_deny_rule(self):
+        # ...and the reverse direction: a deny written in mapped-IPv6
+        # notation must still block the plain IPv4 spelling.
+        filt = HostFilter().deny("::ffff:192.0.2.0/120")
+        assert not filt.permits("192.0.2.7")
+        assert not filt.permits("::ffff:192.0.2.7")
+        assert filt.permits("192.0.3.7")
+
+    def test_ipv4_mapped_allow_rule_admits_both_spellings(self):
+        filt = HostFilter(default_allow=False).allow("10.0.0.0/8")
+        assert filt.permits("10.1.2.3")
+        assert filt.permits("::ffff:10.1.2.3")
+        assert not filt.permits("::1")
 
     def test_wrapped_program(self):
         filt = HostFilter(default_allow=False).allow("127.0.0.1/32")

@@ -123,3 +123,109 @@ class TestValueToText:
     ])
     def test_rendering(self, value, expected):
         assert value_to_text(value) == expected
+
+
+class TestUnregister:
+    def test_unknown_name_is_08001(self, registry):
+        with pytest.raises(SQLObjectError) as excinfo:
+            registry.unregister("NOPE")
+        assert excinfo.value.sqlstate == "08001"
+
+    def test_unregister_removes_the_name(self, registry):
+        registry.unregister("MAIN")
+        assert "MAIN" not in registry
+        with pytest.raises(SQLObjectError):
+            registry.connect("MAIN")
+
+    def test_refused_while_connection_active(self, registry):
+        conn = registry.connect("MAIN")
+        try:
+            with pytest.raises(SQLObjectError) as excinfo:
+                registry.unregister("MAIN")
+            assert excinfo.value.sqlstate == "55006"
+            assert "MAIN" in registry
+        finally:
+            conn.close()
+        # Closing the last connection releases the refusal.
+        assert registry.active_connections("MAIN") == 0
+        registry.unregister("MAIN")
+
+    def test_direct_connections_are_tracked(self, registry):
+        assert registry.active_connections("MAIN") == 0
+        conn = registry.connect("MAIN")
+        assert registry.active_connections("MAIN") == 1
+        conn.close()
+        assert registry.active_connections("MAIN") == 0
+        # Double close must not underflow the counter.
+        conn.close()
+        assert registry.active_connections("MAIN") == 0
+
+    def test_reregistration_mints_fresh_generation(self, registry):
+        old = registry.generation("MAIN")
+        old.bump()
+        registry.unregister("MAIN")
+        registry.register_memory("MAIN")
+        fresh = registry.generation("MAIN")
+        assert fresh is not old
+
+    def test_unregister_purges_cache_namespace(self, registry):
+        from repro.sql.querycache import QueryResultCache
+        cache = QueryResultCache()
+        stamp = registry.generation("MAIN").stamp
+        result = ExecutionResult(sql="SELECT 1", columns=["x"],
+                                 rows=[(1,)], is_query=True)
+        cache.put("MAIN", "SELECT 1", stamp, result)
+        cache.put("OTHER", "SELECT 1", stamp, result)
+        registry.unregister("MAIN", cache=cache)
+        assert cache.get("MAIN", "SELECT 1", stamp) is None
+        assert cache.get("OTHER", "SELECT 1", stamp) is not None
+
+
+class TestScopedRegistry:
+    def test_resolve_prefixes_the_namespace(self, registry):
+        from repro.sql.gateway import ScopedDatabaseRegistry
+        scoped = ScopedDatabaseRegistry(registry, "alpha")
+        assert scoped.resolve("SHOP") == "alpha/SHOP"
+        assert scoped.physical() is registry
+        assert registry.resolve("SHOP") == "SHOP"
+        assert registry.physical() is registry
+
+    def test_bad_namespace_rejected(self, registry):
+        from repro.sql.gateway import ScopedDatabaseRegistry
+        with pytest.raises(ValueError):
+            ScopedDatabaseRegistry(registry, "a/b")
+        with pytest.raises(ValueError):
+            ScopedDatabaseRegistry(registry, "")
+
+    def test_same_name_two_scopes_are_disjoint(self, registry):
+        from repro.sql.gateway import ScopedDatabaseRegistry
+        alpha = ScopedDatabaseRegistry(registry, "alpha")
+        beta = ScopedDatabaseRegistry(registry, "beta")
+        db_a = alpha.register_memory("SHOP")
+        db_b = beta.register_memory("SHOP")
+        with db_a.connect() as conn:
+            conn.executescript(
+                "CREATE TABLE t (x); INSERT INTO t VALUES (1);")
+        with db_b.connect() as conn:
+            conn.executescript(
+                "CREATE TABLE t (x); INSERT INTO t VALUES (2);")
+        conn_a = alpha.connect("SHOP")
+        conn_b = beta.connect("SHOP")
+        try:
+            assert conn_a.execute("SELECT x FROM t").fetchone() == (1,)
+            assert conn_b.execute("SELECT x FROM t").fetchone() == (2,)
+        finally:
+            conn_a.close()
+            conn_b.close()
+        assert "SHOP" in alpha and "SHOP" in beta
+        assert alpha.names() == ["SHOP"]
+        # The physical registry sees both, under their scoped names.
+        assert registry.names() == ["MAIN", "alpha/SHOP", "beta/SHOP"]
+
+    def test_scoped_unregister_strips_the_prefix(self, registry):
+        from repro.sql.gateway import ScopedDatabaseRegistry
+        scoped = ScopedDatabaseRegistry(registry, "alpha")
+        scoped.register_memory("SHOP")
+        scoped.unregister("SHOP")
+        assert "SHOP" not in scoped
+        assert "alpha/SHOP" not in registry
