@@ -15,6 +15,9 @@ The operational tools a 1996 webmaster (and today's tests) need:
     Summarise a Common Log Format access log (the webmaster's numbers).
 ``trace``
     Pretty-print a JSONL request-trace / slow-query log as span trees.
+``top``
+    Fetch a running server's ``/statements`` endpoint and render the
+    per-digest statement table (who is burning the time).
 ``serve``
     Start the HTTP server with DB2WWW mounted over a macro directory.
     Tracing and the ``/metrics`` + ``/statusz`` endpoints are on by
@@ -84,6 +87,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="show only slow_query records")
     trace.add_argument("--limit", type=int, default=0,
                        help="show at most N records (0 = all)")
+    trace.add_argument("--trace-id", default=None, dest="trace_id",
+                       metavar="ID",
+                       help="show only records of trace ID (the "
+                            "X-Trace-Id a client was handed)")
+
+    top = sub.add_parser(
+        "top", help="show a running server's statement-digest table")
+    top.add_argument("url", help="server base URL (or its /statements "
+                                 "endpoint), e.g. http://127.0.0.1:8000")
+    top.add_argument("--limit", type=int, default=20,
+                     help="rows to show, hottest first (0 = all)")
+    top.add_argument("--sql", action="store_true",
+                     help="print each digest's normalized statement "
+                          "text under its row")
 
     serve = sub.add_parser("serve", help="serve a macro directory")
     serve.add_argument("--macros", type=Path, required=True,
@@ -203,6 +220,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="slow-query log path (default "
                             "slow_query.log next to the access log, "
                             "or ./slow_query.log)")
+    serve.add_argument("--trace-sample", default=None, metavar="SPEC",
+                       dest="trace_sample",
+                       help="tail-sample the trace/slow-query files: "
+                            "keep errors and over-SLO traces always, "
+                            "a per-digest reservoir for the rest "
+                            "(SPEC like 'slo_ms=250,per_key=5,"
+                            "window_s=60,head=0.01', or 'on' for "
+                            "defaults; metrics and /statements still "
+                            "see every trace)")
     _add_resilience_options(serve)
     _add_shard_options(serve)
     return parser
@@ -320,6 +346,8 @@ def main(argv: Optional[Sequence[str]] = None,
             return _cmd_stats(args, out)
         if args.command == "trace":
             return _cmd_trace(args, out)
+        if args.command == "top":
+            return _cmd_top(args, out)
         if args.command == "serve":
             return _cmd_serve(args, out)
     except ReproError as exc:
@@ -523,6 +551,9 @@ def _cmd_trace(args, out) -> int:
     records = read_trace_log(args.logfile)
     if args.slow_only:
         records = [r for r in records if r.get("type") == "slow_query"]
+    if args.trace_id:
+        records = [r for r in records
+                   if r.get("trace_id") == args.trace_id]
     if args.limit > 0:
         records = records[-args.limit:]
     if not records:
@@ -532,6 +563,47 @@ def _cmd_trace(args, out) -> int:
         print(format_trace(record), file=out)
         print("", file=out)
     print(f"{len(records)} record(s)", file=out)
+    return 0
+
+
+def _cmd_top(args, out) -> int:
+    import json
+    from urllib.request import urlopen
+
+    url = args.url
+    if not url.startswith(("http://", "https://")):
+        url = "http://" + url
+    if "/statements" not in url:
+        url = url.rstrip("/") + "/statements"
+    if args.limit > 0:
+        url += ("&" if "?" in url else "?") + f"limit={args.limit}"
+    with urlopen(url, timeout=10) as response:
+        snapshot = json.loads(response.read().decode("utf-8"))
+    rows = snapshot.get("statements", [])
+    if not rows:
+        print("no statements recorded yet", file=out)
+        return 1
+    header = (f"{'digest':<12}  {'calls':>8}  {'errors':>6}  "
+              f"{'rows':>10}  {'hit%':>5}  {'fan':>4}  "
+              f"{'mean ms':>9}  {'p95 ms':>9}  {'total ms':>11}")
+    print(header, file=out)
+    for row in rows:
+        hit = row.get("cache_hit_ratio", 0.0) * 100.0
+        print(f"{row.get('digest', '?'):<12}  "
+              f"{row.get('calls', 0):>8}  "
+              f"{row.get('errors', 0):>6}  "
+              f"{row.get('rows', 0):>10}  "
+              f"{hit:>5.1f}  "
+              f"{row.get('fanout_max', 0):>4}  "
+              f"{row.get('mean_ms', 0.0):>9.2f}  "
+              f"{row.get('p95_ms', 0.0):>9.2f}  "
+              f"{row.get('total_ms', 0.0):>11.1f}", file=out)
+        if args.sql and row.get("statement"):
+            print(f"              {row['statement']}", file=out)
+    print(f"\n{snapshot.get('distinct_digests', len(rows))} digest(s), "
+          f"{snapshot.get('recorded_total', 0)} execution(s) recorded, "
+          f"{snapshot.get('overflowed_total', 0)} beyond the budget",
+          file=out)
     return 0
 
 
@@ -570,6 +642,10 @@ def _worker_env(args) -> dict[str, str]:
             env["REPRO_SLOW_QUERY_MS"] = str(args.slow_query_ms)
             env["REPRO_SLOW_QUERY_LOG"] = str(
                 _slow_query_path(args).resolve())
+        if getattr(args, "trace_sample", None):
+            # Subprocess runs own their file sinks, so they tail-sample
+            # them the same way the serving process does.
+            env["REPRO_TRACE_SAMPLE"] = args.trace_sample
     return env
 
 
@@ -710,7 +786,9 @@ def _cmd_serve(args, out) -> int:  # pragma: no cover - interactive
     from repro.http.router import Router
     from repro.http.server import HttpServer
     from repro.obs import (
-        REGISTRY, TRACER, MetricsBridge, SlowQueryLog, TraceLog)
+        REGISTRY, TRACER, FanoutSink, MetricsBridge, SloTracker,
+        SlowQueryLog, TailSampler, TraceLog, parse_sample_spec)
+    from repro.sql.digest import STATEMENTS
 
     if args.listen is not None:
         return _cmd_pool_daemon(args, out)
@@ -726,20 +804,57 @@ def _cmd_serve(args, out) -> int:  # pragma: no cover - interactive
     if args.acceptors > 1:
         return _cmd_multi_acceptor(args, out)
     metrics = REGISTRY
+    consumers = []
     if not args.no_trace:
         TRACER.enable()
-        TRACER.add_sink(MetricsBridge(
+        # Aggregating consumers run outside any sampler: metrics and
+        # the statement-digest store must see every trace.
+        consumers.append(MetricsBridge(
             metrics, slow_query_ms=args.slow_query_ms))
+        STATEMENTS.enabled = True
+        consumers.append(STATEMENTS)
+    file_sinks = []
     if args.trace_log is not None:
-        TRACER.add_sink(TraceLog(args.trace_log))
+        file_sinks.append(TraceLog(args.trace_log))
     slow_log = None
     if args.slow_query_ms is not None:
         slow_log = SlowQueryLog(_slow_query_path(args),
-                                args.slow_query_ms)
-        TRACER.add_sink(slow_log)
+                                args.slow_query_ms,
+                                statements=STATEMENTS)
+        file_sinks.append(slow_log)
+    sampler = None
+    if args.trace_sample and file_sinks:
+        try:
+            sample_kwargs = parse_sample_spec(args.trace_sample)
+        except ValueError as exc:
+            raise SystemExit(f"bad --trace-sample: {exc}")
+        # The shedder's interactive SLO doubles as the sampler's
+        # keep-it-always latency bar unless the spec overrides it.
+        sample_kwargs.setdefault("slo_ms", args.slo_ms)
+        # No registry= here: the trace_sampler stats source below
+        # already renders kept/dropped (plus the per-reason split);
+        # live counters too would duplicate the scrape sample names.
+        sampler = TailSampler(*file_sinks, **sample_kwargs)
+        file_sinks = [sampler]
+    consumers.extend(file_sinks)
+    fanout = None
+    if consumers:
+        # One fused, deferred sink: the request thread only enqueues
+        # the finished tree; a drain thread summarizes it once and
+        # fans the summary out to every consumer.  Scrape reads flush
+        # first (router.obs_flush below), so aggregates stay exact.
+        fanout = FanoutSink(*consumers, defer_cap=1024)
+        TRACER.add_sink(fanout)
     dispatcher = None
     log = None
     stats_sources = []
+    labeled_sources = []
+    if not args.no_trace:
+        stats_sources.append(("statements", STATEMENTS.stats))
+        labeled_sources.append(
+            ("statement", "digest", STATEMENTS.labeled_stats))
+    if sampler is not None:
+        stats_sources.append(("trace_sampler", sampler.stats))
     if args.gateway == "inprocess":
         registry = DatabaseRegistry()
         for name, path in _parse_bindings(args.database, "--database"):
@@ -758,7 +873,10 @@ def _cmd_serve(args, out) -> int:  # pragma: no cover - interactive
         router = site.router
         stats_sources.append(("resilience", registry.resilience_stats))
         if sharded:
-            stats_sources.append(("shard", registry.shard_stats))
+            # Labeled view: shard index travels as a label value while
+            # the legacy shard_<idx>_<counter> keys keep rendering.
+            labeled_sources.append(
+                ("shard", "shard", registry.shard_labeled_stats))
         if config.query_cache is not None:
             stats_sources.append(("query_cache", config.query_cache.stats))
     else:
@@ -796,10 +914,19 @@ def _cmd_serve(args, out) -> int:  # pragma: no cover - interactive
         # --gateway: each tenant runs its own engine over its scoped
         # registry view.
         router.tenants = TenantHost(tenant_registry)
-        stats_sources.append(("tenant", tenant_registry.stats))
+        labeled_sources.append(
+            ("tenant", "tenant", tenant_registry.labeled_stats))
     # One registry feeds every read path: /metrics, /statusz, the
     # access log's #stats trailer, and `repro stats`.
     router.metrics = metrics
+    if fanout is not None:
+        router.obs_flush = fanout.flush
+    if not args.no_trace:
+        router.statements = STATEMENTS
+    # Burn-rate gauges ride the same counters/histogram the router
+    # maintains; args.slo_ms is also the shedder's interactive target.
+    slo = SloTracker(metrics, latency_slo_ms=args.slo_ms)
+    stats_sources.append(("slo", slo.stats))
     if args.overload:
         from repro.overload import (
             COST_CLASSES, OverloadController, RequestClassifier)
@@ -817,12 +944,19 @@ def _cmd_serve(args, out) -> int:  # pragma: no cover - interactive
             max_concurrent=args.overload_concurrency,
             queue_limit=args.overload_queue,
             interactive_slo_ms=args.slo_ms,
-            classifier=RequestClassifier(rules=rules or None),
+            classifier=RequestClassifier(
+                rules=rules or None,
+                # Statement-level evidence beats URL heuristics: a
+                # target whose digests have proven heavy (or cached)
+                # classifies from what its SQL actually cost.
+                probe=STATEMENTS.probe if not args.no_trace else None),
             metrics=metrics)
         router.overload = controller
         stats_sources.append(("overload", controller.stats))
     for name, source in stats_sources:
         metrics.attach_stats_source(name, source)
+    for prefix, label, source in labeled_sources:
+        metrics.attach_labeled_source(prefix, label, source)
     if args.access_log is not None:
         from repro.http.accesslog import AccessLog
         log = AccessLog(args.access_log, metrics=metrics)
@@ -855,7 +989,10 @@ def _cmd_serve(args, out) -> int:  # pragma: no cover - interactive
           + (", tracing off" if args.no_trace else "") + ")",
           file=out, flush=True)
     print(f"metrics: {server.base_url}/metrics   "
-          f"status: {server.base_url}/statusz", file=out, flush=True)
+          f"status: {server.base_url}/statusz"
+          + (f"   statements: {server.base_url}/statements"
+             if not args.no_trace else ""),
+          file=out, flush=True)
     print("press Ctrl-C to stop", file=out, flush=True)
     try:
         import signal
@@ -864,6 +1001,10 @@ def _cmd_serve(args, out) -> int:  # pragma: no cover - interactive
         pass
     finally:
         server.shutdown()
+        if fanout is not None:
+            # Deferred traces still queued must reach the registry
+            # before the trailer below snapshots it.
+            fanout.flush()
         if log is not None:
             # Counters survive the process in the log file, where
             # `repro stats` picks them up (before worker teardown, so

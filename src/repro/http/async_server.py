@@ -264,7 +264,8 @@ class AsyncHttpServer:
                 # Ambiguous framing poisons everything pipelined behind
                 # it: answer 400 and drop the connection.
                 await self._write_response(
-                    writer, _bad_request(exc), keep_alive=False)
+                    writer, _bad_request(exc, self._mint_trace_id()),
+                    keep_alive=False)
                 return
             if raw is None:
                 return
@@ -290,7 +291,7 @@ class AsyncHttpServer:
                 else:
                     response = handle()
             except BadRequestError as exc:
-                response = _bad_request(exc)
+                response = _bad_request(exc, self._mint_trace_id())
                 keep_alive = False
             served += 1
             if served >= self.keep_alive_max:
@@ -340,7 +341,7 @@ class AsyncHttpServer:
         def run() -> HttpResponse:
             if deadline.expired:
                 self._m_deadline_expired.inc()
-                return _gateway_timeout()
+                return _gateway_timeout(self._mint_trace_id())
             return handle()
 
         return run
@@ -422,6 +423,12 @@ class AsyncHttpServer:
                              "Keep-Alive" if keep_alive else "close")
         await self._write(writer, response.serialize())
 
+    def _mint_trace_id(self) -> str:
+        """A correlation id for responses built before routing (the
+        400/503/504 paths open no span but still answer with an
+        ``X-Trace-Id`` the client can quote)."""
+        return new_trace_id() if self.router.tracer.enabled else ""
+
     async def _shed(self, writer: asyncio.StreamWriter) -> None:
         response = html_response(
             "<H1>503 Service Unavailable</H1>"
@@ -431,6 +438,9 @@ class AsyncHttpServer:
         hint = controller.retry_after_hint() \
             if controller is not None else None
         response.headers.set("Retry-After", retry_after_header(hint))
+        trace_id = self._mint_trace_id()
+        if trace_id:
+            response.headers.set("X-Trace-Id", trace_id)
         try:
             await self._write_response(writer, response, keep_alive=False)
         except (ConnectionError, OSError):
@@ -580,16 +590,23 @@ def _chunk(data: bytes) -> bytes:
     return b"%x\r\n%s\r\n" % (len(data), data)
 
 
-def _bad_request(exc: BadRequestError) -> HttpResponse:
-    return html_response(f"<H1>400 Bad Request</H1><P>{exc}</P>",
-                         status=400)
+def _bad_request(exc: BadRequestError,
+                 trace_id: str = "") -> HttpResponse:
+    response = html_response(f"<H1>400 Bad Request</H1><P>{exc}</P>",
+                             status=400)
+    if trace_id:
+        response.headers.set("X-Trace-Id", trace_id)
+    return response
 
 
-def _gateway_timeout() -> HttpResponse:
-    return html_response(
+def _gateway_timeout(trace_id: str = "") -> HttpResponse:
+    response = html_response(
         "<H1>504 Gateway Timeout</H1>"
         "<P>request deadline expired before processing began</P>",
         status=504)
+    if trace_id:
+        response.headers.set("X-Trace-Id", trace_id)
+    return response
 
 
 async def _close_writer(writer: asyncio.StreamWriter) -> None:

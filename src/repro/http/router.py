@@ -34,7 +34,7 @@ from repro.http.message import (
     html_response,
 )
 from repro.http.urls import normalize_path
-from repro.obs.trace import TRACER, Span
+from repro.obs.trace import TRACER, Span, new_trace_id
 from repro.overload.retryafter import retry_after_header
 
 CGI_PREFIX = "/cgi-bin/"
@@ -46,6 +46,9 @@ TENANT_PREFIX = "/t/"
 METRICS_PATH = "/metrics"
 STATUSZ_PATH = "/statusz"
 
+#: Statement-digest analytics (served when a statement store is attached).
+STATEMENTS_PATH = "/statements"
+
 
 class Router:
     """Maps HTTP requests to static files, registered pages, or CGI."""
@@ -54,7 +57,7 @@ class Router:
                  gateway: Optional[CgiGateway] = None,
                  server_name: str = "localhost", server_port: int = 80,
                  access_log=None, metrics=None, tracer=None,
-                 overload=None, tenants=None):
+                 overload=None, tenants=None, statements=None):
         self.document_root = (Path(document_root)
                               if document_root is not None else None)
         self.gateway = gateway or CgiGateway()
@@ -81,6 +84,15 @@ class Router:
         #: auth, quotas and JSON negotiation all live there.  Shared by
         #: both edges because both route through this class.
         self.tenants = tenants
+        #: optional repro.sql.digest.StatementStats; when attached the
+        #: per-digest statement analytics are served at ``/statements``.
+        self.statements = statements
+        #: optional zero-arg callable run before any observability read
+        #: (``/metrics``, ``/statusz``, ``/statements``).  ``repro
+        #: serve`` points this at its deferred trace fanout's ``flush``
+        #: so scrapes always see fully-aggregated traces even though
+        #: aggregation runs off the request latency path.
+        self.obs_flush = None
         self._pages: dict[str, tuple[str, bytes]] = {}
         # per-registry resolved metric objects; rebuilt if self.metrics
         # is swapped (tests do) so _observe pays no name lookups.
@@ -112,19 +124,26 @@ class Router:
                                              deadline=deadline)
             except OverloadShedError as exc:
                 return self._settle_unadmitted(
-                    request, _shed_response(exc), remote_addr, start)
+                    request, _shed_response(exc), remote_addr, start,
+                    trace_id=trace_id)
             except DeadlineExceededError as exc:
                 return self._settle_unadmitted(
-                    request, _error(504, str(exc)), remote_addr, start)
+                    request, _error(504, str(exc)), remote_addr, start,
+                    trace_id=trace_id)
         elif deadline is not None and deadline.expired:
             return self._settle_unadmitted(
                 request, _error(504, "request deadline expired before "
-                                     "dispatch"), remote_addr, start)
+                                     "dispatch"), remote_addr, start,
+                trace_id=trace_id)
         act = None
         if tracer.enabled:
+            target = request.path
+            if request.query:
+                target = f"{request.path}?{request.query}"
             act = tracer.begin(
                 "request", trace_id=trace_id or None,
-                attrs={"method": request.method, "path": request.path})
+                attrs={"method": request.method, "path": request.path,
+                       "target": target})
         try:
             response = self._route(request, remote_addr, deadline)
         except BaseException:
@@ -163,13 +182,20 @@ class Router:
 
     def _settle_unadmitted(self, request: HttpRequest,
                            response: HttpResponse, remote_addr: str,
-                           start: float) -> HttpResponse:
+                           start: float, *,
+                           trace_id: str = "") -> HttpResponse:
         """Book a shed/expired request: counted and logged, untraced.
 
         Shedding exists to cost ~nothing, so no span is opened; the
         request still shows up in the metrics and the access log (a
         503 the operator cannot see is a 503 they cannot tune away).
+        The response still carries ``X-Trace-Id`` — a shed client's
+        support ticket needs something to quote even though no trace
+        was recorded.
         """
+        if self.tracer.enabled:
+            response.headers.set("X-Trace-Id",
+                                 trace_id or new_trace_id())
         elapsed_ms = (time.perf_counter() - start) * 1000.0
         self._observe(request, response, len(response.body), elapsed_ms)
         if self.access_log is not None:
@@ -271,6 +297,8 @@ class Router:
             response = self._serve_metrics()
         elif self.metrics is not None and path == STATUSZ_PATH:
             response = self._serve_statusz()
+        elif self.statements is not None and path == STATEMENTS_PATH:
+            response = self._serve_statements(request)
         else:
             response = self._handle_static(path, request)
         if request.method == "HEAD":
@@ -286,8 +314,17 @@ class Router:
 
     # -- scrape endpoints --------------------------------------------------
 
+    def _flush_obs(self) -> None:
+        """Settle deferred trace aggregation before a read (if wired)."""
+        if self.obs_flush is not None:
+            try:
+                self.obs_flush()
+            except Exception:  # noqa: BLE001 - a scrape must not 500
+                pass           # because the drain hiccuped
+
     def _serve_metrics(self) -> HttpResponse:
         """The Prometheus-style text scrape."""
+        self._flush_obs()
         headers = Headers()
         headers.set("Content-Type",
                     "text/plain; version=0.0.4; charset=utf-8")
@@ -296,8 +333,27 @@ class Router:
 
     def _serve_statusz(self) -> HttpResponse:
         """The JSON status page (nested registry snapshot)."""
+        self._flush_obs()
         body = json.dumps(self.metrics.snapshot(), sort_keys=True,
                           indent=2, default=str) + "\n"
+        headers = Headers()
+        headers.set("Content-Type", "application/json; charset=utf-8")
+        return HttpResponse(status=200, headers=headers,
+                            body=body.encode("utf-8"))
+
+    def _serve_statements(self, request: HttpRequest) -> HttpResponse:
+        """Per-digest statement analytics (``?limit=N`` caps the rows)."""
+        self._flush_obs()
+        limit = 0
+        for part in (request.query or "").split("&"):
+            key, _, value = part.partition("=")
+            if key == "limit":
+                try:
+                    limit = max(0, int(value))
+                except ValueError:
+                    return _error(400, f"bad limit: {value!r}")
+        body = json.dumps(self.statements.snapshot(limit=limit),
+                          sort_keys=True, indent=2, default=str) + "\n"
         headers = Headers()
         headers.set("Content-Type", "application/json; charset=utf-8")
         return HttpResponse(status=200, headers=headers,

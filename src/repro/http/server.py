@@ -131,7 +131,8 @@ class HttpServer:
                 # A fresh socket's send buffer swallows the small 503
                 # without blocking, so shedding stays in the accept
                 # loop — no thread is spawned for an over-budget peer.
-                _shed_connection(conn, self._retry_hint())
+                _shed_connection(conn, self._retry_hint(),
+                                 trace_id=self._mint_trace_id())
                 continue
             thread = threading.Thread(
                 target=self._serve_connection, args=(conn, addr),
@@ -153,6 +154,15 @@ class HttpServer:
             return
         with self._active_lock:
             self._active -= 1
+
+    def _mint_trace_id(self) -> str:
+        """A correlation id for responses built before routing.
+
+        Bad requests and shed connections never reach the router, so
+        no span is opened — but the 4xx/503 still carries an
+        ``X-Trace-Id`` the client can quote against the access log.
+        """
+        return new_trace_id() if self.router.tracer.enabled else ""
 
     def _retry_hint(self) -> float | None:
         """An honest Retry-After for shed connections.
@@ -184,6 +194,9 @@ class HttpServer:
                         f"<H1>400 Bad Request</H1><P>{exc}</P>",
                         status=400)
                     response.headers.set("Connection", "close")
+                    error_trace = self._mint_trace_id()
+                    if error_trace:
+                        response.headers.set("X-Trace-Id", error_trace)
                     conn.sendall(response.serialize())
                     return
                 if raw is None:
@@ -209,6 +222,9 @@ class HttpServer:
                     response = html_response(
                         f"<H1>400 Bad Request</H1><P>{exc}</P>",
                         status=400)
+                    error_trace = self._mint_trace_id()
+                    if error_trace:
+                        response.headers.set("X-Trace-Id", error_trace)
                 served += 1
                 if response.streaming:
                     # Close-delimited body: no Content-Length exists
@@ -318,13 +334,16 @@ def _wants_keep_alive(request: HttpRequest) -> bool:
 
 
 def _shed_connection(conn: socket.socket,
-                     retry_hint: float | None = None) -> None:
+                     retry_hint: float | None = None, *,
+                     trace_id: str = "") -> None:
     """Answer an over-budget connection with an immediate 503."""
     response = html_response(
         "<H1>503 Service Unavailable</H1>"
         "<P>connection budget exhausted; retry shortly</P>", status=503)
     response.headers.set("Connection", "close")
     response.headers.set("Retry-After", retry_after_header(retry_hint))
+    if trace_id:
+        response.headers.set("X-Trace-Id", trace_id)
     try:
         conn.settimeout(1.0)
         conn.sendall(response.serialize())

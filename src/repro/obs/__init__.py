@@ -17,14 +17,20 @@ same environment block that carries ``REPRO_MACRO_DIR``.
 
 from __future__ import annotations
 
+from repro.obs.labels import LabeledSourceView, LabeledValues
 from repro.obs.metrics import REGISTRY, MetricsRegistry
-from repro.obs.sinks import MetricsBridge, SlowQueryLog, TraceLog
+from repro.obs.sampling import TailSampler, parse_sample_spec
+from repro.obs.sinks import (FanoutSink, MetricsBridge, SlowQueryLog,
+                             TraceLog)
+from repro.obs.slo import SloTracker
 from repro.obs.trace import TRACER, Span, Tracer, new_trace_id
 
 __all__ = [
     "MetricsRegistry", "REGISTRY",
     "Tracer", "TRACER", "Span", "new_trace_id",
-    "TraceLog", "SlowQueryLog", "MetricsBridge",
+    "TraceLog", "SlowQueryLog", "MetricsBridge", "FanoutSink",
+    "LabeledValues", "LabeledSourceView",
+    "TailSampler", "parse_sample_spec", "SloTracker",
     "configure_from_env",
 ]
 
@@ -42,6 +48,13 @@ def configure_from_env(env: dict[str, str]) -> bool:
         Path of a JSONL trace log; every finished trace appends a line.
     ``REPRO_SLOW_QUERY_MS`` / ``REPRO_SLOW_QUERY_LOG``
         Threshold and path of the slow-query log.
+    ``REPRO_TRACE_SAMPLE``
+        Tail-sampling spec (see
+        :func:`repro.obs.sampling.parse_sample_spec`); wraps the file
+        sinks in a :class:`TailSampler` so worker trace logs stay
+        bounded the same way the dispatcher's does.  The metrics
+        bridge stays outside the sampler — aggregates must see every
+        trace.
 
     Idempotent per process (workers call it once from ``build_program``;
     repeated calls are no-ops so in-process tests cannot stack sinks).
@@ -57,9 +70,11 @@ def configure_from_env(env: dict[str, str]) -> bool:
     _configured = True
     if flag and flag != "0":
         TRACER.enable()
+    file_sinks = []
     trace_log = env.get("REPRO_TRACE_LOG", "").strip()
     if trace_log:
-        TRACER.add_sink(TraceLog(trace_log))
+        file_sinks.append(TraceLog(trace_log))
+    threshold = None
     if slow_ms:
         try:
             threshold = float(slow_ms)
@@ -67,6 +82,19 @@ def configure_from_env(env: dict[str, str]) -> bool:
             threshold = 0.0
         slow_path = env.get("REPRO_SLOW_QUERY_LOG", "").strip()
         if slow_path:
-            TRACER.add_sink(SlowQueryLog(slow_path, threshold))
-        TRACER.add_sink(MetricsBridge(REGISTRY, slow_query_ms=threshold))
+            file_sinks.append(SlowQueryLog(slow_path, threshold))
+    sample_spec = env.get("REPRO_TRACE_SAMPLE", "").strip()
+    if sample_spec and file_sinks:
+        try:
+            kwargs = parse_sample_spec(sample_spec)
+        except ValueError:
+            kwargs = {}
+        file_sinks = [TailSampler(*file_sinks, registry=REGISTRY,
+                                  **kwargs)]
+    consumers = list(file_sinks)
+    if threshold is not None:
+        consumers.append(MetricsBridge(REGISTRY,
+                                       slow_query_ms=threshold))
+    if consumers:
+        TRACER.add_sink(FanoutSink(*consumers))
     return True

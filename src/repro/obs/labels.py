@@ -1,0 +1,141 @@
+"""Bounded-cardinality labeled metrics.
+
+PR 4's registry is flat: per-tenant and per-shard counters were mangled
+into key names (``tenant_alpha_requests_total``, ``shard_0_routed``),
+which a metrics backend cannot aggregate across and which grow without
+bound as names churn.  This module adds one-label metric families in
+the Prometheus shape — ``tenant_requests_total{tenant="alpha"}`` —
+with a hard series budget: past ``max_series`` distinct label values,
+further ones collapse into a single ``_other`` bucket, so a hostile or
+merely enthusiastic label source (tenant names, statement digests)
+cannot blow up the scrape.
+
+Two shapes:
+
+* :class:`LabeledValues` — a write-path family (``.inc(value)``), for
+  instrumentation that knows its label at record time (cost classes).
+* :class:`LabeledSourceView` — the migration adapter for polled legacy
+  stats bags: a source returning ``{label_value: {key: number}}``
+  renders *both* as labeled series and under the historical flattened
+  ``<prefix>_<value>_<key>`` names, so every pre-existing consumer
+  (``repro stats``, the access-log trailer, tests) keeps its keys.
+
+:class:`~repro.obs.metrics.MetricsRegistry` owns instances of both; see
+``labeled`` / ``attach_labeled_source`` there.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+__all__ = ["LabeledValues", "LabeledSourceView", "OTHER_LABEL"]
+
+#: The overflow bucket every capped family shares.
+OTHER_LABEL = "_other"
+
+
+class LabeledValues:
+    """One metric family over a single label, bounded in cardinality.
+
+    Values are plain accumulators (``inc``) or last-writes (``set``);
+    the first ``max_series`` distinct label values get their own
+    series, later ones merge into :data:`OTHER_LABEL`.  First-come
+    membership is deterministic for a given traffic order and never
+    reshuffles, so a series that exists keeps existing.
+    """
+
+    __slots__ = ("name", "label", "kind", "max_series", "_series",
+                 "_lock")
+
+    def __init__(self, name: str, label: str, *, kind: str = "counter",
+                 max_series: int = 32):
+        if kind not in ("counter", "gauge"):
+            raise ValueError(f"unknown labeled metric kind {kind!r}")
+        self.name = name
+        self.label = label
+        self.kind = kind
+        self.max_series = max_series
+        self._series: dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    def _slot(self, value: str) -> str:
+        if value in self._series or len(self._series) < self.max_series:
+            return value
+        return OTHER_LABEL
+
+    def inc(self, value: str, amount: float = 1) -> None:
+        with self._lock:
+            slot = self._slot(value)
+            self._series[slot] = self._series.get(slot, 0) + amount
+
+    def set(self, value: str, number: float) -> None:
+        # Overflow gauges share one slot last-write-wins: the bucket
+        # still reads as "some overflow series exists".
+        with self._lock:
+            self._series[self._slot(value)] = number
+
+    def series(self) -> dict[str, float]:
+        """A consistent ``label value -> number`` snapshot."""
+        with self._lock:
+            return dict(self._series)
+
+
+class LabeledSourceView:
+    """A polled legacy stats bag re-read as one-label metric families.
+
+    ``source()`` returns ``{label_value: {key: number}}``; the empty
+    label value ``""`` marks unlabeled (topology-wide) keys.  The view
+    computes, per poll:
+
+    * ``labeled()`` — ``{key: {label_value: number}}``, capped at
+      ``max_series`` values (lexicographically first kept, the rest
+      summed into ``_other``), for the labeled text exposition;
+    * ``flat()`` — the historical ``<value>_<key>`` /
+      ``<key>`` names (*uncapped*: legacy consumers parse exact keys).
+    """
+
+    __slots__ = ("prefix", "label", "source", "max_series")
+
+    def __init__(self, prefix: str, label: str,
+                 source: Callable[[], dict], *, max_series: int = 64):
+        self.prefix = prefix
+        self.label = label
+        self.source = source
+        self.max_series = max_series
+
+    def _poll(self) -> dict[str, dict]:
+        try:
+            polled = self.source()
+        except Exception:  # noqa: BLE001 - a broken bag must not take
+            return {}      # the metrics surface down
+        return {str(value): dict(bag)
+                for value, bag in polled.items()
+                if isinstance(bag, dict)}
+
+    def flat(self) -> dict[str, float]:
+        flat: dict[str, float] = {}
+        for value, bag in sorted(self._poll().items()):
+            for key, number in bag.items():
+                name = f"{value}_{key}" if value else key
+                flat[name] = number
+        return flat
+
+    def labeled(self) -> dict[str, dict[str, float]]:
+        polled = self._poll()
+        values = sorted(value for value in polled if value)
+        kept, spilled = (values[:self.max_series],
+                         values[self.max_series:])
+        by_key: dict[str, dict[str, float]] = {}
+        for value in kept:
+            for key, number in polled[value].items():
+                by_key.setdefault(key, {})[value] = number
+        for value in spilled:
+            for key, number in polled[value].items():
+                bucket = by_key.setdefault(key, {})
+                bucket[OTHER_LABEL] = bucket.get(OTHER_LABEL, 0) + number
+        return by_key
+
+    def unlabeled(self) -> dict[str, float]:
+        """The topology-wide keys (label value ``""``)."""
+        return dict(self._poll().get("", {}))

@@ -31,6 +31,8 @@ import threading
 from bisect import bisect_right
 from typing import Callable, Iterable, Optional
 
+from repro.obs.labels import LabeledSourceView, LabeledValues
+
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY",
            "quantile_from_counts"]
 
@@ -233,6 +235,8 @@ class MetricsRegistry:
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self._sources: dict[str, Callable[[], dict]] = {}
+        self._labeled: dict[str, LabeledValues] = {}
+        self._labeled_sources: dict[str, LabeledSourceView] = {}
 
     # -- get-or-create ---------------------------------------------------
 
@@ -257,6 +261,18 @@ class MetricsRegistry:
                 metric = self._histograms.setdefault(name,
                                                      Histogram(name))
         return metric
+
+    def labeled(self, name: str, label: str, *, kind: str = "counter",
+                max_series: int = 32) -> LabeledValues:
+        """Get-or-create a one-label metric family (bounded series;
+        overflow collapses into ``_other`` — see repro.obs.labels)."""
+        family = self._labeled.get(name)
+        if family is None:
+            with self._lock:
+                family = self._labeled.setdefault(
+                    name, LabeledValues(name, label, kind=kind,
+                                        max_series=max_series))
+        return family
 
     # -- one-line instrumentation ----------------------------------------
 
@@ -283,20 +299,51 @@ class MetricsRegistry:
         with self._lock:
             self._sources[name] = source
 
+    def attach_labeled_source(self, prefix: str, label: str,
+                              source: Callable[[], dict], *,
+                              max_series: int = 64) -> None:
+        """Attach a per-entity stats bag as a *labeled* source.
+
+        ``source()`` returns ``{label_value: {key: number}}`` (the
+        empty label value marks topology-wide keys).  The scrape
+        renders each key both as ``<prefix>_<key>{<label>="value"}``
+        and under the historical flattened ``<prefix>_<value>_<key>``
+        name, so the flat tenant/shard key families migrate onto
+        labels without breaking a single legacy consumer.
+        """
+        with self._lock:
+            self._labeled_sources[prefix] = LabeledSourceView(
+                prefix, label, source, max_series=max_series)
+
     def source_names(self) -> list[str]:
         with self._lock:
-            return sorted(self._sources)
+            return sorted(set(self._sources)
+                          | set(self._labeled_sources))
 
     def _poll_sources(self) -> dict[str, dict]:
         with self._lock:
             sources = dict(self._sources)
+            labeled_sources = dict(self._labeled_sources)
         polled: dict[str, dict] = {}
         for name, source in sources.items():
             try:
                 polled[name] = dict(source())
             except Exception:  # noqa: BLE001 - a broken bag must not
                 polled[name] = {}  # take the metrics surface down
+        for name, view in labeled_sources.items():
+            # Labeled sources keep publishing their historical
+            # flattened keys through the same read paths.
+            bag = polled.setdefault(name, {})
+            bag.update(view.flat())
         return polled
+
+    def _labeled_views(self) -> dict[str, LabeledSourceView]:
+        with self._lock:
+            return dict(self._labeled_sources)
+
+    def _labeled_families(self) -> dict[str, LabeledValues]:
+        with self._lock:
+            return dict(self._labeled)
 
     # -- read paths ------------------------------------------------------
 
@@ -317,6 +364,9 @@ class MetricsRegistry:
             snap = histogram.snapshot()
             for key in ("count", "mean", "p50", "p95", "p99"):
                 flat[f"{name}_{key}"] = snap[key]
+        for name, family in sorted(self._labeled_families().items()):
+            for value, number in sorted(family.series().items()):
+                flat[f"{name}_{value}"] = number
         for source_name, counters in sorted(self._poll_sources().items()):
             for key, value in counters.items():
                 flat[f"{source_name}_{key}"] = value
@@ -324,7 +374,7 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict:
         """Nested JSON-ready view — the body of ``/statusz``."""
-        return {
+        snapshot = {
             "counters": {name: c.value
                          for name, c in sorted(self._counters.items())},
             "gauges": {name: g.value
@@ -334,6 +384,19 @@ class MetricsRegistry:
                            sorted(self._histograms.items())},
             "sources": dict(sorted(self._poll_sources().items())),
         }
+        labeled: dict[str, dict] = {}
+        for name, family in sorted(self._labeled_families().items()):
+            labeled[name] = {"label": family.label,
+                             "series": dict(sorted(
+                                 family.series().items()))}
+        for prefix, view in sorted(self._labeled_views().items()):
+            for key, series in sorted(view.labeled().items()):
+                labeled[f"{prefix}_{key}"] = {
+                    "label": view.label,
+                    "series": dict(sorted(series.items()))}
+        if labeled:
+            snapshot["labeled"] = labeled
+        return snapshot
 
     def render_text(self) -> str:
         """The ``/metrics`` scrape body (Prometheus text exposition).
@@ -362,12 +425,34 @@ class MetricsRegistry:
                     f'{_number(snap[key])}')
             lines.append(f"{scrape}_count {snap['count']}")
             lines.append(f"{scrape}_sum {_number(snap['sum'])}")
+        for name, family in sorted(self._labeled_families().items()):
+            scrape = _scrape_name(name)
+            label = _scrape_name(family.label)
+            lines.append(f"# TYPE {scrape} {family.kind}")
+            for value, number in sorted(family.series().items()):
+                lines.append(f'{scrape}{{{label}="{_label_value(value)}"}}'
+                             f' {_number(number)}')
         for source_name, counters in sorted(self._poll_sources().items()):
             for key, value in sorted(counters.items()):
                 scrape = _scrape_name(f"{source_name}_{key}")
                 lines.append(f"# TYPE {scrape} counter")
                 lines.append(f"{scrape} {_number(value)}")
+        for prefix, view in sorted(self._labeled_views().items()):
+            label = _scrape_name(view.label)
+            for key, series in sorted(view.labeled().items()):
+                scrape = _scrape_name(f"{prefix}_{key}")
+                lines.append(f"# TYPE {scrape} counter")
+                for value, number in sorted(series.items()):
+                    lines.append(
+                        f'{scrape}{{{label}="{_label_value(value)}"}}'
+                        f' {_number(number)}')
         return "\n".join(lines) + "\n"
+
+
+def _label_value(value: str) -> str:
+    """Escape one label value for the text exposition format."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
 
 
 def _number(value) -> str:

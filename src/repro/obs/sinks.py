@@ -24,13 +24,14 @@ from __future__ import annotations
 import json
 import threading
 import time
+from collections import deque
 from pathlib import Path
 from typing import Optional
 
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import Span
+from repro.obs.trace import Span, TraceSummary, summarize
 
-__all__ = ["TraceLog", "SlowQueryLog", "MetricsBridge",
+__all__ = ["TraceLog", "SlowQueryLog", "MetricsBridge", "FanoutSink",
            "format_trace", "read_trace_log"]
 
 #: Span name the slow-query watchdog matches.
@@ -78,9 +79,15 @@ class TraceLog:
 class SlowQueryLog:
     """Dump the span subtree of every SQL execution over the threshold."""
 
-    def __init__(self, path: str | Path, threshold_ms: float):
+    def __init__(self, path: str | Path, threshold_ms: float,
+                 statements=None):
         self._file = _JsonLineFile(path)
         self.threshold_ms = float(threshold_ms)
+        #: Optional :class:`repro.sql.digest.StatementStats`: when set,
+        #: each dump carries the digest's rolling profile, so one slow
+        #: occurrence reads in context ("p95 is 3ms, this was 400ms —
+        #: an outlier" vs "every call is slow").
+        self.statements = statements
         self._count = 0
 
     @property
@@ -97,7 +104,8 @@ class SlowQueryLog:
             if (span.name == SQL_SPAN_NAME
                     and span.duration_ms >= self.threshold_ms):
                 self._count += 1
-                self._file.write({
+                digest = span.attrs.get("digest", "")
+                record = {
                     "type": "slow_query",
                     "ts": round(time.time(), 3),
                     "trace_id": root.trace_id,
@@ -107,10 +115,15 @@ class SlowQueryLog:
                                     round(root.duration_ms, 3)},
                     "duration_ms": round(span.duration_ms, 3),
                     "threshold_ms": self.threshold_ms,
-                    "digest": span.attrs.get("digest", ""),
+                    "digest": digest,
                     "sql": span.attrs.get("sql", ""),
                     "spans": span.to_dict(),
-                })
+                }
+                if self.statements is not None and digest:
+                    profile = self.statements.digest_snapshot(digest)
+                    if profile is not None:
+                        record["digest_stats"] = profile
+                self._file.write(record)
 
 
 class MetricsBridge:
@@ -146,25 +159,101 @@ class MetricsBridge:
         return histogram
 
     def __call__(self, root: Span) -> None:
+        self.on_summary(summarize(root))
+
+    def on_summary(self, summary: TraceSummary) -> None:
+        """Fold one pre-walked trace (see :class:`FanoutSink`)."""
         self._traces.inc()
-        slow_ms = self.slow_query_ms
-        totals: dict[str, float] = {}
-        stack = [root]
-        while stack:
-            span = stack.pop()
-            if span.children:
-                stack.extend(span.children)
-            duration = span.duration_ms
-            name = span.name
-            if name in totals:
-                totals[name] += duration
-            else:
-                totals[name] = duration
-            if (self._slow is not None and name == SQL_SPAN_NAME
-                    and duration >= slow_ms):
-                self._slow.inc()
-        for name, total in totals.items():
+        if self._slow is not None and summary.sql_spans:
+            slow_ms = self.slow_query_ms
+            for span in summary.sql_spans:
+                if span.duration_ms >= slow_ms:
+                    self._slow.inc()
+        for name, total in summary.totals.items():
             self._histogram(name).observe(total)
+
+
+class FanoutSink:
+    """One tracer sink that walks once and feeds many consumers.
+
+    ``repro serve`` hangs several aggregators off every finished trace
+    — the metrics bridge, the statement-digest store, the tail sampler
+    guarding the file logs.  Registered individually each would walk
+    the span tree itself; fused, the tree is summarized once
+    (:func:`repro.obs.trace.summarize`) and consumers exposing
+    ``on_summary`` are fed the shared summary.  Consumers without
+    ``on_summary`` (plain file sinks) still receive the root span.
+
+    With ``defer_cap`` > 0 delivery is **two-phase**: the request
+    thread only appends the finished root to a queue (a deque append —
+    well under a microsecond) and the aggregation work runs off the
+    latency path, from a daemon drain thread that wakes every
+    ``drain_interval`` seconds.  Readers that need current aggregates
+    (the scrape endpoints) call :meth:`flush` first, so scrapes stay
+    exact; the cap is a backstop — a request that finds ``defer_cap``
+    roots queued drains them inline rather than letting the queue grow
+    unboundedly.  With ``defer_cap=0`` (the default) delivery is
+    inline and synchronous, which is what unit tests want.
+
+    A consumer that raises is skipped for the delivery, never the
+    request — the same containment as ``Tracer._deliver``.
+    """
+
+    def __init__(self, *consumers, defer_cap: int = 0,
+                 drain_interval: float = 0.05):
+        self.consumers = list(consumers)
+        self._handlers = [
+            getattr(consumer, "on_summary", None)
+            or (lambda summary, _sink=consumer: _sink(summary.root))
+            for consumer in consumers]
+        self.defer_cap = defer_cap
+        self.drain_interval = drain_interval
+        self._queue: deque = deque()
+        self._drain_lock = threading.Lock()
+        self._drainer: Optional[threading.Thread] = None
+        if defer_cap > 0:
+            self._drainer = threading.Thread(
+                target=self._drain_loop, name="obs-fanout-drain",
+                daemon=True)
+            self._drainer.start()
+
+    def __call__(self, root: Span) -> None:
+        if self.defer_cap > 0:
+            queue = self._queue
+            queue.append(root)
+            if len(queue) >= self.defer_cap:
+                self.flush()
+            return
+        self._deliver(root)
+
+    def _deliver(self, root: Span) -> None:
+        summary = summarize(root)
+        for handler in self._handlers:
+            try:
+                handler(summary)
+            except Exception:  # noqa: BLE001 - mirror Tracer._deliver
+                pass
+
+    def flush(self) -> None:
+        """Drain every queued root through the consumers, then return.
+
+        Safe from any thread; the scrape handlers call this before
+        rendering so deferred aggregates are never stale on a read.
+        """
+        queue = self._queue
+        with self._drain_lock:
+            while True:
+                try:
+                    root = queue.popleft()
+                except IndexError:
+                    break
+                self._deliver(root)
+
+    def _drain_loop(self) -> None:  # pragma: no cover - timing thread
+        while True:
+            time.sleep(self.drain_interval)
+            if self._queue:
+                self.flush()
 
 
 # ---------------------------------------------------------------------------
@@ -173,9 +262,16 @@ class MetricsBridge:
 
 
 def read_trace_log(path: str | Path) -> list[dict]:
-    """Parse a trace/slow-query JSONL file; malformed lines are skipped."""
+    """Parse a trace/slow-query JSONL file; malformed lines are skipped.
+
+    A live log's last line is often mid-write (a crashed worker, a
+    tail during load); bad bytes and truncated JSON must not take the
+    whole file down, so decoding is lossy and each line parses
+    independently.
+    """
     records = []
-    for line in Path(path).read_text(encoding="utf-8").splitlines():
+    text = Path(path).read_bytes().decode("utf-8", errors="replace")
+    for line in text.splitlines():
         line = line.strip()
         if not line:
             continue

@@ -43,6 +43,7 @@ import time
 from typing import Callable, Iterator, Optional
 
 __all__ = ["Span", "ActiveSpan", "Tracer", "TRACER", "new_trace_id",
+           "TraceSummary", "summarize",
            "statement_digest"]
 
 _current_span: contextvars.ContextVar[Optional["Span"]] = \
@@ -219,6 +220,71 @@ class Span:
         for child_record in record.get("children", ()):
             span.add_child(cls.from_dict(child_record, span))
         return span
+
+
+class TraceSummary:
+    """One walk's worth of facts about a finished trace.
+
+    Every aggregating consumer of a delivered root needs the same
+    traversal: per-phase duration totals, the ``sql.execute`` spans,
+    and whether anything in the tree errored.  Walking once and
+    fanning the summary out (see :class:`repro.obs.sinks.FanoutSink`)
+    keeps the per-request delivery cost flat no matter how many
+    consumers are wired — this sits on the hot path of every traced
+    request, inside the ≤5% overhead bar.
+    """
+
+    __slots__ = ("root", "totals", "sql_spans", "has_error")
+
+    def __init__(self, root: "Span", totals: dict,
+                 sql_spans: Optional[list], has_error: bool):
+        self.root = root
+        #: span name -> total milliseconds across the tree.
+        self.totals = totals
+        #: every ``sql.execute`` span, in delivery order (or ``None``).
+        self.sql_spans = sql_spans
+        #: True when any span in the tree carries an ``error`` attr.
+        self.has_error = has_error
+
+
+#: Span name the SQL-aware consumers match (one definition would be
+#: circular: sinks and sql.digest both mirror this string).
+_SQL_SPAN = "sql.execute"
+
+
+def summarize(root: "Span") -> TraceSummary:
+    """Collect a :class:`TraceSummary` in one iterative walk."""
+    totals: dict[str, float] = {}
+    sql_spans: Optional[list] = None
+    has_error = False
+    stack = [root]
+    while stack:
+        span = stack.pop()
+        children = span._children
+        if children:
+            stack.extend(children)
+        name = span.name
+        end = span.end
+        duration = 0.0 if end is None else (end - span.start) * 1000.0
+        if name in totals:
+            totals[name] += duration
+        else:
+            totals[name] = duration
+        attrs = span._attrs
+        if attrs:
+            if "error" in attrs:
+                has_error = True
+            if name == _SQL_SPAN:
+                if sql_spans is None:
+                    sql_spans = [span]
+                else:
+                    sql_spans.append(span)
+        elif name == _SQL_SPAN:
+            if sql_spans is None:
+                sql_spans = [span]
+            else:
+                sql_spans.append(span)
+    return TraceSummary(root, totals, sql_spans, has_error)
 
 
 class ActiveSpan:

@@ -221,6 +221,7 @@ class OverloadController:
         ticket.released = True
         service_ms = (self._clock() - ticket.admitted_at) * 1000.0
         self._m_latency[ticket.cost_class].observe(service_ms)
+        self._m_by_class.inc(ticket.cost_class)
         if ticket.key and status < 500:
             # 5xx latencies say nothing about the request's real cost.
             self.classifier.observe(ticket.key, service_ms)
@@ -381,6 +382,11 @@ class OverloadController:
         self._m_latency = {
             cls: registry.histogram(f"overload_latency_ms_{cls}")
             for cls in COST_CLASSES}
+        # Completions by cost class as one labeled family — the scrape
+        # consumer slices ``overload_requests_by_class{cost_class=...}``
+        # instead of discovering per-class key names.
+        self._m_by_class = registry.labeled(
+            "overload_requests_by_class", "cost_class", max_series=8)
         self._m_rate_defer.set(1.0)
         self._m_rate_inter.set(1.0)
 

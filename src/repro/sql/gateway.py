@@ -17,13 +17,14 @@ from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional
 
 from repro.errors import (SQLConnectError, SQLError, SQLObjectError,
                           is_transient)
-from repro.obs.trace import TRACER, statement_digest
+from repro.obs.trace import TRACER
 from repro.resilience import faults as fault_injection
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.deadline import Deadline
 from repro.resilience.retry import DEFAULT_RETRY, RetryPolicy
 from repro.sql.connection import Connection, MemoryDatabase
 from repro.sql.cursor import Cursor, value_to_text
+from repro.sql.digest import statement_digest
 from repro.sql.dialect import is_cacheable_query, is_query
 from repro.sql.pool import ConnectionPool
 from repro.sql.querycache import QueryResultCache, WriteGeneration
@@ -278,6 +279,26 @@ class DatabaseRegistry:
             for key, value in shard_map.stats().items():
                 stats[prefix + key] = stats.get(prefix + key, 0) + value
         return stats
+
+    def shard_labeled_stats(self) -> dict[str, dict[str, int]]:
+        """:meth:`shard_stats` grouped by shard for a labeled source.
+
+        ``{shard_label: {counter: value}}``; the empty label holds the
+        topology-wide counters.  Label values are chosen so the labeled
+        source's legacy flattening (``shard_<label>_<counter>`` /
+        ``shard_<counter>``) reproduces :meth:`shard_stats` exactly.
+        """
+        out: dict[str, dict[str, int]] = {}
+        prefixed = len(self._shard_maps) > 1
+        for name, shard_map in self._shard_maps.items():
+            for value, bag in shard_map.labeled_stats().items():
+                if prefixed:
+                    value = (f"{name.lower()}_{value}" if value
+                             else name.lower())
+                dest = out.setdefault(value, {})
+                for key, number in bag.items():
+                    dest[key] = dest.get(key, 0) + number
+        return out
 
     def attach_pool(self, name: str, *, size: int = 4,
                     timeout: float = 5.0) -> ConnectionPool:
@@ -742,6 +763,9 @@ class MacroSqlSession:
             return result
         except BaseException as exc:
             span.attrs.setdefault("error", type(exc).__name__)
+            sqlstate = getattr(exc, "sqlstate", None)
+            if sqlstate:
+                span.set("sqlstate", sqlstate)
             raise
         finally:
             span.finish()

@@ -75,6 +75,7 @@ from repro.obs.trace import TRACER, Span
 from repro.resilience.deadline import Deadline
 from repro.resilience.retry import RetryPolicy
 from repro.sql.dialect import is_cacheable_query, is_query
+from repro.sql.digest import statement_digest
 from repro.sql.querycache import QueryResultCache
 from repro.sql.transactions import TransactionMode
 
@@ -252,6 +253,27 @@ class ShardMap:
         stats["shards"] = len(self.shards)
         stats["replicas"] = sum(len(s.replicas) for s in self.shards)
         return stats
+
+    def labeled_stats(self) -> dict[str, dict[str, int]]:
+        """:meth:`stats` split by shard label for the labeled metrics
+        source: ``{shard_label: {counter: value}}``, topology-wide
+        counters under the empty label."""
+        with self._lock:
+            counters = dict(self._counters)
+        out: dict[str, dict[str, int]] = {"": {}}
+        # Longest label first so "10_routed" never matches shard "1".
+        labels = sorted((shard.label for shard in self.shards),
+                        key=len, reverse=True)
+        for key, value in counters.items():
+            for label in labels:
+                if key.startswith(label + "_"):
+                    out.setdefault(label, {})[key[len(label) + 1:]] = value
+                    break
+            else:
+                out[""][key] = value
+        out[""]["shards"] = len(self.shards)
+        out[""]["replicas"] = sum(len(s.replicas) for s in self.shards)
+        return out
 
 
 # ---------------------------------------------------------------------------
@@ -686,6 +708,67 @@ class ShardedSqlSession:
                      for shard in self.map.shards)
 
     def _scatter(self, sql: str, *, stream: bool) -> "ExecutionResult":
+        span = TRACER.leaf("sql.execute") if TRACER.enabled else None
+        if span is None:
+            return self._scatter_run(sql, stream=stream, span=None)
+        # The scatter merge executes on worker threads (no ambient span
+        # context), so the per-digest statement view would be blind to
+        # exactly the expensive cross-shard reports without this
+        # wrapper: one ``sql.execute`` span per scatter, its
+        # ``shard.execute`` children counting the fan-out.
+        handed_off = False
+        try:
+            span.set("digest", statement_digest(sql))
+            span.set("database", self.map.name)
+            span.set("sql", sql if len(sql) <= 200 else sql[:200])
+            hits_before = self._merge_hits
+            result = self._scatter_run(sql, stream=stream, span=span)
+            if self._merge_hits > hits_before:
+                span.set("cached", True)
+            if result.row_iter is not None:
+                span.set("streaming", True)
+                result.row_iter = self._spanned_drain(
+                    result.row_iter, result, span)
+                handed_off = True
+            else:
+                span.set("rows", result.row_total)
+                if result.partial:
+                    span.set("partial", True)
+            return result
+        except BaseException as exc:
+            span.attrs.setdefault("error", type(exc).__name__)
+            sqlstate = getattr(exc, "sqlstate", None)
+            if sqlstate:
+                span.set("sqlstate", sqlstate)
+            raise
+        finally:
+            if not handed_off:
+                span.finish()
+
+    @staticmethod
+    def _spanned_drain(rows: Iterator[tuple[Any, ...]],
+                       result: "ExecutionResult",
+                       span: Span) -> Iterator[tuple[Any, ...]]:
+        """Finish the scatter span when the streamed merge drains."""
+        count = 0
+        try:
+            for row in rows:
+                count += 1
+                yield row
+        except BaseException as exc:
+            span.attrs.setdefault("error", type(exc).__name__)
+            sqlstate = getattr(exc, "sqlstate", None)
+            if sqlstate:
+                span.set("sqlstate", sqlstate)
+            raise
+        finally:
+            span.set("rows", count)
+            if result.partial:
+                span.set("partial", True)
+            span.finish()
+
+    def _scatter_run(self, sql: str, *, stream: bool,
+                     span: Optional[Span]) -> "ExecutionResult":
         from repro.sql.gateway import ExecutionResult
 
         self.map.count("scatter_queries")
@@ -713,7 +796,7 @@ class ShardedSqlSession:
         result = ExecutionResult(sql=sql, is_query=True)
         replica_served: list[str] = []
         rows = self._merged_rows(shard_sql, result, replica_served,
-                                 limit=limit, offset=offset)
+                                 limit=limit, offset=offset, span=span)
         if stream:
             result.row_iter = rows
             return result
@@ -736,7 +819,9 @@ class ShardedSqlSession:
     def _merged_rows(self, sql: str, result: "ExecutionResult",
                      replica_served: list[str], *,
                      limit: Optional[int] = None,
-                     offset: int = 0) -> Iterator[tuple[Any, ...]]:
+                     offset: int = 0,
+                     span: Optional[Span] = None
+                     ) -> Iterator[tuple[Any, ...]]:
         """The scatter-gather merge generator.
 
         Spawns one worker thread per shard (each leasing its own
@@ -747,7 +832,9 @@ class ShardedSqlSession:
         its name lands in ``result.failed_shards``, the result is
         marked ``partial``, and the surviving shards keep streaming.
         """
-        parent = TRACER.current() if TRACER.enabled else None
+        parent = span
+        if parent is None:
+            parent = TRACER.current() if TRACER.enabled else None
         abandoned = threading.Event()
         streams = [
             _ShardStream(shard, TRACER.child_of(parent, "shard.execute"))

@@ -285,3 +285,17 @@ class TenantRegistry:
             for key, value in tenant.stats().items():
                 flat[f"{name}_{key}"] = value
         return flat
+
+    def labeled_stats(self) -> dict:
+        """Per-tenant counter bags keyed by tenant name.
+
+        Attached as ``metrics.attach_labeled_source("tenant", "tenant",
+        registry.labeled_stats)``: the same numbers as :meth:`stats`,
+        but the tenant name travels as a label value
+        (``tenant_requests_total{tenant="acme"}``) instead of being
+        baked into the key — and the view's legacy flattening still
+        renders the exact ``tenant_<name>_<counter>`` keys.
+        """
+        with self._lock:
+            tenants = sorted(self._tenants.items())
+        return {name: tenant.stats() for name, tenant in tenants}

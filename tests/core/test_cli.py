@@ -152,3 +152,101 @@ class TestStatsCommand:
         log.write_text("nothing useful\n")
         status, output = run_cli("stats", str(log))
         assert status == 1
+
+
+def trace_record(trace_id: str, name: str = "request") -> str:
+    import json
+    return json.dumps({
+        "type": "trace", "ts": 1.0, "trace_id": trace_id,
+        "name": name, "duration_ms": 5.0, "phases": {name: 5.0},
+        "attrs": {"status": 200},
+        "spans": {"name": name, "trace_id": trace_id, "span_id": 1,
+                  "offset_ms": 0.0, "duration_ms": 5.0}})
+
+
+class TestTraceCommand:
+    def test_trace_id_filter(self, tmp_path):
+        log = tmp_path / "trace.log"
+        log.write_text(trace_record("tid-aaa") + "\n"
+                       + trace_record("tid-bbb") + "\n")
+        status, output = run_cli("trace", str(log),
+                                 "--trace-id", "tid-bbb")
+        assert status == 0
+        assert "tid-bbb" in output
+        assert "tid-aaa" not in output
+
+    def test_unknown_trace_id_shows_nothing(self, tmp_path):
+        log = tmp_path / "trace.log"
+        log.write_text(trace_record("tid-aaa") + "\n")
+        status, output = run_cli("trace", str(log),
+                                 "--trace-id", "tid-zzz")
+        assert status == 1
+        assert "no trace records" in output
+
+    def test_truncated_trailing_line_is_skipped(self, tmp_path):
+        """A crash-mid-write artifact must not take the renderer down."""
+        log = tmp_path / "trace.log"
+        log.write_text(trace_record("tid-ok") + "\n"
+                       + trace_record("tid-cut")[:40])  # no newline
+        status, output = run_cli("trace", str(log))
+        assert status == 0
+        assert "tid-ok" in output
+        assert "tid-cut" not in output
+
+    def test_corrupt_bytes_are_tolerated(self, tmp_path):
+        log = tmp_path / "trace.log"
+        log.write_bytes(trace_record("tid-ok").encode() + b"\n"
+                        + b"\xfe\xfd{{{ not json\n")
+        status, output = run_cli("trace", str(log))
+        assert status == 0
+        assert "tid-ok" in output
+
+
+class TestTopCommand:
+    @pytest.fixture()
+    def served_statements(self):
+        from repro.apps import urlquery as urlquery_app
+        from repro.apps.site import build_site
+        from repro.sql.digest import StatementStats
+
+        app = urlquery_app.install(rows=5)
+        site = build_site(app.engine, app.library)
+        stats = StatementStats()
+        stats.enabled = True
+        stats.record(digest="deadbeef0123",
+                     statement="select url from urls where id = ?",
+                     duration_ms=12.0, rows=5)
+        site.router.statements = stats
+        server = site.serve()
+        yield server
+        server.shutdown()
+
+    def test_renders_the_digest_table(self, served_statements):
+        status, output = run_cli("top", served_statements.base_url)
+        assert status == 0
+        assert "deadbeef0123" in output
+        assert "digest" in output  # the header row
+        assert "1 digest(s)" in output
+
+    def test_sql_flag_prints_the_statement_text(self,
+                                                served_statements):
+        status, output = run_cli("top", served_statements.base_url,
+                                 "--sql")
+        assert status == 0
+        assert "select url from urls where id = ?" in output
+
+    def test_empty_store_exits_nonzero(self):
+        from repro.apps import urlquery as urlquery_app
+        from repro.apps.site import build_site
+        from repro.sql.digest import StatementStats
+
+        app = urlquery_app.install(rows=2)
+        site = build_site(app.engine, app.library)
+        site.router.statements = StatementStats()
+        server = site.serve()
+        try:
+            status, output = run_cli("top", server.base_url)
+        finally:
+            server.shutdown()
+        assert status == 1
+        assert "no statements" in output

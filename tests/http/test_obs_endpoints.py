@@ -161,3 +161,56 @@ class TestRequestSpans:
         (root,) = traced
         assert root.attrs["status"] == 404
         assert site.router.metrics.counter("http_errors_total").value == 1
+
+
+class TestStatementsEndpoint:
+    @pytest.fixture()
+    def statements(self):
+        from repro.sql.digest import StatementStats
+        stats = StatementStats()
+        stats.enabled = True
+        return stats
+
+    def test_not_routed_without_a_store(self, site):
+        _, site = site
+        assert get(site, "/statements").status == 404
+
+    def test_serves_the_digest_table_as_json(self, site, statements):
+        _, site = site
+        site.router.statements = statements
+        statements.record(digest="abc", statement="select ?",
+                          duration_ms=3.0, rows=5)
+        response = get(site, "/statements")
+        assert response.status == 200
+        assert response.headers.get("Content-Type") == \
+            "application/json; charset=utf-8"
+        body = json.loads(response.body)
+        (row,) = body["statements"]
+        assert row["digest"] == "abc"
+        assert row["calls"] == 1
+        assert body["recorded_total"] == 1
+
+    def test_limit_query_parameter_caps_rows(self, site, statements):
+        _, site = site
+        site.router.statements = statements
+        statements.record(digest="hot", duration_ms=100.0)
+        statements.record(digest="cold", duration_ms=1.0)
+        body = json.loads(get(site, "/statements?limit=1").body)
+        assert [r["digest"] for r in body["statements"]] == ["hot"]
+        assert get(site, "/statements?limit=bogus").status == 400
+
+    def test_live_traffic_lands_in_the_table(self, site, statements,
+                                             traced):
+        """End to end: the store as a tracer sink sees the report's
+        sql.execute span and /statements shows its digest."""
+        app, site = site
+        site.router.statements = statements
+        TRACER.add_sink(statements)
+        response = get(site, f"{app.report_path}?{QUERY}")
+        assert response.status == 200
+        body = json.loads(get(site, "/statements").body)
+        assert body["statements"], "no digest rows after traffic"
+        row = body["statements"][0]
+        assert row["calls"] >= 1
+        assert row["rows"] >= 1
+        assert "select" in row["statement"].lower()

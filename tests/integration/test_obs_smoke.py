@@ -61,7 +61,8 @@ def served(tmp_path_factory):
          "--host", "127.0.0.1", "--port", "0",
          "--access-log", str(access_log),
          "--trace-log", str(trace_log),
-         "--slow-query-ms", "0", "--slow-query-log", str(slow_log)],
+         "--slow-query-ms", "0", "--slow-query-log", str(slow_log),
+         "--trace-sample", "per_key=100"],
         env={"PYTHONPATH": SRC_DIR, "PATH": "/usr/bin:/bin"},
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
     base = None
@@ -96,9 +97,12 @@ def scraped(served):
     assert status == 404
     metrics_status, metrics_headers, metrics_body = fetch(base, "/metrics")
     statusz_status, _, statusz_body = fetch(base, "/statusz")
+    statements_status, _, statements_body = fetch(base, "/statements")
     return {"metrics": (metrics_status, metrics_headers,
                         metrics_body.decode()),
-            "statusz": (statusz_status, json.loads(statusz_body))}
+            "statusz": (statusz_status, json.loads(statusz_body)),
+            "statements": (statements_status,
+                           json.loads(statements_body))}
 
 
 class TestLiveScrape:
@@ -124,6 +128,18 @@ class TestLiveScrape:
         assert "query_cache_hits" in text
         assert "resilience_retries" in text
 
+    def test_no_duplicate_samples(self, scraped):
+        """Every name{labels} identity renders exactly once — the
+        sampler once published both live counters and a stats source,
+        doubling trace_sampler_* on the scrape."""
+        _, _, text = scraped["metrics"]
+        assert "trace_sampler_kept_total" in text  # sampler is wired
+        samples = [line.rsplit(" ", 1)[0]
+                   for line in text.splitlines()
+                   if line and not line.startswith("#")]
+        duplicates = {s for s in samples if samples.count(s) > 1}
+        assert not duplicates, f"duplicate scrape samples: {duplicates}"
+
     def test_statusz_snapshot(self, scraped):
         status, snapshot = scraped["statusz"]
         assert status == 200
@@ -131,6 +147,29 @@ class TestLiveScrape:
         assert snapshot["histograms"]["request_latency_ms"]["count"] >= 4
         assert "query_cache" in snapshot["sources"]
         assert "resilience" in snapshot["sources"]
+
+    def test_statements_table_fills_after_traffic(self, scraped):
+        """The digest analytics surface: report traffic must appear as
+        at least one normalized statement row with calls and rows."""
+        status, body = scraped["statements"]
+        assert status == 200
+        assert body["statements"], "no digest rows after traffic"
+        row = body["statements"][0]
+        assert len(row["digest"]) == 12
+        assert row["calls"] >= 3
+        assert row["rows"] >= 1
+        assert "select" in row["statement"].lower()
+        assert body["recorded_total"] >= 3
+
+    def test_slo_burn_gauges_ride_the_scrape(self, scraped):
+        """The SLO source's multi-window burn gauges are on /metrics
+        and /statusz like every other stats family."""
+        _, _, text = scraped["metrics"]
+        assert "slo_availability_burn_5m" in text
+        assert "slo_latency_burn_1h" in text
+        _, snapshot = scraped["statusz"]
+        assert "slo" in snapshot["sources"]
+        assert "statements" in snapshot["sources"]
 
 
 class TestShutdownArtifacts:

@@ -1,0 +1,126 @@
+"""Bounded-cardinality labeled metrics and their registry integration."""
+
+import pytest
+
+from repro.obs.labels import OTHER_LABEL, LabeledSourceView, LabeledValues
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestLabeledValues:
+    def test_inc_creates_series_per_value(self):
+        family = LabeledValues("requests_by_class", "cost_class")
+        family.inc("cached")
+        family.inc("cached")
+        family.inc("heavy", 3)
+        assert family.series() == {"cached": 2, "heavy": 3}
+
+    def test_overflow_collapses_into_other(self):
+        family = LabeledValues("x", "tenant", max_series=2)
+        family.inc("a")
+        family.inc("b")
+        family.inc("c")
+        family.inc("d")
+        assert family.series() == {"a": 1, "b": 1, OTHER_LABEL: 2}
+
+    def test_existing_series_keeps_existing_past_the_cap(self):
+        family = LabeledValues("x", "tenant", max_series=1)
+        family.inc("a")
+        family.inc("b")  # overflow
+        family.inc("a")  # still its own series
+        assert family.series() == {"a": 2, OTHER_LABEL: 1}
+
+    def test_gauge_set_is_last_write_wins(self):
+        family = LabeledValues("depth", "shard", kind="gauge")
+        family.set("0", 5)
+        family.set("0", 2)
+        assert family.series() == {"0": 2}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            LabeledValues("x", "l", kind="summary")
+
+
+class TestLabeledSourceView:
+    def source(self):
+        return {"": {"shards": 2},
+                "0": {"routed": 5},
+                "1": {"routed": 7}}
+
+    def test_flat_reproduces_legacy_key_names(self):
+        view = LabeledSourceView("shard", "shard", self.source)
+        assert view.flat() == {"shards": 2, "0_routed": 5,
+                               "1_routed": 7}
+
+    def test_labeled_groups_by_key(self):
+        view = LabeledSourceView("shard", "shard", self.source)
+        assert view.labeled() == {"routed": {"0": 5, "1": 7}}
+
+    def test_unlabeled_returns_the_topology_bag(self):
+        view = LabeledSourceView("shard", "shard", self.source)
+        assert view.unlabeled() == {"shards": 2}
+
+    def test_labeled_caps_series_but_flat_does_not(self):
+        bags = {str(i): {"requests": i} for i in range(5)}
+        view = LabeledSourceView("tenant", "tenant", lambda: bags,
+                                 max_series=2)
+        labeled = view.labeled()["requests"]
+        assert labeled == {"0": 0, "1": 1, OTHER_LABEL: 2 + 3 + 4}
+        assert len(view.flat()) == 5  # legacy consumers parse exact keys
+
+    def test_broken_source_yields_empty_views(self):
+        def boom():
+            raise RuntimeError("bag died")
+        view = LabeledSourceView("tenant", "tenant", boom)
+        assert view.flat() == {}
+        assert view.labeled() == {}
+        assert view.unlabeled() == {}
+
+
+class TestRegistryIntegration:
+    def test_labeled_is_get_or_create(self):
+        registry = MetricsRegistry()
+        a = registry.labeled("f", "l")
+        b = registry.labeled("f", "l")
+        assert a is b
+
+    def test_family_series_ride_flat_and_snapshot(self):
+        registry = MetricsRegistry()
+        registry.labeled("overload_requests_by_class",
+                         "cost_class").inc("cached", 4)
+        flat = registry.flat()
+        assert flat["overload_requests_by_class_cached"] == 4
+        snapshot = registry.snapshot()
+        assert snapshot["labeled"]["overload_requests_by_class"] == {
+            "label": "cost_class", "series": {"cached": 4}}
+
+    def test_labeled_source_keeps_legacy_flat_keys(self):
+        registry = MetricsRegistry()
+        registry.attach_labeled_source(
+            "tenant", "tenant",
+            lambda: {"acme": {"requests_total": 9}})
+        # the historical flattened name on every legacy read path
+        assert registry.flat()["tenant_acme_requests_total"] == 9
+        assert registry.snapshot()["sources"]["tenant"] == {
+            "acme_requests_total": 9}
+        assert "tenant" in registry.source_names()
+
+    def test_render_text_emits_both_shapes(self):
+        registry = MetricsRegistry()
+        registry.labeled("requests_by_class", "cost_class").inc("heavy")
+        registry.attach_labeled_source(
+            "tenant", "tenant",
+            lambda: {"acme": {"requests_total": 9}})
+        text = registry.render_text()
+        assert "# TYPE requests_by_class counter" in text
+        assert 'requests_by_class{cost_class="heavy"} 1' in text
+        assert 'tenant_requests_total{tenant="acme"} 9' in text
+        assert "tenant_acme_requests_total 9" in text  # legacy line
+
+    def test_label_values_are_escaped_in_the_exposition(self):
+        registry = MetricsRegistry()
+        registry.labeled("f", "l").inc('we"ird\nname')
+        text = registry.render_text()
+        assert 'f{l="we\\"ird\\nname"} 1' in text
+
+    def test_snapshot_omits_labeled_key_when_empty(self):
+        assert "labeled" not in MetricsRegistry().snapshot()

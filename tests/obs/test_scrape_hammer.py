@@ -1,0 +1,71 @@
+"""Concurrent scrape vs. writer threads: reads must never throw or tear.
+
+The registry is written from request threads, shard workers and the
+overload controller while /metrics and /statusz render on another —
+this hammer pins that every read path (flat, snapshot, render_text)
+survives concurrent mutation of counters, histograms, labeled families
+and labeled sources, and that a rendered histogram is never torn into
+an impossible state (quantiles present without a count, NaNs, ...).
+"""
+
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+from repro.sql.digest import StatementStats
+
+WRITERS = 4
+WRITES = 2000
+SCRAPES = 200
+
+
+def test_concurrent_scrape_never_throws_or_tears():
+    registry = MetricsRegistry()
+    statements = StatementStats(max_digests=8)
+    statements.enabled = True
+    registry.attach_labeled_source("statement", "digest",
+                                   statements.labeled_stats)
+    registry.attach_stats_source("statements", statements.stats)
+    errors = []
+
+    def writer(seed: int):
+        try:
+            counter = registry.counter("http_requests_total")
+            histogram = registry.histogram("request_latency_ms")
+            family = registry.labeled("requests_by_class",
+                                      "cost_class", max_series=4)
+            for i in range(WRITES):
+                counter.inc()
+                histogram.observe((seed * 31 + i) % 700 + 0.5)
+                family.inc(f"class{(seed + i) % 6}")  # overflows too
+                statements.record(digest=f"d{(seed + i) % 12}",
+                                  duration_ms=float(i % 50),
+                                  rows=i % 7, cached=i % 3 == 0)
+        except Exception as exc:  # noqa: BLE001 - the assertion
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(n,))
+               for n in range(WRITERS)]
+    for thread in threads:
+        thread.start()
+    try:
+        for _ in range(SCRAPES):
+            flat = registry.flat()
+            assert all(isinstance(v, (int, float))
+                       for v in flat.values())
+            snapshot = registry.snapshot()
+            latency = snapshot["histograms"].get("request_latency_ms")
+            if latency is not None and latency["count"]:
+                # a torn histogram would show quantiles beyond max or
+                # a sum wildly off the observed range
+                assert 0.0 <= latency["p50"] <= latency["max"] + 1e-9
+                assert latency["sum"] >= 0.0
+            text = registry.render_text()
+            assert text.endswith("\n")
+            statements.snapshot(limit=5)
+    finally:
+        for thread in threads:
+            thread.join(timeout=30)
+    assert not errors, errors
+    # every write landed despite the concurrent scrapes
+    assert registry.counter("http_requests_total").value == \
+        WRITERS * WRITES

@@ -1,0 +1,117 @@
+"""SLO burn-rate gauges over the router's own counters and histogram."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SloTracker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture()
+def setup():
+    registry = MetricsRegistry()
+    clock = FakeClock()
+    tracker = SloTracker(registry, availability_target=0.999,
+                         latency_slo_ms=100.0, latency_target=0.99,
+                         windows=(("5m", 300.0),), clock=clock)
+    return registry, clock, tracker
+
+
+def drive(registry, *, requests=0, errors=0, slow=0, fast=0):
+    registry.counter("http_requests_total").inc(requests)
+    registry.counter("http_errors_total").inc(errors)
+    latency = registry.histogram("request_latency_ms")
+    for _ in range(slow):
+        latency.observe(5000.0)  # way past the 100ms SLO boundary
+    for _ in range(fast):
+        latency.observe(1.0)
+
+
+class TestBurnRates:
+    def test_no_traffic_reads_zero_burn(self, setup):
+        _, _, tracker = setup
+        stats = tracker.stats()
+        assert stats["availability_burn_5m"] == 0.0
+        assert stats["latency_burn_5m"] == 0.0
+
+    def test_availability_burn_is_error_fraction_over_budget(
+            self, setup):
+        registry, clock, tracker = setup
+        tracker.tick()  # baseline at t0
+        clock.now += 10.0
+        # 1% errors against a 0.1% budget: burn 10x
+        drive(registry, requests=1000, errors=10)
+        stats = tracker.stats()
+        assert stats["availability_burn_5m"] == pytest.approx(10.0)
+        assert stats["error_fraction_5m"] == pytest.approx(0.01)
+
+    def test_latency_burn_counts_over_slo_observations(self, setup):
+        registry, clock, tracker = setup
+        tracker.tick()
+        clock.now += 10.0
+        # 5% of requests over the SLO against a 1% budget: burn 5x
+        drive(registry, requests=100, slow=5, fast=95)
+        stats = tracker.stats()
+        assert stats["latency_burn_5m"] == pytest.approx(5.0)
+        assert stats["slow_fraction_5m"] == pytest.approx(0.05)
+
+    def test_burn_of_one_consumes_budget_exactly_at_target(self, setup):
+        registry, clock, tracker = setup
+        tracker.tick()
+        clock.now += 10.0
+        drive(registry, requests=1000, errors=1)  # exactly the budget
+        assert tracker.stats()["availability_burn_5m"] == \
+            pytest.approx(1.0)
+
+    def test_window_diffs_forget_old_traffic(self, setup):
+        registry, clock, tracker = setup
+        drive(registry, requests=100, errors=100)  # ancient incident
+        tracker.tick()
+        clock.now += 400.0  # past the 5m window
+        tracker.tick()
+        clock.now += 10.0
+        drive(registry, requests=100)  # clean recent traffic
+        stats = tracker.stats()
+        assert stats["availability_burn_5m"] == 0.0
+
+    def test_scrape_bursts_collapse_onto_one_sample(self, setup):
+        _, clock, tracker = setup
+        tracker.tick()
+        clock.now += 0.2
+        tracker.tick()  # within MIN_SAMPLE_SPACING: not retained
+        assert len(tracker._samples) == 1
+
+    def test_targets_ride_the_stats_bag(self, setup):
+        _, _, tracker = setup
+        stats = tracker.stats()
+        assert stats["availability_target"] == 0.999
+        assert stats["latency_target"] == 0.99
+        assert stats["latency_slo_ms"] == 100.0
+
+    def test_invalid_targets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            SloTracker(registry, availability_target=1.0)
+        with pytest.raises(ValueError):
+            SloTracker(registry, latency_target=0.0)
+
+    def test_over_slo_helper(self, setup):
+        _, _, tracker = setup
+        assert tracker.over_slo(150.0)
+        assert not tracker.over_slo(50.0)
+
+    def test_multi_window_gauges_emit_per_label(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        tracker = SloTracker(registry, clock=clock)
+        stats = tracker.stats()
+        for label in ("5m", "1h", "6h"):
+            assert f"availability_burn_{label}" in stats
+            assert f"latency_burn_{label}" in stats

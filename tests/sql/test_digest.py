@@ -1,0 +1,220 @@
+"""Statement normalization and the per-digest rolling stats store."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs.trace import Tracer
+from repro.sql.digest import (
+    STATEMENTS,
+    StatementStats,
+    normalize_statement,
+    statement_digest,
+    statement_fingerprint,
+)
+
+
+class TestNormalization:
+    def test_literals_become_placeholders(self):
+        assert normalize_statement(
+            "SELECT url FROM urls WHERE id = 42") == \
+            "select url from urls where id = ?"
+        assert normalize_statement(
+            "SELECT url FROM urls WHERE name = 'ibm'") == \
+            "select url from urls where name = ?"
+
+    def test_differently_parameterised_runs_share_a_shape(self):
+        a = "SELECT * FROM urldb WHERE title LIKE '%ibm%' AND hits > 10"
+        b = "select * from urldb where title like '%web%' and hits > 900"
+        assert normalize_statement(a) == normalize_statement(b)
+        assert statement_digest(a) == statement_digest(b)
+
+    def test_quoted_string_with_commas_and_parens_is_opaque(self):
+        # the comma and parens live inside the literal: one placeholder
+        assert normalize_statement(
+            "SELECT f(x) FROM t WHERE note = 'a, b (c), d'") == \
+            "select f(x) from t where note = ?"
+
+    def test_doubled_quote_escape_stays_inside_the_literal(self):
+        assert normalize_statement(
+            "SELECT * FROM t WHERE name = 'O''Brien, Inc (1)'") == \
+            "select * from t where name = ?"
+
+    def test_unicode_literals_and_identifiers(self):
+        assert normalize_statement(
+            "SELECT Straße FROM orte WHERE stadt = 'München'") == \
+            "select straße from orte where stadt = ?"
+
+    def test_nested_parens_with_numbers(self):
+        assert normalize_statement(
+            "SELECT * FROM t WHERE a IN (SELECT b FROM u "
+            "WHERE c = (1 + (2 * 3)))") == \
+            "select * from t where a in (select b from u " \
+            "where c = (? + (? * ?)))"
+
+    def test_quoted_identifier_keeps_case(self):
+        assert normalize_statement(
+            'SELECT "MixedCase" FROM t') == 'select "MixedCase" from t'
+
+    def test_comments_vanish_and_whitespace_collapses(self):
+        assert normalize_statement(
+            "SELECT  a\n  FROM t -- trailing note\n"
+            "WHERE /* block\ncomment */ b = 1") == \
+            "select a from t where b = ?"
+
+    def test_in_list_collapses_across_arities(self):
+        three = normalize_statement(
+            "SELECT * FROM t WHERE id IN (1, 2, 3)")
+        one = normalize_statement("SELECT * FROM t WHERE id IN (9)")
+        assert three == one == "select * from t where id in (?)"
+
+    def test_mixed_in_list_does_not_collapse(self):
+        # a column reference in the list keeps the arity visible
+        assert normalize_statement(
+            "SELECT * FROM t WHERE id IN (1, other_id)") == \
+            "select * from t where id in (?, other_id)"
+
+    def test_identifier_digits_are_not_literals(self):
+        assert normalize_statement("SELECT col2x FROM t1") == \
+            "select col2x from t1"
+
+    def test_numeric_forms(self):
+        assert normalize_statement(
+            "SELECT * FROM t WHERE a = 0x1F AND b = 1.5 "
+            "AND c = 2e10 AND d = .5") == \
+            "select * from t where a = ? and b = ? and c = ? and d = ?"
+
+    def test_unterminated_literal_swallows_the_tail(self):
+        assert normalize_statement(
+            "SELECT * FROM t WHERE a = 'oops") == \
+            "select * from t where a = ?"
+
+    def test_fingerprint_is_stable_and_short(self):
+        digest, normalized = statement_fingerprint(
+            "SELECT 1 FROM dual")
+        assert len(digest) == 12
+        assert normalized == "select ? from dual"
+        assert statement_fingerprint("SELECT 1 FROM dual") == \
+            (digest, normalized)
+
+
+class TestStatementStats:
+    def test_record_aggregates_per_digest(self):
+        stats = StatementStats()
+        for duration in (1.0, 3.0):
+            stats.record(digest="abc", statement="select ?",
+                         duration_ms=duration, rows=5, cached=False,
+                         error=False, sqlstate=None)
+        stats.record(digest="abc", duration_ms=2.0, rows=0, cached=True,
+                     error=True, sqlstate="42S02")
+        snap = stats.snapshot()
+        (row,) = snap["statements"]
+        assert row["digest"] == "abc"
+        assert row["calls"] == 3
+        assert row["errors"] == 1
+        assert row["rows"] == 10
+        assert row["cache_hits"] == 1
+        assert row["cache_hit_ratio"] == pytest.approx(1 / 3, abs=0.01)
+        assert row["sqlstates"] == {"42S02": 1}
+        assert row["total_ms"] >= 6.0
+        assert snap["recorded_total"] == 3
+        assert snap["overflowed_total"] == 0
+
+    def test_overflow_lands_in_the_other_bucket(self):
+        stats = StatementStats(max_digests=2)
+        for digest in ("d1", "d2", "d3", "d4"):
+            stats.record(digest=digest, duration_ms=1.0)
+        snap = stats.snapshot()
+        assert snap["distinct_digests"] == 2
+        assert snap["overflowed_total"] == 2
+        other = snap["statements"][-1]
+        assert other["digest"] == "_other"
+        assert other["calls"] == 2
+
+    def test_snapshot_orders_by_total_time_burned(self):
+        stats = StatementStats()
+        stats.record(digest="cheap", duration_ms=1.0)
+        stats.record(digest="hot", duration_ms=500.0)
+        digests = [row["digest"]
+                   for row in stats.snapshot()["statements"]]
+        assert digests == ["hot", "cheap"]
+
+    def test_fanout_tracking(self):
+        stats = StatementStats()
+        stats.record(digest="scatter", duration_ms=1.0, fanout=4)
+        stats.record(digest="scatter", duration_ms=1.0, fanout=2)
+        (row,) = stats.snapshot()["statements"]
+        assert row["fanout_max"] == 4
+        assert row["fanout_mean"] == pytest.approx(3.0)
+
+    def test_sink_harvests_sql_spans_from_a_trace(self):
+        tracer = Tracer()
+        tracer.enable()
+        stats = StatementStats()
+        stats.enabled = True
+        tracer.add_sink(stats)
+        with tracer.span("request",
+                         attrs={"target": "/report?Q=1"}):
+            with tracer.span("sql.execute") as sql:
+                sql.set("digest", "deadbeef0123")
+                sql.set("sql", "select ?")
+                sql.set("rows", 7)
+                with tracer.span("shard.execute"):
+                    pass
+                with tracer.span("shard.execute"):
+                    pass
+        (row,) = stats.snapshot()["statements"]
+        assert row["digest"] == "deadbeef0123"
+        assert row["rows"] == 7
+        assert row["fanout_max"] == 2
+        # the request target was learned for the classifier probe
+        assert stats.stats()["request_keys"] == 1
+
+    def test_sink_is_gated_like_the_tracer(self):
+        tracer = Tracer()
+        tracer.enable()
+        stats = StatementStats()  # .enabled stays False
+        tracer.add_sink(stats)
+        with tracer.span("request"):
+            with tracer.span("sql.execute") as sql:
+                sql.set("digest", "abc")
+        assert stats.snapshot()["statements"] == []
+
+    def test_probe_answers_heavy_and_cached_only_when_confident(self):
+        stats = StatementStats(min_calls=3)
+        request = SimpleNamespace(path="/report", query="Q=1")
+        key = "/report?Q=1"
+        stats.note_request(key, ["slow"])
+        assert stats.probe(request) is None  # digest unknown yet
+        for _ in range(3):
+            stats.record(digest="slow", duration_ms=200.0)
+        assert stats.probe(request) == "heavy"
+        stats.note_request(key, ["fast"])
+        for _ in range(3):
+            stats.record(digest="fast", duration_ms=1.0)
+        assert stats.probe(request) == "cached"
+        # a middling digest stays undecided
+        stats.note_request(key, ["mid"])
+        for _ in range(3):
+            stats.record(digest="mid", duration_ms=20.0)
+        assert stats.probe(request) is None
+
+    def test_labeled_stats_shape(self):
+        stats = StatementStats()
+        stats.record(digest="abc", duration_ms=1.0, rows=3, cached=True)
+        assert stats.labeled_stats() == {
+            "abc": {"calls_total": 1, "errors_total": 0,
+                    "rows_total": 3, "cache_hits_total": 1}}
+
+    def test_reset_clears_everything(self):
+        stats = StatementStats(max_digests=1)
+        stats.record(digest="a", duration_ms=1.0)
+        stats.record(digest="b", duration_ms=1.0)  # overflows
+        stats.reset()
+        snap = stats.snapshot()
+        assert snap["statements"] == []
+        assert snap["overflowed_total"] == 0
+
+
+def test_module_store_exists_and_is_disabled_by_default():
+    assert isinstance(STATEMENTS, StatementStats)
